@@ -1,0 +1,34 @@
+// Shared glue for the bench binaries: every bench first PRINTS the paper
+// artifact it regenerates (table or figure), then runs its google-benchmark
+// timings. EXPERIMENTS.md catalogues the outputs.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace slat::bench {
+
+/// Prints the standard header naming the experiment (ids from DESIGN.md §4).
+inline void print_header(const char* experiment_id, const char* description) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", experiment_id, description);
+  std::printf("================================================================\n");
+}
+
+/// Runs the artifact printer, then the registered benchmarks.
+template <typename PrintArtifact>
+int run(int argc, char** argv, const PrintArtifact& print_artifact) {
+  print_artifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace slat::bench
+
+#define SLAT_BENCH_MAIN(print_artifact)                        \
+  int main(int argc, char** argv) {                            \
+    return ::slat::bench::run(argc, argv, (print_artifact));   \
+  }

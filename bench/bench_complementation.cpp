@@ -1,0 +1,79 @@
+// ABL-COMP — ablation: the rank-based complementation.
+// The paper's lattice of Büchi-definable languages is a Boolean algebra
+// because complementation exists; this bench measures what that closure
+// property costs, and what the two implementation levers (trimming the
+// input, tightening the rank bound from 2n to 2(n-|F|)) buy.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "buchi/complement.hpp"
+#include "buchi/language.hpp"
+#include "buchi/random.hpp"
+
+namespace {
+
+using namespace slat;
+using buchi::Nba;
+
+void print_artifact() {
+  bench::print_header("ABL-COMP", "rank-based complementation blowup + ablation");
+
+  std::printf("\n%3s %6s | %14s %14s | %16s\n", "n", "runs", "avg |C| tight",
+              "avg |C| 2n", "tight/naive size");
+  for (int n = 1; n <= 4; ++n) {
+    std::mt19937 rng(500 + n);
+    buchi::RandomNbaConfig config;
+    config.num_states = n;
+    const int runs = 12;
+    double tight_states = 0, naive_states = 0;
+    for (int i = 0; i < runs; ++i) {
+      const Nba nba = buchi::random_nba(config, rng);
+      const Nba tight = buchi::complement(nba);  // trims + 2(n-|F|) bound
+      const Nba naive = buchi::complement(nba, 2 * nba.num_states());
+      tight_states += tight.num_states();
+      naive_states += naive.num_states();
+    }
+    std::printf("%3d %6d | %14.1f %14.1f | %15.2f%%\n", n, runs, tight_states / runs,
+                naive_states / runs, 100.0 * tight_states / naive_states);
+  }
+  std::printf("\n(the tight bound keeps the construction usable for the language-level\n"
+              " equivalence checks the test suite and the lattice instance rely on)\n\n");
+}
+
+void bm_complement_tight(benchmark::State& state) {
+  std::mt19937 rng(600);
+  buchi::RandomNbaConfig config;
+  config.num_states = static_cast<int>(state.range(0));
+  const Nba nba = buchi::random_nba(config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buchi::complement(nba));
+  }
+}
+BENCHMARK(bm_complement_tight)->DenseRange(1, 4);
+
+void bm_complement_naive_bound(benchmark::State& state) {
+  std::mt19937 rng(600);
+  buchi::RandomNbaConfig config;
+  config.num_states = static_cast<int>(state.range(0));
+  const Nba nba = buchi::random_nba(config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buchi::complement(nba, 2 * nba.num_states()));
+  }
+}
+BENCHMARK(bm_complement_naive_bound)->DenseRange(1, 3);
+
+void bm_equivalence_check(benchmark::State& state) {
+  std::mt19937 rng(601);
+  buchi::RandomNbaConfig config;
+  config.num_states = static_cast<int>(state.range(0));
+  const Nba lhs = buchi::random_nba(config, rng);
+  const Nba rhs = buchi::random_nba(config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buchi::is_subset(lhs, rhs));
+  }
+}
+BENCHMARK(bm_equivalence_check)->DenseRange(2, 4);
+
+}  // namespace
+
+SLAT_BENCH_MAIN(print_artifact)

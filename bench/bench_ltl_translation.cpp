@@ -1,0 +1,114 @@
+// ABL-LTL — ablation: GPVW tableau sizes for pattern formula families.
+// The §2 pipeline's cost is dominated by the LTL → Büchi step; this bench
+// reports tableau nodes / NBA states / acceptance sets for the standard
+// specification patterns, and times the translation.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "ltl/eval.hpp"
+#include "ltl/translate.hpp"
+
+namespace {
+
+using namespace slat;
+
+// The k-th member of each pattern family over {a, b}.
+std::string response_chain(int k) {
+  // G(a -> F b) nested: G(a -> F (a -> F ( ... )))
+  std::string inner = "b";
+  for (int i = 0; i < k; ++i) inner = "(a -> F " + inner + ")";
+  return "G " + inner;
+}
+
+std::string until_chain(int k) {
+  std::string formula = "b";
+  for (int i = 0; i < k; ++i) {
+    formula = (i % 2 == 0 ? "a U (" : "b U (") + formula + ")";
+  }
+  return formula;
+}
+
+std::string next_chain(int k) {
+  std::string formula = "a";
+  for (int i = 0; i < k; ++i) formula = "X (" + formula + ")";
+  return formula;
+}
+
+std::string fairness_conjunction(int k) {
+  // GF a & FG b & GF a & ... alternating fairness constraints.
+  std::string formula = "G F a";
+  for (int i = 1; i < k; ++i) {
+    formula += i % 2 == 1 ? " & F G b" : " & G F a";
+  }
+  return formula;
+}
+
+void report_family(const char* family, std::string (*make)(int), int max_k) {
+  ltl::LtlArena arena(words::Alphabet::binary());
+  for (int k = 1; k <= max_k; ++k) {
+    const std::string text = make(k);
+    const auto f = arena.parse(text);
+    if (!f) {
+      std::printf("  %s k=%d: PARSE ERROR\n", family, k);
+      continue;
+    }
+    ltl::TranslationStats stats;
+    ltl::to_nba(arena, *f, &stats);
+    std::printf("%-12s %2d | %9d %9d %7d %9d | %s\n", family, k, stats.tableau_nodes,
+                stats.nba_states, stats.acceptance_sets, stats.nba_transitions,
+                k <= 3 ? text.c_str() : "...");
+  }
+}
+
+void print_artifact() {
+  slat::bench::print_header("ABL-LTL", "GPVW translation sizes for pattern families");
+  std::printf("\n%-12s %2s | %9s %9s %7s %9s | formula\n", "family", "k", "tableau",
+              "states", "untils", "trans");
+  report_family("response", response_chain, 4);
+  report_family("until", until_chain, 5);
+  report_family("next", next_chain, 6);
+  report_family("fairness", fairness_conjunction, 4);
+  std::printf("\n");
+}
+
+void bm_translate_response(benchmark::State& state) {
+  const std::string text = response_chain(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ltl::LtlArena arena(words::Alphabet::binary());
+    benchmark::DoNotOptimize(ltl::to_nba(arena, *arena.parse(text)));
+  }
+}
+BENCHMARK(bm_translate_response)->DenseRange(1, 4);
+
+void bm_translate_until(benchmark::State& state) {
+  const std::string text = until_chain(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ltl::LtlArena arena(words::Alphabet::binary());
+    benchmark::DoNotOptimize(ltl::to_nba(arena, *arena.parse(text)));
+  }
+}
+BENCHMARK(bm_translate_until)->DenseRange(1, 5);
+
+void bm_parse_only(benchmark::State& state) {
+  const std::string text = response_chain(4);
+  for (auto _ : state) {
+    ltl::LtlArena arena(words::Alphabet::binary());
+    benchmark::DoNotOptimize(arena.parse(text));
+  }
+}
+BENCHMARK(bm_parse_only);
+
+void bm_eval_on_word(benchmark::State& state) {
+  ltl::LtlArena arena(words::Alphabet::binary());
+  const auto f = *arena.parse(fairness_conjunction(4));
+  const words::UpWord w({0, 1, 0}, {1, 0, 0, 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ltl::holds(arena, f, w));
+  }
+}
+BENCHMARK(bm_eval_on_word);
+
+}  // namespace
+
+SLAT_BENCH_MAIN(print_artifact)

@@ -1,0 +1,133 @@
+// RABIN-DEC — §4.4 / Theorem 9: the Rabin tree-automaton decomposition.
+// For the example automata and a random sweep: build B_safe = rfcl(B),
+// verify the decomposition identities by exact game-based membership on a
+// regular-tree corpus, and time the game pipeline (emptiness, membership,
+// closure, witness extraction).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "rabin/examples.hpp"
+#include "rabin/random.hpp"
+#include "trees/closures.hpp"
+
+namespace {
+
+using namespace slat;
+using rabin::RabinTreeAutomaton;
+using trees::KTree;
+
+std::vector<KTree> binary_corpus() {
+  std::vector<KTree> corpus;
+  for (int n = 1; n <= 2; ++n) {
+    for (KTree& tree :
+         trees::enumerate_regular_trees(words::Alphabet::binary(), n, 2, 2)) {
+      bool duplicate = false;
+      for (const KTree& existing : corpus) {
+        if (existing.same_unfolding(tree)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) corpus.push_back(std::move(tree));
+    }
+  }
+  return corpus;
+}
+
+struct NamedAutomaton {
+  const char* name;
+  RabinTreeAutomaton automaton;
+};
+
+std::vector<NamedAutomaton> examples() {
+  std::vector<NamedAutomaton> out;
+  out.push_back({"const-a", rabin::aut_const_a()});
+  out.push_back({"root-a", rabin::aut_root_a()});
+  out.push_back({"AF b", rabin::aut_af_b()});
+  out.push_back({"A GF b", rabin::aut_agf_b()});
+  out.push_back({"E FG b", rabin::aut_efg_b()});
+  out.push_back({"A FG b", rabin::aut_afg_b()});
+  return out;
+}
+
+void print_artifact() {
+  bench::print_header("RABIN-DEC", "§4.4 Theorem 9: Rabin tree decomposition");
+
+  const auto corpus = binary_corpus();
+  std::printf("\ncorpus: %zu total binary regular trees (k = 2)\n\n", corpus.size());
+  std::printf("%-8s | %3s %5s | %8s %9s | %10s %10s %10s\n", "B", "|Q|", "pairs",
+              "|Q_safe|", "closure=", "L=S∩L ok", "safe ok", "live ok");
+
+  for (const auto& [name, automaton] : examples()) {
+    const rabin::RabinDecomposition d = rabin::decompose(automaton);
+    const trees::TreeProperty safe_prop{
+        "safe", [&](const KTree& t) { return d.safety.accepts(t); },
+        [&](const KTree& t) { return d.safety.accepts_some_extension(t); }};
+    const trees::TreeProperty live_prop{
+        "live", [&](const KTree& t) { return d.liveness_contains(t); },
+        [&](const KTree& t) { return d.liveness_extendable(t); }};
+    const trees::TreeProperty orig_prop{
+        "orig", [&](const KTree& t) { return automaton.accepts(t); },
+        [&](const KTree& t) { return automaton.accepts_some_extension(t); }};
+    int meet_ok = 0, safe_ok = 0, live_ok = 0, closure_semantic = 0;
+    for (const KTree& t : corpus) {
+      if (automaton.accepts(t) == (d.safety.accepts(t) && d.liveness_contains(t)))
+        ++meet_ok;
+      // Safety: B_safe is fcl-closed.
+      if (d.safety.accepts(t) == trees::in_fcl(safe_prop, t, 3)) ++safe_ok;
+      // Liveness: fcl(B_live) is everything.
+      if (trees::in_fcl(live_prop, t, 3)) ++live_ok;
+      // B_safe really is the semantic closure of B (bounded check).
+      if (d.safety.accepts(t) == trees::in_fcl(orig_prop, t, 6)) ++closure_semantic;
+    }
+    std::printf("%-8s | %3d %5d | %8d %6d/%-2zu | %7d/%-2zu %7d/%-2zu %7d/%-2zu\n", name,
+                automaton.num_states(), automaton.num_pairs(), d.safety.num_states(),
+                closure_semantic, corpus.size(), meet_ok, corpus.size(), safe_ok,
+                corpus.size(), live_ok, corpus.size());
+  }
+  std::printf("\n(B_live is represented as the effective union L(B) ∪ ¬L(rfcl B); see\n"
+              " DESIGN.md for the complementation substitution.)\n\n");
+}
+
+void bm_emptiness(benchmark::State& state) {
+  std::mt19937 rng(71);
+  rabin::RandomRabinConfig config;
+  config.num_states = static_cast<int>(state.range(0));
+  const RabinTreeAutomaton aut = rabin::random_rabin(config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aut.is_empty());
+  }
+}
+BENCHMARK(bm_emptiness)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+void bm_membership(benchmark::State& state) {
+  const RabinTreeAutomaton aut = rabin::aut_afg_b();
+  const KTree tree = KTree::constant(words::Alphabet::binary(), 1, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aut.accepts(tree));
+  }
+}
+BENCHMARK(bm_membership);
+
+void bm_rfcl(benchmark::State& state) {
+  std::mt19937 rng(73);
+  rabin::RandomRabinConfig config;
+  config.num_states = static_cast<int>(state.range(0));
+  const RabinTreeAutomaton aut = rabin::random_rabin(config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rabin::rfcl(aut));
+  }
+}
+BENCHMARK(bm_rfcl)->Arg(2)->Arg(4)->Arg(6);
+
+void bm_find_accepted_tree(benchmark::State& state) {
+  const RabinTreeAutomaton aut = rabin::aut_efg_b();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aut.find_accepted_tree());
+  }
+}
+BENCHMARK(bm_find_accepted_tree);
+
+}  // namespace
+
+SLAT_BENCH_MAIN(print_artifact)

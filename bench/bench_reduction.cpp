@@ -1,0 +1,99 @@
+// ABL-RED — ablation: the bisimulation-quotient reduction and the
+// all-accepting intersection fast path. Both exist to keep the exponential
+// steps (complementation, subset construction) fed with small inputs; this
+// bench quantifies what they buy on tableau outputs and random automata.
+#include <cstdio>
+#include <random>
+
+#include "bench_common.hpp"
+#include "buchi/complement.hpp"
+#include "buchi/random.hpp"
+#include "buchi/safety.hpp"
+#include "ltl/translate.hpp"
+
+namespace {
+
+using namespace slat;
+using buchi::Nba;
+
+void print_artifact() {
+  bench::print_header("ABL-RED", "bisimulation reduction + intersection fast path");
+
+  ltl::LtlArena arena(words::Alphabet::binary());
+  std::printf("\nGPVW outputs, before/after the bisimulation quotient:\n");
+  std::printf("%-26s %8s %9s %16s\n", "formula", "raw |Q|", "reduced", "complement |Q|");
+  for (const char* text :
+       {"F a", "a U b", "(a U b) & F a", "G (a -> F b)", "(a U b) | (b U a)",
+        "F (a & X (b & X a))"}) {
+    const Nba nba = ltl::to_nba(arena, *arena.parse(text));
+    const Nba reduced = nba.reduce();
+    const Nba comp = buchi::complement(nba);  // internally reduces
+    std::printf("%-26s %8d %9d %16d\n", text, nba.num_states(), reduced.num_states(),
+                comp.num_states());
+  }
+
+  std::printf("\nClosure-automata intersection: counter construction vs fast path\n");
+  std::printf("(all-accepting inputs; the fast path halves the state count and keeps\n");
+  std::printf(" the product all-accepting, making later complements rank-0):\n");
+  std::mt19937 rng(211);
+  buchi::RandomNbaConfig config;
+  config.num_states = 5;
+  std::printf("%6s | %14s %14s\n", "pair", "fast-path |Q|", "counter |Q| (2×)");
+  for (int i = 0; i < 4; ++i) {
+    const Nba a = buchi::safety_closure(buchi::random_nba(config, rng));
+    const Nba b = buchi::safety_closure(buchi::random_nba(config, rng));
+    const Nba fast = buchi::intersect(a, b);  // hits the fast path
+    std::printf("%6d | %14d %14d\n", i, fast.num_states(),
+                a.num_states() * b.num_states() * 2);
+  }
+  std::printf("\n");
+}
+
+void bm_reduce(benchmark::State& state) {
+  std::mt19937 rng(220);
+  buchi::RandomNbaConfig config;
+  config.num_states = static_cast<int>(state.range(0));
+  const Nba nba = buchi::random_nba(config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nba.reduce());
+  }
+}
+BENCHMARK(bm_reduce)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void bm_complement_with_reduction(benchmark::State& state) {
+  ltl::LtlArena arena(words::Alphabet::binary());
+  const Nba nba = ltl::to_nba(arena, *arena.parse("(a U b) & F a"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buchi::complement(nba));
+  }
+}
+BENCHMARK(bm_complement_with_reduction);
+
+void bm_intersect_fast_path(benchmark::State& state) {
+  std::mt19937 rng(221);
+  buchi::RandomNbaConfig config;
+  config.num_states = static_cast<int>(state.range(0));
+  const Nba a = buchi::safety_closure(buchi::random_nba(config, rng));
+  const Nba b = buchi::safety_closure(buchi::random_nba(config, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buchi::intersect(a, b));
+  }
+}
+BENCHMARK(bm_intersect_fast_path)->Arg(4)->Arg(8);
+
+void bm_intersect_counter_path(benchmark::State& state) {
+  std::mt19937 rng(221);
+  buchi::RandomNbaConfig config;
+  config.num_states = static_cast<int>(state.range(0));
+  // Mixed-acceptance automata take the 2-counter construction.
+  const Nba a = buchi::random_nba(config, rng);
+  const Nba b = buchi::random_nba(config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buchi::intersect(a, b));
+  }
+}
+BENCHMARK(bm_intersect_counter_path)->Arg(4)->Arg(8);
+
+}  // namespace
+
+SLAT_BENCH_MAIN(print_artifact)

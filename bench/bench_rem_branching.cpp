@@ -1,0 +1,110 @@
+// TAB-REM-BT — the §4.3 example table (q0–q6 over trees): the ES/US/EL/UL
+// classification grid, regenerated from the graph-algorithmic oracles over
+// a corpus of regular trees that includes sequences and the paper's own
+// witness trees. CTL-expressible rows are cross-checked against the CTL
+// model checker.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "trees/closures.hpp"
+#include "trees/ctl.hpp"
+#include "trees/rem_branching.hpp"
+
+namespace {
+
+using namespace slat;
+using trees::KTree;
+
+std::vector<KTree> corpus() {
+  auto out = trees::total_tree_corpus(words::Alphabet::binary(), 2, 2);
+  for (KTree& witness : trees::paper_witness_trees()) out.push_back(std::move(witness));
+  return out;
+}
+
+const char* mark(bool value) { return value ? "yes" : "-"; }
+
+void print_artifact() {
+  bench::print_header("TAB-REM-BT", "§4.3 Rem examples, branching time (q0–q6)");
+
+  const auto trees_corpus = corpus();
+  trees::CtlArena ctl(words::Alphabet::binary());
+  std::printf("\ncorpus: %zu total regular trees (incl. sequences + paper witnesses), "
+              "closure depth 2\n\n",
+              trees_corpus.size());
+  std::printf("%-5s %-14s | %-4s %-4s %-4s %-4s | %-8s %-9s  %s\n", "id", "CTL(*)",
+              "ES", "US", "EL", "UL", "matches", "ctl-xchk", "description");
+
+  bool all_match = true;
+  for (const auto& example : trees::rem_branching_examples()) {
+    const auto got = trees::classify(example.property, trees_corpus, 2);
+    const bool match = got.existentially_safe == example.expected.existentially_safe &&
+                       got.universally_safe == example.expected.universally_safe &&
+                       got.existentially_live == example.expected.existentially_live &&
+                       got.universally_live == example.expected.universally_live;
+    all_match = all_match && match;
+    // Cross-check CTL-expressible properties against the model checker.
+    const char* xchk = "(CTL*)";
+    if (!example.ctl.empty()) {
+      const auto f = ctl.parse(example.ctl);
+      bool agree = f.has_value();
+      if (agree) {
+        for (const KTree& tree : trees_corpus) {
+          if (trees::holds(ctl, *f, tree) != example.property.contains(tree)) {
+            agree = false;
+            break;
+          }
+        }
+      }
+      xchk = agree ? "ok" : "MISMATCH";
+      all_match = all_match && agree;
+    }
+    std::printf("%-5s %-14s | %-4s %-4s %-4s %-4s | %-8s %-9s  %s\n",
+                example.name.c_str(),
+                example.ctl.empty() ? "(CTL* only)" : example.ctl.c_str(),
+                mark(got.existentially_safe), mark(got.universally_safe),
+                mark(got.existentially_live), mark(got.universally_live),
+                match ? "ok" : "MISMATCH", xchk, example.description.c_str());
+  }
+  std::printf("\n%s\n\n",
+              all_match ? "All ten rows match the paper's §4.3 analysis."
+                        : "!! Some row DISAGREES with the paper — investigate.");
+}
+
+void bm_classify_example(benchmark::State& state) {
+  const auto examples = trees::rem_branching_examples();
+  const auto& example = examples[static_cast<std::size_t>(state.range(0))];
+  const auto trees_corpus = corpus();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trees::classify(example.property, trees_corpus, 2));
+  }
+  state.SetLabel(example.name);
+}
+BENCHMARK(bm_classify_example)->DenseRange(0, 9);
+
+void bm_ncl_membership(benchmark::State& state) {
+  const auto examples = trees::rem_branching_examples();
+  const auto& q4a = examples[5];
+  const KTree tree = KTree::constant(words::Alphabet::binary(), 0, 2);
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trees::in_ncl(q4a.property, tree, depth));
+  }
+}
+BENCHMARK(bm_ncl_membership)->Arg(1)->Arg(2)->Arg(3);
+
+void bm_ctl_model_checking(benchmark::State& state) {
+  trees::CtlArena ctl(words::Alphabet::binary());
+  const auto f = *ctl.parse("AG (a -> EF b) & E(a U AG b)");
+  const auto trees_corpus = corpus();
+  for (auto _ : state) {
+    int count = 0;
+    for (const KTree& tree : trees_corpus) count += trees::holds(ctl, f, tree);
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(trees_corpus.size()));
+}
+BENCHMARK(bm_ctl_model_checking);
+
+}  // namespace
+
+SLAT_BENCH_MAIN(print_artifact)

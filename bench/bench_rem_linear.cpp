@@ -1,0 +1,89 @@
+// TAB-REM-LT — the §2.3 example table (Martin Rem's properties p0–p6),
+// regenerated end-to-end: LTL text → GPVW tableau → Büchi automaton →
+// safety closure → classification, plus the closure-identity column
+// (lcl(p3) = p1, lcl(p4) = lcl(p5) = Σ^ω) checked on the UP-word corpus.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "buchi/language.hpp"
+#include "buchi/safety.hpp"
+#include "ltl/rem.hpp"
+#include "ltl/translate.hpp"
+
+namespace {
+
+using namespace slat;
+
+void print_artifact() {
+  bench::print_header("TAB-REM-LT", "§2.3 Rem examples, linear time (p0–p6)");
+
+  ltl::LtlArena arena(words::Alphabet::binary());
+  const auto corpus = words::enumerate_up_words(2, 4, 4);
+
+  // Pre-translate every example so closure identities can cross-reference.
+  struct Row {
+    ltl::RemExample example;
+    buchi::Nba nba;
+  };
+  std::vector<Row> rows;
+  for (const auto& example : ltl::rem_examples()) {
+    rows.push_back({example, ltl::to_nba(arena, *arena.parse(example.formula))});
+  }
+  const auto nba_of = [&](const std::string& name) -> const buchi::Nba& {
+    for (const auto& row : rows) {
+      if (row.example.name == name) return row.nba;
+    }
+    std::abort();
+  };
+
+  std::printf("\n%-4s %-10s %-17s %-17s %-9s %-8s  %s\n", "id", "formula",
+              "classification", "paper says", "lcl(p)=", "verified",
+              "description");
+  bool all_match = true;
+  for (const auto& row : rows) {
+    const buchi::SafetyClass got = buchi::classify(row.nba);
+    const bool match = got == row.example.expected;
+    all_match = all_match && match;
+    // Closure identity on the corpus.
+    const buchi::Nba closure = buchi::safety_closure(row.nba);
+    const auto disagreement =
+        buchi::find_disagreement(closure, nba_of(row.example.closure_name), corpus);
+    all_match = all_match && !disagreement;
+    std::printf("%-4s %-10s %-17s %-17s %-9s %-8s  %s\n", row.example.name.c_str(),
+                row.example.formula.c_str(), buchi::to_string(got),
+                buchi::to_string(row.example.expected), row.example.closure_name.c_str(),
+                (match && !disagreement) ? "ok" : "MISMATCH",
+                row.example.description.c_str());
+  }
+  std::printf("\n%s\n\n", all_match
+                              ? "All seven classifications and closures match §2.3."
+                              : "!! Some row DISAGREES with the paper — investigate.");
+}
+
+void bm_classify(benchmark::State& state) {
+  ltl::LtlArena arena(words::Alphabet::binary());
+  const auto& examples = ltl::rem_examples();
+  const auto& example = examples[static_cast<std::size_t>(state.range(0))];
+  const buchi::Nba nba = ltl::to_nba(arena, *arena.parse(example.formula));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buchi::classify(nba));
+  }
+  state.SetLabel(example.name + " = " + example.formula);
+}
+BENCHMARK(bm_classify)->DenseRange(0, 6);
+
+void bm_full_pipeline(benchmark::State& state) {
+  const auto& examples = ltl::rem_examples();
+  const auto& example = examples[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    ltl::LtlArena arena(words::Alphabet::binary());
+    const buchi::Nba nba = ltl::to_nba(arena, *arena.parse(example.formula));
+    benchmark::DoNotOptimize(buchi::classify(nba));
+  }
+  state.SetLabel(example.name);
+}
+BENCHMARK(bm_full_pipeline)->DenseRange(0, 6);
+
+}  // namespace
+
+SLAT_BENCH_MAIN(print_artifact)

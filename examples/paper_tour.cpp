@@ -1,0 +1,141 @@
+// A guided tour of the paper with this library — every section's main
+// object gets built, checked, and printed, in paper order.
+//
+//   $ ./paper_tour
+#include <cstdio>
+
+#include "buchi/safety.hpp"
+#include "core/concepts.hpp"
+#include "core/instances.hpp"
+#include "lattice/constructions.hpp"
+#include "lattice/decomposition.hpp"
+#include "lattice/render.hpp"
+#include "ltl/rem.hpp"
+#include "ltl/translate.hpp"
+#include "rabin/from_ctl.hpp"
+#include "trees/closures.hpp"
+#include "trees/rem_branching.hpp"
+
+namespace {
+
+void section(const char* title) {
+  std::printf("\n========== %s ==========\n\n", title);
+}
+
+}  // namespace
+
+int main() {
+  using namespace slat;
+
+  section("§2  Linear time: Alpern–Schneider via lcl");
+  {
+    ltl::LtlArena arena(words::Alphabet::binary());
+    std::printf("Rem's examples, classified through LTL -> Büchi -> closure:\n");
+    for (const auto& example : ltl::rem_examples()) {
+      const buchi::Nba nba = ltl::to_nba(arena, *arena.parse(example.formula));
+      std::printf("  %-3s %-9s -> %-16s (%s)\n", example.name.c_str(),
+                  example.formula.c_str(), buchi::to_string(buchi::classify(nba)),
+                  example.description.c_str());
+    }
+    const buchi::Nba p3 = ltl::to_nba(arena, *arena.parse("a & F !a"));
+    const buchi::BuchiDecomposition d = buchi::decompose(p3);
+    std::printf("\nTheorem 1 on p3: safety part %d states, liveness part %d states,\n"
+                "machine closed: %s\n",
+                d.safety.num_states(), d.liveness.num_states(),
+                buchi::is_machine_closed(d.safety, d.liveness) ? "yes" : "no");
+  }
+
+  section("§3  The lattice-theoretic characterization");
+  {
+    using namespace lattice;
+    const FiniteLattice pentagon = n5();
+    std::printf("Figure 1 (N5):\n%s", to_text(pentagon, {"0", "a", "b", "c", "1"}).c_str());
+    const auto cl = LatticeClosure::from_map(
+        pentagon, {N5Elems::bottom, N5Elems::b, N5Elems::b, N5Elems::c, N5Elems::top});
+    std::printf("Lemma 6: 'a' decomposable here? %s (N5 is not modular)\n",
+                find_any_decomposition(pentagon, *cl, *cl, N5Elems::a) ? "yes" : "no");
+
+    const FiniteLattice diamond = fig2();
+    const auto cl2 = LatticeClosure::from_map(
+        diamond, {Fig2Elems::s, Fig2Elems::s, Fig2Elems::top, Fig2Elems::top,
+                  Fig2Elems::top});
+    std::printf("Figure 2 (M3): Theorem 7 violated? %s (modular but not distributive)\n",
+                verify_theorem7(diamond, *cl2, *cl2) ? "yes" : "no");
+
+    const FiniteLattice gf2 = subspace_lattice_gf2(3);
+    std::printf("GF(2)^3 subspaces: %d elements, modular %s, distributive %s — the\n"
+                "paper's setting strictly beyond Boolean algebras; Theorem 3 holds:\n",
+                gf2.size(), gf2.is_modular() ? "yes" : "no",
+                gf2.is_distributive() ? "yes" : "no");
+    const LatticeClosure id = LatticeClosure::identity(gf2);
+    std::printf("  verify_theorem3(identity closure): %s\n",
+                verify_theorem3(gf2, id, id) ? "FAILED" : "ok");
+  }
+
+  section("§3  The same theorem, generically, on ω-regular languages");
+  {
+    ltl::LtlArena arena(words::Alphabet::binary());
+    const core::SampledOmegaRegularOps ops(words::Alphabet::binary(),
+                                           words::enumerate_up_words(2, 3, 3));
+    const buchi::Nba spec = ltl::to_nba(arena, *arena.parse("a U b"));
+    const auto d = core::decompose(ops, core::LclClosureFn{}, spec);
+    std::printf("decompose(a U b) via the generic Theorem 2 template: valid: %s\n",
+                core::decomposition_valid(ops, core::LclClosureFn{},
+                                          core::LclClosureFn{}, spec, d)
+                    ? "yes"
+                    : "no");
+  }
+
+  section("§4  Branching time: trees, ncl/fcl, CTL, Rabin automata");
+  {
+    auto corpus = trees::total_tree_corpus(words::Alphabet::binary(), 2, 2);
+    for (trees::KTree& w : trees::paper_witness_trees()) corpus.push_back(std::move(w));
+    std::printf("Rem's branching examples on %zu regular trees (ES/US/EL/UL):\n",
+                corpus.size());
+    for (const auto& example : trees::rem_branching_examples()) {
+      const auto got = trees::classify(example.property, corpus, 2);
+      std::printf("  %-4s %d%d%d%d  %s\n", example.name.c_str(),
+                  got.existentially_safe, got.universally_safe,
+                  got.existentially_live, got.universally_live,
+                  example.description.c_str());
+    }
+
+    const auto is_binary = [](const trees::KTree& t) {
+      const auto reach = t.reachable();
+      for (int v = 0; v < t.num_nodes(); ++v) {
+        if (reach[v] && t.children(v).size() != 2) return false;
+      }
+      return true;
+    };
+    trees::CtlArena ctl(words::Alphabet::binary());
+    const rabin::RabinTreeAutomaton q3a =
+        rabin::from_ctl(ctl, *ctl.parse("a & AF !a"), 2);
+    const rabin::RabinTreeAutomaton closure = rabin::rfcl(q3a);
+    const rabin::RabinTreeAutomaton q1 = rabin::from_ctl(ctl, *ctl.parse("a"), 2);
+    bool matches = true;
+    for (const trees::KTree& t : corpus) {
+      if (!is_binary(t)) continue;  // k = 2 automata
+      if (closure.accepts(t) != q1.accepts(t)) matches = false;
+    }
+    std::printf("\n§4.3's closure identity with machine-generated automata:\n"
+                "  rfcl(from_ctl(q3a)) = from_ctl(q1) on the binary corpus: %s\n",
+                matches ? "yes" : "NO");
+
+    const rabin::RabinDecomposition d = rabin::decompose(q3a);
+    std::printf("Theorem 9 on from_ctl(q3a): safety part %d states; decomposition\n"
+                "identity holds on the corpus: ",
+                d.safety.num_states());
+    bool identity = true;
+    for (const trees::KTree& t : corpus) {
+      if (!is_binary(t)) continue;
+      if (q3a.accepts(t) != (d.safety.accepts(t) && d.liveness_contains(t))) {
+        identity = false;
+      }
+    }
+    std::printf("%s\n", identity ? "yes" : "NO");
+  }
+
+  std::printf("\n(Every claim printed above is also enforced by the test suite; the\n"
+              " bench binaries regenerate the full tables with timings.)\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: the library in one file.
+//
+// Parse an LTL specification, translate it to a Büchi automaton, classify
+// it (safety / liveness / neither), decompose it into its safety and
+// liveness parts (Theorem 2 on the lattice of ω-regular languages), and
+// check some words against all three automata.
+//
+//   $ ./quickstart            # uses the default spec "a & F !a" (Rem's p3)
+//   $ ./quickstart "G (a -> F b)"
+#include <cstdio>
+#include <string>
+
+#include "buchi/safety.hpp"
+#include "ltl/eval.hpp"
+#include "ltl/translate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace slat;
+
+  const std::string spec_text = argc > 1 ? argv[1] : "a & F !a";
+  ltl::LtlArena arena(words::Alphabet::binary());
+
+  ltl::LtlArena::ParseError error{"", 0};
+  const auto spec = arena.parse(spec_text, &error);
+  if (!spec) {
+    std::fprintf(stderr, "parse error at offset %zu: %s\n", error.position,
+                 error.message.c_str());
+    return 1;
+  }
+  std::printf("specification: %s\n", arena.to_string(*spec).c_str());
+
+  // 1. LTL -> Büchi.
+  ltl::TranslationStats stats;
+  const buchi::Nba nba = ltl::to_nba(arena, *spec, &stats);
+  std::printf("Büchi automaton: %d states, %d transitions (tableau: %d nodes)\n",
+              stats.nba_states, stats.nba_transitions, stats.tableau_nodes);
+
+  // 2. Classification per Alpern–Schneider / the paper's §2.
+  std::printf("classification: %s\n", buchi::to_string(buchi::classify(nba)));
+
+  // 3. Decomposition: spec = safety ∩ liveness.
+  const buchi::BuchiDecomposition parts = buchi::decompose(nba);
+  std::printf("decomposition: safety part %d states, liveness part %d states\n",
+              parts.safety.num_states(), parts.liveness.num_states());
+
+  // 4. Evaluate a few words against the pieces.
+  std::printf("\n%-12s %6s %8s %10s %14s\n", "word", "spec", "safety", "liveness",
+              "safety∧live");
+  for (const auto& w : {words::UpWord::constant(0), words::UpWord::constant(1),
+                        words::UpWord({0}, {1}), words::UpWord({}, {0, 1}),
+                        words::UpWord({1, 0}, {0})}) {
+    const bool in_spec = nba.accepts(w);
+    const bool in_safety = parts.safety.accepts(w);
+    const bool in_live = parts.liveness.accepts(w);
+    std::printf("%-12s %6s %8s %10s %14s%s\n", w.to_string(arena.alphabet()).c_str(),
+                in_spec ? "yes" : "no", in_safety ? "yes" : "no",
+                in_live ? "yes" : "no", (in_safety && in_live) ? "yes" : "no",
+                in_spec == (in_safety && in_live) ? "" : "   <-- BUG");
+    // The evaluator agrees with the automaton (differential sanity).
+    if (ltl::holds(arena, *spec, w) != in_spec) {
+      std::printf("  !! evaluator and automaton disagree\n");
+      return 1;
+    }
+  }
+  std::printf("\nThe safety column equals lcl(spec); the decomposition identity\n"
+              "spec = safety ∩ liveness holds on every word (Theorem 1 / Theorem 2).\n");
+  return 0;
+}

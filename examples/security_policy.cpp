@@ -1,0 +1,65 @@
+// Enforceable security policies (paper §1, citing Schneider): an execution
+// monitor can enforce exactly the SAFETY properties, and the enforcement
+// automaton is the deterministic safety closure of the policy.
+//
+// Scenario: a process may read private data and may send on the network,
+// but once it has read, it must never send ("no exfiltration"). A second,
+// desirable-but-unenforceable policy says every read is eventually followed
+// by an audit — a liveness property no runtime monitor can refute.
+//
+//   $ ./security_policy
+#include <cstdio>
+#include <vector>
+
+#include "monitor/monitor.hpp"
+
+int main() {
+  using namespace slat;
+  using monitor::SafetyMonitor;
+
+  // Events of the system.
+  words::Alphabet alphabet({"read", "send", "audit", "other"});
+  ltl::LtlArena arena(alphabet);
+
+  // Policy 1 (safety): G (read -> G !send) — after any read, never send.
+  const auto no_exfiltration = *arena.parse("G (read -> G !send)");
+  SafetyMonitor exfiltration_monitor = SafetyMonitor::from_ltl(arena, no_exfiltration);
+  std::printf("policy 1: %s\n", arena.to_string(no_exfiltration).c_str());
+  std::printf("  enforceable (non-vacuous safety monitor): %s\n",
+              exfiltration_monitor.is_vacuous() ? "no" : "yes");
+  std::printf("  monitor automaton: %d states\n\n",
+              exfiltration_monitor.automaton().num_states());
+
+  // Policy 2 (liveness): G (read -> F audit) — every read is audited.
+  const auto audited = *arena.parse("G (read -> F audit)");
+  SafetyMonitor audit_monitor = SafetyMonitor::from_ltl(arena, audited);
+  std::printf("policy 2: %s\n", arena.to_string(audited).c_str());
+  std::printf("  enforceable: %s — Schneider's theorem: execution monitoring\n"
+              "  can enforce only safety; this policy's safety closure is trivial.\n\n",
+              audit_monitor.is_vacuous() ? "no (pure liveness)" : "yes");
+
+  // Run traces through the enforcement monitor (truncation semantics:
+  // execution stops at the offending event).
+  const auto sym = [&](const char* name) { return *alphabet.index_of(name); };
+  const std::vector<std::pair<const char*, words::Word>> traces = {
+      {"other send read audit", {sym("other"), sym("send"), sym("read"), sym("audit")}},
+      {"read other send", {sym("read"), sym("other"), sym("send")}},
+      {"send send read read", {sym("send"), sym("send"), sym("read"), sym("read")}},
+      {"read audit send", {sym("read"), sym("audit"), sym("send")}},
+  };
+  std::printf("enforcement runs (policy 1):\n");
+  for (const auto& [label, trace] : traces) {
+    const auto truncated_at = exfiltration_monitor.run(trace);
+    if (truncated_at) {
+      std::printf("  [%-22s] TRUNCATED at event %zu (the '%s' would violate)\n",
+                  label, *truncated_at, alphabet.name(trace[*truncated_at]).c_str());
+    } else {
+      std::printf("  [%-22s] allowed in full\n", label);
+    }
+  }
+
+  std::printf("\nThe monitor is exactly the Büchi automaton for lcl(policy): a\n"
+              "security automaton in Schneider's sense, obtained here by the\n"
+              "paper's closure construction.\n");
+  return 0;
+}

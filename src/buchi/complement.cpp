@@ -1,0 +1,139 @@
+#include "buchi/complement.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace slat::buchi {
+
+namespace {
+
+// A complement state: ranking over the input's states (-1 = state absent
+// from the current level) plus the obligation set O (as a bool per state,
+// only meaningful where the ranking is present).
+struct RankState {
+  std::vector<int> rank;
+  std::vector<bool> obligation;
+
+  bool operator<(const RankState& other) const {
+    if (rank != other.rank) return rank < other.rank;
+    return obligation < other.obligation;
+  }
+};
+
+}  // namespace
+
+Nba complement(const Nba& nba) {
+  // Reduce first (bisimulation quotient + trim: fewer states and a larger
+  // accepting fraction shrink the rank bound), then use the tight bound
+  // 2(n − |F|): odd ranks are only ever needed on non-accepting states, and
+  // at most n − |F| distinct odd ranks can appear in a run DAG.
+  const Nba reduced = nba.reduce();
+  if (reduced.is_empty() && reduced.num_transitions() == 0) {
+    return Nba::universal(nba.alphabet());
+  }
+  return complement(reduced, 2 * (reduced.num_states() - reduced.num_accepting()));
+}
+
+Nba complement(const Nba& nba, int max_rank) {
+  SLAT_ASSERT(max_rank >= 0);
+  const int n = nba.num_states();
+  const int sigma = nba.alphabet().size();
+
+  std::map<RankState, State> intern;
+  std::vector<RankState> states;
+  // Transitions collected as (from, symbol, to); the Nba is assembled at the
+  // end once the state count is known.
+  std::vector<std::tuple<State, Sym, State>> transitions;
+
+  const auto intern_state = [&](const RankState& rs) {
+    auto it = intern.find(rs);
+    if (it == intern.end()) {
+      it = intern.emplace(rs, static_cast<State>(states.size())).first;
+      states.push_back(rs);
+    }
+    return it->second;
+  };
+
+  // Initial state: the input's initial state at the maximal rank, O = ∅.
+  RankState init{std::vector<int>(n, -1), std::vector<bool>(n, false)};
+  // Accepting input states may only carry even ranks.
+  const int init_rank =
+      nba.is_accepting(nba.initial()) && max_rank % 2 == 1 ? max_rank - 1 : max_rank;
+  init.rank[nba.initial()] = init_rank;
+  const State initial_id = intern_state(init);
+
+  for (std::size_t work = 0; work < states.size(); ++work) {
+    const RankState current = states[work];  // copy: `states` grows below
+    const State current_id = static_cast<State>(work);
+
+    for (Sym s = 0; s < sigma; ++s) {
+      // The successor subset, and for each successor the cap on its rank:
+      // min over predecessors' ranks (ranks may not increase along runs).
+      std::vector<int> cap(n, -1);
+      for (State q = 0; q < n; ++q) {
+        if (current.rank[q] < 0) continue;
+        for (State succ : nba.successors(q, s)) {
+          cap[succ] = cap[succ] < 0 ? current.rank[q] : std::min(cap[succ], current.rank[q]);
+        }
+      }
+      std::vector<State> members;
+      for (State q = 0; q < n; ++q) {
+        if (cap[q] >= 0) members.push_back(q);
+      }
+      const bool obligation_active =
+          std::find(current.obligation.begin(), current.obligation.end(), true) !=
+          current.obligation.end();
+      // Which successors inherit an obligation (before the even-rank filter):
+      // O-successors if O ≠ ∅, otherwise everyone (O resets to all evens).
+      std::vector<bool> inherits(n, false);
+      if (obligation_active) {
+        for (State q = 0; q < n; ++q) {
+          if (current.rank[q] < 0 || !current.obligation[q]) continue;
+          for (State succ : nba.successors(q, s)) inherits[succ] = true;
+        }
+      } else {
+        for (State q : members) inherits[q] = true;
+      }
+
+      // Enumerate every legal ranking of the successor subset.
+      std::vector<int> chosen(members.size(), 0);
+      const std::function<void(std::size_t)> recurse = [&](std::size_t idx) {
+        if (idx == members.size()) {
+          RankState next{std::vector<int>(n, -1), std::vector<bool>(n, false)};
+          for (std::size_t i = 0; i < members.size(); ++i) {
+            next.rank[members[i]] = chosen[i];
+          }
+          for (State q : members) {
+            next.obligation[q] = inherits[q] && next.rank[q] % 2 == 0;
+          }
+          transitions.emplace_back(current_id, s, intern_state(next));
+          return;
+        }
+        const State q = members[idx];
+        for (int r = 0; r <= cap[q]; ++r) {
+          if (nba.is_accepting(q) && r % 2 == 1) continue;
+          chosen[idx] = r;
+          recurse(idx + 1);
+        }
+      };
+      recurse(0);
+    }
+  }
+
+  Nba out(nba.alphabet(), static_cast<int>(states.size()), initial_id);
+  for (State id = 0; id < out.num_states(); ++id) {
+    const auto& rs = states[id];
+    const bool has_obligation =
+        std::find(rs.obligation.begin(), rs.obligation.end(), true) != rs.obligation.end();
+    out.set_accepting(id, !has_obligation);
+  }
+  for (const auto& [from, s, to] : transitions) out.add_transition(from, s, to);
+  return out;
+}
+
+}  // namespace slat::buchi

@@ -1,0 +1,27 @@
+// Full Büchi complementation via the Kupferman–Vardi rank-based
+// construction.
+//
+// The paper leans on "Büchi automata are closed under complementation" to
+// make the definable languages a Boolean algebra (the lattice that breaks
+// Gumm's ⋁-completeness requirement). This module supplies that closure
+// property constructively. States of the complement are pairs (f, O): a
+// level ranking f over the current subset (even ranks may still be
+// accepting-bound, odd ranks are "safe"; accepting states of the input may
+// only get even ranks) and the obligation set O of states whose descent to
+// odd ranks is still owed. Acceptance: O empties infinitely often.
+//
+// Worst-case state count is 2^O(n log n); intended for the small automata
+// in the tests/benches (a bench measures the actual blowup).
+#pragma once
+
+#include "buchi/nba.hpp"
+
+namespace slat::buchi {
+
+/// L(result) = Σ^ω \ L(nba). `max_rank` overrides the default rank bound
+/// 2·n (useful only for experiments; values below the safe bound can
+/// under-approximate the complement and are rejected by tests).
+Nba complement(const Nba& nba);
+Nba complement(const Nba& nba, int max_rank);
+
+}  // namespace slat::buchi

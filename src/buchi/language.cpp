@@ -1,0 +1,27 @@
+#include "buchi/language.hpp"
+
+#include "buchi/complement.hpp"
+
+namespace slat::buchi {
+
+bool is_subset(const Nba& lhs, const Nba& rhs) {
+  return intersect(lhs, complement(rhs)).is_empty();
+}
+
+bool is_equivalent(const Nba& lhs, const Nba& rhs) {
+  return is_subset(lhs, rhs) && is_subset(rhs, lhs);
+}
+
+std::optional<UpWord> find_separating_word(const Nba& lhs, const Nba& rhs) {
+  return intersect(lhs, complement(rhs)).find_accepted_word();
+}
+
+std::optional<UpWord> find_disagreement(const Nba& lhs, const Nba& rhs,
+                                        const std::vector<UpWord>& corpus) {
+  for (const UpWord& w : corpus) {
+    if (lhs.accepts(w) != rhs.accepts(w)) return w;
+  }
+  return std::nullopt;
+}
+
+}  // namespace slat::buchi

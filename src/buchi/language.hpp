@@ -1,0 +1,30 @@
+// Language-level comparisons between Büchi automata.
+//
+// Exact comparisons go through complementation (exponential, fine for small
+// automata). Sampled comparisons evaluate both automata on a corpus of
+// ultimately periodic words — sound for refutation, and complete in the
+// limit (two ω-regular languages agreeing on every UP-word are equal).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "buchi/nba.hpp"
+
+namespace slat::buchi {
+
+/// Exact: L(lhs) ⊆ L(rhs)? Decided as lhs ∩ ¬rhs = ∅.
+bool is_subset(const Nba& lhs, const Nba& rhs);
+
+/// Exact: L(lhs) = L(rhs)?
+bool is_equivalent(const Nba& lhs, const Nba& rhs);
+
+/// Exact: a word in L(lhs) \ L(rhs), if any.
+std::optional<UpWord> find_separating_word(const Nba& lhs, const Nba& rhs);
+
+/// Sampled: do the automata agree on every word of the corpus? Returns a
+/// disagreeing word if any.
+std::optional<UpWord> find_disagreement(const Nba& lhs, const Nba& rhs,
+                                        const std::vector<UpWord>& corpus);
+
+}  // namespace slat::buchi

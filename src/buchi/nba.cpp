@@ -1,0 +1,559 @@
+#include "buchi/nba.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace slat::buchi {
+
+Nba::Nba(Alphabet alphabet, int num_states, State initial)
+    : alphabet_(std::move(alphabet)), initial_(initial) {
+  SLAT_ASSERT(num_states >= 1);
+  SLAT_ASSERT(initial >= 0 && initial < num_states);
+  accepting_.assign(num_states, false);
+  delta_.assign(num_states, std::vector<std::vector<State>>(alphabet_.size()));
+}
+
+Nba Nba::empty_language(Alphabet alphabet) {
+  return Nba(std::move(alphabet), 1, 0);  // one dead, non-accepting state
+}
+
+Nba Nba::universal(Alphabet alphabet) {
+  Nba nba(std::move(alphabet), 1, 0);
+  nba.set_accepting(0, true);
+  for (Sym s = 0; s < nba.alphabet().size(); ++s) nba.add_transition(0, s, 0);
+  return nba;
+}
+
+void Nba::set_accepting(State q, bool accepting) {
+  SLAT_ASSERT(q >= 0 && q < num_states());
+  accepting_[q] = accepting;
+}
+
+std::vector<State> Nba::accepting_states() const {
+  std::vector<State> out;
+  for (State q = 0; q < num_states(); ++q) {
+    if (accepting_[q]) out.push_back(q);
+  }
+  return out;
+}
+
+int Nba::num_accepting() const {
+  return static_cast<int>(std::count(accepting_.begin(), accepting_.end(), true));
+}
+
+void Nba::add_transition(State from, Sym symbol, State to) {
+  SLAT_ASSERT(from >= 0 && from < num_states());
+  SLAT_ASSERT(to >= 0 && to < num_states());
+  SLAT_ASSERT(symbol >= 0 && symbol < alphabet_.size());
+  auto& succ = delta_[from][symbol];
+  if (std::find(succ.begin(), succ.end(), to) == succ.end()) succ.push_back(to);
+}
+
+const std::vector<State>& Nba::successors(State q, Sym symbol) const {
+  SLAT_ASSERT(q >= 0 && q < num_states());
+  SLAT_ASSERT(symbol >= 0 && symbol < alphabet_.size());
+  return delta_[q][symbol];
+}
+
+int Nba::num_transitions() const {
+  int count = 0;
+  for (const auto& per_state : delta_) {
+    for (const auto& succ : per_state) count += static_cast<int>(succ.size());
+  }
+  return count;
+}
+
+State Nba::add_state() {
+  accepting_.push_back(false);
+  delta_.emplace_back(alphabet_.size());
+  return num_states() - 1;
+}
+
+std::vector<bool> Nba::reachable_states() const {
+  std::vector<bool> seen(num_states(), false);
+  std::deque<State> queue{initial_};
+  seen[initial_] = true;
+  while (!queue.empty()) {
+    const State q = queue.front();
+    queue.pop_front();
+    for (Sym s = 0; s < alphabet_.size(); ++s) {
+      for (State next : delta_[q][s]) {
+        if (!seen[next]) {
+          seen[next] = true;
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+  return seen;
+}
+
+namespace detail {
+
+SccResult strongly_connected_components(
+    int num_nodes,
+    const std::function<void(int, const std::function<void(int)>&)>& for_each_succ) {
+  // Iterative Tarjan: product graphs can have tens of thousands of nodes,
+  // which would overflow the stack with the recursive formulation.
+  SccResult result;
+  result.component.assign(num_nodes, -1);
+  std::vector<int> index(num_nodes, -1), lowlink(num_nodes, 0);
+  std::vector<bool> on_stack(num_nodes, false);
+  std::vector<int> stack;
+  int next_index = 0;
+
+  struct Frame {
+    int node;
+    std::vector<int> succs;
+    std::size_t next_succ = 0;
+  };
+
+  for (int root = 0; root < num_nodes; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames;
+    auto push_node = [&](int node) {
+      index[node] = lowlink[node] = next_index++;
+      stack.push_back(node);
+      on_stack[node] = true;
+      Frame frame{node, {}, 0};
+      for_each_succ(node, [&](int succ) { frame.succs.push_back(succ); });
+      frames.push_back(std::move(frame));
+    };
+    push_node(root);
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.next_succ < frame.succs.size()) {
+        const int succ = frame.succs[frame.next_succ++];
+        if (index[succ] == -1) {
+          push_node(succ);
+        } else if (on_stack[succ]) {
+          lowlink[frame.node] = std::min(lowlink[frame.node], index[succ]);
+        }
+      } else {
+        const int node = frame.node;
+        if (lowlink[node] == index[node]) {
+          while (true) {
+            const int member = stack.back();
+            stack.pop_back();
+            on_stack[member] = false;
+            result.component[member] = result.num_components;
+            if (member == node) break;
+          }
+          ++result.num_components;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          Frame& parent = frames.back();
+          lowlink[parent.node] = std::min(lowlink[parent.node], lowlink[node]);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace detail
+
+namespace {
+
+// States lying on an accepting cycle: accepting states whose SCC is
+// non-trivial, or which carry a self-loop.
+std::vector<bool> accepting_cycle_states(const Nba& nba) {
+  const int n = nba.num_states();
+  const auto scc = detail::strongly_connected_components(n, [&](int q, const std::function<void(int)>& visit) {
+    for (Sym s = 0; s < nba.alphabet().size(); ++s) {
+      for (State next : nba.successors(q, s)) visit(next);
+    }
+  });
+  std::vector<int> scc_size(scc.num_components, 0);
+  for (int q = 0; q < n; ++q) ++scc_size[scc.component[q]];
+  std::vector<bool> on_cycle(n, false);
+  for (int q = 0; q < n; ++q) {
+    if (!nba.is_accepting(q)) continue;
+    bool self_loop = false;
+    for (Sym s = 0; s < nba.alphabet().size() && !self_loop; ++s) {
+      const auto& succ = nba.successors(q, s);
+      self_loop = std::find(succ.begin(), succ.end(), q) != succ.end();
+    }
+    if (self_loop) {
+      on_cycle[q] = true;
+      continue;
+    }
+    // Non-trivial SCC: some other member, or any cycle through q. Two
+    // members suffice; a singleton SCC without self-loop is acyclic.
+    if (scc_size[scc.component[q]] >= 2) on_cycle[q] = true;
+  }
+  return on_cycle;
+}
+
+}  // namespace
+
+std::vector<bool> Nba::states_with_nonempty_language() const {
+  // q has non-empty residual language iff q can reach a state on an
+  // accepting cycle. Backward BFS from those states.
+  const auto targets = accepting_cycle_states(*this);
+  const int n = num_states();
+  std::vector<std::vector<State>> predecessors(n);
+  for (State q = 0; q < n; ++q) {
+    for (Sym s = 0; s < alphabet_.size(); ++s) {
+      for (State next : delta_[q][s]) predecessors[next].push_back(q);
+    }
+  }
+  std::vector<bool> nonempty(n, false);
+  std::deque<State> queue;
+  for (State q = 0; q < n; ++q) {
+    if (targets[q]) {
+      nonempty[q] = true;
+      queue.push_back(q);
+    }
+  }
+  while (!queue.empty()) {
+    const State q = queue.front();
+    queue.pop_front();
+    for (State pred : predecessors[q]) {
+      if (!nonempty[pred]) {
+        nonempty[pred] = true;
+        queue.push_back(pred);
+      }
+    }
+  }
+  return nonempty;
+}
+
+Nba Nba::restrict_to(const std::vector<bool>& keep) const {
+  SLAT_ASSERT(static_cast<int>(keep.size()) == num_states());
+  if (!keep[initial_]) return empty_language(alphabet_);
+  std::vector<State> remap(num_states(), -1);
+  int next_id = 0;
+  for (State q = 0; q < num_states(); ++q) {
+    if (keep[q]) remap[q] = next_id++;
+  }
+  Nba out(alphabet_, std::max(next_id, 1), remap[initial_]);
+  for (State q = 0; q < num_states(); ++q) {
+    if (!keep[q]) continue;
+    out.set_accepting(remap[q], accepting_[q]);
+    for (Sym s = 0; s < alphabet_.size(); ++s) {
+      for (State next : delta_[q][s]) {
+        if (keep[next]) out.add_transition(remap[q], s, remap[next]);
+      }
+    }
+  }
+  return out;
+}
+
+Nba Nba::trim() const {
+  const auto reachable = reachable_states();
+  const auto nonempty = states_with_nonempty_language();
+  std::vector<bool> keep(num_states());
+  for (State q = 0; q < num_states(); ++q) keep[q] = reachable[q] && nonempty[q];
+  return restrict_to(keep);
+}
+
+Nba Nba::reduce() const {
+  const Nba trimmed = trim();
+  const int n = trimmed.num_states();
+  // Partition refinement: class signature = (accepting, per-symbol sorted
+  // set of successor classes); iterate until stable.
+  std::vector<int> cls(n);
+  for (State q = 0; q < n; ++q) cls[q] = trimmed.is_accepting(q) ? 1 : 0;
+  while (true) {
+    std::map<std::vector<int>, int> signature_to_class;
+    std::vector<int> next_cls(n);
+    for (State q = 0; q < n; ++q) {
+      std::vector<int> signature{cls[q]};
+      for (Sym s = 0; s < alphabet_.size(); ++s) {
+        std::vector<int> succ_classes;
+        for (State to : trimmed.successors(q, s)) succ_classes.push_back(cls[to]);
+        std::sort(succ_classes.begin(), succ_classes.end());
+        succ_classes.erase(std::unique(succ_classes.begin(), succ_classes.end()),
+                           succ_classes.end());
+        signature.push_back(-1);  // separator between symbols
+        signature.insert(signature.end(), succ_classes.begin(), succ_classes.end());
+      }
+      next_cls[q] = signature_to_class
+                        .emplace(std::move(signature),
+                                 static_cast<int>(signature_to_class.size()))
+                        .first->second;
+    }
+    const bool stable =
+        static_cast<int>(signature_to_class.size()) ==
+        1 + *std::max_element(cls.begin(), cls.end());
+    cls = std::move(next_cls);
+    if (stable) break;
+  }
+  const int num_classes = 1 + *std::max_element(cls.begin(), cls.end());
+  if (num_classes == n) return trimmed;
+  Nba out(alphabet_, num_classes, cls[trimmed.initial()]);
+  for (State q = 0; q < n; ++q) {
+    out.set_accepting(cls[q], trimmed.is_accepting(q));
+    for (Sym s = 0; s < alphabet_.size(); ++s) {
+      for (State to : trimmed.successors(q, s)) out.add_transition(cls[q], s, cls[to]);
+    }
+  }
+  return out;
+}
+
+bool Nba::is_empty() const {
+  const auto reachable = reachable_states();
+  const auto on_cycle = accepting_cycle_states(*this);
+  for (State q = 0; q < num_states(); ++q) {
+    if (reachable[q] && on_cycle[q]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// BFS shortest word labeling a path from `from` to `to`. With `force_step`
+// the path must have at least one transition (used to find cycles at a
+// state). Reconstruction walks parent pointers; seeds (one-step successors
+// of `from`) carry parent -1 so the walk terminates even when from == to.
+std::optional<Word> shortest_word(const Nba& nba, State from, State to, bool force_step) {
+  if (!force_step && from == to) return Word{};
+  const int n = nba.num_states();
+  std::vector<int> parent(n, -2);     // -2 = unvisited, -1 = seed
+  std::vector<Sym> parent_sym(n, -1);
+  std::deque<State> queue;
+  const auto reconstruct = [&](State last) {
+    Word word;
+    for (State cur = last; cur != -1; cur = parent[cur]) {
+      word.push_back(parent_sym[cur]);
+      if (parent[cur] == -1) break;
+    }
+    std::reverse(word.begin(), word.end());
+    return word;
+  };
+  for (Sym s = 0; s < nba.alphabet().size(); ++s) {
+    for (State next : nba.successors(from, s)) {
+      if (next == to) {
+        return Word{s};
+      }
+      if (parent[next] == -2) {
+        parent[next] = -1;
+        parent_sym[next] = s;
+        queue.push_back(next);
+      }
+    }
+  }
+  while (!queue.empty()) {
+    const State q = queue.front();
+    queue.pop_front();
+    for (Sym s = 0; s < nba.alphabet().size(); ++s) {
+      for (State next : nba.successors(q, s)) {
+        if (next == to) {
+          Word word = reconstruct(q);
+          word.push_back(s);
+          return word;
+        }
+        if (parent[next] != -2) continue;
+        parent[next] = q;
+        parent_sym[next] = s;
+        queue.push_back(next);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<UpWord> Nba::find_accepted_word() const {
+  const auto reachable = reachable_states();
+  const auto on_cycle = accepting_cycle_states(*this);
+  for (State q = 0; q < num_states(); ++q) {
+    if (!(reachable[q] && on_cycle[q])) continue;
+    auto stem = shortest_word(*this, initial_, q, /*force_step=*/false);
+    auto loop = shortest_word(*this, q, q, /*force_step=*/true);
+    if (stem && loop && !loop->empty()) return UpWord(*stem, *loop);
+  }
+  return std::nullopt;
+}
+
+bool Nba::accepts(const UpWord& w) const {
+  // Product of the automaton with the lasso shape of w: positions
+  // 0..p+k-1, where position p+k-1 steps back to p.
+  const int p = static_cast<int>(w.prefix_size());
+  const int k = static_cast<int>(w.period_size());
+  const int positions = p + k;
+  const int n = num_states();
+  const int num_nodes = n * positions;
+  const auto node = [&](State q, int pos) { return q * positions + pos; };
+  const auto next_pos = [&](int pos) { return pos + 1 < positions ? pos + 1 : p; };
+
+  const auto for_each_succ = [&](int id, const std::function<void(int)>& visit) {
+    const State q = id / positions;
+    const int pos = id % positions;
+    const Sym s = w.at(pos);
+    for (State nxt : delta_[q][s]) visit(node(nxt, next_pos(pos)));
+  };
+
+  // Reachability from (initial, 0).
+  std::vector<bool> seen(num_nodes, false);
+  std::deque<int> queue{node(initial_, 0)};
+  seen[node(initial_, 0)] = true;
+  while (!queue.empty()) {
+    const int id = queue.front();
+    queue.pop_front();
+    for_each_succ(id, [&](int nxt) {
+      if (!seen[nxt]) {
+        seen[nxt] = true;
+        queue.push_back(nxt);
+      }
+    });
+  }
+
+  const auto scc = detail::strongly_connected_components(num_nodes, for_each_succ);
+  std::vector<int> scc_size(scc.num_components, 0);
+  for (int id = 0; id < num_nodes; ++id) ++scc_size[scc.component[id]];
+
+  for (int id = 0; id < num_nodes; ++id) {
+    if (!seen[id]) continue;
+    const State q = id / positions;
+    if (!accepting_[q]) continue;
+    if (scc_size[scc.component[id]] >= 2) return true;
+    // Singleton SCC: accepting only with a self-loop edge.
+    bool self_loop = false;
+    for_each_succ(id, [&](int nxt) { self_loop = self_loop || nxt == id; });
+    if (self_loop) return true;
+  }
+  return false;
+}
+
+bool Nba::has_run_on_prefix(const Word& u) const {
+  std::vector<bool> current(num_states(), false);
+  current[initial_] = true;
+  for (Sym s : u) {
+    std::vector<bool> next(num_states(), false);
+    bool any = false;
+    for (State q = 0; q < num_states(); ++q) {
+      if (!current[q]) continue;
+      for (State nxt : delta_[q][s]) {
+        next[nxt] = true;
+        any = true;
+      }
+    }
+    if (!any) return false;
+    current = std::move(next);
+  }
+  return true;
+}
+
+std::string Nba::to_string() const {
+  std::ostringstream out;
+  out << "NBA: " << num_states() << " states, initial " << initial_ << ", accepting {";
+  bool first = true;
+  for (State q : accepting_states()) {
+    if (!first) out << ", ";
+    out << q;
+    first = false;
+  }
+  out << "}\n";
+  for (State q = 0; q < num_states(); ++q) {
+    for (Sym s = 0; s < alphabet_.size(); ++s) {
+      for (State next : delta_[q][s]) {
+        out << "  " << q << " --" << alphabet_.name(s) << "--> " << next << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+bool all_states_accepting(const Nba& nba) {
+  return nba.num_accepting() == nba.num_states();
+}
+
+}  // namespace
+
+Nba intersect(const Nba& lhs, const Nba& rhs) {
+  SLAT_ASSERT_MSG(lhs.alphabet() == rhs.alphabet(),
+                  "intersection requires a common alphabet");
+  // Fast path: if both operands are all-accepting (safety-closure shape),
+  // acceptance is just run existence and the plain product suffices — and
+  // stays all-accepting, which keeps downstream complementation cheap.
+  if (all_states_accepting(lhs) && all_states_accepting(rhs)) {
+    const int n2 = rhs.num_states();
+    Nba out(lhs.alphabet(), lhs.num_states() * n2,
+            lhs.initial() * n2 + rhs.initial());
+    for (State q1 = 0; q1 < lhs.num_states(); ++q1) {
+      for (State q2 = 0; q2 < n2; ++q2) {
+        out.set_accepting(q1 * n2 + q2, true);
+        for (Sym s = 0; s < lhs.alphabet().size(); ++s) {
+          for (State t1 : lhs.successors(q1, s)) {
+            for (State t2 : rhs.successors(q2, s)) {
+              out.add_transition(q1 * n2 + q2, s, t1 * n2 + t2);
+            }
+          }
+        }
+      }
+    }
+    return out;
+  }
+  // Degeneralized product with a 2-valued counter: counter 0 waits for an
+  // accepting state of lhs, counter 1 for one of rhs. Accepting product
+  // states are (q1, q2, 0) with q1 ∈ F1 (each full 0→1→0 counter cycle
+  // passes one, so they recur iff both F1 and F2 recur).
+  const int n1 = lhs.num_states();
+  const int n2 = rhs.num_states();
+  const auto id = [&](State q1, State q2, int counter) {
+    return (q1 * n2 + q2) * 2 + counter;
+  };
+  Nba out(lhs.alphabet(), n1 * n2 * 2, id(lhs.initial(), rhs.initial(), 0));
+  for (State q1 = 0; q1 < n1; ++q1) {
+    for (State q2 = 0; q2 < n2; ++q2) {
+      for (int counter = 0; counter < 2; ++counter) {
+        const int from = id(q1, q2, counter);
+        if (counter == 0 && lhs.is_accepting(q1)) out.set_accepting(from, true);
+        int next_counter = counter;
+        if (counter == 0 && lhs.is_accepting(q1)) next_counter = 1;
+        if (counter == 1 && rhs.is_accepting(q2)) next_counter = 0;
+        for (Sym s = 0; s < lhs.alphabet().size(); ++s) {
+          for (State t1 : lhs.successors(q1, s)) {
+            for (State t2 : rhs.successors(q2, s)) {
+              out.add_transition(from, s, id(t1, t2, next_counter));
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Nba unite(const Nba& lhs, const Nba& rhs) {
+  SLAT_ASSERT_MSG(lhs.alphabet() == rhs.alphabet(), "union requires a common alphabet");
+  // Disjoint union plus a fresh initial state duplicating both old initial
+  // states' outgoing transitions.
+  const int n1 = lhs.num_states();
+  const int n2 = rhs.num_states();
+  Nba out(lhs.alphabet(), n1 + n2 + 1, n1 + n2);
+  for (State q = 0; q < n1; ++q) {
+    out.set_accepting(q, lhs.is_accepting(q));
+    for (Sym s = 0; s < lhs.alphabet().size(); ++s) {
+      for (State next : lhs.successors(q, s)) out.add_transition(q, s, next);
+    }
+  }
+  for (State q = 0; q < n2; ++q) {
+    out.set_accepting(n1 + q, rhs.is_accepting(q));
+    for (Sym s = 0; s < rhs.alphabet().size(); ++s) {
+      for (State next : rhs.successors(q, s)) out.add_transition(n1 + q, s, n1 + next);
+    }
+  }
+  const State fresh = n1 + n2;
+  for (Sym s = 0; s < lhs.alphabet().size(); ++s) {
+    for (State next : lhs.successors(lhs.initial(), s)) out.add_transition(fresh, s, next);
+    for (State next : rhs.successors(rhs.initial(), s))
+      out.add_transition(fresh, s, n1 + next);
+  }
+  // If either initial state could be revisited and was accepting, acceptance
+  // is unaffected: Büchi acceptance only depends on states seen infinitely
+  // often, and `fresh` is visited exactly once.
+  return out;
+}
+
+}  // namespace slat::buchi

@@ -1,0 +1,126 @@
+// Nondeterministic Büchi automata over ω-words (paper Section 2.4).
+//
+// States are dense indices; the transition relation is a per-state,
+// per-symbol successor list. All algorithms that the paper's results need
+// live in this module and its siblings:
+//   * emptiness / membership / witness extraction   (nba.hpp)
+//   * intersection, union                           (nba.hpp)
+//   * the safety closure `lcl` and everything built on it (safety.hpp)
+//   * full rank-based complementation               (complement.hpp)
+//   * language-level predicates and comparisons     (language.hpp)
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "words/alphabet.hpp"
+#include "words/up_word.hpp"
+
+namespace slat::buchi {
+
+using words::Alphabet;
+using words::Sym;
+using words::UpWord;
+using words::Word;
+
+/// State index within an Nba.
+using State = int;
+
+/// A nondeterministic Büchi automaton (Σ, Q, q0, δ, F). Invariants: the
+/// initial state exists; every transition endpoint exists; every symbol is
+/// in range. The automaton may have unreachable states or dead ends — the
+/// algorithms cope, and `trim`-style helpers remove them.
+class Nba {
+ public:
+  Nba(Alphabet alphabet, int num_states, State initial);
+
+  /// An automaton with a single non-accepting dead state: L = ∅.
+  static Nba empty_language(Alphabet alphabet);
+  /// A single accepting state with self-loops on every symbol: L = Σ^ω.
+  static Nba universal(Alphabet alphabet);
+
+  int num_states() const { return static_cast<int>(accepting_.size()); }
+  const Alphabet& alphabet() const { return alphabet_; }
+  State initial() const { return initial_; }
+
+  bool is_accepting(State q) const { return accepting_[q]; }
+  void set_accepting(State q, bool accepting);
+  std::vector<State> accepting_states() const;
+  int num_accepting() const;
+
+  void add_transition(State from, Sym symbol, State to);
+  const std::vector<State>& successors(State q, Sym symbol) const;
+  int num_transitions() const;
+
+  /// Appends a fresh (non-accepting, transitionless) state; returns its id.
+  State add_state();
+
+  /// States reachable from the initial state.
+  std::vector<bool> reachable_states() const;
+
+  /// For each state q: is L(B with initial q) non-empty? I.e. can q reach an
+  /// accepting cycle. This is the paper's "remove states that cannot reach
+  /// an accepting state" trimming predicate, made precise.
+  std::vector<bool> states_with_nonempty_language() const;
+
+  /// Keeps only states satisfying `keep` (plus the initial state; if the
+  /// initial state is dropped, the result is an explicit empty-language
+  /// automaton). Transitions into dropped states are removed.
+  Nba restrict_to(const std::vector<bool>& keep) const;
+
+  /// Drops states that are unreachable or have empty residual language.
+  Nba trim() const;
+
+  /// The quotient by the coarsest forward bisimulation that respects the
+  /// accepting bit: states are merged when they accept alike and have, per
+  /// symbol, the same SET of successor classes. Language-preserving; cuts
+  /// tableau-produced automata down substantially, which in turn shrinks
+  /// the rank bound of complementation.
+  Nba reduce() const;
+
+  /// Is L(B) empty? (No reachable accepting lasso.)
+  bool is_empty() const;
+
+  /// A witness word in L(B), if non-empty.
+  std::optional<UpWord> find_accepted_word() const;
+
+  /// Does the automaton accept the ultimately periodic word `w`? Decided
+  /// exactly via the product of B with the lasso graph of `w`.
+  bool accepts(const UpWord& w) const;
+
+  /// Does any run (accepting or not) survive the finite word `u`? Used for
+  /// prefix-extendability checks.
+  bool has_run_on_prefix(const Word& u) const;
+
+  /// Human-readable dump (for examples and debugging).
+  std::string to_string() const;
+
+ private:
+  Alphabet alphabet_;
+  State initial_;
+  std::vector<bool> accepting_;
+  std::vector<std::vector<std::vector<State>>> delta_;  // [state][symbol]
+};
+
+/// L(result) = L(lhs) ∩ L(rhs), via the 2-counter degeneralized product.
+Nba intersect(const Nba& lhs, const Nba& rhs);
+
+/// L(result) = L(lhs) ∪ L(rhs) (disjoint union with a fresh initial state).
+Nba unite(const Nba& lhs, const Nba& rhs);
+
+namespace detail {
+
+/// Tarjan SCC over an explicit successor function. Returns the SCC id of
+/// each node (ids in reverse topological order) and the SCC count.
+struct SccResult {
+  std::vector<int> component;  // node -> scc id
+  int num_components = 0;
+};
+SccResult strongly_connected_components(
+    int num_nodes, const std::function<void(int, const std::function<void(int)>&)>& for_each_succ);
+
+}  // namespace detail
+
+}  // namespace slat::buchi

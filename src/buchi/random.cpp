@@ -1,0 +1,30 @@
+#include "buchi/random.hpp"
+
+#include "common/assert.hpp"
+
+namespace slat::buchi {
+
+Nba random_nba(const RandomNbaConfig& config, std::mt19937& rng) {
+  SLAT_ASSERT(config.num_states >= 1 && config.alphabet_size >= 1);
+  Nba nba(Alphabet::of_size(config.alphabet_size), config.num_states, 0);
+
+  std::uniform_int_distribution<int> pick_state(0, config.num_states - 1);
+  std::bernoulli_distribution accepting(config.accepting_probability);
+  // Per (state, symbol): draw a successor count around the density.
+  const double p_edge =
+      std::min(1.0, config.transition_density / config.num_states);
+  std::bernoulli_distribution edge(p_edge);
+
+  for (State q = 0; q < config.num_states; ++q) {
+    if (accepting(rng)) nba.set_accepting(q, true);
+    for (Sym s = 0; s < config.alphabet_size; ++s) {
+      for (State to = 0; to < config.num_states; ++to) {
+        if (edge(rng)) nba.add_transition(q, s, to);
+      }
+    }
+  }
+  if (nba.num_accepting() == 0) nba.set_accepting(pick_state(rng), true);
+  return nba;
+}
+
+}  // namespace slat::buchi

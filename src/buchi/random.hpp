@@ -1,0 +1,26 @@
+// Random Büchi automata for property-based tests and benches.
+#pragma once
+
+#include <algorithm>
+#include <random>
+
+#include "buchi/nba.hpp"
+
+namespace slat::buchi {
+
+struct RandomNbaConfig {
+  int num_states = 4;
+  int alphabet_size = 2;
+  /// Expected number of successors per (state, symbol).
+  double transition_density = 1.2;
+  /// Probability that a state is accepting (at least one is forced).
+  double accepting_probability = 0.4;
+};
+
+/// A random automaton per `config`. Always has ≥ 1 accepting state and at
+/// least one outgoing transition per (state, symbol) pair with probability
+/// controlled by the density (dead ends are allowed — the algorithms must
+/// cope with them anyway).
+Nba random_nba(const RandomNbaConfig& config, std::mt19937& rng);
+
+}  // namespace slat::buchi

@@ -1,0 +1,241 @@
+#include "buchi/safety.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "buchi/complement.hpp"
+#include "common/assert.hpp"
+
+namespace slat::buchi {
+
+Nba safety_closure(const Nba& nba) {
+  // Keep exactly the states with non-empty residual language; if the initial
+  // state goes, the language (and its closure) is empty.
+  Nba trimmed = nba.restrict_to(nba.states_with_nonempty_language());
+  if (trimmed.is_empty() && trimmed.num_transitions() == 0) {
+    return Nba::empty_language(nba.alphabet());
+  }
+  for (State q = 0; q < trimmed.num_states(); ++q) trimmed.set_accepting(q, true);
+  return trimmed;
+}
+
+DetSafety DetSafety::from_nba(const Nba& nba) {
+  const Nba closure = safety_closure(nba);
+  DetSafety out(nba.alphabet());
+  const int sigma = out.alphabet_.size();
+
+  // Subset construction with interning. Subsets are sorted state vectors.
+  std::map<std::vector<State>, State> intern;
+  std::vector<std::vector<State>> worklist_sets;
+  const auto intern_set = [&](const std::vector<State>& set) {
+    auto it = intern.find(set);
+    if (it == intern.end()) {
+      it = intern.emplace(set, static_cast<State>(intern.size())).first;
+      out.delta_.emplace_back(sigma, -1);
+      worklist_sets.push_back(set);
+    }
+    return it->second;
+  };
+
+  const State sink = intern_set({});  // empty subset = rejecting sink, id 0
+  out.sink_ = sink;
+  std::vector<State> init_set{closure.initial()};
+  // An empty-language closure automaton starts dead: initial = sink.
+  if (closure.is_empty() && closure.num_transitions() == 0 &&
+      !closure.is_accepting(closure.initial())) {
+    out.initial_ = sink;
+  } else {
+    out.initial_ = intern_set(std::move(init_set));
+  }
+
+  for (std::size_t next = 0; next < worklist_sets.size(); ++next) {
+    const std::vector<State> current = worklist_sets[next];
+    const State current_id = intern.at(current);
+    for (Sym s = 0; s < sigma; ++s) {
+      std::vector<State> image;
+      for (State q : current) {
+        for (State succ : closure.successors(q, s)) image.push_back(succ);
+      }
+      std::sort(image.begin(), image.end());
+      image.erase(std::unique(image.begin(), image.end()), image.end());
+      out.delta_[current_id][s] = intern_set(std::move(image));
+    }
+  }
+  return out;
+}
+
+bool DetSafety::accepts(const UpWord& w) const {
+  // Deterministic run; the word is accepted iff the run never reaches the
+  // sink. Because the automaton is finite and the word ultimately periodic,
+  // it suffices to run for prefix + states * period steps.
+  State q = initial_;
+  const std::size_t bound = w.prefix_size() + w.period_size() * (num_states() + 1);
+  for (std::size_t i = 0; i < bound; ++i) {
+    if (q == sink_) return false;
+    q = delta_[q][w.at(i)];
+  }
+  return q != sink_;
+}
+
+bool DetSafety::accepts_prefix(const Word& u) const {
+  State q = initial_;
+  for (Sym s : u) {
+    if (q == sink_) return false;
+    q = delta_[q][s];
+  }
+  return q != sink_;
+}
+
+bool DetSafety::is_universal() const {
+  // Universal iff the sink is unreachable from the initial state.
+  std::vector<bool> seen(num_states(), false);
+  std::vector<State> stack{initial_};
+  seen[initial_] = true;
+  while (!stack.empty()) {
+    const State q = stack.back();
+    stack.pop_back();
+    if (q == sink_) return false;
+    for (Sym s = 0; s < alphabet_.size(); ++s) {
+      const State next = delta_[q][s];
+      if (!seen[next]) {
+        seen[next] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+  return true;
+}
+
+Nba DetSafety::to_nba() const {
+  Nba out(alphabet_, num_states(), initial_);
+  for (State q = 0; q < num_states(); ++q) {
+    if (q == sink_) continue;
+    out.set_accepting(q, true);
+    for (Sym s = 0; s < alphabet_.size(); ++s) {
+      if (delta_[q][s] != sink_) out.add_transition(q, s, delta_[q][s]);
+    }
+  }
+  return out;
+}
+
+Nba DetSafety::complement_nba() const {
+  // Same structure, all transitions kept; accept exactly at the sink, which
+  // is absorbing: a word is accepted iff its run falls off the safe region.
+  Nba out(alphabet_, num_states(), initial_);
+  out.set_accepting(sink_, true);
+  for (State q = 0; q < num_states(); ++q) {
+    for (Sym s = 0; s < alphabet_.size(); ++s) {
+      out.add_transition(q, s, delta_[q][s]);
+    }
+  }
+  // Ensure the sink loops on every symbol (it does by construction: the
+  // image of the empty subset is empty).
+  for (Sym s = 0; s < alphabet_.size(); ++s) {
+    SLAT_ASSERT(delta_[sink_][s] == sink_);
+  }
+  return out;
+}
+
+BuchiDecomposition decompose(const Nba& nba) {
+  const DetSafety det = DetSafety::from_nba(nba);
+  return BuchiDecomposition{
+      .safety = det.to_nba(),
+      .liveness = unite(nba, det.complement_nba()),
+  };
+}
+
+bool is_safety(const Nba& nba) {
+  // L is safety iff lcl(L) ⊆ L, i.e. lcl(L) ∩ ¬L = ∅.
+  const Nba closure = safety_closure(nba);
+  const Nba not_l = complement(nba);
+  return intersect(closure, not_l).is_empty();
+}
+
+bool is_liveness(const Nba& nba) {
+  return DetSafety::from_nba(nba).is_universal();
+}
+
+bool is_cosafety(const Nba& nba) {
+  // L is co-safety iff ¬L is safety iff lcl(¬L) ⊆ ¬L iff lcl(¬L) ∩ L = ∅.
+  // One complement (exponential), then polynomial closure/emptiness — much
+  // cheaper than is_safety(complement(L)), which would complement twice.
+  const Nba not_l = complement(nba);
+  return intersect(safety_closure(not_l), nba).is_empty();
+}
+
+namespace {
+
+// Language equality of two deterministic safety automata: safety languages
+// are determined by their good prefixes, so a product BFS comparing
+// sink-ness decides it exactly.
+bool det_safety_equivalent(const DetSafety& lhs, const DetSafety& rhs) {
+  SLAT_ASSERT(lhs.alphabet() == rhs.alphabet());
+  std::map<std::pair<State, State>, bool> seen;
+  std::vector<std::pair<State, State>> stack{{lhs.initial(), rhs.initial()}};
+  seen[stack.back()] = true;
+  while (!stack.empty()) {
+    const auto [a, b] = stack.back();
+    stack.pop_back();
+    if ((a == lhs.sink()) != (b == rhs.sink())) return false;
+    if (a == lhs.sink()) continue;  // both dead: all extensions agree
+    for (Sym s = 0; s < lhs.alphabet().size(); ++s) {
+      const auto next = std::make_pair(lhs.step(a, s), rhs.step(b, s));
+      if (!seen[next]) {
+        seen[next] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_machine_closed(const Nba& safety_part, const Nba& liveness_part) {
+  // lcl(S ∩ L) = lcl(S): both sides are safety languages, compared exactly
+  // through their deterministic forms. (For a safety S, lcl(S) = S.)
+  const DetSafety closed_meet = DetSafety::from_nba(intersect(safety_part, liveness_part));
+  const DetSafety closed_s = DetSafety::from_nba(safety_part);
+  return det_safety_equivalent(closed_meet, closed_s);
+}
+
+SafetyClass classify_sampled(const Nba& nba, const std::vector<UpWord>& corpus) {
+  const bool live = is_liveness(nba);
+  const Nba closure = safety_closure(nba);
+  bool safe = true;
+  for (const UpWord& w : corpus) {
+    if (nba.accepts(w) != closure.accepts(w)) {
+      safe = false;
+      break;
+    }
+  }
+  if (safe && live) return SafetyClass::kSafetyAndLiveness;
+  if (safe) return SafetyClass::kSafety;
+  if (live) return SafetyClass::kLiveness;
+  return SafetyClass::kNeither;
+}
+
+SafetyClass classify(const Nba& nba) {
+  const bool live = is_liveness(nba);
+  const bool safe = is_safety(nba);
+  if (safe && live) return SafetyClass::kSafetyAndLiveness;
+  if (safe) return SafetyClass::kSafety;
+  if (live) return SafetyClass::kLiveness;
+  return SafetyClass::kNeither;
+}
+
+const char* to_string(SafetyClass c) {
+  switch (c) {
+    case SafetyClass::kSafetyAndLiveness:
+      return "safety+liveness";
+    case SafetyClass::kSafety:
+      return "safety";
+    case SafetyClass::kLiveness:
+      return "liveness";
+    case SafetyClass::kNeither:
+      return "neither";
+  }
+  return "unknown";
+}
+
+}  // namespace slat::buchi

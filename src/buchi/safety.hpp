@@ -1,0 +1,117 @@
+// The linear-time safety closure `lcl` on Büchi automata, and everything the
+// paper's Section 2 builds on it: deterministic safety automata, the cheap
+// complement of a safety language, safety/liveness predicates, and the
+// decomposition L(B) = L(B_S) ∩ L(B_L).
+//
+// The closure construction is the paper's (§2.4): "remove states that cannot
+// reach an accepting state and then make every remaining state an accepting
+// state" — with "cannot reach an accepting state" made precise as "has empty
+// residual language". The resulting automaton recognizes lcl(L(B)).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "buchi/nba.hpp"
+
+namespace slat::buchi {
+
+/// The safety-closure automaton: L(result) = lcl(L(B)). Every state of the
+/// result is accepting, so acceptance degenerates to run existence.
+Nba safety_closure(const Nba& nba);
+
+/// A deterministic, complete safety automaton: the subset construction of a
+/// (closure) automaton. Language = words whose run never falls into the
+/// rejecting sink. For any NBA input, recognizes lcl(L(B)) — by König's
+/// lemma an infinite word has an infinite run iff all of its finite
+/// prefixes have runs.
+class DetSafety {
+ public:
+  /// Subset construction of lcl(B).
+  static DetSafety from_nba(const Nba& nba);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  int num_states() const { return static_cast<int>(delta_.size()); }
+  State initial() const { return initial_; }
+  /// The rejecting sink (always present, possibly unreachable).
+  State sink() const { return sink_; }
+
+  State step(State q, Sym s) const { return delta_[q][s]; }
+
+  /// Does the word avoid the sink forever?
+  bool accepts(const UpWord& w) const;
+  /// Does the finite prefix stay out of the sink? (= prefix is "safe")
+  bool accepts_prefix(const Word& u) const;
+
+  /// Universality: no reachable sink, i.e. the language is Σ^ω.
+  bool is_universal() const;
+
+  /// The same language as an NBA (all live states accepting).
+  Nba to_nba() const;
+
+  /// The complement as an NBA: accept by reaching (and then looping in) the
+  /// sink. The complement of a safety language is co-safety, so this is
+  /// exact and involves no Büchi complementation machinery.
+  Nba complement_nba() const;
+
+ private:
+  DetSafety(Alphabet alphabet) : alphabet_(std::move(alphabet)) {}
+
+  Alphabet alphabet_;
+  State initial_ = 0;
+  State sink_ = 0;
+  std::vector<std::vector<State>> delta_;
+};
+
+/// Decomposition per Theorem 2 on the lattice of ω-regular languages:
+/// safety part B_S = lcl(B), liveness part B_L = B ∪ ¬lcl(B).
+struct BuchiDecomposition {
+  Nba safety;    ///< L(safety) = lcl(L(B)) — a safety property
+  Nba liveness;  ///< L(liveness) = L(B) ∪ ¬lcl(L(B)) — a liveness property
+};
+
+/// Computes the decomposition. The intersection identity
+/// L(B) = L(B_S) ∩ L(B_L) and the safety/liveness of the parts are theorems
+/// (checked exhaustively in tests), not runtime assertions.
+BuchiDecomposition decompose(const Nba& nba);
+
+/// Is L(B) a safety property (L = lcl L)? Exact: checks
+/// lcl(L) ∩ ¬L = ∅ using rank-based complementation — exponential in the
+/// worst case, intended for small automata.
+bool is_safety(const Nba& nba);
+
+/// Is L(B) a liveness property (lcl L = Σ^ω)? Cheap: universality of the
+/// deterministic closure automaton.
+bool is_liveness(const Nba& nba);
+
+/// The classification of a property, as in the paper's §2.3 examples.
+enum class SafetyClass {
+  kSafetyAndLiveness,  ///< only Σ^ω itself
+  kSafety,
+  kLiveness,
+  kNeither,
+};
+
+SafetyClass classify(const Nba& nba);
+
+/// Is L(B) a co-safety property (its complement is safety, i.e. every word
+/// of L has a finite GOOD prefix all of whose extensions stay in L)?
+/// Exponential (complements B); intended for small automata.
+bool is_cosafety(const Nba& nba);
+
+/// Machine closure (Abadi–Lamport, discussed after the paper's Theorem 6):
+/// the pair (S, L) is machine closed iff lcl(L(S) ∩ L(L)) = L(S). The
+/// decomposition produced by `decompose` is machine closed by Theorem 6.
+/// Exact via the deterministic safety construction on both sides.
+bool is_machine_closed(const Nba& safety_part, const Nba& liveness_part);
+
+/// Scalable variant: liveness is still decided exactly (it is cheap), but
+/// the safety test compares L and lcl(L) on the given UP-word corpus
+/// instead of through complementation. Sound for refutation; a "safety"
+/// answer means "not refuted by the corpus".
+SafetyClass classify_sampled(const Nba& nba, const std::vector<UpWord>& corpus);
+
+/// Printable name.
+const char* to_string(SafetyClass c);
+
+}  // namespace slat::buchi

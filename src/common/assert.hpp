@@ -1,0 +1,31 @@
+// Lightweight contract checking used across the library.
+//
+// SLAT_ASSERT guards internal invariants and caller preconditions. It is
+// active in every build type: violating a precondition of this library is a
+// programming error, and the cost of the checks is negligible next to the
+// combinatorial algorithms they protect.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace slat {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "slat: assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace slat
+
+#define SLAT_ASSERT(expr)                                          \
+  do {                                                             \
+    if (!(expr)) ::slat::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (false)
+
+#define SLAT_ASSERT_MSG(expr, msg)                                \
+  do {                                                            \
+    if (!(expr)) ::slat::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

@@ -1,0 +1,182 @@
+// The paper's contribution, as a generic library: safety, liveness, and the
+// decomposition theorems over ANY modular complemented lattice with a
+// lattice-closure operator — written once, instantiated by finite lattices,
+// by the Boolean algebra of ω-regular languages (Büchi automata), and by
+// Rabin-definable tree languages.
+//
+// A lattice instance is a *context object* supplying the operations; the
+// element type is whatever the instance says it is (an int for finite
+// lattices, a whole Büchi automaton for ω-regular languages). Equality is
+// SEMANTIC equality (`equal`), not representational: two automata are the
+// same lattice element iff their languages coincide. This is exactly the
+// paper's move — the lattice of Büchi-definable languages is a Boolean
+// algebra even though no ⋁-complete representation of it exists, which is
+// why Gumm's σ-complete framework does not apply and this one does.
+#pragma once
+
+#include <concepts>
+#include <utility>
+#include <vector>
+
+namespace slat::core {
+
+/// Operations of a bounded lattice over Ops::Element. `equal` must be a
+/// congruence for meet/join (semantic equality).
+template <typename Ops>
+concept BoundedLattice = requires(const Ops& lattice, const typename Ops::Element& a,
+                                  const typename Ops::Element& b) {
+  typename Ops::Element;
+  { lattice.meet(a, b) } -> std::convertible_to<typename Ops::Element>;
+  { lattice.join(a, b) } -> std::convertible_to<typename Ops::Element>;
+  { lattice.top() } -> std::convertible_to<typename Ops::Element>;
+  { lattice.bottom() } -> std::convertible_to<typename Ops::Element>;
+  { lattice.equal(a, b) } -> std::convertible_to<bool>;
+  { lattice.leq(a, b) } -> std::convertible_to<bool>;
+};
+
+/// A complemented lattice additionally produces, for each element, SOME
+/// complement (complements need not be unique outside distributive
+/// lattices; any one works for Theorem 3).
+template <typename Ops>
+concept ComplementedLattice =
+    BoundedLattice<Ops> && requires(const Ops& lattice, const typename Ops::Element& a) {
+      { lattice.complement(a) } -> std::convertible_to<typename Ops::Element>;
+    };
+
+/// A closure operator for a lattice instance: a callable Element → Element.
+template <typename Cl, typename Ops>
+concept ClosureFor = requires(const Cl& cl, const typename Ops::Element& a) {
+  { cl(a) } -> std::convertible_to<typename Ops::Element>;
+};
+
+// ---------------------------------------------------------------------------
+// Definitions (paper §3)
+// ---------------------------------------------------------------------------
+
+/// a is a cl-safety element iff cl.a = a.
+template <typename Ops, typename Cl>
+  requires BoundedLattice<Ops> && ClosureFor<Cl, Ops>
+bool is_safety_element(const Ops& lattice, const Cl& cl, const typename Ops::Element& a) {
+  return lattice.equal(cl(a), a);
+}
+
+/// a is a cl-liveness element iff cl.a = 1.
+template <typename Ops, typename Cl>
+  requires BoundedLattice<Ops> && ClosureFor<Cl, Ops>
+bool is_liveness_element(const Ops& lattice, const Cl& cl, const typename Ops::Element& a) {
+  return lattice.equal(cl(a), lattice.top());
+}
+
+/// A decomposition a = safety ∧ liveness.
+template <typename Ops>
+struct Decomposition {
+  typename Ops::Element safety;
+  typename Ops::Element liveness;
+};
+
+/// Theorem 3: with lattice closures cl1 ≤ cl2 on a modular complemented
+/// lattice, a = cl1.a ∧ (a ∨ b) for b ∈ cmp(cl2.a); cl1.a is a cl1-safety
+/// element and a ∨ b is a cl2-liveness element (Lemma 4).
+template <typename Ops, typename Cl1, typename Cl2>
+  requires ComplementedLattice<Ops> && ClosureFor<Cl1, Ops> && ClosureFor<Cl2, Ops>
+Decomposition<Ops> decompose(const Ops& lattice, const Cl1& cl1, const Cl2& cl2,
+                             const typename Ops::Element& a) {
+  auto b = lattice.complement(cl2(a));
+  return Decomposition<Ops>{cl1(a), lattice.join(a, std::move(b))};
+}
+
+/// Theorem 2 (single closure): cl1 = cl2 = cl.
+template <typename Ops, typename Cl>
+  requires ComplementedLattice<Ops> && ClosureFor<Cl, Ops>
+Decomposition<Ops> decompose(const Ops& lattice, const Cl& cl,
+                             const typename Ops::Element& a) {
+  return decompose(lattice, cl, cl, a);
+}
+
+// ---------------------------------------------------------------------------
+// Law checkers (used by tests on every instance)
+// ---------------------------------------------------------------------------
+
+/// The three lattice-closure laws, checked on a sample of elements.
+template <typename Ops, typename Cl>
+  requires BoundedLattice<Ops> && ClosureFor<Cl, Ops>
+bool closure_laws_hold(const Ops& lattice, const Cl& cl,
+                       const std::vector<typename Ops::Element>& samples) {
+  for (const auto& a : samples) {
+    if (!lattice.leq(a, cl(a))) return false;            // extensive
+    if (!lattice.equal(cl(cl(a)), cl(a))) return false;  // idempotent
+  }
+  for (const auto& a : samples) {
+    for (const auto& b : samples) {
+      if (lattice.leq(a, b) && !lattice.leq(cl(a), cl(b))) return false;  // monotone
+    }
+  }
+  return true;
+}
+
+/// The algebraic lattice laws of §3 on a sample (associativity,
+/// commutativity, idempotency, absorption — and their duals).
+template <typename Ops>
+  requires BoundedLattice<Ops>
+bool lattice_laws_hold(const Ops& lattice,
+                       const std::vector<typename Ops::Element>& samples) {
+  for (const auto& a : samples) {
+    if (!lattice.equal(lattice.meet(a, a), a)) return false;
+    if (!lattice.equal(lattice.join(a, a), a)) return false;
+    for (const auto& b : samples) {
+      if (!lattice.equal(lattice.meet(a, b), lattice.meet(b, a))) return false;
+      if (!lattice.equal(lattice.join(a, b), lattice.join(b, a))) return false;
+      if (!lattice.equal(lattice.meet(a, lattice.join(a, b)), a)) return false;
+      if (!lattice.equal(lattice.join(a, lattice.meet(a, b)), a)) return false;
+      for (const auto& c : samples) {
+        if (!lattice.equal(lattice.meet(lattice.meet(a, b), c),
+                           lattice.meet(a, lattice.meet(b, c))))
+          return false;
+        if (!lattice.equal(lattice.join(lattice.join(a, b), c),
+                           lattice.join(a, lattice.join(b, c))))
+          return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Modularity on a sample: a ≤ c ⟹ a ∨ (b ∧ c) = (a ∨ b) ∧ c.
+template <typename Ops>
+  requires BoundedLattice<Ops>
+bool modularity_holds(const Ops& lattice,
+                      const std::vector<typename Ops::Element>& samples) {
+  for (const auto& a : samples) {
+    for (const auto& b : samples) {
+      for (const auto& c : samples) {
+        if (!lattice.leq(a, c)) continue;
+        if (!lattice.equal(lattice.join(a, lattice.meet(b, c)),
+                           lattice.meet(lattice.join(a, b), c)))
+          return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Validity of one decomposition of `a`.
+template <typename Ops, typename Cl1, typename Cl2>
+  requires BoundedLattice<Ops> && ClosureFor<Cl1, Ops> && ClosureFor<Cl2, Ops>
+bool decomposition_valid(const Ops& lattice, const Cl1& cl1, const Cl2& cl2,
+                         const typename Ops::Element& a, const Decomposition<Ops>& d) {
+  return is_safety_element(lattice, cl1, d.safety) &&
+         is_liveness_element(lattice, cl2, d.liveness) &&
+         lattice.equal(lattice.meet(d.safety, d.liveness), a);
+}
+
+/// Theorem 6 (extremal safety / machine closure) for one decomposition
+/// a = s ∧ z with s closed under cl1 or cl2: cl1.a ≤ s must hold.
+template <typename Ops, typename Cl1>
+  requires BoundedLattice<Ops> && ClosureFor<Cl1, Ops>
+bool theorem6_holds(const Ops& lattice, const Cl1& cl1, const typename Ops::Element& a,
+                    const typename Ops::Element& s, const typename Ops::Element& z) {
+  if (!lattice.equal(lattice.meet(s, z), a)) return true;  // not a decomposition
+  return lattice.leq(cl1(a), s);
+}
+
+}  // namespace slat::core

@@ -1,0 +1,150 @@
+// Lattice instances for the generic framework in core/concepts.hpp.
+//
+//   FiniteLatticeOps   — any lattice::FiniteLattice (elements are indices)
+//   OmegaRegularOps    — the Boolean algebra of ω-regular languages,
+//                        represented by Büchi automata modulo language
+//                        equality; the closure is the linear-time lcl.
+//                        This is precisely the lattice for which the paper
+//                        notes Gumm's framework fails (not ⋁-complete) and
+//                        its own applies.
+//   PowersetOps        — P({0..n-1}) as bitmasks; a tiny Boolean algebra
+//                        with arbitrary set-based closures, used in tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "buchi/complement.hpp"
+#include "buchi/language.hpp"
+#include "buchi/nba.hpp"
+#include "buchi/safety.hpp"
+#include "common/assert.hpp"
+#include "core/concepts.hpp"
+#include "lattice/closure.hpp"
+#include "lattice/finite_lattice.hpp"
+
+namespace slat::core {
+
+/// A finite lattice as a generic instance. `complement` returns the first
+/// complement found; it asserts on non-complemented lattices.
+class FiniteLatticeOps {
+ public:
+  using Element = lattice::Elem;
+
+  explicit FiniteLatticeOps(const lattice::FiniteLattice& lattice) : lattice_(&lattice) {}
+
+  Element meet(Element a, Element b) const { return lattice_->meet(a, b); }
+  Element join(Element a, Element b) const { return lattice_->join(a, b); }
+  Element top() const { return lattice_->top(); }
+  Element bottom() const { return lattice_->bottom(); }
+  bool equal(Element a, Element b) const { return a == b; }
+  bool leq(Element a, Element b) const { return lattice_->leq(a, b); }
+  Element complement(Element a) const {
+    const auto complements = lattice_->complements(a);
+    SLAT_ASSERT_MSG(!complements.empty(), "element has no complement");
+    return complements.front();
+  }
+
+ private:
+  const lattice::FiniteLattice* lattice_;
+};
+
+/// An adapter making lattice::LatticeClosure usable as a generic closure.
+class FiniteClosureFn {
+ public:
+  explicit FiniteClosureFn(const lattice::LatticeClosure& closure) : closure_(&closure) {}
+  lattice::Elem operator()(lattice::Elem a) const { return closure_->apply(a); }
+
+ private:
+  const lattice::LatticeClosure* closure_;
+};
+
+/// The lattice of ω-regular languages over a fixed alphabet. Elements are
+/// Büchi automata; all operations are language-level. `equal`/`leq` go
+/// through rank-based complementation and are exponential — use small
+/// automata. This instance exists to run the paper's §3 theorems verbatim
+/// on the §2 objects.
+class OmegaRegularOps {
+ public:
+  using Element = buchi::Nba;
+
+  explicit OmegaRegularOps(words::Alphabet alphabet) : alphabet_(std::move(alphabet)) {}
+
+  Element meet(const Element& a, const Element& b) const { return buchi::intersect(a, b); }
+  Element join(const Element& a, const Element& b) const { return buchi::unite(a, b); }
+  Element top() const { return buchi::Nba::universal(alphabet_); }
+  Element bottom() const { return buchi::Nba::empty_language(alphabet_); }
+  bool equal(const Element& a, const Element& b) const { return buchi::is_equivalent(a, b); }
+  bool leq(const Element& a, const Element& b) const { return buchi::is_subset(a, b); }
+  Element complement(const Element& a) const { return buchi::complement(a); }
+
+ private:
+  words::Alphabet alphabet_;
+};
+
+/// The linear-time safety closure lcl as a generic closure on ω-regular
+/// languages.
+struct LclClosureFn {
+  buchi::Nba operator()(const buchi::Nba& a) const { return buchi::safety_closure(a); }
+};
+
+/// The same ω-regular lattice with SAMPLED equality: `equal`/`leq` compare
+/// languages on a fixed corpus of ultimately periodic words instead of
+/// running the exponential complementation. Sound for refutation and cheap,
+/// so usable on automata the exact instance cannot afford; complements are
+/// still exact (via the rank construction on the trimmed automaton).
+class SampledOmegaRegularOps {
+ public:
+  using Element = buchi::Nba;
+
+  SampledOmegaRegularOps(words::Alphabet alphabet, std::vector<words::UpWord> corpus)
+      : alphabet_(std::move(alphabet)), corpus_(std::move(corpus)) {
+    SLAT_ASSERT(!corpus_.empty());
+  }
+
+  Element meet(const Element& a, const Element& b) const { return buchi::intersect(a, b); }
+  Element join(const Element& a, const Element& b) const { return buchi::unite(a, b); }
+  Element top() const { return buchi::Nba::universal(alphabet_); }
+  Element bottom() const { return buchi::Nba::empty_language(alphabet_); }
+  bool equal(const Element& a, const Element& b) const {
+    return !buchi::find_disagreement(a, b, corpus_).has_value();
+  }
+  bool leq(const Element& a, const Element& b) const {
+    for (const auto& w : corpus_) {
+      if (a.accepts(w) && !b.accepts(w)) return false;
+    }
+    return true;
+  }
+  Element complement(const Element& a) const { return buchi::complement(a); }
+
+ private:
+  words::Alphabet alphabet_;
+  std::vector<words::UpWord> corpus_;
+};
+
+/// P({0..n-1}) with bitmask elements — a Boolean algebra for cheap tests.
+// (TreeLanguageOps, the Rabin-tree instance, lives in core/tree_instance.hpp
+// to keep this header free of the tree/game dependency chain.)
+class PowersetOps {
+ public:
+  using Element = std::uint32_t;
+
+  explicit PowersetOps(int universe_size) : size_(universe_size) {
+    SLAT_ASSERT(universe_size >= 0 && universe_size <= 31);
+  }
+
+  Element meet(Element a, Element b) const { return a & b; }
+  Element join(Element a, Element b) const { return a | b; }
+  Element top() const { return (1u << size_) - 1; }
+  Element bottom() const { return 0; }
+  bool equal(Element a, Element b) const { return a == b; }
+  bool leq(Element a, Element b) const { return (a & b) == a; }
+  Element complement(Element a) const { return top() & ~a; }
+
+  int universe_size() const { return size_; }
+
+ private:
+  int size_;
+};
+
+}  // namespace slat::core

@@ -1,0 +1,107 @@
+// The third instantiation of the generic framework: Rabin-definable tree
+// languages (§4.4). Elements are Büchi-shaped Rabin tree automata (the
+// class from_ctl and rfcl produce, closed under the union/intersection in
+// rabin/operations.hpp); equality is sampled over a regular-tree corpus.
+//
+// Complementation of Rabin tree automata is the one closure property this
+// build substitutes (DESIGN.md §3), so this instance models a BOUNDED
+// lattice, not a complemented one — enough for the closure laws, the
+// lattice laws, and the safety/liveness definitions; the decomposition
+// itself runs through rabin::decompose's effective-union representation.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/concepts.hpp"
+#include "rabin/operations.hpp"
+#include "rabin/rabin_tree_automaton.hpp"
+#include "trees/ktree.hpp"
+
+namespace slat::core {
+
+class TreeLanguageOps {
+ public:
+  using Element = rabin::RabinTreeAutomaton;
+
+  TreeLanguageOps(words::Alphabet alphabet, int branching,
+                  std::vector<trees::KTree> corpus)
+      : alphabet_(std::move(alphabet)),
+        branching_(branching),
+        corpus_(std::move(corpus)) {
+    SLAT_ASSERT(!corpus_.empty());
+  }
+
+  Element meet(const Element& a, const Element& b) const {
+    return rabin::intersect_buchi(a, b);
+  }
+  Element join(const Element& a, const Element& b) const {
+    // The general union is not Büchi-shaped (pairs side by side); re-shape
+    // is unnecessary for the law checks, but meet() requires the shape, so
+    // keep joins Büchi-shaped by uniting and re-normalizing the pair: a
+    // union of two one-green-pair automata has two green-only pairs, and
+    // "∃i: inf green_i" over green-only pairs equals one pair with the
+    // union of the greens.
+    const Element sum = rabin::unite(a, b);
+    std::vector<rabin::State> green;
+    for (int i = 0; i < sum.num_pairs(); ++i) {
+      for (rabin::State q = 0; q < sum.num_states(); ++q) {
+        if (sum.pair(i).green[q]) green.push_back(q);
+      }
+    }
+    Element reshaped(sum.alphabet(), sum.branching(), sum.num_states(), sum.initial());
+    for (rabin::State q = 0; q < sum.num_states(); ++q) {
+      for (words::Sym s = 0; s < sum.alphabet().size(); ++s) {
+        for (const rabin::Tuple& tuple : sum.transitions(q, s)) {
+          reshaped.add_transition(q, s, tuple);
+        }
+      }
+    }
+    reshaped.add_pair(green, {});
+    return reshaped;
+  }
+  Element top() const {
+    Element all(alphabet_, branching_, 1, 0);
+    for (words::Sym s = 0; s < alphabet_.size(); ++s) {
+      all.add_transition(0, s, rabin::Tuple(branching_, 0));
+    }
+    all.set_trivial_acceptance();
+    return all;
+  }
+  Element bottom() const {
+    Element none(alphabet_, branching_, 1, 0);
+    none.set_trivial_acceptance();
+    return none;
+  }
+  bool equal(const Element& a, const Element& b) const {
+    for (const trees::KTree& t : corpus_) {
+      if (a.accepts(t) != b.accepts(t)) return false;
+    }
+    return true;
+  }
+  bool leq(const Element& a, const Element& b) const {
+    for (const trees::KTree& t : corpus_) {
+      if (a.accepts(t) && !b.accepts(t)) return false;
+    }
+    return true;
+  }
+
+ private:
+  words::Alphabet alphabet_;
+  int branching_;
+  std::vector<trees::KTree> corpus_;
+};
+
+static_assert(BoundedLattice<TreeLanguageOps>);
+
+/// rfcl as a generic closure on tree languages.
+struct RfclClosureFn {
+  rabin::RabinTreeAutomaton operator()(const rabin::RabinTreeAutomaton& a) const {
+    return rabin::rfcl(a);
+  }
+};
+
+static_assert(ClosureFor<RfclClosureFn, TreeLanguageOps>);
+
+}  // namespace slat::core

@@ -1,0 +1,218 @@
+#include "finite/dfa.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace slat::finite {
+
+Dfa::Dfa(Alphabet alphabet, int num_states, State initial)
+    : alphabet_(std::move(alphabet)), initial_(initial) {
+  SLAT_ASSERT(num_states >= 1);
+  SLAT_ASSERT(initial >= 0 && initial < num_states);
+  accepting_.assign(num_states, false);
+  delta_.assign(num_states, std::vector<State>(alphabet_.size(), -1));
+}
+
+void Dfa::set_transition(State from, Sym symbol, State to) {
+  SLAT_ASSERT(from >= 0 && from < num_states());
+  SLAT_ASSERT(to >= 0 && to < num_states());
+  SLAT_ASSERT(symbol >= 0 && symbol < alphabet_.size());
+  delta_[from][symbol] = to;
+}
+
+State Dfa::step(State q, Sym symbol) const {
+  SLAT_ASSERT(q >= 0 && q < num_states());
+  SLAT_ASSERT(symbol >= 0 && symbol < alphabet_.size());
+  const State to = delta_[q][symbol];
+  SLAT_ASSERT_MSG(to != -1, "DFA transition undefined; complete the automaton");
+  return to;
+}
+
+void Dfa::set_accepting(State q, bool accepting) {
+  SLAT_ASSERT(q >= 0 && q < num_states());
+  accepting_[q] = accepting;
+}
+
+bool Dfa::is_total() const {
+  for (const auto& row : delta_) {
+    for (State to : row) {
+      if (to == -1) return false;
+    }
+  }
+  return true;
+}
+
+bool Dfa::accepts(const Word& word) const {
+  State q = initial_;
+  for (Sym s : word) q = step(q, s);
+  return accepting_[q];
+}
+
+Dfa Dfa::minimize() const {
+  SLAT_ASSERT_MSG(is_total(), "minimize requires a total DFA");
+  const int n = num_states();
+
+  // Restrict to reachable states first.
+  std::vector<bool> reachable(n, false);
+  std::deque<State> queue{initial_};
+  reachable[initial_] = true;
+  while (!queue.empty()) {
+    const State q = queue.front();
+    queue.pop_front();
+    for (Sym s = 0; s < alphabet_.size(); ++s) {
+      const State to = delta_[q][s];
+      if (!reachable[to]) {
+        reachable[to] = true;
+        queue.push_back(to);
+      }
+    }
+  }
+
+  // Moore partition refinement: start from accepting/rejecting, split by
+  // successor-class signatures until stable.
+  std::vector<int> cls(n, -1);
+  for (State q = 0; q < n; ++q) {
+    if (reachable[q]) cls[q] = accepting_[q] ? 1 : 0;
+  }
+  int num_classes = 2;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::vector<int>, int> signature_to_class;
+    std::vector<int> next_cls(n, -1);
+    for (State q = 0; q < n; ++q) {
+      if (!reachable[q]) continue;
+      std::vector<int> signature{cls[q]};
+      for (Sym s = 0; s < alphabet_.size(); ++s) signature.push_back(cls[delta_[q][s]]);
+      const auto it = signature_to_class
+                          .emplace(std::move(signature),
+                                   static_cast<int>(signature_to_class.size()))
+                          .first;
+      next_cls[q] = it->second;
+    }
+    const int new_count = static_cast<int>(signature_to_class.size());
+    if (new_count != num_classes) changed = true;
+    num_classes = new_count;
+    cls = std::move(next_cls);
+  }
+
+  Dfa out(alphabet_, num_classes, cls[initial_]);
+  for (State q = 0; q < n; ++q) {
+    if (!reachable[q]) continue;
+    out.set_accepting(cls[q], accepting_[q]);
+    for (Sym s = 0; s < alphabet_.size(); ++s) {
+      out.set_transition(cls[q], s, cls[delta_[q][s]]);
+    }
+  }
+  return out;
+}
+
+bool Dfa::equivalent(const Dfa& other) const {
+  SLAT_ASSERT(alphabet_.size() == other.alphabet_.size());
+  SLAT_ASSERT(is_total() && other.is_total());
+  // BFS over the product; a pair with differing acceptance refutes.
+  std::map<std::pair<State, State>, bool> seen;
+  std::deque<std::pair<State, State>> queue{{initial_, other.initial_}};
+  seen[{initial_, other.initial_}] = true;
+  while (!queue.empty()) {
+    const auto [a, b] = queue.front();
+    queue.pop_front();
+    if (accepting_[a] != other.accepting_[b]) return false;
+    for (Sym s = 0; s < alphabet_.size(); ++s) {
+      const auto next = std::make_pair(delta_[a][s], other.delta_[b][s]);
+      if (!seen[next]) {
+        seen[next] = true;
+        queue.push_back(next);
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<Word> Dfa::shortest_accepted() const {
+  std::vector<int> parent(num_states(), -2);
+  std::vector<Sym> via(num_states(), -1);
+  std::deque<State> queue{initial_};
+  parent[initial_] = -1;
+  while (!queue.empty()) {
+    const State q = queue.front();
+    queue.pop_front();
+    if (accepting_[q]) {
+      Word word;
+      for (State cur = q; parent[cur] != -1; cur = parent[cur]) word.push_back(via[cur]);
+      std::reverse(word.begin(), word.end());
+      return word;
+    }
+    for (Sym s = 0; s < alphabet_.size(); ++s) {
+      const State to = delta_[q][s];
+      if (to != -1 && parent[to] == -2) {
+        parent[to] = q;
+        via[to] = s;
+        queue.push_back(to);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Dfa Dfa::complemented() const {
+  SLAT_ASSERT_MSG(is_total(), "complement requires a total DFA");
+  Dfa out = *this;
+  for (State q = 0; q < num_states(); ++q) out.set_accepting(q, !accepting_[q]);
+  return out;
+}
+
+bool Dfa::is_extension_closed() const {
+  for (State q = 0; q < num_states(); ++q) {
+    if (!accepting_[q]) continue;
+    for (Sym s = 0; s < alphabet_.size(); ++s) {
+      if (delta_[q][s] != -1 && !accepting_[delta_[q][s]]) return false;
+    }
+  }
+  return true;
+}
+
+std::string Dfa::to_string() const {
+  std::ostringstream out;
+  out << "DFA: " << num_states() << " states, initial " << initial_ << ", accepting {";
+  bool first = true;
+  for (State q = 0; q < num_states(); ++q) {
+    if (accepting_[q]) {
+      if (!first) out << ", ";
+      out << q;
+      first = false;
+    }
+  }
+  out << "}\n";
+  for (State q = 0; q < num_states(); ++q) {
+    for (Sym s = 0; s < alphabet_.size(); ++s) {
+      if (delta_[q][s] != -1) {
+        out << "  " << q << " --" << alphabet_.name(s) << "--> " << delta_[q][s] << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+Dfa bad_prefix_dfa(const buchi::DetSafety& safety) {
+  return good_prefix_dfa(safety).complemented().minimize();
+}
+
+Dfa good_prefix_dfa(const buchi::DetSafety& safety) {
+  // The DetSafety automaton is already a total DFA whose "safe" states
+  // accept; minimize it.
+  Dfa dfa(safety.alphabet(), safety.num_states(), safety.initial());
+  for (State q = 0; q < safety.num_states(); ++q) {
+    dfa.set_accepting(q, q != safety.sink());
+    for (Sym s = 0; s < safety.alphabet().size(); ++s) {
+      dfa.set_transition(q, s, safety.step(q, s));
+    }
+  }
+  return dfa.minimize();
+}
+
+}  // namespace slat::finite

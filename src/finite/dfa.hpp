@@ -1,0 +1,84 @@
+// Deterministic finite automata over finite words.
+//
+// Alpern–Schneider's "Recognizing safety and liveness" observation, made
+// executable: a property is safety iff its violating prefixes form a
+// regular, extension-closed finite-word language. This module hosts that
+// finite-word side: total DFAs, Moore minimization, and the extraction of
+// the canonical minimal bad-prefix DFA from a deterministic safety
+// automaton — which is exactly the smallest runtime monitor for the
+// property's safety closure.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "buchi/safety.hpp"
+#include "words/alphabet.hpp"
+
+namespace slat::finite {
+
+using words::Alphabet;
+using words::Sym;
+using words::Word;
+
+using State = int;
+
+/// A complete DFA: every state has a transition on every symbol.
+class Dfa {
+ public:
+  Dfa(Alphabet alphabet, int num_states, State initial);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  int num_states() const { return static_cast<int>(accepting_.size()); }
+  State initial() const { return initial_; }
+
+  void set_transition(State from, Sym symbol, State to);
+  State step(State q, Sym symbol) const;
+  void set_accepting(State q, bool accepting);
+  bool is_accepting(State q) const { return accepting_[q]; }
+
+  /// Is every transition defined? (Required by most operations below.)
+  bool is_total() const;
+
+  /// Membership of a finite word.
+  bool accepts(const Word& word) const;
+
+  /// The Moore-minimized equivalent DFA (reachable part only).
+  Dfa minimize() const;
+
+  /// Same language? Both DFAs must be total and share the alphabet.
+  /// Decided by product reachability (no sampling).
+  bool equivalent(const Dfa& other) const;
+
+  /// A shortest accepted word, if the language is non-empty.
+  std::optional<Word> shortest_accepted() const;
+
+  /// Swaps accepting and rejecting states (complement language).
+  Dfa complemented() const;
+
+  /// Is the accepted language extension-closed (accepting states never
+  /// escape to rejection)? Bad-prefix languages of safety properties are.
+  bool is_extension_closed() const;
+
+  std::string to_string() const;
+
+ private:
+  Alphabet alphabet_;
+  State initial_;
+  std::vector<bool> accepting_;
+  std::vector<std::vector<State>> delta_;  // [state][symbol], -1 = undefined
+};
+
+/// The DFA of BAD PREFIXES of the safety automaton's language: it accepts
+/// exactly the finite words u such that no extension of u lies in
+/// lcl-language of `safety` — i.e. the monitor's rejection language.
+/// Minimized; accepting states form a sink-closed region.
+Dfa bad_prefix_dfa(const buchi::DetSafety& safety);
+
+/// The minimal monitor: the Moore-minimized DFA of GOOD prefixes (the
+/// complement of bad_prefix_dfa). Its size is the canonical state count of
+/// any monitor for the property's closure.
+Dfa good_prefix_dfa(const buchi::DetSafety& safety);
+
+}  // namespace slat::finite

@@ -1,0 +1,66 @@
+#include "games/buchi_game.hpp"
+
+namespace slat::games {
+
+ParityGame BuchiGame::to_parity() const {
+  ParityGame parity;
+  for (int v = 0; v < num_nodes(); ++v) parity.add_node(owner[v], target[v] ? 2 : 1);
+  for (int v = 0; v < num_nodes(); ++v) {
+    for (int w : successors[v]) parity.add_edge(v, w);
+  }
+  return parity;
+}
+
+std::vector<Player> solve_buchi(const BuchiGame& game) {
+  SLAT_ASSERT_MSG(game.is_total(), "Büchi games must be total");
+  const int n = game.num_nodes();
+  const ParityGame arena = game.to_parity();  // reuse the attractor machinery
+
+  // Classical nested-attractor loop. Invariant: everything outside `active`
+  // has been decided for player 1; the active part is a subgame player 1
+  // cannot leave without entering their own winning region.
+  //
+  // Each round: if player 1 can avoid the targets forever somewhere
+  // (`escape` non-empty), that region plus its player-1 attractor is
+  // player-1 winning and is removed. Otherwise player 0 forces a target
+  // visit from everywhere; after each visit the play takes a step and stays
+  // active, whence another visit is forced — infinitely many in total.
+  std::vector<bool> active(n, true);
+  std::vector<Player> winner(n, 0);
+  while (true) {
+    std::vector<bool> targets(n, false);
+    bool any_target = false;
+    for (int v = 0; v < n; ++v) {
+      targets[v] = active[v] && game.target[v];
+      any_target = any_target || targets[v];
+    }
+    if (!any_target) {
+      for (int v = 0; v < n; ++v) {
+        if (active[v]) winner[v] = 1;
+      }
+      return winner;
+    }
+    const std::vector<bool> reach = attractor(arena, 0, active, targets, nullptr);
+    std::vector<bool> escape(n, false);
+    bool any_escape = false;
+    for (int v = 0; v < n; ++v) {
+      escape[v] = active[v] && !reach[v];
+      any_escape = any_escape || escape[v];
+    }
+    if (!any_escape) {
+      for (int v = 0; v < n; ++v) {
+        if (active[v]) winner[v] = 0;
+      }
+      return winner;
+    }
+    const std::vector<bool> lose = attractor(arena, 1, active, escape, nullptr);
+    for (int v = 0; v < n; ++v) {
+      if (lose[v]) {
+        winner[v] = 1;
+        active[v] = false;
+      }
+    }
+  }
+}
+
+}  // namespace slat::games

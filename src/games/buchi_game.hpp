@@ -1,0 +1,51 @@
+// Büchi games: player 0 wins iff the play visits a target node infinitely
+// often. A special case of parity games (priorities {1, 2}), solved here
+// directly by the classical nested-attractor ("recurrence") algorithm —
+// quadratic, simpler, and a useful cross-check and fast path for the tree
+// procedures whose acceptance is a single green set (e.g. everything the
+// rfcl closure produces).
+#pragma once
+
+#include <vector>
+
+#include "games/parity.hpp"
+
+namespace slat::games {
+
+/// Arena + target set; the game must be total.
+struct BuchiGame {
+  std::vector<Player> owner;
+  std::vector<bool> target;
+  std::vector<std::vector<int>> successors;
+
+  int num_nodes() const { return static_cast<int>(owner.size()); }
+
+  int add_node(Player player, bool is_target) {
+    owner.push_back(player);
+    target.push_back(is_target);
+    successors.emplace_back();
+    return num_nodes() - 1;
+  }
+
+  void add_edge(int from, int to) {
+    SLAT_ASSERT(from >= 0 && from < num_nodes() && to >= 0 && to < num_nodes());
+    successors[from].push_back(to);
+  }
+
+  bool is_total() const {
+    for (const auto& succ : successors) {
+      if (succ.empty()) return false;
+    }
+    return true;
+  }
+
+  /// The equivalent max-parity game (targets get priority 2, others 1).
+  ParityGame to_parity() const;
+};
+
+/// Winning regions via the recurrence construction: iteratively shrink the
+/// target set to the recurrent part (targets from which player 0 can
+/// re-reach a surviving target), then attract.
+std::vector<Player> solve_buchi(const BuchiGame& game);
+
+}  // namespace slat::games

@@ -1,0 +1,178 @@
+#include "games/parity.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace slat::games {
+
+std::vector<bool> attractor(const ParityGame& game, Player player,
+                            const std::vector<bool>& active,
+                            const std::vector<bool>& target,
+                            std::vector<int>* strategy_out) {
+  const int n = game.num_nodes();
+  // Predecessor lists restricted to active nodes, plus out-degree counters
+  // for the opponent's forced moves.
+  std::vector<std::vector<int>> predecessors(n);
+  std::vector<int> out_degree(n, 0);
+  for (int v = 0; v < n; ++v) {
+    if (!active[v]) continue;
+    for (int w : game.successors[v]) {
+      if (!active[w]) continue;
+      predecessors[w].push_back(v);
+      ++out_degree[v];
+    }
+  }
+
+  std::vector<bool> attracted(n, false);
+  std::deque<int> queue;
+  for (int v = 0; v < n; ++v) {
+    if (active[v] && target[v]) {
+      attracted[v] = true;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    const int w = queue.front();
+    queue.pop_front();
+    for (int v : predecessors[w]) {
+      if (attracted[v]) continue;
+      if (game.owner[v] == player) {
+        attracted[v] = true;
+        if (strategy_out != nullptr) (*strategy_out)[v] = w;
+        queue.push_back(v);
+      } else {
+        // Opponent node: attracted once every active successor is.
+        if (--out_degree[v] == 0) {
+          attracted[v] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return attracted;
+}
+
+namespace {
+
+// Zielonka on the subgame induced by `active`. Writes winners/strategies for
+// active nodes only.
+void zielonka(const ParityGame& game, std::vector<bool> active,
+              std::vector<Player>& winner, std::vector<int>& strategy) {
+  const int n = game.num_nodes();
+  int max_priority = -1;
+  for (int v = 0; v < n; ++v) {
+    if (active[v]) max_priority = std::max(max_priority, game.priority[v]);
+  }
+  if (max_priority < 0) return;  // empty subgame
+
+  const Player favored = max_priority % 2;
+  std::vector<bool> top(n, false);
+  for (int v = 0; v < n; ++v) {
+    top[v] = active[v] && game.priority[v] == max_priority;
+  }
+
+  std::vector<int> attract_strategy(n, -1);
+  const std::vector<bool> region_a =
+      attractor(game, favored, active, top, &attract_strategy);
+
+  // Recurse on G \ A.
+  std::vector<bool> rest = active;
+  for (int v = 0; v < n; ++v) {
+    if (region_a[v]) rest[v] = false;
+  }
+  std::vector<Player> sub_winner(n, -1);
+  std::vector<int> sub_strategy(n, -1);
+  zielonka(game, rest, sub_winner, sub_strategy);
+
+  bool opponent_wins_somewhere = false;
+  for (int v = 0; v < n; ++v) {
+    if (rest[v] && sub_winner[v] == 1 - favored) {
+      opponent_wins_somewhere = true;
+      break;
+    }
+  }
+
+  if (!opponent_wins_somewhere) {
+    // `favored` wins the whole subgame: in the sub-subgame play the
+    // recursive strategy; in A \ top attract toward top; on top pick any
+    // active successor (revisiting max_priority forever is fine, and if the
+    // play drifts back into `rest`, the recursive strategy takes over).
+    for (int v = 0; v < n; ++v) {
+      if (!active[v]) continue;
+      winner[v] = favored;
+      if (game.owner[v] != favored) {
+        strategy[v] = -1;
+        continue;
+      }
+      if (rest[v]) {
+        strategy[v] = sub_strategy[v];
+      } else if (!top[v] && attract_strategy[v] != -1) {
+        strategy[v] = attract_strategy[v];
+      } else {
+        // A top node (or a target hit directly): any active successor.
+        strategy[v] = -1;
+        for (int w : game.successors[v]) {
+          if (active[w]) {
+            strategy[v] = w;
+            break;
+          }
+        }
+        SLAT_ASSERT_MSG(strategy[v] != -1, "total subgame node lost all successors");
+      }
+    }
+    return;
+  }
+
+  // The opponent wins part of G \ A; their full winning region includes its
+  // attractor. Recurse on the remainder.
+  std::vector<bool> opponent_region(n, false);
+  for (int v = 0; v < n; ++v) {
+    opponent_region[v] = rest[v] && sub_winner[v] == 1 - favored;
+  }
+  std::vector<int> opp_attract_strategy(n, -1);
+  const std::vector<bool> region_b =
+      attractor(game, 1 - favored, active, opponent_region, &opp_attract_strategy);
+
+  std::vector<bool> remainder = active;
+  for (int v = 0; v < n; ++v) {
+    if (region_b[v]) remainder[v] = false;
+  }
+  std::vector<Player> rem_winner(n, -1);
+  std::vector<int> rem_strategy(n, -1);
+  zielonka(game, remainder, rem_winner, rem_strategy);
+
+  for (int v = 0; v < n; ++v) {
+    if (!active[v]) continue;
+    if (region_b[v]) {
+      winner[v] = 1 - favored;
+      if (game.owner[v] == 1 - favored) {
+        if (opponent_region[v]) {
+          strategy[v] = sub_strategy[v];
+        } else {
+          strategy[v] = opp_attract_strategy[v];
+          SLAT_ASSERT(strategy[v] != -1);
+        }
+      } else {
+        strategy[v] = -1;
+      }
+    } else {
+      winner[v] = rem_winner[v];
+      strategy[v] = game.owner[v] == rem_winner[v] ? rem_strategy[v] : -1;
+    }
+  }
+}
+
+}  // namespace
+
+ParitySolution solve(const ParityGame& game) {
+  SLAT_ASSERT_MSG(game.is_total(), "parity games must be total");
+  const int n = game.num_nodes();
+  ParitySolution solution;
+  solution.winner.assign(n, -1);
+  solution.strategy.assign(n, -1);
+  std::vector<bool> active(n, true);
+  zielonka(game, std::move(active), solution.winner, solution.strategy);
+  return solution;
+}
+
+}  // namespace slat::games

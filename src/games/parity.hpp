@@ -1,0 +1,72 @@
+// Two-player parity games and Zielonka's recursive algorithm.
+//
+// Convention: max-parity. A play is won by player 0 iff the highest
+// priority occurring infinitely often is even. Games must be total (every
+// node has at least one successor); `add_sink_loops` can be used to
+// totalize. Parity games are positionally determined; `solve` returns both
+// winning regions and positional winning strategies.
+//
+// This is the decision substrate for the branching-time half of the paper:
+// Rabin tree-automaton emptiness and regular-tree membership reduce to
+// games with a Rabin winning condition (rabin_game.hpp), which reduce to
+// parity via index appearance records.
+#pragma once
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace slat::games {
+
+/// Player 0 ("Automaton"/Even) or player 1 ("Pathfinder"/Odd).
+using Player = int;
+
+/// A parity game arena. Nodes are dense indices.
+struct ParityGame {
+  std::vector<Player> owner;               ///< owner[v] ∈ {0, 1}
+  std::vector<int> priority;               ///< priority[v] ≥ 0
+  std::vector<std::vector<int>> successors;
+
+  int num_nodes() const { return static_cast<int>(owner.size()); }
+
+  /// Appends a node, returns its id.
+  int add_node(Player player, int prio) {
+    owner.push_back(player);
+    priority.push_back(prio);
+    successors.emplace_back();
+    return num_nodes() - 1;
+  }
+
+  void add_edge(int from, int to) {
+    SLAT_ASSERT(from >= 0 && from < num_nodes() && to >= 0 && to < num_nodes());
+    successors[from].push_back(to);
+  }
+
+  bool is_total() const {
+    for (const auto& succ : successors) {
+      if (succ.empty()) return false;
+    }
+    return true;
+  }
+};
+
+struct ParitySolution {
+  std::vector<Player> winner;  ///< winner[v] ∈ {0, 1}
+  /// strategy[v] = the successor the winner of v should move to when
+  /// owner[v] == winner[v]; -1 otherwise.
+  std::vector<int> strategy;
+};
+
+/// Zielonka's algorithm. Requires a total game.
+ParitySolution solve(const ParityGame& game);
+
+/// The attractor of `target` for `player` within the node set `active`
+/// (true = in the subgame): nodes from which `player` can force reaching
+/// `target`. Fills `strategy_out[v]` with an attracting edge for
+/// player-owned nodes newly attracted (other entries untouched).
+std::vector<bool> attractor(const ParityGame& game, Player player,
+                            const std::vector<bool>& active,
+                            const std::vector<bool>& target,
+                            std::vector<int>* strategy_out = nullptr);
+
+}  // namespace slat::games

@@ -1,0 +1,239 @@
+#include "games/rabin_game.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <numeric>
+
+namespace slat::games {
+
+namespace {
+
+// Record update: move the indices hit red at this node to the front,
+// preserving relative order within both groups.
+std::vector<int> update_record(const std::vector<int>& record, std::uint32_t red) {
+  std::vector<int> next;
+  next.reserve(record.size());
+  for (int i : record) {
+    if (red >> i & 1u) next.push_back(i);
+  }
+  for (int i : record) {
+    if (!(red >> i & 1u)) next.push_back(i);
+  }
+  return next;
+}
+
+// Priority of visiting a node carrying `marks` while holding `record`
+// (positions 1-based from the front; neutral steps get the odd baseline 1).
+int iar_priority(const std::vector<int>& record, RabinMarks marks) {
+  int priority = 1;
+  for (std::size_t pos = 0; pos < record.size(); ++pos) {
+    const int i = record[pos];
+    const int position = static_cast<int>(pos) + 1;
+    if (marks.green >> i & 1u) priority = std::max(priority, 2 * position);
+    if (marks.red >> i & 1u) priority = std::max(priority, 2 * position + 1);
+  }
+  return priority;
+}
+
+}  // namespace
+
+IarExpansion expand_iar(const RabinGame& game) {
+  SLAT_ASSERT_MSG(game.is_total(), "Rabin games must be total");
+  IarExpansion out;
+  const int n = game.num_nodes();
+  out.initial_node.assign(n, -1);
+
+  std::map<std::pair<int, std::vector<int>>, int> intern;
+  const auto intern_node = [&](int v, const std::vector<int>& record) {
+    const auto key = std::make_pair(v, record);
+    auto it = intern.find(key);
+    if (it == intern.end()) {
+      const int id = out.parity.add_node(game.owner[v], iar_priority(record, game.marks[v]));
+      out.rabin_node.push_back(v);
+      out.record.push_back(record);
+      it = intern.emplace(key, id).first;
+    }
+    return it->second;
+  };
+
+  std::vector<int> identity(game.num_pairs);
+  std::iota(identity.begin(), identity.end(), 0);
+
+  std::deque<int> worklist;
+  for (int v = 0; v < n; ++v) {
+    out.initial_node[v] = intern_node(v, identity);
+  }
+  for (int id = 0; id < out.parity.num_nodes(); ++id) worklist.push_back(id);
+
+  for (std::size_t head = 0; head < worklist.size(); ++head) {
+    const int id = worklist[head];
+    const int v = out.rabin_node[id];
+    const std::vector<int> next_record = update_record(out.record[id], game.marks[v].red);
+    for (int w : game.successors[v]) {
+      const int before = out.parity.num_nodes();
+      const int succ_id = intern_node(w, next_record);
+      if (out.parity.num_nodes() > before) worklist.push_back(succ_id);
+      out.parity.add_edge(id, succ_id);
+    }
+  }
+  return out;
+}
+
+RabinSolution solve_rabin(const RabinGame& game) {
+  RabinSolution solution;
+  solution.expansion = expand_iar(game);
+  solution.parity_solution = solve(solution.expansion.parity);
+  solution.winner.assign(game.num_nodes(), -1);
+  for (int v = 0; v < game.num_nodes(); ++v) {
+    const int node = solution.expansion.initial_node[v];
+    SLAT_ASSERT(node >= 0);
+    solution.winner[v] = solution.parity_solution.winner[node];
+  }
+  return solution;
+}
+
+namespace {
+
+// Is the subgraph induced by `nodes` (a sorted list) strongly connected and
+// non-empty, using only edges of `graph` between members? A closed walk
+// visiting exactly `nodes` exists iff so.
+bool induces_strongly_connected(const std::vector<std::vector<int>>& graph,
+                                const std::vector<int>& nodes) {
+  if (nodes.empty()) return false;
+  const auto member = [&](int v) {
+    return std::binary_search(nodes.begin(), nodes.end(), v);
+  };
+  // A closed walk needs every member to have a successor inside the set;
+  // in particular a singleton only qualifies with a self-loop.
+  for (int v : nodes) {
+    bool has_inner_successor = false;
+    for (int w : graph[v]) {
+      if (member(w)) {
+        has_inner_successor = true;
+        break;
+      }
+    }
+    if (!has_inner_successor) return false;
+  }
+  // Forward reachability within the set, from nodes[0]; then the same on
+  // the transposed edges. SC iff both cover the whole set.
+  for (int direction = 0; direction < 2; ++direction) {
+    std::vector<int> stack{nodes[0]};
+    std::map<int, bool> seen;
+    seen[nodes[0]] = true;
+    std::size_t count = 1;
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      for (std::size_t u = 0; u < graph.size(); ++u) {
+        // direction 0: edges v -> w; direction 1: edges w -> v.
+        if (direction == 0 && u != static_cast<std::size_t>(v)) continue;
+        for (int w : graph[u]) {
+          int from = static_cast<int>(u), to = w;
+          if (direction == 1) std::swap(from, to);
+          if (from != v) continue;
+          if (member(to) && !seen[to]) {
+            seen[to] = true;
+            ++count;
+            stack.push_back(to);
+          }
+        }
+      }
+    }
+    if (count != nodes.size()) return false;
+  }
+  return true;
+}
+
+// Does the cycle support `nodes` violate the Rabin condition for every pair?
+bool is_bad_support(const RabinGame& game, const std::vector<int>& nodes) {
+  for (int i = 0; i < game.num_pairs; ++i) {
+    bool hits_green = false, hits_red = false;
+    for (int v : nodes) {
+      if (game.marks[v].green >> i & 1u) hits_green = true;
+      if (game.marks[v].red >> i & 1u) hits_red = true;
+    }
+    if (hits_green && !hits_red) return false;  // pair i is satisfied
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Player> solve_rabin_brute_force(const RabinGame& game) {
+  SLAT_ASSERT_MSG(game.is_total(), "Rabin games must be total");
+  const int n = game.num_nodes();
+  SLAT_ASSERT_MSG(n <= 12, "brute-force Rabin solver is exponential");
+
+  std::vector<int> p0_nodes;
+  for (int v = 0; v < n; ++v) {
+    if (game.owner[v] == 0) p0_nodes.push_back(v);
+  }
+
+  std::vector<Player> winner(n, 1);  // pessimistic: player 1 until refuted
+
+  std::vector<int> choice(p0_nodes.size(), 0);
+  while (true) {
+    // Build the strategy-restricted graph.
+    std::vector<std::vector<int>> graph(n);
+    for (int v = 0; v < n; ++v) {
+      if (game.owner[v] == 1) {
+        graph[v] = game.successors[v];
+      }
+    }
+    for (std::size_t i = 0; i < p0_nodes.size(); ++i) {
+      const int v = p0_nodes[i];
+      graph[v] = {game.successors[v][choice[i]]};
+    }
+
+    // Nodes participating in some bad cycle support.
+    std::vector<bool> in_bad(n, false);
+    const std::uint32_t limit = 1u << n;
+    for (std::uint32_t mask = 1; mask < limit; ++mask) {
+      std::vector<int> nodes;
+      for (int v = 0; v < n; ++v) {
+        if (mask >> v & 1u) nodes.push_back(v);
+      }
+      if (!is_bad_support(game, nodes)) continue;
+      if (!induces_strongly_connected(graph, nodes)) continue;
+      for (int v : nodes) in_bad[v] = true;
+    }
+
+    // Player 0 wins from v under this strategy iff no bad node is reachable.
+    for (int v = 0; v < n; ++v) {
+      if (winner[v] == 0) continue;
+      std::vector<bool> seen(n, false);
+      std::vector<int> stack{v};
+      seen[v] = true;
+      bool reaches_bad = false;
+      while (!stack.empty() && !reaches_bad) {
+        const int u = stack.back();
+        stack.pop_back();
+        if (in_bad[u]) {
+          reaches_bad = true;
+          break;
+        }
+        for (int w : graph[u]) {
+          if (!seen[w]) {
+            seen[w] = true;
+            stack.push_back(w);
+          }
+        }
+      }
+      if (!reaches_bad) winner[v] = 0;
+    }
+
+    // Next strategy combination.
+    std::size_t pos = 0;
+    while (pos < p0_nodes.size()) {
+      if (++choice[pos] < static_cast<int>(game.successors[p0_nodes[pos]].size())) break;
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == p0_nodes.size()) break;
+  }
+  return winner;
+}
+
+}  // namespace slat::games

@@ -1,0 +1,92 @@
+// Games with a Rabin winning condition, solved by translation to parity
+// games via index appearance records (IAR).
+//
+// Player 0 wins a play iff for SOME pair i the play visits green_i
+// infinitely often and red_i only finitely often — exactly the acceptance
+// condition of Rabin tree automata (§4.4), with player 0 in the role of
+// "Automaton" and player 1 as "Pathfinder".
+//
+// The IAR memory is a permutation of the pair indices; on every step the
+// pairs whose red set was just hit move to the front. Indices that are
+// eventually never red settle at the back, so a green hit deep in the
+// permutation (even priority 2·pos) eventually dominates every red hit
+// (odd priority 2·pos+1) iff some pair is infinitely-green and
+// finitely-red. Rabin games are positionally determined for player 0, and
+// the parity strategy projects to a |pairs|!-memory strategy for player 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "games/parity.hpp"
+
+namespace slat::games {
+
+/// Rabin pair membership flags for one arena node.
+struct RabinMarks {
+  std::uint32_t green = 0;  ///< bit i: node ∈ green_i
+  std::uint32_t red = 0;    ///< bit i: node ∈ red_i
+};
+
+struct RabinGame {
+  std::vector<Player> owner;
+  std::vector<RabinMarks> marks;
+  std::vector<std::vector<int>> successors;
+  int num_pairs = 0;
+
+  int num_nodes() const { return static_cast<int>(owner.size()); }
+
+  int add_node(Player player, RabinMarks node_marks = {}) {
+    owner.push_back(player);
+    marks.push_back(node_marks);
+    successors.emplace_back();
+    return num_nodes() - 1;
+  }
+
+  void add_edge(int from, int to) {
+    SLAT_ASSERT(from >= 0 && from < num_nodes() && to >= 0 && to < num_nodes());
+    successors[from].push_back(to);
+  }
+
+  bool is_total() const {
+    for (const auto& succ : successors) {
+      if (succ.empty()) return false;
+    }
+    return true;
+  }
+};
+
+/// The expanded parity game plus the bookkeeping needed to read strategies
+/// back. Parity node = (rabin node, permutation), interned on the fly from
+/// the initial permutation (identity); only reachable records are built.
+struct IarExpansion {
+  ParityGame parity;
+  /// For each parity node: the underlying Rabin node.
+  std::vector<int> rabin_node;
+  /// For each parity node: the permutation (pair indices, front first).
+  std::vector<std::vector<int>> record;
+  /// Parity node for (rabin node, identity permutation), -1 if unreachable
+  /// from the seeds given to expand().
+  std::vector<int> initial_node;
+};
+
+/// Expands the Rabin game into a parity game, exploring from every Rabin
+/// node with the identity record (so `initial_node` is total).
+IarExpansion expand_iar(const RabinGame& game);
+
+struct RabinSolution {
+  /// winner[v]: winner of Rabin node v (play starting with identity record).
+  std::vector<Player> winner;
+  IarExpansion expansion;
+  ParitySolution parity_solution;
+};
+
+/// Solves the Rabin game for every node. Requires totality.
+RabinSolution solve_rabin(const RabinGame& game);
+
+/// Exhaustive reference solver for tiny games (≤ ~8 nodes): enumerates
+/// player-0 positional strategies and checks every reachable cycle
+/// structure. Used to validate the IAR pipeline in tests; exponential.
+std::vector<Player> solve_rabin_brute_force(const RabinGame& game);
+
+}  // namespace slat::games

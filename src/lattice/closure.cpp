@@ -1,0 +1,124 @@
+#include "lattice/closure.hpp"
+
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace slat::lattice {
+
+std::optional<std::string> LatticeClosure::violation(const FiniteLattice& lattice,
+                                                     const std::vector<Elem>& map) {
+  const int n = lattice.size();
+  if (static_cast<int>(map.size()) != n) return "map size differs from lattice size";
+  for (int a = 0; a < n; ++a) {
+    if (map[a] < 0 || map[a] >= n) return "map image out of range";
+    if (!lattice.leq(a, map[a]))
+      return "not extensive at element " + std::to_string(a);
+  }
+  for (int a = 0; a < n; ++a) {
+    if (map[map[a]] != map[a])
+      return "not idempotent at element " + std::to_string(a);
+  }
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (lattice.leq(a, b) && !lattice.leq(map[a], map[b]))
+        return "not monotone at pair (" + std::to_string(a) + ", " + std::to_string(b) + ")";
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<LatticeClosure> LatticeClosure::from_map(const FiniteLattice& lattice,
+                                                       std::vector<Elem> map) {
+  if (violation(lattice, map)) return std::nullopt;
+  return LatticeClosure(lattice, std::move(map));
+}
+
+LatticeClosure LatticeClosure::from_closed_set(const FiniteLattice& lattice,
+                                               std::vector<Elem> closed_set) {
+  // Meet-complete the generator set; include top so every element has some
+  // closed element above it.
+  const int n = lattice.size();
+  std::vector<bool> closed(n, false);
+  closed[lattice.top()] = true;
+  for (Elem c : closed_set) {
+    SLAT_ASSERT(c >= 0 && c < n);
+    closed[c] = true;
+  }
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (int a = 0; a < n; ++a) {
+      if (!closed[a]) continue;
+      for (int b = 0; b < n; ++b) {
+        if (!closed[b]) continue;
+        const Elem m = lattice.meet(a, b);
+        if (!closed[m]) {
+          closed[m] = true;
+          grew = true;
+        }
+      }
+    }
+  }
+  std::vector<Elem> map(n);
+  for (int a = 0; a < n; ++a) {
+    // cl.a = meet of closed elements above a. Because the closed set is
+    // meet-complete, this meet is itself closed and above a.
+    Elem acc = lattice.top();
+    for (int c = 0; c < n; ++c) {
+      if (closed[c] && lattice.leq(a, c)) acc = lattice.meet(acc, c);
+    }
+    SLAT_ASSERT(closed[acc] && lattice.leq(a, acc));
+    map[a] = acc;
+  }
+  auto result = from_map(lattice, std::move(map));
+  SLAT_ASSERT_MSG(result.has_value(),
+                  "meet-complete closed set must induce a closure");
+  return std::move(*result);
+}
+
+LatticeClosure LatticeClosure::identity(const FiniteLattice& lattice) {
+  std::vector<Elem> map(lattice.size());
+  for (int a = 0; a < lattice.size(); ++a) map[a] = a;
+  return LatticeClosure(lattice, std::move(map));
+}
+
+LatticeClosure LatticeClosure::to_top(const FiniteLattice& lattice) {
+  std::vector<Elem> map(lattice.size(), lattice.top());
+  return LatticeClosure(lattice, std::move(map));
+}
+
+LatticeClosure LatticeClosure::random(const FiniteLattice& lattice, std::mt19937& rng) {
+  std::vector<Elem> gen;
+  std::bernoulli_distribution flip(0.5);
+  for (int a = 0; a < lattice.size(); ++a) {
+    if (flip(rng)) gen.push_back(a);
+  }
+  return from_closed_set(lattice, std::move(gen));
+}
+
+std::vector<Elem> LatticeClosure::closed_elements() const {
+  std::vector<Elem> out;
+  for (int a = 0; a < lattice_->size(); ++a) {
+    if (is_safety_element(a)) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<Elem> LatticeClosure::liveness_elements() const {
+  std::vector<Elem> out;
+  for (int a = 0; a < lattice_->size(); ++a) {
+    if (is_liveness_element(a)) out.push_back(a);
+  }
+  return out;
+}
+
+bool LatticeClosure::pointwise_leq(const LatticeClosure& other) const {
+  SLAT_ASSERT(lattice_ == other.lattice_ || *lattice_ == *other.lattice_);
+  for (int a = 0; a < lattice_->size(); ++a) {
+    if (!lattice_->leq(map_[a], other.map_[a])) return false;
+  }
+  return true;
+}
+
+}  // namespace slat::lattice

@@ -1,0 +1,259 @@
+#include "lattice/constructions.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <set>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace slat::lattice {
+
+namespace {
+
+FiniteLattice lattice_from_covers(int n, const std::vector<std::pair<Elem, Elem>>& covers) {
+  auto lattice = FiniteLattice::from_covers(n, covers);
+  SLAT_ASSERT_MSG(lattice.has_value(), "construction must yield a lattice");
+  return std::move(*lattice);
+}
+
+FiniteLattice lattice_from_leq(std::vector<std::vector<bool>> leq) {
+  auto poset = FinitePoset::from_leq(std::move(leq));
+  SLAT_ASSERT_MSG(poset.has_value(), "construction must yield a poset");
+  auto lattice = FiniteLattice::from_poset(std::move(*poset));
+  SLAT_ASSERT_MSG(lattice.has_value(), "construction must yield a lattice");
+  return std::move(*lattice);
+}
+
+}  // namespace
+
+FiniteLattice n5() {
+  using E = N5Elems;
+  return lattice_from_covers(5, {{E::bottom, E::a},
+                                 {E::a, E::b},
+                                 {E::b, E::top},
+                                 {E::bottom, E::c},
+                                 {E::c, E::top}});
+}
+
+FiniteLattice m3() {
+  return lattice_from_covers(5, {{0, 1}, {0, 2}, {0, 3}, {1, 4}, {2, 4}, {3, 4}});
+}
+
+FiniteLattice fig2() { return m3(); }
+
+FiniteLattice boolean_lattice(int n) {
+  SLAT_ASSERT(n >= 0 && n <= 16);
+  const int size = 1 << n;
+  std::vector<std::vector<bool>> leq(size, std::vector<bool>(size, false));
+  for (int a = 0; a < size; ++a)
+    for (int b = 0; b < size; ++b) leq[a][b] = (a & b) == a;
+  return lattice_from_leq(std::move(leq));
+}
+
+FiniteLattice chain(int n) {
+  SLAT_ASSERT(n >= 1);
+  std::vector<std::vector<bool>> leq(n, std::vector<bool>(n, false));
+  for (int a = 0; a < n; ++a)
+    for (int b = a; b < n; ++b) leq[a][b] = true;
+  return lattice_from_leq(std::move(leq));
+}
+
+std::vector<std::uint64_t> divisors(std::uint64_t n) {
+  SLAT_ASSERT(n >= 1);
+  std::vector<std::uint64_t> divs;
+  for (std::uint64_t d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      divs.push_back(d);
+      if (d != n / d) divs.push_back(n / d);
+    }
+  }
+  std::sort(divs.begin(), divs.end());
+  return divs;
+}
+
+FiniteLattice divisor_lattice(std::uint64_t n) {
+  const auto divs = divisors(n);
+  const int size = static_cast<int>(divs.size());
+  std::vector<std::vector<bool>> leq(size, std::vector<bool>(size, false));
+  for (int a = 0; a < size; ++a)
+    for (int b = 0; b < size; ++b) leq[a][b] = divs[b] % divs[a] == 0;
+  return lattice_from_leq(std::move(leq));
+}
+
+namespace {
+
+// Partitions of {0..n-1} in restricted-growth-string form: rgs[i] is the
+// block index of i, with rgs[0] = 0 and rgs[i] ≤ max(rgs[0..i-1]) + 1.
+void enumerate_rgs(int n, int pos, int max_block, std::vector<int>& rgs,
+                   std::vector<std::vector<int>>& out) {
+  if (pos == n) {
+    out.push_back(rgs);
+    return;
+  }
+  for (int block = 0; block <= max_block + 1; ++block) {
+    rgs[pos] = block;
+    enumerate_rgs(n, pos + 1, std::max(max_block, block), rgs, out);
+  }
+}
+
+// p refines q: every block of p is contained in a block of q.
+bool refines(const std::vector<int>& p, const std::vector<int>& q) {
+  const int n = static_cast<int>(p.size());
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (p[i] == p[j] && q[i] != q[j]) return false;
+  return true;
+}
+
+}  // namespace
+
+FiniteLattice partition_lattice(int n) {
+  SLAT_ASSERT(n >= 1 && n <= 7);
+  std::vector<std::vector<int>> parts;
+  std::vector<int> rgs(n, 0);
+  enumerate_rgs(n, 1, 0, rgs, parts);
+  const int size = static_cast<int>(parts.size());
+  std::vector<std::vector<bool>> leq(size, std::vector<bool>(size, false));
+  for (int a = 0; a < size; ++a)
+    for (int b = 0; b < size; ++b) leq[a][b] = refines(parts[a], parts[b]);
+  return lattice_from_leq(std::move(leq));
+}
+
+FiniteLattice subspace_lattice_gf2(int dim) {
+  SLAT_ASSERT(dim >= 0 && dim <= 4);
+  // A subspace of GF(2)^dim is a set of vectors closed under XOR and
+  // containing 0; represent it as a bitmask over the 2^dim vectors.
+  const int num_vectors = 1 << dim;
+  std::vector<std::uint32_t> subspaces;
+  // Enumerate candidate subsets containing 0 and closed under XOR. 2^dim ≤ 16
+  // vectors, so enumerate subspaces by span of every subset of vectors.
+  const std::uint32_t vec_limit = 1u << num_vectors;
+  std::vector<bool> seen(vec_limit, false);
+  for (std::uint32_t gens = 0; gens < vec_limit; ++gens) {
+    // Compute the span of the generator set `gens`.
+    std::uint32_t span = 1u;  // contains the zero vector
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (int u = 0; u < num_vectors; ++u) {
+        if (!(span >> u & 1u) && !(gens >> u & 1u)) continue;
+        if (!(span >> u & 1u)) {
+          span |= 1u << u;
+          grew = true;
+        }
+        for (int v = 0; v < num_vectors; ++v) {
+          if (!(span >> v & 1u)) continue;
+          const int w = u ^ v;
+          if (!(span >> w & 1u)) {
+            span |= 1u << w;
+            grew = true;
+          }
+        }
+      }
+    }
+    if (!seen[span]) {
+      seen[span] = true;
+      subspaces.push_back(span);
+    }
+  }
+  std::sort(subspaces.begin(), subspaces.end(),
+            [](std::uint32_t a, std::uint32_t b) {
+              const int pa = std::popcount(a), pb = std::popcount(b);
+              return pa != pb ? pa < pb : a < b;
+            });
+  const int size = static_cast<int>(subspaces.size());
+  std::vector<std::vector<bool>> leq(size, std::vector<bool>(size, false));
+  for (int a = 0; a < size; ++a)
+    for (int b = 0; b < size; ++b)
+      leq[a][b] = (subspaces[a] & subspaces[b]) == subspaces[a];
+  return lattice_from_leq(std::move(leq));
+}
+
+FiniteLattice product(const FiniteLattice& lhs, const FiniteLattice& rhs) {
+  const int n = lhs.size() * rhs.size();
+  std::vector<std::vector<bool>> leq(n, std::vector<bool>(n, false));
+  for (int a1 = 0; a1 < lhs.size(); ++a1)
+    for (int b1 = 0; b1 < rhs.size(); ++b1)
+      for (int a2 = 0; a2 < lhs.size(); ++a2)
+        for (int b2 = 0; b2 < rhs.size(); ++b2)
+          leq[a1 * rhs.size() + b1][a2 * rhs.size() + b2] =
+              lhs.leq(a1, a2) && rhs.leq(b1, b2);
+  return lattice_from_leq(std::move(leq));
+}
+
+FiniteLattice downset_lattice(const FinitePoset& poset) {
+  const auto sets = poset.down_sets();
+  const int size = static_cast<int>(sets.size());
+  std::vector<std::vector<bool>> leq(size, std::vector<bool>(size, false));
+  for (int a = 0; a < size; ++a) {
+    for (int b = 0; b < size; ++b) {
+      leq[a][b] = std::includes(sets[b].begin(), sets[b].end(), sets[a].begin(),
+                                sets[a].end());
+    }
+  }
+  return lattice_from_leq(std::move(leq));
+}
+
+DedekindMacNeille dedekind_macneille(const FinitePoset& poset) {
+  const int n = poset.size();
+  SLAT_ASSERT_MSG(n <= 20, "completion enumerates cuts as bitsets");
+  using Cut = std::uint32_t;
+  const Cut everything = n == 0 ? 0 : (n >= 32 ? ~0u : ((1u << n) - 1));
+
+  // Principal ideals ↓x.
+  std::vector<Cut> ideals(n, 0);
+  for (int x = 0; x < n; ++x) {
+    for (int y = 0; y < n; ++y) {
+      if (poset.leq(y, x)) ideals[x] |= 1u << y;
+    }
+  }
+  // Cuts = ∩-closure of the principal ideals, plus the full set (empty
+  // intersection) — this is exactly { Y : Y = (Y^u)^l } for finite posets.
+  std::set<Cut> cuts{everything};
+  for (Cut ideal : ideals) cuts.insert(ideal);
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    const std::vector<Cut> snapshot(cuts.begin(), cuts.end());
+    for (Cut a : snapshot) {
+      for (Cut b : snapshot) {
+        if (cuts.insert(a & b).second) grew = true;
+      }
+    }
+  }
+
+  const std::vector<Cut> ordered(cuts.begin(), cuts.end());
+  const int m = static_cast<int>(ordered.size());
+  std::vector<std::vector<bool>> leq(m, std::vector<bool>(m, false));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) leq[i][j] = (ordered[i] & ordered[j]) == ordered[i];
+  }
+  auto completion_poset = FinitePoset::from_leq(std::move(leq));
+  SLAT_ASSERT(completion_poset.has_value());
+  auto lattice = FiniteLattice::from_poset(std::move(*completion_poset));
+  SLAT_ASSERT_MSG(lattice.has_value(),
+                  "a ∩-closed family ordered by ⊆ is always a lattice");
+
+  DedekindMacNeille out{std::move(*lattice), std::vector<Elem>(n, -1)};
+  for (int x = 0; x < n; ++x) {
+    const auto it = std::find(ordered.begin(), ordered.end(), ideals[x]);
+    SLAT_ASSERT(it != ordered.end());
+    out.embedding[x] = static_cast<Elem>(it - ordered.begin());
+  }
+  return out;
+}
+
+FinitePoset join_irreducible_poset(const FiniteLattice& lattice) {
+  const auto irr = lattice.join_irreducibles();
+  const int size = static_cast<int>(irr.size());
+  std::vector<std::vector<bool>> leq(size, std::vector<bool>(size, false));
+  for (int a = 0; a < size; ++a)
+    for (int b = 0; b < size; ++b) leq[a][b] = lattice.leq(irr[a], irr[b]);
+  auto poset = FinitePoset::from_leq(std::move(leq));
+  SLAT_ASSERT(poset.has_value());
+  return std::move(*poset);
+}
+
+}  // namespace slat::lattice

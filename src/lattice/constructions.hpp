@@ -1,0 +1,96 @@
+// Standard lattice constructions used throughout the paper and the tests:
+// the paper's two counterexample lattices (Figures 1 and 2), Boolean
+// lattices, chains, divisor / partition / subspace lattices, products, and
+// the Birkhoff representation of finite distributive lattices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lattice/finite_lattice.hpp"
+
+namespace slat::lattice {
+
+/// The pentagon N5 — the paper's Figure 1. Not modular. The shape matches
+/// the figure's caption: 0 < a < b < 1 on one side, 0 < c < 1 on the other,
+/// so that a ≤ b but a ∨ (c ∧ b) = a while (a ∨ c) ∧ b = b. The paper's
+/// closure (cl.a = b, identity elsewhere) makes `a` undecomposable (Lemma 6).
+FiniteLattice n5();
+
+/// Named accessors for the N5 elements as labeled in Figure 1.
+struct N5Elems {
+  static constexpr Elem bottom = 0, a = 1, b = 2, c = 3, top = 4;
+};
+
+/// The diamond M3: bottom, three atoms, top. Modular but not distributive;
+/// each atom has the other two as complements.
+/// Indices: 0 = bottom, 1..3 = atoms, 4 = top.
+FiniteLattice m3();
+
+/// The paper's Figure 2 lattice — M3 with the figure's labels: bottom `a`,
+/// middle antichain {s, b, z}, top 1. With any closure mapping a ↦ s it
+/// witnesses that Theorem 7 needs distributivity: s is a safety element,
+/// a = s ∧ z, b ∈ cmp(cl.a), yet z ≤ a ∨ b fails (a ∨ b = b and z ≰ b).
+FiniteLattice fig2();
+
+/// Named accessors for the Figure 2 elements (indices into fig2()/m3()).
+struct Fig2Elems {
+  static constexpr Elem a = 0, s = 1, b = 2, z = 3, top = 4;
+};
+
+/// The Boolean lattice B_n = powerset of an n-element set ordered by
+/// inclusion; element i is the subset whose bitmask is i. Size 2^n; n ≤ 16.
+FiniteLattice boolean_lattice(int n);
+
+/// A linear order with n elements (0 < 1 < ... < n-1). A chain is modular
+/// and distributive but complemented only for n ≤ 2.
+FiniteLattice chain(int n);
+
+/// Divisors of n ordered by divisibility. Distributive; complemented iff n
+/// is squarefree. Element i is the i-th smallest divisor.
+FiniteLattice divisor_lattice(std::uint64_t n);
+
+/// The divisors of n in increasing order (index ↔ element of
+/// divisor_lattice(n)).
+std::vector<std::uint64_t> divisors(std::uint64_t n);
+
+/// The partition lattice Π_n: partitions of {0..n-1} where p ≤ q iff p
+/// refines q. Complemented; modular only for n ≤ 3. n ≤ 7.
+FiniteLattice partition_lattice(int n);
+
+/// The lattice of linear subspaces of the vector space GF(2)^dim, ordered by
+/// inclusion. The canonical modular, complemented, non-distributive lattice —
+/// exactly the paper's Section 3 setting without being Boolean. dim ≤ 4.
+FiniteLattice subspace_lattice_gf2(int dim);
+
+/// Direct product of two lattices (componentwise order). Element index for
+/// the pair (a, b) is a * rhs.size() + b.
+FiniteLattice product(const FiniteLattice& lhs, const FiniteLattice& rhs);
+
+/// Birkhoff's representation: the distributive lattice of down-sets of a
+/// poset, ordered by inclusion. Every finite distributive lattice arises
+/// this way from its poset of join-irreducibles.
+FiniteLattice downset_lattice(const FinitePoset& poset);
+
+/// The sub-poset of join-irreducibles of a lattice (for round-tripping
+/// through Birkhoff's theorem in tests). Index i of the result corresponds
+/// to the i-th join-irreducible (in element order) of `lattice`.
+FinitePoset join_irreducible_poset(const FiniteLattice& lattice);
+
+/// Dedekind–MacNeille completion: the smallest complete lattice into which
+/// the poset order-embeds. Elements of the completion are the "cuts"
+/// (Y = (Y^upper)^lower), computed as the ∩-closure of the principal ideals;
+/// `embedding[x]` is the completion element of ↓x. For a poset that is
+/// already a (finite, hence complete) lattice, the completion is isomorphic
+/// to it. This is the bridge the paper's §1 discussion of Gumm's
+/// ⋁-complete setting needs: finite lattices complete for free, while the
+/// Büchi-language lattice does not (its completion leaves the ω-regular
+/// world), which is exactly why the paper replaces completeness with the
+/// three closure laws.
+struct DedekindMacNeille {
+  FiniteLattice lattice;
+  std::vector<Elem> embedding;  ///< poset element -> completion element
+};
+DedekindMacNeille dedekind_macneille(const FinitePoset& poset);
+
+}  // namespace slat::lattice

@@ -1,0 +1,147 @@
+#include "lattice/decomposition.hpp"
+
+#include <array>
+
+#include "common/assert.hpp"
+
+namespace slat::lattice {
+
+std::optional<Decomposition> decompose(const FiniteLattice& lattice,
+                                       const LatticeClosure& cl1,
+                                       const LatticeClosure& cl2, Elem a) {
+  SLAT_ASSERT(a >= 0 && a < lattice.size());
+  SLAT_ASSERT_MSG(cl1.pointwise_leq(cl2), "Theorem 3 requires cl1 ≤ cl2");
+  const auto complements = lattice.complements(cl2.apply(a));
+  if (complements.empty()) return std::nullopt;
+  const Elem b = complements.front();
+  return Decomposition{
+      .safety = cl1.apply(a),
+      .liveness = lattice.join(a, b),
+      .complement = b,
+  };
+}
+
+std::optional<Decomposition> decompose(const FiniteLattice& lattice,
+                                       const LatticeClosure& cl, Elem a) {
+  return decompose(lattice, cl, cl, a);
+}
+
+bool is_valid_decomposition(const FiniteLattice& lattice, const LatticeClosure& cl1,
+                            const LatticeClosure& cl2, Elem a,
+                            const Decomposition& d) {
+  if (!cl1.is_safety_element(d.safety)) return false;
+  if (!cl2.is_liveness_element(d.liveness)) return false;
+  return lattice.meet(d.safety, d.liveness) == a;
+}
+
+std::optional<Elem> verify_theorem3(const FiniteLattice& lattice,
+                                    const LatticeClosure& cl1,
+                                    const LatticeClosure& cl2) {
+  for (int a = 0; a < lattice.size(); ++a) {
+    const auto d = decompose(lattice, cl1, cl2, a);
+    if (!d || !is_valid_decomposition(lattice, cl1, cl2, a, *d)) return a;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<Elem, Elem>> find_any_decomposition(
+    const FiniteLattice& lattice, const LatticeClosure& cl1,
+    const LatticeClosure& cl2, Elem a) {
+  for (int s = 0; s < lattice.size(); ++s) {
+    if (!cl1.is_safety_element(s)) continue;
+    for (int l = 0; l < lattice.size(); ++l) {
+      if (!cl2.is_liveness_element(l)) continue;
+      if (lattice.meet(s, l) == a) return std::make_pair(s, l);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::array<Elem, 3>> verify_theorem5(const FiniteLattice& lattice,
+                                                   const LatticeClosure& cl1,
+                                                   const LatticeClosure& cl2) {
+  const Elem top = lattice.top();
+  for (int a = 0; a < lattice.size(); ++a) {
+    if (!(cl2.apply(a) == top && cl1.apply(a) != top)) continue;
+    // Theorem 5 claims no (s, l) with cl2.s = s, cl1.l = 1, a = s ∧ l.
+    for (int s = 0; s < lattice.size(); ++s) {
+      if (cl2.apply(s) != s) continue;
+      for (int l = 0; l < lattice.size(); ++l) {
+        if (cl1.apply(l) != top) continue;
+        if (lattice.meet(s, l) == a) return std::array<Elem, 3>{a, s, l};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::array<Elem, 3>> verify_theorem6(const FiniteLattice& lattice,
+                                                   const LatticeClosure& cl1,
+                                                   const LatticeClosure& cl2) {
+  for (int a = 0; a < lattice.size(); ++a) {
+    for (int s = 0; s < lattice.size(); ++s) {
+      const bool closed = cl1.apply(s) == s || cl2.apply(s) == s;
+      if (!closed) continue;
+      for (int z = 0; z < lattice.size(); ++z) {
+        if (lattice.meet(s, z) != a) continue;
+        if (!lattice.leq(cl1.apply(a), s)) return std::array<Elem, 3>{a, s, z};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::array<Elem, 4>> verify_theorem7(const FiniteLattice& lattice,
+                                                   const LatticeClosure& cl1,
+                                                   const LatticeClosure& cl2) {
+  for (int a = 0; a < lattice.size(); ++a) {
+    for (int s = 0; s < lattice.size(); ++s) {
+      const bool closed = cl1.apply(s) == s || cl2.apply(s) == s;
+      if (!closed) continue;
+      for (int z = 0; z < lattice.size(); ++z) {
+        if (lattice.meet(s, z) != a) continue;
+        for (Elem b : lattice.complements(cl1.apply(a))) {
+          if (!lattice.leq(z, lattice.join(a, b)))
+            return std::array<Elem, 4>{a, s, z, b};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<Elem, Elem>> verify_lemma3(const FiniteLattice& lattice,
+                                                   const LatticeClosure& cl) {
+  for (int a = 0; a < lattice.size(); ++a) {
+    for (int b = 0; b < lattice.size(); ++b) {
+      if (!lattice.leq(cl.apply(lattice.meet(a, b)),
+                       lattice.meet(cl.apply(a), cl.apply(b))))
+        return std::make_pair(a, b);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<Elem, Elem>> verify_lemma4(const FiniteLattice& lattice,
+                                                   const LatticeClosure& cl) {
+  for (int a = 0; a < lattice.size(); ++a) {
+    for (Elem b : lattice.complements(cl.apply(a))) {
+      if (!cl.is_liveness_element(lattice.join(a, b))) return std::make_pair(a, b);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::array<Elem, 3>> verify_lemma5(const FiniteLattice& lattice) {
+  for (int b = 0; b < lattice.size(); ++b) {
+    for (Elem c : lattice.complements(b)) {
+      for (int a = 0; a < lattice.size(); ++a) {
+        if (lattice.leq(a, b) && lattice.meet(a, c) != lattice.bottom())
+          return std::array<Elem, 3>{a, b, c};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace slat::lattice

@@ -1,0 +1,98 @@
+// The paper's decomposition machinery on finite lattices: Theorem 3 (and its
+// corollary Theorem 2), the extremal Theorems 6 and 7, the impossibility
+// Theorem 5, and exhaustive verifiers for all of them.
+//
+// These are the *finite-lattice* instances; src/core hosts the generic
+// template versions shared with the automata-based instances.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lattice/closure.hpp"
+#include "lattice/finite_lattice.hpp"
+
+namespace slat::lattice {
+
+/// Result of decomposing `a` as safety ∧ liveness.
+struct Decomposition {
+  Elem safety;      ///< cl1-safety element (cl1.safety = safety)
+  Elem liveness;    ///< cl2-liveness element (cl2.liveness = 1)
+  Elem complement;  ///< the b ∈ cmp(cl2.a) used to build liveness = a ∨ b
+};
+
+/// Theorem 3: given lattice closures cl1 ≤ cl2 on a modular complemented
+/// lattice, decompose `a` as cl1.a ∧ (a ∨ b) with b ∈ cmp(cl2.a).
+/// Preconditions checked: cl1 ≤ cl2 pointwise. Returns std::nullopt only if
+/// cl2.a has no complement (impossible in a complemented lattice).
+///
+/// Note the theorem's *hypotheses* (modularity, complementedness) are not
+/// re-checked here; `verify_theorem3` exercises them, and the Figure 1 tests
+/// show the construction genuinely failing without modularity.
+std::optional<Decomposition> decompose(const FiniteLattice& lattice,
+                                       const LatticeClosure& cl1,
+                                       const LatticeClosure& cl2, Elem a);
+
+/// Single-closure version (Theorem 2): cl1 = cl2 = cl.
+std::optional<Decomposition> decompose(const FiniteLattice& lattice,
+                                       const LatticeClosure& cl, Elem a);
+
+/// Checks that `d` really decomposes `a`: safety is a cl1-safety element,
+/// liveness is a cl2-liveness element, and safety ∧ liveness = a.
+bool is_valid_decomposition(const FiniteLattice& lattice, const LatticeClosure& cl1,
+                            const LatticeClosure& cl2, Elem a, const Decomposition& d);
+
+/// Exhaustively verifies Theorem 3 on a lattice for a pair of closures:
+/// every element decomposes, and the produced decomposition is valid.
+/// Returns a failing element if any.
+std::optional<Elem> verify_theorem3(const FiniteLattice& lattice,
+                                    const LatticeClosure& cl1,
+                                    const LatticeClosure& cl2);
+
+/// Brute-force search: does ANY pair (s, l) with cl1.s = s, cl2.l = 1 and
+/// s ∧ l = a exist? Used to demonstrate Lemma 6 (Figure 1): in the
+/// non-modular N5, element `a` has no decomposition at all.
+std::optional<std::pair<Elem, Elem>> find_any_decomposition(
+    const FiniteLattice& lattice, const LatticeClosure& cl1,
+    const LatticeClosure& cl2, Elem a);
+
+/// Theorem 5 (impossibility): if cl2.a = 1 and cl1.a < 1 then no s, l with
+/// cl2.s = s, cl1.l = 1, a = s ∧ l exist. Verifies the claim exhaustively
+/// for all such a; returns a counterexample (a, s, l) if the theorem were
+/// ever violated (it is not — tests assert nullopt).
+std::optional<std::array<Elem, 3>> verify_theorem5(const FiniteLattice& lattice,
+                                                   const LatticeClosure& cl1,
+                                                   const LatticeClosure& cl2);
+
+/// Theorem 6 (extremal safety): for every a and every decomposition
+/// a = s ∧ z with s closed under cl1 or cl2, we must have cl1.a ≤ s;
+/// i.e. cl1.a is the strongest safety element usable in any decomposition
+/// of a (machine closure). Returns a violating triple (a, s, z) if any.
+std::optional<std::array<Elem, 3>> verify_theorem6(const FiniteLattice& lattice,
+                                                   const LatticeClosure& cl1,
+                                                   const LatticeClosure& cl2);
+
+/// Theorem 7 (extremal liveness, needs distributivity): for every a, every
+/// decomposition a = s ∧ z with s closed, and every b ∈ cmp(cl1.a),
+/// z ≤ a ∨ b. Returns a violating quadruple (a, s, z, b) if any — which is
+/// exactly what the Figure 2 lattice exhibits.
+std::optional<std::array<Elem, 4>> verify_theorem7(const FiniteLattice& lattice,
+                                                   const LatticeClosure& cl1,
+                                                   const LatticeClosure& cl2);
+
+/// Lemma 3: cl(a ∧ b) ≤ cl.a ∧ cl.b for all a, b. Returns violating pair.
+std::optional<std::pair<Elem, Elem>> verify_lemma3(const FiniteLattice& lattice,
+                                                   const LatticeClosure& cl);
+
+/// Lemma 4: if b ∈ cmp(cl.a) then a ∨ b is a cl-liveness element.
+/// Returns violating pair (a, b).
+std::optional<std::pair<Elem, Elem>> verify_lemma4(const FiniteLattice& lattice,
+                                                   const LatticeClosure& cl);
+
+/// Lemma 5: if c ∈ cmp.b and a ≤ b then a ∧ c = 0. Returns violating triple.
+std::optional<std::array<Elem, 3>> verify_lemma5(const FiniteLattice& lattice);
+
+}  // namespace slat::lattice

@@ -1,0 +1,83 @@
+#include "lattice/enumerate.hpp"
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "lattice/closure.hpp"
+
+namespace slat::lattice {
+
+void for_each_labeled_poset(int n, const std::function<void(const FinitePoset&)>& fn) {
+  SLAT_ASSERT(n >= 1 && n <= 6);
+  // Each pair (a, b) with a < b (as integers) is either incomparable or
+  // a < b in the poset; orders incompatible with the integer order are
+  // relabelings of ones compatible with it, so restricting to "natural"
+  // labelings still covers every isomorphism class.
+  const int num_pairs = n * (n - 1) / 2;
+  std::vector<std::pair<int, int>> pairs;
+  for (int a = 0; a < n; ++a)
+    for (int b = a + 1; b < n; ++b) pairs.emplace_back(a, b);
+
+  const std::uint32_t limit = 1u << num_pairs;
+  std::vector<std::vector<bool>> leq(n, std::vector<bool>(n));
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    for (int a = 0; a < n; ++a)
+      for (int b = 0; b < n; ++b) leq[a][b] = a == b;
+    for (int i = 0; i < num_pairs; ++i) {
+      if (mask >> i & 1u) leq[pairs[i].first][pairs[i].second] = true;
+    }
+    // Check transitivity directly (cheaper than closing and comparing).
+    bool transitive = true;
+    for (int a = 0; a < n && transitive; ++a)
+      for (int b = 0; b < n && transitive; ++b) {
+        if (!leq[a][b] || a == b) continue;
+        for (int c = 0; c < n; ++c) {
+          if (leq[b][c] && !leq[a][c]) {
+            transitive = false;
+            break;
+          }
+        }
+      }
+    if (!transitive) continue;
+    auto poset = FinitePoset::from_leq(leq);
+    SLAT_ASSERT(poset.has_value());
+    fn(*poset);
+  }
+}
+
+void for_each_labeled_lattice(int n, const std::function<void(const FiniteLattice&)>& fn) {
+  for_each_labeled_poset(n, [&](const FinitePoset& poset) {
+    auto lattice = FiniteLattice::from_poset(poset);
+    if (lattice) fn(*lattice);
+  });
+}
+
+void for_each_closure(const FiniteLattice& lattice,
+                      const std::function<void(const LatticeClosure&)>& fn) {
+  const int n = lattice.size();
+  SLAT_ASSERT_MSG(n <= 20, "closure enumeration is exponential in lattice size");
+  // Enumerate subsets containing top that are closed under binary meets.
+  const std::uint32_t limit = 1u << n;
+  const std::uint32_t top_bit = 1u << lattice.top();
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    if (!(mask & top_bit)) continue;
+    bool meet_closed = true;
+    for (int a = 0; a < n && meet_closed; ++a) {
+      if (!(mask >> a & 1u)) continue;
+      for (int b = a; b < n; ++b) {
+        if (!(mask >> b & 1u)) continue;
+        if (!(mask >> lattice.meet(a, b) & 1u)) {
+          meet_closed = false;
+          break;
+        }
+      }
+    }
+    if (!meet_closed) continue;
+    std::vector<Elem> closed;
+    for (int a = 0; a < n; ++a)
+      if (mask >> a & 1u) closed.push_back(a);
+    fn(LatticeClosure::from_closed_set(lattice, std::move(closed)));
+  }
+}
+
+}  // namespace slat::lattice

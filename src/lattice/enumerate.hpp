@@ -1,0 +1,30 @@
+// Exhaustive enumeration of small posets/lattices, used by the Figure 1 and
+// Figure 2 sweeps: "over ALL lattices with at most N elements, modularity is
+// exactly what separates always-decomposable from sometimes-not".
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "lattice/closure.hpp"
+#include "lattice/finite_lattice.hpp"
+
+namespace slat::lattice {
+
+/// Calls `fn` for every labeled poset on n elements whose linear order of
+/// indices extends the partial order (i.e. a < b in the poset implies
+/// a < b as integers — every poset on n elements appears this way at least
+/// once, possibly more than once under relabeling). n ≤ 6.
+void for_each_labeled_poset(int n, const std::function<void(const FinitePoset&)>& fn);
+
+/// Calls `fn` for every labeled lattice on n elements (same labeling caveat
+/// as for_each_labeled_poset). n ≤ 6.
+void for_each_labeled_lattice(int n, const std::function<void(const FiniteLattice&)>& fn);
+
+/// Calls `fn` for every lattice-closure operator on the given lattice.
+/// There is one closure per meet-complete subset containing the top, so this
+/// enumerates closed sets. Practical for lattices up to ~16 elements.
+void for_each_closure(const FiniteLattice& lattice,
+                      const std::function<void(const LatticeClosure&)>& fn);
+
+}  // namespace slat::lattice

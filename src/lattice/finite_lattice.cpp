@@ -1,0 +1,152 @@
+#include "lattice/finite_lattice.hpp"
+
+#include <array>
+
+#include "common/assert.hpp"
+
+namespace slat::lattice {
+
+FiniteLattice::FiniteLattice(FinitePoset poset, std::vector<std::vector<Elem>> meet,
+                             std::vector<std::vector<Elem>> join, Elem bottom, Elem top)
+    : poset_(std::move(poset)),
+      meet_(std::move(meet)),
+      join_(std::move(join)),
+      bottom_(bottom),
+      top_(top) {}
+
+std::optional<FiniteLattice> FiniteLattice::from_poset(FinitePoset poset) {
+  const int n = poset.size();
+  if (n == 0) return std::nullopt;
+  std::vector<std::vector<Elem>> meet(n, std::vector<Elem>(n));
+  std::vector<std::vector<Elem>> join(n, std::vector<Elem>(n));
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      auto m = poset.meet(a, b);
+      auto j = poset.join(a, b);
+      if (!m || !j) return std::nullopt;
+      meet[a][b] = *m;
+      join[a][b] = *j;
+    }
+  }
+  auto bottom = poset.bottom();
+  auto top = poset.top();
+  // A finite lattice always has both (meet/join of everything).
+  SLAT_ASSERT(bottom && top);
+  return FiniteLattice(std::move(poset), std::move(meet), std::move(join), *bottom, *top);
+}
+
+std::optional<FiniteLattice> FiniteLattice::from_covers(
+    int n, const std::vector<std::pair<Elem, Elem>>& covers) {
+  auto poset = FinitePoset::from_covers(n, covers);
+  if (!poset) return std::nullopt;
+  return from_poset(std::move(*poset));
+}
+
+Elem FiniteLattice::meet_all(const std::vector<Elem>& xs) const {
+  Elem acc = top_;
+  for (Elem x : xs) acc = meet(acc, x);
+  return acc;
+}
+
+Elem FiniteLattice::join_all(const std::vector<Elem>& xs) const {
+  Elem acc = bottom_;
+  for (Elem x : xs) acc = join(acc, x);
+  return acc;
+}
+
+std::vector<Elem> FiniteLattice::complements(Elem a) const {
+  SLAT_ASSERT(a >= 0 && a < size());
+  std::vector<Elem> out;
+  for (int b = 0; b < size(); ++b) {
+    if (meet(a, b) == bottom_ && join(a, b) == top_) out.push_back(b);
+  }
+  return out;
+}
+
+bool FiniteLattice::is_modular() const { return !modularity_counterexample(); }
+
+bool FiniteLattice::is_distributive() const { return !distributivity_counterexample(); }
+
+bool FiniteLattice::is_complemented() const {
+  for (int a = 0; a < size(); ++a) {
+    if (complements(a).empty()) return false;
+  }
+  return true;
+}
+
+std::optional<std::array<Elem, 3>> FiniteLattice::modularity_counterexample() const {
+  for (int a = 0; a < size(); ++a) {
+    for (int c = 0; c < size(); ++c) {
+      if (!leq(a, c)) continue;
+      for (int b = 0; b < size(); ++b) {
+        if (join(a, meet(b, c)) != meet(join(a, b), c)) {
+          return std::array<Elem, 3>{a, b, c};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::array<Elem, 3>> FiniteLattice::distributivity_counterexample() const {
+  for (int a = 0; a < size(); ++a) {
+    for (int b = 0; b < size(); ++b) {
+      for (int c = 0; c < size(); ++c) {
+        if (meet(a, join(b, c)) != join(meet(a, b), meet(a, c))) {
+          return std::array<Elem, 3>{a, b, c};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool FiniteLattice::satisfies_lattice_axioms() const {
+  const int n = size();
+  for (int a = 0; a < n; ++a) {
+    if (meet(a, a) != a || join(a, a) != a) return false;  // idempotency
+    for (int b = 0; b < n; ++b) {
+      if (meet(a, b) != meet(b, a) || join(a, b) != join(b, a)) return false;  // comm.
+      if (meet(a, join(a, b)) != a || join(a, meet(a, b)) != a) return false;  // absorp.
+      for (int c = 0; c < n; ++c) {
+        if (meet(meet(a, b), c) != meet(a, meet(b, c))) return false;  // assoc.
+        if (join(join(a, b), c) != join(a, join(b, c))) return false;
+      }
+    }
+  }
+  // The induced order must agree with the poset: a ≤ b ⟺ a ∧ b = a ⟺ a ∨ b = b.
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      const bool ord = leq(a, b);
+      if (ord != (meet(a, b) == a)) return false;
+      if (ord != (join(a, b) == b)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Elem> FiniteLattice::join_irreducibles() const {
+  std::vector<Elem> out;
+  for (int x = 0; x < size(); ++x) {
+    if (x == bottom_) continue;
+    bool irreducible = true;
+    for (int a = 0; a < size() && irreducible; ++a) {
+      for (int b = 0; b < size(); ++b) {
+        if (a != x && b != x && join(a, b) == x) {
+          irreducible = false;
+          break;
+        }
+      }
+    }
+    if (irreducible) out.push_back(x);
+  }
+  return out;
+}
+
+FiniteLattice FiniteLattice::dual() const {
+  auto dual_lattice = from_poset(poset_.dual());
+  SLAT_ASSERT(dual_lattice.has_value());
+  return std::move(*dual_lattice);
+}
+
+}  // namespace slat::lattice

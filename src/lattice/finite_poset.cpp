@@ -1,0 +1,198 @@
+#include "lattice/finite_poset.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace slat::lattice {
+
+std::optional<FinitePoset> FinitePoset::from_leq(std::vector<std::vector<bool>> leq) {
+  const int n = static_cast<int>(leq.size());
+  for (const auto& row : leq) {
+    if (static_cast<int>(row.size()) != n) return std::nullopt;
+  }
+  for (int a = 0; a < n; ++a) {
+    if (!leq[a][a]) return std::nullopt;  // reflexivity
+    for (int b = 0; b < n; ++b) {
+      if (a != b && leq[a][b] && leq[b][a]) return std::nullopt;  // antisymmetry
+      if (!leq[a][b]) continue;
+      for (int c = 0; c < n; ++c) {
+        if (leq[b][c] && !leq[a][c]) return std::nullopt;  // transitivity
+      }
+    }
+  }
+  return FinitePoset(std::move(leq));
+}
+
+std::optional<FinitePoset> FinitePoset::from_covers(
+    int n, const std::vector<std::pair<Elem, Elem>>& covers) {
+  SLAT_ASSERT(n >= 0);
+  std::vector<std::vector<bool>> leq(n, std::vector<bool>(n, false));
+  for (int a = 0; a < n; ++a) leq[a][a] = true;
+  for (const auto& [a, b] : covers) {
+    SLAT_ASSERT(a >= 0 && a < n && b >= 0 && b < n);
+    if (a == b) return std::nullopt;
+    leq[a][b] = true;
+  }
+  // Floyd–Warshall-style transitive closure.
+  for (int k = 0; k < n; ++k)
+    for (int a = 0; a < n; ++a)
+      if (leq[a][k])
+        for (int b = 0; b < n; ++b)
+          if (leq[k][b]) leq[a][b] = true;
+  // A cycle shows up as mutual order between distinct elements.
+  for (int a = 0; a < n; ++a)
+    for (int b = a + 1; b < n; ++b)
+      if (leq[a][b] && leq[b][a]) return std::nullopt;
+  return FinitePoset(std::move(leq));
+}
+
+std::vector<Elem> FinitePoset::maximal_elements() const {
+  std::vector<Elem> out;
+  for (int a = 0; a < size(); ++a) {
+    bool maximal = true;
+    for (int b = 0; b < size(); ++b) {
+      if (lt(a, b)) {
+        maximal = false;
+        break;
+      }
+    }
+    if (maximal) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<Elem> FinitePoset::minimal_elements() const {
+  std::vector<Elem> out;
+  for (int a = 0; a < size(); ++a) {
+    bool minimal = true;
+    for (int b = 0; b < size(); ++b) {
+      if (lt(b, a)) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<std::pair<Elem, Elem>> FinitePoset::cover_pairs() const {
+  std::vector<std::pair<Elem, Elem>> out;
+  for (int a = 0; a < size(); ++a) {
+    for (int b = 0; b < size(); ++b) {
+      if (!lt(a, b)) continue;
+      bool covered = true;
+      for (int c = 0; c < size(); ++c) {
+        if (lt(a, c) && lt(c, b)) {
+          covered = false;
+          break;
+        }
+      }
+      if (covered) out.emplace_back(a, b);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<Elem> FinitePoset::meet(Elem a, Elem b) const {
+  // The meet is the greatest common lower bound: a lower bound above all
+  // other lower bounds.
+  std::optional<Elem> best;
+  for (int c = 0; c < size(); ++c) {
+    if (!(leq(c, a) && leq(c, b))) continue;
+    if (!best || lt(*best, c)) best = c;
+  }
+  if (!best) return std::nullopt;
+  for (int c = 0; c < size(); ++c) {
+    if (leq(c, a) && leq(c, b) && !leq(c, *best)) return std::nullopt;
+  }
+  return best;
+}
+
+std::optional<Elem> FinitePoset::join(Elem a, Elem b) const {
+  std::optional<Elem> best;
+  for (int c = 0; c < size(); ++c) {
+    if (!(leq(a, c) && leq(b, c))) continue;
+    if (!best || lt(c, *best)) best = c;
+  }
+  if (!best) return std::nullopt;
+  for (int c = 0; c < size(); ++c) {
+    if (leq(a, c) && leq(b, c) && !leq(*best, c)) return std::nullopt;
+  }
+  return best;
+}
+
+bool FinitePoset::is_lattice() const {
+  if (size() == 0) return false;
+  for (int a = 0; a < size(); ++a) {
+    for (int b = a + 1; b < size(); ++b) {
+      if (!meet(a, b) || !join(a, b)) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Elem> FinitePoset::bottom() const {
+  for (int a = 0; a < size(); ++a) {
+    bool below_all = true;
+    for (int b = 0; b < size(); ++b) {
+      if (!leq(a, b)) {
+        below_all = false;
+        break;
+      }
+    }
+    if (below_all) return a;
+  }
+  return std::nullopt;
+}
+
+std::optional<Elem> FinitePoset::top() const {
+  for (int a = 0; a < size(); ++a) {
+    bool above_all = true;
+    for (int b = 0; b < size(); ++b) {
+      if (!leq(b, a)) {
+        above_all = false;
+        break;
+      }
+    }
+    if (above_all) return a;
+  }
+  return std::nullopt;
+}
+
+FinitePoset FinitePoset::dual() const {
+  std::vector<std::vector<bool>> rev(size(), std::vector<bool>(size(), false));
+  for (int a = 0; a < size(); ++a)
+    for (int b = 0; b < size(); ++b) rev[a][b] = leq_[b][a];
+  return FinitePoset(std::move(rev));
+}
+
+std::vector<std::vector<Elem>> FinitePoset::down_sets() const {
+  // Enumerate subsets in increasing order of popcount-free brute force;
+  // fine for the ≤ 20-element posets the Birkhoff construction sees.
+  SLAT_ASSERT_MSG(size() <= 20, "down_sets is exponential; poset too large");
+  std::vector<std::vector<Elem>> out;
+  const std::uint32_t limit = 1u << size();
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    bool closed = true;
+    for (int b = 0; b < size() && closed; ++b) {
+      if (!(mask >> b & 1u)) continue;
+      for (int a = 0; a < size(); ++a) {
+        if (lt(a, b) && !(mask >> a & 1u)) {
+          closed = false;
+          break;
+        }
+      }
+    }
+    if (!closed) continue;
+    std::vector<Elem> set;
+    for (int a = 0; a < size(); ++a)
+      if (mask >> a & 1u) set.push_back(a);
+    out.push_back(std::move(set));
+  }
+  return out;
+}
+
+}  // namespace slat::lattice

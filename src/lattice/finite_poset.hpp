@@ -1,0 +1,81 @@
+// Finite partially ordered sets with an explicit order relation.
+//
+// Elements are indices 0..size()-1. The order is stored as a dense
+// boolean matrix, which keeps every query O(1) and every global check
+// (transitivity, lattice-ness, modularity, ...) a straightforward loop.
+// All lattices in this library are small (the paper's counterexamples have
+// five elements; the largest sweeps use a few hundred), so density is the
+// right trade-off.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace slat::lattice {
+
+/// An element of a poset/lattice, by index.
+using Elem = int;
+
+/// A finite poset given by its full order relation (reflexive, antisymmetric,
+/// transitive). Construct via `from_leq` (validates) or `from_covers`
+/// (computes the reflexive-transitive closure of a cover/Hasse relation).
+class FinitePoset {
+ public:
+  FinitePoset() = default;
+
+  /// Builds a poset from a complete ≤ matrix. Returns std::nullopt if the
+  /// matrix is not reflexive, antisymmetric, and transitive.
+  static std::optional<FinitePoset> from_leq(std::vector<std::vector<bool>> leq);
+
+  /// Builds a poset from cover pairs (a ⋖ b means a < b with nothing between;
+  /// any acyclic "less-than" pairs are accepted and transitively closed).
+  /// Returns std::nullopt if the pairs induce a cycle.
+  static std::optional<FinitePoset> from_covers(int n,
+                                                const std::vector<std::pair<Elem, Elem>>& covers);
+
+  int size() const { return static_cast<int>(leq_.size()); }
+
+  bool leq(Elem a, Elem b) const { return leq_[a][b]; }
+  bool lt(Elem a, Elem b) const { return a != b && leq_[a][b]; }
+  bool comparable(Elem a, Elem b) const { return leq_[a][b] || leq_[b][a]; }
+
+  /// All maximal / minimal elements.
+  std::vector<Elem> maximal_elements() const;
+  std::vector<Elem> minimal_elements() const;
+
+  /// The cover (Hasse) relation recovered from the order: pairs (a, b) with
+  /// a ⋖ b. Sorted lexicographically.
+  std::vector<std::pair<Elem, Elem>> cover_pairs() const;
+
+  /// Greatest lower bound of {a, b} if it exists.
+  std::optional<Elem> meet(Elem a, Elem b) const;
+  /// Least upper bound of {a, b} if it exists.
+  std::optional<Elem> join(Elem a, Elem b) const;
+
+  /// True iff every pair of elements has both a meet and a join.
+  bool is_lattice() const;
+
+  /// Bottom element (below everything) if it exists.
+  std::optional<Elem> bottom() const;
+  /// Top element (above everything) if it exists.
+  std::optional<Elem> top() const;
+
+  /// The dual poset (order reversed).
+  FinitePoset dual() const;
+
+  /// All down-sets (order ideals), each as a sorted vector of elements.
+  /// Exponential in general; used by the Birkhoff construction on small posets.
+  std::vector<std::vector<Elem>> down_sets() const;
+
+  bool operator==(const FinitePoset& other) const { return leq_ == other.leq_; }
+
+ private:
+  explicit FinitePoset(std::vector<std::vector<bool>> leq) : leq_(std::move(leq)) {}
+
+  std::vector<std::vector<bool>> leq_;
+};
+
+}  // namespace slat::lattice

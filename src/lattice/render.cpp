@@ -1,0 +1,69 @@
+#include "lattice/render.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace slat::lattice {
+
+namespace {
+
+std::string label_of(int a, const std::vector<std::string>& labels) {
+  if (a < static_cast<int>(labels.size()) && !labels[a].empty()) return labels[a];
+  return std::to_string(a);
+}
+
+}  // namespace
+
+std::vector<int> element_heights(const FiniteLattice& lattice) {
+  const int n = lattice.size();
+  std::vector<int> height(n, 0);
+  // Heights via repeated relaxation over covers; the lattice is tiny.
+  const auto covers = lattice.poset().cover_pairs();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [lo, hi] : covers) {
+      if (height[hi] < height[lo] + 1) {
+        height[hi] = height[lo] + 1;
+        changed = true;
+      }
+    }
+  }
+  return height;
+}
+
+std::string to_dot(const FiniteLattice& lattice, const std::vector<std::string>& labels) {
+  std::ostringstream out;
+  out << "digraph hasse {\n  rankdir=BT;\n  node [shape=circle];\n";
+  for (int a = 0; a < lattice.size(); ++a) {
+    out << "  n" << a << " [label=\"" << label_of(a, labels) << "\"];\n";
+  }
+  for (const auto& [lo, hi] : lattice.poset().cover_pairs()) {
+    out << "  n" << lo << " -> n" << hi << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_text(const FiniteLattice& lattice, const std::vector<std::string>& labels) {
+  const auto height = element_heights(lattice);
+  const int max_height = *std::max_element(height.begin(), height.end());
+  std::ostringstream out;
+  for (int h = max_height; h >= 0; --h) {
+    out << "rank " << h << ":";
+    for (int a = 0; a < lattice.size(); ++a) {
+      if (height[a] == h) out << "  " << label_of(a, labels);
+    }
+    out << "\n";
+  }
+  out << "covers:";
+  for (const auto& [lo, hi] : lattice.poset().cover_pairs()) {
+    out << "  " << label_of(lo, labels) << "<" << label_of(hi, labels);
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace slat::lattice

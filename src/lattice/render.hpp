@@ -1,0 +1,23 @@
+// Rendering of Hasse diagrams — regenerates the paper's Figures 1 and 2 as
+// text (and Graphviz DOT for anyone who wants the pictures).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lattice/finite_lattice.hpp"
+
+namespace slat::lattice {
+
+/// Graphviz DOT of the Hasse diagram (covers as edges, bottom at the
+/// bottom). `labels` may be empty (indices are used) or one per element.
+std::string to_dot(const FiniteLattice& lattice, const std::vector<std::string>& labels = {});
+
+/// A plain-text rendering: elements grouped by height (longest chain from
+/// bottom), one rank per line, top first, with the cover relation listed.
+std::string to_text(const FiniteLattice& lattice, const std::vector<std::string>& labels = {});
+
+/// Height of each element: length of the longest chain from the bottom.
+std::vector<int> element_heights(const FiniteLattice& lattice);
+
+}  // namespace slat::lattice

@@ -1,0 +1,153 @@
+#include "ltl/eval.hpp"
+
+#include <map>
+
+#include "common/assert.hpp"
+
+namespace slat::ltl {
+
+namespace {
+
+class Evaluator {
+ public:
+  Evaluator(const LtlArena& arena, const UpWord& w)
+      : arena_(arena),
+        w_(w),
+        positions_(static_cast<int>(w.prefix_size() + w.period_size())) {}
+
+  // Truth of f at each of the `positions_` structural positions.
+  const std::vector<bool>& eval(FormulaId f) {
+    auto it = cache_.find(f);
+    if (it != cache_.end()) return it->second;
+    std::vector<bool> result(positions_, false);
+    const FormulaNode& n = arena_.node(f);
+    switch (n.op) {
+      case Op::kTrue:
+        result.assign(positions_, true);
+        break;
+      case Op::kFalse:
+        break;
+      case Op::kAtom:
+        for (int i = 0; i < positions_; ++i) result[i] = w_.at(i) == n.atom;
+        break;
+      case Op::kNot: {
+        const auto& sub = eval(n.lhs);
+        for (int i = 0; i < positions_; ++i) result[i] = !sub[i];
+        break;
+      }
+      case Op::kAnd: {
+        const auto lhs = eval(n.lhs);  // copy: the cache may rehash below
+        const auto& rhs = eval(n.rhs);
+        for (int i = 0; i < positions_; ++i) result[i] = lhs[i] && rhs[i];
+        break;
+      }
+      case Op::kOr: {
+        const auto lhs = eval(n.lhs);
+        const auto& rhs = eval(n.rhs);
+        for (int i = 0; i < positions_; ++i) result[i] = lhs[i] || rhs[i];
+        break;
+      }
+      case Op::kImplies: {
+        const auto lhs = eval(n.lhs);
+        const auto& rhs = eval(n.rhs);
+        for (int i = 0; i < positions_; ++i) result[i] = !lhs[i] || rhs[i];
+        break;
+      }
+      case Op::kNext: {
+        const auto& sub = eval(n.lhs);
+        for (int i = 0; i < positions_; ++i) result[i] = sub[next(i)];
+        break;
+      }
+      case Op::kEventually: {
+        // Least fixpoint of result[i] = sub[i] ∨ result[next(i)].
+        const auto& sub = eval(n.lhs);
+        result = least_fixpoint([&](const std::vector<bool>& prev, int i) {
+          return sub[i] || prev[next(i)];
+        });
+        break;
+      }
+      case Op::kAlways: {
+        const auto& sub = eval(n.lhs);
+        result = greatest_fixpoint([&](const std::vector<bool>& prev, int i) {
+          return sub[i] && prev[next(i)];
+        });
+        break;
+      }
+      case Op::kUntil: {
+        const auto lhs = eval(n.lhs);
+        const auto& rhs = eval(n.rhs);
+        result = least_fixpoint([&](const std::vector<bool>& prev, int i) {
+          return rhs[i] || (lhs[i] && prev[next(i)]);
+        });
+        break;
+      }
+      case Op::kRelease: {
+        const auto lhs = eval(n.lhs);
+        const auto& rhs = eval(n.rhs);
+        result = greatest_fixpoint([&](const std::vector<bool>& prev, int i) {
+          return rhs[i] && (lhs[i] || prev[next(i)]);
+        });
+        break;
+      }
+    }
+    return cache_.emplace(f, std::move(result)).first->second;
+  }
+
+ private:
+  int next(int i) const {
+    return i + 1 < positions_ ? i + 1 : static_cast<int>(w_.prefix_size());
+  }
+
+  template <typename Step>
+  std::vector<bool> least_fixpoint(const Step& step) {
+    std::vector<bool> current(positions_, false);
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (int i = positions_ - 1; i >= 0; --i) {
+        const bool value = step(current, i);
+        if (value != current[i]) {
+          current[i] = value;
+          changed = true;
+        }
+      }
+    }
+    return current;
+  }
+
+  template <typename Step>
+  std::vector<bool> greatest_fixpoint(const Step& step) {
+    std::vector<bool> current(positions_, true);
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (int i = positions_ - 1; i >= 0; --i) {
+        const bool value = step(current, i);
+        if (value != current[i]) {
+          current[i] = value;
+          changed = true;
+        }
+      }
+    }
+    return current;
+  }
+
+  const LtlArena& arena_;
+  const UpWord& w_;
+  int positions_;
+  std::map<FormulaId, std::vector<bool>> cache_;
+};
+
+}  // namespace
+
+bool holds(const LtlArena& arena, FormulaId f, const UpWord& w) {
+  Evaluator evaluator(arena, w);
+  const auto& table = evaluator.eval(f);
+  SLAT_ASSERT(!table.empty());
+  return table[0];
+}
+
+std::vector<bool> truth_table(const LtlArena& arena, FormulaId f, const UpWord& w) {
+  Evaluator evaluator(arena, w);
+  return evaluator.eval(f);
+}
+
+}  // namespace slat::ltl

@@ -1,0 +1,24 @@
+// Exact LTL semantics on ultimately periodic words.
+//
+// An UP-word u·v^ω has only |u| + |v| distinct suffix classes, so the truth
+// value of every subformula at every position is computable by fixpoint
+// iteration over those positions. This evaluator is the ground-truth oracle
+// against which the automaton pipeline (GPVW translation, closure,
+// complementation) is differentially tested.
+#pragma once
+
+#include "ltl/formula.hpp"
+#include "words/up_word.hpp"
+
+namespace slat::ltl {
+
+using words::UpWord;
+
+/// Does w ⊨ f (at position 0)?
+bool holds(const LtlArena& arena, FormulaId f, const UpWord& w);
+
+/// Truth of f at every structural position of w: positions 0..p+k-1 where
+/// p = |prefix|, k = |period| (position p+k-1 wraps to p).
+std::vector<bool> truth_table(const LtlArena& arena, FormulaId f, const UpWord& w);
+
+}  // namespace slat::ltl

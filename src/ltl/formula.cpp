@@ -1,0 +1,362 @@
+#include "ltl/formula.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace slat::ltl {
+
+LtlArena::LtlArena(Alphabet alphabet) : alphabet_(std::move(alphabet)) {}
+
+FormulaId LtlArena::intern(FormulaNode node) {
+  auto it = index_.find(node);
+  if (it != index_.end()) return it->second;
+  const FormulaId id = static_cast<FormulaId>(nodes_.size());
+  nodes_.push_back(node);
+  index_.emplace(node, id);
+  return id;
+}
+
+const FormulaNode& LtlArena::node(FormulaId f) const {
+  SLAT_ASSERT(f >= 0 && f < size());
+  return nodes_[f];
+}
+
+FormulaId LtlArena::tru() { return intern({Op::kTrue}); }
+FormulaId LtlArena::fls() { return intern({Op::kFalse}); }
+
+FormulaId LtlArena::atom(Sym s) {
+  SLAT_ASSERT(s >= 0 && s < alphabet_.size());
+  return intern({Op::kAtom, s});
+}
+
+FormulaId LtlArena::atom(std::string_view name) {
+  const auto s = alphabet_.index_of(name);
+  SLAT_ASSERT_MSG(s.has_value(), "atom name not in alphabet");
+  return atom(*s);
+}
+
+FormulaId LtlArena::negation(FormulaId f) {
+  const FormulaNode& n = node(f);
+  if (n.op == Op::kTrue) return fls();
+  if (n.op == Op::kFalse) return tru();
+  if (n.op == Op::kNot) return n.lhs;
+  return intern({Op::kNot, -1, f});
+}
+
+FormulaId LtlArena::conj(FormulaId lhs, FormulaId rhs) {
+  if (node(lhs).op == Op::kTrue) return rhs;
+  if (node(rhs).op == Op::kTrue) return lhs;
+  if (node(lhs).op == Op::kFalse || node(rhs).op == Op::kFalse) return fls();
+  if (lhs == rhs) return lhs;
+  if (lhs > rhs) std::swap(lhs, rhs);  // commutative: canonical operand order
+  return intern({Op::kAnd, -1, lhs, rhs});
+}
+
+FormulaId LtlArena::disj(FormulaId lhs, FormulaId rhs) {
+  if (node(lhs).op == Op::kFalse) return rhs;
+  if (node(rhs).op == Op::kFalse) return lhs;
+  if (node(lhs).op == Op::kTrue || node(rhs).op == Op::kTrue) return tru();
+  if (lhs == rhs) return lhs;
+  if (lhs > rhs) std::swap(lhs, rhs);
+  return intern({Op::kOr, -1, lhs, rhs});
+}
+
+FormulaId LtlArena::implies(FormulaId lhs, FormulaId rhs) {
+  return intern({Op::kImplies, -1, lhs, rhs});
+}
+
+FormulaId LtlArena::next(FormulaId f) { return intern({Op::kNext, -1, f}); }
+
+FormulaId LtlArena::eventually(FormulaId f) {
+  if (node(f).op == Op::kTrue || node(f).op == Op::kFalse) return f;
+  return intern({Op::kEventually, -1, f});
+}
+
+FormulaId LtlArena::always(FormulaId f) {
+  if (node(f).op == Op::kTrue || node(f).op == Op::kFalse) return f;
+  return intern({Op::kAlways, -1, f});
+}
+
+FormulaId LtlArena::until(FormulaId lhs, FormulaId rhs) {
+  if (node(rhs).op == Op::kTrue || node(rhs).op == Op::kFalse) return rhs;
+  return intern({Op::kUntil, -1, lhs, rhs});
+}
+
+FormulaId LtlArena::release(FormulaId lhs, FormulaId rhs) {
+  if (node(rhs).op == Op::kTrue || node(rhs).op == Op::kFalse) return rhs;
+  return intern({Op::kRelease, -1, lhs, rhs});
+}
+
+namespace {
+
+// NNF with an explicit polarity; memoization is skipped (formulas are tiny
+// and the arena dedups results anyway).
+FormulaId nnf_rec(LtlArena& arena, FormulaId f, bool negated) {
+  const FormulaNode n = arena.node(f);
+  switch (n.op) {
+    case Op::kTrue:
+      return negated ? arena.fls() : arena.tru();
+    case Op::kFalse:
+      return negated ? arena.tru() : arena.fls();
+    case Op::kAtom:
+      return negated ? arena.negation(f) : f;
+    case Op::kNot:
+      return nnf_rec(arena, n.lhs, !negated);
+    case Op::kAnd: {
+      const FormulaId lhs = nnf_rec(arena, n.lhs, negated);
+      const FormulaId rhs = nnf_rec(arena, n.rhs, negated);
+      return negated ? arena.disj(lhs, rhs) : arena.conj(lhs, rhs);
+    }
+    case Op::kOr: {
+      const FormulaId lhs = nnf_rec(arena, n.lhs, negated);
+      const FormulaId rhs = nnf_rec(arena, n.rhs, negated);
+      return negated ? arena.conj(lhs, rhs) : arena.disj(lhs, rhs);
+    }
+    case Op::kImplies:
+      // φ → ψ = ¬φ ∨ ψ.
+      return negated ? arena.conj(nnf_rec(arena, n.lhs, false), nnf_rec(arena, n.rhs, true))
+                     : arena.disj(nnf_rec(arena, n.lhs, true), nnf_rec(arena, n.rhs, false));
+    case Op::kNext:
+      return arena.next(nnf_rec(arena, n.lhs, negated));
+    case Op::kEventually:
+      // F φ = true U φ;   ¬F φ = false R ¬φ (= G ¬φ).
+      return negated ? arena.release(arena.fls(), nnf_rec(arena, n.lhs, true))
+                     : arena.until(arena.tru(), nnf_rec(arena, n.lhs, false));
+    case Op::kAlways:
+      // G φ = false R φ;   ¬G φ = true U ¬φ.
+      return negated ? arena.until(arena.tru(), nnf_rec(arena, n.lhs, true))
+                     : arena.release(arena.fls(), nnf_rec(arena, n.lhs, false));
+    case Op::kUntil: {
+      const FormulaId lhs = nnf_rec(arena, n.lhs, negated);
+      const FormulaId rhs = nnf_rec(arena, n.rhs, negated);
+      return negated ? arena.release(lhs, rhs) : arena.until(lhs, rhs);
+    }
+    case Op::kRelease: {
+      const FormulaId lhs = nnf_rec(arena, n.lhs, negated);
+      const FormulaId rhs = nnf_rec(arena, n.rhs, negated);
+      return negated ? arena.until(lhs, rhs) : arena.release(lhs, rhs);
+    }
+  }
+  SLAT_ASSERT_MSG(false, "unhandled op in nnf");
+  return f;
+}
+
+}  // namespace
+
+FormulaId LtlArena::nnf(FormulaId f) { return nnf_rec(*this, f, false); }
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  LtlArena& arena;
+  std::string_view text;
+  std::size_t pos = 0;
+  LtlArena::ParseError error{"", 0};
+  bool failed = false;
+
+  void skip_space() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+
+  bool at_end() {
+    skip_space();
+    return pos >= text.size();
+  }
+
+  bool eat(char c) {
+    skip_space();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool eat_word(std::string_view word) {
+    skip_space();
+    if (text.substr(pos, word.size()) == word) {
+      // Keywords must not be glued to further identifier characters.
+      const std::size_t after = pos + word.size();
+      if (after < text.size() &&
+          (std::isalnum(static_cast<unsigned char>(text[after])) || text[after] == '_')) {
+        return false;
+      }
+      pos = after;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<FormulaId> fail(std::string message) {
+    if (!failed) {
+      failed = true;
+      error = {std::move(message), pos};
+    }
+    return std::nullopt;
+  }
+
+  // ident = [A-Za-z_][A-Za-z0-9_]*
+  std::optional<std::string> ident() {
+    skip_space();
+    std::size_t start = pos;
+    if (pos < text.size() &&
+        (std::isalpha(static_cast<unsigned char>(text[pos])) || text[pos] == '_')) {
+      ++pos;
+      while (pos < text.size() && (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+                                   text[pos] == '_')) {
+        ++pos;
+      }
+      return std::string(text.substr(start, pos - start));
+    }
+    return std::nullopt;
+  }
+
+  // unary = '!'u | 'X'u | 'F'u | 'G'u | '(' implies ')' | true | false | atom
+  std::optional<FormulaId> unary() {
+    skip_space();
+    if (eat('!')) {
+      auto f = unary();
+      return f ? std::optional(arena.negation(*f)) : std::nullopt;
+    }
+    if (eat_word("X")) {
+      auto f = unary();
+      return f ? std::optional(arena.next(*f)) : std::nullopt;
+    }
+    if (eat_word("F")) {
+      auto f = unary();
+      return f ? std::optional(arena.eventually(*f)) : std::nullopt;
+    }
+    if (eat_word("G")) {
+      auto f = unary();
+      return f ? std::optional(arena.always(*f)) : std::nullopt;
+    }
+    if (eat('(')) {
+      auto f = implies_level();
+      if (!f) return std::nullopt;
+      if (!eat(')')) return fail("expected ')'");
+      return f;
+    }
+    if (eat_word("true")) return arena.tru();
+    if (eat_word("false")) return arena.fls();
+    if (auto name = ident()) {
+      if (auto s = arena.alphabet().index_of(*name)) return arena.atom(*s);
+      return fail("unknown atom '" + *name + "'");
+    }
+    return fail("expected a formula");
+  }
+
+  // until = unary (('U'|'R'|'W') until)?   — right associative
+  std::optional<FormulaId> until_level() {
+    auto lhs = unary();
+    if (!lhs) return std::nullopt;
+    if (eat_word("U")) {
+      auto rhs = until_level();
+      return rhs ? std::optional(arena.until(*lhs, *rhs)) : std::nullopt;
+    }
+    if (eat_word("R")) {
+      auto rhs = until_level();
+      return rhs ? std::optional(arena.release(*lhs, *rhs)) : std::nullopt;
+    }
+    if (eat_word("W")) {
+      // Weak until, desugared to its Release form: a W b = b R (a ∨ b).
+      auto rhs = until_level();
+      return rhs ? std::optional(arena.release(*rhs, arena.disj(*lhs, *rhs)))
+                 : std::nullopt;
+    }
+    return lhs;
+  }
+
+  std::optional<FormulaId> and_level() {
+    auto lhs = until_level();
+    if (!lhs) return std::nullopt;
+    while (eat('&')) {
+      auto rhs = until_level();
+      if (!rhs) return std::nullopt;
+      lhs = arena.conj(*lhs, *rhs);
+    }
+    return lhs;
+  }
+
+  std::optional<FormulaId> or_level() {
+    auto lhs = and_level();
+    if (!lhs) return std::nullopt;
+    while (eat('|')) {
+      auto rhs = and_level();
+      if (!rhs) return std::nullopt;
+      lhs = arena.disj(*lhs, *rhs);
+    }
+    return lhs;
+  }
+
+  // implies is right associative: a -> b -> c = a -> (b -> c).
+  std::optional<FormulaId> implies_level() {
+    auto lhs = or_level();
+    if (!lhs) return std::nullopt;
+    skip_space();
+    if (pos + 1 < text.size() && text[pos] == '-' && text[pos + 1] == '>') {
+      pos += 2;
+      auto rhs = implies_level();
+      if (!rhs) return std::nullopt;
+      return arena.implies(*lhs, *rhs);
+    }
+    return lhs;
+  }
+};
+
+}  // namespace
+
+std::optional<FormulaId> LtlArena::parse(std::string_view text, ParseError* error) {
+  Parser parser{*this, text};
+  auto result = parser.implies_level();
+  if (result && !parser.at_end()) {
+    result = parser.fail("trailing input");
+  }
+  if (!result && error != nullptr) *error = parser.error;
+  return result;
+}
+
+std::string LtlArena::to_string(FormulaId f) const {
+  const FormulaNode& n = node(f);
+  const auto paren = [&](FormulaId g) {
+    const Op op = node(g).op;
+    const bool atomic = op == Op::kTrue || op == Op::kFalse || op == Op::kAtom ||
+                        op == Op::kNot || op == Op::kNext || op == Op::kEventually ||
+                        op == Op::kAlways;
+    return atomic ? to_string(g) : "(" + to_string(g) + ")";
+  };
+  switch (n.op) {
+    case Op::kTrue:
+      return "true";
+    case Op::kFalse:
+      return "false";
+    case Op::kAtom:
+      return alphabet_.name(n.atom);
+    case Op::kNot:
+      return "!" + paren(n.lhs);
+    case Op::kAnd:
+      return paren(n.lhs) + " & " + paren(n.rhs);
+    case Op::kOr:
+      return paren(n.lhs) + " | " + paren(n.rhs);
+    case Op::kImplies:
+      return paren(n.lhs) + " -> " + paren(n.rhs);
+    case Op::kNext:
+      return "X " + paren(n.lhs);
+    case Op::kEventually:
+      return "F " + paren(n.lhs);
+    case Op::kAlways:
+      return "G " + paren(n.lhs);
+    case Op::kUntil:
+      return paren(n.lhs) + " U " + paren(n.rhs);
+    case Op::kRelease:
+      return paren(n.lhs) + " R " + paren(n.rhs);
+  }
+  return "?";
+}
+
+}  // namespace slat::ltl

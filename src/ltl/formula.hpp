@@ -1,0 +1,109 @@
+// Linear Temporal Logic formulas (paper §2.2–2.3).
+//
+// Formulas live in an interning arena: structurally equal subterms share one
+// id, so formula sets (the GPVW tableau works on sets) are integer sets and
+// structural equality is id equality.
+//
+// Atomic propositions are alphabet letters: atom `a` holds at position i of
+// a word w iff w[i] is the letter `a`. This is the convention of the paper's
+// Rem examples ("the first symbol of t is a" = the atom a; "differs from a"
+// = ¬a).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "words/alphabet.hpp"
+
+namespace slat::ltl {
+
+using words::Alphabet;
+using words::Sym;
+
+/// Index of a formula within its arena.
+using FormulaId = int;
+
+enum class Op : std::uint8_t {
+  kTrue,
+  kFalse,
+  kAtom,        // letter s
+  kNot,         // ¬φ
+  kAnd,         // φ ∧ ψ
+  kOr,          // φ ∨ ψ
+  kImplies,     // φ → ψ
+  kNext,        // X φ
+  kEventually,  // F φ
+  kAlways,      // G φ
+  kUntil,       // φ U ψ
+  kRelease,     // φ R ψ
+};
+
+/// One arena node. `atom` is meaningful for kAtom; `lhs` for unary and
+/// binary operators; `rhs` for binary operators only.
+struct FormulaNode {
+  Op op;
+  Sym atom = -1;
+  FormulaId lhs = -1;
+  FormulaId rhs = -1;
+
+  auto operator<=>(const FormulaNode&) const = default;
+};
+
+/// Owning, interning store of formulas. Light algebraic simplifications
+/// (constant folding, double negation, idempotent ∧/∨) are applied by the
+/// constructors, which keeps tableau sizes sane without a separate pass.
+class LtlArena {
+ public:
+  explicit LtlArena(Alphabet alphabet);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+
+  FormulaId tru();
+  FormulaId fls();
+  FormulaId atom(Sym s);
+  FormulaId atom(std::string_view name);
+  FormulaId negation(FormulaId f);
+  FormulaId conj(FormulaId lhs, FormulaId rhs);
+  FormulaId disj(FormulaId lhs, FormulaId rhs);
+  FormulaId implies(FormulaId lhs, FormulaId rhs);
+  FormulaId next(FormulaId f);
+  FormulaId eventually(FormulaId f);
+  FormulaId always(FormulaId f);
+  FormulaId until(FormulaId lhs, FormulaId rhs);
+  FormulaId release(FormulaId lhs, FormulaId rhs);
+
+  const FormulaNode& node(FormulaId f) const;
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  /// Negation normal form over the core ops {true, false, atom, ¬atom, ∧,
+  /// ∨, X, U, R}: F φ becomes true U φ, G φ becomes false R φ, negations are
+  /// pushed to the atoms. The translation and the tableau consume only NNF.
+  FormulaId nnf(FormulaId f);
+
+  /// Parser for the concrete syntax
+  ///   φ ::= "true" | "false" | letter | "!"φ | "X"φ | "F"φ | "G"φ
+  ///       | φ "&" φ | φ "|" φ | φ "->" φ | φ "U" φ | φ "R" φ | "(" φ ")"
+  /// with precedence (tightest first): unary, U/R (right-assoc), &, |, ->.
+  /// Letters are alphabet symbol names. Returns std::nullopt + message on
+  /// syntax errors.
+  struct ParseError {
+    std::string message;
+    std::size_t position;
+  };
+  std::optional<FormulaId> parse(std::string_view text, ParseError* error = nullptr);
+
+  std::string to_string(FormulaId f) const;
+
+ private:
+  FormulaId intern(FormulaNode node);
+
+  Alphabet alphabet_;
+  std::vector<FormulaNode> nodes_;
+  std::map<FormulaNode, FormulaId> index_;
+};
+
+}  // namespace slat::ltl

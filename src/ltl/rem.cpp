@@ -1,0 +1,20 @@
+#include "ltl/rem.hpp"
+
+namespace slat::ltl {
+
+const std::vector<RemExample>& rem_examples() {
+  using buchi::SafetyClass;
+  static const std::vector<RemExample> examples = {
+      {"p0", "false (the empty property)", "false", SafetyClass::kSafety, "p0"},
+      {"p1", "the first symbol is a", "a", SafetyClass::kSafety, "p1"},
+      {"p2", "the first symbol differs from a", "!a", SafetyClass::kSafety, "p2"},
+      {"p3", "first symbol a, and some symbol differs from a", "a & F !a",
+       SafetyClass::kNeither, "p1"},
+      {"p4", "the number of a's is finite", "F G !a", SafetyClass::kLiveness, "p6"},
+      {"p5", "the number of a's is infinite", "G F a", SafetyClass::kLiveness, "p6"},
+      {"p6", "true (every word)", "true", SafetyClass::kSafetyAndLiveness, "p6"},
+  };
+  return examples;
+}
+
+}  // namespace slat::ltl

@@ -1,0 +1,34 @@
+// Martin Rem's example properties (paper §2.3), as LTL formulas over the
+// binary alphabet {a, b} (b standing for "any symbol different from a").
+//
+//   p0: false        — safety (the empty property)
+//   p1: a            — safety (first symbol is a)
+//   p2: !a           — safety (first symbol differs from a)
+//   p3: a & F !a     — neither (closure is p1)
+//   p4: F G !a       — liveness (finitely many a's)
+//   p5: G F a        — liveness (infinitely many a's)
+//   p6: true         — safety AND liveness (Σ^ω)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "buchi/safety.hpp"
+#include "ltl/formula.hpp"
+
+namespace slat::ltl {
+
+struct RemExample {
+  std::string name;        ///< p0..p6
+  std::string description; ///< the paper's informal reading
+  std::string formula;     ///< concrete syntax, parseable by LtlArena
+  buchi::SafetyClass expected;  ///< the paper's classification
+  /// The paper also names each closure: "p0"/"p1"/"p2"/"p6" are their own
+  /// closures, lcl(p3) = p1, lcl(p4) = lcl(p5) = Σ^ω (= p6).
+  std::string closure_name;
+};
+
+/// The seven examples, in paper order.
+const std::vector<RemExample>& rem_examples();
+
+}  // namespace slat::ltl

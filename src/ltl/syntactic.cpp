@@ -1,0 +1,70 @@
+#include "ltl/syntactic.hpp"
+
+#include <vector>
+
+namespace slat::ltl {
+
+namespace {
+
+struct OpPresence {
+  bool has_until = false;
+  bool has_release = false;
+};
+
+OpPresence scan(const LtlArena& arena, FormulaId root) {
+  OpPresence presence;
+  std::vector<FormulaId> stack{root};
+  std::vector<bool> seen(arena.size(), false);
+  while (!stack.empty()) {
+    const FormulaId f = stack.back();
+    stack.pop_back();
+    if (seen[f]) continue;
+    seen[f] = true;
+    const FormulaNode& n = arena.node(f);
+    if (n.op == Op::kUntil) presence.has_until = true;
+    if (n.op == Op::kRelease) presence.has_release = true;
+    if (n.lhs >= 0) stack.push_back(n.lhs);
+    if (n.rhs >= 0) stack.push_back(n.rhs);
+  }
+  return presence;
+}
+
+}  // namespace
+
+SyntacticClass classify_syntactic(LtlArena& arena, FormulaId f) {
+  const OpPresence presence = scan(arena, arena.nnf(f));
+  if (!presence.has_until && !presence.has_release) return SyntacticClass::kBoth;
+  if (!presence.has_until) return SyntacticClass::kSafety;
+  if (!presence.has_release) return SyntacticClass::kCoSafety;
+  return SyntacticClass::kNeither;
+}
+
+bool in_syntactic_safety_fragment(LtlArena& arena, FormulaId f) {
+  const SyntacticClass c = classify_syntactic(arena, f);
+  return c == SyntacticClass::kSafety || c == SyntacticClass::kBoth;
+}
+
+bool in_syntactic_cosafety_fragment(LtlArena& arena, FormulaId f) {
+  const SyntacticClass c = classify_syntactic(arena, f);
+  return c == SyntacticClass::kCoSafety || c == SyntacticClass::kBoth;
+}
+
+FormulaId weak_until(LtlArena& arena, FormulaId lhs, FormulaId rhs) {
+  return arena.release(rhs, arena.disj(lhs, rhs));
+}
+
+const char* to_string(SyntacticClass c) {
+  switch (c) {
+    case SyntacticClass::kSafety:
+      return "syntactic-safety";
+    case SyntacticClass::kCoSafety:
+      return "syntactic-cosafety";
+    case SyntacticClass::kBoth:
+      return "syntactic-both";
+    case SyntacticClass::kNeither:
+      return "syntactic-neither";
+  }
+  return "?";
+}
+
+}  // namespace slat::ltl

@@ -1,0 +1,44 @@
+// Syntactic safety and co-safety fragments of LTL (Sistla's
+// characterization, cited in the paper's §1: "Sistla characterized safety
+// and liveness for temporal logic formulas").
+//
+// In negation normal form:
+//   * a formula with no Until (only Release, hence also G) denotes a SAFETY
+//     property;
+//   * a formula with no Release (only Until, hence also F) denotes a
+//     CO-SAFETY property (its complement is safety).
+// Both fragments are sound but incomplete: semantically safe formulas
+// outside the fragment exist (e.g. (a U b) | G a, i.e. a W b, is safety
+// but mentions U) — which is exactly why the paper's semantic
+// characterization earns its keep. The tests exercise both soundness and
+// the incompleteness witnesses.
+#pragma once
+
+#include "ltl/formula.hpp"
+
+namespace slat::ltl {
+
+enum class SyntacticClass {
+  kSafety,    ///< NNF has no Until
+  kCoSafety,  ///< NNF has no Release
+  kBoth,      ///< no Until and no Release (pure state/X formulas)
+  kNeither,
+};
+
+/// Classifies nnf(f) by the fragments above.
+SyntacticClass classify_syntactic(LtlArena& arena, FormulaId f);
+
+/// nnf(f) mentions no Until (sound for safety).
+bool in_syntactic_safety_fragment(LtlArena& arena, FormulaId f);
+
+/// nnf(f) mentions no Release (sound for co-safety).
+bool in_syntactic_cosafety_fragment(LtlArena& arena, FormulaId f);
+
+/// Weak until: a W b = "a holds until b, or forever" = b R (a ∨ b).
+/// Unlike strong until it is a SAFETY connective; exposed here (rather than
+/// as an arena op) so the NNF stays the canonical core.
+FormulaId weak_until(LtlArena& arena, FormulaId lhs, FormulaId rhs);
+
+const char* to_string(SyntacticClass c);
+
+}  // namespace slat::ltl

@@ -1,0 +1,241 @@
+#include "ltl/translate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace slat::ltl {
+
+namespace {
+
+using buchi::Nba;
+using buchi::State;
+using FormulaSet = std::set<FormulaId>;
+
+// One tableau node under construction (GPVW's Node structure). `incoming`
+// holds graph-node ids; the pseudo-id kInit marks initial edges.
+constexpr int kInit = -1;
+
+struct GraphNode {
+  FormulaSet old;
+  FormulaSet next;
+  std::set<int> incoming;
+};
+
+class Tableau {
+ public:
+  Tableau(LtlArena& arena, FormulaId root_nnf) : arena_(arena) {
+    struct PendingNode {
+      FormulaSet neu, old, next;
+      std::set<int> incoming;
+    };
+    std::vector<PendingNode> worklist;
+    worklist.push_back({{root_nnf}, {}, {}, {kInit}});
+    while (!worklist.empty()) {
+      PendingNode node = std::move(worklist.back());
+      worklist.pop_back();
+
+      if (node.neu.empty()) {
+        // Fully expanded: merge with an existing node or add a new one.
+        bool merged = false;
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+          if (nodes_[i].old == node.old && nodes_[i].next == node.next) {
+            nodes_[i].incoming.insert(node.incoming.begin(), node.incoming.end());
+            merged = true;
+            break;
+          }
+        }
+        if (merged) continue;
+        const int id = static_cast<int>(nodes_.size());
+        nodes_.push_back({node.old, node.next, node.incoming});
+        worklist.push_back({node.next, {}, {}, {id}});
+        continue;
+      }
+
+      const FormulaId eta = *node.neu.begin();
+      node.neu.erase(node.neu.begin());
+      if (node.old.count(eta) != 0) {
+        worklist.push_back(std::move(node));
+        continue;
+      }
+      const FormulaNode& n = arena_.node(eta);
+      switch (n.op) {
+        case Op::kFalse:
+          continue;  // contradiction: drop this node
+        case Op::kTrue:
+          worklist.push_back(std::move(node));
+          continue;
+        case Op::kAtom:
+        case Op::kNot: {
+          // A literal; kNot in NNF wraps an atom only.
+          if (n.op == Op::kNot) SLAT_ASSERT(arena_.node(n.lhs).op == Op::kAtom);
+          const FormulaId contradiction =
+              n.op == Op::kAtom ? arena_.negation(eta) : n.lhs;
+          if (node.old.count(contradiction) != 0) continue;  // inconsistent
+          node.old.insert(eta);
+          worklist.push_back(std::move(node));
+          continue;
+        }
+        case Op::kAnd: {
+          node.old.insert(eta);
+          node.neu.insert(n.lhs);
+          node.neu.insert(n.rhs);
+          worklist.push_back(std::move(node));
+          continue;
+        }
+        case Op::kOr: {
+          PendingNode left = node, right = node;
+          left.old.insert(eta);
+          left.neu.insert(n.lhs);
+          right.old.insert(eta);
+          right.neu.insert(n.rhs);
+          worklist.push_back(std::move(left));
+          worklist.push_back(std::move(right));
+          continue;
+        }
+        case Op::kNext: {
+          node.old.insert(eta);
+          node.next.insert(n.lhs);
+          worklist.push_back(std::move(node));
+          continue;
+        }
+        case Op::kUntil: {
+          // φ U ψ = ψ ∨ (φ ∧ X(φ U ψ)).
+          PendingNode now = node, later = node;
+          now.old.insert(eta);
+          now.neu.insert(n.rhs);
+          later.old.insert(eta);
+          later.neu.insert(n.lhs);
+          later.next.insert(eta);
+          worklist.push_back(std::move(now));
+          worklist.push_back(std::move(later));
+          continue;
+        }
+        case Op::kRelease: {
+          // φ R ψ = (φ ∧ ψ) ∨ (ψ ∧ X(φ R ψ)).
+          PendingNode both = node, later = node;
+          both.old.insert(eta);
+          both.neu.insert(n.lhs);
+          both.neu.insert(n.rhs);
+          later.old.insert(eta);
+          later.neu.insert(n.rhs);
+          later.next.insert(eta);
+          worklist.push_back(std::move(both));
+          worklist.push_back(std::move(later));
+          continue;
+        }
+        case Op::kImplies:
+        case Op::kEventually:
+        case Op::kAlways:
+          SLAT_ASSERT_MSG(false, "tableau input must be in NNF");
+      }
+    }
+  }
+
+  const std::vector<GraphNode>& nodes() const { return nodes_; }
+
+ private:
+  LtlArena& arena_;
+  std::vector<GraphNode> nodes_;
+};
+
+// Symbols satisfying the literals of a node's `old` set.
+std::vector<words::Sym> satisfying_symbols(const LtlArena& arena, const FormulaSet& old) {
+  std::vector<words::Sym> out;
+  for (words::Sym s = 0; s < arena.alphabet().size(); ++s) {
+    bool ok = true;
+    for (FormulaId f : old) {
+      const FormulaNode& n = arena.node(f);
+      if (n.op == Op::kAtom && n.atom != s) ok = false;
+      if (n.op == Op::kNot && arena.node(n.lhs).atom == s) ok = false;
+      if (!ok) break;
+    }
+    if (ok) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace
+
+Nba to_nba(LtlArena& arena, FormulaId f) { return to_nba(arena, f, nullptr); }
+
+Nba to_nba(LtlArena& arena, FormulaId f, TranslationStats* stats) {
+  const FormulaId root = arena.nnf(f);
+  Tableau tableau(arena, root);
+  const auto& nodes = tableau.nodes();
+  const int num_nodes = static_cast<int>(nodes.size());
+
+  // Collect the Until subformulas appearing in the tableau: one generalized
+  // acceptance set per Until u, F_u = {q : u ∉ old(q) ∨ rhs(u) ∈ old(q)}.
+  std::set<FormulaId> untils;
+  for (const auto& node : nodes) {
+    for (FormulaId g : node.old) {
+      if (arena.node(g).op == Op::kUntil) untils.insert(g);
+    }
+    for (FormulaId g : node.next) {
+      if (arena.node(g).op == Op::kUntil) untils.insert(g);
+    }
+  }
+  const std::vector<FormulaId> until_list(untils.begin(), untils.end());
+  const int k = std::max<int>(1, static_cast<int>(until_list.size()));
+
+  const auto in_acceptance_set = [&](int node_id, int set_index) {
+    if (until_list.empty()) return true;  // no Untils: everything accepting
+    const FormulaId u = until_list[set_index];
+    const auto& old = nodes[node_id].old;
+    return old.count(u) == 0 || old.count(arena.node(u).rhs) != 0;
+  };
+
+  // Degeneralized automaton: states (node, counter) plus a fresh initial.
+  // Transition into node B requires the symbol to satisfy B's literals
+  // (GPVW's labels shifted onto incoming edges).
+  const auto state_id = [&](int node_id, int counter) { return node_id * k + counter; };
+  const State initial = num_nodes * k;
+  Nba out(arena.alphabet(), num_nodes * k + 1, initial);
+
+  std::vector<std::vector<words::Sym>> symbols_of(num_nodes);
+  for (int b = 0; b < num_nodes; ++b) symbols_of[b] = satisfying_symbols(arena, nodes[b].old);
+
+  for (int b = 0; b < num_nodes; ++b) {
+    for (int counter = 0; counter < k; ++counter) {
+      if (in_acceptance_set(b, 0) && counter == 0) {
+        out.set_accepting(state_id(b, 0), true);
+      }
+    }
+  }
+
+  // next counter after visiting (node, counter).
+  const auto next_counter = [&](int node_id, int counter) {
+    return in_acceptance_set(node_id, counter) ? (counter + 1) % k : counter;
+  };
+
+  for (int b = 0; b < num_nodes; ++b) {
+    for (int source : nodes[b].incoming) {
+      for (words::Sym s : symbols_of[b]) {
+        if (source == kInit) {
+          // All initial edges enter at counter 0.
+          out.add_transition(initial, s, state_id(b, 0));
+        } else {
+          for (int counter = 0; counter < k; ++counter) {
+            out.add_transition(state_id(source, counter), s,
+                               state_id(b, next_counter(source, counter)));
+          }
+        }
+      }
+    }
+  }
+
+  Nba trimmed = out.trim();
+  if (stats != nullptr) {
+    stats->tableau_nodes = num_nodes;
+    stats->acceptance_sets = static_cast<int>(until_list.size());
+    stats->nba_states = trimmed.num_states();
+    stats->nba_transitions = trimmed.num_transitions();
+  }
+  return trimmed;
+}
+
+}  // namespace slat::ltl

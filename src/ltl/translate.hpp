@@ -1,0 +1,29 @@
+// LTL → Büchi translation via the GPVW tableau (Gerth–Peled–Vardi–Wolper,
+// "Simple on-the-fly automatic verification of linear temporal logic").
+//
+// The formula is first brought to negation normal form; tableau nodes are
+// sets of NNF subformulas; the resulting generalized Büchi automaton (one
+// acceptance set per Until) is degeneralized with a counter. The output is
+// a plain Nba over the arena's alphabet, ready for the §2 pipeline
+// (closure, classification, decomposition).
+#pragma once
+
+#include "buchi/nba.hpp"
+#include "ltl/formula.hpp"
+
+namespace slat::ltl {
+
+/// L(result) = { w ∈ Σ^ω : w ⊨ f }.
+buchi::Nba to_nba(LtlArena& arena, FormulaId f);
+
+/// Statistics of a translation, for the ablation bench.
+struct TranslationStats {
+  int tableau_nodes = 0;   ///< nodes of the generalized automaton
+  int acceptance_sets = 0; ///< number of Untils
+  int nba_states = 0;      ///< states after degeneralization
+  int nba_transitions = 0;
+};
+
+buchi::Nba to_nba(LtlArena& arena, FormulaId f, TranslationStats* stats);
+
+}  // namespace slat::ltl

@@ -1,0 +1,53 @@
+#include "monitor/dfa_monitor.hpp"
+
+#include "buchi/safety.hpp"
+#include "ltl/translate.hpp"
+
+namespace slat::monitor {
+
+DfaMonitor::DfaMonitor(finite::Dfa dfa) : dfa_(std::move(dfa)), state_(dfa_.initial()) {
+  violated_ = !dfa_.is_accepting(state_);
+}
+
+DfaMonitor DfaMonitor::from_nba(const buchi::Nba& specification) {
+  return DfaMonitor(
+      finite::good_prefix_dfa(buchi::DetSafety::from_nba(specification)));
+}
+
+DfaMonitor DfaMonitor::from_ltl(ltl::LtlArena& arena, ltl::FormulaId formula) {
+  return from_nba(ltl::to_nba(arena, formula));
+}
+
+bool DfaMonitor::step(words::Sym event) {
+  if (violated_) return false;
+  state_ = dfa_.step(state_, event);
+  if (!dfa_.is_accepting(state_)) {
+    violated_ = true;
+    return false;
+  }
+  return true;
+}
+
+void DfaMonitor::reset() {
+  state_ = dfa_.initial();
+  violated_ = !dfa_.is_accepting(state_);
+}
+
+std::optional<std::size_t> DfaMonitor::run(const words::Word& trace) {
+  reset();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (!step(trace[i])) return i;
+  }
+  return std::nullopt;
+}
+
+bool DfaMonitor::is_vacuous() const {
+  // Vacuous iff every state accepts (after minimization, the universal
+  // good-prefix language has a single accepting state).
+  for (finite::State q = 0; q < dfa_.num_states(); ++q) {
+    if (!dfa_.is_accepting(q)) return false;
+  }
+  return true;
+}
+
+}  // namespace slat::monitor

@@ -1,0 +1,41 @@
+// The minimal-state runtime monitor: the same verdicts as SafetyMonitor,
+// running on the Moore-minimized good-prefix DFA instead of the raw subset
+// automaton. This is the canonical (smallest possible) deterministic
+// monitor for the specification's safety closure.
+#pragma once
+
+#include <optional>
+
+#include "buchi/nba.hpp"
+#include "finite/dfa.hpp"
+#include "ltl/formula.hpp"
+
+namespace slat::monitor {
+
+class DfaMonitor {
+ public:
+  static DfaMonitor from_nba(const buchi::Nba& specification);
+  static DfaMonitor from_ltl(ltl::LtlArena& arena, ltl::FormulaId formula);
+
+  /// Feeds one event; false from the first violation on (latching).
+  bool step(words::Sym event);
+  bool violated() const { return violated_; }
+  void reset();
+
+  /// First rejected index, or nullopt. Resets first.
+  std::optional<std::size_t> run(const words::Word& trace);
+
+  /// The minimized monitor automaton (good prefixes accept).
+  const finite::Dfa& automaton() const { return dfa_; }
+
+  bool is_vacuous() const;
+
+ private:
+  explicit DfaMonitor(finite::Dfa dfa);
+
+  finite::Dfa dfa_;
+  finite::State state_;
+  bool violated_ = false;
+};
+
+}  // namespace slat::monitor

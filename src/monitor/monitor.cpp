@@ -1,0 +1,45 @@
+#include "monitor/monitor.hpp"
+
+#include "ltl/translate.hpp"
+
+namespace slat::monitor {
+
+SafetyMonitor::SafetyMonitor(DetSafety automaton)
+    : automaton_(std::move(automaton)), state_(automaton_.initial()) {
+  violated_ = state_ == automaton_.sink();
+}
+
+SafetyMonitor SafetyMonitor::from_nba(const Nba& specification) {
+  return SafetyMonitor(DetSafety::from_nba(specification));
+}
+
+SafetyMonitor SafetyMonitor::from_ltl(ltl::LtlArena& arena, ltl::FormulaId formula) {
+  return from_nba(ltl::to_nba(arena, formula));
+}
+
+bool SafetyMonitor::step(Sym event) {
+  if (violated_) return false;
+  state_ = automaton_.step(state_, event);
+  if (state_ == automaton_.sink()) {
+    violated_ = true;
+    return false;
+  }
+  accepted_.push_back(event);
+  return true;
+}
+
+void SafetyMonitor::reset() {
+  state_ = automaton_.initial();
+  violated_ = state_ == automaton_.sink();
+  accepted_.clear();
+}
+
+std::optional<std::size_t> SafetyMonitor::run(const Word& trace) {
+  reset();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (!step(trace[i])) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace slat::monitor

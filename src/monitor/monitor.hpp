@@ -1,0 +1,73 @@
+// Runtime safety monitors — the applied payoff of the decomposition
+// (paper §1, citing Schneider's "Enforceable security policies"):
+// execution-monitoring mechanisms can enforce exactly the safety
+// properties, and a security automaton is precisely a Büchi automaton
+// accepting a safe language.
+//
+// Given any specification (LTL formula or Büchi automaton), the monitor is
+// built from the deterministic form of the specification's safety closure
+// lcl(L): it flags a trace prefix as a violation at the earliest event that
+// makes EVERY extension violate the specification. By Theorem 6 the safety
+// closure is the strongest safety property implied by the specification, so
+// this monitor catches everything a runtime monitor can possibly catch; the
+// residual liveness part (spec ∪ ¬closure) is not finitely refutable and is
+// reported alongside for documentation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "buchi/safety.hpp"
+#include "ltl/formula.hpp"
+
+namespace slat::monitor {
+
+using buchi::DetSafety;
+using buchi::Nba;
+using words::Sym;
+using words::Word;
+
+/// Online monitor for the safety closure of a specification.
+class SafetyMonitor {
+ public:
+  /// From any Büchi specification.
+  static SafetyMonitor from_nba(const Nba& specification);
+  /// From an LTL specification (translated via the GPVW tableau).
+  static SafetyMonitor from_ltl(ltl::LtlArena& arena, ltl::FormulaId formula);
+
+  /// Feeds one event. Returns true while the trace is still safe; returns
+  /// false from the first violating event on (the monitor latches).
+  bool step(Sym event);
+
+  /// Has a violation occurred?
+  bool violated() const { return violated_; }
+
+  /// Events accepted so far (the enforced — possibly truncated — trace).
+  const Word& accepted_trace() const { return accepted_; }
+
+  void reset();
+
+  /// Runs a whole trace; returns the index of the first rejected event, or
+  /// std::nullopt if the trace is safe throughout. The monitor is reset
+  /// first and left in the end state of the run.
+  std::optional<std::size_t> run(const Word& trace);
+
+  /// The underlying deterministic safety automaton.
+  const DetSafety& automaton() const { return automaton_; }
+
+  /// True iff the monitor can never be violated (the closure is universal —
+  /// i.e. the specification was a pure liveness property and runtime
+  /// monitoring cannot refute it at all).
+  bool is_vacuous() const { return automaton_.is_universal(); }
+
+ private:
+  explicit SafetyMonitor(DetSafety automaton);
+
+  DetSafety automaton_;
+  buchi::State state_;
+  bool violated_ = false;
+  Word accepted_;
+};
+
+}  // namespace slat::monitor

@@ -1,0 +1,103 @@
+#include "rabin/examples.hpp"
+
+#include "words/alphabet.hpp"
+
+namespace slat::rabin {
+
+namespace {
+
+constexpr Sym kA = 0;
+constexpr Sym kB = 1;
+
+Alphabet binary() { return words::Alphabet::binary(); }
+
+}  // namespace
+
+RabinTreeAutomaton aut_const_a() {
+  RabinTreeAutomaton aut(binary(), 2, 1, 0);
+  aut.add_transition(0, kA, {0, 0});
+  aut.set_trivial_acceptance();
+  return aut;
+}
+
+RabinTreeAutomaton aut_all_trees() {
+  RabinTreeAutomaton aut(binary(), 2, 1, 0);
+  aut.add_transition(0, kA, {0, 0});
+  aut.add_transition(0, kB, {0, 0});
+  aut.set_trivial_acceptance();
+  return aut;
+}
+
+RabinTreeAutomaton aut_empty() {
+  RabinTreeAutomaton aut(binary(), 2, 1, 0);
+  aut.set_trivial_acceptance();
+  return aut;
+}
+
+RabinTreeAutomaton aut_root_a() {
+  // State 0: root, must read a; state 1: anything goes.
+  RabinTreeAutomaton aut(binary(), 2, 2, 0);
+  aut.add_transition(0, kA, {1, 1});
+  aut.add_transition(1, kA, {1, 1});
+  aut.add_transition(1, kB, {1, 1});
+  aut.set_trivial_acceptance();
+  return aut;
+}
+
+RabinTreeAutomaton aut_af_b() {
+  // State 0: still waiting for b on this path (red); state 1: satisfied
+  // (green, absorbing). Accepting iff every path leaves state 0 eventually.
+  RabinTreeAutomaton aut(binary(), 2, 2, 0);
+  aut.add_transition(0, kA, {0, 0});
+  aut.add_transition(0, kB, {1, 1});
+  aut.add_transition(1, kA, {1, 1});
+  aut.add_transition(1, kB, {1, 1});
+  aut.add_pair(/*green=*/{1}, /*red=*/{0});
+  return aut;
+}
+
+RabinTreeAutomaton aut_agf_b() {
+  // State records the label just read: 0 after a, 1 after b. Every path
+  // must visit state 1 infinitely often (the root's own label is shifted
+  // out of the acceptance condition, which is inf-behaviour only).
+  RabinTreeAutomaton aut(binary(), 2, 2, 0);
+  for (State q = 0; q < 2; ++q) {
+    aut.add_transition(q, kA, {0, 0});
+    aut.add_transition(q, kB, {1, 1});
+  }
+  aut.add_pair(/*green=*/{1}, /*red=*/{});
+  return aut;
+}
+
+RabinTreeAutomaton aut_efg_b() {
+  // State 0 = "top" (path no longer guessed, anything goes, green);
+  // state 1 = "chasing" the guessed path (red);
+  // state 2 = "committed": the guessed path must now read b forever (green).
+  RabinTreeAutomaton aut(binary(), 2, 3, 1);
+  for (Sym s : {kA, kB}) {
+    aut.add_transition(0, s, {0, 0});
+    // The chase continues in one direction, or commits in one direction.
+    aut.add_transition(1, s, {1, 0});
+    aut.add_transition(1, s, {0, 1});
+    aut.add_transition(1, s, {2, 0});
+    aut.add_transition(1, s, {0, 2});
+  }
+  aut.add_transition(2, kB, {2, 0});
+  aut.add_transition(2, kB, {0, 2});
+  aut.add_pair(/*green=*/{0, 2}, /*red=*/{1});
+  return aut;
+}
+
+RabinTreeAutomaton aut_afg_b() {
+  // Deterministic: state = label just read (0 after a, 1 after b); accept
+  // iff every path reads a only finitely often: green = {1}, red = {0}.
+  RabinTreeAutomaton aut(binary(), 2, 2, 1);
+  for (State q = 0; q < 2; ++q) {
+    aut.add_transition(q, kA, {0, 0});
+    aut.add_transition(q, kB, {1, 1});
+  }
+  aut.add_pair(/*green=*/{1}, /*red=*/{0});
+  return aut;
+}
+
+}  // namespace slat::rabin

@@ -1,0 +1,38 @@
+// A small library of hand-built Rabin tree automata over binary branching
+// (k = 2) and the binary alphabet {a, b}, used by tests, benches and the
+// branching-time examples. Each automaton's language is documented; tests
+// cross-check them against independent oracles (CTL model checking or the
+// graph predicates of trees/rem_branching.hpp).
+#pragma once
+
+#include "rabin/rabin_tree_automaton.hpp"
+
+namespace slat::rabin {
+
+/// L = { the constant a-tree }: only label a, trivial acceptance.
+RabinTreeAutomaton aut_const_a();
+
+/// L = all binary {a,b}-trees (the k=2 version of A_tot): trivial automaton.
+RabinTreeAutomaton aut_all_trees();
+
+/// L = ∅ (no transitions).
+RabinTreeAutomaton aut_empty();
+
+/// L = trees whose root is labeled a (the k=2 analogue of q1).
+RabinTreeAutomaton aut_root_a();
+
+/// L = trees where EVERY path eventually hits a b-node (AF b).
+RabinTreeAutomaton aut_af_b();
+
+/// L = trees where every path sees b infinitely often (A GF b).
+RabinTreeAutomaton aut_agf_b();
+
+/// L = trees with SOME path that is eventually all-b (E FG b).
+RabinTreeAutomaton aut_efg_b();
+
+/// L = trees where every path is eventually all-b (A FG b) — genuinely
+/// uses the Rabin pair: green = "just read b" must recur while red =
+/// "just read a" must die out, on every path.
+RabinTreeAutomaton aut_afg_b();
+
+}  // namespace slat::rabin

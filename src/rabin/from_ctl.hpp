@@ -1,0 +1,42 @@
+// CTL → nondeterministic Büchi tree automata (emitted as one-pair Rabin
+// automata), over k-ary trees.
+//
+// Construction (standard, here made concrete):
+//   1. CTL in negation normal form becomes a one-state-per-subformula
+//      ALTERNATING Büchi tree automaton: transitions are positive boolean
+//      formulas over (direction, subformula) atoms; least-fixpoint
+//      subformulas (EU/AU) are rejecting, greatest-fixpoint ones (EG/AG)
+//      accepting — an infinite run branch eventually loops in exactly one
+//      temporal subformula, and it must be a greatest fixpoint.
+//   2. The Miyano–Hayashi breakpoint construction removes alternation:
+//      nondeterministic states are pairs (S, O) of subformula sets, O
+//      tracking the rejecting states that still owe an acceptance visit;
+//      per path, O must empty infinitely often — a Büchi condition, i.e.
+//      the Rabin pair (O = ∅ states, ∅).
+//
+// The output plugs into everything in this module (membership games, rfcl,
+// Theorem 9 decomposition), which turns the §4.3 table from hand-built
+// automata into machine-generated ones. Exponential in the formula, as CTL
+// → NBT must be; fine for the example-sized formulas here.
+#pragma once
+
+#include "rabin/rabin_tree_automaton.hpp"
+#include "trees/ctl.hpp"
+
+namespace slat::rabin {
+
+/// The Büchi tree automaton (as a one-pair Rabin automaton) recognizing
+/// { total `branching`-ary trees t : t ⊨ f }.
+RabinTreeAutomaton from_ctl(trees::CtlArena& arena, trees::CtlId f, int branching);
+
+/// Statistics for the ablation bench.
+struct CtlTranslationStats {
+  int alternating_states = 0;  ///< NNF subformulas
+  int nondeterministic_states = 0;
+  int transitions = 0;  ///< total tuple count
+};
+
+RabinTreeAutomaton from_ctl(trees::CtlArena& arena, trees::CtlId f, int branching,
+                            CtlTranslationStats* stats);
+
+}  // namespace slat::rabin

@@ -1,0 +1,101 @@
+#include "rabin/operations.hpp"
+
+#include "common/assert.hpp"
+
+namespace slat::rabin {
+
+RabinTreeAutomaton unite(const RabinTreeAutomaton& lhs, const RabinTreeAutomaton& rhs) {
+  SLAT_ASSERT(lhs.alphabet().size() == rhs.alphabet().size());
+  SLAT_ASSERT(lhs.branching() == rhs.branching());
+  const int n1 = lhs.num_states();
+  const int n2 = rhs.num_states();
+  // Layout: [lhs states][rhs states][fresh initial].
+  RabinTreeAutomaton out(lhs.alphabet(), lhs.branching(), n1 + n2 + 1, n1 + n2);
+  const auto copy_transitions = [&](const RabinTreeAutomaton& source, int offset,
+                                    State from_override, State source_state) {
+    for (Sym s = 0; s < source.alphabet().size(); ++s) {
+      for (const Tuple& tuple : source.transitions(source_state, s)) {
+        Tuple shifted(tuple.size());
+        for (std::size_t i = 0; i < tuple.size(); ++i) shifted[i] = tuple[i] + offset;
+        out.add_transition(from_override, s, std::move(shifted));
+      }
+    }
+  };
+  for (State q = 0; q < n1; ++q) copy_transitions(lhs, 0, q, q);
+  for (State q = 0; q < n2; ++q) copy_transitions(rhs, n1, n1 + q, q);
+  // The fresh initial state nondeterministically behaves like either
+  // original initial state (it is visited once, so its marks are irrelevant).
+  copy_transitions(lhs, 0, n1 + n2, lhs.initial());
+  copy_transitions(rhs, n1, n1 + n2, rhs.initial());
+
+  // Pairs side by side, each padded with "false" on the foreign states: a
+  // path that stays in lhs can only satisfy lhs pairs, and vice versa.
+  const auto shift_states = [&](const std::vector<bool>& member, int offset) {
+    std::vector<State> states;
+    for (std::size_t q = 0; q < member.size(); ++q) {
+      if (member[q]) states.push_back(static_cast<State>(q) + offset);
+    }
+    return states;
+  };
+  for (int i = 0; i < lhs.num_pairs(); ++i) {
+    out.add_pair(shift_states(lhs.pair(i).green, 0), shift_states(lhs.pair(i).red, 0));
+  }
+  for (int i = 0; i < rhs.num_pairs(); ++i) {
+    out.add_pair(shift_states(rhs.pair(i).green, n1),
+                 shift_states(rhs.pair(i).red, n1));
+  }
+  return out;
+}
+
+bool is_buchi_shaped(const RabinTreeAutomaton& automaton) {
+  if (automaton.num_pairs() != 1) return false;
+  for (State q = 0; q < automaton.num_states(); ++q) {
+    if (automaton.pair(0).red[q]) return false;
+  }
+  return true;
+}
+
+RabinTreeAutomaton intersect_buchi(const RabinTreeAutomaton& lhs,
+                                   const RabinTreeAutomaton& rhs) {
+  SLAT_ASSERT(lhs.alphabet().size() == rhs.alphabet().size());
+  SLAT_ASSERT(lhs.branching() == rhs.branching());
+  SLAT_ASSERT_MSG(is_buchi_shaped(lhs) && is_buchi_shaped(rhs),
+                  "intersect_buchi needs single (green, ∅) pairs");
+  const int n1 = lhs.num_states();
+  const int n2 = rhs.num_states();
+  const int branching = lhs.branching();
+  const auto id = [&](State q1, State q2, int counter) {
+    return (q1 * n2 + q2) * 2 + counter;
+  };
+  RabinTreeAutomaton out(lhs.alphabet(), branching, n1 * n2 * 2,
+                         id(lhs.initial(), rhs.initial(), 0));
+  std::vector<State> green;
+  for (State q1 = 0; q1 < n1; ++q1) {
+    for (State q2 = 0; q2 < n2; ++q2) {
+      for (int counter = 0; counter < 2; ++counter) {
+        const State from = id(q1, q2, counter);
+        // Accepting product states: counter 0 seeing a green of lhs (the
+        // full 0 -> 1 -> 0 cycle passes one per round, on every path).
+        if (counter == 0 && lhs.pair(0).green[q1]) green.push_back(from);
+        int next_counter = counter;
+        if (counter == 0 && lhs.pair(0).green[q1]) next_counter = 1;
+        if (counter == 1 && rhs.pair(0).green[q2]) next_counter = 0;
+        for (Sym s = 0; s < lhs.alphabet().size(); ++s) {
+          for (const Tuple& t1 : lhs.transitions(q1, s)) {
+            for (const Tuple& t2 : rhs.transitions(q2, s)) {
+              Tuple tuple(branching);
+              for (int j = 0; j < branching; ++j) {
+                tuple[j] = id(t1[j], t2[j], next_counter);
+              }
+              out.add_transition(from, s, std::move(tuple));
+            }
+          }
+        }
+      }
+    }
+  }
+  out.add_pair(green, {});
+  return out;
+}
+
+}  // namespace slat::rabin

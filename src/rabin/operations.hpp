@@ -1,0 +1,31 @@
+// Boolean operations on Rabin tree automata — the closure properties that
+// make Rabin-definable tree languages a lattice (§4.4: "languages definable
+// by Rabin automata are effectively closed under complementation,
+// intersection, and union").
+//
+//   * union: any two Rabin automata (disjoint sum, pairs side by side);
+//   * intersection: implemented for BÜCHI-shaped automata (a single pair
+//     (green, ∅) — everything rfcl and from_ctl produce) via the per-path
+//     two-counter construction, mirroring the word case;
+//   * complementation is the documented substitution (DESIGN.md §3): the
+//     decision procedures use game duality instead of a constructed
+//     complement automaton.
+#pragma once
+
+#include "rabin/rabin_tree_automaton.hpp"
+
+namespace slat::rabin {
+
+/// L(result) = L(lhs) ∪ L(rhs). Works for arbitrary Rabin acceptance.
+RabinTreeAutomaton unite(const RabinTreeAutomaton& lhs, const RabinTreeAutomaton& rhs);
+
+/// Is the acceptance a single (green, ∅) pair? (Büchi-shaped.)
+bool is_buchi_shaped(const RabinTreeAutomaton& automaton);
+
+/// L(result) = L(lhs) ∩ L(rhs); both inputs must be Büchi-shaped. Per path,
+/// the counter waits for a green of lhs, then one of rhs, and resets —
+/// exactly the degeneralization used for word automata, applied branchwise.
+RabinTreeAutomaton intersect_buchi(const RabinTreeAutomaton& lhs,
+                                   const RabinTreeAutomaton& rhs);
+
+}  // namespace slat::rabin

@@ -1,0 +1,508 @@
+#include "rabin/rabin_tree_automaton.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "games/rabin_game.hpp"
+
+namespace slat::rabin {
+
+RabinTreeAutomaton::RabinTreeAutomaton(Alphabet alphabet, int branching, int num_states,
+                                       State initial)
+    : alphabet_(std::move(alphabet)),
+      branching_(branching),
+      num_states_(num_states),
+      initial_(initial) {
+  SLAT_ASSERT(branching >= 1);
+  SLAT_ASSERT(num_states >= 1);
+  SLAT_ASSERT(initial >= 0 && initial < num_states);
+  delta_.assign(num_states, std::vector<std::vector<Tuple>>(alphabet_.size()));
+}
+
+void RabinTreeAutomaton::add_transition(State q, Sym s, Tuple tuple) {
+  SLAT_ASSERT(q >= 0 && q < num_states_);
+  SLAT_ASSERT(s >= 0 && s < alphabet_.size());
+  SLAT_ASSERT(static_cast<int>(tuple.size()) == branching_);
+  for (State t : tuple) SLAT_ASSERT(t >= 0 && t < num_states_);
+  auto& list = delta_[q][s];
+  if (std::find(list.begin(), list.end(), tuple) == list.end()) {
+    list.push_back(std::move(tuple));
+  }
+}
+
+const std::vector<Tuple>& RabinTreeAutomaton::transitions(State q, Sym s) const {
+  SLAT_ASSERT(q >= 0 && q < num_states_);
+  SLAT_ASSERT(s >= 0 && s < alphabet_.size());
+  return delta_[q][s];
+}
+
+void RabinTreeAutomaton::add_pair(const std::vector<State>& green,
+                                  const std::vector<State>& red) {
+  RabinPair pair;
+  pair.green.assign(num_states_, false);
+  pair.red.assign(num_states_, false);
+  for (State q : green) {
+    SLAT_ASSERT(q >= 0 && q < num_states_);
+    pair.green[q] = true;
+  }
+  for (State q : red) {
+    SLAT_ASSERT(q >= 0 && q < num_states_);
+    pair.red[q] = true;
+  }
+  pairs_.push_back(std::move(pair));
+}
+
+void RabinTreeAutomaton::set_trivial_acceptance() {
+  pairs_.clear();
+  std::vector<State> all(num_states_);
+  for (State q = 0; q < num_states_; ++q) all[q] = q;
+  add_pair(all, {});
+}
+
+namespace {
+
+using games::RabinGame;
+using games::RabinMarks;
+
+RabinMarks marks_of(const RabinTreeAutomaton& automaton, State q) {
+  RabinMarks marks;
+  for (int i = 0; i < automaton.num_pairs(); ++i) {
+    if (automaton.pair(i).green[q]) marks.green |= 1u << i;
+    if (automaton.pair(i).red[q]) marks.red |= 1u << i;
+  }
+  return marks;
+}
+
+// Marks making every play through the node losing for player 0 (red for
+// every pair; with zero pairs any infinite play already loses).
+RabinMarks losing_marks(const RabinTreeAutomaton& automaton) {
+  RabinMarks marks;
+  for (int i = 0; i < automaton.num_pairs(); ++i) marks.red |= 1u << i;
+  return marks;
+}
+
+// Builder for the emptiness/membership/extension games. The "free" region
+// hosts one Automaton node per state (Automaton picks label + transition);
+// the "product" region constrains labels by a tree. Pathfinder owns the
+// intermediate choice nodes and picks the direction.
+class GameBuilder {
+ public:
+  explicit GameBuilder(const RabinTreeAutomaton& automaton) : automaton_(automaton) {
+    game_.num_pairs = automaton.num_pairs();
+    sink_ = game_.add_node(0, losing_marks(automaton));
+    game_.add_edge(sink_, sink_);
+  }
+
+  // The (symbol, tuple) behind a Pathfinder choice node.
+  struct ChoiceInfo {
+    Sym symbol;
+    Tuple tuple;
+  };
+
+  int free_node(State q) {
+    auto it = free_.find(q);
+    if (it != free_.end()) return it->second;
+    const int id = game_.add_node(0, marks_of(automaton_, q));
+    free_.emplace(q, id);
+    bool any = false;
+    for (Sym s = 0; s < automaton_.alphabet().size(); ++s) {
+      for (const Tuple& tuple : automaton_.transitions(q, s)) {
+        const int choice = game_.add_node(1, RabinMarks{});
+        choice_info_.emplace(choice, ChoiceInfo{s, tuple});
+        game_.add_edge(id, choice);
+        any = true;
+        for (State succ : tuple) game_.add_edge(choice, free_node(succ));
+      }
+    }
+    if (!any) game_.add_edge(id, sink_);
+    return id;
+  }
+
+  // Product node for (tree node v, state q); leaves of the tree fall
+  // through to the free region (the extension is the Automaton's choice).
+  int product_node(const KTree& tree, int v, State q) {
+    const auto key = std::make_pair(v, q);
+    auto it = product_.find(key);
+    if (it != product_.end()) return it->second;
+    const int id = game_.add_node(0, marks_of(automaton_, q));
+    product_.emplace(key, id);
+    bool any = false;
+    if (tree.is_leaf(v)) {
+      // The leaf itself belongs to the prefix: its LABEL is fixed (the
+      // paper's concatenation keeps the leaf's label and grafts subtrees
+      // below it); only the subtrees are free, so successors jump to the
+      // free region.
+      const Sym s = tree.label(v);
+      for (const Tuple& tuple : automaton_.transitions(q, s)) {
+        const int choice = game_.add_node(1, RabinMarks{});
+        choice_info_.emplace(choice, ChoiceInfo{s, tuple});
+        game_.add_edge(id, choice);
+        any = true;
+        for (State succ : tuple) game_.add_edge(choice, free_node(succ));
+      }
+    } else {
+      const Sym s = tree.label(v);
+      const auto& children = tree.children(v);
+      SLAT_ASSERT_MSG(static_cast<int>(children.size()) == automaton_.branching(),
+                      "non-leaf tree nodes must have exactly k children");
+      for (const Tuple& tuple : automaton_.transitions(q, s)) {
+        const int choice = game_.add_node(1, RabinMarks{});
+        choice_info_.emplace(choice, ChoiceInfo{s, tuple});
+        game_.add_edge(id, choice);
+        any = true;
+        for (int dir = 0; dir < automaton_.branching(); ++dir) {
+          game_.add_edge(choice, product_node(tree, children[dir], tuple[dir]));
+        }
+      }
+    }
+    if (!any) game_.add_edge(id, sink_);
+    return id;
+  }
+
+  RabinGame& game() { return game_; }
+  const ChoiceInfo& info(int choice_node) const { return choice_info_.at(choice_node); }
+
+ private:
+  const RabinTreeAutomaton& automaton_;
+  RabinGame game_;
+  int sink_ = -1;
+  std::map<State, int> free_;
+  std::map<std::pair<int, State>, int> product_;
+  std::map<int, ChoiceInfo> choice_info_;
+};
+
+}  // namespace
+
+std::vector<bool> RabinTreeAutomaton::states_with_nonempty_language() const {
+  GameBuilder builder(*this);
+  std::vector<int> node_of(num_states_);
+  for (State q = 0; q < num_states_; ++q) node_of[q] = builder.free_node(q);
+  const auto solution = games::solve_rabin(builder.game());
+  std::vector<bool> nonempty(num_states_, false);
+  for (State q = 0; q < num_states_; ++q) nonempty[q] = solution.winner[node_of[q]] == 0;
+  return nonempty;
+}
+
+bool RabinTreeAutomaton::is_empty() const {
+  return !states_with_nonempty_language()[initial_];
+}
+
+bool RabinTreeAutomaton::accepts(const KTree& tree) const {
+  SLAT_ASSERT_MSG(tree.is_total(), "accepts() expects a total tree");
+  return accepts_some_extension(tree);
+}
+
+bool RabinTreeAutomaton::accepts_some_extension(const KTree& prefix) const {
+  // Symbols are compared by index; only the alphabet sizes must agree (the
+  // tree may use different display names for the same symbol indices).
+  SLAT_ASSERT(prefix.alphabet().size() == alphabet_.size());
+  GameBuilder builder(*this);
+  const int entry = builder.product_node(prefix, prefix.root(), initial_);
+  const auto solution = games::solve_rabin(builder.game());
+  return solution.winner[entry] == 0;
+}
+
+std::optional<KTree> RabinTreeAutomaton::find_accepted_tree() const {
+  GameBuilder builder(*this);
+  const int entry_rabin = builder.free_node(initial_);
+  games::RabinSolution solution = games::solve_rabin(builder.game());
+  if (solution.winner[entry_rabin] != 0) return std::nullopt;
+
+  // Walk the IAR parity game under player 0's positional strategy; the
+  // visited Automaton parity nodes become the nodes of the witness tree.
+  const auto& parity = solution.expansion.parity;
+  const auto& strategy = solution.parity_solution.strategy;
+  const int start = solution.expansion.initial_node[entry_rabin];
+  SLAT_ASSERT(start >= 0);
+
+  KTree tree(alphabet_, 1, 0);
+  std::map<int, int> tree_node_of{{start, 0}};
+  std::vector<int> worklist{start};
+  while (!worklist.empty()) {
+    const int parity_node = worklist.back();
+    worklist.pop_back();
+    const int tree_node = tree_node_of.at(parity_node);
+    SLAT_ASSERT(parity.owner[parity_node] == 0);
+    const int choice = strategy[parity_node];
+    SLAT_ASSERT_MSG(choice != -1, "winning nodes must carry a strategy");
+    const auto& info = builder.info(solution.expansion.rabin_node[choice]);
+    tree.set_label(tree_node, info.symbol);
+    SLAT_ASSERT(static_cast<int>(parity.successors[choice].size()) == branching_);
+    for (int dir = 0; dir < branching_; ++dir) {
+      const int succ = parity.successors[choice][dir];
+      auto [it, inserted] = tree_node_of.emplace(succ, tree.num_nodes());
+      if (inserted) {
+        const int fresh = tree.add_node(0);
+        SLAT_ASSERT(fresh == it->second);
+        worklist.push_back(succ);
+      }
+      tree.add_child(tree_node, it->second);
+    }
+  }
+  SLAT_ASSERT(tree.is_total());
+  return tree;
+}
+
+std::string RabinTreeAutomaton::to_string() const {
+  std::ostringstream out;
+  out << "RabinTreeAutomaton: " << num_states_ << " states, k=" << branching_
+      << ", initial " << initial_ << ", " << num_pairs() << " pairs\n";
+  for (State q = 0; q < num_states_; ++q) {
+    for (Sym s = 0; s < alphabet_.size(); ++s) {
+      for (const Tuple& tuple : delta_[q][s]) {
+        out << "  " << q << " --" << alphabet_.name(s) << "--> (";
+        for (std::size_t i = 0; i < tuple.size(); ++i) {
+          if (i > 0) out << ", ";
+          out << tuple[i];
+        }
+        out << ")\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+RabinTreeAutomaton rfcl(const RabinTreeAutomaton& automaton) {
+  const auto nonempty = automaton.states_with_nonempty_language();
+  if (!nonempty[automaton.initial()]) return automaton;  // paper: rfcl.B = B
+  std::vector<State> remap(automaton.num_states(), -1);
+  int next_id = 0;
+  for (State q = 0; q < automaton.num_states(); ++q) {
+    if (nonempty[q]) remap[q] = next_id++;
+  }
+  RabinTreeAutomaton out(automaton.alphabet(), automaton.branching(), next_id,
+                         remap[automaton.initial()]);
+  for (State q = 0; q < automaton.num_states(); ++q) {
+    if (!nonempty[q]) continue;
+    for (Sym s = 0; s < automaton.alphabet().size(); ++s) {
+      for (const Tuple& tuple : automaton.transitions(q, s)) {
+        Tuple mapped(tuple.size());
+        bool keep = true;
+        for (std::size_t i = 0; i < tuple.size(); ++i) {
+          if (!nonempty[tuple[i]]) {
+            keep = false;
+            break;
+          }
+          mapped[i] = remap[tuple[i]];
+        }
+        if (keep) out.add_transition(remap[q], s, std::move(mapped));
+      }
+    }
+  }
+  out.set_trivial_acceptance();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Escaping a safety (limit-closed) tree language
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// For a trivial-acceptance automaton, membership is run existence, and run
+// existence on a total tree is limit-determined (König): z ∈ L iff every
+// finite prefix of z carries a partial run. "Some extension of x escapes L"
+// therefore reduces to finite reasoning:
+//
+//   R(t) = { q : a partial run of B(q) exists on the finite tree t }
+//
+// is computable bottom-up, the family F = { R(t) : t finite } is a finite
+// fixpoint, and an extension of x escapes iff the leaves of x can be
+// assigned sets from F such that the greatest fixpoint of the run-existence
+// equations over x's graph excludes the initial state.
+
+using StateSet = std::vector<bool>;
+
+StateSet combine(const RabinTreeAutomaton& automaton, Sym s,
+                 const std::vector<const StateSet*>& child_sets) {
+  StateSet out(automaton.num_states(), false);
+  for (State q = 0; q < automaton.num_states(); ++q) {
+    for (const Tuple& tuple : automaton.transitions(q, s)) {
+      bool ok = true;
+      for (int j = 0; j < automaton.branching() && ok; ++j) {
+        ok = (*child_sets[j])[tuple[j]];
+      }
+      if (ok) {
+        out[q] = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// The family F of achievable R-sets, as a deduplicated list.
+std::vector<StateSet> achievable_run_sets(const RabinTreeAutomaton& automaton) {
+  std::set<StateSet> family;
+  family.insert(StateSet(automaton.num_states(), true));  // single leaf: R = Q
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    const std::vector<StateSet> snapshot(family.begin(), family.end());
+    const int m = static_cast<int>(snapshot.size());
+    // All k-tuples over the current family, for every symbol.
+    std::vector<int> index(automaton.branching(), 0);
+    while (true) {
+      std::vector<const StateSet*> child_sets;
+      child_sets.reserve(automaton.branching());
+      for (int j = 0; j < automaton.branching(); ++j) {
+        child_sets.push_back(&snapshot[index[j]]);
+      }
+      for (Sym s = 0; s < automaton.alphabet().size(); ++s) {
+        if (family.insert(combine(automaton, s, child_sets)).second) grew = true;
+      }
+      int pos = 0;
+      while (pos < automaton.branching() && ++index[pos] == m) index[pos++] = 0;
+      if (pos == automaton.branching()) break;
+    }
+  }
+  return {family.begin(), family.end()};
+}
+
+// Minimal elements of the family under pointwise ⊆ (smaller leaf sets can
+// only shrink the fixpoint, so only minimal assignments matter).
+std::vector<StateSet> minimal_sets(std::vector<StateSet> family) {
+  std::vector<StateSet> out;
+  for (const StateSet& candidate : family) {
+    bool minimal = true;
+    for (const StateSet& other : family) {
+      if (other == candidate) continue;
+      bool subset = true;
+      for (std::size_t i = 0; i < candidate.size(); ++i) {
+        if (other[i] && !candidate[i]) {
+          subset = false;
+          break;
+        }
+      }
+      if (subset) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) out.push_back(candidate);
+  }
+  return out;
+}
+
+// Greatest fixpoint of run existence over the prefix's graph, with the given
+// leaf assignment. Returns whether the initial state survives at the root.
+bool run_exists_with_leaves(const RabinTreeAutomaton& automaton, const KTree& prefix,
+                            const std::map<int, const StateSet*>& leaf_sets) {
+  const int n = prefix.num_nodes();
+  std::vector<StateSet> r(n, StateSet(automaton.num_states(), true));
+  for (const auto& [leaf, set] : leaf_sets) r[leaf] = *set;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int v = 0; v < n; ++v) {
+      if (prefix.is_leaf(v)) continue;
+      std::vector<const StateSet*> child_sets;
+      for (int c : prefix.children(v)) child_sets.push_back(&r[c]);
+      StateSet next = combine(automaton, prefix.label(v), child_sets);
+      if (next != r[v]) {
+        r[v] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+  return r[prefix.root()][automaton.initial()];
+}
+
+}  // namespace
+
+bool some_extension_escapes(const RabinTreeAutomaton& safety_automaton,
+                            const KTree& prefix) {
+  // Precondition: trivial acceptance (the rfcl shape), so that membership is
+  // run existence.
+  SLAT_ASSERT_MSG(safety_automaton.num_pairs() == 1,
+                  "escape analysis requires a trivial-acceptance automaton");
+  for (State q = 0; q < safety_automaton.num_states(); ++q) {
+    SLAT_ASSERT(safety_automaton.pair(0).green[q]);
+    SLAT_ASSERT(!safety_automaton.pair(0).red[q]);
+  }
+  const auto reach = prefix.reachable();
+  std::vector<int> leaves;
+  for (int v = 0; v < prefix.num_nodes(); ++v) {
+    if (reach[v] && prefix.is_leaf(v)) leaves.push_back(v);
+  }
+  const auto minimal = minimal_sets(achievable_run_sets(safety_automaton));
+  SLAT_ASSERT(!minimal.empty());
+  // A prefix leaf keeps its LABEL: the achievable R-sets at a leaf labeled
+  // σ are combine(σ, S⃗) over glue subtrees with R-sets S⃗ ∈ F — and by
+  // monotonicity only minimal S⃗ matter.
+  std::vector<std::vector<StateSet>> per_symbol(safety_automaton.alphabet().size());
+  {
+    const int k = safety_automaton.branching();
+    const int m = static_cast<int>(minimal.size());
+    std::vector<int> index(k, 0);
+    std::vector<std::set<StateSet>> sets(safety_automaton.alphabet().size());
+    while (true) {
+      std::vector<const StateSet*> child_sets;
+      child_sets.reserve(k);
+      for (int j = 0; j < k; ++j) child_sets.push_back(&minimal[index[j]]);
+      for (Sym s = 0; s < safety_automaton.alphabet().size(); ++s) {
+        sets[s].insert(combine(safety_automaton, s, child_sets));
+      }
+      int pos = 0;
+      while (pos < k && ++index[pos] == m) index[pos++] = 0;
+      if (pos == k) break;
+    }
+    for (Sym s = 0; s < safety_automaton.alphabet().size(); ++s) {
+      per_symbol[s] = minimal_sets({sets[s].begin(), sets[s].end()});
+    }
+  }
+
+  // Try every assignment of per-label minimal sets to the leaves.
+  std::vector<int> choice(leaves.size(), 0);
+  const auto family_of = [&](int leaf) -> const std::vector<StateSet>& {
+    return per_symbol[prefix.label(leaf)];
+  };
+  while (true) {
+    std::map<int, const StateSet*> leaf_sets;
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      leaf_sets[leaves[i]] = &family_of(leaves[i])[choice[i]];
+    }
+    if (!run_exists_with_leaves(safety_automaton, prefix, leaf_sets)) return true;
+    std::size_t pos = 0;
+    while (pos < leaves.size() &&
+           ++choice[pos] == static_cast<int>(family_of(leaves[pos]).size())) {
+      choice[pos++] = 0;
+    }
+    if (pos == leaves.size()) break;
+  }
+  return false;
+}
+
+bool RabinDecomposition::liveness_contains(const KTree& tree) const {
+  return original.accepts(tree) || !safety.accepts(tree);
+}
+
+bool RabinDecomposition::liveness_extendable(const KTree& prefix) const {
+  if (original.accepts_some_extension(prefix)) return true;
+  // When L(B) = ∅ the closure is empty too (rfcl leaves B unchanged, so it
+  // may lack the trivial-acceptance shape); every extension escapes it.
+  if (safety.num_pairs() != 1 || safety.is_empty()) return true;
+  return some_extension_escapes(safety, prefix);
+}
+
+RabinDecomposition decompose(const RabinTreeAutomaton& automaton) {
+  return RabinDecomposition{rfcl(automaton), automaton};
+}
+
+trees::TreeProperty as_tree_property(const RabinTreeAutomaton& automaton,
+                                     std::string name) {
+  return trees::TreeProperty{
+      std::move(name),
+      [&automaton](const KTree& t) { return automaton.accepts(t); },
+      [&automaton](const KTree& t) { return automaton.accepts_some_extension(t); }};
+}
+
+bool in_rncl_bounded(const RabinTreeAutomaton& automaton, const KTree& tree,
+                     int depth) {
+  return trees::in_ncl(as_tree_property(automaton, "rncl"), tree, depth);
+}
+
+}  // namespace slat::rabin

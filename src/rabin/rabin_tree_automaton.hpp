@@ -1,0 +1,144 @@
+// Rabin tree automata on k-ary infinite trees (paper §4.4).
+//
+// B = (Σ, Q, q0, δ, Φ) with δ : Q × Σ → P(Q^k) and Φ given by Rabin pairs
+// (green_i, red_i): a run is accepting iff along every infinite path, for
+// some i, some green_i state recurs and every red_i state eventually stops
+// appearing.
+//
+// Decision procedures (emptiness, membership of a regular tree, prefix
+// extendability) all reduce to Rabin games between "Automaton" (player 0,
+// choosing transitions — and labels, where the input is unconstrained) and
+// "Pathfinder" (player 1, choosing tree directions); the games module
+// solves them exactly via IAR + Zielonka.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trees/closures.hpp"
+#include "trees/ktree.hpp"
+#include "words/alphabet.hpp"
+
+namespace slat::rabin {
+
+using trees::KTree;
+using words::Alphabet;
+using words::Sym;
+
+using State = int;
+
+/// One Rabin acceptance pair.
+struct RabinPair {
+  std::vector<bool> green;  ///< per-state membership in green_i
+  std::vector<bool> red;    ///< per-state membership in red_i
+};
+
+/// A transition target: the k successor states, one per direction.
+using Tuple = std::vector<State>;
+
+class RabinTreeAutomaton {
+ public:
+  RabinTreeAutomaton(Alphabet alphabet, int branching, int num_states, State initial);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  int branching() const { return branching_; }
+  int num_states() const { return num_states_; }
+  State initial() const { return initial_; }
+
+  /// Adds δ(q, s) ∋ tuple (tuple.size() must equal branching()).
+  void add_transition(State q, Sym s, Tuple tuple);
+  const std::vector<Tuple>& transitions(State q, Sym s) const;
+
+  int num_pairs() const { return static_cast<int>(pairs_.size()); }
+  const RabinPair& pair(int i) const { return pairs_[i]; }
+  /// Adds an acceptance pair; green/red are state lists.
+  void add_pair(const std::vector<State>& green, const std::vector<State>& red);
+
+  /// A Büchi-style trivial acceptance (every path accepts): the single pair
+  /// (Q, ∅). Used by the closure construction.
+  void set_trivial_acceptance();
+
+  /// Per-state language emptiness: L(B with initial q) = ∅? Decided via the
+  /// emptiness game, solved once for all states.
+  std::vector<bool> states_with_nonempty_language() const;
+
+  bool is_empty() const;
+
+  /// Exact membership of a *total* regular tree with branching() children
+  /// per node.
+  bool accepts(const KTree& tree) const;
+
+  /// Exact prefix extendability: does some total k-ary tree z extending
+  /// `prefix` at its leaves satisfy z ∈ L(B)? For a total input this equals
+  /// accepts(). Non-leaf nodes of `prefix` must have exactly k children.
+  bool accepts_some_extension(const KTree& prefix) const;
+
+  /// A regular tree in the language, if non-empty. Extracted from the
+  /// Automaton's winning strategy in the emptiness game; the witness has at
+  /// most |winning region of the IAR game| nodes.
+  std::optional<KTree> find_accepted_tree() const;
+
+  std::string to_string() const;
+
+ private:
+  Alphabet alphabet_;
+  int branching_;
+  int num_states_;
+  State initial_;
+  // delta_[q][s] = list of k-tuples.
+  std::vector<std::vector<std::vector<Tuple>>> delta_;
+  std::vector<RabinPair> pairs_;
+};
+
+/// The finite-depth closure rfcl (paper §4.4): if L(B) = ∅ the automaton is
+/// returned unchanged; otherwise states with empty residual language are
+/// removed (transitions through them dropped) and the acceptance is made
+/// trivial. L(rfcl B) = fcl(L(B)).
+RabinTreeAutomaton rfcl(const RabinTreeAutomaton& automaton);
+
+/// Theorem 9's decomposition, with the liveness part kept as an effective
+/// boolean combination (Rabin tree complementation is substituted by the
+/// membership oracle — see DESIGN.md): t ∈ live ⟺ t ∈ L(B) ∨ t ∉ L(rfcl B).
+struct RabinDecomposition {
+  RabinTreeAutomaton safety;  ///< rfcl(B)
+  /// Decides membership in L(B) ∪ ¬L(rfcl B) for total regular trees.
+  bool liveness_contains(const KTree& tree) const;
+  /// Extendability for the liveness part: ∃z ⊒ x with z ∈ live? Sound and
+  /// complete: z ∈ L(B) is game-decidable, and z ∉ L(rfcl B) holds for some
+  /// extension iff NOT every extension is in the (safety) closure — also
+  /// game-decidable on the closure automaton because a safety automaton's
+  /// language is limit-determined. (Implemented as: extendable into L(B),
+  /// or some extension escapes the closure.)
+  bool liveness_extendable(const KTree& prefix) const;
+
+  RabinTreeAutomaton original;  ///< the input automaton B
+};
+
+RabinDecomposition decompose(const RabinTreeAutomaton& automaton);
+
+/// The automaton's language as a trees::TreeProperty (membership +
+/// extendability oracles), ready for the bounded ncl/fcl machinery of
+/// trees/closures.hpp. The returned property references `automaton`, which
+/// must outlive it.
+trees::TreeProperty as_tree_property(const RabinTreeAutomaton& automaton,
+                                     std::string name);
+
+/// Bounded non-total-closure membership for the automaton's language: the
+/// §4.4 analogue of ncl, decided semantically (the paper defines rncl "
+/// similarly" to rfcl but gives no construction; prunings up to `depth`
+/// quantify the non-total prefixes). Over-approximates true ncl membership,
+/// exactly like trees::in_ncl.
+bool in_rncl_bounded(const RabinTreeAutomaton& automaton, const KTree& tree, int depth);
+
+/// Does some total extension of `prefix` fall OUTSIDE the language of the
+/// trivial-acceptance automaton? Exact for safety (limit-closed) languages:
+/// membership is run existence, run existence is limit-determined (König),
+/// so escaping reduces to assigning achievable "partial-run state sets" to
+/// the prefix's leaves and checking a greatest fixpoint over its graph.
+/// Precondition: `safety_automaton` has the rfcl shape (one pair (Q, ∅)).
+bool some_extension_escapes(const RabinTreeAutomaton& safety_automaton,
+                            const KTree& prefix);
+
+}  // namespace slat::rabin

@@ -1,0 +1,38 @@
+#include "rabin/random.hpp"
+
+#include "common/assert.hpp"
+
+namespace slat::rabin {
+
+RabinTreeAutomaton random_rabin(const RandomRabinConfig& config, std::mt19937& rng) {
+  SLAT_ASSERT(config.num_states >= 1 && config.alphabet_size >= 1 &&
+              config.branching >= 1 && config.num_pairs >= 0);
+  RabinTreeAutomaton aut(words::Alphabet::of_size(config.alphabet_size),
+                         config.branching, config.num_states, 0);
+  std::poisson_distribution<int> tuple_count(config.tuples_per_slot);
+  std::uniform_int_distribution<int> pick_state(0, config.num_states - 1);
+  std::bernoulli_distribution green(config.green_probability);
+  std::bernoulli_distribution red(config.red_probability);
+
+  for (State q = 0; q < config.num_states; ++q) {
+    for (Sym s = 0; s < config.alphabet_size; ++s) {
+      const int count = tuple_count(rng);
+      for (int i = 0; i < count; ++i) {
+        Tuple tuple(config.branching);
+        for (int j = 0; j < config.branching; ++j) tuple[j] = pick_state(rng);
+        aut.add_transition(q, s, std::move(tuple));
+      }
+    }
+  }
+  for (int i = 0; i < config.num_pairs; ++i) {
+    std::vector<State> greens, reds;
+    for (State q = 0; q < config.num_states; ++q) {
+      if (green(rng)) greens.push_back(q);
+      if (red(rng)) reds.push_back(q);
+    }
+    aut.add_pair(greens, reds);
+  }
+  return aut;
+}
+
+}  // namespace slat::rabin

@@ -1,0 +1,23 @@
+// Random Rabin tree automata for property-based tests and benches.
+#pragma once
+
+#include <random>
+
+#include "rabin/rabin_tree_automaton.hpp"
+
+namespace slat::rabin {
+
+struct RandomRabinConfig {
+  int num_states = 3;
+  int alphabet_size = 2;
+  int branching = 2;
+  int num_pairs = 1;
+  /// Expected number of transition tuples per (state, symbol).
+  double tuples_per_slot = 1.0;
+  double green_probability = 0.4;
+  double red_probability = 0.25;
+};
+
+RabinTreeAutomaton random_rabin(const RandomRabinConfig& config, std::mt19937& rng);
+
+}  // namespace slat::rabin

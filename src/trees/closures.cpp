@@ -1,0 +1,99 @@
+#include "trees/closures.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.hpp"
+
+namespace slat::trees {
+
+bool in_fcl(const TreeProperty& property, const KTree& y, int depth) {
+  SLAT_ASSERT_MSG(y.is_total(), "closure membership is defined on total trees");
+  // Finite prefixes are ≼-below the deepest truncation, and extendability is
+  // antitone in ≼, so the deepest truncation decides all of them.
+  return property.extendable(y.truncate(depth));
+}
+
+namespace {
+
+bool is_antichain(const std::vector<Position>& positions, std::uint32_t mask) {
+  std::vector<const Position*> chosen;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (mask >> i & 1u) chosen.push_back(&positions[i]);
+  }
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    for (std::size_t j = 0; j < chosen.size(); ++j) {
+      if (i == j) continue;
+      const Position& p = *chosen[i];
+      const Position& q = *chosen[j];
+      if (p.size() <= q.size() && std::equal(p.begin(), p.end(), q.begin())) {
+        return false;  // p is a (possibly equal) prefix of q
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool in_ncl(const TreeProperty& property, const KTree& y, int depth) {
+  SLAT_ASSERT_MSG(y.is_total(), "closure membership is defined on total trees");
+  const std::vector<Position> positions = y.positions_up_to(depth);
+  SLAT_ASSERT_MSG(positions.size() <= 20, "too many cut positions; lower the depth");
+  const std::uint32_t limit = 1u << positions.size();
+  for (std::uint32_t mask = 1; mask < limit; ++mask) {
+    if (!is_antichain(positions, mask)) continue;
+    std::vector<Position> cuts;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      if (mask >> i & 1u) cuts.push_back(positions[i]);
+    }
+    if (!property.extendable(y.prune_at(cuts))) return false;
+  }
+  return true;
+}
+
+BranchingClassification classify(const TreeProperty& property,
+                                 const std::vector<KTree>& corpus, int depth) {
+  BranchingClassification result{true, true, true, true};
+  for (const KTree& y : corpus) {
+    const bool member = property.contains(y);
+    const bool ncl_member = in_ncl(property, y, depth);
+    const bool fcl_member = in_fcl(property, y, depth);
+    if (member != ncl_member) result.existentially_safe = false;
+    if (member != fcl_member) result.universally_safe = false;
+    if (!ncl_member) result.existentially_live = false;
+    if (!fcl_member) result.universally_live = false;
+  }
+  return result;
+}
+
+std::vector<KTree> total_tree_corpus(const Alphabet& alphabet, int max_nodes,
+                                     int max_arity) {
+  std::vector<KTree> corpus;
+  std::map<std::string, bool> seen;
+  for (int n = 1; n <= max_nodes; ++n) {
+    for (KTree& tree : enumerate_regular_trees(alphabet, n, 1, max_arity)) {
+      // arity ≥ 1 everywhere makes the tree total by construction.
+      SLAT_ASSERT(tree.is_total());
+      // Cheap canonical key (BFS shape of the reachable part); unfolding
+      // duplicates that survive are harmless for classification.
+      const std::string key = tree.unroll(0).to_string();
+      bool duplicate = seen.count(key) != 0;
+      if (!duplicate) {
+        for (const KTree& existing : corpus) {
+          if (existing.same_unfolding(tree)) {
+            duplicate = true;
+            break;
+          }
+        }
+      }
+      if (!duplicate) {
+        seen[key] = true;
+        corpus.push_back(std::move(tree));
+      }
+    }
+  }
+  return corpus;
+}
+
+}  // namespace slat::trees

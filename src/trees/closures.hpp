@@ -1,0 +1,74 @@
+// The branching-time closures ncl and fcl (paper §4.2), as bounded-depth
+// decision procedures over regular trees.
+//
+//   fcl.P = { y total : every finite-depth prefix of y extends into P }
+//   ncl.P = { y total : every non-total prefix of y extends into P }
+//
+// A property is supplied as a pair of oracles over regular trees:
+//   contains(x)    — is the total tree x in P?
+//   extendable(x)  — does some total z ⊒ x (extension at x's leaves) lie in P?
+// Both oracles receive regular trees (possibly with leaves) and must be
+// exact on them; the closure checks then quantify over prefixes *up to a
+// depth bound*:
+//   * fcl: finite prefixes are downward-closed under ≼, so only the deepest
+//     truncation needs checking — in_fcl(y, D) tests truncate(y, D).
+//   * ncl: prefixes are y pruned at any non-empty antichain of positions of
+//     depth ≤ D (this includes all finite truncations, and the crucial
+//     "cut one subtree, keep another infinite" prefixes from the paper's
+//     §4.3 counterexamples).
+//
+// Both checks are over-approximations of membership that become exact as
+// D grows past the property's automaton index; EXPERIMENTS.md records the
+// bounds used for each reported claim.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trees/ktree.hpp"
+
+namespace slat::trees {
+
+/// A branching-time property with decision oracles on regular trees.
+struct TreeProperty {
+  std::string name;
+  /// Membership of a *total* regular tree.
+  std::function<bool(const KTree&)> contains;
+  /// Extension: does some total completion (growing arbitrary subtrees at
+  /// every leaf) belong to the property? For a total input this must agree
+  /// with `contains`.
+  std::function<bool(const KTree&)> extendable;
+};
+
+/// y ∈ fcl.P, checked at depth bound `depth`.
+bool in_fcl(const TreeProperty& property, const KTree& y, int depth);
+
+/// y ∈ ncl.P, checked with cut positions of depth ≤ `depth`. Exponential in
+/// the number of positions; intended for small trees/depths.
+bool in_ncl(const TreeProperty& property, const KTree& y, int depth);
+
+/// The classification grid of §4.2–4.3.
+struct BranchingClassification {
+  bool existentially_safe;  ///< P = ncl.P on the corpus
+  bool universally_safe;    ///< P = fcl.P on the corpus
+  bool existentially_live;  ///< ncl.P ⊇ corpus (ncl.P = A_tot)
+  bool universally_live;    ///< fcl.P ⊇ corpus (fcl.P = A_tot)
+};
+
+/// Classifies a property against a corpus of total trees: safety asks
+/// membership in P ⟺ membership in the closure for every corpus tree,
+/// liveness asks the closure to contain every corpus tree. Sound for
+/// refutation; "true" means "not refuted by the corpus at this depth".
+BranchingClassification classify(const TreeProperty& property,
+                                 const std::vector<KTree>& corpus, int depth);
+
+/// A corpus of small total regular trees over the alphabet: all total
+/// regular trees with ≤ `max_nodes` graph nodes and arity between 1 and
+/// `max_arity` (deduplicated by unfolding up to `max_nodes` rounds), plus
+/// nothing else. Sequences (arity-1 chains) are included — the paper's
+/// §4.3 examples depend on them.
+std::vector<KTree> total_tree_corpus(const Alphabet& alphabet, int max_nodes,
+                                     int max_arity);
+
+}  // namespace slat::trees

@@ -1,0 +1,524 @@
+#include "trees/ctl.hpp"
+
+#include <cctype>
+
+#include "common/assert.hpp"
+
+namespace slat::trees {
+
+CtlArena::CtlArena(Alphabet alphabet) : alphabet_(std::move(alphabet)) {}
+
+CtlId CtlArena::intern(CtlNode node) {
+  auto it = index_.find(node);
+  if (it != index_.end()) return it->second;
+  const CtlId id = static_cast<CtlId>(nodes_.size());
+  nodes_.push_back(node);
+  index_.emplace(node, id);
+  return id;
+}
+
+const CtlNode& CtlArena::node(CtlId f) const {
+  SLAT_ASSERT(f >= 0 && f < size());
+  return nodes_[f];
+}
+
+CtlId CtlArena::tru() { return intern({CtlOp::kTrue}); }
+CtlId CtlArena::fls() { return intern({CtlOp::kFalse}); }
+
+CtlId CtlArena::atom(Sym s) {
+  SLAT_ASSERT(s >= 0 && s < alphabet_.size());
+  return intern({CtlOp::kAtom, s});
+}
+
+CtlId CtlArena::atom(std::string_view name) {
+  const auto s = alphabet_.index_of(name);
+  SLAT_ASSERT_MSG(s.has_value(), "atom name not in alphabet");
+  return atom(*s);
+}
+
+CtlId CtlArena::negation(CtlId f) {
+  const CtlNode& n = node(f);
+  if (n.op == CtlOp::kTrue) return fls();
+  if (n.op == CtlOp::kFalse) return tru();
+  if (n.op == CtlOp::kNot) return n.lhs;
+  return intern({CtlOp::kNot, -1, f});
+}
+
+CtlId CtlArena::conj(CtlId lhs, CtlId rhs) {
+  if (node(lhs).op == CtlOp::kTrue) return rhs;
+  if (node(rhs).op == CtlOp::kTrue) return lhs;
+  if (node(lhs).op == CtlOp::kFalse || node(rhs).op == CtlOp::kFalse) return fls();
+  if (lhs == rhs) return lhs;
+  if (lhs > rhs) std::swap(lhs, rhs);
+  return intern({CtlOp::kAnd, -1, lhs, rhs});
+}
+
+CtlId CtlArena::disj(CtlId lhs, CtlId rhs) {
+  if (node(lhs).op == CtlOp::kFalse) return rhs;
+  if (node(rhs).op == CtlOp::kFalse) return lhs;
+  if (node(lhs).op == CtlOp::kTrue || node(rhs).op == CtlOp::kTrue) return tru();
+  if (lhs == rhs) return lhs;
+  if (lhs > rhs) std::swap(lhs, rhs);
+  return intern({CtlOp::kOr, -1, lhs, rhs});
+}
+
+CtlId CtlArena::implies(CtlId lhs, CtlId rhs) { return intern({CtlOp::kImplies, -1, lhs, rhs}); }
+CtlId CtlArena::ex(CtlId f) { return intern({CtlOp::kEX, -1, f}); }
+CtlId CtlArena::ax(CtlId f) { return intern({CtlOp::kAX, -1, f}); }
+CtlId CtlArena::ef(CtlId f) { return intern({CtlOp::kEF, -1, f}); }
+CtlId CtlArena::af(CtlId f) { return intern({CtlOp::kAF, -1, f}); }
+CtlId CtlArena::eg(CtlId f) { return intern({CtlOp::kEG, -1, f}); }
+CtlId CtlArena::ag(CtlId f) { return intern({CtlOp::kAG, -1, f}); }
+CtlId CtlArena::eu(CtlId lhs, CtlId rhs) { return intern({CtlOp::kEU, -1, lhs, rhs}); }
+CtlId CtlArena::au(CtlId lhs, CtlId rhs) { return intern({CtlOp::kAU, -1, lhs, rhs}); }
+CtlId CtlArena::er(CtlId lhs, CtlId rhs) { return intern({CtlOp::kER, -1, lhs, rhs}); }
+CtlId CtlArena::ar(CtlId lhs, CtlId rhs) { return intern({CtlOp::kAR, -1, lhs, rhs}); }
+
+namespace {
+
+CtlId nnf_rec(CtlArena& arena, CtlId f, bool negated) {
+  const CtlNode n = arena.node(f);
+  switch (n.op) {
+    case CtlOp::kTrue:
+      return negated ? arena.fls() : arena.tru();
+    case CtlOp::kFalse:
+      return negated ? arena.tru() : arena.fls();
+    case CtlOp::kAtom:
+      return negated ? arena.negation(f) : f;
+    case CtlOp::kNot:
+      return nnf_rec(arena, n.lhs, !negated);
+    case CtlOp::kAnd: {
+      const CtlId lhs = nnf_rec(arena, n.lhs, negated);
+      const CtlId rhs = nnf_rec(arena, n.rhs, negated);
+      return negated ? arena.disj(lhs, rhs) : arena.conj(lhs, rhs);
+    }
+    case CtlOp::kOr: {
+      const CtlId lhs = nnf_rec(arena, n.lhs, negated);
+      const CtlId rhs = nnf_rec(arena, n.rhs, negated);
+      return negated ? arena.conj(lhs, rhs) : arena.disj(lhs, rhs);
+    }
+    case CtlOp::kImplies:
+      return negated
+                 ? arena.conj(nnf_rec(arena, n.lhs, false), nnf_rec(arena, n.rhs, true))
+                 : arena.disj(nnf_rec(arena, n.lhs, true), nnf_rec(arena, n.rhs, false));
+    case CtlOp::kEX:
+      return negated ? arena.ax(nnf_rec(arena, n.lhs, true))
+                     : arena.ex(nnf_rec(arena, n.lhs, false));
+    case CtlOp::kAX:
+      return negated ? arena.ex(nnf_rec(arena, n.lhs, true))
+                     : arena.ax(nnf_rec(arena, n.lhs, false));
+    case CtlOp::kEF:
+      // EF φ = E[true U φ];  ¬EF φ = A[false R ¬φ] (= AG ¬φ).
+      return negated ? arena.ar(arena.fls(), nnf_rec(arena, n.lhs, true))
+                     : arena.eu(arena.tru(), nnf_rec(arena, n.lhs, false));
+    case CtlOp::kAF:
+      return negated ? arena.er(arena.fls(), nnf_rec(arena, n.lhs, true))
+                     : arena.au(arena.tru(), nnf_rec(arena, n.lhs, false));
+    case CtlOp::kEG:
+      // EG φ = E[false R φ];  ¬EG φ = A[true U ¬φ] (= AF ¬φ).
+      return negated ? arena.au(arena.tru(), nnf_rec(arena, n.lhs, true))
+                     : arena.er(arena.fls(), nnf_rec(arena, n.lhs, false));
+    case CtlOp::kAG:
+      return negated ? arena.eu(arena.tru(), nnf_rec(arena, n.lhs, true))
+                     : arena.ar(arena.fls(), nnf_rec(arena, n.lhs, false));
+    case CtlOp::kEU: {
+      const CtlId lhs = nnf_rec(arena, n.lhs, negated);
+      const CtlId rhs = nnf_rec(arena, n.rhs, negated);
+      // ¬E[φ U ψ] = A[¬φ R ¬ψ].
+      return negated ? arena.ar(lhs, rhs) : arena.eu(lhs, rhs);
+    }
+    case CtlOp::kAU: {
+      const CtlId lhs = nnf_rec(arena, n.lhs, negated);
+      const CtlId rhs = nnf_rec(arena, n.rhs, negated);
+      return negated ? arena.er(lhs, rhs) : arena.au(lhs, rhs);
+    }
+    case CtlOp::kER: {
+      const CtlId lhs = nnf_rec(arena, n.lhs, negated);
+      const CtlId rhs = nnf_rec(arena, n.rhs, negated);
+      return negated ? arena.au(lhs, rhs) : arena.er(lhs, rhs);
+    }
+    case CtlOp::kAR: {
+      const CtlId lhs = nnf_rec(arena, n.lhs, negated);
+      const CtlId rhs = nnf_rec(arena, n.rhs, negated);
+      return negated ? arena.eu(lhs, rhs) : arena.ar(lhs, rhs);
+    }
+  }
+  SLAT_ASSERT_MSG(false, "unhandled op in CTL nnf");
+  return f;
+}
+
+}  // namespace
+
+CtlId CtlArena::nnf(CtlId f) { return nnf_rec(*this, f, false); }
+
+// ---------------------------------------------------------------------------
+// Model checking
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Checker {
+ public:
+  Checker(const CtlArena& arena, const KTree& tree) : arena_(arena), tree_(tree) {}
+
+  std::vector<bool> eval(CtlId f) {
+    auto it = cache_.find(f);
+    if (it != cache_.end()) return it->second;
+    const int n = tree_.num_nodes();
+    std::vector<bool> result(n, false);
+    const CtlNode& node = arena_.node(f);
+    switch (node.op) {
+      case CtlOp::kTrue:
+        result.assign(n, true);
+        break;
+      case CtlOp::kFalse:
+        break;
+      case CtlOp::kAtom:
+        for (int v = 0; v < n; ++v) result[v] = tree_.label(v) == node.atom;
+        break;
+      case CtlOp::kNot: {
+        const auto sub = eval(node.lhs);
+        for (int v = 0; v < n; ++v) result[v] = !sub[v];
+        break;
+      }
+      case CtlOp::kAnd: {
+        const auto lhs = eval(node.lhs), rhs = eval(node.rhs);
+        for (int v = 0; v < n; ++v) result[v] = lhs[v] && rhs[v];
+        break;
+      }
+      case CtlOp::kOr: {
+        const auto lhs = eval(node.lhs), rhs = eval(node.rhs);
+        for (int v = 0; v < n; ++v) result[v] = lhs[v] || rhs[v];
+        break;
+      }
+      case CtlOp::kImplies: {
+        const auto lhs = eval(node.lhs), rhs = eval(node.rhs);
+        for (int v = 0; v < n; ++v) result[v] = !lhs[v] || rhs[v];
+        break;
+      }
+      case CtlOp::kEX: {
+        const auto sub = eval(node.lhs);
+        for (int v = 0; v < n; ++v) result[v] = any_child(v, sub);
+        break;
+      }
+      case CtlOp::kAX: {
+        const auto sub = eval(node.lhs);
+        for (int v = 0; v < n; ++v) result[v] = all_children(v, sub);
+        break;
+      }
+      case CtlOp::kEF:
+        result = least_fixpoint(eval(node.lhs), /*universal=*/false,
+                                /*guard=*/std::vector<bool>(n, true));
+        break;
+      case CtlOp::kAF:
+        result = least_fixpoint(eval(node.lhs), /*universal=*/true,
+                                /*guard=*/std::vector<bool>(n, true));
+        break;
+      case CtlOp::kEU:
+        result = least_fixpoint(eval(node.rhs), /*universal=*/false, eval(node.lhs));
+        break;
+      case CtlOp::kAU:
+        result = least_fixpoint(eval(node.rhs), /*universal=*/true, eval(node.lhs));
+        break;
+      case CtlOp::kEG:
+        result = release_fixpoint(eval(node.lhs),
+                                  std::vector<bool>(n, false), /*universal=*/false);
+        break;
+      case CtlOp::kAG:
+        result = release_fixpoint(eval(node.lhs),
+                                  std::vector<bool>(n, false), /*universal=*/true);
+        break;
+      case CtlOp::kER:
+        result = release_fixpoint(eval(node.rhs), eval(node.lhs), /*universal=*/false);
+        break;
+      case CtlOp::kAR:
+        result = release_fixpoint(eval(node.rhs), eval(node.lhs), /*universal=*/true);
+        break;
+    }
+    cache_.emplace(f, result);
+    return result;
+  }
+
+ private:
+  bool any_child(int v, const std::vector<bool>& set) const {
+    for (int c : tree_.children(v)) {
+      if (set[c]) return true;
+    }
+    return false;
+  }
+  bool all_children(int v, const std::vector<bool>& set) const {
+    for (int c : tree_.children(v)) {
+      if (!set[c]) return false;
+    }
+    return true;
+  }
+
+  // μZ. target ∨ (guard ∧ ○Z), with ○ existential or universal.
+  std::vector<bool> least_fixpoint(std::vector<bool> target, bool universal,
+                                   std::vector<bool> guard) {
+    std::vector<bool> current = std::move(target);
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (int v = 0; v < tree_.num_nodes(); ++v) {
+        if (current[v] || !guard[v]) continue;
+        const bool step = universal ? all_children(v, current) : any_child(v, current);
+        if (step) {
+          current[v] = true;
+          changed = true;
+        }
+      }
+    }
+    return current;
+  }
+
+  // νZ. psi ∧ (phi ∨ ○Z) — the release fixpoint; with phi ≡ false this is
+  // the plain νZ. psi ∧ ○Z of EG/AG.
+  std::vector<bool> release_fixpoint(std::vector<bool> psi, std::vector<bool> phi,
+                                     bool universal) {
+    std::vector<bool> current = std::move(psi);
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (int v = 0; v < tree_.num_nodes(); ++v) {
+        if (!current[v] || phi[v]) continue;
+        const bool step = universal ? all_children(v, current) : any_child(v, current);
+        if (!step) {
+          current[v] = false;
+          changed = true;
+        }
+      }
+    }
+    return current;
+  }
+
+  const CtlArena& arena_;
+  const KTree& tree_;
+  std::map<CtlId, std::vector<bool>> cache_;
+};
+
+}  // namespace
+
+std::vector<bool> satisfying_nodes(const CtlArena& arena, CtlId f, const KTree& tree) {
+  SLAT_ASSERT_MSG(tree.is_total(), "CTL model checking expects a total tree");
+  Checker checker(arena, tree);
+  return checker.eval(f);
+}
+
+bool holds(const CtlArena& arena, CtlId f, const KTree& tree) {
+  return satisfying_nodes(arena, f, tree)[tree.root()];
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct CtlParser {
+  CtlArena& arena;
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  void skip_space() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+
+  bool eat(char c) {
+    skip_space();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool eat_word(std::string_view word) {
+    skip_space();
+    if (text.substr(pos, word.size()) == word) {
+      const std::size_t after = pos + word.size();
+      if (after < text.size() &&
+          (std::isalnum(static_cast<unsigned char>(text[after])) || text[after] == '_')) {
+        return false;
+      }
+      pos = after;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<CtlId> fail(std::string message) {
+    if (error.empty()) error = message + " at offset " + std::to_string(pos);
+    return std::nullopt;
+  }
+
+  std::optional<std::string> ident() {
+    skip_space();
+    std::size_t start = pos;
+    if (pos < text.size() &&
+        (std::isalpha(static_cast<unsigned char>(text[pos])) || text[pos] == '_')) {
+      ++pos;
+      while (pos < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[pos])) || text[pos] == '_')) {
+        ++pos;
+      }
+      return std::string(text.substr(start, pos - start));
+    }
+    return std::nullopt;
+  }
+
+  // E(φ U ψ), A(φ U ψ), E(φ R ψ), A(φ R ψ).
+  std::optional<CtlId> quantified_until(bool universal) {
+    if (!eat('(')) return fail("expected '(' after path quantifier");
+    auto lhs = implies_level();
+    if (!lhs) return std::nullopt;
+    bool release = false;
+    if (eat_word("R")) {
+      release = true;
+    } else if (!eat_word("U")) {
+      return fail("expected 'U' or 'R' in quantified path formula");
+    }
+    auto rhs = implies_level();
+    if (!rhs) return std::nullopt;
+    if (!eat(')')) return fail("expected ')'");
+    if (release) return universal ? arena.ar(*lhs, *rhs) : arena.er(*lhs, *rhs);
+    return universal ? arena.au(*lhs, *rhs) : arena.eu(*lhs, *rhs);
+  }
+
+  std::optional<CtlId> unary() {
+    skip_space();
+    if (eat('!')) {
+      auto f = unary();
+      return f ? std::optional(arena.negation(*f)) : std::nullopt;
+    }
+    struct UnaryOp {
+      const char* name;
+      CtlId (CtlArena::*make)(CtlId);
+    };
+    static constexpr UnaryOp kOps[] = {
+        {"EX", &CtlArena::ex}, {"AX", &CtlArena::ax}, {"EF", &CtlArena::ef},
+        {"AF", &CtlArena::af}, {"EG", &CtlArena::eg}, {"AG", &CtlArena::ag},
+    };
+    for (const auto& op : kOps) {
+      if (eat_word(op.name)) {
+        auto f = unary();
+        return f ? std::optional((arena.*(op.make))(*f)) : std::nullopt;
+      }
+    }
+    if (eat_word("E")) return quantified_until(false);
+    if (eat_word("A")) return quantified_until(true);
+    if (eat('(')) {
+      auto f = implies_level();
+      if (!f) return std::nullopt;
+      if (!eat(')')) return fail("expected ')'");
+      return f;
+    }
+    if (eat_word("true")) return arena.tru();
+    if (eat_word("false")) return arena.fls();
+    if (auto name = ident()) {
+      if (auto s = arena.alphabet().index_of(*name)) return arena.atom(*s);
+      return fail("unknown atom '" + *name + "'");
+    }
+    return fail("expected a formula");
+  }
+
+  std::optional<CtlId> and_level() {
+    auto lhs = unary();
+    if (!lhs) return std::nullopt;
+    while (eat('&')) {
+      auto rhs = unary();
+      if (!rhs) return std::nullopt;
+      lhs = arena.conj(*lhs, *rhs);
+    }
+    return lhs;
+  }
+
+  std::optional<CtlId> or_level() {
+    auto lhs = and_level();
+    if (!lhs) return std::nullopt;
+    while (eat('|')) {
+      auto rhs = and_level();
+      if (!rhs) return std::nullopt;
+      lhs = arena.disj(*lhs, *rhs);
+    }
+    return lhs;
+  }
+
+  std::optional<CtlId> implies_level() {
+    auto lhs = or_level();
+    if (!lhs) return std::nullopt;
+    skip_space();
+    if (pos + 1 < text.size() && text[pos] == '-' && text[pos + 1] == '>') {
+      pos += 2;
+      auto rhs = implies_level();
+      if (!rhs) return std::nullopt;
+      return arena.implies(*lhs, *rhs);
+    }
+    return lhs;
+  }
+
+  bool at_end() {
+    skip_space();
+    return pos >= text.size();
+  }
+};
+
+}  // namespace
+
+std::optional<CtlId> CtlArena::parse(std::string_view text, std::string* error) {
+  CtlParser parser{*this, text, 0, {}};
+  auto result = parser.implies_level();
+  if (result && !parser.at_end()) result = parser.fail("trailing input");
+  if (!result && error != nullptr) *error = parser.error;
+  return result;
+}
+
+std::string CtlArena::to_string(CtlId f) const {
+  const CtlNode& n = node(f);
+  const auto paren = [&](CtlId g) {
+    const CtlOp op = node(g).op;
+    const bool atomic = op == CtlOp::kTrue || op == CtlOp::kFalse || op == CtlOp::kAtom ||
+                        op == CtlOp::kNot || op == CtlOp::kEX || op == CtlOp::kAX ||
+                        op == CtlOp::kEF || op == CtlOp::kAF || op == CtlOp::kEG ||
+                        op == CtlOp::kAG;
+    return atomic ? to_string(g) : "(" + to_string(g) + ")";
+  };
+  switch (n.op) {
+    case CtlOp::kTrue:
+      return "true";
+    case CtlOp::kFalse:
+      return "false";
+    case CtlOp::kAtom:
+      return alphabet_.name(n.atom);
+    case CtlOp::kNot:
+      return "!" + paren(n.lhs);
+    case CtlOp::kAnd:
+      return paren(n.lhs) + " & " + paren(n.rhs);
+    case CtlOp::kOr:
+      return paren(n.lhs) + " | " + paren(n.rhs);
+    case CtlOp::kImplies:
+      return paren(n.lhs) + " -> " + paren(n.rhs);
+    case CtlOp::kEX:
+      return "EX " + paren(n.lhs);
+    case CtlOp::kAX:
+      return "AX " + paren(n.lhs);
+    case CtlOp::kEF:
+      return "EF " + paren(n.lhs);
+    case CtlOp::kAF:
+      return "AF " + paren(n.lhs);
+    case CtlOp::kEG:
+      return "EG " + paren(n.lhs);
+    case CtlOp::kAG:
+      return "AG " + paren(n.lhs);
+    case CtlOp::kEU:
+      return "E(" + to_string(n.lhs) + " U " + to_string(n.rhs) + ")";
+    case CtlOp::kAU:
+      return "A(" + to_string(n.lhs) + " U " + to_string(n.rhs) + ")";
+    case CtlOp::kER:
+      return "E(" + to_string(n.lhs) + " R " + to_string(n.rhs) + ")";
+    case CtlOp::kAR:
+      return "A(" + to_string(n.lhs) + " R " + to_string(n.rhs) + ")";
+  }
+  return "?";
+}
+
+}  // namespace slat::trees

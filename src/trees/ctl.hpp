@@ -1,0 +1,109 @@
+// CTL over regular trees (paper §4.3).
+//
+// CTL is bisimulation-invariant and a regular tree is bisimilar to its
+// finite graph, so model checking the graph with the standard fixpoint
+// algorithms decides membership of the regular tree's unfolding in the CTL
+// property — exactly. Atoms are alphabet letters, as in the LTL module.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trees/ktree.hpp"
+
+namespace slat::trees {
+
+using CtlId = int;
+
+enum class CtlOp : std::uint8_t {
+  kTrue,
+  kFalse,
+  kAtom,
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kEX,  // on some child
+  kAX,  // on every child
+  kEF,
+  kAF,
+  kEG,
+  kAG,
+  kEU,  // E[φ U ψ]
+  kAU,  // A[φ U ψ]
+  kER,  // E[φ R ψ]  (release: ψ holds up to and including the first φ∧ψ)
+  kAR,  // A[φ R ψ]
+};
+
+struct CtlNode {
+  CtlOp op;
+  Sym atom = -1;
+  CtlId lhs = -1;
+  CtlId rhs = -1;
+
+  auto operator<=>(const CtlNode&) const = default;
+};
+
+/// Interning arena for CTL formulas, mirroring LtlArena.
+class CtlArena {
+ public:
+  explicit CtlArena(Alphabet alphabet);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+
+  CtlId tru();
+  CtlId fls();
+  CtlId atom(Sym s);
+  CtlId atom(std::string_view name);
+  CtlId negation(CtlId f);
+  CtlId conj(CtlId lhs, CtlId rhs);
+  CtlId disj(CtlId lhs, CtlId rhs);
+  CtlId implies(CtlId lhs, CtlId rhs);
+  CtlId ex(CtlId f);
+  CtlId ax(CtlId f);
+  CtlId ef(CtlId f);
+  CtlId af(CtlId f);
+  CtlId eg(CtlId f);
+  CtlId ag(CtlId f);
+  CtlId eu(CtlId lhs, CtlId rhs);
+  CtlId au(CtlId lhs, CtlId rhs);
+  CtlId er(CtlId lhs, CtlId rhs);
+  CtlId ar(CtlId lhs, CtlId rhs);
+
+  /// Negation normal form over the core ops {true, false, atom, ¬atom, ∧,
+  /// ∨, EX, AX, EU, AU, ER, AR}: EF/AF become untils, EG/AG become
+  /// releases, negations are pushed to the atoms (EX/AX, EU/AR and AU/ER
+  /// are dual pairs).
+  CtlId nnf(CtlId f);
+
+  const CtlNode& node(CtlId f) const;
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  /// Parser for e.g. "a & AF !a", "E(a U b)", "EX a", "AG (a -> EF b)".
+  /// Path quantifier pairs are single tokens: EX AX EF AF EG AG, and
+  /// E(φ U ψ) / A(φ U ψ) for until.
+  std::optional<CtlId> parse(std::string_view text, std::string* error = nullptr);
+
+  std::string to_string(CtlId f) const;
+
+ private:
+  CtlId intern(CtlNode node);
+
+  Alphabet alphabet_;
+  std::vector<CtlNode> nodes_;
+  std::map<CtlNode, CtlId> index_;
+};
+
+/// The set of graph nodes of `tree` whose unfolding satisfies f. Requires a
+/// total tree (CTL path quantifiers presuppose infinite paths; the paper's
+/// branching-time properties are sets of total trees).
+std::vector<bool> satisfying_nodes(const CtlArena& arena, CtlId f, const KTree& tree);
+
+/// Does the tree (from its root) satisfy f?
+bool holds(const CtlArena& arena, CtlId f, const KTree& tree);
+
+}  // namespace slat::trees

@@ -1,0 +1,325 @@
+#include "trees/ktree.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace slat::trees {
+
+KTree::KTree(Alphabet alphabet, int num_nodes, int root)
+    : alphabet_(std::move(alphabet)), root_(root) {
+  SLAT_ASSERT(num_nodes >= 1);
+  SLAT_ASSERT(root >= 0 && root < num_nodes);
+  label_.assign(num_nodes, 0);
+  children_.assign(num_nodes, {});
+}
+
+KTree KTree::constant(Alphabet alphabet, Sym s, int arity) {
+  SLAT_ASSERT(arity >= 0);
+  KTree tree(std::move(alphabet), 1, 0);
+  tree.set_label(0, s);
+  for (int i = 0; i < arity; ++i) tree.add_child(0, 0);
+  return tree;
+}
+
+void KTree::set_label(int node, Sym s) {
+  SLAT_ASSERT(node >= 0 && node < num_nodes());
+  SLAT_ASSERT(s >= 0 && s < alphabet_.size());
+  label_[node] = s;
+}
+
+void KTree::add_child(int parent, int child) {
+  SLAT_ASSERT(parent >= 0 && parent < num_nodes());
+  SLAT_ASSERT(child >= 0 && child < num_nodes());
+  children_[parent].push_back(child);
+}
+
+void KTree::make_leaf(int node) {
+  SLAT_ASSERT(node >= 0 && node < num_nodes());
+  children_[node].clear();
+}
+
+int KTree::add_node(Sym s) {
+  label_.push_back(s);
+  children_.emplace_back();
+  SLAT_ASSERT(s >= 0 && s < alphabet_.size());
+  return num_nodes() - 1;
+}
+
+std::vector<bool> KTree::reachable() const {
+  std::vector<bool> seen(num_nodes(), false);
+  std::deque<int> queue{root_};
+  seen[root_] = true;
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop_front();
+    for (int c : children_[v]) {
+      if (!seen[c]) {
+        seen[c] = true;
+        queue.push_back(c);
+      }
+    }
+  }
+  return seen;
+}
+
+bool KTree::is_total() const {
+  const auto seen = reachable();
+  for (int v = 0; v < num_nodes(); ++v) {
+    if (seen[v] && children_[v].empty()) return false;
+  }
+  return true;
+}
+
+bool KTree::is_finite() const {
+  // Finite unfolding iff the reachable subgraph is acyclic: DFS with colors.
+  const int n = num_nodes();
+  std::vector<int> color(n, 0);  // 0 = white, 1 = on stack, 2 = done
+  std::vector<std::pair<int, std::size_t>> stack{{root_, 0}};
+  color[root_] = 1;
+  while (!stack.empty()) {
+    auto& [v, next] = stack.back();
+    if (next < children_[v].size()) {
+      const int c = children_[v][next++];
+      if (color[c] == 1) return false;
+      if (color[c] == 0) {
+        color[c] = 1;
+        stack.emplace_back(c, 0);
+      }
+    } else {
+      color[v] = 2;
+      stack.pop_back();
+    }
+  }
+  return true;
+}
+
+std::optional<int> KTree::node_at(const Position& position) const {
+  int v = root_;
+  for (int dir : position) {
+    if (dir < 0 || dir >= static_cast<int>(children_[v].size())) return std::nullopt;
+    v = children_[v][dir];
+  }
+  return v;
+}
+
+std::vector<Position> KTree::positions_up_to(int depth) const {
+  std::vector<Position> out{{}};
+  std::vector<Position> frontier{{}};
+  for (int d = 0; d < depth; ++d) {
+    std::vector<Position> next;
+    for (const Position& pos : frontier) {
+      const int v = *node_at(pos);
+      for (int dir = 0; dir < static_cast<int>(children_[v].size()); ++dir) {
+        Position child = pos;
+        child.push_back(dir);
+        out.push_back(child);
+        next.push_back(std::move(child));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+KTree KTree::unroll(int depth) const {
+  SLAT_ASSERT(depth >= 0);
+  // New nodes: one per position of depth < depth ("unrolled" region), plus a
+  // copy of every original node for the shared remainder.
+  KTree out(alphabet_, 1, 0);
+  out.set_label(0, label_[root_]);
+  // The copies of the original nodes live at offset `base`.
+  struct PendingEntry {
+    int out_node;
+    int orig_node;
+    int remaining_depth;
+  };
+  std::vector<PendingEntry> worklist{{0, root_, depth}};
+  std::map<int, int> shared;  // original node -> shared copy in `out`
+  const auto shared_copy = [&](int orig) {
+    auto it = shared.find(orig);
+    if (it == shared.end()) {
+      const int id = out.add_node(label_[orig]);
+      it = shared.emplace(orig, id).first;
+      worklist.push_back({id, orig, 0});
+    }
+    return it->second;
+  };
+  for (std::size_t head = 0; head < worklist.size(); ++head) {
+    const PendingEntry entry = worklist[head];
+    if (!out.children(entry.out_node).empty()) continue;  // shared node done
+    for (int child : children_[entry.orig_node]) {
+      if (entry.remaining_depth > 1) {
+        const int fresh = out.add_node(label_[child]);
+        out.add_child(entry.out_node, fresh);
+        worklist.push_back({fresh, child, entry.remaining_depth - 1});
+      } else {
+        out.add_child(entry.out_node, shared_copy(child));
+      }
+    }
+  }
+  return out;
+}
+
+KTree KTree::truncate(int depth) const {
+  SLAT_ASSERT(depth >= 0);
+  KTree out(alphabet_, 1, 0);
+  out.set_label(0, label_[root_]);
+  struct PendingEntry {
+    int out_node;
+    int orig_node;
+    int remaining_depth;
+  };
+  std::vector<PendingEntry> worklist{{0, root_, depth}};
+  for (std::size_t head = 0; head < worklist.size(); ++head) {
+    const PendingEntry entry = worklist[head];
+    if (entry.remaining_depth == 0) continue;  // becomes a leaf
+    for (int child : children_[entry.orig_node]) {
+      const int fresh = out.add_node(label_[child]);
+      out.add_child(entry.out_node, fresh);
+      worklist.push_back({fresh, child, entry.remaining_depth - 1});
+    }
+  }
+  return out;
+}
+
+KTree KTree::prune_at(const std::vector<Position>& cuts) const {
+  int max_depth = 0;
+  for (const Position& cut : cuts) {
+    max_depth = std::max(max_depth, static_cast<int>(cut.size()));
+  }
+  KTree out = unroll(max_depth + 1);
+  for (const Position& cut : cuts) {
+    const auto node = out.node_at(cut);
+    SLAT_ASSERT_MSG(node.has_value(), "cut position must exist in the tree");
+    out.make_leaf(*node);
+  }
+  return out;
+}
+
+bool KTree::structurally_equal(const KTree& other) const {
+  // Canonical BFS numbering of the reachable part, then direct comparison.
+  const auto canonical = [](const KTree& tree) {
+    std::vector<int> order;
+    std::vector<int> id(tree.num_nodes(), -1);
+    order.push_back(tree.root());
+    id[tree.root()] = 0;
+    for (std::size_t head = 0; head < order.size(); ++head) {
+      for (int c : tree.children(order[head])) {
+        if (id[c] == -1) {
+          id[c] = static_cast<int>(order.size());
+          order.push_back(c);
+        }
+      }
+    }
+    std::vector<std::pair<Sym, std::vector<int>>> shape;
+    for (int v : order) {
+      std::vector<int> kids;
+      for (int c : tree.children(v)) kids.push_back(id[c]);
+      shape.emplace_back(tree.label(v), std::move(kids));
+    }
+    return shape;
+  };
+  return alphabet_ == other.alphabet_ && canonical(*this) == canonical(other);
+}
+
+bool KTree::same_unfolding(const KTree& other) const {
+  if (!(alphabet_ == other.alphabet_)) return false;
+  // The unfolding is determined by (label, ordered child list) along
+  // positions, so "same unfolding" is a product reachability check.
+  std::map<std::pair<int, int>, bool> visited;
+  std::deque<std::pair<int, int>> queue{{root_, other.root_}};
+  visited[{root_, other.root_}] = true;
+  while (!queue.empty()) {
+    const auto [v, w] = queue.front();
+    queue.pop_front();
+    if (label_[v] != other.label_[w]) return false;
+    if (children_[v].size() != other.children_[w].size()) return false;
+    for (std::size_t i = 0; i < children_[v].size(); ++i) {
+      const auto key = std::make_pair(children_[v][i], other.children_[w][i]);
+      if (!visited[key]) {
+        visited[key] = true;
+        queue.push_back(key);
+      }
+    }
+  }
+  return true;
+}
+
+std::string KTree::to_string() const {
+  std::ostringstream out;
+  out << "KTree root=" << root_ << "\n";
+  for (int v = 0; v < num_nodes(); ++v) {
+    out << "  " << v << " [" << alphabet_.name(label_[v]) << "] -> (";
+    for (std::size_t i = 0; i < children_[v].size(); ++i) {
+      if (i > 0) out << ", ";
+      out << children_[v][i];
+    }
+    out << ")\n";
+  }
+  return out.str();
+}
+
+std::vector<KTree> enumerate_regular_trees(const Alphabet& alphabet, int num_nodes,
+                                           int min_arity, int max_arity) {
+  SLAT_ASSERT(num_nodes >= 1 && min_arity >= 0 && max_arity >= min_arity);
+  std::vector<KTree> out;
+  // Enumerate labelings × per-node child lists. Child lists are ordered
+  // tuples over the node set with length in [min_arity, max_arity].
+  std::vector<std::vector<int>> all_child_lists;
+  for (int len = min_arity; len <= max_arity; ++len) {
+    std::vector<int> tuple(len, 0);
+    while (true) {
+      all_child_lists.push_back(tuple);
+      int pos = len - 1;
+      while (pos >= 0 && tuple[pos] == num_nodes - 1) tuple[pos--] = 0;
+      if (pos < 0) break;
+      ++tuple[pos];
+    }
+    if (len == 0) continue;  // the empty tuple enumerates once above
+  }
+
+  const int num_lists = static_cast<int>(all_child_lists.size());
+  std::vector<int> label(num_nodes, 0), list_of(num_nodes, 0);
+  while (true) {
+    KTree tree(alphabet, num_nodes, 0);
+    for (int v = 0; v < num_nodes; ++v) {
+      tree.set_label(v, label[v]);
+      for (int c : all_child_lists[list_of[v]]) tree.add_child(v, c);
+    }
+    out.push_back(std::move(tree));
+
+    // Advance the mixed-radix counter (labels, then child-list choices).
+    int pos = 0;
+    for (; pos < num_nodes; ++pos) {
+      if (++label[pos] < alphabet.size()) break;
+      label[pos] = 0;
+    }
+    if (pos < num_nodes) continue;
+    for (pos = 0; pos < num_nodes; ++pos) {
+      if (++list_of[pos] < num_lists) break;
+      list_of[pos] = 0;
+    }
+    if (pos == num_nodes) break;
+  }
+  return out;
+}
+
+KTree random_regular_tree(const Alphabet& alphabet, int num_nodes, int arity,
+                          std::mt19937& rng) {
+  SLAT_ASSERT(num_nodes >= 1 && arity >= 1);
+  KTree tree(alphabet, num_nodes, 0);
+  std::uniform_int_distribution<int> pick_label(0, alphabet.size() - 1);
+  std::uniform_int_distribution<int> pick_node(0, num_nodes - 1);
+  for (int v = 0; v < num_nodes; ++v) {
+    tree.set_label(v, pick_label(rng));
+    for (int i = 0; i < arity; ++i) tree.add_child(v, pick_node(rng));
+  }
+  SLAT_ASSERT(tree.is_total());
+  return tree;
+}
+
+}  // namespace slat::trees

@@ -1,0 +1,120 @@
+// Regular trees: finite rooted labeled graphs whose unfolding is the
+// (possibly infinite) tree. This is the computable stand-in for the paper's
+// arbitrary infinite trees (§4.1): Rabin-language facts are witnessed by
+// regular trees, and membership of a regular tree is a finite game.
+//
+// Nodes may have any number of children (the paper's trees are prefix-closed
+// subsets of ℕ*; sequences — unary trees — are important examples in §4.3).
+// A node with no children is a leaf; a tree is TOTAL iff no reachable node
+// is a leaf. Finite trees (all paths hit leaves) and non-total infinite
+// trees (some leaf, some infinite path) both arise as prefixes.
+#pragma once
+
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "words/alphabet.hpp"
+
+namespace slat::trees {
+
+using words::Alphabet;
+using words::Sym;
+
+/// A position in the unfolding: the sequence of child indices from the root.
+using Position = std::vector<int>;
+
+/// A regular tree (rooted labeled graph). Unreachable nodes are harmless.
+class KTree {
+ public:
+  KTree(Alphabet alphabet, int num_nodes, int root);
+
+  /// The regular tree with a single node labeled `s` and `arity` self-loop
+  /// children: the constant tree s^∞ (arity ≥ 1), or the single-leaf tree
+  /// (arity = 0).
+  static KTree constant(Alphabet alphabet, Sym s, int arity);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  int num_nodes() const { return static_cast<int>(label_.size()); }
+  int root() const { return root_; }
+
+  Sym label(int node) const { return label_[node]; }
+  void set_label(int node, Sym s);
+
+  const std::vector<int>& children(int node) const { return children_[node]; }
+  void add_child(int parent, int child);
+  /// Removes all children, turning the node into a leaf.
+  void make_leaf(int node);
+
+  bool is_leaf(int node) const { return children_[node].empty(); }
+
+  /// Appends a fresh leaf node labeled `s`; returns its id.
+  int add_node(Sym s);
+
+  /// Nodes reachable from the root.
+  std::vector<bool> reachable() const;
+
+  /// Total: every reachable node has at least one child.
+  bool is_total() const;
+
+  /// Finite-depth: no cycle is reachable (the unfolding has finitely many
+  /// positions).
+  bool is_finite() const;
+
+  /// The node at a position of the unfolding, if the position exists.
+  std::optional<int> node_at(const Position& position) const;
+
+  /// All positions of the unfolding with depth < `depth` plus the frontier
+  /// at exactly `depth` (i.e. positions of depth ≤ depth). Exponential in
+  /// depth for branching trees.
+  std::vector<Position> positions_up_to(int depth) const;
+
+  /// An equivalent tree in which every position of depth < `depth` is its
+  /// own node (so prefix surgery at those positions is node surgery), with
+  /// deeper behavior shared with the original graph structure.
+  KTree unroll(int depth) const;
+
+  /// The finite-depth prefix of the unfolding: every position of depth
+  /// < `depth` kept, everything at `depth` becomes a leaf.
+  KTree truncate(int depth) const;
+
+  /// The prefix obtained by turning the nodes at the given positions into
+  /// leaves (the positions are cut in one pass, so an ancestor cut shadows
+  /// a descendant cut).
+  KTree prune_at(const std::vector<Position>& cuts) const;
+
+  /// Structural equality of the underlying graphs after reachable-trim and
+  /// canonical renumbering via BFS (sufficient for tests; unfolding
+  /// equivalence is checked semantically via bisimulation).
+  bool structurally_equal(const KTree& other) const;
+
+  /// Unfolding equivalence: do the two trees unfold to the same labeled
+  /// tree? Decided by checking "same children count, same labels" along a
+  /// product BFS (the unfolding is deterministic given child order, so this
+  /// is a functional bisimulation check).
+  bool same_unfolding(const KTree& other) const;
+
+  std::string to_string() const;
+
+ private:
+  Alphabet alphabet_;
+  int root_;
+  std::vector<Sym> label_;
+  std::vector<std::vector<int>> children_;
+};
+
+/// Every regular tree over `alphabet` with exactly `num_nodes` nodes, where
+/// each node has between `min_arity` and `max_arity` children drawn from the
+/// node set. All nodes are reachable-or-not as generated; callers typically
+/// filter by is_total(). Exponential; meant for tiny parameters.
+std::vector<KTree> enumerate_regular_trees(const Alphabet& alphabet, int num_nodes,
+                                           int min_arity, int max_arity);
+
+/// A uniformly random regular tree: `num_nodes` nodes, every node gets
+/// exactly `arity` children drawn uniformly (so the tree is total), labels
+/// uniform over the alphabet. For larger corpora than enumeration affords.
+KTree random_regular_tree(const Alphabet& alphabet, int num_nodes, int arity,
+                          std::mt19937& rng);
+
+}  // namespace slat::trees

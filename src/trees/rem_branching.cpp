@@ -1,0 +1,273 @@
+#include "trees/rem_branching.hpp"
+
+#include <deque>
+
+#include "common/assert.hpp"
+
+namespace slat::trees {
+
+namespace {
+
+constexpr Sym kA = 0;
+constexpr Sym kB = 1;
+
+std::vector<bool> reachable_from_root(const KTree& tree) { return tree.reachable(); }
+
+// Nodes lying on a cycle of the subgraph induced by `allowed` — computed
+// with a simple iterated pruning: repeatedly delete allowed nodes with no
+// allowed successor still alive; survivors all lie on (or reach) cycles, and
+// a node is ON a cycle iff it survives the "can reach itself" DFS. For the
+// tiny graphs here we just run a per-node DFS.
+bool node_on_cycle(const KTree& tree, int start, const std::vector<bool>& allowed) {
+  // Can `start` reach itself in ≥ 1 step inside `allowed`?
+  std::vector<bool> seen(tree.num_nodes(), false);
+  std::deque<int> queue;
+  for (int c : tree.children(start)) {
+    if (allowed[c] && !seen[c]) {
+      seen[c] = true;
+      queue.push_back(c);
+    }
+  }
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop_front();
+    if (v == start) return true;
+    for (int c : tree.children(v)) {
+      if (allowed[c] && !seen[c]) {
+        seen[c] = true;
+        queue.push_back(c);
+      }
+    }
+  }
+  return seen[start];
+}
+
+// Does `from` reach (in ≥ 0 steps) a node satisfying `target`, moving only
+// through `allowed` nodes? `from` itself must be allowed.
+template <typename Pred>
+bool reaches(const KTree& tree, int from, const std::vector<bool>& allowed,
+             const Pred& target) {
+  std::vector<bool> seen(tree.num_nodes(), false);
+  std::deque<int> queue{from};
+  seen[from] = true;
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop_front();
+    if (target(v)) return true;
+    for (int c : tree.children(v)) {
+      if (allowed[c] && !seen[c]) {
+        seen[c] = true;
+        queue.push_back(c);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool exists_monochrome_path(const KTree& tree, Sym s) {
+  if (tree.label(tree.root()) != s) return false;
+  std::vector<bool> allowed(tree.num_nodes(), false);
+  for (int v = 0; v < tree.num_nodes(); ++v) allowed[v] = tree.label(v) == s;
+  // Root must reach, within the s-subgraph, a node on an s-cycle.
+  return reaches(tree, tree.root(), allowed, [&](int v) {
+    return node_on_cycle(tree, v, allowed);
+  });
+}
+
+bool exists_cycle_visiting(const KTree& tree, Sym s) {
+  const auto reach = reachable_from_root(tree);
+  std::vector<bool> allowed(tree.num_nodes(), false);
+  for (int v = 0; v < tree.num_nodes(); ++v) allowed[v] = reach[v];
+  for (int v = 0; v < tree.num_nodes(); ++v) {
+    if (reach[v] && tree.label(v) == s && node_on_cycle(tree, v, allowed)) return true;
+  }
+  return false;
+}
+
+bool exists_monochrome_cycle(const KTree& tree, Sym s) {
+  const auto reach = reachable_from_root(tree);
+  std::vector<bool> allowed(tree.num_nodes(), false);
+  for (int v = 0; v < tree.num_nodes(); ++v) {
+    allowed[v] = reach[v] && tree.label(v) == s;
+  }
+  for (int v = 0; v < tree.num_nodes(); ++v) {
+    if (allowed[v] && node_on_cycle(tree, v, allowed)) return true;
+  }
+  return false;
+}
+
+bool has_reachable_leaf(const KTree& tree) {
+  const auto reach = reachable_from_root(tree);
+  for (int v = 0; v < tree.num_nodes(); ++v) {
+    if (reach[v] && tree.is_leaf(v)) return true;
+  }
+  return false;
+}
+
+bool reaches_label(const KTree& tree, Sym s) {
+  const auto reach = reachable_from_root(tree);
+  for (int v = 0; v < tree.num_nodes(); ++v) {
+    if (reach[v] && tree.label(v) == s) return true;
+  }
+  return false;
+}
+
+std::vector<RemBranchingExample> rem_branching_examples() {
+  std::vector<RemBranchingExample> out;
+
+  const auto root_is = [](Sym s) {
+    return [s](const KTree& t) { return t.label(t.root()) == s; };
+  };
+
+  // q0: false.
+  out.push_back({"q0",
+                 "false (the empty property)",
+                 "false",
+                 {"q0", [](const KTree&) { return false; }, [](const KTree&) { return false; }},
+                 {true, true, false, false}});
+
+  // q1: a.
+  out.push_back({"q1",
+                 "the root is labeled a",
+                 "a",
+                 {"q1", root_is(kA), root_is(kA)},
+                 {true, true, false, false}});
+
+  // q2: !a.
+  out.push_back({"q2",
+                 "the root is not labeled a",
+                 "!a",
+                 {"q2", root_is(kB), root_is(kB)},
+                 {true, true, false, false}});
+
+  // q3a: a & AF !a — along each path, eventually not-a. An extension can
+  // fill every leaf with b^ω, so extendability only requires that no
+  // infinite all-a path is already trapped in the prefix.
+  {
+    const auto oracle = [](const KTree& t) {
+      return t.label(t.root()) == kA && !exists_monochrome_path(t, kA);
+    };
+    out.push_back({"q3a",
+                   "root a, and along each path some node differs from a",
+                   "a & AF !a",
+                   {"q3a", oracle, oracle},
+                   {false, false, false, false}});
+  }
+
+  // q3b: a & EF !a. Any leaf can be grown into a b-node, so prefixes are
+  // extendable iff the root is a — hence ncl.q3b = fcl.q3b = q1.
+  out.push_back({"q3b",
+                 "root a, and along some path some node differs from a",
+                 "a & EF !a",
+                 {"q3b",
+                  [](const KTree& t) { return t.label(t.root()) == kA && reaches_label(t, kB); },
+                  [](const KTree& t) {
+                    return t.label(t.root()) == kA &&
+                           (reaches_label(t, kB) || has_reachable_leaf(t));
+                  }},
+                 {false, false, false, false}});
+
+  // q4a: A FG !a — on every path, finitely many a's ⟺ no reachable cycle
+  // visits an a-node. Extensions fill leaves with b^ω, so the oracle is the
+  // same for prefixes.
+  {
+    const auto oracle = [](const KTree& t) { return !exists_cycle_visiting(t, kA); };
+    out.push_back({"q4a",
+                   "along each path, eventually all nodes differ from a",
+                   "",  // CTL* only
+                   {"q4a", oracle, oracle},
+                   {false, false, false, true}});
+  }
+
+  // q4b: E FG !a — some path is eventually all-b ⟺ a reachable all-b cycle
+  // exists; any leaf can be grown into b^ω.
+  out.push_back({"q4b",
+                 "along some path, eventually all nodes differ from a",
+                 "",
+                 {"q4b",
+                  [](const KTree& t) { return exists_monochrome_cycle(t, kB); },
+                  [](const KTree& t) {
+                    return exists_monochrome_cycle(t, kB) || has_reachable_leaf(t);
+                  }},
+                 {false, false, true, true}});
+
+  // q5a: A GF a — every path visits a infinitely often ⟺ no reachable
+  // all-b cycle. Extensions fill leaves with a^ω.
+  {
+    const auto oracle = [](const KTree& t) { return !exists_monochrome_cycle(t, kB); };
+    out.push_back({"q5a",
+                   "along each path, infinitely many nodes are labeled a",
+                   "",
+                   {"q5a", oracle, oracle},
+                   {false, false, false, true}});
+  }
+
+  // q5b: E GF a — some path visits a infinitely often ⟺ a reachable cycle
+  // contains an a-node; any leaf can be grown into a^ω.
+  out.push_back({"q5b",
+                 "along some path, infinitely many nodes are labeled a",
+                 "",
+                 {"q5b",
+                  [](const KTree& t) { return exists_cycle_visiting(t, kA); },
+                  [](const KTree& t) {
+                    return exists_cycle_visiting(t, kA) || has_reachable_leaf(t);
+                  }},
+                 {false, false, true, true}});
+
+  // q6: true.
+  out.push_back({"q6",
+                 "true (every total tree)",
+                 "true",
+                 {"q6", [](const KTree&) { return true; }, [](const KTree&) { return true; }},
+                 {true, true, true, true}});
+
+  return out;
+}
+
+std::vector<KTree> paper_witness_trees() {
+  const Alphabet alphabet = words::Alphabet::binary();
+  std::vector<KTree> out;
+
+  // Sequences a^ω and b^ω (unary chains) — "trees can be sequences".
+  out.push_back(KTree::constant(alphabet, kA, 1));
+  out.push_back(KTree::constant(alphabet, kB, 1));
+  // Binary constant trees.
+  out.push_back(KTree::constant(alphabet, kA, 2));
+  out.push_back(KTree::constant(alphabet, kB, 2));
+  // The §4.3 witness: a root with two paths, one all-a, the other switching
+  // to b forever (so AF !a fails on the left path only).
+  {
+    KTree tree(alphabet, 3, 0);
+    tree.set_label(0, kA);
+    tree.set_label(1, kA);
+    tree.set_label(2, kB);
+    tree.add_child(0, 1);  // left: all-a path
+    tree.add_child(0, 2);  // right: all-b path
+    tree.add_child(1, 1);
+    tree.add_child(2, 2);
+    out.push_back(std::move(tree));
+  }
+  // A sequence a b^ω: in q3a/q3b but not constant.
+  {
+    KTree tree(alphabet, 2, 0);
+    tree.set_label(0, kA);
+    tree.set_label(1, kB);
+    tree.add_child(0, 1);
+    tree.add_child(1, 1);
+    out.push_back(std::move(tree));
+  }
+  // Alternating (ab)^ω sequence: infinitely many a's AND infinitely many b's.
+  {
+    KTree tree(alphabet, 2, 0);
+    tree.set_label(0, kA);
+    tree.set_label(1, kB);
+    tree.add_child(0, 1);
+    tree.add_child(1, 0);
+    out.push_back(std::move(tree));
+  }
+  return out;
+}
+
+}  // namespace slat::trees

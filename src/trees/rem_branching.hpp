@@ -1,0 +1,65 @@
+// The branching-time versions of Rem's examples (paper §4.3), over the
+// binary alphabet {a, b} (b = "any symbol different from a").
+//
+//   q0 : false            q4a : A FG !a        q5a : A GF a
+//   q1 : a                q4b : E FG !a        q5b : E GF a
+//   q2 : !a               q6  : true
+//   q3a: a & A F !a       q3b : a & E F !a
+//
+// Each example carries exact graph-algorithmic oracles on regular trees
+// (q4*/q5* are CTL*, not CTL, so they cannot be model-checked by the CTL
+// module; all reduce to cycle analysis on the tree's graph):
+//   * "∃ infinite path from the root all of whose nodes satisfy p"
+//     ⟺ the root reaches a cycle inside the p-induced subgraph,
+//   * "∃ infinite path visiting p infinitely often"
+//     ⟺ some reachable cycle contains a p-node,
+// and extensions fill leaves with a^ω / b^ω as needed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trees/closures.hpp"
+#include "trees/ktree.hpp"
+
+namespace slat::trees {
+
+struct RemBranchingExample {
+  std::string name;         ///< q0 .. q6
+  std::string description;  ///< informal reading from the paper
+  std::string ctl;          ///< CTL rendering, empty when the property is CTL* only
+  TreeProperty property;
+  BranchingClassification expected;  ///< the paper's §4.3 classification
+};
+
+/// The ten examples in paper order (q0, q1, q2, q3a, q3b, q4a, q4b, q5a,
+/// q5b, q6), over words::Alphabet::binary().
+std::vector<RemBranchingExample> rem_branching_examples();
+
+/// Witness trees the paper's §4.3 arguments use, to be appended to any
+/// classification corpus: the constant trees a^ω / b^ω as sequences and as
+/// binary trees, and the "two paths, one of them all-a" tree.
+std::vector<KTree> paper_witness_trees();
+
+// Reusable graph predicates (exposed for tests).
+
+/// Is there an infinite path from the root all of whose nodes are labeled
+/// `s`? (Leaves terminate paths, so such a path lives in the s-induced
+/// subgraph and must reach a cycle of it.)
+bool exists_monochrome_path(const KTree& tree, Sym s);
+
+/// Is there a reachable cycle containing a node labeled `s`? (⟺ some
+/// infinite path visits `s` infinitely often.)
+bool exists_cycle_visiting(const KTree& tree, Sym s);
+
+/// Is there a reachable cycle all of whose nodes are labeled `s`? (⟺ some
+/// infinite path is eventually all-`s`.)
+bool exists_monochrome_cycle(const KTree& tree, Sym s);
+
+/// Is any leaf reachable from the root?
+bool has_reachable_leaf(const KTree& tree);
+
+/// Is any node labeled `s` reachable from the root?
+bool reaches_label(const KTree& tree, Sym s);
+
+}  // namespace slat::trees

@@ -1,0 +1,39 @@
+#include "words/alphabet.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace slat::words {
+
+Alphabet::Alphabet(std::vector<std::string> names) : names_(std::move(names)) {
+  SLAT_ASSERT_MSG(!names_.empty(), "alphabet must be non-empty");
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    for (std::size_t j = i + 1; j < names_.size(); ++j) {
+      SLAT_ASSERT_MSG(names_[i] != names_[j], "alphabet names must be distinct");
+    }
+  }
+}
+
+Alphabet Alphabet::binary() { return Alphabet({"a", "b"}); }
+
+Alphabet Alphabet::of_size(int n) {
+  SLAT_ASSERT(n >= 1);
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (int i = 0; i < n; ++i) names.push_back("s" + std::to_string(i));
+  return Alphabet(std::move(names));
+}
+
+const std::string& Alphabet::name(Sym s) const {
+  SLAT_ASSERT(s >= 0 && s < size());
+  return names_[s];
+}
+
+std::optional<Sym> Alphabet::index_of(std::string_view name) const {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  if (it == names_.end()) return std::nullopt;
+  return static_cast<Sym>(it - names_.begin());
+}
+
+}  // namespace slat::words

@@ -1,0 +1,42 @@
+// Interned alphabets for ω-word and tree automata.
+//
+// A symbol is a dense index into an Alphabet; the Alphabet maps indices to
+// human-readable names. Automata store only indices, so symbol comparisons
+// are integer comparisons and transition tables are arrays.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slat::words {
+
+/// A symbol: index into an Alphabet.
+using Sym = int;
+
+/// A finite, non-empty alphabet with named symbols.
+class Alphabet {
+ public:
+  /// An alphabet with symbols named by `names` (must be non-empty, distinct).
+  explicit Alphabet(std::vector<std::string> names);
+
+  /// The canonical binary alphabet {a, !a} used by the Rem examples: symbol
+  /// 0 is "a", symbol 1 is "b" (read: any symbol different from a).
+  static Alphabet binary();
+
+  /// An alphabet {s0, s1, ..., s(n-1)}.
+  static Alphabet of_size(int n);
+
+  int size() const { return static_cast<int>(names_.size()); }
+  const std::string& name(Sym s) const;
+  std::optional<Sym> index_of(std::string_view name) const;
+
+  bool operator==(const Alphabet& other) const { return names_ == other.names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace slat::words

@@ -1,0 +1,114 @@
+#include "words/up_word.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace slat::words {
+
+UpWord::UpWord(Word prefix, Word period)
+    : prefix_(std::move(prefix)), period_(std::move(period)) {
+  SLAT_ASSERT_MSG(!period_.empty(), "UP-word period must be non-empty");
+  normalize();
+}
+
+void UpWord::normalize() {
+  // 1. Make the period primitive: the shortest word whose power it is.
+  const std::size_t n = period_.size();
+  for (std::size_t d = 1; d < n; ++d) {
+    if (n % d != 0) continue;
+    bool is_power = true;
+    for (std::size_t i = d; i < n && is_power; ++i) {
+      is_power = period_[i] == period_[i % d];
+    }
+    if (is_power) {
+      period_.resize(d);
+      break;
+    }
+  }
+  // 2. Shorten the prefix: u·c (v₀·c)^ω = u (c·v₀)^ω whenever the prefix and
+  //    the period end in the same letter. Rotating a primitive word keeps it
+  //    primitive, so steps 1 and 2 commute.
+  while (!prefix_.empty() && prefix_.back() == period_.back()) {
+    prefix_.pop_back();
+    std::rotate(period_.rbegin(), period_.rbegin() + 1, period_.rend());
+  }
+}
+
+bool UpWord::is_normalized() const {
+  UpWord copy = *this;  // the constructor re-normalizes
+  return copy == *this;
+}
+
+Sym UpWord::at(std::size_t i) const {
+  if (i < prefix_.size()) return prefix_[i];
+  return period_[(i - prefix_.size()) % period_.size()];
+}
+
+Word UpWord::take(std::size_t n) const {
+  Word out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(at(i));
+  return out;
+}
+
+UpWord UpWord::suffix(std::size_t i) const {
+  if (i <= prefix_.size()) {
+    return UpWord(Word(prefix_.begin() + i, prefix_.end()), period_);
+  }
+  const std::size_t shift = (i - prefix_.size()) % period_.size();
+  Word rotated(period_.begin() + shift, period_.end());
+  rotated.insert(rotated.end(), period_.begin(), period_.begin() + shift);
+  return UpWord({}, std::move(rotated));
+}
+
+UpWord UpWord::periodic(Word period) { return UpWord({}, std::move(period)); }
+
+UpWord UpWord::constant(Sym s) { return UpWord({}, {s}); }
+
+std::string UpWord::to_string(const Alphabet& alphabet) const {
+  std::ostringstream out;
+  for (Sym s : prefix_) out << alphabet.name(s);
+  out << "(";
+  for (Sym s : period_) out << alphabet.name(s);
+  out << ")^w";
+  return out.str();
+}
+
+namespace {
+
+void enumerate_words(int alphabet_size, int length, const std::function<void(const Word&)>& fn) {
+  Word word(length, 0);
+  while (true) {
+    fn(word);
+    int pos = length - 1;
+    while (pos >= 0 && word[pos] == alphabet_size - 1) {
+      word[pos] = 0;
+      --pos;
+    }
+    if (pos < 0) return;
+    ++word[pos];
+  }
+}
+
+}  // namespace
+
+std::vector<UpWord> enumerate_up_words(int alphabet_size, int max_prefix, int max_period) {
+  SLAT_ASSERT(alphabet_size >= 1 && max_prefix >= 0 && max_period >= 1);
+  std::set<UpWord> seen;
+  for (int plen = 0; plen <= max_prefix; ++plen) {
+    enumerate_words(alphabet_size, plen, [&](const Word& prefix) {
+      for (int vlen = 1; vlen <= max_period; ++vlen) {
+        enumerate_words(alphabet_size, vlen, [&](const Word& period) {
+          seen.insert(UpWord(prefix, period));
+        });
+      }
+    });
+  }
+  return std::vector<UpWord>(seen.begin(), seen.end());
+}
+
+}  // namespace slat::words

@@ -1,0 +1,79 @@
+// Ultimately periodic ω-words u·v^ω — the computable stand-in for Σ^ω.
+//
+// Two ω-regular languages are equal iff they agree on all ultimately
+// periodic words, so sampling/enumerating UP-words is a complete proxy for
+// language comparisons in the ω-regular world this paper lives in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "words/alphabet.hpp"
+
+namespace slat::words {
+
+/// A finite word over some alphabet.
+using Word = std::vector<Sym>;
+
+/// The ultimately periodic ω-word prefix · period^ω. The period must be
+/// non-empty. Words compare *by ω-word value*: (u, v) and (u', v') are equal
+/// iff they denote the same infinite sequence, which normalization makes
+/// syntactic.
+class UpWord {
+ public:
+  UpWord(Word prefix, Word period);
+
+  /// The i-th symbol of the infinite word (0-based).
+  Sym at(std::size_t i) const;
+
+  const Word& prefix() const { return prefix_; }
+  const Word& period() const { return period_; }
+
+  std::size_t prefix_size() const { return prefix_.size(); }
+  std::size_t period_size() const { return period_.size(); }
+
+  /// The finite prefix of length n.
+  Word take(std::size_t n) const;
+
+  /// The suffix ω-word starting at position i (still ultimately periodic).
+  UpWord suffix(std::size_t i) const;
+
+  /// Purely periodic word v^ω.
+  static UpWord periodic(Word period);
+  /// Constant word s^ω.
+  static UpWord constant(Sym s);
+
+  /// Normal form: the period is primitive (not a power of a shorter word)
+  /// and the prefix is as short as possible (its last letter differs from
+  /// the corresponding letter of the rotated period). Normalization happens
+  /// at construction; this is exposed for tests.
+  bool is_normalized() const;
+
+  /// Render as "uv^w" with names from `alphabet`, e.g. "ab(ba)^w".
+  std::string to_string(const Alphabet& alphabet) const;
+
+  /// Value equality of the denoted ω-words.
+  bool operator==(const UpWord& other) const {
+    return prefix_ == other.prefix_ && period_ == other.period_;
+  }
+  /// Arbitrary total order (for use as map keys).
+  bool operator<(const UpWord& other) const {
+    if (prefix_ != other.prefix_) return prefix_ < other.prefix_;
+    return period_ < other.period_;
+  }
+
+ private:
+  void normalize();
+
+  Word prefix_;
+  Word period_;
+};
+
+/// Every UP-word with prefix length ≤ max_prefix, period length in
+/// [1, max_period], over an alphabet of `alphabet_size` symbols, in
+/// deduplicated normal form. The standard differential-testing corpus:
+/// for alphabet 2, max_prefix 3, max_period 3 this is a few dozen words.
+std::vector<UpWord> enumerate_up_words(int alphabet_size, int max_prefix, int max_period);
+
+}  // namespace slat::words

@@ -1,0 +1,111 @@
+// Rank-based (Kupferman–Vardi) complementation, differentially tested
+// against word-level semantics.
+#include "buchi/complement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "buchi/language.hpp"
+#include "buchi/random.hpp"
+
+namespace slat::buchi {
+namespace {
+
+constexpr words::Sym kA = 0;
+constexpr words::Sym kB = 1;
+
+TEST(Complement, OfUniversalIsEmpty) {
+  EXPECT_TRUE(complement(Nba::universal(Alphabet::binary())).is_empty());
+}
+
+TEST(Complement, OfEmptyIsUniversal) {
+  const Nba comp = complement(Nba::empty_language(Alphabet::binary()));
+  EXPECT_FALSE(comp.is_empty());
+  for (const auto& w : words::enumerate_up_words(2, 2, 2)) {
+    EXPECT_TRUE(comp.accepts(w));
+  }
+}
+
+TEST(Complement, GaComplementIsFNotA) {
+  Nba ga(Alphabet::binary(), 1, 0);
+  ga.add_transition(0, kA, 0);
+  ga.set_accepting(0, true);
+  const Nba comp = complement(ga);
+  EXPECT_FALSE(comp.accepts(UpWord::constant(kA)));
+  EXPECT_TRUE(comp.accepts(UpWord::constant(kB)));
+  EXPECT_TRUE(comp.accepts(UpWord({kA, kA, kB}, {kA})));
+}
+
+TEST(Complement, SemanticsOnRandomAutomata) {
+  std::mt19937 rng(53);
+  RandomNbaConfig config;
+  config.num_states = 3;
+  const auto corpus = words::enumerate_up_words(2, 2, 3);
+  for (int i = 0; i < 60; ++i) {
+    const Nba nba = random_nba(config, rng);
+    const Nba comp = complement(nba);
+    for (const auto& w : corpus) {
+      ASSERT_NE(comp.accepts(w), nba.accepts(w))
+          << "iteration " << i << " word " << w.to_string(nba.alphabet());
+    }
+  }
+}
+
+TEST(Complement, GFaComplementIsFGb) {
+  Nba gfa(Alphabet::binary(), 2, 0);
+  gfa.add_transition(0, kA, 1);
+  gfa.add_transition(0, kB, 0);
+  gfa.add_transition(1, kA, 1);
+  gfa.add_transition(1, kB, 0);
+  gfa.set_accepting(1, true);
+  const Nba comp = complement(gfa);
+  EXPECT_TRUE(comp.accepts(UpWord::constant(kB)));
+  EXPECT_TRUE(comp.accepts(UpWord({kA, kA}, {kB})));
+  EXPECT_FALSE(comp.accepts(UpWord::constant(kA)));
+  EXPECT_FALSE(comp.accepts(UpWord({}, {kA, kB})));
+}
+
+TEST(Language, SubsetAndEquivalence) {
+  Nba ga(Alphabet::binary(), 1, 0);
+  ga.add_transition(0, kA, 0);
+  ga.set_accepting(0, true);
+  Nba gfa(Alphabet::binary(), 2, 0);
+  gfa.add_transition(0, kA, 1);
+  gfa.add_transition(0, kB, 0);
+  gfa.add_transition(1, kA, 1);
+  gfa.add_transition(1, kB, 0);
+  gfa.set_accepting(1, true);
+  // Ga ⊆ GFa but not conversely.
+  EXPECT_TRUE(is_subset(ga, gfa));
+  EXPECT_FALSE(is_subset(gfa, ga));
+  EXPECT_FALSE(is_equivalent(ga, gfa));
+  EXPECT_TRUE(is_equivalent(gfa, gfa));
+  const auto separating = find_separating_word(gfa, ga);
+  ASSERT_TRUE(separating.has_value());
+  EXPECT_TRUE(gfa.accepts(*separating));
+  EXPECT_FALSE(ga.accepts(*separating));
+}
+
+TEST(Language, DoubleComplementOnCorpus) {
+  std::mt19937 rng(59);
+  RandomNbaConfig config;
+  config.num_states = 2;  // the outer complement runs on the inner's output
+  const auto corpus = words::enumerate_up_words(2, 2, 2);
+  for (int i = 0; i < 8; ++i) {
+    const Nba nba = random_nba(config, rng);
+    const Nba twice = complement(complement(nba).trim());
+    EXPECT_EQ(find_disagreement(nba, twice, corpus), std::nullopt) << i;
+  }
+}
+
+TEST(Language, FindDisagreementSpotsDifferences) {
+  Nba ga(Alphabet::binary(), 1, 0);
+  ga.add_transition(0, kA, 0);
+  ga.set_accepting(0, true);
+  const auto corpus = words::enumerate_up_words(2, 2, 2);
+  EXPECT_NE(find_disagreement(ga, Nba::universal(Alphabet::binary()), corpus),
+            std::nullopt);
+  EXPECT_EQ(find_disagreement(ga, ga, corpus), std::nullopt);
+}
+
+}  // namespace
+}  // namespace slat::buchi

@@ -1,0 +1,127 @@
+// The §2.4 decomposition: L(B) = L(B_S) ∩ L(B_L) with B_S safe and B_L live.
+#include "buchi/safety.hpp"
+
+#include <gtest/gtest.h>
+
+#include "buchi/language.hpp"
+#include "buchi/random.hpp"
+
+namespace slat::buchi {
+namespace {
+
+constexpr words::Sym kA = 0;
+constexpr words::Sym kB = 1;
+
+Nba make_p3() {
+  Nba nba(Alphabet::binary(), 3, 0);
+  nba.add_transition(0, kA, 1);
+  nba.add_transition(1, kA, 1);
+  nba.add_transition(1, kB, 2);
+  nba.add_transition(2, kA, 2);
+  nba.add_transition(2, kB, 2);
+  nba.set_accepting(2, true);
+  return nba;
+}
+
+TEST(BuchiDecomposition, PartsHaveTheRightCharacters) {
+  std::mt19937 rng(61);
+  RandomNbaConfig config;
+  config.num_states = 4;
+  for (int i = 0; i < 40; ++i) {
+    const Nba nba = random_nba(config, rng);
+    const BuchiDecomposition d = decompose(nba);
+    // The safety part is the deterministic closure: safe by construction
+    // (checked exactly through complementation) and the liveness part is
+    // live (universality of its closure).
+    EXPECT_TRUE(is_safety(d.safety)) << i;
+    EXPECT_TRUE(is_liveness(d.liveness)) << i;
+  }
+}
+
+TEST(BuchiDecomposition, IntersectionRecoversTheLanguageOnCorpus) {
+  std::mt19937 rng(67);
+  RandomNbaConfig config;
+  config.num_states = 4;
+  const auto corpus = words::enumerate_up_words(2, 2, 3);
+  for (int i = 0; i < 80; ++i) {
+    const Nba nba = random_nba(config, rng);
+    const BuchiDecomposition d = decompose(nba);
+    const Nba meet = intersect(d.safety, d.liveness);
+    for (const auto& w : corpus) {
+      ASSERT_EQ(meet.accepts(w), nba.accepts(w))
+          << "iteration " << i << " word " << w.to_string(nba.alphabet());
+    }
+  }
+}
+
+TEST(BuchiDecomposition, IntersectionRecoversTheLanguageExactly) {
+  // Exact one-sided check: L_S ∩ L_L ⊆ L via complementation of the SMALL
+  // original automaton (the other inclusion holds by construction: L ⊆ lcl L
+  // and L ⊆ L ∪ X, and is additionally corpus-checked above).
+  std::mt19937 rng(71);
+  RandomNbaConfig config;
+  config.num_states = 3;
+  for (int i = 0; i < 10; ++i) {
+    const Nba nba = random_nba(config, rng);
+    const BuchiDecomposition d = decompose(nba);
+    EXPECT_TRUE(is_subset(intersect(d.safety, d.liveness), nba)) << i;
+  }
+}
+
+TEST(BuchiDecomposition, P3DecomposesIntoP1AndLiveness) {
+  const Nba p3 = make_p3();
+  const BuchiDecomposition d = decompose(p3);
+  // Safety part = first symbol a.
+  EXPECT_TRUE(d.safety.accepts(UpWord::constant(kA)));
+  EXPECT_FALSE(d.safety.accepts(UpWord::constant(kB)));
+  // Liveness part contains p3 itself plus everything outside the closure.
+  EXPECT_TRUE(d.liveness.accepts(UpWord({kA}, {kB})));
+  EXPECT_TRUE(d.liveness.accepts(UpWord::constant(kB)));  // outside closure
+  EXPECT_FALSE(d.liveness.accepts(UpWord::constant(kA))); // in closure, not p3
+  EXPECT_TRUE(is_liveness(d.liveness));
+}
+
+TEST(Classify, RemExamplesByHand) {
+  // Σ^ω: both safety and liveness.
+  EXPECT_EQ(classify(Nba::universal(Alphabet::binary())),
+            SafetyClass::kSafetyAndLiveness);
+  // ∅: safety only.
+  EXPECT_EQ(classify(Nba::empty_language(Alphabet::binary())), SafetyClass::kSafety);
+  // p3: neither.
+  EXPECT_EQ(classify(make_p3()), SafetyClass::kNeither);
+  // GFa: liveness.
+  Nba gfa(Alphabet::binary(), 2, 0);
+  gfa.add_transition(0, kA, 1);
+  gfa.add_transition(0, kB, 0);
+  gfa.add_transition(1, kA, 1);
+  gfa.add_transition(1, kB, 0);
+  gfa.set_accepting(1, true);
+  EXPECT_EQ(classify(gfa), SafetyClass::kLiveness);
+  // Ga: safety.
+  Nba ga(Alphabet::binary(), 1, 0);
+  ga.add_transition(0, kA, 0);
+  ga.set_accepting(0, true);
+  EXPECT_EQ(classify(ga), SafetyClass::kSafety);
+}
+
+TEST(Classify, SafetyClassNames) {
+  EXPECT_STREQ(to_string(SafetyClass::kSafety), "safety");
+  EXPECT_STREQ(to_string(SafetyClass::kLiveness), "liveness");
+  EXPECT_STREQ(to_string(SafetyClass::kNeither), "neither");
+  EXPECT_STREQ(to_string(SafetyClass::kSafetyAndLiveness), "safety+liveness");
+}
+
+TEST(BuchiDecomposition, SafetyPartIsTheClosure) {
+  // L(B_S) = lcl(L(B)): exact equivalence against the closure automaton.
+  std::mt19937 rng(73);
+  RandomNbaConfig config;
+  config.num_states = 3;
+  for (int i = 0; i < 10; ++i) {
+    const Nba nba = random_nba(config, rng);
+    const BuchiDecomposition d = decompose(nba);
+    EXPECT_TRUE(is_equivalent(d.safety, safety_closure(nba))) << i;
+  }
+}
+
+}  // namespace
+}  // namespace slat::buchi

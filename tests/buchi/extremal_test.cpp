@@ -1,0 +1,111 @@
+// Theorems 6 and 7 on the lattice of ω-regular languages: in ANY
+// decomposition spec = S ∩ Z with S a safety property,
+//   (Thm 6)  lcl(spec) ⊆ S                      — strongest safety part, and
+//   (Thm 7)  Z ⊆ spec ∪ ¬lcl(spec)             — weakest liveness part
+// (the language lattice is distributive, so Theorem 7 applies and the
+// complement in it is unique).
+#include <gtest/gtest.h>
+
+#include "buchi/language.hpp"
+#include "buchi/safety.hpp"
+#include "ltl/translate.hpp"
+
+namespace slat::buchi {
+namespace {
+
+class ExtremalFixture : public ::testing::Test {
+ protected:
+  ltl::LtlArena arena{Alphabet::binary()};
+  std::vector<words::UpWord> corpus = words::enumerate_up_words(2, 3, 3);
+
+  Nba nba(const char* text) { return ltl::to_nba(arena, *arena.parse(text)); }
+
+  // Sampled subset check (the automata here get too large for exact
+  // complementation; the corpus refutes reliably).
+  bool subset_on_corpus(const Nba& lhs, const Nba& rhs) {
+    for (const auto& w : corpus) {
+      if (lhs.accepts(w) && !rhs.accepts(w)) return false;
+    }
+    return true;
+  }
+};
+
+TEST_F(ExtremalFixture, Theorem6StrongestSafetyAcrossHandDecompositions) {
+  // spec = p3 = a ∧ F¬a. Decompositions spec = S ∩ Z with S safety:
+  //   S = "first a" (the closure itself), Z = F¬a;
+  //   S = Σ^ω is NOT safety-minimal but is safe; Z = spec.
+  // In every case lcl(spec) ⊆ S must hold.
+  const Nba spec = nba("a & F !a");
+  const Nba closure = safety_closure(spec);
+  const struct {
+    const char* safety;
+    const char* rest;
+  } decompositions[] = {
+      {"a", "F !a"},
+      {"true", "a & F !a"},
+      {"a | X true", "a & F !a"},  // = Σ^ω in disguise
+  };
+  for (const auto& d : decompositions) {
+    const Nba s = nba(d.safety);
+    const Nba z = nba(d.rest);
+    ASSERT_TRUE(is_safety(s)) << d.safety;
+    // Verify it IS a decomposition of spec on the corpus.
+    const Nba meet = intersect(s, z);
+    for (const auto& w : corpus) {
+      ASSERT_EQ(meet.accepts(w), spec.accepts(w)) << d.safety;
+    }
+    // Theorem 6: closure ⊆ S.
+    EXPECT_TRUE(subset_on_corpus(closure, s)) << d.safety;
+  }
+}
+
+TEST_F(ExtremalFixture, Theorem7WeakestLivenessAcrossHandDecompositions) {
+  // Same decompositions; Theorem 7: Z ⊆ spec ∪ ¬lcl(spec).
+  const Nba spec = nba("a & F !a");
+  const DetSafety det = DetSafety::from_nba(spec);
+  const Nba weakest = unite(spec, det.complement_nba());
+  const struct {
+    const char* safety;
+    const char* rest;
+  } decompositions[] = {
+      {"a", "F !a"},
+      {"a", "a & F !a"},
+      {"true", "a & F !a"},
+  };
+  for (const auto& d : decompositions) {
+    const Nba z = nba(d.rest);
+    // Note the direction: every usable Z is CONTAINED in the canonical
+    // liveness part (the canonical one specifies as little as possible).
+    bool all_ok = true;
+    for (const auto& w : corpus) {
+      if (z.accepts(w) && !weakest.accepts(w)) all_ok = false;
+    }
+    EXPECT_TRUE(all_ok) << d.rest;
+  }
+}
+
+TEST_F(ExtremalFixture, CanonicalDecompositionIsSandwichedByTheExtremes) {
+  for (const char* text : {"a & F !a", "G a", "a U b", "G (a -> X !a)"}) {
+    const Nba spec = nba(text);
+    const BuchiDecomposition d = decompose(spec);
+    const Nba closure = safety_closure(spec);
+    // Safety part = the closure (strongest), liveness part = the canonical
+    // weakest element.
+    for (const auto& w : corpus) {
+      EXPECT_EQ(d.safety.accepts(w), closure.accepts(w)) << text;
+    }
+    // And the liveness part is indeed weakest: spec ⊆ liveness.
+    EXPECT_TRUE(subset_on_corpus(spec, d.liveness)) << text;
+  }
+}
+
+TEST_F(ExtremalFixture, NonClosureSafetyPartsAreStrictlyWeaker) {
+  // For p3, using S = Σ^ω (weaker than the closure) still decomposes, but
+  // the pair is then NOT machine closed — Theorem 6's practical reading.
+  const Nba spec = nba("a & F !a");
+  EXPECT_TRUE(is_machine_closed(safety_closure(spec), spec));
+  EXPECT_FALSE(is_machine_closed(nba("true"), spec));
+}
+
+}  // namespace
+}  // namespace slat::buchi

@@ -1,0 +1,87 @@
+// Machine closure (Abadi–Lamport), the practical face of Theorem 6: the
+// decomposition's safety part never over-constrains — lcl(S ∩ L) = S.
+#include <gtest/gtest.h>
+
+#include "buchi/random.hpp"
+#include "buchi/safety.hpp"
+#include "ltl/translate.hpp"
+
+namespace slat::buchi {
+namespace {
+
+constexpr words::Sym kA = 0;
+constexpr words::Sym kB = 1;
+
+class MachineClosureFixture : public ::testing::Test {
+ protected:
+  ltl::LtlArena arena{Alphabet::binary()};
+
+  Nba nba(const char* text) { return ltl::to_nba(arena, *arena.parse(text)); }
+};
+
+TEST_F(MachineClosureFixture, DecompositionsAreMachineClosed) {
+  // Theorem 6: the canonical decomposition uses the STRONGEST safety part,
+  // so the pair (B_S, B_L) is machine closed.
+  for (const char* text :
+       {"a & F !a", "G a", "G F a", "a U b", "G (a -> X !a) & G F a"}) {
+    const BuchiDecomposition d = decompose(nba(text));
+    EXPECT_TRUE(is_machine_closed(d.safety, d.liveness)) << text;
+  }
+}
+
+TEST_F(MachineClosureFixture, OverConstrainedPairsAreNot) {
+  // S = "first symbol a" with L = FG b: lcl(S ∩ L) = S, machine closed.
+  // But S = Σ^ω with L = G a: lcl(Σ^ω ∩ G a) = G a ≠ Σ^ω — the liveness
+  // part smuggles in a safety constraint, so the pair is NOT machine closed.
+  EXPECT_TRUE(is_machine_closed(nba("a"), nba("F G b")));
+  EXPECT_FALSE(is_machine_closed(nba("true"), nba("G a")));
+  // Classic: S = G(req -> eventually...) style mix-ups. Here: S = G a with
+  // L = "b eventually": S ∩ L = ∅, whose closure is ∅ ≠ S.
+  EXPECT_FALSE(is_machine_closed(nba("G a"), nba("F b")));
+}
+
+TEST_F(MachineClosureFixture, RandomDecompositionsAreMachineClosed) {
+  std::mt19937 rng(139);
+  RandomNbaConfig config;
+  config.num_states = 4;
+  for (int i = 0; i < 40; ++i) {
+    const Nba spec = random_nba(config, rng);
+    const BuchiDecomposition d = decompose(spec);
+    EXPECT_TRUE(is_machine_closed(d.safety, d.liveness)) << i;
+  }
+}
+
+TEST_F(MachineClosureFixture, MachineClosedPairStillNeedsTheRightSafety) {
+  // Using a WEAKER safety part than the closure keeps the intersection
+  // identity but can break machine closure. Spec: p3 = a ∧ F¬a; the weaker
+  // safety part Σ^ω with L = p3 itself: lcl(p3) = "first a" ≠ Σ^ω.
+  const Nba p3 = nba("a & F !a");
+  EXPECT_FALSE(is_machine_closed(nba("true"), p3));
+  // Whereas the canonical pair is machine closed.
+  const BuchiDecomposition d = decompose(p3);
+  EXPECT_TRUE(is_machine_closed(d.safety, d.liveness));
+}
+
+TEST_F(MachineClosureFixture, CosafetyBasics) {
+  EXPECT_TRUE(is_cosafety(nba("F a")));
+  EXPECT_TRUE(is_cosafety(nba("a U b")));
+  EXPECT_FALSE(is_cosafety(nba("G a")));
+  EXPECT_FALSE(is_cosafety(nba("G F a")));
+  // true and false are both safety AND co-safety.
+  EXPECT_TRUE(is_cosafety(nba("true")));
+  EXPECT_TRUE(is_cosafety(nba("false")));
+  // The finite-word-determined property "first symbol a" is both, too.
+  EXPECT_TRUE(is_cosafety(nba("a")));
+  EXPECT_TRUE(is_safety(nba("a")));
+}
+
+TEST_F(MachineClosureFixture, DetSafetyEquivalenceViaMachineClosureApi) {
+  // is_machine_closed(S, Σ^ω) ⟺ lcl(S) = lcl(S): trivially true — a
+  // smoke test that the equivalence core treats identical inputs sanely.
+  for (const char* text : {"G a", "a", "a & F !a"}) {
+    EXPECT_TRUE(is_machine_closed(nba(text), nba("true"))) << text;
+  }
+}
+
+}  // namespace
+}  // namespace slat::buchi

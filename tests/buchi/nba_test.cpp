@@ -1,0 +1,190 @@
+#include "buchi/nba.hpp"
+
+#include <gtest/gtest.h>
+
+#include "buchi/random.hpp"
+
+namespace slat::buchi {
+namespace {
+
+constexpr words::Sym kA = 0;
+constexpr words::Sym kB = 1;
+
+// L = G F a (infinitely many a's): deterministic, accept after each a.
+Nba make_gfa() {
+  Nba nba(Alphabet::binary(), 2, 0);
+  nba.add_transition(0, kA, 1);
+  nba.add_transition(0, kB, 0);
+  nba.add_transition(1, kA, 1);
+  nba.add_transition(1, kB, 0);
+  nba.set_accepting(1, true);
+  return nba;
+}
+
+// L = F G b (finitely many a's): guess the all-b tail.
+Nba make_fgb() {
+  Nba nba(Alphabet::binary(), 2, 0);
+  nba.add_transition(0, kA, 0);
+  nba.add_transition(0, kB, 0);
+  nba.add_transition(0, kB, 1);
+  nba.add_transition(1, kB, 1);
+  nba.set_accepting(1, true);
+  return nba;
+}
+
+// L = a Σ^ω (first symbol is a).
+Nba make_first_a() {
+  Nba nba(Alphabet::binary(), 2, 0);
+  nba.add_transition(0, kA, 1);
+  nba.add_transition(1, kA, 1);
+  nba.add_transition(1, kB, 1);
+  nba.set_accepting(1, true);
+  return nba;
+}
+
+// L = G a = { a^ω }.
+Nba make_ga() {
+  Nba nba(Alphabet::binary(), 1, 0);
+  nba.add_transition(0, kA, 0);
+  nba.set_accepting(0, true);
+  return nba;
+}
+
+TEST(Nba, UniversalAndEmptyLanguage) {
+  const Nba universal = Nba::universal(Alphabet::binary());
+  const Nba empty = Nba::empty_language(Alphabet::binary());
+  EXPECT_FALSE(universal.is_empty());
+  EXPECT_TRUE(empty.is_empty());
+  for (const auto& w : words::enumerate_up_words(2, 2, 2)) {
+    EXPECT_TRUE(universal.accepts(w));
+    EXPECT_FALSE(empty.accepts(w));
+  }
+}
+
+TEST(Nba, MembershipGFa) {
+  const Nba nba = make_gfa();
+  EXPECT_TRUE(nba.accepts(UpWord::constant(kA)));
+  EXPECT_TRUE(nba.accepts(UpWord({}, {kA, kB})));
+  EXPECT_TRUE(nba.accepts(UpWord({kB, kB, kB}, {kA})));
+  EXPECT_FALSE(nba.accepts(UpWord::constant(kB)));
+  EXPECT_FALSE(nba.accepts(UpWord({kA, kA, kA}, {kB})));
+}
+
+TEST(Nba, MembershipFGb) {
+  const Nba nba = make_fgb();
+  EXPECT_TRUE(nba.accepts(UpWord::constant(kB)));
+  EXPECT_TRUE(nba.accepts(UpWord({kA, kA}, {kB})));
+  EXPECT_FALSE(nba.accepts(UpWord::constant(kA)));
+  EXPECT_FALSE(nba.accepts(UpWord({}, {kA, kB})));
+}
+
+TEST(Nba, MembershipFirstA) {
+  const Nba nba = make_first_a();
+  EXPECT_TRUE(nba.accepts(UpWord({kA}, {kB})));
+  EXPECT_TRUE(nba.accepts(UpWord::constant(kA)));
+  EXPECT_FALSE(nba.accepts(UpWord({kB}, {kA})));
+}
+
+TEST(Nba, GFaAndFGbAreDisjointAndCoverNothingTwice) {
+  // GFa ∩ FGb = ∅ (infinitely many a's contradicts finitely many a's).
+  const Nba product = intersect(make_gfa(), make_fgb());
+  EXPECT_TRUE(product.is_empty());
+}
+
+TEST(Nba, IntersectionSemanticsOnCorpus) {
+  const Nba lhs = make_first_a();
+  const Nba rhs = make_gfa();
+  const Nba both = intersect(lhs, rhs);
+  for (const auto& w : words::enumerate_up_words(2, 3, 3)) {
+    EXPECT_EQ(both.accepts(w), lhs.accepts(w) && rhs.accepts(w)) << w.to_string(lhs.alphabet());
+  }
+}
+
+TEST(Nba, UnionSemanticsOnCorpus) {
+  const Nba lhs = make_ga();
+  const Nba rhs = make_fgb();
+  const Nba either = unite(lhs, rhs);
+  for (const auto& w : words::enumerate_up_words(2, 3, 3)) {
+    EXPECT_EQ(either.accepts(w), lhs.accepts(w) || rhs.accepts(w)) << w.to_string(lhs.alphabet());
+  }
+}
+
+TEST(Nba, FindAcceptedWordRoundTrips) {
+  for (const Nba& nba : {make_gfa(), make_fgb(), make_first_a(), make_ga()}) {
+    const auto witness = nba.find_accepted_word();
+    ASSERT_TRUE(witness.has_value());
+    EXPECT_TRUE(nba.accepts(*witness));
+  }
+  EXPECT_FALSE(Nba::empty_language(Alphabet::binary()).find_accepted_word().has_value());
+}
+
+TEST(Nba, FindAcceptedWordRoundTripsOnRandomAutomata) {
+  std::mt19937 rng(11);
+  RandomNbaConfig config;
+  config.num_states = 5;
+  int nonempty_count = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Nba nba = random_nba(config, rng);
+    const auto witness = nba.find_accepted_word();
+    EXPECT_EQ(witness.has_value(), !nba.is_empty());
+    if (witness) {
+      ++nonempty_count;
+      EXPECT_TRUE(nba.accepts(*witness));
+    }
+  }
+  EXPECT_GT(nonempty_count, 20);  // the generator is not degenerate
+}
+
+TEST(Nba, TrimPreservesLanguage) {
+  std::mt19937 rng(23);
+  RandomNbaConfig config;
+  config.num_states = 5;
+  const auto corpus = words::enumerate_up_words(2, 2, 3);
+  for (int i = 0; i < 50; ++i) {
+    const Nba nba = random_nba(config, rng);
+    const Nba trimmed = nba.trim();
+    EXPECT_LE(trimmed.num_states(), nba.num_states());
+    for (const auto& w : corpus) {
+      EXPECT_EQ(nba.accepts(w), trimmed.accepts(w));
+    }
+  }
+}
+
+TEST(Nba, HasRunOnPrefix) {
+  const Nba nba = make_ga();  // only a^ω, runs exist on a^k
+  EXPECT_TRUE(nba.has_run_on_prefix({}));
+  EXPECT_TRUE(nba.has_run_on_prefix({kA, kA}));
+  EXPECT_FALSE(nba.has_run_on_prefix({kA, kB}));
+}
+
+TEST(Nba, StatesWithNonemptyLanguage) {
+  // State 2 is a dead end; states 0, 1 can reach the accepting cycle.
+  Nba nba(Alphabet::binary(), 3, 0);
+  nba.add_transition(0, kA, 1);
+  nba.add_transition(1, kA, 1);
+  nba.add_transition(0, kB, 2);
+  nba.set_accepting(1, true);
+  const auto nonempty = nba.states_with_nonempty_language();
+  EXPECT_TRUE(nonempty[0]);
+  EXPECT_TRUE(nonempty[1]);
+  EXPECT_FALSE(nonempty[2]);
+}
+
+TEST(Nba, AcceptingRequiresCycleNotJustVisit) {
+  // Accepting state reachable but not on any cycle: language empty.
+  Nba nba(Alphabet::binary(), 2, 0);
+  nba.add_transition(0, kA, 1);
+  nba.set_accepting(1, true);
+  EXPECT_TRUE(nba.is_empty());
+}
+
+TEST(Nba, SelfLoopCountsAsCycle) {
+  Nba nba(Alphabet::binary(), 1, 0);
+  nba.add_transition(0, kB, 0);
+  nba.set_accepting(0, true);
+  EXPECT_FALSE(nba.is_empty());
+  EXPECT_TRUE(nba.accepts(UpWord::constant(kB)));
+}
+
+}  // namespace
+}  // namespace slat::buchi

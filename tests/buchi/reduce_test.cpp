@@ -1,0 +1,83 @@
+// Bisimulation-quotient reduction: language preservation and effectiveness
+// on tableau-produced automata.
+#include <gtest/gtest.h>
+
+#include "buchi/language.hpp"
+#include "buchi/random.hpp"
+#include "buchi/safety.hpp"
+#include "ltl/translate.hpp"
+
+namespace slat::buchi {
+namespace {
+
+TEST(Reduce, PreservesLanguageOnRandomAutomata) {
+  std::mt19937 rng(149);
+  RandomNbaConfig config;
+  config.num_states = 6;
+  const auto corpus = words::enumerate_up_words(2, 3, 3);
+  for (int i = 0; i < 120; ++i) {
+    const Nba nba = random_nba(config, rng);
+    const Nba reduced = nba.reduce();
+    EXPECT_LE(reduced.num_states(), std::max(1, nba.num_states()));
+    for (const auto& w : corpus) {
+      ASSERT_EQ(nba.accepts(w), reduced.accepts(w)) << i;
+    }
+  }
+}
+
+TEST(Reduce, PreservesLanguageExactlyOnSmallAutomata) {
+  std::mt19937 rng(151);
+  RandomNbaConfig config;
+  config.num_states = 3;
+  for (int i = 0; i < 10; ++i) {
+    const Nba nba = random_nba(config, rng);
+    EXPECT_TRUE(is_equivalent(nba, nba.reduce())) << i;
+  }
+}
+
+TEST(Reduce, ShrinksTableauOutputs) {
+  ltl::LtlArena arena(words::Alphabet::binary());
+  int shrunk = 0;
+  for (const char* text :
+       {"(a U b) & F a", "G (a -> F b)", "F a | F b", "(a U b) | (b U a)"}) {
+    const Nba nba = ltl::to_nba(arena, *arena.parse(text));
+    const Nba reduced = nba.reduce();
+    EXPECT_LE(reduced.num_states(), nba.num_states()) << text;
+    if (reduced.num_states() < nba.num_states()) ++shrunk;
+    // Language unchanged on the corpus.
+    for (const auto& w : words::enumerate_up_words(2, 2, 3)) {
+      EXPECT_EQ(nba.accepts(w), reduced.accepts(w)) << text;
+    }
+  }
+  EXPECT_GE(shrunk, 2);  // GPVW output genuinely has bisimilar duplicates
+}
+
+TEST(Reduce, IdempotentAndStableOnCanonicalAutomata) {
+  const Nba universal = Nba::universal(Alphabet::binary());
+  EXPECT_EQ(universal.reduce().num_states(), 1);
+  const Nba empty = Nba::empty_language(Alphabet::binary());
+  EXPECT_EQ(empty.reduce().num_states(), 1);
+  // Twice-reduced equals once-reduced in size.
+  std::mt19937 rng(157);
+  RandomNbaConfig config;
+  config.num_states = 6;
+  for (int i = 0; i < 30; ++i) {
+    const Nba once = random_nba(config, rng).reduce();
+    EXPECT_EQ(once.reduce().num_states(), once.num_states()) << i;
+  }
+}
+
+TEST(Reduce, MergesObviouslyDuplicatedStates) {
+  // Two identical accepting states looping on a: they must merge.
+  Nba nba(Alphabet::binary(), 3, 0);
+  nba.add_transition(0, 0, 1);
+  nba.add_transition(0, 0, 2);
+  nba.add_transition(1, 0, 1);
+  nba.add_transition(2, 0, 2);
+  nba.set_accepting(1, true);
+  nba.set_accepting(2, true);
+  EXPECT_EQ(nba.reduce().num_states(), 2);
+}
+
+}  // namespace
+}  // namespace slat::buchi

@@ -1,0 +1,183 @@
+// The linear-time closure lcl on Büchi automata (§2.4): the automaton
+// construction is differentially tested against a direct semantic oracle
+// for lcl, and the DetSafety subset construction against both.
+#include "buchi/safety.hpp"
+
+#include <gtest/gtest.h>
+
+#include "buchi/random.hpp"
+
+namespace slat::buchi {
+namespace {
+
+constexpr words::Sym kA = 0;
+constexpr words::Sym kB = 1;
+
+// Direct semantic oracle: w ∈ lcl(L(B)) iff every finite prefix of w can be
+// extended to a word of L(B), i.e. iff the subset reached on each prefix
+// contains a state with non-empty residual language. The subset/lasso pair
+// cycles within 2^|Q| periods, so a bounded scan is exact.
+bool in_lcl(const Nba& nba, const UpWord& w) {
+  const auto nonempty = nba.states_with_nonempty_language();
+  std::vector<bool> current(nba.num_states(), false);
+  current[nba.initial()] = true;
+  const std::size_t bound =
+      w.prefix_size() + w.period_size() * ((1u << nba.num_states()) + 1);
+  for (std::size_t i = 0;; ++i) {
+    bool extendable = false;
+    for (State q = 0; q < nba.num_states(); ++q) {
+      if (current[q] && nonempty[q]) {
+        extendable = true;
+        break;
+      }
+    }
+    if (!extendable) return false;
+    if (i >= bound) return true;
+    std::vector<bool> next(nba.num_states(), false);
+    for (State q = 0; q < nba.num_states(); ++q) {
+      if (!current[q]) continue;
+      for (State succ : nba.successors(q, w.at(i))) next[succ] = true;
+    }
+    current = std::move(next);
+  }
+}
+
+Nba make_p3() {
+  // p3 = a ∧ F¬a: first symbol a, some later symbol b — the paper's
+  // "neither" example. lcl(p3) = p1 (first symbol a).
+  Nba nba(Alphabet::binary(), 3, 0);
+  nba.add_transition(0, kA, 1);   // consume the leading a
+  nba.add_transition(1, kA, 1);   // wait for a b
+  nba.add_transition(1, kB, 2);
+  nba.add_transition(2, kA, 2);
+  nba.add_transition(2, kB, 2);
+  nba.set_accepting(2, true);
+  return nba;
+}
+
+TEST(SafetyClosure, MatchesSemanticOracleOnHandAutomata) {
+  const auto corpus = words::enumerate_up_words(2, 3, 3);
+  const Nba p3 = make_p3();
+  const Nba closure = safety_closure(p3);
+  for (const auto& w : corpus) {
+    EXPECT_EQ(closure.accepts(w), in_lcl(p3, w)) << w.to_string(p3.alphabet());
+  }
+}
+
+TEST(SafetyClosure, ClosureOfP3IsP1) {
+  // lcl(a ∧ F¬a) = "first symbol a".
+  const Nba closure = safety_closure(make_p3());
+  EXPECT_TRUE(closure.accepts(UpWord::constant(kA)));
+  EXPECT_TRUE(closure.accepts(UpWord({kA}, {kB})));
+  EXPECT_FALSE(closure.accepts(UpWord::constant(kB)));
+  EXPECT_FALSE(closure.accepts(UpWord({kB}, {kA})));
+}
+
+TEST(SafetyClosure, MatchesSemanticOracleOnRandomAutomata) {
+  std::mt19937 rng(31);
+  RandomNbaConfig config;
+  config.num_states = 4;
+  const auto corpus = words::enumerate_up_words(2, 2, 3);
+  for (int i = 0; i < 120; ++i) {
+    const Nba nba = random_nba(config, rng);
+    const Nba closure = safety_closure(nba);
+    for (const auto& w : corpus) {
+      ASSERT_EQ(closure.accepts(w), in_lcl(nba, w))
+          << "iteration " << i << " word " << w.to_string(nba.alphabet());
+    }
+  }
+}
+
+TEST(SafetyClosure, IsExtensive) {
+  std::mt19937 rng(37);
+  RandomNbaConfig config;
+  config.num_states = 4;
+  const auto corpus = words::enumerate_up_words(2, 2, 3);
+  for (int i = 0; i < 60; ++i) {
+    const Nba nba = random_nba(config, rng);
+    const Nba closure = safety_closure(nba);
+    for (const auto& w : corpus) {
+      if (nba.accepts(w)) {
+        EXPECT_TRUE(closure.accepts(w));
+      }
+    }
+  }
+}
+
+TEST(SafetyClosure, IsIdempotent) {
+  std::mt19937 rng(41);
+  RandomNbaConfig config;
+  config.num_states = 4;
+  const auto corpus = words::enumerate_up_words(2, 2, 3);
+  for (int i = 0; i < 60; ++i) {
+    const Nba nba = random_nba(config, rng);
+    const Nba once = safety_closure(nba);
+    const Nba twice = safety_closure(once);
+    for (const auto& w : corpus) {
+      EXPECT_EQ(once.accepts(w), twice.accepts(w));
+    }
+  }
+}
+
+TEST(SafetyClosure, EmptyLanguageStaysEmpty) {
+  const Nba empty = Nba::empty_language(Alphabet::binary());
+  EXPECT_TRUE(safety_closure(empty).is_empty());
+}
+
+TEST(DetSafety, AgreesWithClosureAutomaton) {
+  std::mt19937 rng(43);
+  RandomNbaConfig config;
+  config.num_states = 4;
+  const auto corpus = words::enumerate_up_words(2, 2, 3);
+  for (int i = 0; i < 80; ++i) {
+    const Nba nba = random_nba(config, rng);
+    const DetSafety det = DetSafety::from_nba(nba);
+    for (const auto& w : corpus) {
+      ASSERT_EQ(det.accepts(w), in_lcl(nba, w)) << i;
+    }
+  }
+}
+
+TEST(DetSafety, ComplementIsExactComplementOfClosure) {
+  std::mt19937 rng(47);
+  RandomNbaConfig config;
+  config.num_states = 4;
+  const auto corpus = words::enumerate_up_words(2, 2, 3);
+  for (int i = 0; i < 80; ++i) {
+    const Nba nba = random_nba(config, rng);
+    const DetSafety det = DetSafety::from_nba(nba);
+    const Nba complement = det.complement_nba();
+    for (const auto& w : corpus) {
+      ASSERT_NE(complement.accepts(w), det.accepts(w)) << i;
+    }
+  }
+}
+
+TEST(DetSafety, UniversalityDetectsLiveness) {
+  // GFa is a liveness property: lcl = Σ^ω.
+  Nba gfa(Alphabet::binary(), 2, 0);
+  gfa.add_transition(0, kA, 1);
+  gfa.add_transition(0, kB, 0);
+  gfa.add_transition(1, kA, 1);
+  gfa.add_transition(1, kB, 0);
+  gfa.set_accepting(1, true);
+  EXPECT_TRUE(DetSafety::from_nba(gfa).is_universal());
+  EXPECT_TRUE(is_liveness(gfa));
+  // Ga is not: lcl(Ga) = Ga ≠ Σ^ω.
+  Nba ga(Alphabet::binary(), 1, 0);
+  ga.add_transition(0, kA, 0);
+  ga.set_accepting(0, true);
+  EXPECT_FALSE(DetSafety::from_nba(ga).is_universal());
+  EXPECT_TRUE(is_safety(ga));
+}
+
+TEST(DetSafety, AcceptsPrefixMatchesSafeRegion) {
+  const DetSafety det = DetSafety::from_nba(make_p3());
+  EXPECT_TRUE(det.accepts_prefix({}));
+  EXPECT_TRUE(det.accepts_prefix({kA}));
+  EXPECT_TRUE(det.accepts_prefix({kA, kB, kA}));
+  EXPECT_FALSE(det.accepts_prefix({kB}));
+}
+
+}  // namespace
+}  // namespace slat::buchi

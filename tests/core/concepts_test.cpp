@@ -1,0 +1,196 @@
+// The generic framework: laws and decomposition on three very different
+// instances of the same concepts.
+#include "core/concepts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "buchi/language.hpp"
+#include "buchi/random.hpp"
+#include "core/instances.hpp"
+#include "lattice/constructions.hpp"
+#include "lattice/decomposition.hpp"
+#include "ltl/translate.hpp"
+
+namespace slat::core {
+namespace {
+
+static_assert(BoundedLattice<PowersetOps>);
+static_assert(ComplementedLattice<PowersetOps>);
+static_assert(BoundedLattice<FiniteLatticeOps>);
+static_assert(ComplementedLattice<FiniteLatticeOps>);
+static_assert(BoundedLattice<OmegaRegularOps>);
+static_assert(ComplementedLattice<OmegaRegularOps>);
+static_assert(ClosureFor<LclClosureFn, OmegaRegularOps>);
+
+// ---------------------------------------------------------------------------
+// PowersetOps
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint32_t> all_subsets(const PowersetOps& ops) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t mask = 0; mask <= ops.top(); ++mask) out.push_back(mask);
+  return out;
+}
+
+TEST(PowersetInstance, LatticeLawsHold) {
+  const PowersetOps ops(4);
+  const auto samples = all_subsets(ops);
+  EXPECT_TRUE(lattice_laws_hold(ops, samples));
+  EXPECT_TRUE(modularity_holds(ops, samples));
+}
+
+TEST(PowersetInstance, ClosureFromSupersetFamilyAndDecomposition) {
+  const PowersetOps ops(4);
+  // Closure: the up-closure to the smallest superset containing bit 0.
+  const auto cl = [&](std::uint32_t a) { return a | 1u; };
+  const auto samples = all_subsets(ops);
+  EXPECT_TRUE(closure_laws_hold(ops, cl, samples));
+  for (std::uint32_t a : samples) {
+    const auto d = decompose(ops, cl, a);
+    EXPECT_TRUE(decomposition_valid(ops, cl, cl, a, d)) << a;
+  }
+}
+
+TEST(PowersetInstance, SafetyAndLivenessElements) {
+  const PowersetOps ops(3);
+  const auto cl = [&](std::uint32_t a) { return a | 1u; };
+  EXPECT_TRUE(is_safety_element(ops, cl, 0b001u));
+  EXPECT_FALSE(is_safety_element(ops, cl, 0b010u));
+  EXPECT_TRUE(is_liveness_element(ops, cl, 0b110u));
+  EXPECT_FALSE(is_liveness_element(ops, cl, 0b011u));
+}
+
+// ---------------------------------------------------------------------------
+// FiniteLatticeOps: the generic algorithm must coincide with the dedicated
+// finite-lattice module.
+// ---------------------------------------------------------------------------
+
+TEST(FiniteInstance, GenericDecomposeMatchesDedicatedModule) {
+  std::mt19937 rng(127);
+  for (const lattice::FiniteLattice& fl :
+       {lattice::boolean_lattice(3), lattice::m3(), lattice::subspace_lattice_gf2(2)}) {
+    const FiniteLatticeOps ops(fl);
+    std::vector<lattice::Elem> samples;
+    for (int a = 0; a < fl.size(); ++a) samples.push_back(a);
+    EXPECT_TRUE(lattice_laws_hold(ops, samples));
+    for (int i = 0; i < 10; ++i) {
+      const lattice::LatticeClosure cl = lattice::LatticeClosure::random(fl, rng);
+      const FiniteClosureFn fn(cl);
+      EXPECT_TRUE(closure_laws_hold(ops, fn, samples));
+      for (lattice::Elem a : samples) {
+        const auto generic = decompose(ops, fn, a);
+        EXPECT_TRUE(decomposition_valid(ops, fn, fn, a, generic));
+        const auto dedicated = lattice::decompose(fl, cl, a);
+        ASSERT_TRUE(dedicated.has_value());
+        EXPECT_EQ(generic.safety, dedicated->safety);
+        EXPECT_EQ(generic.liveness, dedicated->liveness);
+      }
+    }
+  }
+}
+
+TEST(FiniteInstance, Theorem6ExtremalityOnBooleanLattice) {
+  const lattice::FiniteLattice fl = lattice::boolean_lattice(3);
+  const FiniteLatticeOps ops(fl);
+  const lattice::LatticeClosure cl = lattice::LatticeClosure::from_closed_set(fl, {0b011});
+  const FiniteClosureFn fn(cl);
+  for (int a = 0; a < fl.size(); ++a) {
+    for (int s = 0; s < fl.size(); ++s) {
+      if (cl.apply(s) != s) continue;
+      for (int z = 0; z < fl.size(); ++z) {
+        EXPECT_TRUE(theorem6_holds(ops, fn, a, s, z));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OmegaRegularOps: the §2 Büchi world run through the §3 generic theorems.
+// ---------------------------------------------------------------------------
+
+SampledOmegaRegularOps sampled_ops() {
+  return SampledOmegaRegularOps(words::Alphabet::binary(),
+                                words::enumerate_up_words(2, 3, 3));
+}
+
+TEST(OmegaInstance, LatticeLawsOnSmallAutomata) {
+  // Sampled equality: the law checks build deep product automata, where the
+  // exact (complementation-based) instance would blow up.
+  const SampledOmegaRegularOps ops = sampled_ops();
+  ltl::LtlArena arena(words::Alphabet::binary());
+  std::vector<buchi::Nba> samples;
+  for (const char* text : {"G a", "F b", "a"}) {
+    samples.push_back(ltl::to_nba(arena, *arena.parse(text)));
+  }
+  EXPECT_TRUE(lattice_laws_hold(ops, samples));
+  EXPECT_TRUE(closure_laws_hold(ops, LclClosureFn{}, samples));
+}
+
+TEST(OmegaInstance, GenericDecomposeProducesValidPartsExact) {
+  // Exact instance on a deliberately tiny specification.
+  const OmegaRegularOps ops(words::Alphabet::binary());
+  ltl::LtlArena arena(words::Alphabet::binary());
+  const buchi::Nba nba = ltl::to_nba(arena, *arena.parse("G a"));
+  const auto d = decompose(ops, LclClosureFn{}, nba);
+  EXPECT_TRUE(decomposition_valid(ops, LclClosureFn{}, LclClosureFn{}, nba, d));
+}
+
+TEST(OmegaInstance, GenericDecomposeProducesValidPartsSampled) {
+  const SampledOmegaRegularOps ops = sampled_ops();
+  ltl::LtlArena arena(words::Alphabet::binary());
+  for (const char* text : {"a & F !a", "G a", "G F a", "a U b", "G (a -> F b)"}) {
+    const buchi::Nba nba = ltl::to_nba(arena, *arena.parse(text));
+    const auto d = decompose(ops, LclClosureFn{}, nba);
+    EXPECT_TRUE(decomposition_valid(ops, LclClosureFn{}, LclClosureFn{}, nba, d)) << text;
+  }
+}
+
+TEST(OmegaInstance, GenericAndDedicatedDecompositionsAgreeOnLanguages) {
+  // The generic Theorem 2 construction (via rank-based complementation) and
+  // the dedicated §2.4 pipeline (via the deterministic safety automaton)
+  // must produce the same two languages.
+  const SampledOmegaRegularOps ops = sampled_ops();
+  ltl::LtlArena arena(words::Alphabet::binary());
+  for (const char* text : {"a & F !a", "G a", "a U b"}) {
+    const buchi::Nba nba = ltl::to_nba(arena, *arena.parse(text));
+    const auto generic = decompose(ops, LclClosureFn{}, nba);
+    const buchi::BuchiDecomposition dedicated = buchi::decompose(nba);
+    EXPECT_TRUE(ops.equal(generic.safety, dedicated.safety)) << text;
+    EXPECT_TRUE(ops.equal(generic.liveness, dedicated.liveness)) << text;
+  }
+}
+
+TEST(OmegaInstance, LanguageLatticeIsDistributiveAndModular) {
+  // The ω-regular lattice is a Boolean algebra, hence distributive and
+  // modular — the hypotheses Theorems 3 and 7 need (checked on samples,
+  // sampled equality).
+  const SampledOmegaRegularOps ops = sampled_ops();
+  ltl::LtlArena arena(words::Alphabet::binary());
+  std::vector<buchi::Nba> samples;
+  for (const char* text : {"G a", "F b", "a", "G F a"}) {
+    samples.push_back(ltl::to_nba(arena, *arena.parse(text)));
+  }
+  EXPECT_TRUE(modularity_holds(ops, samples));
+  for (const auto& a : samples) {
+    for (const auto& b : samples) {
+      for (const auto& c : samples) {
+        EXPECT_TRUE(ops.equal(ops.meet(a, ops.join(b, c)),
+                              ops.join(ops.meet(a, b), ops.meet(a, c))));
+      }
+    }
+  }
+}
+
+TEST(OmegaInstance, SafetyAndLivenessPredicatesMatchModule) {
+  const OmegaRegularOps ops(words::Alphabet::binary());
+  ltl::LtlArena arena(words::Alphabet::binary());
+  for (const char* text : {"G a", "F b", "G F a", "a & F !a", "true", "false"}) {
+    const buchi::Nba nba = ltl::to_nba(arena, *arena.parse(text));
+    EXPECT_EQ(is_safety_element(ops, LclClosureFn{}, nba), buchi::is_safety(nba)) << text;
+    EXPECT_EQ(is_liveness_element(ops, LclClosureFn{}, nba), buchi::is_liveness(nba))
+        << text;
+  }
+}
+
+}  // namespace
+}  // namespace slat::core

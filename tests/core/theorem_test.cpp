@@ -1,0 +1,250 @@
+// One test per paper claim, named by the paper's numbering, crossing all
+// three instantiations (finite lattices, ω-regular languages, tree
+// languages). This is the machine-checked summary of the reproduction;
+// EXPERIMENTS.md references these tests by name.
+#include <gtest/gtest.h>
+
+#include "buchi/language.hpp"
+#include "buchi/safety.hpp"
+#include "core/concepts.hpp"
+#include "core/instances.hpp"
+#include "lattice/constructions.hpp"
+#include "lattice/decomposition.hpp"
+#include "lattice/enumerate.hpp"
+#include "ltl/rem.hpp"
+#include "ltl/translate.hpp"
+#include "rabin/examples.hpp"
+#include "trees/closures.hpp"
+#include "trees/rem_branching.hpp"
+
+namespace slat {
+namespace {
+
+using lattice::FiniteLattice;
+using lattice::LatticeClosure;
+
+// Lemma 1 / Theorem 1 (Alpern–Schneider, linear time): P ∪ ¬lcl(P) is live,
+// and P = lcl(P) ∩ (P ∪ ¬lcl(P)).
+TEST(Paper, Theorem1LinearTimeDecomposition) {
+  ltl::LtlArena arena(words::Alphabet::binary());
+  const auto corpus = words::enumerate_up_words(2, 3, 3);
+  for (const char* text : {"a & F !a", "G a", "G F a", "F G !a", "a", "true", "false"}) {
+    const buchi::Nba nba = ltl::to_nba(arena, *arena.parse(text));
+    const buchi::BuchiDecomposition d = buchi::decompose(nba);
+    EXPECT_TRUE(buchi::is_liveness(d.liveness)) << text;  // Lemma 1
+    const buchi::Nba meet = buchi::intersect(d.safety, d.liveness);
+    for (const auto& w : corpus) {
+      EXPECT_EQ(meet.accepts(w), nba.accepts(w)) << text;  // Theorem 1
+    }
+  }
+}
+
+// Lemma 2: a ≤ b implies a ∧ c ≤ b ∧ c and a ∨ c ≤ b ∨ c.
+TEST(Paper, Lemma2MeetJoinMonotone) {
+  for (const FiniteLattice& lattice :
+       {lattice::boolean_lattice(3), lattice::m3(), lattice::n5()}) {
+    for (int a = 0; a < lattice.size(); ++a) {
+      for (int b = 0; b < lattice.size(); ++b) {
+        if (!lattice.leq(a, b)) continue;
+        for (int c = 0; c < lattice.size(); ++c) {
+          EXPECT_TRUE(lattice.leq(lattice.meet(a, c), lattice.meet(b, c)));
+          EXPECT_TRUE(lattice.leq(lattice.join(a, c), lattice.join(b, c)));
+        }
+      }
+    }
+  }
+}
+
+// Lemma 3: cl(a ∧ b) ≤ cl.a ∧ cl.b — on finite lattices and on ω-regular
+// languages.
+TEST(Paper, Lemma3SubMeetPreservation) {
+  const FiniteLattice lattice = lattice::subspace_lattice_gf2(2);
+  lattice::for_each_closure(lattice, [&](const LatticeClosure& cl) {
+    EXPECT_EQ(lattice::verify_lemma3(lattice, cl), std::nullopt);
+  });
+  // ω-regular: lcl(A ∩ B) ⊆ lcl(A) ∩ lcl(B).
+  ltl::LtlArena arena(words::Alphabet::binary());
+  const buchi::Nba a = ltl::to_nba(arena, *arena.parse("F a"));
+  const buchi::Nba b = ltl::to_nba(arena, *arena.parse("F b"));
+  EXPECT_TRUE(buchi::is_subset(buchi::safety_closure(buchi::intersect(a, b)),
+                               buchi::intersect(buchi::safety_closure(a),
+                                                buchi::safety_closure(b))));
+}
+
+// Lemma 4: b ∈ cmp(cl.a) makes a ∨ b live.
+TEST(Paper, Lemma4JoinWithComplementIsLive) {
+  for (const FiniteLattice& lattice : {lattice::boolean_lattice(4), lattice::m3()}) {
+    lattice::for_each_closure(lattice, [&](const LatticeClosure& cl) {
+      EXPECT_EQ(lattice::verify_lemma4(lattice, cl), std::nullopt);
+    });
+  }
+}
+
+// Theorem 2/3: every element is safety ∧ liveness, for closure pairs
+// cl1 ≤ cl2, on modular complemented lattices.
+TEST(Paper, Theorem3TwoClosureDecomposition) {
+  const FiniteLattice lattice = lattice::m3();
+  std::vector<LatticeClosure> closures;
+  lattice::for_each_closure(lattice, [&](const LatticeClosure& cl) {
+    closures.push_back(cl);
+  });
+  for (const auto& cl1 : closures) {
+    for (const auto& cl2 : closures) {
+      if (!cl1.pointwise_leq(cl2)) continue;
+      EXPECT_EQ(lattice::verify_theorem3(lattice, cl1, cl2), std::nullopt);
+    }
+  }
+}
+
+// Lemma 6 / Figure 1: in the non-modular N5, element a is undecomposable.
+TEST(Paper, Lemma6Figure1NonModularCounterexample) {
+  const FiniteLattice lattice = lattice::n5();
+  using E = lattice::N5Elems;
+  const auto cl = LatticeClosure::from_map(
+      lattice, {E::bottom, E::b, E::b, E::c, E::top});
+  ASSERT_TRUE(cl.has_value());
+  EXPECT_EQ(lattice::find_any_decomposition(lattice, *cl, *cl, E::a), std::nullopt);
+}
+
+// Theorem 4: the three branching-time decompositions exist (ES∧EL, US∧UL,
+// ES∧UL), demonstrated on the tree-language instance via Theorem 9's
+// construction and the semantic closure checks.
+TEST(Paper, Theorem4BranchingDecompositionsExist) {
+  const auto corpus = [] {
+    std::vector<trees::KTree> out;
+    for (trees::KTree& t :
+         trees::enumerate_regular_trees(words::Alphabet::binary(), 2, 2, 2)) {
+      out.push_back(std::move(t));
+    }
+    return out;
+  }();
+  const rabin::RabinTreeAutomaton aut = rabin::aut_af_b();
+  const rabin::RabinDecomposition d = rabin::decompose(aut);
+  const trees::TreeProperty live{
+      "live", [&d](const trees::KTree& t) { return d.liveness_contains(t); },
+      [&d](const trees::KTree& t) { return d.liveness_extendable(t); }};
+  for (const trees::KTree& t : corpus) {
+    if (!t.is_total()) continue;
+    EXPECT_EQ(aut.accepts(t), d.safety.accepts(t) && d.liveness_contains(t));
+    EXPECT_TRUE(trees::in_fcl(live, t, 2));  // UL part
+  }
+}
+
+// Theorem 5: no property with fcl.a = A_tot and ncl.a < A_tot can be split
+// into a US safety part and an EL liveness part. Verified exhaustively on
+// finite lattices (where cl1 = ncl-analogue ≤ cl2 = fcl-analogue).
+TEST(Paper, Theorem5ImpossibleMix) {
+  for (const FiniteLattice& lattice : {lattice::boolean_lattice(3), lattice::m3()}) {
+    std::vector<LatticeClosure> closures;
+    lattice::for_each_closure(lattice, [&](const LatticeClosure& cl) {
+      closures.push_back(cl);
+    });
+    for (const auto& cl1 : closures) {
+      for (const auto& cl2 : closures) {
+        EXPECT_EQ(lattice::verify_theorem5(lattice, cl1, cl2), std::nullopt);
+      }
+    }
+  }
+}
+
+// Theorem 5's branching-time instance: AF b has fcl = A_tot and ncl ≠ A_tot,
+// so (by the theorem) it cannot be US ∧ EL; check the hypothesis facts.
+TEST(Paper, Theorem5HypothesesHoldForAFa) {
+  const auto& examples = trees::rem_branching_examples();
+  const auto q3a = std::find_if(examples.begin(), examples.end(),
+                                [](const auto& e) { return e.name == "q3a"; });
+  ASSERT_NE(q3a, examples.end());
+  // The paper instantiates Theorem 5 with AF-style properties: UL holds,
+  // EL fails — exactly what the classification grid records for q4a/q5a.
+  for (const char* name : {"q4a", "q5a"}) {
+    const auto it = std::find_if(examples.begin(), examples.end(),
+                                 [&](const auto& e) { return e.name == name; });
+    ASSERT_NE(it, examples.end());
+    EXPECT_TRUE(it->expected.universally_live);
+    EXPECT_FALSE(it->expected.existentially_live);
+  }
+}
+
+// Theorem 6: cl1.a is the strongest safety element in ANY decomposition.
+TEST(Paper, Theorem6MachineClosure) {
+  const FiniteLattice lattice = lattice::subspace_lattice_gf2(2);
+  std::vector<LatticeClosure> closures;
+  lattice::for_each_closure(lattice, [&](const LatticeClosure& cl) {
+    closures.push_back(cl);
+  });
+  for (const auto& cl1 : closures) {
+    for (const auto& cl2 : closures) {
+      if (!cl1.pointwise_leq(cl2)) continue;
+      EXPECT_EQ(lattice::verify_theorem6(lattice, cl1, cl2), std::nullopt);
+    }
+  }
+}
+
+// Theorem 7 + Figure 2: a ∨ b is the weakest liveness part — on
+// distributive lattices; the modular non-distributive M3 (Figure 2)
+// violates it.
+TEST(Paper, Theorem7WeakestLivenessAndFigure2) {
+  const FiniteLattice boolean = lattice::boolean_lattice(3);
+  lattice::for_each_closure(boolean, [&](const LatticeClosure& cl) {
+    EXPECT_EQ(lattice::verify_theorem7(boolean, cl, cl), std::nullopt);
+  });
+  const FiniteLattice fig2 = lattice::fig2();
+  using E = lattice::Fig2Elems;
+  const auto cl = LatticeClosure::from_map(fig2, {E::s, E::s, E::top, E::top, E::top});
+  ASSERT_TRUE(cl.has_value());
+  EXPECT_NE(lattice::verify_theorem7(fig2, *cl, *cl), std::nullopt);
+}
+
+// Theorem 8: for q ES or US and p = q ∩ r: ncl.p ≤ q and r ≥ p ∪ ¬ncl.p —
+// the finite-lattice rendering via Theorems 6 and 7 is covered by those
+// tests; here we check the ω-regular rendering of the first half:
+// lcl(P ∩ Q) ⊆ Q for safety Q.
+TEST(Paper, Theorem8StrongestSafetyFactor) {
+  ltl::LtlArena arena(words::Alphabet::binary());
+  const buchi::Nba safety = ltl::to_nba(arena, *arena.parse("G a"));
+  ASSERT_TRUE(buchi::is_safety(safety));
+  for (const char* other : {"F b", "G F a", "b R a"}) {
+    const buchi::Nba r = ltl::to_nba(arena, *arena.parse(other));
+    const buchi::Nba p = buchi::intersect(safety, r);
+    EXPECT_TRUE(buchi::is_subset(buchi::safety_closure(p), safety)) << other;
+  }
+}
+
+// Theorem 9: effective Rabin decomposition — detailed checks live in
+// rabin_automaton_test; this is the cross-reference smoke test.
+TEST(Paper, Theorem9EffectiveRabinDecomposition) {
+  const rabin::RabinTreeAutomaton aut = rabin::aut_agf_b();
+  const rabin::RabinDecomposition d = rabin::decompose(aut);
+  EXPECT_EQ(d.safety.num_pairs(), 1);
+  const trees::KTree all_b = trees::KTree::constant(words::Alphabet::binary(), 1, 2);
+  const trees::KTree all_a = trees::KTree::constant(words::Alphabet::binary(), 0, 2);
+  EXPECT_TRUE(aut.accepts(all_b));
+  EXPECT_TRUE(d.safety.accepts(all_b) && d.liveness_contains(all_b));
+  EXPECT_FALSE(d.safety.accepts(all_a) && d.liveness_contains(all_a));
+}
+
+// §2.3: the Rem table end-to-end (duplicated from the LTL tests on purpose:
+// this file is the paper index).
+TEST(Paper, Section23RemTable) {
+  ltl::LtlArena arena(words::Alphabet::binary());
+  for (const auto& example : ltl::rem_examples()) {
+    const buchi::Nba nba = ltl::to_nba(arena, *arena.parse(example.formula));
+    EXPECT_EQ(buchi::classify(nba), example.expected) << example.name;
+  }
+}
+
+// §4.3: the branching-time Rem table.
+TEST(Paper, Section43BranchingRemTable) {
+  auto corpus = trees::total_tree_corpus(words::Alphabet::binary(), 2, 2);
+  for (trees::KTree& w : trees::paper_witness_trees()) corpus.push_back(std::move(w));
+  for (const auto& example : trees::rem_branching_examples()) {
+    const auto got = trees::classify(example.property, corpus, 2);
+    EXPECT_EQ(got.existentially_safe, example.expected.existentially_safe) << example.name;
+    EXPECT_EQ(got.universally_safe, example.expected.universally_safe) << example.name;
+    EXPECT_EQ(got.existentially_live, example.expected.existentially_live) << example.name;
+    EXPECT_EQ(got.universally_live, example.expected.universally_live) << example.name;
+  }
+}
+
+}  // namespace
+}  // namespace slat

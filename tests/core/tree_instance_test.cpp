@@ -1,0 +1,93 @@
+// The generic framework on its third domain: Rabin-definable tree languages
+// (Büchi-shaped automata, sampled equality over a regular-tree corpus).
+#include "core/tree_instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rabin/from_ctl.hpp"
+
+namespace slat::core {
+namespace {
+
+using rabin::RabinTreeAutomaton;
+using trees::KTree;
+
+TreeLanguageOps make_ops() {
+  std::vector<KTree> corpus;
+  for (int n = 1; n <= 2; ++n) {
+    for (KTree& tree :
+         trees::enumerate_regular_trees(words::Alphabet::binary(), n, 2, 2)) {
+      corpus.push_back(std::move(tree));
+    }
+  }
+  std::mt19937 rng(199);
+  for (int i = 0; i < 4; ++i) {
+    corpus.push_back(trees::random_regular_tree(words::Alphabet::binary(), 3, 2, rng));
+  }
+  return TreeLanguageOps(words::Alphabet::binary(), 2, std::move(corpus));
+}
+
+std::vector<RabinTreeAutomaton> samples(trees::CtlArena& arena) {
+  std::vector<RabinTreeAutomaton> out;
+  for (const char* text : {"AG (a | b)", "AF b", "EX a"}) {
+    out.push_back(rabin::from_ctl(arena, *arena.parse(text), 2));
+  }
+  return out;
+}
+
+TEST(TreeInstance, LatticeLawsHoldOnSamples) {
+  trees::CtlArena arena(words::Alphabet::binary());
+  const TreeLanguageOps ops = make_ops();
+  EXPECT_TRUE(lattice_laws_hold(ops, samples(arena)));
+}
+
+TEST(TreeInstance, TopAndBottomBehave) {
+  const TreeLanguageOps ops = make_ops();
+  trees::CtlArena arena(words::Alphabet::binary());
+  for (const auto& a : samples(arena)) {
+    EXPECT_TRUE(ops.leq(a, ops.top()));
+    EXPECT_TRUE(ops.leq(ops.bottom(), a));
+    EXPECT_TRUE(ops.equal(ops.meet(a, ops.top()), a));
+    EXPECT_TRUE(ops.equal(ops.join(a, ops.bottom()), a));
+  }
+}
+
+TEST(TreeInstance, RfclIsAGenericClosure) {
+  trees::CtlArena arena(words::Alphabet::binary());
+  const TreeLanguageOps ops = make_ops();
+  EXPECT_TRUE(closure_laws_hold(ops, RfclClosureFn{}, samples(arena)));
+}
+
+TEST(TreeInstance, SafetyAndLivenessDefinitionsInstantiate) {
+  trees::CtlArena arena(words::Alphabet::binary());
+  const TreeLanguageOps ops = make_ops();
+  // AG (a|b) is everything over {a,b} — safety AND liveness. AF b is
+  // universally live (its closure is everything) but not safe.
+  const RabinTreeAutomaton ag = rabin::from_ctl(arena, *arena.parse("AG (a | b)"), 2);
+  const RabinTreeAutomaton af_b = rabin::from_ctl(arena, *arena.parse("AF b"), 2);
+  const RabinTreeAutomaton root_a = rabin::from_ctl(arena, *arena.parse("a"), 2);
+  EXPECT_TRUE(is_safety_element(ops, RfclClosureFn{}, ag));
+  EXPECT_TRUE(is_liveness_element(ops, RfclClosureFn{}, af_b));
+  EXPECT_FALSE(is_safety_element(ops, RfclClosureFn{}, af_b));
+  EXPECT_TRUE(is_safety_element(ops, RfclClosureFn{}, root_a));
+  EXPECT_FALSE(is_liveness_element(ops, RfclClosureFn{}, root_a));
+}
+
+TEST(TreeInstance, JoinReshapingPreservesTheUnion) {
+  trees::CtlArena arena(words::Alphabet::binary());
+  const TreeLanguageOps ops = make_ops();
+  const auto autos = samples(arena);
+  // join must equal the plain union semantically.
+  for (const auto& a : autos) {
+    for (const auto& b : autos) {
+      const RabinTreeAutomaton joined = ops.join(a, b);
+      const RabinTreeAutomaton plain = rabin::unite(a, b);
+      EXPECT_TRUE(ops.equal(joined, plain));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slat::core

@@ -1,0 +1,161 @@
+#include "finite/dfa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ltl/translate.hpp"
+
+namespace slat::finite {
+namespace {
+
+constexpr Sym kA = 0;
+constexpr Sym kB = 1;
+
+Alphabet binary() { return words::Alphabet::binary(); }
+
+// DFA for "even number of a's" (no minimization possible: already minimal).
+Dfa even_as() {
+  Dfa dfa(binary(), 2, 0);
+  dfa.set_accepting(0, true);
+  dfa.set_transition(0, kA, 1);
+  dfa.set_transition(0, kB, 0);
+  dfa.set_transition(1, kA, 0);
+  dfa.set_transition(1, kB, 1);
+  return dfa;
+}
+
+TEST(Dfa, AcceptsRunsTheWord) {
+  const Dfa dfa = even_as();
+  EXPECT_TRUE(dfa.accepts({}));
+  EXPECT_TRUE(dfa.accepts({kB, kB}));
+  EXPECT_FALSE(dfa.accepts({kA}));
+  EXPECT_TRUE(dfa.accepts({kA, kB, kA}));
+}
+
+TEST(Dfa, MinimizeMergesEquivalentStates) {
+  // Same language as even_as but with a redundant duplicated state.
+  Dfa bloated(binary(), 4, 0);
+  bloated.set_accepting(0, true);
+  bloated.set_accepting(2, true);  // clone of 0
+  bloated.set_transition(0, kA, 1);
+  bloated.set_transition(0, kB, 2);
+  bloated.set_transition(2, kA, 3);
+  bloated.set_transition(2, kB, 0);
+  bloated.set_transition(1, kA, 2);
+  bloated.set_transition(1, kB, 3);
+  bloated.set_transition(3, kA, 0);
+  bloated.set_transition(3, kB, 1);
+  const Dfa minimal = bloated.minimize();
+  EXPECT_EQ(minimal.num_states(), 2);
+  EXPECT_TRUE(minimal.equivalent(even_as()));
+  EXPECT_TRUE(minimal.equivalent(bloated));
+}
+
+TEST(Dfa, MinimizeDropsUnreachableStates) {
+  Dfa dfa(binary(), 3, 0);
+  dfa.set_accepting(0, true);
+  dfa.set_transition(0, kA, 0);
+  dfa.set_transition(0, kB, 0);
+  dfa.set_transition(1, kA, 2);  // unreachable island
+  dfa.set_transition(1, kB, 2);
+  dfa.set_transition(2, kA, 1);
+  dfa.set_transition(2, kB, 1);
+  EXPECT_EQ(dfa.minimize().num_states(), 1);
+}
+
+TEST(Dfa, EquivalentDetectsDifferences) {
+  Dfa always(binary(), 1, 0);
+  always.set_accepting(0, true);
+  always.set_transition(0, kA, 0);
+  always.set_transition(0, kB, 0);
+  EXPECT_FALSE(always.equivalent(even_as()));
+  EXPECT_TRUE(always.equivalent(always));
+}
+
+TEST(Dfa, ShortestAcceptedWord) {
+  // Language: words containing "ab".
+  Dfa dfa(binary(), 3, 0);
+  dfa.set_transition(0, kA, 1);
+  dfa.set_transition(0, kB, 0);
+  dfa.set_transition(1, kA, 1);
+  dfa.set_transition(1, kB, 2);
+  dfa.set_transition(2, kA, 2);
+  dfa.set_transition(2, kB, 2);
+  dfa.set_accepting(2, true);
+  const auto word = dfa.shortest_accepted();
+  ASSERT_TRUE(word.has_value());
+  EXPECT_EQ(*word, (Word{kA, kB}));
+  // Empty language: no accepted word.
+  Dfa never(binary(), 1, 0);
+  never.set_transition(0, kA, 0);
+  never.set_transition(0, kB, 0);
+  EXPECT_FALSE(never.shortest_accepted().has_value());
+}
+
+TEST(Dfa, ComplementFlipsMembership) {
+  const Dfa dfa = even_as();
+  const Dfa comp = dfa.complemented();
+  for (const Word& w : {Word{}, Word{kA}, Word{kA, kA}, Word{kB, kA, kB}}) {
+    EXPECT_NE(dfa.accepts(w), comp.accepts(w));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bad-prefix / good-prefix DFAs from safety automata
+// ---------------------------------------------------------------------------
+
+class BadPrefixFixture : public ::testing::Test {
+ protected:
+  ltl::LtlArena arena{binary()};
+
+  buchi::DetSafety det(const char* text) {
+    return buchi::DetSafety::from_nba(ltl::to_nba(arena, *arena.parse(text)));
+  }
+};
+
+TEST_F(BadPrefixFixture, GaBadPrefixesAreWordsWithB) {
+  const Dfa bad = bad_prefix_dfa(det("G a"));
+  EXPECT_TRUE(bad.is_extension_closed());  // bad prefixes stay bad
+  EXPECT_FALSE(bad.accepts({}));
+  EXPECT_FALSE(bad.accepts({kA, kA}));
+  EXPECT_TRUE(bad.accepts({kB}));
+  EXPECT_TRUE(bad.accepts({kA, kB, kA}));
+  EXPECT_EQ(*bad.shortest_accepted(), (Word{kB}));
+  EXPECT_EQ(bad.num_states(), 2);  // minimal: safe / dead
+}
+
+TEST_F(BadPrefixFixture, GoodAndBadAreComplements) {
+  for (const char* text : {"G a", "a & F !a", "G (a -> X !a)", "a U b"}) {
+    const Dfa good = good_prefix_dfa(det(text));
+    const Dfa bad = bad_prefix_dfa(det(text));
+    EXPECT_TRUE(good.equivalent(bad.complemented())) << text;
+    EXPECT_TRUE(bad.is_extension_closed()) << text;
+  }
+}
+
+TEST_F(BadPrefixFixture, LivenessHasNoBadPrefixes) {
+  const Dfa bad = bad_prefix_dfa(det("G F a"));
+  EXPECT_FALSE(bad.shortest_accepted().has_value());
+  EXPECT_EQ(bad.num_states(), 1);  // minimal: everything good
+}
+
+TEST_F(BadPrefixFixture, MinimizationNeverGrowsTheMonitor) {
+  for (const char* text : {"G a", "a & F !a", "G (a -> X !a)", "G (a | X a)"}) {
+    const buchi::DetSafety raw = det(text);
+    const Dfa minimal = good_prefix_dfa(raw);
+    EXPECT_LE(minimal.num_states(), raw.num_states()) << text;
+    // And agrees with the raw safety automaton on prefixes.
+    for (const Word& w :
+         {Word{}, Word{kA}, Word{kB}, Word{kA, kB}, Word{kA, kA, kB, kA}}) {
+      EXPECT_EQ(minimal.accepts(w), raw.accepts_prefix(w)) << text;
+    }
+  }
+}
+
+TEST_F(BadPrefixFixture, ShortestBadPrefixIsTheEarliestViolationWitness) {
+  // For G (a -> X !a), the earliest violation is "aa".
+  const Dfa bad = bad_prefix_dfa(det("G (a -> X !a)"));
+  EXPECT_EQ(*bad.shortest_accepted(), (Word{kA, kA}));
+}
+
+}  // namespace
+}  // namespace slat::finite

@@ -1,0 +1,106 @@
+// The dedicated Büchi-game solver, cross-checked against Zielonka on the
+// parity encoding.
+#include "games/buchi_game.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace slat::games {
+namespace {
+
+TEST(BuchiGameSolver, TargetSelfLoopWinsForPlayerZero) {
+  BuchiGame game;
+  game.add_node(0, true);
+  game.add_edge(0, 0);
+  EXPECT_EQ(solve_buchi(game), std::vector<Player>{0});
+}
+
+TEST(BuchiGameSolver, NonTargetSelfLoopWinsForPlayerOne) {
+  BuchiGame game;
+  game.add_node(0, false);
+  game.add_edge(0, 0);
+  EXPECT_EQ(solve_buchi(game), std::vector<Player>{1});
+}
+
+TEST(BuchiGameSolver, VisitingOnceIsNotEnough) {
+  // 0 (target) -> 1 -> 1, with 1 non-target: the single visit loses.
+  BuchiGame game;
+  game.add_node(0, true);
+  game.add_node(0, false);
+  game.add_edge(0, 1);
+  game.add_edge(1, 1);
+  const auto winner = solve_buchi(game);
+  EXPECT_EQ(winner[0], 1);
+  EXPECT_EQ(winner[1], 1);
+}
+
+TEST(BuchiGameSolver, PlayerZeroDivertsThroughTheTargetCycle) {
+  // 0 (P0) chooses 1 (target with loop back to 0) or 2 (sink, no target).
+  BuchiGame game;
+  game.add_node(0, false);
+  game.add_node(0, true);
+  game.add_node(0, false);
+  game.add_edge(0, 1);
+  game.add_edge(0, 2);
+  game.add_edge(1, 0);
+  game.add_edge(2, 2);
+  const auto winner = solve_buchi(game);
+  EXPECT_EQ(winner[0], 0);
+  EXPECT_EQ(winner[1], 0);
+  EXPECT_EQ(winner[2], 1);
+}
+
+TEST(BuchiGameSolver, PathfinderAvoidsTheTarget) {
+  // 1-owned branch point: P1 avoids the target loop.
+  BuchiGame game;
+  game.add_node(1, false);
+  game.add_node(0, true);
+  game.add_node(0, false);
+  game.add_edge(0, 1);
+  game.add_edge(0, 2);
+  game.add_edge(1, 0);
+  game.add_edge(2, 2);
+  EXPECT_EQ(solve_buchi(game)[0], 1);
+}
+
+TEST(BuchiGameSolver, AgreesWithZielonkaOnRandomGames) {
+  std::mt19937 rng(163);
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    std::uniform_int_distribution<int> nodes_dist(1, 10);
+    const int n = nodes_dist(rng);
+    std::uniform_int_distribution<int> owner_dist(0, 1), node_dist(0, n - 1),
+        extra_dist(0, 2);
+    std::bernoulli_distribution is_target(0.3);
+    BuchiGame game;
+    for (int v = 0; v < n; ++v) game.add_node(owner_dist(rng), is_target(rng));
+    for (int v = 0; v < n; ++v) {
+      const int edges = 1 + extra_dist(rng);
+      for (int e = 0; e < edges; ++e) game.add_edge(v, node_dist(rng));
+    }
+    const auto direct = solve_buchi(game);
+    const auto via_parity = solve(game.to_parity());
+    for (int v = 0; v < n; ++v) {
+      ASSERT_EQ(direct[v], via_parity.winner[v]) << "iteration " << iteration;
+    }
+  }
+}
+
+TEST(BuchiGameSolver, LargerRandomGameMatchesZielonka) {
+  std::mt19937 rng(167);
+  const int n = 500;
+  std::uniform_int_distribution<int> owner_dist(0, 1), node_dist(0, n - 1);
+  std::bernoulli_distribution is_target(0.15);
+  BuchiGame game;
+  for (int v = 0; v < n; ++v) game.add_node(owner_dist(rng), is_target(rng));
+  for (int v = 0; v < n; ++v) {
+    game.add_edge(v, node_dist(rng));
+    game.add_edge(v, node_dist(rng));
+  }
+  const auto direct = solve_buchi(game);
+  const auto via_parity = solve(game.to_parity());
+  for (int v = 0; v < n; ++v) ASSERT_EQ(direct[v], via_parity.winner[v]);
+}
+
+}  // namespace
+}  // namespace slat::games

@@ -1,0 +1,197 @@
+#include "games/parity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace slat::games {
+namespace {
+
+// Independent validation of a claimed solution: winning regions must be
+// closed (the winner's strategy stays inside; the loser cannot escape), and
+// in the strategy-restricted subgraph of player w's region every cycle must
+// have max priority of parity w.
+void expect_solution_valid(const ParityGame& game, const ParitySolution& solution) {
+  const int n = game.num_nodes();
+  for (int v = 0; v < n; ++v) {
+    const Player w = solution.winner[v];
+    ASSERT_TRUE(w == 0 || w == 1);
+    if (game.owner[v] == w) {
+      const int target = solution.strategy[v];
+      ASSERT_NE(target, -1) << "winner-owned node " << v << " lacks a strategy";
+      EXPECT_EQ(solution.winner[target], w) << "strategy leaves the region at " << v;
+    } else {
+      for (int succ : game.successors[v]) {
+        EXPECT_EQ(solution.winner[succ], w)
+            << "loser escapes the region via " << v << " -> " << succ;
+      }
+    }
+  }
+  // Cycle parity check per region.
+  for (Player w : {0, 1}) {
+    // Restricted successor lists.
+    std::vector<std::vector<int>> graph(n);
+    for (int v = 0; v < n; ++v) {
+      if (solution.winner[v] != w) continue;
+      if (game.owner[v] == w) {
+        graph[v] = {solution.strategy[v]};
+      } else {
+        graph[v] = game.successors[v];
+      }
+    }
+    // A "bad" cycle has max priority of parity 1-w. For each priority p of
+    // parity 1-w, look for a cycle through a p-node using only nodes with
+    // priority ≤ p inside the region.
+    int max_priority = 0;
+    for (int v = 0; v < n; ++v) max_priority = std::max(max_priority, game.priority[v]);
+    for (int p = 0; p <= max_priority; ++p) {
+      if (p % 2 == w) continue;  // this parity favors w; not a bad cycle
+      for (int start = 0; start < n; ++start) {
+        if (solution.winner[start] != w || game.priority[start] != p) continue;
+        // BFS from start through nodes with priority ≤ p, looking for start.
+        std::vector<bool> seen(n, false);
+        std::vector<int> stack{start};
+        bool found = false;
+        while (!stack.empty() && !found) {
+          const int v = stack.back();
+          stack.pop_back();
+          for (int succ : graph[v]) {
+            if (game.priority[succ] > p || solution.winner[succ] != w) continue;
+            if (succ == start) {
+              found = true;
+              break;
+            }
+            if (!seen[succ]) {
+              seen[succ] = true;
+              stack.push_back(succ);
+            }
+          }
+        }
+        EXPECT_FALSE(found) << "bad cycle of max priority " << p << " through node "
+                            << start << " in region of player " << w;
+      }
+    }
+  }
+}
+
+TEST(Attractor, PullsForcedNodes) {
+  // 0 (P0) -> 1 (target); 2 (P1) -> 1 and 2 -> 3; 3 (P1) -> 3.
+  ParityGame game;
+  game.add_node(0, 0);
+  game.add_node(0, 0);
+  game.add_node(1, 0);
+  game.add_node(1, 0);
+  game.add_edge(0, 1);
+  game.add_edge(2, 1);
+  game.add_edge(2, 3);
+  game.add_edge(3, 3);
+  game.add_edge(1, 1);
+  std::vector<bool> active(4, true), target(4, false);
+  target[1] = true;
+  std::vector<int> strategy(4, -1);
+  const auto attracted = attractor(game, 0, active, target, &strategy);
+  EXPECT_TRUE(attracted[1]);
+  EXPECT_TRUE(attracted[0]);   // P0 can move into the target
+  EXPECT_FALSE(attracted[2]);  // P1 escapes to 3
+  EXPECT_FALSE(attracted[3]);
+  EXPECT_EQ(strategy[0], 1);
+}
+
+TEST(Attractor, OpponentForcedWhenAllSuccessorsAttracted) {
+  // 2 (P1) has successors 0 and 1, both targets.
+  ParityGame game;
+  game.add_node(0, 0);
+  game.add_node(0, 0);
+  game.add_node(1, 0);
+  game.add_edge(2, 0);
+  game.add_edge(2, 1);
+  game.add_edge(0, 0);
+  game.add_edge(1, 1);
+  std::vector<bool> active(3, true), target(3, false);
+  target[0] = target[1] = true;
+  const auto attracted = attractor(game, 0, active, target, nullptr);
+  EXPECT_TRUE(attracted[2]);
+}
+
+TEST(Zielonka, SingleNodeSelfLoop) {
+  for (int priority = 0; priority <= 3; ++priority) {
+    ParityGame game;
+    game.add_node(0, priority);
+    game.add_edge(0, 0);
+    const auto solution = solve(game);
+    EXPECT_EQ(solution.winner[0], priority % 2) << priority;
+  }
+}
+
+TEST(Zielonka, ChoiceBetweenGoodAndBadLoop) {
+  // P0 at node 0 chooses between an even loop (1) and an odd loop (2).
+  ParityGame game;
+  game.add_node(0, 1);
+  game.add_node(0, 2);
+  game.add_node(0, 1);
+  game.add_edge(0, 1);
+  game.add_edge(0, 2);
+  game.add_edge(1, 1);
+  game.add_edge(2, 2);
+  const auto solution = solve(game);
+  EXPECT_EQ(solution.winner[0], 0);
+  EXPECT_EQ(solution.strategy[0], 1);
+  expect_solution_valid(game, solution);
+  // Same arena but P1 to move: P1 picks the odd loop.
+  ParityGame flipped = game;
+  flipped.owner[0] = 1;
+  const auto other = solve(flipped);
+  EXPECT_EQ(other.winner[0], 1);
+  EXPECT_EQ(other.strategy[0], 2);
+  expect_solution_valid(flipped, other);
+}
+
+TEST(Zielonka, AlternationNeedsHigherPriority) {
+  // Cycle 0 -> 1 -> 0 with priorities 1 and 2: max on the cycle is 2, even,
+  // so player 0 wins regardless of owners.
+  ParityGame game;
+  game.add_node(1, 1);
+  game.add_node(0, 2);
+  game.add_edge(0, 1);
+  game.add_edge(1, 0);
+  const auto solution = solve(game);
+  EXPECT_EQ(solution.winner[0], 0);
+  EXPECT_EQ(solution.winner[1], 0);
+  expect_solution_valid(game, solution);
+}
+
+TEST(Zielonka, RandomGamesProduceValidSolutions) {
+  std::mt19937 rng(83);
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    std::uniform_int_distribution<int> num_nodes_dist(1, 8);
+    const int n = num_nodes_dist(rng);
+    std::uniform_int_distribution<int> owner_dist(0, 1), priority_dist(0, 5),
+        node_dist(0, n - 1), extra_dist(0, 2);
+    ParityGame game;
+    for (int v = 0; v < n; ++v) game.add_node(owner_dist(rng), priority_dist(rng));
+    for (int v = 0; v < n; ++v) {
+      const int edges = 1 + extra_dist(rng);
+      for (int e = 0; e < edges; ++e) game.add_edge(v, node_dist(rng));
+    }
+    const auto solution = solve(game);
+    expect_solution_valid(game, solution);
+  }
+}
+
+TEST(Zielonka, LargerRandomGamesSolveAndValidate) {
+  std::mt19937 rng(89);
+  std::uniform_int_distribution<int> owner_dist(0, 1), priority_dist(0, 7);
+  const int n = 200;
+  std::uniform_int_distribution<int> node_dist(0, n - 1);
+  ParityGame game;
+  for (int v = 0; v < n; ++v) game.add_node(owner_dist(rng), priority_dist(rng));
+  for (int v = 0; v < n; ++v) {
+    game.add_edge(v, node_dist(rng));
+    game.add_edge(v, node_dist(rng));
+  }
+  const auto solution = solve(game);
+  expect_solution_valid(game, solution);
+}
+
+}  // namespace
+}  // namespace slat::games

@@ -1,0 +1,133 @@
+#include "games/rabin_game.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace slat::games {
+namespace {
+
+TEST(IarExpansion, TrivialGreenPairMakesPlayerZeroWin) {
+  // One node, self-loop, green for pair 0 and never red: player 0 wins.
+  RabinGame game;
+  game.num_pairs = 1;
+  game.add_node(0, RabinMarks{.green = 1u, .red = 0u});
+  game.add_edge(0, 0);
+  const auto solution = solve_rabin(game);
+  EXPECT_EQ(solution.winner[0], 0);
+}
+
+TEST(IarExpansion, RedOnTheOnlyCycleMakesPlayerOneWin) {
+  RabinGame game;
+  game.num_pairs = 1;
+  game.add_node(0, RabinMarks{.green = 1u, .red = 1u});
+  game.add_edge(0, 0);
+  EXPECT_EQ(solve_rabin(game).winner[0], 1);
+}
+
+TEST(IarExpansion, NoPairsMeansPlayerOneWinsEverything) {
+  RabinGame game;
+  game.num_pairs = 0;
+  game.add_node(0, RabinMarks{});
+  game.add_edge(0, 0);
+  EXPECT_EQ(solve_rabin(game).winner[0], 1);
+}
+
+TEST(IarExpansion, PlayerZeroPicksTheGoodLoop) {
+  // Node 0 (P0) chooses between a green self-loop (1) and a red one (2).
+  RabinGame game;
+  game.num_pairs = 1;
+  game.add_node(0, RabinMarks{});
+  game.add_node(0, RabinMarks{.green = 1u, .red = 0u});
+  game.add_node(0, RabinMarks{.green = 0u, .red = 1u});
+  game.add_edge(0, 1);
+  game.add_edge(0, 2);
+  game.add_edge(1, 1);
+  game.add_edge(2, 2);
+  const auto solution = solve_rabin(game);
+  EXPECT_EQ(solution.winner[0], 0);
+  EXPECT_EQ(solution.winner[1], 0);
+  EXPECT_EQ(solution.winner[2], 1);
+}
+
+TEST(IarExpansion, PathfinderPicksTheBadLoop) {
+  RabinGame game;
+  game.num_pairs = 1;
+  game.add_node(1, RabinMarks{});
+  game.add_node(0, RabinMarks{.green = 1u, .red = 0u});
+  game.add_node(0, RabinMarks{.green = 0u, .red = 1u});
+  game.add_edge(0, 1);
+  game.add_edge(0, 2);
+  game.add_edge(1, 1);
+  game.add_edge(2, 2);
+  EXPECT_EQ(solve_rabin(game).winner[0], 1);
+}
+
+TEST(IarExpansion, TwoPairsEitherSuffices) {
+  // A loop alternating: node 0 green for pair 0 / red for pair 1, node 1
+  // red for pair 0 / green for pair 1. The forced play visits both
+  // infinitely: pair 0 has inf green AND inf red (bad); pair 1 likewise.
+  // Player 1 wins. Adding a node green-for-0 only (no red) flips it.
+  RabinGame game;
+  game.num_pairs = 2;
+  game.add_node(0, RabinMarks{.green = 1u, .red = 2u});
+  game.add_node(0, RabinMarks{.green = 2u, .red = 1u});
+  game.add_edge(0, 1);
+  game.add_edge(1, 0);
+  EXPECT_EQ(solve_rabin(game).winner[0], 1);
+
+  RabinGame richer = game;
+  const int extra = richer.add_node(0, RabinMarks{.green = 1u, .red = 0u});
+  richer.add_edge(1, extra);   // player 0 may divert to a clean green loop
+  richer.add_edge(extra, extra);
+  const auto solution = solve_rabin(richer);
+  EXPECT_EQ(solution.winner[0], 0);
+  EXPECT_EQ(solution.winner[extra], 0);
+}
+
+TEST(IarExpansion, MatchesBruteForceOnRandomGames) {
+  std::mt19937 rng(97);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    std::uniform_int_distribution<int> nodes_dist(1, 5), pairs_dist(1, 2);
+    const int n = nodes_dist(rng);
+    RabinGame game;
+    game.num_pairs = pairs_dist(rng);
+    std::uniform_int_distribution<int> owner_dist(0, 1), node_dist(0, n - 1),
+        extra_dist(0, 1);
+    std::uniform_int_distribution<std::uint32_t> mask_dist(0, (1u << game.num_pairs) - 1);
+    for (int v = 0; v < n; ++v) {
+      game.add_node(owner_dist(rng), RabinMarks{mask_dist(rng), mask_dist(rng)});
+    }
+    for (int v = 0; v < n; ++v) {
+      const int edges = 1 + extra_dist(rng);
+      for (int e = 0; e < edges; ++e) game.add_edge(v, node_dist(rng));
+    }
+    const auto fast = solve_rabin(game);
+    const auto slow = solve_rabin_brute_force(game);
+    for (int v = 0; v < n; ++v) {
+      ASSERT_EQ(fast.winner[v], slow[v])
+          << "iteration " << iteration << " node " << v;
+    }
+  }
+}
+
+TEST(IarExpansion, RecordGrowthIsBounded) {
+  // The expansion is at most |nodes| · |pairs|! Automaton nodes plus the
+  // intermediate nodes; check a 3-pair game stays within the bound.
+  RabinGame game;
+  game.num_pairs = 3;
+  std::mt19937 rng(101);
+  std::uniform_int_distribution<int> node_dist(0, 3);
+  std::uniform_int_distribution<std::uint32_t> mask_dist(0, 7);
+  for (int v = 0; v < 4; ++v) game.add_node(v % 2, RabinMarks{mask_dist(rng), mask_dist(rng)});
+  for (int v = 0; v < 4; ++v) {
+    game.add_edge(v, node_dist(rng));
+    game.add_edge(v, node_dist(rng));
+  }
+  const auto expansion = expand_iar(game);
+  EXPECT_LE(expansion.parity.num_nodes(), 4 * 6 + 1);  // 4 nodes · 3! records
+  EXPECT_TRUE(expansion.parity.is_total());
+}
+
+}  // namespace
+}  // namespace slat::games

@@ -1,0 +1,114 @@
+// Degenerate inputs across modules: one-element lattices, one-letter
+// alphabets, trivial automata, singleton trees — the places where an
+// off-by-one traditionally hides.
+#include <gtest/gtest.h>
+
+#include "buchi/safety.hpp"
+#include "lattice/constructions.hpp"
+#include "lattice/enumerate.hpp"
+#include "lattice/decomposition.hpp"
+#include "ltl/translate.hpp"
+#include "monitor/monitor.hpp"
+#include "rabin/examples.hpp"
+#include "rabin/from_ctl.hpp"
+#include "trees/closures.hpp"
+
+namespace slat {
+namespace {
+
+TEST(EdgeCases, OneElementLattice) {
+  // chain(1): bottom = top; the unique element is its own complement, and
+  // every theorem holds vacuously.
+  const lattice::FiniteLattice lattice = lattice::chain(1);
+  EXPECT_EQ(lattice.size(), 1);
+  EXPECT_EQ(lattice.bottom(), lattice.top());
+  EXPECT_TRUE(lattice.is_boolean());
+  EXPECT_TRUE(lattice.is_paper_setting());
+  const lattice::LatticeClosure cl = lattice::LatticeClosure::identity(lattice);
+  EXPECT_EQ(lattice::verify_theorem3(lattice, cl, cl), std::nullopt);
+  // The unique element is simultaneously a safety and a liveness element.
+  EXPECT_TRUE(cl.is_safety_element(0));
+  EXPECT_TRUE(cl.is_liveness_element(0));
+}
+
+TEST(EdgeCases, BooleanLatticeOfDimensionZero) {
+  const lattice::FiniteLattice lattice = lattice::boolean_lattice(0);
+  EXPECT_EQ(lattice.size(), 1);
+  EXPECT_TRUE(lattice.satisfies_lattice_axioms());
+}
+
+TEST(EdgeCases, SingleLetterAlphabet) {
+  // Σ = {s0}: the only ω-word is s0^ω; every property is Σ^ω or ∅.
+  const words::Alphabet unary = words::Alphabet::of_size(1);
+  const auto corpus = words::enumerate_up_words(1, 3, 3);
+  ASSERT_EQ(corpus.size(), 1u);
+  const buchi::Nba universal = buchi::Nba::universal(unary);
+  const buchi::Nba empty = buchi::Nba::empty_language(unary);
+  EXPECT_EQ(buchi::classify(universal), buchi::SafetyClass::kSafetyAndLiveness);
+  EXPECT_EQ(buchi::classify(empty), buchi::SafetyClass::kSafety);
+  const buchi::BuchiDecomposition d = buchi::decompose(universal);
+  EXPECT_TRUE(buchi::intersect(d.safety, d.liveness).accepts(corpus[0]));
+}
+
+TEST(EdgeCases, LtlOverSingleLetterAlphabet) {
+  ltl::LtlArena arena(words::Alphabet::of_size(1));
+  const auto f = arena.parse("G s0");
+  ASSERT_TRUE(f.has_value());
+  const buchi::Nba nba = ltl::to_nba(arena, *f);
+  EXPECT_TRUE(nba.accepts(words::UpWord::constant(0)));
+  const auto g = arena.parse("F !s0");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_TRUE(ltl::to_nba(arena, *g).is_empty());
+}
+
+TEST(EdgeCases, SelfLoopOnlyTreeAndUnaryBranching) {
+  // k = 1 Rabin automata act on sequences; the single unary constant tree.
+  trees::CtlArena arena(words::Alphabet::binary());
+  const rabin::RabinTreeAutomaton af_b = rabin::from_ctl(arena, *arena.parse("AF b"), 1);
+  const trees::KTree a_seq = trees::KTree::constant(words::Alphabet::binary(), 0, 1);
+  const trees::KTree b_seq = trees::KTree::constant(words::Alphabet::binary(), 1, 1);
+  EXPECT_FALSE(af_b.accepts(a_seq));
+  EXPECT_TRUE(af_b.accepts(b_seq));
+}
+
+TEST(EdgeCases, EmptyWordPrefixAndZeroTruncation) {
+  // truncate(0) is the bare root; every property with a satisfiable
+  // extension from a bare root keeps it extendable.
+  const trees::KTree tree = trees::KTree::constant(words::Alphabet::binary(), 0, 2);
+  const trees::KTree root_only = tree.truncate(0);
+  EXPECT_EQ(root_only.num_nodes(), 1);
+  const rabin::RabinTreeAutomaton all = rabin::aut_all_trees();
+  EXPECT_TRUE(all.accepts_some_extension(root_only));
+}
+
+TEST(EdgeCases, MonitorOnEmptyTrace) {
+  ltl::LtlArena arena(words::Alphabet::binary());
+  monitor::SafetyMonitor monitor =
+      monitor::SafetyMonitor::from_ltl(arena, *arena.parse("G a"));
+  EXPECT_EQ(monitor.run({}), std::nullopt);  // nothing violated yet
+  monitor::SafetyMonitor impossible =
+      monitor::SafetyMonitor::from_ltl(arena, *arena.parse("false"));
+  EXPECT_TRUE(impossible.violated());  // even the empty trace is doomed
+}
+
+TEST(EdgeCases, UpWordSuffixBeyondPrefix) {
+  const words::UpWord w({0, 1}, {1, 0});
+  const words::UpWord far = w.suffix(100);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(far.at(i), w.at(i + 100));
+  }
+}
+
+TEST(EdgeCases, DecomposeBottomAndTop) {
+  const lattice::FiniteLattice lattice = lattice::m3();
+  lattice::for_each_closure(lattice, [&](const lattice::LatticeClosure& cl) {
+    for (lattice::Elem a : {lattice.bottom(), lattice.top()}) {
+      const auto d = lattice::decompose(lattice, cl, a);
+      ASSERT_TRUE(d.has_value());
+      EXPECT_TRUE(lattice::is_valid_decomposition(lattice, cl, cl, a, *d));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace slat

@@ -1,0 +1,166 @@
+// Failure injection: the differential oracles and law checkers must CATCH
+// deliberately broken artifacts. A verifier that never fires is no
+// verifier; these tests tamper with correct constructions and assert the
+// checks notice.
+#include <gtest/gtest.h>
+
+#include "buchi/language.hpp"
+#include "buchi/safety.hpp"
+#include "core/concepts.hpp"
+#include "core/instances.hpp"
+#include "lattice/constructions.hpp"
+#include "lattice/decomposition.hpp"
+#include "ltl/eval.hpp"
+#include "ltl/translate.hpp"
+
+namespace slat {
+namespace {
+
+using buchi::Nba;
+
+constexpr words::Sym kA = 0;
+constexpr words::Sym kB = 1;
+
+TEST(Mutation, DroppedTransitionIsCaughtByTheWordCorpus) {
+  // Remove a transition from the p3 automaton: the corpus notices.
+  ltl::LtlArena arena(words::Alphabet::binary());
+  const Nba good = ltl::to_nba(arena, *arena.parse("a & F !a"));
+  // Rebuild without one transition.
+  Nba bad(good.alphabet(), good.num_states(), good.initial());
+  bool dropped = false;
+  for (buchi::State q = 0; q < good.num_states(); ++q) {
+    bad.set_accepting(q, good.is_accepting(q));
+    for (words::Sym s = 0; s < 2; ++s) {
+      for (buchi::State to : good.successors(q, s)) {
+        if (!dropped && good.is_accepting(to)) {
+          dropped = true;  // skip the first transition into an accepting state
+          continue;
+        }
+        bad.add_transition(q, s, to);
+      }
+    }
+  }
+  ASSERT_TRUE(dropped);
+  const auto corpus = words::enumerate_up_words(2, 3, 3);
+  EXPECT_NE(buchi::find_disagreement(good, bad, corpus), std::nullopt);
+}
+
+TEST(Mutation, FlippedAcceptanceIsCaughtByClassification) {
+  // Make every state of the GFa automaton accepting: it degenerates to a
+  // safety-shaped language and the classifier must stop saying "liveness".
+  Nba gfa(words::Alphabet::binary(), 2, 0);
+  gfa.add_transition(0, kA, 1);
+  gfa.add_transition(0, kB, 0);
+  gfa.add_transition(1, kA, 1);
+  gfa.add_transition(1, kB, 0);
+  gfa.set_accepting(1, true);
+  ASSERT_EQ(buchi::classify(gfa), buchi::SafetyClass::kLiveness);
+  Nba tampered = gfa;
+  tampered.set_accepting(0, true);
+  EXPECT_NE(buchi::classify(tampered), buchi::SafetyClass::kLiveness);
+}
+
+TEST(Mutation, WrongSafetyPartBreaksTheDecompositionIdentity) {
+  // Swap the decomposition's safety part for a WEAKER safety property: the
+  // meet no longer equals the specification on the corpus... unless the
+  // liveness part compensates — which the canonical liveness part of a
+  // DIFFERENT spec cannot. Cross the parts of two different specs.
+  ltl::LtlArena arena(words::Alphabet::binary());
+  const Nba spec_a = ltl::to_nba(arena, *arena.parse("a & F !a"));
+  const Nba spec_b = ltl::to_nba(arena, *arena.parse("!a & F a"));
+  const buchi::BuchiDecomposition da = buchi::decompose(spec_a);
+  const buchi::BuchiDecomposition db = buchi::decompose(spec_b);
+  const Nba crossed = buchi::intersect(db.safety, da.liveness);
+  const auto corpus = words::enumerate_up_words(2, 3, 3);
+  EXPECT_NE(buchi::find_disagreement(crossed, spec_a, corpus), std::nullopt);
+}
+
+TEST(Mutation, NonClosureMapIsRejected) {
+  // All three closure laws are individually enforced.
+  const lattice::FiniteLattice lattice = lattice::boolean_lattice(2);
+  // 0=∅,1={x},2={y},3={x,y}.
+  EXPECT_TRUE(lattice::LatticeClosure::from_map(lattice, {0, 1, 2, 3}).has_value());
+  // Break extensivity.
+  EXPECT_FALSE(lattice::LatticeClosure::from_map(lattice, {0, 0, 2, 3}).has_value());
+  // Break idempotence (1 -> 3 but 0 -> 1).
+  EXPECT_FALSE(lattice::LatticeClosure::from_map(lattice, {1, 3, 2, 3}).has_value());
+  // Break monotonicity (∅ -> {x,y} but {x} -> {x}).
+  EXPECT_FALSE(lattice::LatticeClosure::from_map(lattice, {3, 1, 2, 3}).has_value());
+}
+
+TEST(Mutation, GenericLawCheckersFireOnBrokenOps) {
+  // A "lattice" whose join is wrong fails the absorption law check.
+  struct BrokenOps {
+    using Element = std::uint32_t;
+    Element meet(Element a, Element b) const { return a & b; }
+    Element join(Element a, Element b) const { return a ^ b; }  // wrong!
+    Element top() const { return 0b111; }
+    Element bottom() const { return 0; }
+    bool equal(Element a, Element b) const { return a == b; }
+    bool leq(Element a, Element b) const { return (a & b) == a; }
+    Element complement(Element a) const { return top() & ~a; }
+  };
+  static_assert(core::ComplementedLattice<BrokenOps>);
+  std::vector<std::uint32_t> samples{0b000, 0b001, 0b011, 0b111};
+  EXPECT_FALSE(core::lattice_laws_hold(BrokenOps{}, samples));
+  EXPECT_TRUE(core::lattice_laws_hold(core::PowersetOps(3), samples));
+}
+
+TEST(Mutation, BrokenClosureFailsTheGenericLaws) {
+  const core::PowersetOps ops(3);
+  std::vector<std::uint32_t> samples;
+  for (std::uint32_t m = 0; m <= ops.top(); ++m) samples.push_back(m);
+  // Not idempotent: adds one missing bit per application.
+  const auto creeping = [&](std::uint32_t a) {
+    for (int bit = 0; bit < 3; ++bit) {
+      if (!(a >> bit & 1u)) return a | (1u << bit);
+    }
+    return a;
+  };
+  EXPECT_FALSE(core::closure_laws_hold(ops, creeping, samples));
+  // Not extensive: clears a bit.
+  const auto shrinking = [&](std::uint32_t a) { return a & ~1u; };
+  EXPECT_FALSE(core::closure_laws_hold(ops, shrinking, samples));
+}
+
+TEST(Mutation, InvalidDecompositionIsRejected) {
+  const lattice::FiniteLattice lattice = lattice::boolean_lattice(3);
+  const lattice::LatticeClosure cl =
+      lattice::LatticeClosure::from_closed_set(lattice, {0b011});
+  const lattice::Elem a = 0b001;
+  auto d = lattice::decompose(lattice, cl, a);
+  ASSERT_TRUE(d.has_value());
+  ASSERT_TRUE(lattice::is_valid_decomposition(lattice, cl, cl, a, *d));
+  // Tamper with each component in turn.
+  auto wrong_safety = *d;
+  wrong_safety.safety = a;  // a is not closed under cl
+  EXPECT_FALSE(lattice::is_valid_decomposition(lattice, cl, cl, a, wrong_safety));
+  auto wrong_liveness = *d;
+  wrong_liveness.liveness = cl.apply(a);  // closed, but not live
+  EXPECT_FALSE(lattice::is_valid_decomposition(lattice, cl, cl, a, wrong_liveness));
+  auto wrong_meet = *d;
+  wrong_meet.safety = lattice.top();
+  wrong_meet.liveness = lattice.top();
+  EXPECT_FALSE(lattice::is_valid_decomposition(lattice, cl, cl, a, wrong_meet));
+}
+
+TEST(Mutation, EvaluatorCatchesAWrongTableau) {
+  // Simulate a buggy translation by translating the WRONG formula and
+  // letting the differential harness spot it — the shape of every
+  // translate-test failure this suite would produce.
+  ltl::LtlArena arena(words::Alphabet::binary());
+  const auto spec = *arena.parse("G (a -> F b)");
+  const auto wrong = *arena.parse("G (a -> X b)");
+  const Nba nba = ltl::to_nba(arena, wrong);
+  bool caught = false;
+  for (const auto& w : words::enumerate_up_words(2, 3, 3)) {
+    if (nba.accepts(w) != ltl::holds(arena, spec, w)) {
+      caught = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(caught);
+}
+
+}  // namespace
+}  // namespace slat

@@ -1,0 +1,128 @@
+// Cross-module integration: LTL → Büchi → decomposition → monitor, and the
+// linear-time/branching-time bridge (a sequence is a unary tree, so LTL on
+// UP-words must agree with branching-time oracles on the matching trees).
+#include <gtest/gtest.h>
+
+#include "buchi/language.hpp"
+#include "buchi/safety.hpp"
+#include "ltl/eval.hpp"
+#include "ltl/translate.hpp"
+#include "monitor/monitor.hpp"
+#include "trees/closures.hpp"
+#include "trees/ctl.hpp"
+#include "trees/rem_branching.hpp"
+
+namespace slat {
+namespace {
+
+constexpr words::Sym kA = 0;
+constexpr words::Sym kB = 1;
+
+// The unary regular tree of an ultimately periodic word.
+trees::KTree tree_of_word(const words::UpWord& w) {
+  const int p = static_cast<int>(w.prefix_size());
+  const int k = static_cast<int>(w.period_size());
+  trees::KTree tree(words::Alphabet::binary(), p + k, 0);
+  for (int i = 0; i < p + k; ++i) {
+    tree.set_label(i, w.at(i));
+    tree.add_child(i, i + 1 < p + k ? i + 1 : p);
+  }
+  return tree;
+}
+
+TEST(Bridge, SequencesLinkLinearAndBranchingTime) {
+  // On sequences: F b ⟺ AF b ⟺ EF b; G a ⟺ AG a; GF a ⟺ "a-cycle
+  // reachable"; FG b ⟺ "all-b tail".
+  ltl::LtlArena larena(words::Alphabet::binary());
+  trees::CtlArena carena(words::Alphabet::binary());
+  const auto fb = *larena.parse("F b");
+  const auto afb = *carena.parse("AF b");
+  const auto efb = *carena.parse("EF b");
+  const auto ga = *larena.parse("G a");
+  const auto aga = *carena.parse("AG a");
+  for (const auto& w : words::enumerate_up_words(2, 3, 3)) {
+    const trees::KTree tree = tree_of_word(w);
+    ASSERT_TRUE(tree.is_total());
+    EXPECT_EQ(ltl::holds(larena, fb, w), trees::holds(carena, afb, tree));
+    EXPECT_EQ(ltl::holds(larena, fb, w), trees::holds(carena, efb, tree));
+    EXPECT_EQ(ltl::holds(larena, ga, w), trees::holds(carena, aga, tree));
+  }
+}
+
+TEST(Bridge, LinearRemAndBranchingRemAgreeOnSequences) {
+  // q3a/q3b collapse to p3 on sequences; q4a/q4b to p4; q5a/q5b to p5.
+  ltl::LtlArena arena(words::Alphabet::binary());
+  const auto p3 = *arena.parse("a & F !a");
+  const auto p4 = *arena.parse("F G !a");
+  const auto p5 = *arena.parse("G F a");
+  const auto& examples = trees::rem_branching_examples();
+  const auto property = [&](const char* name) {
+    return std::find_if(examples.begin(), examples.end(),
+                        [&](const auto& e) { return e.name == name; })
+        ->property;
+  };
+  for (const auto& w : words::enumerate_up_words(2, 3, 3)) {
+    const trees::KTree tree = tree_of_word(w);
+    EXPECT_EQ(ltl::holds(arena, p3, w), property("q3a").contains(tree));
+    EXPECT_EQ(ltl::holds(arena, p3, w), property("q3b").contains(tree));
+    EXPECT_EQ(ltl::holds(arena, p4, w), property("q4a").contains(tree));
+    EXPECT_EQ(ltl::holds(arena, p4, w), property("q4b").contains(tree));
+    EXPECT_EQ(ltl::holds(arena, p5, w), property("q5a").contains(tree));
+    EXPECT_EQ(ltl::holds(arena, p5, w), property("q5b").contains(tree));
+  }
+}
+
+TEST(Pipeline, SpecificationToMonitor) {
+  // The full applied pipeline: parse a spec, decompose, monitor the safety
+  // part, and confirm the liveness part is monitor-invisible.
+  ltl::LtlArena arena(words::Alphabet::binary());
+  const auto spec = *arena.parse("a & G (a -> X !a) & G F a");
+  const buchi::Nba nba = ltl::to_nba(arena, spec);
+  const buchi::BuchiDecomposition d = buchi::decompose(nba);
+
+  // The liveness part is vacuous for monitoring...
+  EXPECT_TRUE(monitor::SafetyMonitor::from_nba(d.liveness).is_vacuous());
+  // ...and monitoring the spec equals monitoring its safety part.
+  monitor::SafetyMonitor from_spec = monitor::SafetyMonitor::from_nba(nba);
+  monitor::SafetyMonitor from_safety = monitor::SafetyMonitor::from_nba(d.safety);
+  const std::vector<words::Word> traces = {
+      {kA, kB, kA, kB}, {kA, kA}, {kB}, {kA, kB, kB, kB, kA}, {}, {kA, kB, kA, kA}};
+  for (const auto& trace : traces) {
+    EXPECT_EQ(from_spec.run(trace), from_safety.run(trace));
+  }
+  EXPECT_EQ(from_spec.run({kA, kA}), std::optional<std::size_t>(1));
+  EXPECT_EQ(from_spec.run({kB}), std::optional<std::size_t>(0));
+  EXPECT_EQ(from_spec.run({kA, kB, kA, kB}), std::nullopt);
+}
+
+TEST(Pipeline, DecompositionIsMachineClosed) {
+  // Theorem 6 consequence: the safety part of the decomposition equals the
+  // closure of the specification — the strongest monitorable approximation.
+  ltl::LtlArena arena(words::Alphabet::binary());
+  for (const char* text : {"a & F !a", "G (a -> F b)", "a U b"}) {
+    const buchi::Nba nba = ltl::to_nba(arena, *arena.parse(text));
+    const buchi::BuchiDecomposition d = buchi::decompose(nba);
+    EXPECT_TRUE(buchi::is_equivalent(d.safety, buchi::safety_closure(nba))) << text;
+  }
+}
+
+TEST(Pipeline, LtlSafetyClassificationFeedsMonitorability) {
+  ltl::LtlArena arena(words::Alphabet::binary());
+  const struct {
+    const char* text;
+    bool vacuous_monitor;
+  } cases[] = {
+      // lcl(a U b) = Σ^ω: the only words outside a U b are a^ω-shaped, and
+      // every finite prefix of those still extends into the property.
+      {"G a", false},  {"G F a", true},    {"F b", true},
+      {"a U b", true}, {"a & F !a", false}, {"true", true},
+  };
+  for (const auto& c : cases) {
+    const buchi::Nba nba = ltl::to_nba(arena, *arena.parse(c.text));
+    EXPECT_EQ(monitor::SafetyMonitor::from_nba(nba).is_vacuous(), c.vacuous_monitor)
+        << c.text;
+  }
+}
+
+}  // namespace
+}  // namespace slat

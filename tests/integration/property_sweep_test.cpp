@@ -1,0 +1,121 @@
+// Parameterized cross-module property sweeps: every specification in the
+// sweep must satisfy the full bundle of paper-derived invariants at once.
+#include <gtest/gtest.h>
+
+#include "buchi/language.hpp"
+#include "buchi/safety.hpp"
+#include "ltl/eval.hpp"
+#include "ltl/syntactic.hpp"
+#include "ltl/translate.hpp"
+#include "monitor/dfa_monitor.hpp"
+#include "monitor/monitor.hpp"
+
+namespace slat {
+namespace {
+
+class SpecificationSweep : public ::testing::TestWithParam<const char*> {
+ protected:
+  ltl::LtlArena arena{words::Alphabet::binary()};
+  std::vector<words::UpWord> corpus = words::enumerate_up_words(2, 3, 3);
+
+  ltl::FormulaId formula() {
+    const auto f = arena.parse(GetParam());
+    EXPECT_TRUE(f.has_value()) << GetParam();
+    return *f;
+  }
+};
+
+TEST_P(SpecificationSweep, TranslationAgreesWithEvaluator) {
+  const ltl::FormulaId f = formula();
+  const buchi::Nba nba = ltl::to_nba(arena, f);
+  for (const auto& w : corpus) {
+    ASSERT_EQ(nba.accepts(w), ltl::holds(arena, f, w)) << w.to_string(arena.alphabet());
+  }
+}
+
+TEST_P(SpecificationSweep, DecompositionIdentityOnCorpus) {
+  const buchi::Nba nba = ltl::to_nba(arena, formula());
+  const buchi::BuchiDecomposition d = buchi::decompose(nba);
+  const buchi::Nba meet = buchi::intersect(d.safety, d.liveness);
+  for (const auto& w : corpus) {
+    ASSERT_EQ(meet.accepts(w), nba.accepts(w)) << w.to_string(arena.alphabet());
+  }
+}
+
+TEST_P(SpecificationSweep, LivenessPartIsLiveAndPairIsMachineClosed) {
+  const buchi::Nba nba = ltl::to_nba(arena, formula());
+  const buchi::BuchiDecomposition d = buchi::decompose(nba);
+  EXPECT_TRUE(buchi::is_liveness(d.liveness));
+  EXPECT_TRUE(buchi::is_machine_closed(d.safety, d.liveness));
+}
+
+TEST_P(SpecificationSweep, MonitorsAgreeAndMatchTheClosure) {
+  const ltl::FormulaId f = formula();
+  const buchi::Nba nba = ltl::to_nba(arena, f);
+  monitor::SafetyMonitor subset = monitor::SafetyMonitor::from_nba(nba);
+  monitor::DfaMonitor minimal = monitor::DfaMonitor::from_nba(nba);
+  // Exhaustive traces up to length 5.
+  std::vector<words::Word> traces{{}};
+  for (int len = 0; len < 5; ++len) {
+    const std::size_t before = traces.size();
+    for (std::size_t i = 0; i < before; ++i) {
+      if (traces[i].size() != static_cast<std::size_t>(len)) continue;
+      for (words::Sym s = 0; s < 2; ++s) {
+        words::Word next = traces[i];
+        next.push_back(s);
+        traces.push_back(std::move(next));
+      }
+    }
+  }
+  for (const auto& trace : traces) {
+    ASSERT_EQ(subset.run(trace), minimal.run(trace));
+  }
+}
+
+TEST_P(SpecificationSweep, SyntacticFragmentIsConsistentWithSemantics) {
+  const ltl::FormulaId f = formula();
+  const buchi::Nba nba = ltl::to_nba(arena, f);
+  const buchi::SafetyClass semantic = buchi::classify_sampled(nba, corpus);
+  switch (ltl::classify_syntactic(arena, f)) {
+    case ltl::SyntacticClass::kSafety:
+    case ltl::SyntacticClass::kBoth:
+      EXPECT_TRUE(semantic == buchi::SafetyClass::kSafety ||
+                  semantic == buchi::SafetyClass::kSafetyAndLiveness)
+          << GetParam();
+      break;
+    default:
+      break;  // the fragments are sound, not complete: no converse claim
+  }
+}
+
+TEST_P(SpecificationSweep, NegationSwapsAcceptanceOnCorpus) {
+  const ltl::FormulaId f = formula();
+  const buchi::Nba pos = ltl::to_nba(arena, f);
+  const buchi::Nba neg = ltl::to_nba(arena, arena.negation(f));
+  for (const auto& w : corpus) {
+    ASSERT_NE(pos.accepts(w), neg.accepts(w)) << w.to_string(arena.alphabet());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperAndPatternSpecs, SpecificationSweep,
+    ::testing::Values(
+        // The Rem examples.
+        "false", "a", "!a", "a & F !a", "F G !a", "G F a", "true",
+        // Safety patterns.
+        "G a", "G (a -> X !a)", "a W b", "b R a", "G (a | X a)",
+        // Co-safety / reachability patterns.
+        "F b", "a U b", "X X b", "F (a & X b)",
+        // Mixed / response patterns.
+        "G (a -> F b)", "(a U b) | G a", "F a -> F b", "a & G F b",
+        "(G F a) -> (G F b)"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name + "_" + std::to_string(info.index);
+    });
+
+}  // namespace
+}  // namespace slat

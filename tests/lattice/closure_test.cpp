@@ -1,0 +1,119 @@
+#include "lattice/closure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lattice/constructions.hpp"
+#include "lattice/enumerate.hpp"
+
+namespace slat::lattice {
+namespace {
+
+TEST(LatticeClosure, IdentityAndToTopAreValid) {
+  const FiniteLattice lattice = boolean_lattice(3);
+  const LatticeClosure id = LatticeClosure::identity(lattice);
+  const LatticeClosure top = LatticeClosure::to_top(lattice);
+  for (Elem a = 0; a < lattice.size(); ++a) {
+    EXPECT_EQ(id.apply(a), a);
+    EXPECT_EQ(top.apply(a), lattice.top());
+  }
+  EXPECT_TRUE(id.pointwise_leq(top));
+  EXPECT_FALSE(top.pointwise_leq(id));
+}
+
+TEST(LatticeClosure, FromMapValidatesLaws) {
+  const FiniteLattice lattice = chain(3);
+  // Not extensive: maps 1 to 0.
+  EXPECT_FALSE(LatticeClosure::from_map(lattice, {0, 0, 2}).has_value());
+  // Not idempotent: 0 -> 1 -> 2.
+  EXPECT_FALSE(LatticeClosure::from_map(lattice, {1, 2, 2}).has_value());
+  // Valid: 0 -> 1, closed above.
+  EXPECT_TRUE(LatticeClosure::from_map(lattice, {1, 1, 2}).has_value());
+}
+
+TEST(LatticeClosure, NonMonotoneMapRejected) {
+  const FiniteLattice lattice = boolean_lattice(2);
+  // Elements: 0=∅, 1={x}, 2={y}, 3={x,y}. Map ∅ to {x,y} but {x} to itself:
+  // ∅ ≤ {x} yet cl(∅) = {x,y} ≰ {x}.
+  EXPECT_FALSE(LatticeClosure::from_map(lattice, {3, 1, 2, 3}).has_value());
+  EXPECT_NE(LatticeClosure::violation(lattice, {3, 1, 2, 3}), std::nullopt);
+}
+
+TEST(LatticeClosure, PaperFigure1Closure) {
+  // cl.a = b, identity elsewhere — the closure from Figure 1.
+  const FiniteLattice lattice = n5();
+  using E = N5Elems;
+  std::vector<Elem> map = {E::bottom, E::b, E::b, E::c, E::top};
+  const auto closure = LatticeClosure::from_map(lattice, map);
+  ASSERT_TRUE(closure.has_value());
+  EXPECT_FALSE(closure->is_safety_element(E::a));
+  EXPECT_TRUE(closure->is_safety_element(E::b));
+  // The only liveness element is the top.
+  EXPECT_EQ(closure->liveness_elements(), std::vector<Elem>{E::top});
+}
+
+TEST(LatticeClosure, FromClosedSetMeetCompletes) {
+  const FiniteLattice lattice = boolean_lattice(2);
+  // Generate from the two singletons; their meet ∅ must become closed.
+  const LatticeClosure closure = LatticeClosure::from_closed_set(lattice, {1, 2});
+  EXPECT_TRUE(closure.is_safety_element(0));
+  EXPECT_TRUE(closure.is_safety_element(1));
+  EXPECT_TRUE(closure.is_safety_element(2));
+  EXPECT_TRUE(closure.is_safety_element(3));  // top always closed
+}
+
+TEST(LatticeClosure, FromClosedSetComputesLeastClosedAbove) {
+  const FiniteLattice lattice = chain(4);
+  const LatticeClosure closure = LatticeClosure::from_closed_set(lattice, {2});
+  EXPECT_EQ(closure.apply(0), 2);
+  EXPECT_EQ(closure.apply(1), 2);
+  EXPECT_EQ(closure.apply(2), 2);
+  EXPECT_EQ(closure.apply(3), 3);
+}
+
+TEST(LatticeClosure, RandomClosuresAreValid) {
+  std::mt19937 rng(7);
+  for (const FiniteLattice& lattice :
+       {boolean_lattice(3), m3(), n5(), divisor_lattice(30), subspace_lattice_gf2(2)}) {
+    for (int i = 0; i < 50; ++i) {
+      const LatticeClosure closure = LatticeClosure::random(lattice, rng);
+      std::vector<Elem> map(lattice.size());
+      for (Elem a = 0; a < lattice.size(); ++a) map[a] = closure.apply(a);
+      EXPECT_EQ(LatticeClosure::violation(lattice, map), std::nullopt);
+    }
+  }
+}
+
+TEST(LatticeClosure, EnumerationMatchesMeetClosedSubsets) {
+  // On the chain 0<1<2, the meet-closed subsets containing the top are the
+  // subsets of {0,1} extended with {2}: 4 closures.
+  const FiniteLattice lattice = chain(3);
+  int count = 0;
+  for_each_closure(lattice, [&](const LatticeClosure&) { ++count; });
+  EXPECT_EQ(count, 4);
+}
+
+TEST(LatticeClosure, EnumerationOnB2) {
+  // B_2 subsets containing top, closed under meet: {T}, {T,0}, {T,a}, {T,b},
+  // {T,a,0}, {T,b,0}, {T,a,b,0}, {T,0,a}... enumerate and cross-check count.
+  const FiniteLattice lattice = boolean_lattice(2);
+  int count = 0;
+  for_each_closure(lattice, [&](const LatticeClosure& cl) {
+    ++count;
+    std::vector<Elem> map(lattice.size());
+    for (Elem a = 0; a < lattice.size(); ++a) map[a] = cl.apply(a);
+    EXPECT_EQ(LatticeClosure::violation(lattice, map), std::nullopt);
+  });
+  // Subsets of {∅,{x},{y}} (with top forced) closed under meet: all 8 minus
+  // {{x},{y}} without ∅ — 7 closures.
+  EXPECT_EQ(count, 7);
+}
+
+TEST(LatticeClosure, ClosedAndLivenessElements) {
+  const FiniteLattice lattice = boolean_lattice(2);
+  const LatticeClosure closure = LatticeClosure::from_closed_set(lattice, {1});
+  EXPECT_EQ(closure.closed_elements(), (std::vector<Elem>{1, 3}));
+  EXPECT_EQ(closure.liveness_elements(), (std::vector<Elem>{2, 3}));
+}
+
+}  // namespace
+}  // namespace slat::lattice

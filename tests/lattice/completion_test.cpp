@@ -1,0 +1,92 @@
+// Dedekind–MacNeille completion and the Moore-family ↔ closure
+// correspondence — the "complete lattice" side of the paper's §1 discussion
+// (Gumm's setting needs completeness; finite lattices have it for free).
+#include <gtest/gtest.h>
+
+#include "lattice/closure.hpp"
+#include "lattice/constructions.hpp"
+#include "lattice/enumerate.hpp"
+
+namespace slat::lattice {
+namespace {
+
+TEST(DedekindMacNeille, CompletionOfALatticeIsIsomorphicToIt) {
+  for (const FiniteLattice& lattice :
+       {boolean_lattice(3), m3(), n5(), chain(4), divisor_lattice(12)}) {
+    const DedekindMacNeille dm = dedekind_macneille(lattice.poset());
+    EXPECT_EQ(dm.lattice.size(), lattice.size());
+    // The embedding is an order isomorphism here.
+    for (Elem a = 0; a < lattice.size(); ++a) {
+      for (Elem b = 0; b < lattice.size(); ++b) {
+        EXPECT_EQ(lattice.leq(a, b), dm.lattice.leq(dm.embedding[a], dm.embedding[b]));
+      }
+    }
+  }
+}
+
+TEST(DedekindMacNeille, CompletionOfAnAntichainIsATwoLevelLattice) {
+  // n incomparable points: completion adds bottom and top only.
+  const auto poset = FinitePoset::from_covers(3, {});
+  ASSERT_TRUE(poset.has_value());
+  const DedekindMacNeille dm = dedekind_macneille(*poset);
+  EXPECT_EQ(dm.lattice.size(), 5);  // 3 points + 0 + 1
+}
+
+TEST(DedekindMacNeille, CompletionOfAFenceIsSmall) {
+  // The 4-point "N" poset (0<2, 1<2, 1<3): a classic non-lattice.
+  const auto poset = FinitePoset::from_covers(4, {{0, 2}, {1, 2}, {1, 3}});
+  ASSERT_TRUE(poset.has_value());
+  ASSERT_FALSE(poset->is_lattice());
+  const DedekindMacNeille dm = dedekind_macneille(*poset);
+  // The completion is a lattice and embeds the order.
+  for (int a = 0; a < poset->size(); ++a) {
+    for (int b = 0; b < poset->size(); ++b) {
+      EXPECT_EQ(poset->leq(a, b),
+                dm.lattice.leq(dm.embedding[a], dm.embedding[b]));
+    }
+  }
+  EXPECT_GE(dm.lattice.size(), poset->size());
+}
+
+TEST(DedekindMacNeille, EmbeddingPreservesExistingMeets) {
+  // Where the original poset HAS a meet, the completion agrees with it.
+  const FiniteLattice lattice = m3();
+  const DedekindMacNeille dm = dedekind_macneille(lattice.poset());
+  for (Elem a = 0; a < lattice.size(); ++a) {
+    for (Elem b = 0; b < lattice.size(); ++b) {
+      EXPECT_EQ(dm.embedding[lattice.meet(a, b)],
+                dm.lattice.meet(dm.embedding[a], dm.embedding[b]));
+    }
+  }
+}
+
+TEST(MooreFamilies, ClosureToClosedSetRoundTrip) {
+  // closure ↦ closed set ↦ closure is the identity: the lattice-closure /
+  // Moore-family correspondence that makes finite lattices "complete
+  // enough" for every closure to arise from meets of closed elements.
+  for (const FiniteLattice& lattice : {boolean_lattice(3), m3(), n5()}) {
+    for_each_closure(lattice, [&](const LatticeClosure& closure) {
+      const LatticeClosure rebuilt =
+          LatticeClosure::from_closed_set(lattice, closure.closed_elements());
+      EXPECT_TRUE(closure == rebuilt);
+    });
+  }
+}
+
+TEST(MooreFamilies, ClosedSetsAreMeetClosedAndContainTop) {
+  for (const FiniteLattice& lattice : {boolean_lattice(3), subspace_lattice_gf2(2)}) {
+    for_each_closure(lattice, [&](const LatticeClosure& closure) {
+      const auto closed = closure.closed_elements();
+      EXPECT_NE(std::find(closed.begin(), closed.end(), lattice.top()), closed.end());
+      for (Elem a : closed) {
+        for (Elem b : closed) {
+          const Elem m = lattice.meet(a, b);
+          EXPECT_NE(std::find(closed.begin(), closed.end(), m), closed.end());
+        }
+      }
+    });
+  }
+}
+
+}  // namespace
+}  // namespace slat::lattice

@@ -1,0 +1,223 @@
+// The paper's §3 theorems, exhaustively machine-checked on finite lattices —
+// including the two counterexample figures showing the hypotheses are tight.
+#include "lattice/decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lattice/constructions.hpp"
+#include "lattice/enumerate.hpp"
+
+namespace slat::lattice {
+namespace {
+
+LatticeClosure fig1_closure(const FiniteLattice& n5_lattice) {
+  using E = N5Elems;
+  auto closure = LatticeClosure::from_map(
+      n5_lattice, {E::bottom, E::b, E::b, E::c, E::top});
+  EXPECT_TRUE(closure.has_value());
+  return *closure;
+}
+
+LatticeClosure fig2_closure(const FiniteLattice& fig2_lattice) {
+  using E = Fig2Elems;
+  // Any lattice closure mapping a to s: here a↦s, s↦s, b↦1, z↦1, 1↦1.
+  auto closure = LatticeClosure::from_map(
+      fig2_lattice, {E::s, E::s, E::top, E::top, E::top});
+  EXPECT_TRUE(closure.has_value());
+  return *closure;
+}
+
+// ---------------------------------------------------------------------------
+// Lemmas
+// ---------------------------------------------------------------------------
+
+TEST(Lemmas, Lemma3HoldsForEveryClosureOnEveryTestLattice) {
+  for (const FiniteLattice& lattice :
+       {boolean_lattice(3), m3(), n5(), subspace_lattice_gf2(2), divisor_lattice(30)}) {
+    for_each_closure(lattice, [&](const LatticeClosure& cl) {
+      EXPECT_EQ(verify_lemma3(lattice, cl), std::nullopt);
+    });
+  }
+}
+
+TEST(Lemmas, Lemma4HoldsOnComplementedLattices) {
+  for (const FiniteLattice& lattice :
+       {boolean_lattice(3), m3(), partition_lattice(3), subspace_lattice_gf2(2)}) {
+    ASSERT_TRUE(lattice.is_complemented());
+    for_each_closure(lattice, [&](const LatticeClosure& cl) {
+      EXPECT_EQ(verify_lemma4(lattice, cl), std::nullopt);
+    });
+  }
+}
+
+TEST(Lemmas, Lemma5HoldsEverywhere) {
+  for (const FiniteLattice& lattice :
+       {boolean_lattice(4), m3(), n5(), partition_lattice(4), subspace_lattice_gf2(3)}) {
+    EXPECT_EQ(verify_lemma5(lattice), std::nullopt);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Theorems 2 and 3 (decomposition)
+// ---------------------------------------------------------------------------
+
+TEST(Theorem3, HoldsForAllClosurePairsOnModularComplementedLattices) {
+  for (const FiniteLattice& lattice : {boolean_lattice(3), m3(), subspace_lattice_gf2(2)}) {
+    ASSERT_TRUE(lattice.is_paper_setting());
+    std::vector<LatticeClosure> closures;
+    for_each_closure(lattice, [&](const LatticeClosure& cl) { closures.push_back(cl); });
+    int checked_pairs = 0;
+    for (const auto& cl1 : closures) {
+      for (const auto& cl2 : closures) {
+        if (!cl1.pointwise_leq(cl2)) continue;
+        ++checked_pairs;
+        EXPECT_EQ(verify_theorem3(lattice, cl1, cl2), std::nullopt);
+      }
+    }
+    EXPECT_GT(checked_pairs, 0);
+  }
+}
+
+TEST(Theorem2, SingleClosureDecompositionOnB4) {
+  const FiniteLattice lattice = boolean_lattice(4);
+  std::mt19937 rng(13);
+  for (int i = 0; i < 25; ++i) {
+    const LatticeClosure cl = LatticeClosure::random(lattice, rng);
+    EXPECT_EQ(verify_theorem3(lattice, cl, cl), std::nullopt);
+  }
+}
+
+TEST(Theorem3, DecompositionPartsAreWhatTheProofSays) {
+  const FiniteLattice lattice = boolean_lattice(3);
+  const LatticeClosure cl = LatticeClosure::from_closed_set(lattice, {0b110});
+  for (Elem a = 0; a < lattice.size(); ++a) {
+    const auto d = decompose(lattice, cl, a);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->safety, cl.apply(a));
+    EXPECT_EQ(d->liveness, lattice.join(a, d->complement));
+    EXPECT_TRUE(is_valid_decomposition(lattice, cl, cl, a, *d));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1 / Lemma 6: modularity is needed
+// ---------------------------------------------------------------------------
+
+TEST(Figure1, ElementAHasNoDecompositionInN5) {
+  const FiniteLattice lattice = n5();
+  const LatticeClosure cl = fig1_closure(lattice);
+  // Lemma 6: no (safety, liveness) pair meets to a.
+  EXPECT_EQ(find_any_decomposition(lattice, cl, cl, N5Elems::a), std::nullopt);
+  // Every OTHER element does decompose (the failure is specific to a).
+  for (Elem x : {N5Elems::bottom, N5Elems::b, N5Elems::c, N5Elems::top}) {
+    EXPECT_NE(find_any_decomposition(lattice, cl, cl, x), std::nullopt) << x;
+  }
+}
+
+TEST(Figure1, TheoremConstructionProducesInvalidDecompositionOnN5) {
+  // The Theorem 3 construction can still be *run* on N5 — the theorem just
+  // doesn't guarantee validity without modularity, and indeed it fails at a.
+  const FiniteLattice lattice = n5();
+  const LatticeClosure cl = fig1_closure(lattice);
+  const auto d = decompose(lattice, cl, N5Elems::a);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(is_valid_decomposition(lattice, cl, cl, N5Elems::a, *d));
+}
+
+TEST(Figure1, EverySmallNonDecomposableLatticeClosurePairIsNonModular) {
+  // Sweep: for every lattice with ≤ 5 elements and every closure on it, if
+  // some element fails to decompose, the lattice is not modular (or not
+  // complemented) — i.e. Theorem 2's hypotheses are exactly what the
+  // counterexamples violate.
+  for_each_labeled_lattice(5, [&](const FiniteLattice& lattice) {
+    if (!lattice.is_complemented()) return;
+    for_each_closure(lattice, [&](const LatticeClosure& cl) {
+      for (Elem a = 0; a < lattice.size(); ++a) {
+        if (!find_any_decomposition(lattice, cl, cl, a)) {
+          EXPECT_FALSE(lattice.is_modular());
+          return;
+        }
+      }
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 5: the US/EL mix is impossible
+// ---------------------------------------------------------------------------
+
+TEST(Theorem5, HoldsForAllClosurePairsOnTestLattices) {
+  for (const FiniteLattice& lattice : {boolean_lattice(3), m3(), n5()}) {
+    std::vector<LatticeClosure> closures;
+    for_each_closure(lattice, [&](const LatticeClosure& cl) { closures.push_back(cl); });
+    for (const auto& cl1 : closures) {
+      for (const auto& cl2 : closures) {
+        EXPECT_EQ(verify_theorem5(lattice, cl1, cl2), std::nullopt);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 6 (extremal safety — machine closure)
+// ---------------------------------------------------------------------------
+
+TEST(Theorem6, HoldsForAllClosurePairsOnTestLattices) {
+  for (const FiniteLattice& lattice : {boolean_lattice(3), m3(), subspace_lattice_gf2(2)}) {
+    std::vector<LatticeClosure> closures;
+    for_each_closure(lattice, [&](const LatticeClosure& cl) { closures.push_back(cl); });
+    for (const auto& cl1 : closures) {
+      for (const auto& cl2 : closures) {
+        if (!cl1.pointwise_leq(cl2)) continue;
+        EXPECT_EQ(verify_theorem6(lattice, cl1, cl2), std::nullopt);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 7 (extremal liveness — needs distributivity) and Figure 2
+// ---------------------------------------------------------------------------
+
+TEST(Theorem7, HoldsOnDistributiveLattices) {
+  for (const FiniteLattice& lattice :
+       {boolean_lattice(3), divisor_lattice(30), chain(4)}) {
+    ASSERT_TRUE(lattice.is_distributive());
+    for_each_closure(lattice, [&](const LatticeClosure& cl) {
+      EXPECT_EQ(verify_theorem7(lattice, cl, cl), std::nullopt);
+    });
+  }
+}
+
+TEST(Figure2, Theorem7FailsOnTheModularNonDistributiveLattice) {
+  const FiniteLattice lattice = fig2();
+  ASSERT_TRUE(lattice.is_modular());
+  ASSERT_FALSE(lattice.is_distributive());
+  const LatticeClosure cl = fig2_closure(lattice);
+  const auto violation = verify_theorem7(lattice, cl, cl);
+  ASSERT_TRUE(violation.has_value());
+  // The paper's witness: a = s ∧ z with s closed, b ∈ cmp(cl.a) = cmp(s),
+  // yet z ≰ a ∨ b.
+  using E = Fig2Elems;
+  EXPECT_FALSE(lattice.leq(E::z, lattice.join(E::a, E::b)));
+  EXPECT_TRUE(cl.is_safety_element(E::s));
+  EXPECT_EQ(lattice.meet(E::s, E::z), E::a);
+}
+
+TEST(Figure2, Theorem3StillHoldsThere) {
+  // Modularity suffices for the *decomposition* even where Theorem 7 fails.
+  const FiniteLattice lattice = fig2();
+  const LatticeClosure cl = fig2_closure(lattice);
+  EXPECT_EQ(verify_theorem3(lattice, cl, cl), std::nullopt);
+}
+
+TEST(Theorem7, DistributiveLatticesHaveUniqueComplements) {
+  for (const FiniteLattice& lattice : {boolean_lattice(4), divisor_lattice(30)}) {
+    for (Elem a = 0; a < lattice.size(); ++a) {
+      EXPECT_LE(lattice.complements(a).size(), 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slat::lattice

@@ -1,0 +1,107 @@
+#include "lattice/finite_poset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lattice/constructions.hpp"
+
+namespace slat::lattice {
+namespace {
+
+TEST(FinitePoset, RejectsNonReflexive) {
+  std::vector<std::vector<bool>> leq = {{false}};
+  EXPECT_FALSE(FinitePoset::from_leq(leq).has_value());
+}
+
+TEST(FinitePoset, RejectsNonAntisymmetric) {
+  std::vector<std::vector<bool>> leq = {{true, true}, {true, true}};
+  EXPECT_FALSE(FinitePoset::from_leq(leq).has_value());
+}
+
+TEST(FinitePoset, RejectsNonTransitive) {
+  // 0 < 1, 1 < 2 but not 0 < 2.
+  std::vector<std::vector<bool>> leq = {
+      {true, true, false}, {false, true, true}, {false, false, true}};
+  EXPECT_FALSE(FinitePoset::from_leq(leq).has_value());
+}
+
+TEST(FinitePoset, FromCoversClosesTransitively) {
+  auto poset = FinitePoset::from_covers(3, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(poset.has_value());
+  EXPECT_TRUE(poset->leq(0, 2));
+  EXPECT_TRUE(poset->lt(0, 2));
+  EXPECT_FALSE(poset->leq(2, 0));
+}
+
+TEST(FinitePoset, FromCoversRejectsCycles) {
+  EXPECT_FALSE(FinitePoset::from_covers(2, {{0, 1}, {1, 0}}).has_value());
+  EXPECT_FALSE(FinitePoset::from_covers(1, {{0, 0}}).has_value());
+}
+
+TEST(FinitePoset, CoverPairsRecoverInput) {
+  auto poset = FinitePoset::from_covers(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  ASSERT_TRUE(poset.has_value());
+  const std::vector<std::pair<Elem, Elem>> expected = {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  EXPECT_EQ(poset->cover_pairs(), expected);
+}
+
+TEST(FinitePoset, MeetJoinOnDiamond) {
+  auto poset = FinitePoset::from_covers(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  ASSERT_TRUE(poset.has_value());
+  EXPECT_EQ(poset->meet(1, 2), 0);
+  EXPECT_EQ(poset->join(1, 2), 3);
+  EXPECT_EQ(poset->meet(1, 3), 1);
+  EXPECT_EQ(poset->join(0, 2), 2);
+  EXPECT_TRUE(poset->is_lattice());
+}
+
+TEST(FinitePoset, AntichainPairHasNoMeetWithoutBottom) {
+  // Two incomparable elements with no common bound.
+  auto poset = FinitePoset::from_covers(2, {});
+  ASSERT_TRUE(poset.has_value());
+  EXPECT_FALSE(poset->meet(0, 1).has_value());
+  EXPECT_FALSE(poset->join(0, 1).has_value());
+  EXPECT_FALSE(poset->is_lattice());
+}
+
+TEST(FinitePoset, MeetRequiresUniqueGreatestLowerBound) {
+  // 0, 1 below both 2 and 3 (no bottom distinction): meet(2, 3) undefined.
+  auto poset = FinitePoset::from_covers(4, {{0, 2}, {0, 3}, {1, 2}, {1, 3}});
+  ASSERT_TRUE(poset.has_value());
+  EXPECT_FALSE(poset->meet(2, 3).has_value());
+}
+
+TEST(FinitePoset, BottomTopMaximalMinimal) {
+  auto poset = FinitePoset::from_covers(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  ASSERT_TRUE(poset.has_value());
+  EXPECT_EQ(poset->bottom(), 0);
+  EXPECT_EQ(poset->top(), 3);
+  EXPECT_EQ(poset->minimal_elements(), std::vector<Elem>{0});
+  EXPECT_EQ(poset->maximal_elements(), std::vector<Elem>{3});
+}
+
+TEST(FinitePoset, DualSwapsEverything) {
+  auto poset = FinitePoset::from_covers(3, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(poset.has_value());
+  const FinitePoset dual = poset->dual();
+  EXPECT_TRUE(dual.leq(2, 0));
+  EXPECT_EQ(dual.bottom(), 2);
+  EXPECT_EQ(dual.top(), 0);
+  EXPECT_TRUE(dual.dual() == *poset);
+}
+
+TEST(FinitePoset, DownSetsOfChainAreItsPrefixes) {
+  auto poset = FinitePoset::from_covers(3, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(poset.has_value());
+  const auto sets = poset->down_sets();
+  // ∅, {0}, {0,1}, {0,1,2}.
+  EXPECT_EQ(sets.size(), 4u);
+}
+
+TEST(FinitePoset, DownSetsOfAntichainAreAllSubsets) {
+  auto poset = FinitePoset::from_covers(3, {});
+  ASSERT_TRUE(poset.has_value());
+  EXPECT_EQ(poset->down_sets().size(), 8u);
+}
+
+}  // namespace
+}  // namespace slat::lattice

@@ -1,0 +1,118 @@
+// Parameterized theorem sweep: one named lattice per parameter, the full
+// §3 battery per instance. Complements the exhaustive per-theorem tests
+// with a per-structure view (which lattice breaks which hypothesis).
+#include <gtest/gtest.h>
+
+#include "lattice/constructions.hpp"
+#include "lattice/decomposition.hpp"
+#include "lattice/enumerate.hpp"
+
+namespace slat::lattice {
+namespace {
+
+struct SweepCase {
+  const char* name;
+  FiniteLattice (*make)();
+  bool modular;
+  bool distributive;
+  bool complemented;
+};
+
+FiniteLattice make_b3() { return boolean_lattice(3); }
+FiniteLattice make_b4() { return boolean_lattice(4); }
+FiniteLattice make_m3() { return m3(); }
+FiniteLattice make_n5() { return n5(); }
+FiniteLattice make_gf2_2() { return subspace_lattice_gf2(2); }
+FiniteLattice make_pi3() { return partition_lattice(3); }
+FiniteLattice make_pi4() { return partition_lattice(4); }
+FiniteLattice make_div30() { return divisor_lattice(30); }
+FiniteLattice make_div12() { return divisor_lattice(12); }
+FiniteLattice make_chain5() { return chain(5); }
+FiniteLattice make_m3_x_b1() { return product(m3(), boolean_lattice(1)); }
+
+class LatticeSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(LatticeSweep, StructurePredicatesMatchExpectation) {
+  const FiniteLattice lattice = GetParam().make();
+  EXPECT_EQ(lattice.is_modular(), GetParam().modular);
+  EXPECT_EQ(lattice.is_distributive(), GetParam().distributive);
+  EXPECT_EQ(lattice.is_complemented(), GetParam().complemented);
+  EXPECT_TRUE(lattice.satisfies_lattice_axioms());
+}
+
+TEST_P(LatticeSweep, DistributiveImpliesModular) {
+  const FiniteLattice lattice = GetParam().make();
+  if (lattice.is_distributive()) {
+    EXPECT_TRUE(lattice.is_modular());
+  }
+}
+
+TEST_P(LatticeSweep, Theorem3WhereHypothesesHold) {
+  const SweepCase& c = GetParam();
+  if (!(c.modular && c.complemented)) GTEST_SKIP() << "hypotheses absent by design";
+  const FiniteLattice lattice = c.make();
+  std::mt19937 rng(211);
+  for (int i = 0; i < 12; ++i) {
+    const LatticeClosure cl = LatticeClosure::random(lattice, rng);
+    EXPECT_EQ(verify_theorem3(lattice, cl, cl), std::nullopt) << c.name;
+  }
+}
+
+TEST_P(LatticeSweep, Theorem5And6HoldUnconditionally) {
+  const FiniteLattice lattice = GetParam().make();
+  std::mt19937 rng(223);
+  for (int i = 0; i < 6; ++i) {
+    const LatticeClosure cl1 = LatticeClosure::random(lattice, rng);
+    const LatticeClosure cl2 = LatticeClosure::random(lattice, rng);
+    EXPECT_EQ(verify_theorem5(lattice, cl1, cl2), std::nullopt) << GetParam().name;
+    if (cl1.pointwise_leq(cl2)) {
+      EXPECT_EQ(verify_theorem6(lattice, cl1, cl2), std::nullopt) << GetParam().name;
+    }
+  }
+}
+
+TEST_P(LatticeSweep, Theorem7WhereDistributive) {
+  const SweepCase& c = GetParam();
+  if (!c.distributive) GTEST_SKIP() << "not distributive by design";
+  const FiniteLattice lattice = c.make();
+  std::mt19937 rng(227);
+  for (int i = 0; i < 8; ++i) {
+    const LatticeClosure cl = LatticeClosure::random(lattice, rng);
+    EXPECT_EQ(verify_theorem7(lattice, cl, cl), std::nullopt) << c.name;
+  }
+}
+
+TEST_P(LatticeSweep, DualLatticeKeepsModularity) {
+  // Modularity and distributivity are self-dual properties.
+  const FiniteLattice lattice = GetParam().make();
+  const FiniteLattice dual = lattice.dual();
+  EXPECT_EQ(dual.is_modular(), lattice.is_modular());
+  EXPECT_EQ(dual.is_distributive(), lattice.is_distributive());
+  EXPECT_EQ(dual.is_complemented(), lattice.is_complemented());
+}
+
+TEST_P(LatticeSweep, DedekindMacNeilleIsIdentityOnLattices) {
+  const FiniteLattice lattice = GetParam().make();
+  if (lattice.size() > 20) GTEST_SKIP() << "completion enumeration bound";
+  const DedekindMacNeille dm = dedekind_macneille(lattice.poset());
+  EXPECT_EQ(dm.lattice.size(), lattice.size()) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NamedLattices, LatticeSweep,
+    ::testing::Values(
+        SweepCase{"B3", make_b3, true, true, true},
+        SweepCase{"B4", make_b4, true, true, true},
+        SweepCase{"M3", make_m3, true, false, true},
+        SweepCase{"N5", make_n5, false, false, true},
+        SweepCase{"GF2_2", make_gf2_2, true, false, true},
+        SweepCase{"Pi3", make_pi3, true, false, true},
+        SweepCase{"Pi4", make_pi4, false, false, true},
+        SweepCase{"Div30", make_div30, true, true, true},
+        SweepCase{"Div12", make_div12, true, true, false},
+        SweepCase{"Chain5", make_chain5, true, true, false},
+        SweepCase{"M3xB1", make_m3_x_b1, true, false, true}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace slat::lattice

@@ -1,0 +1,141 @@
+#include "ltl/eval.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slat::ltl {
+namespace {
+
+using words::UpWord;
+
+constexpr Sym kA = 0;
+constexpr Sym kB = 1;
+
+class EvalFixture : public ::testing::Test {
+ protected:
+  LtlArena arena{Alphabet::binary()};
+
+  bool eval(const char* text, const UpWord& w) {
+    const auto f = arena.parse(text);
+    EXPECT_TRUE(f.has_value()) << text;
+    return holds(arena, *f, w);
+  }
+};
+
+TEST_F(EvalFixture, Atoms) {
+  EXPECT_TRUE(eval("a", UpWord::constant(kA)));
+  EXPECT_FALSE(eval("a", UpWord::constant(kB)));
+  EXPECT_TRUE(eval("!a", UpWord({kB}, {kA})));
+}
+
+TEST_F(EvalFixture, BooleanConnectives) {
+  const UpWord w({kA}, {kB});
+  EXPECT_TRUE(eval("a & X b", w));
+  EXPECT_TRUE(eval("a | b", w));
+  EXPECT_FALSE(eval("a & b", w));
+  EXPECT_TRUE(eval("b -> a", w));
+  EXPECT_FALSE(eval("a -> b", w));
+  EXPECT_TRUE(eval("true", w));
+  EXPECT_FALSE(eval("false", w));
+}
+
+TEST_F(EvalFixture, NextStepsThroughPrefixAndPeriod) {
+  const UpWord w({kA, kB}, {kA, kA, kB});
+  EXPECT_TRUE(eval("X b", w));
+  EXPECT_TRUE(eval("X X a", w));
+  EXPECT_TRUE(eval("X X X a", w));
+  EXPECT_TRUE(eval("X X X X b", w));
+  // Period wrap: position 5 is the period start again (a).
+  EXPECT_TRUE(eval("X X X X X a", w));
+}
+
+TEST_F(EvalFixture, EventuallyAndAlways) {
+  EXPECT_TRUE(eval("F b", UpWord({kA, kA, kA}, {kB})));
+  EXPECT_FALSE(eval("F b", UpWord::constant(kA)));
+  EXPECT_TRUE(eval("G a", UpWord::constant(kA)));
+  EXPECT_FALSE(eval("G a", UpWord({kA, kA}, {kB})));
+  EXPECT_TRUE(eval("G F a", UpWord({}, {kA, kB})));
+  EXPECT_FALSE(eval("G F a", UpWord({kA, kA}, {kB})));
+  EXPECT_TRUE(eval("F G b", UpWord({kA, kA}, {kB})));
+  EXPECT_FALSE(eval("F G b", UpWord({}, {kA, kB})));
+}
+
+TEST_F(EvalFixture, UntilAndRelease) {
+  // a U b: a's until the first b.
+  EXPECT_TRUE(eval("a U b", UpWord({kA, kA, kB}, {kA})));
+  EXPECT_FALSE(eval("a U b", UpWord::constant(kA)));
+  EXPECT_TRUE(eval("a U b", UpWord::constant(kB)));  // ψ holds immediately
+  // Release: b R a = a holds up to and INCLUDING the first b. Over the
+  // binary alphabet a and b are mutually exclusive, so the release point can
+  // never satisfy both and b R a degenerates to G a.
+  EXPECT_TRUE(eval("b R a", UpWord::constant(kA)));
+  EXPECT_FALSE(eval("b R a", UpWord({kA, kA, kB}, {kB})));
+  EXPECT_FALSE(eval("b R a", UpWord({kA, kB}, {kA})));
+  // With a releasing point that satisfies both operands the release fires:
+  // (a | b) R a is just G a, while a R (a | b) releases immediately.
+  EXPECT_TRUE(eval("a R (a | b)", UpWord::constant(kB)));
+}
+
+TEST_F(EvalFixture, UntilSemanticsEdgeCase) {
+  // φ U ψ requires ψ eventually — strong until.
+  EXPECT_FALSE(eval("a U (b & X a)", UpWord::constant(kA)));
+  EXPECT_TRUE(eval("a U (b & X a)", UpWord({kA, kB}, {kA})));
+}
+
+TEST_F(EvalFixture, SemanticEquivalencesOnCorpus) {
+  // Well-known identities, validated pointwise over a word corpus.
+  const auto corpus = words::enumerate_up_words(2, 3, 3);
+  const struct {
+    const char* lhs;
+    const char* rhs;
+  } identities[] = {
+      {"F a", "true U a"},
+      {"G a", "!F !a"},
+      {"a R b", "!(!a U !b)"},
+      {"F F a", "F a"},
+      {"G G a", "G a"},
+      {"X (a & b)", "X a & X b"},
+      {"F (a | b)", "F a | F b"},
+      {"G (a & b)", "G a & G b"},
+      {"a U (a U b)", "a U b"},
+      {"G F a", "!F G !a"},
+  };
+  for (const auto& identity : identities) {
+    const auto lhs = arena.parse(identity.lhs);
+    const auto rhs = arena.parse(identity.rhs);
+    ASSERT_TRUE(lhs.has_value() && rhs.has_value());
+    for (const auto& w : corpus) {
+      EXPECT_EQ(holds(arena, *lhs, w), holds(arena, *rhs, w))
+          << identity.lhs << " vs " << identity.rhs << " on "
+          << w.to_string(arena.alphabet());
+    }
+  }
+}
+
+TEST_F(EvalFixture, NnfPreservesSemantics) {
+  const auto corpus = words::enumerate_up_words(2, 2, 3);
+  for (const char* text :
+       {"!(a U b)", "!(a R b)", "!G F a", "!(a -> F b)", "!X (a & !b)",
+        "a & F !a", "F G !a", "G F a", "!(a | X (b U a))"}) {
+    const auto f = arena.parse(text);
+    ASSERT_TRUE(f.has_value()) << text;
+    const FormulaId g = arena.nnf(*f);
+    for (const auto& w : corpus) {
+      EXPECT_EQ(holds(arena, *f, w), holds(arena, g, w))
+          << text << " on " << w.to_string(arena.alphabet());
+    }
+  }
+}
+
+TEST_F(EvalFixture, TruthTableCoversAllPositions) {
+  const auto f = arena.parse("a");
+  const UpWord w({kA, kB}, {kB, kA});
+  const auto table = truth_table(arena, *f, w);
+  ASSERT_EQ(table.size(), 4u);
+  EXPECT_TRUE(table[0]);
+  EXPECT_FALSE(table[1]);
+  EXPECT_FALSE(table[2]);
+  EXPECT_TRUE(table[3]);
+}
+
+}  // namespace
+}  // namespace slat::ltl

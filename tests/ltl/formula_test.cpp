@@ -1,0 +1,133 @@
+#include "ltl/formula.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slat::ltl {
+namespace {
+
+TEST(LtlArena, InterningDeduplicates) {
+  LtlArena arena(Alphabet::binary());
+  const FormulaId a1 = arena.atom("a");
+  const FormulaId a2 = arena.atom(Sym{0});
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(arena.eventually(a1), arena.eventually(a2));
+}
+
+TEST(LtlArena, ConstructorsFoldConstants) {
+  LtlArena arena(Alphabet::binary());
+  const FormulaId a = arena.atom("a");
+  EXPECT_EQ(arena.conj(arena.tru(), a), a);
+  EXPECT_EQ(arena.conj(a, arena.fls()), arena.fls());
+  EXPECT_EQ(arena.disj(arena.fls(), a), a);
+  EXPECT_EQ(arena.disj(a, arena.tru()), arena.tru());
+  EXPECT_EQ(arena.negation(arena.negation(a)), a);
+  EXPECT_EQ(arena.negation(arena.tru()), arena.fls());
+  EXPECT_EQ(arena.conj(a, a), a);
+  EXPECT_EQ(arena.until(a, arena.tru()), arena.tru());
+  EXPECT_EQ(arena.until(a, arena.fls()), arena.fls());
+}
+
+TEST(LtlArena, ConjIsOrderCanonical) {
+  LtlArena arena(Alphabet::binary());
+  const FormulaId a = arena.atom("a");
+  const FormulaId b = arena.atom("b");
+  EXPECT_EQ(arena.conj(a, b), arena.conj(b, a));
+  EXPECT_EQ(arena.disj(a, b), arena.disj(b, a));
+}
+
+TEST(Parser, ParsesTheRemExamples) {
+  LtlArena arena(Alphabet::binary());
+  for (const char* text : {"false", "a", "!a", "a & F !a", "F G !a", "G F a", "true"}) {
+    EXPECT_TRUE(arena.parse(text).has_value()) << text;
+  }
+}
+
+TEST(Parser, PrecedenceAndAssociativity) {
+  LtlArena arena(Alphabet::binary());
+  const FormulaId a = arena.atom("a");
+  const FormulaId b = arena.atom("b");
+  // & binds tighter than |, | tighter than ->.
+  EXPECT_EQ(*arena.parse("a & b | a"), arena.disj(arena.conj(a, b), a));
+  EXPECT_EQ(*arena.parse("a -> b -> a"), arena.implies(a, arena.implies(b, a)));
+  // U is right-associative and binds tighter than &.
+  EXPECT_EQ(*arena.parse("a U b U a"), arena.until(a, arena.until(b, a)));
+  EXPECT_EQ(*arena.parse("a U b & b"), arena.conj(arena.until(a, b), b));
+  // Unary operators chain.
+  EXPECT_EQ(*arena.parse("G F a"), arena.always(arena.eventually(a)));
+  EXPECT_EQ(*arena.parse("!X a"), arena.negation(arena.next(a)));
+}
+
+TEST(Parser, ReportsErrors) {
+  LtlArena arena(Alphabet::binary());
+  LtlArena::ParseError error{"", 0};
+  EXPECT_FALSE(arena.parse("a &", &error).has_value());
+  EXPECT_FALSE(arena.parse("(a", &error).has_value());
+  EXPECT_FALSE(arena.parse("unknown_atom", &error).has_value());
+  EXPECT_FALSE(arena.parse("a b", &error).has_value());
+  EXPECT_FALSE(arena.parse("", &error).has_value());
+  EXPECT_FALSE(error.message.empty());
+}
+
+TEST(Parser, RoundTripsThroughToString) {
+  LtlArena arena(Alphabet::binary());
+  for (const char* text :
+       {"a & F !a", "G F a", "a U (b R a)", "X X a", "(a | b) & X b", "a -> F b"}) {
+    const auto f = arena.parse(text);
+    ASSERT_TRUE(f.has_value()) << text;
+    const auto reparsed = arena.parse(arena.to_string(*f));
+    ASSERT_TRUE(reparsed.has_value()) << arena.to_string(*f);
+    EXPECT_EQ(*reparsed, *f) << text;
+  }
+}
+
+TEST(Nnf, PushesNegationsToAtoms) {
+  LtlArena arena(Alphabet::binary());
+  const auto check_nnf_shape = [&](FormulaId f) {
+    // In NNF, kNot wraps only atoms, and F/G/→ are gone.
+    std::vector<FormulaId> stack{f};
+    while (!stack.empty()) {
+      const FormulaNode n = arena.node(stack.back());
+      stack.pop_back();
+      EXPECT_NE(n.op, Op::kImplies);
+      EXPECT_NE(n.op, Op::kEventually);
+      EXPECT_NE(n.op, Op::kAlways);
+      if (n.op == Op::kNot) {
+        EXPECT_EQ(arena.node(n.lhs).op, Op::kAtom);
+        continue;
+      }
+      if (n.lhs >= 0) stack.push_back(n.lhs);
+      if (n.rhs >= 0) stack.push_back(n.rhs);
+    }
+  };
+  for (const char* text :
+       {"!(a & b)", "!(a U b)", "!G F a", "!(a -> b)", "!X !a", "!(a R b)", "F G !a"}) {
+    const auto f = arena.parse(text);
+    ASSERT_TRUE(f.has_value());
+    check_nnf_shape(arena.nnf(*f));
+  }
+}
+
+TEST(Parser, WeakUntilDesugarsToRelease) {
+  LtlArena arena(Alphabet::binary());
+  const FormulaId a = arena.atom("a");
+  const FormulaId b = arena.atom("b");
+  // a W b = b R (a ∨ b).
+  EXPECT_EQ(*arena.parse("a W b"), arena.release(b, arena.disj(a, b)));
+  // Right-associative like U: a W b W a parses.
+  EXPECT_TRUE(arena.parse("a W b W a").has_value());
+}
+
+TEST(Nnf, KnownIdentities) {
+  LtlArena arena(Alphabet::binary());
+  const FormulaId a = arena.atom("a");
+  // ¬F a = G ¬a = false R ¬a.
+  EXPECT_EQ(arena.nnf(arena.negation(arena.eventually(a))),
+            arena.release(arena.fls(), arena.negation(a)));
+  // F a = true U a.
+  EXPECT_EQ(arena.nnf(arena.eventually(a)), arena.until(arena.tru(), a));
+  // ¬¬a = a.
+  EXPECT_EQ(arena.nnf(arena.negation(arena.negation(a))), a);
+}
+
+}  // namespace
+}  // namespace slat::ltl

@@ -1,0 +1,162 @@
+// Sistla's syntactic fragments: soundness (fragment membership implies the
+// semantic classification) and incompleteness (semantically safe formulas
+// outside the fragment), differential-tested through the full pipeline.
+#include "ltl/syntactic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "buchi/safety.hpp"
+#include "ltl/eval.hpp"
+#include "ltl/translate.hpp"
+
+namespace slat::ltl {
+namespace {
+
+class SyntacticFixture : public ::testing::Test {
+ protected:
+  LtlArena arena{Alphabet::binary()};
+
+  FormulaId parse(const char* text) {
+    const auto f = arena.parse(text);
+    EXPECT_TRUE(f.has_value()) << text;
+    return *f;
+  }
+};
+
+TEST_F(SyntacticFixture, ClassifiesKnownFormulas) {
+  EXPECT_EQ(classify_syntactic(arena, parse("G a")), SyntacticClass::kSafety);
+  EXPECT_EQ(classify_syntactic(arena, parse("a & X !a")), SyntacticClass::kBoth);
+  EXPECT_EQ(classify_syntactic(arena, parse("F a")), SyntacticClass::kCoSafety);
+  EXPECT_EQ(classify_syntactic(arena, parse("a U b")), SyntacticClass::kCoSafety);
+  EXPECT_EQ(classify_syntactic(arena, parse("b R a")), SyntacticClass::kSafety);
+  EXPECT_EQ(classify_syntactic(arena, parse("G F a")), SyntacticClass::kNeither);
+  EXPECT_EQ(classify_syntactic(arena, parse("G (a -> F b)")), SyntacticClass::kNeither);
+  // Classification happens after NNF: ¬F¬a is G a, hence safety.
+  EXPECT_EQ(classify_syntactic(arena, parse("!F !a")), SyntacticClass::kSafety);
+  EXPECT_EQ(classify_syntactic(arena, parse("!G !a")), SyntacticClass::kCoSafety);
+}
+
+TEST_F(SyntacticFixture, WeakUntilIsSyntacticSafety) {
+  const FormulaId w = weak_until(arena, arena.atom("a"), arena.atom("b"));
+  EXPECT_TRUE(in_syntactic_safety_fragment(arena, w));
+  // And semantically: a W b = (a U b) ∨ G a on the corpus.
+  const FormulaId strong = parse("(a U b) | G a");
+  for (const auto& word : words::enumerate_up_words(2, 3, 3)) {
+    EXPECT_EQ(holds(arena, w, word), holds(arena, strong, word))
+        << word.to_string(arena.alphabet());
+  }
+}
+
+TEST_F(SyntacticFixture, SafetyFragmentIsSemanticallySound) {
+  for (const char* text :
+       {"G a", "b R a", "a & X (b R (a | b))", "G (a | X b)", "X X a",
+        "(b R a) | G b", "a & G (a -> X b)"}) {
+    const FormulaId f = parse(text);
+    ASSERT_TRUE(in_syntactic_safety_fragment(arena, f)) << text;
+    const buchi::Nba nba = to_nba(arena, f);
+    EXPECT_TRUE(buchi::is_safety(nba)) << text;
+  }
+}
+
+TEST_F(SyntacticFixture, CoSafetyFragmentIsSemanticallySound) {
+  for (const char* text : {"F a", "a U b", "X F b", "(a U b) & F a", "a | F (a & X b)"}) {
+    const FormulaId f = parse(text);
+    ASSERT_TRUE(in_syntactic_cosafety_fragment(arena, f)) << text;
+    const buchi::Nba nba = to_nba(arena, f);
+    EXPECT_TRUE(buchi::is_cosafety(nba)) << text;
+  }
+}
+
+TEST_F(SyntacticFixture, FragmentIsIncomplete) {
+  // (a U b) | G a is semantically SAFETY (it is a W b) but mentions U.
+  const FormulaId f = parse("(a U b) | G a");
+  EXPECT_FALSE(in_syntactic_safety_fragment(arena, f));
+  EXPECT_TRUE(buchi::is_safety(to_nba(arena, f)));
+  // Dually: (b R a) & F b is co-safety ("a until the first b, which occurs")
+  // but mentions R.
+  const FormulaId g = parse("(b R a) & F b");
+  EXPECT_FALSE(in_syntactic_cosafety_fragment(arena, g));
+  EXPECT_TRUE(buchi::is_cosafety(to_nba(arena, g)));
+}
+
+// Random U-free formulas are always semantically safe; random R-free ones
+// always co-safe. (The generator mirrors the translate test but restricted.)
+FormulaId random_fragment_formula(LtlArena& arena, std::mt19937& rng, int depth,
+                                  bool safety) {
+  std::uniform_int_distribution<int> pick(0, depth <= 0 ? 2 : 7);
+  switch (pick(rng)) {
+    case 0:
+      return arena.atom(Sym{0});
+    case 1:
+      return arena.atom(Sym{1});
+    case 2:
+      return arena.negation(arena.atom(Sym{rng() % 2 == 0 ? 0 : 1}));
+    case 3:
+      return arena.conj(random_fragment_formula(arena, rng, depth - 1, safety),
+                        random_fragment_formula(arena, rng, depth - 1, safety));
+    case 4:
+      return arena.disj(random_fragment_formula(arena, rng, depth - 1, safety),
+                        random_fragment_formula(arena, rng, depth - 1, safety));
+    case 5:
+      return arena.next(random_fragment_formula(arena, rng, depth - 1, safety));
+    case 6:
+      return safety
+                 ? arena.always(random_fragment_formula(arena, rng, depth - 1, safety))
+                 : arena.eventually(
+                       random_fragment_formula(arena, rng, depth - 1, safety));
+    default:
+      return safety
+                 ? arena.release(random_fragment_formula(arena, rng, depth - 1, safety),
+                                 random_fragment_formula(arena, rng, depth - 1, safety))
+                 : arena.until(random_fragment_formula(arena, rng, depth - 1, safety),
+                               random_fragment_formula(arena, rng, depth - 1, safety));
+  }
+}
+
+TEST_F(SyntacticFixture, RandomSafetyFragmentFormulasAreSafe) {
+  std::mt19937 rng(131);
+  for (int i = 0; i < 40; ++i) {
+    const FormulaId f = random_fragment_formula(arena, rng, 3, /*safety=*/true);
+    ASSERT_TRUE(in_syntactic_safety_fragment(arena, f)) << arena.to_string(f);
+    EXPECT_TRUE(buchi::is_safety(to_nba(arena, f))) << arena.to_string(f);
+  }
+}
+
+TEST_F(SyntacticFixture, RandomCoSafetyFragmentFormulasAreCoSafe) {
+  // is_cosafety complements the automaton, so skip the occasional random
+  // formula whose (reduced) automaton is too large for the rank
+  // construction — enough small ones remain for a meaningful sweep.
+  std::mt19937 rng(137);
+  int checked = 0;
+  for (int i = 0; i < 60 && checked < 18; ++i) {
+    const FormulaId f = random_fragment_formula(arena, rng, 2, /*safety=*/false);
+    ASSERT_TRUE(in_syntactic_cosafety_fragment(arena, f)) << arena.to_string(f);
+    const buchi::Nba reduced = to_nba(arena, f).reduce();
+    if (reduced.num_states() - reduced.num_accepting() > 3) continue;
+    ++checked;
+    EXPECT_TRUE(buchi::is_cosafety(reduced)) << arena.to_string(f);
+  }
+  EXPECT_GE(checked, 15);
+}
+
+TEST_F(SyntacticFixture, DualityUnderNegation) {
+  // ¬(safety fragment) lands in the co-safety fragment and vice versa.
+  for (const char* text : {"G a", "b R a", "G (a | X b)"}) {
+    const FormulaId f = parse(text);
+    EXPECT_TRUE(in_syntactic_cosafety_fragment(arena, arena.negation(f))) << text;
+  }
+  for (const char* text : {"F a", "a U b"}) {
+    const FormulaId f = parse(text);
+    EXPECT_TRUE(in_syntactic_safety_fragment(arena, arena.negation(f))) << text;
+  }
+}
+
+TEST_F(SyntacticFixture, Names) {
+  EXPECT_STREQ(to_string(SyntacticClass::kSafety), "syntactic-safety");
+  EXPECT_STREQ(to_string(SyntacticClass::kNeither), "syntactic-neither");
+}
+
+}  // namespace
+}  // namespace slat::ltl

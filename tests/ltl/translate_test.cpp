@@ -1,0 +1,137 @@
+// GPVW translation, differentially tested against the UP-word evaluator:
+// for every formula and every corpus word, w ⊨ φ ⟺ NBA(φ) accepts w.
+#include "ltl/translate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "buchi/safety.hpp"
+#include "ltl/eval.hpp"
+#include "ltl/rem.hpp"
+
+namespace slat::ltl {
+namespace {
+
+using words::UpWord;
+
+class TranslateFixture : public ::testing::Test {
+ protected:
+  LtlArena arena{Alphabet::binary()};
+  std::vector<UpWord> corpus = words::enumerate_up_words(2, 3, 3);
+
+  void expect_translation_correct(FormulaId f) {
+    const buchi::Nba nba = to_nba(arena, f);
+    for (const auto& w : corpus) {
+      ASSERT_EQ(nba.accepts(w), holds(arena, f, w))
+          << arena.to_string(f) << " on " << w.to_string(arena.alphabet());
+    }
+  }
+};
+
+TEST_F(TranslateFixture, CoreFormulas) {
+  for (const char* text : {
+           "true", "false", "a", "!a", "X a", "X X b", "F a", "G a", "a U b",
+           "b R a", "F G a", "G F a", "a & F !a", "F G !a",
+           "a -> X b", "G (a -> X b)", "F (a & X a)", "(F a) & (F b)",
+           "G (a | X a)", "a U (b U a)", "(a U b) | (b U a)",
+           "!(a U b)", "G (a -> F b)", "F a -> F b", "X (a R b)",
+       }) {
+    const auto f = arena.parse(text);
+    ASSERT_TRUE(f.has_value()) << text;
+    expect_translation_correct(*f);
+  }
+}
+
+// Random formula generator over {a, b}.
+FormulaId random_formula(LtlArena& arena, std::mt19937& rng, int depth) {
+  std::uniform_int_distribution<int> pick(0, depth <= 0 ? 3 : 11);
+  switch (pick(rng)) {
+    case 0:
+      return arena.atom(Sym{0});
+    case 1:
+      return arena.atom(Sym{1});
+    case 2:
+      return arena.tru();
+    case 3:
+      return arena.negation(random_formula(arena, rng, 0));
+    case 4:
+      return arena.negation(random_formula(arena, rng, depth - 1));
+    case 5:
+      return arena.conj(random_formula(arena, rng, depth - 1),
+                        random_formula(arena, rng, depth - 1));
+    case 6:
+      return arena.disj(random_formula(arena, rng, depth - 1),
+                        random_formula(arena, rng, depth - 1));
+    case 7:
+      return arena.next(random_formula(arena, rng, depth - 1));
+    case 8:
+      return arena.eventually(random_formula(arena, rng, depth - 1));
+    case 9:
+      return arena.always(random_formula(arena, rng, depth - 1));
+    case 10:
+      return arena.until(random_formula(arena, rng, depth - 1),
+                         random_formula(arena, rng, depth - 1));
+    default:
+      return arena.release(random_formula(arena, rng, depth - 1),
+                           random_formula(arena, rng, depth - 1));
+  }
+}
+
+TEST_F(TranslateFixture, RandomFormulasAgreeWithEvaluator) {
+  std::mt19937 rng(79);
+  for (int i = 0; i < 150; ++i) {
+    const FormulaId f = random_formula(arena, rng, 3);
+    expect_translation_correct(f);
+  }
+}
+
+TEST_F(TranslateFixture, StatsAreFilled) {
+  TranslationStats stats;
+  const auto f = arena.parse("G (a -> F b)");
+  ASSERT_TRUE(f.has_value());
+  const buchi::Nba nba = to_nba(arena, *f, &stats);
+  EXPECT_GT(stats.tableau_nodes, 0);
+  EXPECT_EQ(stats.acceptance_sets, 1);  // one Until after NNF
+  EXPECT_EQ(stats.nba_states, nba.num_states());
+  EXPECT_EQ(stats.nba_transitions, nba.num_transitions());
+}
+
+TEST_F(TranslateFixture, NoUntilMeansEverythingAccepting) {
+  // Pure safety formula: the translation has no acceptance obligations.
+  TranslationStats stats;
+  const auto f = arena.parse("G a");
+  to_nba(arena, *f, &stats);
+  EXPECT_EQ(stats.acceptance_sets, 0);
+}
+
+TEST(RemExamples, ClassificationsMatchThePaper) {
+  LtlArena arena(Alphabet::binary());
+  for (const RemExample& example : rem_examples()) {
+    const auto f = arena.parse(example.formula);
+    ASSERT_TRUE(f.has_value()) << example.name;
+    const buchi::Nba nba = to_nba(arena, *f);
+    EXPECT_EQ(buchi::classify(nba), example.expected) << example.name;
+  }
+}
+
+TEST(RemExamples, ClosuresMatchThePaper) {
+  // lcl(p3) = p1 and lcl(p4) = lcl(p5) = Σ^ω, per §2.3.
+  LtlArena arena(Alphabet::binary());
+  const auto nba_of = [&](const char* text) {
+    const auto f = arena.parse(text);
+    EXPECT_TRUE(f.has_value());
+    return to_nba(arena, *f);
+  };
+  const auto corpus = words::enumerate_up_words(2, 3, 3);
+  const buchi::Nba closure_p3 = buchi::safety_closure(nba_of("a & F !a"));
+  const buchi::Nba p1 = nba_of("a");
+  for (const auto& w : corpus) {
+    EXPECT_EQ(closure_p3.accepts(w), p1.accepts(w)) << w.to_string(arena.alphabet());
+  }
+  EXPECT_TRUE(buchi::DetSafety::from_nba(nba_of("F G !a")).is_universal());
+  EXPECT_TRUE(buchi::DetSafety::from_nba(nba_of("G F a")).is_universal());
+}
+
+}  // namespace
+}  // namespace slat::ltl

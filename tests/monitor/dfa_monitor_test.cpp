@@ -1,0 +1,87 @@
+// The minimal DFA-backed monitor: verdict-equivalent to SafetyMonitor and
+// never larger.
+#include "monitor/dfa_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "monitor/monitor.hpp"
+
+namespace slat::monitor {
+namespace {
+
+constexpr words::Sym kA = 0;
+constexpr words::Sym kB = 1;
+
+class DfaMonitorFixture : public ::testing::Test {
+ protected:
+  ltl::LtlArena arena{words::Alphabet::binary()};
+
+  ltl::FormulaId parse(const char* text) { return *arena.parse(text); }
+};
+
+TEST_F(DfaMonitorFixture, SameVerdictsAsSubsetMonitor) {
+  const std::vector<words::Word> traces = {
+      {}, {kA}, {kB}, {kA, kA}, {kA, kB}, {kB, kA}, {kA, kB, kA, kA},
+      {kB, kB, kB}, {kA, kA, kB, kA, kB}};
+  for (const char* text :
+       {"G a", "a & F !a", "G (a -> X !a)", "G F a", "false", "a U b", "a W b"}) {
+    SafetyMonitor subset = SafetyMonitor::from_ltl(arena, parse(text));
+    DfaMonitor minimal = DfaMonitor::from_ltl(arena, parse(text));
+    EXPECT_EQ(subset.is_vacuous(), minimal.is_vacuous()) << text;
+    for (const auto& trace : traces) {
+      EXPECT_EQ(subset.run(trace), minimal.run(trace)) << text;
+    }
+  }
+}
+
+TEST_F(DfaMonitorFixture, NeverLargerThanSubsetMonitor) {
+  for (const char* text :
+       {"G a", "a & F !a", "G (a -> X !a)", "G (a | X (a | X a))", "a U b"}) {
+    SafetyMonitor subset = SafetyMonitor::from_ltl(arena, parse(text));
+    DfaMonitor minimal = DfaMonitor::from_ltl(arena, parse(text));
+    EXPECT_LE(minimal.automaton().num_states(), subset.automaton().num_states())
+        << text;
+  }
+}
+
+TEST_F(DfaMonitorFixture, StepAndLatching) {
+  DfaMonitor monitor = DfaMonitor::from_ltl(arena, parse("G a"));
+  EXPECT_TRUE(monitor.step(kA));
+  EXPECT_FALSE(monitor.step(kB));
+  EXPECT_TRUE(monitor.violated());
+  EXPECT_FALSE(monitor.step(kA));  // latched
+  monitor.reset();
+  EXPECT_FALSE(monitor.violated());
+  EXPECT_TRUE(monitor.step(kA));
+}
+
+TEST_F(DfaMonitorFixture, WeakUntilMonitors) {
+  // a W b is safety. Over the BINARY alphabet every prefix is all-a
+  // (extendable to a^ω) or contains b, so no finite trace can violate it —
+  // the monitor is vacuous there; the ternary alphabet below is not.
+  DfaMonitor monitor = DfaMonitor::from_ltl(arena, parse("a W b"));
+  EXPECT_TRUE(monitor.is_vacuous());
+  EXPECT_EQ(monitor.run({kA, kA, kB}), std::nullopt);
+  EXPECT_EQ(monitor.run({kB}), std::nullopt);
+  // After b everything is allowed...
+  EXPECT_EQ(monitor.run({kA, kB, kA, kB, kB}), std::nullopt);
+  // ...but a bare stop of a before b violates: "ab" is fine; "a then
+  // neither a nor b" is impossible over the binary alphabet, so a W b over
+  // {a,b} is violated never — use the ternary alphabet instead.
+  words::Alphabet ternary({"a", "b", "c"});
+  ltl::LtlArena arena3(ternary);
+  DfaMonitor monitor3 = DfaMonitor::from_ltl(arena3, *arena3.parse("a W b"));
+  const auto s = [&](const char* name) { return *ternary.index_of(name); };
+  EXPECT_EQ(monitor3.run({s("a"), s("a"), s("c")}), std::optional<std::size_t>(2));
+  EXPECT_EQ(monitor3.run({s("a"), s("b"), s("c")}), std::nullopt);
+  EXPECT_EQ(monitor3.run({s("c")}), std::optional<std::size_t>(0));
+}
+
+TEST_F(DfaMonitorFixture, VacuousMonitorHasOneState) {
+  DfaMonitor monitor = DfaMonitor::from_ltl(arena, parse("G F a"));
+  EXPECT_TRUE(monitor.is_vacuous());
+  EXPECT_EQ(monitor.automaton().num_states(), 1);
+}
+
+}  // namespace
+}  // namespace slat::monitor

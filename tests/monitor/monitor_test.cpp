@@ -1,0 +1,94 @@
+#include "monitor/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slat::monitor {
+namespace {
+
+constexpr Sym kA = 0;
+constexpr Sym kB = 1;
+
+class MonitorFixture : public ::testing::Test {
+ protected:
+  ltl::LtlArena arena{words::Alphabet::binary()};
+
+  SafetyMonitor monitor_for(const char* text) {
+    const auto f = arena.parse(text);
+    EXPECT_TRUE(f.has_value()) << text;
+    return SafetyMonitor::from_ltl(arena, *f);
+  }
+};
+
+TEST_F(MonitorFixture, GaRejectsAtFirstB) {
+  SafetyMonitor monitor = monitor_for("G a");
+  EXPECT_TRUE(monitor.step(kA));
+  EXPECT_TRUE(monitor.step(kA));
+  EXPECT_FALSE(monitor.step(kB));
+  EXPECT_TRUE(monitor.violated());
+  // Latching: everything afterwards is rejected.
+  EXPECT_FALSE(monitor.step(kA));
+  EXPECT_EQ(monitor.accepted_trace(), (Word{kA, kA}));
+}
+
+TEST_F(MonitorFixture, RunReportsFirstViolationIndex) {
+  SafetyMonitor monitor = monitor_for("G a");
+  EXPECT_EQ(monitor.run({kA, kA, kB, kA}), std::optional<std::size_t>(2));
+  EXPECT_EQ(monitor.run({kA, kA, kA}), std::nullopt);
+}
+
+TEST_F(MonitorFixture, LivenessSpecificationsAreVacuous) {
+  // Pure liveness cannot be refuted by any finite trace: the monitor's
+  // safety closure is universal.
+  for (const char* text : {"G F a", "F G !a", "F b"}) {
+    SafetyMonitor monitor = monitor_for(text);
+    EXPECT_TRUE(monitor.is_vacuous()) << text;
+    EXPECT_EQ(monitor.run({kB, kB, kB, kB, kB, kB}), std::nullopt) << text;
+  }
+}
+
+TEST_F(MonitorFixture, P3MonitorsItsSafetyPart) {
+  // p3 = a ∧ F¬a: the safety closure is "first symbol a"; only the first
+  // event can violate.
+  SafetyMonitor monitor = monitor_for("a & F !a");
+  EXPECT_FALSE(monitor.is_vacuous());
+  EXPECT_EQ(monitor.run({kB}), std::optional<std::size_t>(0));
+  EXPECT_EQ(monitor.run({kA, kB, kB, kA}), std::nullopt);
+}
+
+TEST_F(MonitorFixture, FalseSpecificationRejectsImmediately) {
+  SafetyMonitor monitor = monitor_for("false");
+  EXPECT_TRUE(monitor.violated());  // the empty trace already fails
+  EXPECT_FALSE(monitor.step(kA));
+}
+
+TEST_F(MonitorFixture, ResetRestoresInitialState) {
+  SafetyMonitor monitor = monitor_for("G a");
+  EXPECT_EQ(monitor.run({kB}), std::optional<std::size_t>(0));
+  monitor.reset();
+  EXPECT_FALSE(monitor.violated());
+  EXPECT_TRUE(monitor.step(kA));
+  EXPECT_EQ(monitor.accepted_trace(), (Word{kA}));
+}
+
+TEST_F(MonitorFixture, RequestResponsePolicy) {
+  // Schneider-style policy over {request=a, response=b}: after a request,
+  // no further request until a response: G (a -> X (b R !a))... expressed
+  // as the safety formula G (a -> X (!a U b | G !a)) simplified to the
+  // automaton level: use G (a -> X !a) for a strict alternation check.
+  SafetyMonitor monitor = monitor_for("G (a -> X !a)");
+  EXPECT_EQ(monitor.run({kA, kB, kA, kB}), std::nullopt);
+  EXPECT_EQ(monitor.run({kA, kA}), std::optional<std::size_t>(1));
+}
+
+TEST_F(MonitorFixture, FromNbaDirectly) {
+  // Hand-built Ga automaton.
+  Nba ga(words::Alphabet::binary(), 1, 0);
+  ga.add_transition(0, kA, 0);
+  ga.set_accepting(0, true);
+  SafetyMonitor monitor = SafetyMonitor::from_nba(ga);
+  EXPECT_TRUE(monitor.step(kA));
+  EXPECT_FALSE(monitor.step(kB));
+}
+
+}  // namespace
+}  // namespace slat::monitor

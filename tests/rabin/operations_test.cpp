@@ -1,0 +1,137 @@
+// Union and (Büchi-shaped) intersection of Rabin tree automata — validated
+// semantically on tree corpora and compositionally against from_ctl.
+#include "rabin/operations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rabin/examples.hpp"
+#include "rabin/from_ctl.hpp"
+#include "rabin/random.hpp"
+#include "trees/ctl.hpp"
+
+namespace slat::rabin {
+namespace {
+
+using trees::KTree;
+
+Alphabet binary() { return words::Alphabet::binary(); }
+
+std::vector<KTree> corpus() {
+  std::vector<KTree> out;
+  for (int n = 1; n <= 2; ++n) {
+    for (KTree& tree : trees::enumerate_regular_trees(binary(), n, 2, 2)) {
+      out.push_back(std::move(tree));
+    }
+  }
+  std::mt19937 rng(191);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(trees::random_regular_tree(binary(), 3, 2, rng));
+  }
+  return out;
+}
+
+TEST(Union, SemanticsOnExamples) {
+  const RabinTreeAutomaton a = aut_agf_b();
+  const RabinTreeAutomaton b = aut_root_a();
+  const RabinTreeAutomaton both = unite(a, b);
+  for (const KTree& t : corpus()) {
+    EXPECT_EQ(both.accepts(t), a.accepts(t) || b.accepts(t)) << t.to_string();
+  }
+}
+
+TEST(Union, SemanticsOnRandomAutomata) {
+  std::mt19937 rng(193);
+  RandomRabinConfig config;
+  config.num_states = 2;
+  const auto trees_corpus = corpus();
+  for (int i = 0; i < 15; ++i) {
+    const RabinTreeAutomaton a = random_rabin(config, rng);
+    const RabinTreeAutomaton b = random_rabin(config, rng);
+    const RabinTreeAutomaton both = unite(a, b);
+    for (const KTree& t : trees_corpus) {
+      ASSERT_EQ(both.accepts(t), a.accepts(t) || b.accepts(t)) << i;
+    }
+  }
+}
+
+TEST(Union, MixedPairCounts) {
+  // Different pair structures unite cleanly.
+  const RabinTreeAutomaton a = aut_afg_b();   // 1 pair with red
+  const RabinTreeAutomaton b = aut_all_trees();  // trivial
+  const RabinTreeAutomaton both = unite(a, b);
+  EXPECT_EQ(both.num_pairs(), 2);
+  for (const KTree& t : corpus()) {
+    EXPECT_TRUE(both.accepts(t));  // b already accepts everything
+  }
+}
+
+TEST(IntersectBuchi, ShapeDetection) {
+  EXPECT_TRUE(is_buchi_shaped(aut_agf_b()));
+  EXPECT_TRUE(is_buchi_shaped(rfcl(aut_af_b())));
+  EXPECT_FALSE(is_buchi_shaped(aut_af_b()));  // has a red set
+  EXPECT_FALSE(is_buchi_shaped(aut_afg_b()));
+}
+
+TEST(IntersectBuchi, SemanticsOnExamples) {
+  const RabinTreeAutomaton a = aut_agf_b();     // A GF b (Büchi-shaped)
+  const RabinTreeAutomaton b = aut_root_a();    // root a (trivial pair)
+  const RabinTreeAutomaton both = intersect_buchi(a, b);
+  for (const KTree& t : corpus()) {
+    EXPECT_EQ(both.accepts(t), a.accepts(t) && b.accepts(t)) << t.to_string();
+  }
+}
+
+TEST(IntersectBuchi, MatchesFromCtlOnConjunctions) {
+  // from_ctl(φ ∧ ψ) and intersect_buchi(from_ctl(φ), from_ctl(ψ)) must
+  // recognize the same language.
+  trees::CtlArena arena(binary());
+  const struct {
+    const char* lhs;
+    const char* rhs;
+  } cases[] = {
+      {"AF b", "AG (a | b)"},
+      {"EF a", "AF b"},
+      {"AG AF b", "EX a"},
+  };
+  const auto trees_corpus = corpus();
+  for (const auto& c : cases) {
+    const auto fl = *arena.parse(c.lhs);
+    const auto fr = *arena.parse(c.rhs);
+    const RabinTreeAutomaton combined =
+        from_ctl(arena, arena.conj(fl, fr), 2);
+    const RabinTreeAutomaton product =
+        intersect_buchi(from_ctl(arena, fl, 2), from_ctl(arena, fr, 2));
+    for (const KTree& t : trees_corpus) {
+      ASSERT_EQ(combined.accepts(t), product.accepts(t)) << c.lhs << " & " << c.rhs;
+    }
+  }
+}
+
+TEST(Union, MatchesFromCtlOnDisjunctions) {
+  trees::CtlArena arena(binary());
+  const auto fl = *arena.parse("AG a");
+  const auto fr = *arena.parse("AF b");
+  const RabinTreeAutomaton combined = from_ctl(arena, arena.disj(fl, fr), 2);
+  const RabinTreeAutomaton sum = unite(from_ctl(arena, fl, 2), from_ctl(arena, fr, 2));
+  for (const KTree& t : corpus()) {
+    ASSERT_EQ(combined.accepts(t), sum.accepts(t)) << t.to_string();
+  }
+}
+
+TEST(Operations, DecompositionOfAnIntersection) {
+  // End-to-end: intersect two generated automata, decompose, verify the
+  // identity — the lattice story closing over machine-built objects.
+  trees::CtlArena arena(binary());
+  const RabinTreeAutomaton automaton = intersect_buchi(
+      from_ctl(arena, *arena.parse("AG (a | b)"), 2),
+      from_ctl(arena, *arena.parse("AF b"), 2));
+  const RabinDecomposition d = decompose(automaton);
+  for (const KTree& t : corpus()) {
+    ASSERT_EQ(automaton.accepts(t), d.safety.accepts(t) && d.liveness_contains(t));
+  }
+}
+
+}  // namespace
+}  // namespace slat::rabin

@@ -1,0 +1,319 @@
+// Rabin tree automata: membership/emptiness via games, cross-checks against
+// the CTL / graph oracles, the rfcl closure theorem L(rfcl B) = fcl(L(B)),
+// and the Theorem 9 decomposition.
+#include "rabin/rabin_tree_automaton.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rabin/examples.hpp"
+#include "rabin/random.hpp"
+#include "trees/closures.hpp"
+#include "trees/rem_branching.hpp"
+
+namespace slat::rabin {
+namespace {
+
+constexpr Sym kA = 0;
+constexpr Sym kB = 1;
+
+Alphabet binary() { return words::Alphabet::binary(); }
+
+// All total binary (exactly 2 children) regular trees with ≤ 2 graph nodes.
+std::vector<KTree> binary_corpus() {
+  std::vector<KTree> corpus;
+  for (int n = 1; n <= 2; ++n) {
+    for (KTree& tree : trees::enumerate_regular_trees(binary(), n, 2, 2)) {
+      bool duplicate = false;
+      for (const KTree& existing : corpus) {
+        if (existing.same_unfolding(tree)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) corpus.push_back(std::move(tree));
+    }
+  }
+  return corpus;
+}
+
+trees::TreeProperty property_of(const RabinTreeAutomaton& automaton, std::string name) {
+  return trees::TreeProperty{
+      std::move(name),
+      [&automaton](const KTree& t) { return automaton.accepts(t); },
+      [&automaton](const KTree& t) { return automaton.accepts_some_extension(t); }};
+}
+
+TEST(Membership, ConstAAutomaton) {
+  const RabinTreeAutomaton aut = aut_const_a();
+  EXPECT_TRUE(aut.accepts(KTree::constant(binary(), kA, 2)));
+  EXPECT_FALSE(aut.accepts(KTree::constant(binary(), kB, 2)));
+  EXPECT_FALSE(aut.is_empty());
+}
+
+TEST(Membership, EmptyAutomaton) {
+  const RabinTreeAutomaton aut = aut_empty();
+  EXPECT_TRUE(aut.is_empty());
+  EXPECT_FALSE(aut.accepts(KTree::constant(binary(), kA, 2)));
+  EXPECT_FALSE(aut.find_accepted_tree().has_value());
+}
+
+TEST(Membership, ExamplesAgreeWithGraphOracles) {
+  const auto corpus = binary_corpus();
+  ASSERT_GT(corpus.size(), 5u);
+  const RabinTreeAutomaton agf_b = aut_agf_b();
+  const RabinTreeAutomaton efg_b = aut_efg_b();
+  const RabinTreeAutomaton afg_b = aut_afg_b();
+  const RabinTreeAutomaton root_a = aut_root_a();
+  for (const KTree& t : corpus) {
+    // A GF b ⟺ no reachable all-a cycle.
+    EXPECT_EQ(agf_b.accepts(t), !trees::exists_monochrome_cycle(t, kA)) << t.to_string();
+    // E FG b ⟺ some reachable all-b cycle.
+    EXPECT_EQ(efg_b.accepts(t), trees::exists_monochrome_cycle(t, kB)) << t.to_string();
+    // A FG b ⟺ no reachable cycle visiting a.
+    EXPECT_EQ(afg_b.accepts(t), !trees::exists_cycle_visiting(t, kA)) << t.to_string();
+    EXPECT_EQ(root_a.accepts(t), t.label(t.root()) == kA) << t.to_string();
+  }
+}
+
+TEST(Membership, AfBAgainstHandTrees) {
+  const RabinTreeAutomaton aut = aut_af_b();
+  EXPECT_TRUE(aut.accepts(KTree::constant(binary(), kB, 2)));
+  EXPECT_FALSE(aut.accepts(KTree::constant(binary(), kA, 2)));
+  // Root a, both children all-b: AF b holds.
+  KTree tree(binary(), 2, 0);
+  tree.set_label(0, kA);
+  tree.set_label(1, kB);
+  tree.add_child(0, 1);
+  tree.add_child(0, 1);
+  tree.add_child(1, 1);
+  tree.add_child(1, 1);
+  EXPECT_TRUE(aut.accepts(tree));
+  // One branch stays all-a: AF b fails.
+  KTree bad(binary(), 3, 0);
+  bad.set_label(0, kA);
+  bad.set_label(1, kA);
+  bad.set_label(2, kB);
+  bad.add_child(0, 1);
+  bad.add_child(0, 2);
+  bad.add_child(1, 1);
+  bad.add_child(1, 1);
+  bad.add_child(2, 2);
+  bad.add_child(2, 2);
+  EXPECT_FALSE(aut.accepts(bad));
+}
+
+TEST(Witness, FindAcceptedTreeRoundTrips) {
+  for (const RabinTreeAutomaton& aut :
+       {aut_const_a(), aut_all_trees(), aut_root_a(), aut_af_b(), aut_agf_b(),
+        aut_efg_b(), aut_afg_b()}) {
+    const auto witness = aut.find_accepted_tree();
+    ASSERT_TRUE(witness.has_value());
+    EXPECT_TRUE(aut.accepts(*witness));
+  }
+}
+
+TEST(Witness, RandomAutomataRoundTrip) {
+  std::mt19937 rng(103);
+  RandomRabinConfig config;
+  int nonempty = 0;
+  for (int i = 0; i < 60; ++i) {
+    const RabinTreeAutomaton aut = random_rabin(config, rng);
+    const auto witness = aut.find_accepted_tree();
+    EXPECT_EQ(witness.has_value(), !aut.is_empty()) << i;
+    if (witness) {
+      ++nonempty;
+      EXPECT_TRUE(aut.accepts(*witness)) << i;
+    }
+  }
+  EXPECT_GT(nonempty, 5);
+}
+
+TEST(Extension, PrefixExtendability) {
+  const RabinTreeAutomaton aut = aut_const_a();  // L = {a^∞ tree}
+  // A single a-leaf extends into the language; a b-leaf does not.
+  KTree a_leaf(binary(), 1, 0);
+  a_leaf.set_label(0, kA);
+  EXPECT_TRUE(aut.accepts_some_extension(a_leaf));
+  KTree b_leaf(binary(), 1, 0);
+  b_leaf.set_label(0, kB);
+  EXPECT_FALSE(aut.accepts_some_extension(b_leaf));
+  // An a-root with one subtree already b: no extension works.
+  KTree mixed(binary(), 3, 0);
+  mixed.set_label(0, kA);
+  mixed.set_label(1, kB);
+  mixed.set_label(2, kA);
+  mixed.add_child(0, 1);
+  mixed.add_child(0, 2);
+  // children 1 and 2 are leaves
+  EXPECT_FALSE(aut.accepts_some_extension(mixed));
+}
+
+TEST(Closure, RfclShape) {
+  const RabinTreeAutomaton closure = rfcl(aut_af_b());
+  EXPECT_EQ(closure.num_pairs(), 1);
+  for (State q = 0; q < closure.num_states(); ++q) {
+    EXPECT_TRUE(closure.pair(0).green[q]);
+    EXPECT_FALSE(closure.pair(0).red[q]);
+  }
+  // AF b is a liveness-like property on trees: every finite prefix extends,
+  // so the closure accepts every total binary tree.
+  for (const KTree& t : binary_corpus()) {
+    EXPECT_TRUE(closure.accepts(t)) << t.to_string();
+  }
+}
+
+TEST(Closure, RfclIsTheSemanticFcl) {
+  // L(rfcl B) = fcl(L(B)), tested via the bounded semantic fcl from the
+  // trees module with the automaton's own oracles. Truncation
+  // extendability is antitone in the depth and stabilizes to true fcl
+  // membership; depth 8 is comfortably past stabilization for 3-state
+  // automata on ≤2-node trees (the deepest flip observed is at depth 4).
+  std::mt19937 rng(107);
+  RandomRabinConfig config;
+  const auto corpus = binary_corpus();
+  for (int i = 0; i < 16; ++i) {
+    const RabinTreeAutomaton aut = random_rabin(config, rng);
+    const RabinTreeAutomaton closure = rfcl(aut);
+    const trees::TreeProperty prop = property_of(aut, "random");
+    for (const KTree& t : corpus) {
+      const bool exact = closure.accepts(t);
+      // Shallow approximations may only err on the "extendable" side.
+      if (exact) {
+        EXPECT_TRUE(trees::in_fcl(prop, t, 3));
+      }
+      ASSERT_EQ(exact, trees::in_fcl(prop, t, 8))
+          << "iteration " << i << "\n"
+          << aut.to_string() << t.to_string();
+    }
+  }
+}
+
+TEST(Closure, RfclIsExtensiveAndIdempotent) {
+  std::mt19937 rng(109);
+  RandomRabinConfig config;
+  const auto corpus = binary_corpus();
+  for (int i = 0; i < 25; ++i) {
+    const RabinTreeAutomaton aut = random_rabin(config, rng);
+    const RabinTreeAutomaton once = rfcl(aut);
+    const RabinTreeAutomaton twice = rfcl(once);
+    for (const KTree& t : corpus) {
+      if (aut.accepts(t)) {
+        EXPECT_TRUE(once.accepts(t)) << i;
+      }
+      EXPECT_EQ(once.accepts(t), twice.accepts(t)) << i;
+    }
+  }
+}
+
+TEST(Escape, SafetyEscapeAnalysis) {
+  // Closure of const-a: language {a^∞}; a lone a-leaf escapes (grow a b),
+  // and the total constant-a tree does not escape.
+  const RabinTreeAutomaton closure = rfcl(aut_const_a());
+  KTree a_leaf(binary(), 1, 0);
+  a_leaf.set_label(0, kA);
+  EXPECT_TRUE(some_extension_escapes(closure, a_leaf));
+  EXPECT_FALSE(some_extension_escapes(closure, KTree::constant(binary(), kA, 2)));
+  EXPECT_TRUE(some_extension_escapes(closure, KTree::constant(binary(), kB, 2)));
+  // Closure of "all trees": nothing escapes.
+  const RabinTreeAutomaton everything = rfcl(aut_all_trees());
+  EXPECT_FALSE(some_extension_escapes(everything, a_leaf));
+}
+
+TEST(Decomposition, Theorem9OnExamples) {
+  const auto corpus = binary_corpus();
+  for (const RabinTreeAutomaton& aut :
+       {aut_const_a(), aut_root_a(), aut_af_b(), aut_agf_b(), aut_afg_b()}) {
+    const RabinDecomposition d = decompose(aut);
+    const trees::TreeProperty live{"live",
+                                   [&d](const KTree& t) { return d.liveness_contains(t); },
+                                   [&d](const KTree& t) { return d.liveness_extendable(t); }};
+    const trees::TreeProperty safe = property_of(d.safety, "safe");
+    for (const KTree& t : corpus) {
+      // L(B) = L(B_safe) ∩ L(B_live).
+      EXPECT_EQ(aut.accepts(t), d.safety.accepts(t) && d.liveness_contains(t));
+      // The safety part is universally safe: fcl-closed.
+      EXPECT_EQ(d.safety.accepts(t), trees::in_fcl(safe, t, 3)) << t.to_string();
+      // The liveness part is universally live: fcl = everything.
+      EXPECT_TRUE(trees::in_fcl(live, t, 3)) << t.to_string();
+    }
+  }
+}
+
+TEST(Decomposition, Theorem9OnRandomAutomata) {
+  std::mt19937 rng(113);
+  RandomRabinConfig config;
+  config.num_states = 2;
+  const auto corpus = binary_corpus();
+  for (int i = 0; i < 20; ++i) {
+    const RabinTreeAutomaton aut = random_rabin(config, rng);
+    const RabinDecomposition d = decompose(aut);
+    const trees::TreeProperty live{"live",
+                                   [&d](const KTree& t) { return d.liveness_contains(t); },
+                                   [&d](const KTree& t) { return d.liveness_extendable(t); }};
+    for (const KTree& t : corpus) {
+      ASSERT_EQ(aut.accepts(t), d.safety.accepts(t) && d.liveness_contains(t)) << i;
+      ASSERT_TRUE(trees::in_fcl(live, t, 2)) << i << "\n" << aut.to_string();
+    }
+  }
+}
+
+TEST(Rncl, ExistentialAndUniversalClosuresDiverge) {
+  // The §4.2 point, at the automaton level: for AF b, the two-path tree
+  // (one all-a branch, one all-b branch) is in the FINITE-DEPTH closure
+  // (every truncation still extends into AF b) but not in the NON-TOTAL
+  // closure (the pruning that keeps the all-a branch alive cannot be
+  // extended — the trapped a-path already violates AF b).
+  const RabinTreeAutomaton aut = aut_af_b();
+  KTree two_path(binary(), 3, 0);
+  two_path.set_label(0, kA);
+  two_path.set_label(1, kA);
+  two_path.set_label(2, kB);
+  two_path.add_child(0, 1);
+  two_path.add_child(0, 2);
+  two_path.add_child(1, 1);
+  two_path.add_child(1, 1);
+  two_path.add_child(2, 2);
+  two_path.add_child(2, 2);
+  const RabinTreeAutomaton closure = rfcl(aut);
+  EXPECT_TRUE(closure.accepts(two_path));                 // ∈ fcl(L)
+  EXPECT_TRUE(trees::in_fcl(as_tree_property(aut, "af_b"), two_path, 3));
+  EXPECT_FALSE(in_rncl_bounded(aut, two_path, 2));        // ∉ ncl(L)
+  // Whereas the all-b tree is in both closures (it is in L itself).
+  const KTree all_b = KTree::constant(binary(), kB, 2);
+  EXPECT_TRUE(closure.accepts(all_b));
+  EXPECT_TRUE(in_rncl_bounded(aut, all_b, 2));
+}
+
+TEST(Rncl, BoundedNclIsBelowBoundedFcl) {
+  std::mt19937 rng(173);
+  RandomRabinConfig config;
+  config.num_states = 2;
+  const auto corpus = binary_corpus();
+  for (int i = 0; i < 10; ++i) {
+    const RabinTreeAutomaton aut = random_rabin(config, rng);
+    const auto prop = as_tree_property(aut, "random");
+    for (const KTree& t : corpus) {
+      if (in_rncl_bounded(aut, t, 2)) {
+        EXPECT_TRUE(trees::in_fcl(prop, t, 2)) << i;
+      }
+    }
+  }
+}
+
+TEST(States, NonemptyLanguagePerState) {
+  // In aut_af_b every state has a non-empty language.
+  const auto nonempty = aut_af_b().states_with_nonempty_language();
+  EXPECT_TRUE(nonempty[0]);
+  EXPECT_TRUE(nonempty[1]);
+  // Add an unreachable dead state: its language is empty.
+  RabinTreeAutomaton aut(binary(), 2, 3, 0);
+  aut.add_transition(0, kA, {0, 0});
+  aut.set_trivial_acceptance();
+  const auto dead = aut.states_with_nonempty_language();
+  EXPECT_TRUE(dead[0]);
+  EXPECT_FALSE(dead[1]);
+  EXPECT_FALSE(dead[2]);
+}
+
+}  // namespace
+}  // namespace slat::rabin

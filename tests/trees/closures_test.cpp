@@ -1,0 +1,225 @@
+// The §4.2/§4.3 closure machinery: ncl and fcl membership, the paper's
+// closure identities (fcl.q3a = q1, ncl.q3b = q1, ncl.q4b = A_tot, ...), and
+// the full ES/US/EL/UL classification grid of the Rem examples.
+#include "trees/closures.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trees/rem_branching.hpp"
+
+namespace slat::trees {
+namespace {
+
+constexpr Sym kA = 0;
+constexpr Sym kB = 1;
+constexpr int kDepth = 2;
+
+Alphabet binary() { return words::Alphabet::binary(); }
+
+KTree two_path_tree() {
+  KTree tree(binary(), 3, 0);
+  tree.set_label(0, kA);
+  tree.set_label(1, kA);
+  tree.set_label(2, kB);
+  tree.add_child(0, 1);
+  tree.add_child(0, 2);
+  tree.add_child(1, 1);
+  tree.add_child(2, 2);
+  return tree;
+}
+
+KTree sequence(std::vector<Sym> prefix, Sym looped) {
+  // The sequence prefix · looped^ω as a unary tree.
+  KTree tree(binary(), static_cast<int>(prefix.size()) + 1, 0);
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    tree.set_label(static_cast<int>(i), prefix[i]);
+    tree.add_child(static_cast<int>(i), static_cast<int>(i) + 1);
+  }
+  tree.set_label(static_cast<int>(prefix.size()), looped);
+  tree.add_child(static_cast<int>(prefix.size()), static_cast<int>(prefix.size()));
+  return tree;
+}
+
+const TreeProperty& property_named(const std::string& name) {
+  static const auto examples = rem_branching_examples();
+  for (const auto& example : examples) {
+    if (example.name == name) return example.property;
+  }
+  ADD_FAILURE() << "unknown example " << name;
+  return examples.front().property;
+}
+
+std::vector<KTree> classification_corpus() {
+  auto corpus = total_tree_corpus(binary(), 2, 2);
+  for (KTree& witness : paper_witness_trees()) corpus.push_back(std::move(witness));
+  return corpus;
+}
+
+TEST(Corpus, ContainsSequencesAndBinaryTrees) {
+  const auto corpus = total_tree_corpus(binary(), 2, 2);
+  EXPECT_GT(corpus.size(), 10u);
+  bool has_unary = false, has_binary = false;
+  for (const KTree& tree : corpus) {
+    EXPECT_TRUE(tree.is_total());
+    const int arity = static_cast<int>(tree.children(tree.root()).size());
+    has_unary = has_unary || arity == 1;
+    has_binary = has_binary || arity == 2;
+  }
+  EXPECT_TRUE(has_unary);
+  EXPECT_TRUE(has_binary);
+}
+
+TEST(Corpus, DeduplicatesByUnfolding) {
+  const auto corpus = total_tree_corpus(binary(), 2, 2);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    for (std::size_t j = i + 1; j < corpus.size(); ++j) {
+      EXPECT_FALSE(corpus[i].same_unfolding(corpus[j])) << i << " vs " << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The paper's §4.3 closure identities
+// ---------------------------------------------------------------------------
+
+TEST(PaperClaims, FclOfQ3aIsQ1) {
+  const TreeProperty& q3a = property_named("q3a");
+  const TreeProperty& q1 = property_named("q1");
+  for (const KTree& y : classification_corpus()) {
+    EXPECT_EQ(in_fcl(q3a, y, kDepth), q1.contains(y)) << y.to_string();
+  }
+}
+
+TEST(PaperClaims, NclOfQ3bIsQ1AndFclOfQ3bIsQ1) {
+  const TreeProperty& q3b = property_named("q3b");
+  const TreeProperty& q1 = property_named("q1");
+  for (const KTree& y : classification_corpus()) {
+    EXPECT_EQ(in_ncl(q3b, y, kDepth), q1.contains(y)) << y.to_string();
+    EXPECT_EQ(in_fcl(q3b, y, kDepth), q1.contains(y)) << y.to_string();
+  }
+}
+
+TEST(PaperClaims, NclOfQ3aIsStrictlyBelowQ1) {
+  // ncl.q3a ⊆ q1 on the corpus, with the two-path witness strictly inside
+  // q1 \ ncl.q3a (it has an all-a path, which some pruning keeps).
+  const TreeProperty& q3a = property_named("q3a");
+  const TreeProperty& q1 = property_named("q1");
+  for (const KTree& y : classification_corpus()) {
+    if (in_ncl(q3a, y, kDepth)) {
+      EXPECT_TRUE(q1.contains(y));
+    }
+  }
+  const KTree witness = two_path_tree();
+  EXPECT_TRUE(q1.contains(witness));
+  EXPECT_FALSE(in_ncl(q3a, witness, kDepth));
+}
+
+TEST(PaperClaims, SequencesStartingWithALieInNclOfQ3a) {
+  // "trees can be sequences, so {a·y} ⊆ ncl.q3a" — and a^ω witnesses that
+  // the containment q3a ⊆ ncl.q3a is strict.
+  const TreeProperty& q3a = property_named("q3a");
+  for (const KTree& y : {sequence({kA}, kA), sequence({kA}, kB), sequence({kA, kB}, kA)}) {
+    EXPECT_TRUE(in_ncl(q3a, y, kDepth)) << y.to_string();
+  }
+  EXPECT_FALSE(q3a.contains(sequence({kA}, kA)));  // a^ω ∉ q3a
+}
+
+TEST(PaperClaims, FclOfQ4aIsEverything) {
+  const TreeProperty& q4a = property_named("q4a");
+  for (const KTree& y : classification_corpus()) {
+    EXPECT_TRUE(in_fcl(q4a, y, kDepth)) << y.to_string();
+  }
+}
+
+TEST(PaperClaims, NclOfQ4aExcludesTreesWithAllAPathButKeepsSequences) {
+  const TreeProperty& q4a = property_named("q4a");
+  EXPECT_FALSE(in_ncl(q4a, two_path_tree(), kDepth));
+  EXPECT_FALSE(in_ncl(q4a, KTree::constant(binary(), kA, 2), kDepth));
+  // Sequences all belong to ncl.q4a (their prunings are finite words).
+  for (const KTree& y : {sequence({}, kA), sequence({}, kB), sequence({kB, kA}, kA)}) {
+    EXPECT_TRUE(in_ncl(q4a, y, kDepth)) << y.to_string();
+  }
+}
+
+TEST(PaperClaims, NclOfQ4bIsEverything) {
+  const TreeProperty& q4b = property_named("q4b");
+  for (const KTree& y : classification_corpus()) {
+    EXPECT_TRUE(in_ncl(q4b, y, kDepth)) << y.to_string();
+    EXPECT_TRUE(in_fcl(q4b, y, kDepth)) << y.to_string();
+  }
+}
+
+TEST(PaperClaims, Q5MirrorsQ4WithLettersSwapped) {
+  const TreeProperty& q5a = property_named("q5a");
+  const TreeProperty& q5b = property_named("q5b");
+  for (const KTree& y : classification_corpus()) {
+    EXPECT_TRUE(in_fcl(q5a, y, kDepth)) << y.to_string();
+    EXPECT_TRUE(in_ncl(q5b, y, kDepth)) << y.to_string();
+  }
+  EXPECT_FALSE(in_ncl(q5a, KTree::constant(binary(), kB, 2), kDepth));
+}
+
+// ---------------------------------------------------------------------------
+// The classification grid
+// ---------------------------------------------------------------------------
+
+TEST(Classification, MatchesThePaperTable) {
+  const auto corpus = classification_corpus();
+  for (const auto& example : rem_branching_examples()) {
+    const BranchingClassification got = classify(example.property, corpus, kDepth);
+    EXPECT_EQ(got.existentially_safe, example.expected.existentially_safe)
+        << example.name << " ES";
+    EXPECT_EQ(got.universally_safe, example.expected.universally_safe)
+        << example.name << " US";
+    EXPECT_EQ(got.existentially_live, example.expected.existentially_live)
+        << example.name << " EL";
+    EXPECT_EQ(got.universally_live, example.expected.universally_live)
+        << example.name << " UL";
+  }
+}
+
+TEST(Closures, NclImpliesFcl) {
+  // ncl ≤ fcl pointwise (finite prefixes are non-total), hence
+  // ncl-membership implies fcl-membership.
+  const auto corpus = classification_corpus();
+  for (const auto& example : rem_branching_examples()) {
+    for (const KTree& y : corpus) {
+      if (in_ncl(example.property, y, kDepth)) {
+        EXPECT_TRUE(in_fcl(example.property, y, kDepth)) << example.name;
+      }
+    }
+  }
+}
+
+TEST(Closures, MembershipImpliesClosureMembership) {
+  // Extensivity of both closures on the corpus.
+  const auto corpus = classification_corpus();
+  for (const auto& example : rem_branching_examples()) {
+    for (const KTree& y : corpus) {
+      if (example.property.contains(y)) {
+        EXPECT_TRUE(in_ncl(example.property, y, kDepth)) << example.name;
+        EXPECT_TRUE(in_fcl(example.property, y, kDepth)) << example.name;
+      }
+    }
+  }
+}
+
+TEST(GraphPredicates, SpotChecks) {
+  const KTree tree = two_path_tree();
+  EXPECT_TRUE(exists_monochrome_path(tree, kA));
+  EXPECT_FALSE(exists_monochrome_path(tree, kB));  // root is a
+  EXPECT_TRUE(exists_cycle_visiting(tree, kA));
+  EXPECT_TRUE(exists_cycle_visiting(tree, kB));
+  EXPECT_TRUE(exists_monochrome_cycle(tree, kA));
+  EXPECT_TRUE(exists_monochrome_cycle(tree, kB));
+  EXPECT_FALSE(has_reachable_leaf(tree));
+  EXPECT_TRUE(reaches_label(tree, kB));
+
+  const KTree pruned = tree.prune_at({{1}});
+  EXPECT_TRUE(has_reachable_leaf(pruned));
+  EXPECT_TRUE(exists_monochrome_path(pruned, kA));
+  EXPECT_FALSE(exists_monochrome_cycle(pruned, kB));
+}
+
+}  // namespace
+}  // namespace slat::trees

@@ -1,0 +1,197 @@
+#include "trees/ctl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trees/closures.hpp"
+#include "trees/rem_branching.hpp"
+
+namespace slat::trees {
+namespace {
+
+constexpr Sym kA = 0;
+constexpr Sym kB = 1;
+
+Alphabet binary() { return words::Alphabet::binary(); }
+
+KTree two_path_tree() {
+  KTree tree(binary(), 3, 0);
+  tree.set_label(0, kA);
+  tree.set_label(1, kA);
+  tree.set_label(2, kB);
+  tree.add_child(0, 1);
+  tree.add_child(0, 2);
+  tree.add_child(1, 1);
+  tree.add_child(2, 2);
+  return tree;
+}
+
+class CtlFixture : public ::testing::Test {
+ protected:
+  CtlArena arena{binary()};
+
+  bool check(const char* text, const KTree& tree) {
+    const auto f = arena.parse(text);
+    EXPECT_TRUE(f.has_value()) << text;
+    return holds(arena, *f, tree);
+  }
+};
+
+TEST_F(CtlFixture, AtomsAndBooleans) {
+  const KTree aw = KTree::constant(binary(), kA, 2);
+  EXPECT_TRUE(check("a", aw));
+  EXPECT_FALSE(check("b", aw));
+  EXPECT_TRUE(check("a | b", aw));
+  EXPECT_FALSE(check("a & b", aw));
+  EXPECT_TRUE(check("b -> false", aw));
+  EXPECT_TRUE(check("true", aw));
+}
+
+TEST_F(CtlFixture, NextOperators) {
+  const KTree tree = two_path_tree();
+  EXPECT_TRUE(check("EX a", tree));
+  EXPECT_TRUE(check("EX b", tree));
+  EXPECT_FALSE(check("AX a", tree));
+  EXPECT_TRUE(check("AX (a | b)", tree));
+}
+
+TEST_F(CtlFixture, EventuallyGloballyQuantified) {
+  const KTree tree = two_path_tree();
+  EXPECT_TRUE(check("EF b", tree));
+  EXPECT_FALSE(check("AF b", tree));  // the a-path never sees b
+  EXPECT_TRUE(check("EG a", tree));   // the a-path
+  EXPECT_FALSE(check("AG a", tree));
+  EXPECT_TRUE(check("AG (a | b)", tree));
+  EXPECT_TRUE(check("EF AG b", tree));
+}
+
+TEST_F(CtlFixture, UntilOperators) {
+  const KTree tree = two_path_tree();
+  EXPECT_TRUE(check("E(a U b)", tree));
+  EXPECT_FALSE(check("A(a U b)", tree));
+  // On the all-b constant tree the until fires immediately.
+  EXPECT_TRUE(check("A(a U b)", KTree::constant(binary(), kB, 2)));
+  EXPECT_FALSE(check("E(a U b)", KTree::constant(binary(), kA, 2)));
+}
+
+TEST_F(CtlFixture, FixpointsOnCycles) {
+  // (ab)^ω alternating sequence: AG (a -> AX b) and AG (b -> AX a).
+  KTree tree(binary(), 2, 0);
+  tree.set_label(0, kA);
+  tree.set_label(1, kB);
+  tree.add_child(0, 1);
+  tree.add_child(1, 0);
+  EXPECT_TRUE(check("AG (a -> AX b)", tree));
+  EXPECT_TRUE(check("AG (b -> AX a)", tree));
+  EXPECT_TRUE(check("AG EF a", tree));
+  EXPECT_TRUE(check("AG AF b", tree));
+  EXPECT_FALSE(check("EG a", tree));
+}
+
+TEST_F(CtlFixture, ParserHandlesQuantifiedUntilSyntax) {
+  EXPECT_TRUE(arena.parse("E(a U AF b)").has_value());
+  EXPECT_TRUE(arena.parse("A((a | b) U b)").has_value());
+  EXPECT_FALSE(arena.parse("E(a U )").has_value());
+  EXPECT_FALSE(arena.parse("EF").has_value());
+  std::string error;
+  EXPECT_FALSE(arena.parse("E a U b", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(CtlFixture, ToStringRoundTrips) {
+  for (const char* text :
+       {"a & AF !a", "E(a U b)", "AG (a -> EF b)", "EX AX a", "A(a U EG b)"}) {
+    const auto f = arena.parse(text);
+    ASSERT_TRUE(f.has_value()) << text;
+    const auto reparsed = arena.parse(arena.to_string(*f));
+    ASSERT_TRUE(reparsed.has_value()) << arena.to_string(*f);
+    EXPECT_EQ(*reparsed, *f);
+  }
+}
+
+TEST_F(CtlFixture, AgreesWithGraphOraclesOnCorpus) {
+  // The CTL-expressible Rem examples (q1, q2, q3a, q3b) must agree with the
+  // graph-algorithmic oracles used for the CTL*-only ones.
+  auto corpus = total_tree_corpus(binary(), 2, 2);
+  for (KTree& witness : paper_witness_trees()) corpus.push_back(std::move(witness));
+  for (const auto& example : rem_branching_examples()) {
+    if (example.ctl.empty()) continue;
+    const auto f = arena.parse(example.ctl);
+    ASSERT_TRUE(f.has_value()) << example.ctl;
+    for (const KTree& tree : corpus) {
+      EXPECT_EQ(holds(arena, *f, tree), example.property.contains(tree))
+          << example.name << " on\n"
+          << tree.to_string();
+    }
+  }
+}
+
+TEST_F(CtlFixture, ReleaseOperators) {
+  const KTree tree = two_path_tree();
+  // E(b R a): some path where a holds up to (and including) a b∧a point —
+  // over {a,b} that degenerates to EG a.
+  EXPECT_TRUE(check("E(b R a)", tree));
+  EXPECT_FALSE(check("A(b R a)", tree));
+  // E(false R φ) = EG φ, A(false R φ) = AG φ.
+  EXPECT_EQ(check("E(false R a)", tree), check("EG a", tree));
+  EXPECT_EQ(check("A(false R (a | b))", tree), check("AG (a | b)", tree));
+  // Release with an immediately-true lhs collapses to the rhs now.
+  EXPECT_TRUE(check("A((a | b) R (a | b))", tree));
+}
+
+TEST_F(CtlFixture, ReleaseIsDualToUntil) {
+  // E(φ R ψ) = ¬A(¬φ U ¬ψ) and A(φ R ψ) = ¬E(¬φ U ¬ψ), on a corpus.
+  const auto corpus = total_tree_corpus(binary(), 2, 2);
+  const auto er = arena.parse("E(a R b)");
+  const auto not_au = arena.parse("!A(!a U !b)");
+  const auto ar = arena.parse("A(b R (a | b))");
+  const auto not_eu = arena.parse("!E(!b U !(a | b))");
+  ASSERT_TRUE(er && not_au && ar && not_eu);
+  for (const KTree& tree : corpus) {
+    EXPECT_EQ(holds(arena, *er, tree), holds(arena, *not_au, tree));
+    EXPECT_EQ(holds(arena, *ar, tree), holds(arena, *not_eu, tree));
+  }
+}
+
+TEST_F(CtlFixture, NnfPreservesSemantics) {
+  const auto corpus = total_tree_corpus(binary(), 2, 2);
+  for (const char* text :
+       {"!AF b", "!EG a", "!E(a U b)", "!A(a R b)", "!(a -> EF b)", "!AX (a & EX b)",
+        "!AG (a -> AF b)", "a & AF !a"}) {
+    const auto f = arena.parse(text);
+    ASSERT_TRUE(f.has_value()) << text;
+    const trees::CtlId g = arena.nnf(*f);
+    // NNF shape: no Not except on atoms, no Implies/EF/AF/EG/AG.
+    std::vector<trees::CtlId> stack{g};
+    while (!stack.empty()) {
+      const CtlNode n = arena.node(stack.back());
+      stack.pop_back();
+      EXPECT_NE(n.op, CtlOp::kImplies);
+      EXPECT_NE(n.op, CtlOp::kEF);
+      EXPECT_NE(n.op, CtlOp::kAF);
+      EXPECT_NE(n.op, CtlOp::kEG);
+      EXPECT_NE(n.op, CtlOp::kAG);
+      if (n.op == CtlOp::kNot) {
+        EXPECT_EQ(arena.node(n.lhs).op, CtlOp::kAtom);
+        continue;
+      }
+      if (n.lhs >= 0) stack.push_back(n.lhs);
+      if (n.rhs >= 0) stack.push_back(n.rhs);
+    }
+    // And semantics unchanged.
+    for (const KTree& tree : corpus) {
+      EXPECT_EQ(holds(arena, *f, tree), holds(arena, g, tree)) << text;
+    }
+  }
+}
+
+TEST_F(CtlFixture, SatisfyingNodesPerNode) {
+  const KTree tree = two_path_tree();
+  const auto f = arena.parse("EF b");
+  const auto sat = satisfying_nodes(arena, *f, tree);
+  EXPECT_TRUE(sat[0]);   // root reaches b
+  EXPECT_FALSE(sat[1]);  // the a-loop never does
+  EXPECT_TRUE(sat[2]);
+}
+
+}  // namespace
+}  // namespace slat::trees

@@ -1,0 +1,150 @@
+#include "trees/ktree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slat::trees {
+namespace {
+
+constexpr Sym kA = 0;
+constexpr Sym kB = 1;
+
+Alphabet binary() { return words::Alphabet::binary(); }
+
+// Root a with two subtrees: all-a path (unary) and all-b path (unary).
+KTree two_path_tree() {
+  KTree tree(binary(), 3, 0);
+  tree.set_label(0, kA);
+  tree.set_label(1, kA);
+  tree.set_label(2, kB);
+  tree.add_child(0, 1);
+  tree.add_child(0, 2);
+  tree.add_child(1, 1);
+  tree.add_child(2, 2);
+  return tree;
+}
+
+TEST(KTree, ConstantTrees) {
+  const KTree aw = KTree::constant(binary(), kA, 1);
+  EXPECT_TRUE(aw.is_total());
+  EXPECT_FALSE(aw.is_finite());
+  const KTree leaf = KTree::constant(binary(), kB, 0);
+  EXPECT_FALSE(leaf.is_total());
+  EXPECT_TRUE(leaf.is_finite());
+  EXPECT_TRUE(leaf.is_leaf(0));
+}
+
+TEST(KTree, NodeAtFollowsPositions) {
+  const KTree tree = two_path_tree();
+  EXPECT_EQ(tree.node_at({}), 0);
+  EXPECT_EQ(tree.node_at({0}), 1);
+  EXPECT_EQ(tree.node_at({1}), 2);
+  EXPECT_EQ(tree.node_at({0, 0}), 1);
+  EXPECT_EQ(tree.node_at({1, 0, 0}), 2);
+  EXPECT_FALSE(tree.node_at({2}).has_value());
+  EXPECT_FALSE(tree.node_at({0, 1}).has_value());
+}
+
+TEST(KTree, PositionsUpToDepth) {
+  const KTree tree = two_path_tree();
+  // Depth 0: root only; depth 1: root + 2 children; depth 2: + 2 more.
+  EXPECT_EQ(tree.positions_up_to(0).size(), 1u);
+  EXPECT_EQ(tree.positions_up_to(1).size(), 3u);
+  EXPECT_EQ(tree.positions_up_to(2).size(), 5u);
+}
+
+TEST(KTree, TruncateProducesFinitePrefix) {
+  const KTree tree = two_path_tree();
+  const KTree prefix = tree.truncate(2);
+  EXPECT_TRUE(prefix.is_finite());
+  EXPECT_FALSE(prefix.is_total());
+  // Shape: root with 2 children, each with one child (leaves at depth 2).
+  EXPECT_EQ(prefix.num_nodes(), 5);
+  EXPECT_EQ(prefix.label(*prefix.node_at({0, 0})), kA);
+  EXPECT_EQ(prefix.label(*prefix.node_at({1, 0})), kB);
+  EXPECT_TRUE(prefix.is_leaf(*prefix.node_at({1, 0})));
+  // Depth 0 truncation: a single leaf carrying the root label.
+  const KTree root_only = tree.truncate(0);
+  EXPECT_EQ(root_only.num_nodes(), 1);
+  EXPECT_TRUE(root_only.is_leaf(0));
+  EXPECT_EQ(root_only.label(0), kA);
+}
+
+TEST(KTree, UnrollPreservesUnfolding) {
+  const KTree tree = two_path_tree();
+  for (int depth = 0; depth <= 3; ++depth) {
+    const KTree unrolled = tree.unroll(depth);
+    EXPECT_TRUE(unrolled.same_unfolding(tree)) << depth;
+    EXPECT_TRUE(unrolled.is_total()) << depth;
+  }
+}
+
+TEST(KTree, PruneCutsASubtree) {
+  const KTree tree = two_path_tree();
+  // Cut the b-branch at depth 1: the a-path survives, position {1} is a leaf.
+  const KTree pruned = tree.prune_at({{1}});
+  EXPECT_FALSE(pruned.is_total());
+  EXPECT_FALSE(pruned.is_finite());  // the a-path is still infinite
+  EXPECT_TRUE(pruned.is_leaf(*pruned.node_at({1})));
+  EXPECT_EQ(pruned.node_at({0, 0}).has_value(), true);
+  EXPECT_FALSE(pruned.node_at({1, 0}).has_value());
+}
+
+TEST(KTree, PruneAtRootGivesSingleLeaf) {
+  const KTree pruned = two_path_tree().prune_at({{}});
+  EXPECT_TRUE(pruned.is_leaf(*pruned.node_at({})));
+  EXPECT_TRUE(pruned.is_finite());
+}
+
+TEST(KTree, SameUnfoldingIdentifiesEqualRegularTrees) {
+  // a^ω as a self-loop vs as a two-node cycle.
+  const KTree one = KTree::constant(binary(), kA, 1);
+  KTree two(binary(), 2, 0);
+  two.set_label(0, kA);
+  two.set_label(1, kA);
+  two.add_child(0, 1);
+  two.add_child(1, 0);
+  EXPECT_TRUE(one.same_unfolding(two));
+  // Different label somewhere: not equal.
+  KTree three = two;
+  three.set_label(1, kB);
+  EXPECT_FALSE(one.same_unfolding(three));
+  // Different arity: not equal.
+  EXPECT_FALSE(one.same_unfolding(KTree::constant(binary(), kA, 2)));
+}
+
+TEST(KTree, StructurallyEqualAfterRenumbering) {
+  KTree tree(binary(), 2, 1);  // root is node 1
+  tree.set_label(1, kA);
+  tree.set_label(0, kB);
+  tree.add_child(1, 0);
+  tree.add_child(0, 0);
+  KTree other(binary(), 2, 0);  // same shape, root is node 0
+  other.set_label(0, kA);
+  other.set_label(1, kB);
+  other.add_child(0, 1);
+  other.add_child(1, 1);
+  EXPECT_TRUE(tree.structurally_equal(other));
+}
+
+TEST(KTree, EnumerateCounts) {
+  // 1 node, arity 1..1, alphabet 2: one self-loop shape × 2 labels.
+  EXPECT_EQ(enumerate_regular_trees(binary(), 1, 1, 1).size(), 2u);
+  // 1 node, arity 0..1: leaf or self-loop, × 2 labels.
+  EXPECT_EQ(enumerate_regular_trees(binary(), 1, 0, 1).size(), 4u);
+  // 2 nodes, arity 1..2: per node 2 + 4 = 6 child lists; 6²·2² labelings.
+  EXPECT_EQ(enumerate_regular_trees(binary(), 2, 1, 2).size(), 144u);
+}
+
+TEST(KTree, ReachabilityIgnoresOrphans) {
+  KTree tree(binary(), 3, 0);
+  tree.add_child(0, 0);
+  // Node 1 and 2 unreachable; node 2 is a leaf but tree still total.
+  EXPECT_TRUE(tree.is_total());
+  const auto reach = tree.reachable();
+  EXPECT_TRUE(reach[0]);
+  EXPECT_FALSE(reach[1]);
+  EXPECT_FALSE(reach[2]);
+}
+
+}  // namespace
+}  // namespace slat::trees

@@ -1,0 +1,102 @@
+#include "words/up_word.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace slat::words {
+namespace {
+
+TEST(UpWord, NormalizesPeriodToPrimitiveRoot) {
+  const UpWord w({}, {0, 1, 0, 1});
+  EXPECT_EQ(w.period(), (Word{0, 1}));
+  EXPECT_TRUE(w.is_normalized());
+}
+
+TEST(UpWord, NormalizesPrefixIntoPeriod) {
+  // a(ba)^ω = (ab)^ω.
+  const UpWord lhs({0}, {1, 0});
+  const UpWord rhs({}, {0, 1});
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(UpWord, ConstantWordsCollapse) {
+  EXPECT_EQ(UpWord({0, 0, 0}, {0}), UpWord::constant(0));
+  EXPECT_EQ(UpWord({}, {0, 0, 0}), UpWord::constant(0));
+}
+
+TEST(UpWord, DistinctWordsStayDistinct) {
+  EXPECT_FALSE(UpWord({0}, {1}) == UpWord({}, {1}));
+  EXPECT_FALSE(UpWord({}, {0, 1}) == UpWord({}, {1, 0}));
+}
+
+TEST(UpWord, AtIndexesPrefixThenPeriod) {
+  const UpWord w({0, 1}, {2, 3});
+  EXPECT_EQ(w.at(0), 0);
+  EXPECT_EQ(w.at(1), 1);
+  EXPECT_EQ(w.at(2), 2);
+  EXPECT_EQ(w.at(3), 3);
+  EXPECT_EQ(w.at(4), 2);
+  EXPECT_EQ(w.at(100), 2);
+  EXPECT_EQ(w.at(101), 3);
+}
+
+TEST(UpWord, TakeProducesFinitePrefix) {
+  const UpWord w({0}, {1, 2});
+  EXPECT_EQ(w.take(5), (Word{0, 1, 2, 1, 2}));
+  EXPECT_EQ(w.take(0), Word{});
+}
+
+TEST(UpWord, SuffixDenotesTheShiftedWord) {
+  const UpWord w({0, 1}, {2, 3});
+  for (std::size_t shift = 0; shift <= 6; ++shift) {
+    const UpWord s = w.suffix(shift);
+    for (std::size_t i = 0; i < 12; ++i) {
+      EXPECT_EQ(s.at(i), w.at(i + shift)) << "shift " << shift << " i " << i;
+    }
+  }
+}
+
+TEST(UpWord, SuffixEqualityAfterFullPeriod) {
+  const UpWord w({}, {0, 1, 2});
+  EXPECT_EQ(w.suffix(3), w);
+  EXPECT_EQ(w.suffix(6), w);
+}
+
+TEST(UpWord, ToStringUsesAlphabetNames) {
+  const Alphabet alphabet = Alphabet::binary();
+  EXPECT_EQ(UpWord({0}, {1}).to_string(alphabet), "a(b)^w");
+  EXPECT_EQ(UpWord::constant(0).to_string(alphabet), "(a)^w");
+}
+
+TEST(EnumerateUpWords, DeduplicatesByValue) {
+  const auto words = enumerate_up_words(2, 2, 2);
+  std::set<UpWord> unique(words.begin(), words.end());
+  EXPECT_EQ(unique.size(), words.size());
+  // Every word is in normal form.
+  for (const UpWord& w : words) EXPECT_TRUE(w.is_normalized());
+  // The two constant words and the alternating word are present.
+  EXPECT_NE(std::find(words.begin(), words.end(), UpWord::constant(0)), words.end());
+  EXPECT_NE(std::find(words.begin(), words.end(), UpWord::constant(1)), words.end());
+  EXPECT_NE(std::find(words.begin(), words.end(), UpWord({}, {0, 1})), words.end());
+}
+
+TEST(EnumerateUpWords, CountGrowsWithBounds) {
+  EXPECT_LT(enumerate_up_words(2, 1, 2).size(), enumerate_up_words(2, 3, 3).size());
+  EXPECT_EQ(enumerate_up_words(1, 2, 2).size(), 1u);  // only s0^ω
+}
+
+TEST(UpWord, OrderingIsStrictWeak) {
+  const auto words = enumerate_up_words(2, 2, 2);
+  for (const auto& x : words) {
+    EXPECT_FALSE(x < x);
+    for (const auto& y : words) {
+      if (x < y) {
+        EXPECT_FALSE(y < x);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slat::words
