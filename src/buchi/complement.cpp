@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <functional>
-#include <map>
 #include <tuple>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "core/state_set.hpp"
 
 namespace slat::buchi {
 
@@ -19,10 +19,20 @@ struct RankState {
   std::vector<int> rank;
   std::vector<bool> obligation;
 
-  bool operator<(const RankState& other) const {
-    if (rank != other.rank) return rank < other.rank;
-    return obligation < other.obligation;
+  std::uint64_t hash() const {
+    std::uint64_t h = core::hash_ints(rank.data(), rank.size());
+    std::uint64_t word = 0;  // obligation bits packed into 64-bit lanes
+    for (std::size_t i = 0; i < obligation.size(); ++i) {
+      word |= static_cast<std::uint64_t>(obligation[i]) << (i & 63);
+      if ((i & 63) == 63) {
+        h = core::hash_combine(h, word);
+        word = 0;
+      }
+    }
+    return core::hash_combine(h, word);
   }
+
+  friend bool operator==(const RankState&, const RankState&) = default;
 };
 
 }  // namespace
@@ -33,7 +43,7 @@ Nba complement(const Nba& nba) {
   // 2(n − |F|): odd ranks are only ever needed on non-accepting states, and
   // at most n − |F| distinct odd ranks can appear in a run DAG.
   const Nba reduced = nba.reduce();
-  if (reduced.is_empty() && reduced.num_transitions() == 0) {
+  if (reduced.is_trivially_dead()) {
     return Nba::universal(nba.alphabet());
   }
   return complement(reduced, 2 * (reduced.num_states() - reduced.num_accepting()));
@@ -44,20 +54,15 @@ Nba complement(const Nba& nba, int max_rank) {
   const int n = nba.num_states();
   const int sigma = nba.alphabet().size();
 
-  std::map<RankState, State> intern;
-  std::vector<RankState> states;
+  // Hashed interning; ids are assigned in discovery order, matching the
+  // seed's ordered-map numbering, and the table doubles as the id → state
+  // array the worklist iterates.
+  core::InternTable<RankState> intern;
   // Transitions collected as (from, symbol, to); the Nba is assembled at the
   // end once the state count is known.
   std::vector<std::tuple<State, Sym, State>> transitions;
 
-  const auto intern_state = [&](const RankState& rs) {
-    auto it = intern.find(rs);
-    if (it == intern.end()) {
-      it = intern.emplace(rs, static_cast<State>(states.size())).first;
-      states.push_back(rs);
-    }
-    return it->second;
-  };
+  const auto intern_state = [&](RankState rs) { return intern.intern(std::move(rs)); };
 
   // Initial state: the input's initial state at the maximal rank, O = ∅.
   RankState init{std::vector<int>(n, -1), std::vector<bool>(n, false)};
@@ -67,9 +72,9 @@ Nba complement(const Nba& nba, int max_rank) {
   init.rank[nba.initial()] = init_rank;
   const State initial_id = intern_state(init);
 
-  for (std::size_t work = 0; work < states.size(); ++work) {
-    const RankState current = states[work];  // copy: `states` grows below
-    const State current_id = static_cast<State>(work);
+  for (int work = 0; work < intern.size(); ++work) {
+    const RankState current = intern.key(work);  // copy: the table grows below
+    const State current_id = work;
 
     for (Sym s = 0; s < sigma; ++s) {
       // The successor subset, and for each successor the cap on its rank:
@@ -125,9 +130,9 @@ Nba complement(const Nba& nba, int max_rank) {
     }
   }
 
-  Nba out(nba.alphabet(), static_cast<int>(states.size()), initial_id);
+  Nba out(nba.alphabet(), intern.size(), initial_id);
   for (State id = 0; id < out.num_states(); ++id) {
-    const auto& rs = states[id];
+    const auto& rs = intern.key(id);
     const bool has_obligation =
         std::find(rs.obligation.begin(), rs.obligation.end(), true) != rs.obligation.end();
     out.set_accepting(id, !has_obligation);

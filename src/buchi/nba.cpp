@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <deque>
-#include <map>
 #include <sstream>
+#include <tuple>
 
 #include "common/assert.hpp"
+#include "core/state_set.hpp"
 
 namespace slat::buchi {
 
@@ -104,30 +105,36 @@ SccResult strongly_connected_components(
   std::vector<int> index(num_nodes, -1), lowlink(num_nodes, 0);
   std::vector<bool> on_stack(num_nodes, false);
   std::vector<int> stack;
+  stack.reserve(num_nodes);
   int next_index = 0;
 
+  // All frames share one successor pool: a frame's successors occupy
+  // [pool_begin, pool.size()) exactly while it is the deepest frame, and the
+  // pool truncates back on pop — no per-node vector allocation or copy.
   struct Frame {
     int node;
-    std::vector<int> succs;
-    std::size_t next_succ = 0;
+    std::size_t pool_begin;
+    std::size_t next_succ;
   };
+  std::vector<Frame> frames;
+  std::vector<int> pool;
+  pool.reserve(256);
 
   for (int root = 0; root < num_nodes; ++root) {
     if (index[root] != -1) continue;
-    std::vector<Frame> frames;
     auto push_node = [&](int node) {
       index[node] = lowlink[node] = next_index++;
       stack.push_back(node);
       on_stack[node] = true;
-      Frame frame{node, {}, 0};
-      for_each_succ(node, [&](int succ) { frame.succs.push_back(succ); });
-      frames.push_back(std::move(frame));
+      const std::size_t begin = pool.size();
+      for_each_succ(node, [&](int succ) { pool.push_back(succ); });
+      frames.push_back(Frame{node, begin, begin});
     };
     push_node(root);
     while (!frames.empty()) {
       Frame& frame = frames.back();
-      if (frame.next_succ < frame.succs.size()) {
-        const int succ = frame.succs[frame.next_succ++];
+      if (frame.next_succ < pool.size()) {
+        const int succ = pool[frame.next_succ++];
         if (index[succ] == -1) {
           push_node(succ);
         } else if (on_stack[succ]) {
@@ -135,6 +142,7 @@ SccResult strongly_connected_components(
         }
       } else {
         const int node = frame.node;
+        pool.resize(frame.pool_begin);
         if (lowlink[node] == index[node]) {
           while (true) {
             const int member = stack.back();
@@ -160,15 +168,85 @@ SccResult strongly_connected_components(
 
 namespace {
 
+// Tarjan specialized to an Nba's own transition structure: frames hold a
+// (symbol, index) cursor into the in-place successor lists, so successors
+// are never copied into the frame. This is the SCC pass behind every
+// emptiness / trim / closure query — the hottest traversal in the library.
+detail::SccResult scc_of_nba(const Nba& nba) {
+  const int n = nba.num_states();
+  const Sym sigma = nba.alphabet().size();
+  detail::SccResult result;
+  result.component.assign(n, -1);
+  std::vector<int> index(n, -1), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  stack.reserve(n);
+  int next_index = 0;
+
+  struct Frame {
+    State node;
+    Sym sym;
+    std::size_t idx;
+  };
+  std::vector<Frame> frames;
+  frames.reserve(64);
+
+  for (State root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    auto push_node = [&](State node) {
+      index[node] = lowlink[node] = next_index++;
+      stack.push_back(node);
+      on_stack[node] = true;
+      frames.push_back(Frame{node, 0, 0});
+    };
+    push_node(root);
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const State node = frame.node;
+      // Advance the cursor to the next successor, if any remain.
+      State succ = -1;
+      while (frame.sym < sigma) {
+        const auto& list = nba.successors(node, frame.sym);
+        if (frame.idx < list.size()) {
+          succ = list[frame.idx++];
+          break;
+        }
+        ++frame.sym;
+        frame.idx = 0;
+      }
+      if (succ != -1) {
+        if (index[succ] == -1) {
+          push_node(succ);
+        } else if (on_stack[succ]) {
+          lowlink[node] = std::min(lowlink[node], index[succ]);
+        }
+      } else {
+        if (lowlink[node] == index[node]) {
+          while (true) {
+            const State member = stack.back();
+            stack.pop_back();
+            on_stack[member] = false;
+            result.component[member] = result.num_components;
+            if (member == node) break;
+          }
+          ++result.num_components;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          Frame& parent = frames.back();
+          lowlink[parent.node] = std::min(lowlink[parent.node], lowlink[node]);
+        }
+      }
+    }
+  }
+  return result;
+}
+
 // States lying on an accepting cycle: accepting states whose SCC is
 // non-trivial, or which carry a self-loop.
 std::vector<bool> accepting_cycle_states(const Nba& nba) {
   const int n = nba.num_states();
-  const auto scc = detail::strongly_connected_components(n, [&](int q, const std::function<void(int)>& visit) {
-    for (Sym s = 0; s < nba.alphabet().size(); ++s) {
-      for (State next : nba.successors(q, s)) visit(next);
-    }
-  });
+  const auto scc = scc_of_nba(nba);
   std::vector<int> scc_size(scc.num_components, 0);
   for (int q = 0; q < n; ++q) ++scc_size[scc.component[q]];
   std::vector<bool> on_cycle(n, false);
@@ -260,28 +338,25 @@ Nba Nba::reduce() const {
   // set of successor classes); iterate until stable.
   std::vector<int> cls(n);
   for (State q = 0; q < n; ++q) cls[q] = trimmed.is_accepting(q) ? 1 : 0;
+  core::StateSet succ_classes(n);  // class ids are < n; bitset dedups + sorts
   while (true) {
-    std::map<std::vector<int>, int> signature_to_class;
+    core::InternTable<core::IntVecKey> signatures;
+    signatures.reserve(n);
     std::vector<int> next_cls(n);
     for (State q = 0; q < n; ++q) {
-      std::vector<int> signature{cls[q]};
+      core::IntVecKey signature;
+      signature.values.reserve(1 + 2 * alphabet_.size());
+      signature.values.push_back(cls[q]);
       for (Sym s = 0; s < alphabet_.size(); ++s) {
-        std::vector<int> succ_classes;
-        for (State to : trimmed.successors(q, s)) succ_classes.push_back(cls[to]);
-        std::sort(succ_classes.begin(), succ_classes.end());
-        succ_classes.erase(std::unique(succ_classes.begin(), succ_classes.end()),
-                           succ_classes.end());
-        signature.push_back(-1);  // separator between symbols
-        signature.insert(signature.end(), succ_classes.begin(), succ_classes.end());
+        succ_classes.clear();
+        for (State to : trimmed.successors(q, s)) succ_classes.insert(cls[to]);
+        signature.values.push_back(-1);  // separator between symbols
+        succ_classes.for_each([&](int c) { signature.values.push_back(c); });
       }
-      next_cls[q] = signature_to_class
-                        .emplace(std::move(signature),
-                                 static_cast<int>(signature_to_class.size()))
-                        .first->second;
+      next_cls[q] = signatures.intern(std::move(signature));
     }
     const bool stable =
-        static_cast<int>(signature_to_class.size()) ==
-        1 + *std::max_element(cls.begin(), cls.end());
+        signatures.size() == 1 + *std::max_element(cls.begin(), cls.end());
     cls = std::move(next_cls);
     if (stable) break;
   }
@@ -473,55 +548,83 @@ bool all_states_accepting(const Nba& nba) {
 Nba intersect(const Nba& lhs, const Nba& rhs) {
   SLAT_ASSERT_MSG(lhs.alphabet() == rhs.alphabet(),
                   "intersection requires a common alphabet");
+  // Both paths explore only the REACHABLE product: pair states are
+  // discovered from the initial pair and numbered in BFS order (a flat
+  // remap array interns the dense pair encoding), so sparse products no
+  // longer pay for the full n1·n2 grid of the seed construction.
+  const int n1 = lhs.num_states();
+  const int n2 = rhs.num_states();
+  const Sym sigma = lhs.alphabet().size();
+  std::vector<std::tuple<State, Sym, State>> transitions;
+
   // Fast path: if both operands are all-accepting (safety-closure shape),
   // acceptance is just run existence and the plain product suffices — and
   // stays all-accepting, which keeps downstream complementation cheap.
   if (all_states_accepting(lhs) && all_states_accepting(rhs)) {
-    const int n2 = rhs.num_states();
-    Nba out(lhs.alphabet(), lhs.num_states() * n2,
-            lhs.initial() * n2 + rhs.initial());
-    for (State q1 = 0; q1 < lhs.num_states(); ++q1) {
-      for (State q2 = 0; q2 < n2; ++q2) {
-        out.set_accepting(q1 * n2 + q2, true);
-        for (Sym s = 0; s < lhs.alphabet().size(); ++s) {
-          for (State t1 : lhs.successors(q1, s)) {
-            for (State t2 : rhs.successors(q2, s)) {
-              out.add_transition(q1 * n2 + q2, s, t1 * n2 + t2);
-            }
+    std::vector<State> remap(static_cast<std::size_t>(n1) * n2, -1);
+    std::vector<std::pair<State, State>> pairs;  // compact id -> (q1, q2)
+    const auto intern_pair = [&](State q1, State q2) {
+      State& id = remap[static_cast<std::size_t>(q1) * n2 + q2];
+      if (id == -1) {
+        id = static_cast<State>(pairs.size());
+        pairs.emplace_back(q1, q2);
+      }
+      return id;
+    };
+    const State initial = intern_pair(lhs.initial(), rhs.initial());
+    for (std::size_t head = 0; head < pairs.size(); ++head) {
+      const auto [q1, q2] = pairs[head];  // copy: `pairs` grows below
+      const State from = static_cast<State>(head);
+      for (Sym s = 0; s < sigma; ++s) {
+        for (State t1 : lhs.successors(q1, s)) {
+          for (State t2 : rhs.successors(q2, s)) {
+            transitions.emplace_back(from, s, intern_pair(t1, t2));
           }
         }
       }
     }
+    Nba out(lhs.alphabet(), static_cast<int>(pairs.size()), initial);
+    for (State q = 0; q < out.num_states(); ++q) out.set_accepting(q, true);
+    for (const auto& [from, s, to] : transitions) out.add_transition(from, s, to);
     return out;
   }
+
   // Degeneralized product with a 2-valued counter: counter 0 waits for an
   // accepting state of lhs, counter 1 for one of rhs. Accepting product
   // states are (q1, q2, 0) with q1 ∈ F1 (each full 0→1→0 counter cycle
   // passes one, so they recur iff both F1 and F2 recur).
-  const int n1 = lhs.num_states();
-  const int n2 = rhs.num_states();
-  const auto id = [&](State q1, State q2, int counter) {
-    return (q1 * n2 + q2) * 2 + counter;
+  std::vector<State> remap(static_cast<std::size_t>(n1) * n2 * 2, -1);
+  std::vector<std::tuple<State, State, int>> triples;  // id -> (q1, q2, counter)
+  const auto intern_triple = [&](State q1, State q2, int counter) {
+    State& id = remap[(static_cast<std::size_t>(q1) * n2 + q2) * 2 + counter];
+    if (id == -1) {
+      id = static_cast<State>(triples.size());
+      triples.emplace_back(q1, q2, counter);
+    }
+    return id;
   };
-  Nba out(lhs.alphabet(), n1 * n2 * 2, id(lhs.initial(), rhs.initial(), 0));
-  for (State q1 = 0; q1 < n1; ++q1) {
-    for (State q2 = 0; q2 < n2; ++q2) {
-      for (int counter = 0; counter < 2; ++counter) {
-        const int from = id(q1, q2, counter);
-        if (counter == 0 && lhs.is_accepting(q1)) out.set_accepting(from, true);
-        int next_counter = counter;
-        if (counter == 0 && lhs.is_accepting(q1)) next_counter = 1;
-        if (counter == 1 && rhs.is_accepting(q2)) next_counter = 0;
-        for (Sym s = 0; s < lhs.alphabet().size(); ++s) {
-          for (State t1 : lhs.successors(q1, s)) {
-            for (State t2 : rhs.successors(q2, s)) {
-              out.add_transition(from, s, id(t1, t2, next_counter));
-            }
-          }
+  const State initial = intern_triple(lhs.initial(), rhs.initial(), 0);
+  for (std::size_t head = 0; head < triples.size(); ++head) {
+    const auto [q1, q2, counter] = triples[head];  // copy: `triples` grows below
+    const State from = static_cast<State>(head);
+    int next_counter = counter;
+    if (counter == 0 && lhs.is_accepting(q1)) next_counter = 1;
+    if (counter == 1 && rhs.is_accepting(q2)) next_counter = 0;
+    for (Sym s = 0; s < sigma; ++s) {
+      for (State t1 : lhs.successors(q1, s)) {
+        for (State t2 : rhs.successors(q2, s)) {
+          transitions.emplace_back(from, s, intern_triple(t1, t2, next_counter));
         }
       }
     }
   }
+  Nba out(lhs.alphabet(), static_cast<int>(triples.size()), initial);
+  for (State id = 0; id < out.num_states(); ++id) {
+    const auto& [q1, q2, counter] = triples[id];
+    (void)q2;
+    if (counter == 0 && lhs.is_accepting(q1)) out.set_accepting(id, true);
+  }
+  for (const auto& [from, s, to] : transitions) out.add_transition(from, s, to);
   return out;
 }
 

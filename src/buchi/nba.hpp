@@ -83,6 +83,12 @@ class Nba {
   /// Is L(B) empty? (No reachable accepting lasso.)
   bool is_empty() const;
 
+  /// True iff the automaton has no transitions at all: no infinite run
+  /// exists, so L = ∅ regardless of the acceptance bits. This is the
+  /// trivially-empty shape produced by `empty_language` and by `restrict_to`
+  /// when everything is dropped; checking it is O(n·|Σ|), with no SCC pass.
+  bool is_trivially_dead() const { return num_transitions() == 0; }
+
   /// A witness word in L(B), if non-empty.
   std::optional<UpWord> find_accepted_word() const;
 

@@ -1,10 +1,10 @@
 #include "buchi/safety.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "buchi/complement.hpp"
 #include "common/assert.hpp"
+#include "core/state_set.hpp"
 
 namespace slat::buchi {
 
@@ -12,53 +12,68 @@ Nba safety_closure(const Nba& nba) {
   // Keep exactly the states with non-empty residual language; if the initial
   // state goes, the language (and its closure) is empty.
   Nba trimmed = nba.restrict_to(nba.states_with_nonempty_language());
-  if (trimmed.is_empty() && trimmed.num_transitions() == 0) {
-    return Nba::empty_language(nba.alphabet());
-  }
+  if (trimmed.is_trivially_dead()) return Nba::empty_language(nba.alphabet());
   for (State q = 0; q < trimmed.num_states(); ++q) trimmed.set_accepting(q, true);
   return trimmed;
 }
 
 DetSafety DetSafety::from_nba(const Nba& nba) {
-  const Nba closure = safety_closure(nba);
-  DetSafety out(nba.alphabet());
-  const int sigma = out.alphabet_.size();
+  return determinize(safety_closure(nba));
+}
 
-  // Subset construction with interning. Subsets are sorted state vectors.
-  std::map<std::vector<State>, State> intern;
-  std::vector<std::vector<State>> worklist_sets;
-  const auto intern_set = [&](const std::vector<State>& set) {
-    auto it = intern.find(set);
-    if (it == intern.end()) {
-      it = intern.emplace(set, static_cast<State>(intern.size())).first;
-      out.delta_.emplace_back(sigma, -1);
-      worklist_sets.push_back(set);
+DetSafety DetSafety::determinize(const Nba& closure) {
+  DetSafety out(closure.alphabet());
+  const Sym sigma = out.alphabet_.size();
+  const int n = closure.num_states();
+
+  // Per-(state, symbol) successor bitsets, built once: the image of a
+  // subset under s is then a word-wise OR over its members instead of a
+  // gather + sort + unique per step.
+  std::vector<core::StateSet> succ_bits;
+  succ_bits.reserve(static_cast<std::size_t>(n) * sigma);
+  for (State q = 0; q < n; ++q) {
+    for (Sym s = 0; s < sigma; ++s) {
+      core::StateSet bits(n);
+      for (State to : closure.successors(q, s)) bits.insert(to);
+      succ_bits.push_back(std::move(bits));
     }
-    return it->second;
-  };
-
-  const State sink = intern_set({});  // empty subset = rejecting sink, id 0
-  out.sink_ = sink;
-  std::vector<State> init_set{closure.initial()};
-  // An empty-language closure automaton starts dead: initial = sink.
-  if (closure.is_empty() && closure.num_transitions() == 0 &&
-      !closure.is_accepting(closure.initial())) {
-    out.initial_ = sink;
-  } else {
-    out.initial_ = intern_set(std::move(init_set));
   }
 
-  for (std::size_t next = 0; next < worklist_sets.size(); ++next) {
-    const std::vector<State> current = worklist_sets[next];
-    const State current_id = intern.at(current);
+  // Subsets interned through the open-addressing table; ids are assigned in
+  // discovery order, matching the seed's map-based numbering exactly.
+  core::InternTable<core::StateSet> intern;
+  const auto intern_set = [&](const core::StateSet& set) {
+    State id = intern.find(set);
+    if (id == -1) {
+      id = intern.intern(set);
+      out.delta_.emplace_back(sigma, -1);
+    }
+    return id;
+  };
+
+  const State sink = intern_set(core::StateSet{});  // empty subset = rejecting sink, id 0
+  out.sink_ = sink;
+  if (closure.is_trivially_dead()) {
+    // No transitions means L(closure) = ∅: even the empty prefix is bad, so
+    // the deterministic run starts dead — regardless of whether the lone
+    // initial state happens to be marked accepting.
+    out.initial_ = sink;
+  } else {
+    core::StateSet init(n);
+    init.insert(closure.initial());
+    out.initial_ = intern_set(init);
+  }
+
+  core::StateSet image(n);
+  for (State current_id = 0; current_id < intern.size(); ++current_id) {
     for (Sym s = 0; s < sigma; ++s) {
-      std::vector<State> image;
-      for (State q : current) {
-        for (State succ : closure.successors(q, s)) image.push_back(succ);
-      }
-      std::sort(image.begin(), image.end());
-      image.erase(std::unique(image.begin(), image.end()), image.end());
-      out.delta_[current_id][s] = intern_set(std::move(image));
+      image.clear();
+      // `key(current_id)` stays valid across the ORs; intern_set below may
+      // grow the table, so the image is fully built first.
+      intern.key(current_id).for_each(
+          [&](int q) { image.union_with(succ_bits[static_cast<std::size_t>(q) * sigma + s]); });
+      const State target = intern_set(image);  // may reallocate delta_
+      out.delta_[current_id][s] = target;
     }
   }
   return out;
@@ -170,19 +185,23 @@ namespace {
 // sink-ness decides it exactly.
 bool det_safety_equivalent(const DetSafety& lhs, const DetSafety& rhs) {
   SLAT_ASSERT(lhs.alphabet() == rhs.alphabet());
-  std::map<std::pair<State, State>, bool> seen;
+  // Visited pairs as a flat bitset over a · |rhs| + b: one bit per product
+  // state instead of an ordered map node per pair.
+  const int m = rhs.num_states();
+  core::StateSet seen(lhs.num_states() * m);
   std::vector<std::pair<State, State>> stack{{lhs.initial(), rhs.initial()}};
-  seen[stack.back()] = true;
+  seen.insert(lhs.initial() * m + rhs.initial());
   while (!stack.empty()) {
     const auto [a, b] = stack.back();
     stack.pop_back();
     if ((a == lhs.sink()) != (b == rhs.sink())) return false;
     if (a == lhs.sink()) continue;  // both dead: all extensions agree
     for (Sym s = 0; s < lhs.alphabet().size(); ++s) {
-      const auto next = std::make_pair(lhs.step(a, s), rhs.step(b, s));
-      if (!seen[next]) {
-        seen[next] = true;
-        stack.push_back(next);
+      const State na = lhs.step(a, s);
+      const State nb = rhs.step(b, s);
+      if (!seen.contains(na * m + nb)) {
+        seen.insert(na * m + nb);
+        stack.emplace_back(na, nb);
       }
     }
   }

@@ -27,8 +27,16 @@ Nba safety_closure(const Nba& nba);
 /// prefixes have runs.
 class DetSafety {
  public:
-  /// Subset construction of lcl(B).
+  /// Subset construction of lcl(B): `determinize(safety_closure(nba))`.
   static DetSafety from_nba(const Nba& nba);
+
+  /// The raw subset-construction kernel over an automaton that is ALREADY in
+  /// safety-closure shape (every state accepting, so acceptance degenerates
+  /// to run existence). Exposed separately so the closure preprocessing can
+  /// be shared/amortized and so benches time the kernel itself. Symbol
+  /// images are word-wise ORs over per-(state, symbol) successor bitsets,
+  /// interned through an open-addressing hash table.
+  static DetSafety determinize(const Nba& closure);
 
   const Alphabet& alphabet() const { return alphabet_; }
   int num_states() const { return static_cast<int>(delta_.size()); }

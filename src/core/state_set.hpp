@@ -1,0 +1,306 @@
+// High-performance state-set kernel shared by the automata hot paths.
+//
+// Every expensive construction in this library — the subset construction,
+// rank-based complementation, bisimulation refinement, IAR expansion —
+// bottoms out in two operations: "build a set of dense state indices" and
+// "map that set (or tuple) to a canonical id". The seed implementation used
+// sorted `std::vector<State>` keyed through `std::map` (O(log n) ordered
+// lookups, each a full-vector comparison). This header provides the fast
+// replacements:
+//
+//   * StateSet    — a dynamic bitset over uint64_t words with small-size
+//                   inline storage (≤128 states allocation-free), word-wise
+//                   union, popcount/ctz iteration, and an FNV-style hash
+//                   that is independent of capacity.
+//   * InternTable — an open-addressing (linear probing, power-of-two) hash
+//                   table assigning dense ids to keys in FIRST-ENCOUNTER
+//                   order. Because the seed's std::map interning also
+//                   assigned ids by first encounter (`map.size()` at
+//                   emplace), swapping it in preserves state numbering —
+//                   and therefore exact output automata — everywhere.
+//
+// Interning keys supply `hash()` and `operator==`; `IntVecKey` wraps a
+// `std::vector<int>` (partition-refinement signatures, IAR records) so the
+// common cases need no bespoke key type.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace slat::core {
+
+/// splitmix64 finalizer: full-avalanche mix of a 64-bit value.
+inline std::uint64_t hash_mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// FNV-1a-style combining step over 64-bit lanes.
+inline std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  h ^= hash_mix(v);
+  h *= 1099511628211ull;  // FNV prime
+  return h;
+}
+
+inline constexpr std::uint64_t kHashSeed = 1469598103934665603ull;  // FNV offset
+
+/// A set of dense non-negative indices as a dynamic bitset. Grows on insert;
+/// sets that fit in 128 bits never touch the heap.
+class StateSet {
+ public:
+  StateSet() : words_(inline_), num_words_(kInlineWords) {
+    inline_[0] = inline_[1] = 0;
+  }
+
+  /// Pre-sizes the universe so inserts below `universe_size` never grow.
+  explicit StateSet(int universe_size) : StateSet() {
+    if (universe_size > kInlineWords * 64) grow(words_for(universe_size));
+  }
+
+  StateSet(const StateSet& other) : StateSet() { assign(other); }
+
+  StateSet(StateSet&& other) noexcept : StateSet() { swap(other); }
+
+  StateSet& operator=(const StateSet& other) {
+    if (this != &other) assign(other);
+    return *this;
+  }
+
+  StateSet& operator=(StateSet&& other) noexcept {
+    if (this != &other) swap(other);
+    return *this;
+  }
+
+  ~StateSet() {
+    if (words_ != inline_) delete[] words_;
+  }
+
+  void swap(StateSet& other) noexcept {
+    // Both inline: swap the buffers. Otherwise repoint heap pointers,
+    // copying inline contents across when exactly one side is inline.
+    const bool a_inline = words_ == inline_;
+    const bool b_inline = other.words_ == other.inline_;
+    std::swap(inline_[0], other.inline_[0]);
+    std::swap(inline_[1], other.inline_[1]);
+    std::swap(num_words_, other.num_words_);
+    std::swap(words_, other.words_);
+    if (a_inline) other.words_ = other.inline_;
+    if (b_inline) words_ = inline_;
+  }
+
+  bool empty() const {
+    for (int w = 0; w < num_words_; ++w) {
+      if (words_[w] != 0) return false;
+    }
+    return true;
+  }
+
+  /// Number of elements (popcount over the words).
+  int count() const {
+    int total = 0;
+    for (int w = 0; w < num_words_; ++w) total += std::popcount(words_[w]);
+    return total;
+  }
+
+  void clear() { std::memset(words_, 0, sizeof(std::uint64_t) * num_words_); }
+
+  void insert(int index) {
+    SLAT_ASSERT(index >= 0);
+    const int w = index >> 6;
+    if (w >= num_words_) grow(w + 1);
+    words_[w] |= 1ull << (index & 63);
+  }
+
+  void erase(int index) {
+    SLAT_ASSERT(index >= 0);
+    const int w = index >> 6;
+    if (w < num_words_) words_[w] &= ~(1ull << (index & 63));
+  }
+
+  bool contains(int index) const {
+    SLAT_ASSERT(index >= 0);
+    const int w = index >> 6;
+    return w < num_words_ && (words_[w] >> (index & 63) & 1ull) != 0;
+  }
+
+  /// this ∪= other, word-wise.
+  void union_with(const StateSet& other) {
+    if (other.num_words_ > num_words_) grow(other.num_words_);
+    for (int w = 0; w < other.num_words_; ++w) words_[w] |= other.words_[w];
+  }
+
+  /// Calls `f(index)` for each member in increasing order (ctz iteration).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (int w = 0; w < num_words_; ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        f(w * 64 + std::countr_zero(bits));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Members as a sorted vector (bitset order is increasing).
+  std::vector<int> to_vector() const {
+    std::vector<int> out;
+    out.reserve(count());
+    for_each([&](int q) { out.push_back(q); });
+    return out;
+  }
+
+  /// Capacity-independent: equal sets hash equal regardless of how they grew.
+  std::uint64_t hash() const {
+    std::uint64_t h = kHashSeed;
+    int last = num_words_ - 1;
+    while (last >= 0 && words_[last] == 0) --last;
+    for (int w = 0; w <= last; ++w) h = hash_combine(h, words_[w]);
+    return h;
+  }
+
+  /// Set equality (capacity-independent).
+  friend bool operator==(const StateSet& a, const StateSet& b) {
+    const StateSet& small = a.num_words_ <= b.num_words_ ? a : b;
+    const StateSet& large = a.num_words_ <= b.num_words_ ? b : a;
+    for (int w = 0; w < small.num_words_; ++w) {
+      if (small.words_[w] != large.words_[w]) return false;
+    }
+    for (int w = small.num_words_; w < large.num_words_; ++w) {
+      if (large.words_[w] != 0) return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kInlineWords = 2;
+
+  static int words_for(int universe_size) { return (universe_size + 63) >> 6; }
+
+  void grow(int want_words) {
+    if (want_words <= num_words_) return;
+    // Double to keep repeated single-bit inserts amortized-linear.
+    int new_words = num_words_;
+    while (new_words < want_words) new_words *= 2;
+    auto* fresh = new std::uint64_t[new_words];
+    std::memcpy(fresh, words_, sizeof(std::uint64_t) * num_words_);
+    std::memset(fresh + num_words_, 0,
+                sizeof(std::uint64_t) * (new_words - num_words_));
+    if (words_ != inline_) delete[] words_;
+    words_ = fresh;
+    num_words_ = new_words;
+  }
+
+  void assign(const StateSet& other) {
+    if (other.num_words_ > num_words_) grow(other.num_words_);
+    std::memcpy(words_, other.words_, sizeof(std::uint64_t) * other.num_words_);
+    std::memset(words_ + other.num_words_, 0,
+                sizeof(std::uint64_t) * (num_words_ - other.num_words_));
+  }
+
+  std::uint64_t* words_;
+  int num_words_;
+  std::uint64_t inline_[kInlineWords];
+};
+
+/// Hash over a span of ints (signatures, records, rankings).
+inline std::uint64_t hash_ints(const int* data, std::size_t n,
+                               std::uint64_t h = kHashSeed) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h = hash_combine(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(data[i])));
+  }
+  return h;
+}
+
+/// Interning key wrapping a vector<int>: partition-refinement signatures,
+/// IAR records, rank vectors.
+struct IntVecKey {
+  std::vector<int> values;
+
+  std::uint64_t hash() const { return hash_ints(values.data(), values.size()); }
+  friend bool operator==(const IntVecKey& a, const IntVecKey& b) {
+    return a.values == b.values;
+  }
+};
+
+/// Open-addressing interner: assigns dense ids 0,1,2,... to distinct keys in
+/// first-encounter order. Key must provide `hash()` and `operator==`.
+/// Load factor is kept below 2/3; probing is linear (keys hash well — every
+/// hash() above ends in a full mix — so clustering stays benign).
+template <typename Key>
+class InternTable {
+ public:
+  InternTable() : slots_(kInitialSlots, -1), mask_(kInitialSlots - 1) {}
+
+  int size() const { return static_cast<int>(keys_.size()); }
+
+  const Key& key(int id) const { return keys_[id]; }
+  const std::vector<Key>& keys() const { return keys_; }
+
+  void reserve(int expected_keys) {
+    keys_.reserve(expected_keys);
+    hashes_.reserve(expected_keys);
+  }
+
+  /// Id of `key`, inserting it if new. `created` (optional) reports whether
+  /// this call allocated a fresh id.
+  int intern(Key key, bool* created = nullptr) {
+    const std::uint64_t h = key.hash();
+    std::size_t slot = h & mask_;
+    while (slots_[slot] != -1) {
+      const int id = slots_[slot];
+      if (hashes_[id] == h && keys_[id] == key) {
+        if (created != nullptr) *created = false;
+        return id;
+      }
+      slot = (slot + 1) & mask_;
+    }
+    const int id = static_cast<int>(keys_.size());
+    keys_.push_back(std::move(key));
+    hashes_.push_back(h);
+    slots_[slot] = id;
+    if (created != nullptr) *created = true;
+    if (keys_.size() * 3 >= slots_.size() * 2) rehash(slots_.size() * 2);
+    return id;
+  }
+
+  /// Id of `key` if present, else -1. Never inserts.
+  int find(const Key& key) const {
+    const std::uint64_t h = key.hash();
+    std::size_t slot = h & mask_;
+    while (slots_[slot] != -1) {
+      const int id = slots_[slot];
+      if (hashes_[id] == h && keys_[id] == key) return id;
+      slot = (slot + 1) & mask_;
+    }
+    return -1;
+  }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 16;
+
+  void rehash(std::size_t new_slots) {
+    slots_.assign(new_slots, -1);
+    mask_ = new_slots - 1;
+    for (int id = 0; id < static_cast<int>(keys_.size()); ++id) {
+      std::size_t slot = hashes_[id] & mask_;
+      while (slots_[slot] != -1) slot = (slot + 1) & mask_;
+      slots_[slot] = id;
+    }
+  }
+
+  std::vector<Key> keys_;
+  std::vector<std::uint64_t> hashes_;
+  std::vector<int> slots_;  // -1 = empty, else key id
+  std::size_t mask_;
+};
+
+}  // namespace slat::core

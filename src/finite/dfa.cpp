@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <deque>
-#include <map>
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "core/state_set.hpp"
 
 namespace slat::finite {
 
@@ -82,19 +82,18 @@ Dfa Dfa::minimize() const {
   bool changed = true;
   while (changed) {
     changed = false;
-    std::map<std::vector<int>, int> signature_to_class;
+    core::InternTable<core::IntVecKey> signatures;
+    signatures.reserve(n);
     std::vector<int> next_cls(n, -1);
     for (State q = 0; q < n; ++q) {
       if (!reachable[q]) continue;
-      std::vector<int> signature{cls[q]};
-      for (Sym s = 0; s < alphabet_.size(); ++s) signature.push_back(cls[delta_[q][s]]);
-      const auto it = signature_to_class
-                          .emplace(std::move(signature),
-                                   static_cast<int>(signature_to_class.size()))
-                          .first;
-      next_cls[q] = it->second;
+      core::IntVecKey signature;
+      signature.values.reserve(1 + alphabet_.size());
+      signature.values.push_back(cls[q]);
+      for (Sym s = 0; s < alphabet_.size(); ++s) signature.values.push_back(cls[delta_[q][s]]);
+      next_cls[q] = signatures.intern(std::move(signature));
     }
-    const int new_count = static_cast<int>(signature_to_class.size());
+    const int new_count = signatures.size();
     if (new_count != num_classes) changed = true;
     num_classes = new_count;
     cls = std::move(next_cls);
@@ -114,19 +113,22 @@ Dfa Dfa::minimize() const {
 bool Dfa::equivalent(const Dfa& other) const {
   SLAT_ASSERT(alphabet_.size() == other.alphabet_.size());
   SLAT_ASSERT(is_total() && other.is_total());
-  // BFS over the product; a pair with differing acceptance refutes.
-  std::map<std::pair<State, State>, bool> seen;
+  // BFS over the product; a pair with differing acceptance refutes. Visited
+  // pairs live in a flat bitset over a · |other| + b.
+  const int m = other.num_states();
+  core::StateSet seen(num_states() * m);
   std::deque<std::pair<State, State>> queue{{initial_, other.initial_}};
-  seen[{initial_, other.initial_}] = true;
+  seen.insert(initial_ * m + other.initial_);
   while (!queue.empty()) {
     const auto [a, b] = queue.front();
     queue.pop_front();
     if (accepting_[a] != other.accepting_[b]) return false;
     for (Sym s = 0; s < alphabet_.size(); ++s) {
-      const auto next = std::make_pair(delta_[a][s], other.delta_[b][s]);
-      if (!seen[next]) {
-        seen[next] = true;
-        queue.push_back(next);
+      const State na = delta_[a][s];
+      const State nb = other.delta_[b][s];
+      if (!seen.contains(na * m + nb)) {
+        seen.insert(na * m + nb);
+        queue.emplace_back(na, nb);
       }
     }
   }

@@ -2,12 +2,28 @@
 
 #include <algorithm>
 #include <deque>
-#include <map>
 #include <numeric>
+
+#include "core/state_set.hpp"
 
 namespace slat::games {
 
 namespace {
+
+// Interning key for IAR expansion nodes: (Rabin node, index appearance
+// record) tuples.
+struct IarKey {
+  int node;
+  std::vector<int> record;
+
+  std::uint64_t hash() const {
+    return core::hash_ints(record.data(), record.size(),
+                           core::hash_combine(core::kHashSeed,
+                                              static_cast<std::uint64_t>(node)));
+  }
+
+  friend bool operator==(const IarKey&, const IarKey&) = default;
+};
 
 // Record update: move the indices hit red at this node to the front,
 // preserving relative order within both groups.
@@ -44,17 +60,17 @@ IarExpansion expand_iar(const RabinGame& game) {
   const int n = game.num_nodes();
   out.initial_node.assign(n, -1);
 
-  std::map<std::pair<int, std::vector<int>>, int> intern;
+  core::InternTable<IarKey> intern;
   const auto intern_node = [&](int v, const std::vector<int>& record) {
-    const auto key = std::make_pair(v, record);
-    auto it = intern.find(key);
-    if (it == intern.end()) {
-      const int id = out.parity.add_node(game.owner[v], iar_priority(record, game.marks[v]));
+    bool created = false;
+    const int id = intern.intern(IarKey{v, record}, &created);
+    if (created) {
+      const int node = out.parity.add_node(game.owner[v], iar_priority(record, game.marks[v]));
+      SLAT_ASSERT(node == id);  // both sides number nodes in discovery order
       out.rabin_node.push_back(v);
       out.record.push_back(record);
-      it = intern.emplace(key, id).first;
     }
-    return it->second;
+    return id;
   };
 
   std::vector<int> identity(game.num_pairs);
@@ -120,8 +136,8 @@ bool induces_strongly_connected(const std::vector<std::vector<int>>& graph,
   // the transposed edges. SC iff both cover the whole set.
   for (int direction = 0; direction < 2; ++direction) {
     std::vector<int> stack{nodes[0]};
-    std::map<int, bool> seen;
-    seen[nodes[0]] = true;
+    core::StateSet seen(static_cast<int>(graph.size()));
+    seen.insert(nodes[0]);
     std::size_t count = 1;
     while (!stack.empty()) {
       const int v = stack.back();
@@ -133,8 +149,8 @@ bool induces_strongly_connected(const std::vector<std::vector<int>>& graph,
           int from = static_cast<int>(u), to = w;
           if (direction == 1) std::swap(from, to);
           if (from != v) continue;
-          if (member(to) && !seen[to]) {
-            seen[to] = true;
+          if (member(to) && !seen.contains(to)) {
+            seen.insert(to);
             ++count;
             stack.push_back(to);
           }

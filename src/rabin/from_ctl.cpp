@@ -1,11 +1,11 @@
 #include "rabin/from_ctl.hpp"
 
 #include <algorithm>
-#include <map>
 #include <set>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "core/state_set.hpp"
 
 namespace slat::rabin {
 
@@ -106,10 +106,15 @@ struct MhState {
   std::set<CtlId> all;    ///< S: pending subformula obligations
   std::set<CtlId> owing;  ///< O ⊆ S: rejecting states owing an F-visit
 
-  bool operator<(const MhState& other) const {
-    if (all != other.all) return all < other.all;
-    return owing < other.owing;
+  std::uint64_t hash() const {
+    std::uint64_t h = core::kHashSeed;
+    for (CtlId q : all) h = core::hash_combine(h, static_cast<std::uint64_t>(q));
+    h = core::hash_combine(h, 0x9e3779b97f4a7c15ull);  // domain-separate S from O
+    for (CtlId q : owing) h = core::hash_combine(h, static_cast<std::uint64_t>(q));
+    return h;
   }
+
+  friend bool operator==(const MhState&, const MhState&) = default;
 };
 
 bool is_rejecting(const CtlArena& arena, CtlId q) {
@@ -129,17 +134,11 @@ RabinTreeAutomaton from_ctl(trees::CtlArena& arena, trees::CtlId f, int branchin
   const CtlId root = arena.nnf(f);
 
   // Explore reachable MH states, building the transition table in parallel.
-  std::map<MhState, State> intern;
-  std::vector<MhState> states;
+  // Hashed interning; ids follow discovery order exactly as the seed's
+  // ordered map did.
+  core::InternTable<MhState> intern;
   std::vector<std::tuple<State, words::Sym, Tuple>> transitions;
-  const auto intern_state = [&](const MhState& state) {
-    auto it = intern.find(state);
-    if (it == intern.end()) {
-      it = intern.emplace(state, static_cast<State>(states.size())).first;
-      states.push_back(state);
-    }
-    return it->second;
-  };
+  const auto intern_state = [&](MhState state) { return intern.intern(std::move(state)); };
 
   MhState initial;
   initial.all.insert(root);
@@ -148,9 +147,9 @@ RabinTreeAutomaton from_ctl(trees::CtlArena& arena, trees::CtlId f, int branchin
 
   std::set<CtlId> alternating_states;  // for stats
 
-  for (std::size_t work = 0; work < states.size(); ++work) {
-    const MhState current = states[work];  // copy: `states` grows below
-    const State current_id = static_cast<State>(work);
+  for (int work = 0; work < intern.size(); ++work) {
+    const MhState current = intern.key(work);  // copy: the table grows below
+    const State current_id = work;
     for (CtlId q : current.all) alternating_states.insert(q);
 
     for (words::Sym symbol = 0; symbol < arena.alphabet().size(); ++symbol) {
@@ -212,15 +211,14 @@ RabinTreeAutomaton from_ctl(trees::CtlArena& arena, trees::CtlId f, int branchin
     }
   }
 
-  RabinTreeAutomaton out(arena.alphabet(), branching, static_cast<int>(states.size()),
-                         initial_id);
+  RabinTreeAutomaton out(arena.alphabet(), branching, intern.size(), initial_id);
   for (auto& [from, symbol, tuple] : transitions) {
     out.add_transition(from, symbol, std::move(tuple));
   }
   // Büchi condition as a Rabin pair: green = breakpoint states (O = ∅).
   std::vector<State> green;
   for (State id = 0; id < out.num_states(); ++id) {
-    if (states[id].owing.empty()) green.push_back(id);
+    if (intern.key(id).owing.empty()) green.push_back(id);
   }
   out.add_pair(green, {});
 

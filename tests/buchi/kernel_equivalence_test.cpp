@@ -1,0 +1,309 @@
+// Differential tests for the bitset state-set kernel: the optimized subset
+// construction (`DetSafety::determinize`) and rank-based complementation are
+// run against verbatim copies of the SEED implementations (ordered-map
+// interning, sort+unique images) on hundreds of random NBAs, and the
+// resulting languages are compared exactly via product-emptiness. Because
+// both sides assign state ids in discovery order, the automata must in fact
+// be identical state for state — which the tests also assert, as the
+// stronger isomorphism check.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "buchi/complement.hpp"
+#include "buchi/random.hpp"
+#include "buchi/safety.hpp"
+
+namespace slat::buchi {
+namespace {
+
+// --- Seed subset construction (reference), kept verbatim modulo the output
+// --- shape: sorted-vector subsets interned through std::map.
+struct ReferenceDetSafety {
+  State initial = 0;
+  State sink = 0;
+  std::vector<std::vector<State>> delta;
+};
+
+ReferenceDetSafety reference_determinize(const Nba& closure) {
+  ReferenceDetSafety out;
+  const int sigma = closure.alphabet().size();
+
+  std::map<std::vector<State>, State> intern;
+  std::vector<std::vector<State>> worklist_sets;
+  const auto intern_set = [&](const std::vector<State>& set) {
+    auto it = intern.find(set);
+    if (it == intern.end()) {
+      it = intern.emplace(set, static_cast<State>(intern.size())).first;
+      out.delta.emplace_back(sigma, -1);
+      worklist_sets.push_back(set);
+    }
+    return it->second;
+  };
+
+  out.sink = intern_set({});
+  if (closure.is_trivially_dead()) {
+    out.initial = out.sink;
+  } else {
+    out.initial = intern_set({closure.initial()});
+  }
+
+  for (std::size_t next = 0; next < worklist_sets.size(); ++next) {
+    const std::vector<State> current = worklist_sets[next];
+    const State current_id = intern.at(current);
+    for (Sym s = 0; s < sigma; ++s) {
+      std::vector<State> image;
+      for (State q : current) {
+        for (State succ : closure.successors(q, s)) image.push_back(succ);
+      }
+      std::sort(image.begin(), image.end());
+      image.erase(std::unique(image.begin(), image.end()), image.end());
+      out.delta[current_id][s] = intern_set(std::move(image));
+    }
+  }
+  return out;
+}
+
+// L(reference) as an NBA (mirrors DetSafety::to_nba).
+Nba reference_to_nba(const ReferenceDetSafety& det, const Alphabet& alphabet) {
+  Nba out(alphabet, static_cast<int>(det.delta.size()), det.initial);
+  for (State q = 0; q < out.num_states(); ++q) {
+    if (q == det.sink) continue;
+    out.set_accepting(q, true);
+    for (Sym s = 0; s < alphabet.size(); ++s) {
+      if (det.delta[q][s] != det.sink) out.add_transition(q, s, det.delta[q][s]);
+    }
+  }
+  return out;
+}
+
+// ¬L(reference) as an NBA (mirrors DetSafety::complement_nba).
+Nba reference_complement_nba(const ReferenceDetSafety& det, const Alphabet& alphabet) {
+  Nba out(alphabet, static_cast<int>(det.delta.size()), det.initial);
+  out.set_accepting(det.sink, true);
+  for (State q = 0; q < out.num_states(); ++q) {
+    for (Sym s = 0; s < alphabet.size(); ++s) {
+      out.add_transition(q, s, det.delta[q][s]);
+    }
+  }
+  return out;
+}
+
+// --- Seed rank-based complementation (reference), verbatim with the
+// --- ordered-map interning it shipped with.
+struct RefRankState {
+  std::vector<int> rank;
+  std::vector<bool> obligation;
+
+  bool operator<(const RefRankState& other) const {
+    if (rank != other.rank) return rank < other.rank;
+    return obligation < other.obligation;
+  }
+};
+
+Nba reference_complement(const Nba& nba, int max_rank) {
+  const int n = nba.num_states();
+  const int sigma = nba.alphabet().size();
+
+  std::map<RefRankState, State> intern;
+  std::vector<RefRankState> states;
+  std::vector<std::tuple<State, Sym, State>> transitions;
+
+  const auto intern_state = [&](const RefRankState& rs) {
+    auto it = intern.find(rs);
+    if (it == intern.end()) {
+      it = intern.emplace(rs, static_cast<State>(states.size())).first;
+      states.push_back(rs);
+    }
+    return it->second;
+  };
+
+  RefRankState init{std::vector<int>(n, -1), std::vector<bool>(n, false)};
+  const int init_rank =
+      nba.is_accepting(nba.initial()) && max_rank % 2 == 1 ? max_rank - 1 : max_rank;
+  init.rank[nba.initial()] = init_rank;
+  const State initial_id = intern_state(init);
+
+  for (std::size_t work = 0; work < states.size(); ++work) {
+    const RefRankState current = states[work];
+    const State current_id = static_cast<State>(work);
+
+    for (Sym s = 0; s < sigma; ++s) {
+      std::vector<int> cap(n, -1);
+      for (State q = 0; q < n; ++q) {
+        if (current.rank[q] < 0) continue;
+        for (State succ : nba.successors(q, s)) {
+          cap[succ] = cap[succ] < 0 ? current.rank[q] : std::min(cap[succ], current.rank[q]);
+        }
+      }
+      std::vector<State> members;
+      for (State q = 0; q < n; ++q) {
+        if (cap[q] >= 0) members.push_back(q);
+      }
+      const bool obligation_active =
+          std::find(current.obligation.begin(), current.obligation.end(), true) !=
+          current.obligation.end();
+      std::vector<bool> inherits(n, false);
+      if (obligation_active) {
+        for (State q = 0; q < n; ++q) {
+          if (current.rank[q] < 0 || !current.obligation[q]) continue;
+          for (State succ : nba.successors(q, s)) inherits[succ] = true;
+        }
+      } else {
+        for (State q : members) inherits[q] = true;
+      }
+
+      std::vector<int> chosen(members.size(), 0);
+      const std::function<void(std::size_t)> recurse = [&](std::size_t idx) {
+        if (idx == members.size()) {
+          RefRankState next{std::vector<int>(n, -1), std::vector<bool>(n, false)};
+          for (std::size_t i = 0; i < members.size(); ++i) {
+            next.rank[members[i]] = chosen[i];
+          }
+          for (State q : members) {
+            next.obligation[q] = inherits[q] && next.rank[q] % 2 == 0;
+          }
+          transitions.emplace_back(current_id, s, intern_state(next));
+          return;
+        }
+        const State q = members[idx];
+        for (int r = 0; r <= cap[q]; ++r) {
+          if (nba.is_accepting(q) && r % 2 == 1) continue;
+          chosen[idx] = r;
+          recurse(idx + 1);
+        }
+      };
+      recurse(0);
+    }
+  }
+
+  Nba out(nba.alphabet(), static_cast<int>(states.size()), initial_id);
+  for (State id = 0; id < out.num_states(); ++id) {
+    const auto& rs = states[id];
+    const bool has_obligation =
+        std::find(rs.obligation.begin(), rs.obligation.end(), true) != rs.obligation.end();
+    out.set_accepting(id, !has_obligation);
+  }
+  for (const auto& [from, s, to] : transitions) out.add_transition(from, s, to);
+  return out;
+}
+
+// Exact Nba equality: same states, acceptance, and successor lists.
+void expect_identical(const Nba& a, const Nba& b, const std::string& context) {
+  ASSERT_EQ(a.num_states(), b.num_states()) << context;
+  ASSERT_EQ(a.initial(), b.initial()) << context;
+  for (State q = 0; q < a.num_states(); ++q) {
+    EXPECT_EQ(a.is_accepting(q), b.is_accepting(q)) << context << " state " << q;
+    for (Sym s = 0; s < a.alphabet().size(); ++s) {
+      EXPECT_EQ(a.successors(q, s), b.successors(q, s)) << context << " state " << q;
+    }
+  }
+}
+
+TEST(KernelEquivalence, SubsetConstructionMatchesSeedOn200RandomNbas) {
+  std::mt19937 rng(20260805);
+  int done = 0;
+  for (int n = 2; n <= 9; ++n) {
+    for (int sigma = 1; sigma <= 3; ++sigma) {
+      for (int rep = 0; rep < 9; ++rep, ++done) {
+        RandomNbaConfig config;
+        config.num_states = n;
+        config.alphabet_size = sigma;
+        config.transition_density = 0.6 + 0.2 * rep;
+        const Nba nba = random_nba(config, rng);
+        const Nba closure = safety_closure(nba);
+
+        const ReferenceDetSafety ref = reference_determinize(closure);
+        const DetSafety opt = DetSafety::determinize(closure);
+
+        // Identical automata (discovery-order numbering on both sides).
+        ASSERT_EQ(static_cast<int>(ref.delta.size()), opt.num_states());
+        ASSERT_EQ(ref.initial, opt.initial());
+        ASSERT_EQ(ref.sink, opt.sink());
+
+        // Identical languages, decided exactly by product-emptiness: safety
+        // languages have cheap complements, so both inclusions are testable.
+        const Nba ref_nba = reference_to_nba(ref, nba.alphabet());
+        const Nba ref_not = reference_complement_nba(ref, nba.alphabet());
+        EXPECT_TRUE(intersect(ref_nba, opt.complement_nba()).is_empty())
+            << "reference ⊄ optimized at n=" << n << " sigma=" << sigma;
+        EXPECT_TRUE(intersect(opt.to_nba(), ref_not).is_empty())
+            << "optimized ⊄ reference at n=" << n << " sigma=" << sigma;
+      }
+    }
+  }
+  EXPECT_GE(done, 200);
+}
+
+TEST(KernelEquivalence, ComplementationMatchesSeedOn200RandomNbas) {
+  std::mt19937 rng(77);
+  const auto corpus = words::enumerate_up_words(2, 3, 3);
+  int done = 0;
+  for (int n = 2; n <= 4; ++n) {
+    for (int rep = 0; rep < 100; ++rep) {
+      RandomNbaConfig config;
+      config.num_states = n;
+      config.alphabet_size = 2;
+      config.transition_density = 0.7 + 0.1 * (rep % 8);
+      const Nba nba = random_nba(config, rng);
+
+      // Mirror complement(const Nba&)'s preprocessing, then diff the kernel.
+      const Nba reduced = nba.reduce();
+      if (reduced.is_trivially_dead()) continue;  // complement() short-circuits
+      ++done;
+      const int bound = 2 * (reduced.num_states() - reduced.num_accepting());
+      const Nba ref = reference_complement(reduced, bound);
+      const Nba opt = complement(reduced, bound);
+
+      expect_identical(ref, opt, "complement n=" + std::to_string(n));
+
+      // Language-level checks: both are disjoint from L(nba) exactly
+      // (product-emptiness), and agree with ¬L(nba) on the word corpus.
+      EXPECT_TRUE(intersect(opt, reduced).is_empty());
+      for (const auto& w : corpus) {
+        EXPECT_EQ(opt.accepts(w), !reduced.accepts(w));
+      }
+    }
+  }
+  EXPECT_GE(done, 200);
+}
+
+TEST(KernelEquivalence, TriviallyDeadClosureStartsInTheSink) {
+  // A 1-state ACCEPTING automaton with no transitions has L = ∅, so even the
+  // empty prefix is bad. The seed's initial-state branch misrouted this
+  // shape to a live initial subset, wrongly accepting the empty prefix.
+  Nba dead(Alphabet::binary(), 1, 0);
+  dead.set_accepting(0, true);
+  ASSERT_TRUE(dead.is_trivially_dead());
+
+  const DetSafety det = DetSafety::determinize(dead);
+  EXPECT_EQ(det.initial(), det.sink());
+  EXPECT_FALSE(det.accepts_prefix({}));
+  EXPECT_FALSE(det.accepts_prefix({0}));
+
+  // Through from_nba the closure canonicalizes first; the result must agree.
+  const DetSafety via_closure = DetSafety::from_nba(dead);
+  EXPECT_EQ(via_closure.initial(), via_closure.sink());
+  EXPECT_FALSE(via_closure.accepts_prefix({}));
+}
+
+TEST(KernelEquivalence, IsTriviallyDeadMatchesTheReplacedIdiom) {
+  std::mt19937 rng(5);
+  RandomNbaConfig config;
+  config.num_states = 4;
+  config.alphabet_size = 2;
+  for (int rep = 0; rep < 50; ++rep) {
+    const Nba nba = random_nba(config, rng);
+    EXPECT_EQ(nba.is_trivially_dead(), nba.is_empty() && nba.num_transitions() == 0);
+  }
+  EXPECT_TRUE(Nba::empty_language(Alphabet::binary()).is_trivially_dead());
+  EXPECT_FALSE(Nba::universal(Alphabet::binary()).is_trivially_dead());
+}
+
+}  // namespace
+}  // namespace slat::buchi

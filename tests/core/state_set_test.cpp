@@ -1,0 +1,169 @@
+// Unit tests for the bitset state-set kernel: insert/iterate round trips,
+// word-boundary universes (63/64/65), capacity-independent hashing and
+// equality, small-size inline vs heap growth, and InternTable behavior
+// under forced collisions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "core/state_set.hpp"
+
+namespace slat::core {
+namespace {
+
+TEST(StateSet, InsertContainsEraseRoundTrip) {
+  StateSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.count(), 0);
+  set.insert(0);
+  set.insert(5);
+  set.insert(5);  // duplicate insert is a no-op
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_TRUE(set.contains(5));
+  EXPECT_FALSE(set.contains(1));
+  EXPECT_EQ(set.count(), 2);
+  set.erase(5);
+  EXPECT_FALSE(set.contains(5));
+  EXPECT_EQ(set.count(), 1);
+  set.erase(1000);  // erasing beyond capacity is a no-op
+  EXPECT_EQ(set.count(), 1);
+}
+
+TEST(StateSet, IterationIsSortedAndComplete) {
+  for (const int universe : {7, 63, 64, 65, 128, 129, 513}) {
+    StateSet set(universe);
+    std::mt19937 rng(universe);
+    std::set<int> expected;
+    std::uniform_int_distribution<int> pick(0, universe - 1);
+    for (int i = 0; i < universe / 2 + 1; ++i) {
+      const int q = pick(rng);
+      set.insert(q);
+      expected.insert(q);
+    }
+    const std::vector<int> got = set.to_vector();
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end())) << universe;
+    EXPECT_EQ(got, std::vector<int>(expected.begin(), expected.end())) << universe;
+    EXPECT_EQ(set.count(), static_cast<int>(expected.size())) << universe;
+  }
+}
+
+TEST(StateSet, WordBoundarySizes) {
+  // 63, 64, 65: last bit of a word, exactly one full word, first bit of the
+  // next word. Also 127/128/129 across the inline-storage boundary.
+  for (const int boundary : {63, 64, 65, 127, 128, 129}) {
+    StateSet set;
+    set.insert(boundary);
+    EXPECT_TRUE(set.contains(boundary)) << boundary;
+    EXPECT_FALSE(set.contains(boundary - 1)) << boundary;
+    EXPECT_FALSE(set.contains(boundary + 1)) << boundary;
+    EXPECT_EQ(set.count(), 1) << boundary;
+    std::vector<int> members = set.to_vector();
+    ASSERT_EQ(members.size(), 1u) << boundary;
+    EXPECT_EQ(members[0], boundary) << boundary;
+  }
+}
+
+TEST(StateSet, EqualityAndHashIgnoreCapacity) {
+  StateSet small;       // inline capacity (128 bits)
+  StateSet large(600);  // heap-backed from the start
+  for (int q : {3, 64, 100}) {
+    small.insert(q);
+    large.insert(q);
+  }
+  EXPECT_EQ(small, large);
+  EXPECT_EQ(small.hash(), large.hash());
+  // Growing past the inline buffer then erasing back must not disturb
+  // equality either.
+  StateSet grown = small;
+  grown.insert(500);
+  EXPECT_FALSE(grown == small);
+  grown.erase(500);
+  EXPECT_EQ(grown, small);
+  EXPECT_EQ(grown.hash(), small.hash());
+}
+
+TEST(StateSet, UnionWith) {
+  StateSet a, b;
+  a.insert(1);
+  a.insert(70);
+  b.insert(2);
+  b.insert(300);  // forces growth of `a` during the union
+  a.union_with(b);
+  EXPECT_EQ(a.to_vector(), (std::vector<int>{1, 2, 70, 300}));
+}
+
+TEST(StateSet, CopyAndMoveAcrossStorageKinds) {
+  StateSet inline_set;
+  inline_set.insert(10);
+  StateSet heap_set(300);
+  heap_set.insert(290);
+
+  StateSet copy = heap_set;  // heap -> fresh
+  EXPECT_EQ(copy, heap_set);
+  copy = inline_set;  // heap <- inline
+  EXPECT_EQ(copy, inline_set);
+
+  StateSet moved = std::move(copy);
+  EXPECT_EQ(moved, inline_set);
+  StateSet target(300);
+  target.insert(5);
+  target = std::move(moved);  // heap <- inline move
+  EXPECT_EQ(target, inline_set);
+}
+
+struct CollidingKey {
+  int value;
+  // All keys share one hash bucket: the table must fall back to equality.
+  std::uint64_t hash() const { return 42; }
+  friend bool operator==(const CollidingKey&, const CollidingKey&) = default;
+};
+
+TEST(InternTable, AssignsIdsInFirstEncounterOrderUnderCollisions) {
+  InternTable<CollidingKey> table;
+  for (int round = 0; round < 3; ++round) {
+    for (int v = 0; v < 100; ++v) {
+      EXPECT_EQ(table.intern(CollidingKey{v}), v) << round;
+    }
+  }
+  EXPECT_EQ(table.size(), 100);
+  EXPECT_EQ(table.find(CollidingKey{7}), 7);
+  EXPECT_EQ(table.find(CollidingKey{100}), -1);
+}
+
+TEST(InternTable, InternStateSetsSurvivesRehashing) {
+  InternTable<StateSet> table;
+  std::mt19937 rng(99);
+  std::vector<StateSet> originals;
+  for (int i = 0; i < 500; ++i) {
+    StateSet set;
+    std::uniform_int_distribution<int> pick(0, 200);
+    for (int j = 0; j < 5; ++j) set.insert(pick(rng));
+    bool created = false;
+    const int id = table.intern(set, &created);
+    if (created) {
+      ASSERT_EQ(id, static_cast<int>(originals.size()));
+      originals.push_back(set);
+    } else {
+      EXPECT_EQ(table.key(id), set);
+    }
+  }
+  // Every original still resolves to its id after all the growth.
+  for (std::size_t i = 0; i < originals.size(); ++i) {
+    EXPECT_EQ(table.find(originals[i]), static_cast<int>(i));
+  }
+}
+
+TEST(InternTable, IntVecKeySignatures) {
+  InternTable<IntVecKey> table;
+  EXPECT_EQ(table.intern(IntVecKey{{1, -1, 2}}), 0);
+  EXPECT_EQ(table.intern(IntVecKey{{1, -1, 3}}), 1);
+  EXPECT_EQ(table.intern(IntVecKey{{1, -1, 2}}), 0);
+  EXPECT_EQ(table.intern(IntVecKey{{}}), 2);
+  EXPECT_EQ(table.key(1).values, (std::vector<int>{1, -1, 3}));
+}
+
+}  // namespace
+}  // namespace slat::core
