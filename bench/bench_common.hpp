@@ -1,11 +1,22 @@
 // Shared glue for the bench binaries: every bench first PRINTS the paper
 // artifact it regenerates (table or figure), then runs its google-benchmark
 // timings. EXPERIMENTS.md catalogues the outputs.
+//
+// The artifact dump is routed to STDERR (the printers themselves use plain
+// printf; `run` temporarily redirects fd 1) so that
+// `--benchmark_format=json` / `--benchmark_out` consumers — in particular
+// scripts/run_benches.sh — always see clean JSON on stdout. Setting
+// SLAT_BENCH_ARTIFACT=0 skips the artifact entirely (useful for fast
+// timing-only sweeps).
 #pragma once
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
+
+#include "core/thread_pool.hpp"
 
 namespace slat::bench {
 
@@ -16,17 +27,56 @@ inline void print_header(const char* experiment_id, const char* description) {
   std::printf("================================================================\n");
 }
 
-/// Runs the artifact printer, then the registered benchmarks.
+inline bool artifact_enabled() {
+  const char* env = std::getenv("SLAT_BENCH_ARTIFACT");
+  return env == nullptr || env[0] != '0';
+}
+
+/// Runs `print_artifact` with stdout temporarily redirected to stderr, so
+/// printf-style artifact printers never pollute machine-readable stdout.
+template <typename PrintArtifact>
+void print_artifact_to_stderr(const PrintArtifact& print_artifact) {
+  std::fflush(stdout);
+  const int saved_stdout = ::dup(STDOUT_FILENO);
+  if (saved_stdout >= 0 && ::dup2(STDERR_FILENO, STDOUT_FILENO) >= 0) {
+    print_artifact();
+    std::fflush(stdout);
+    ::dup2(saved_stdout, STDOUT_FILENO);
+    ::close(saved_stdout);
+  } else {
+    // fd juggling failed (exotic environment): print unredirected.
+    if (saved_stdout >= 0) ::close(saved_stdout);
+    print_artifact();
+  }
+}
+
+/// Runs the artifact printer (to stderr), then the registered benchmarks.
 template <typename PrintArtifact>
 int run(int argc, char** argv, const PrintArtifact& print_artifact) {
-  print_artifact();
+  if (artifact_enabled()) print_artifact_to_stderr(print_artifact);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;
 }
 
+/// Scales the global pool to `state.range(0)` threads for the duration of a
+/// pool benchmark and restores the auto size afterwards. Pool benchmarks
+/// take the thread count as their first Arg (see SLAT_BENCH_THREAD_ARGS);
+/// scripts/run_benches.sh sweeps and aggregates them into BENCH_PR2.json.
+class ThreadSweepGuard {
+ public:
+  explicit ThreadSweepGuard(benchmark::State& state) {
+    core::set_num_threads(static_cast<int>(state.range(0)));
+  }
+  ~ThreadSweepGuard() { core::set_num_threads(0); }
+};
+
 }  // namespace slat::bench
+
+/// The standard thread sweep reported per thread count: 1, 2, 4, 8.
+#define SLAT_BENCH_THREAD_ARGS \
+  ArgName("threads")->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
 
 #define SLAT_BENCH_MAIN(print_artifact)                        \
   int main(int argc, char** argv) {                            \

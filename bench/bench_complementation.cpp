@@ -9,6 +9,7 @@
 #include "buchi/complement.hpp"
 #include "buchi/language.hpp"
 #include "buchi/random.hpp"
+#include "core/parallel.hpp"
 
 namespace {
 
@@ -61,6 +62,28 @@ void bm_complement_naive_bound(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_complement_naive_bound)->DenseRange(1, 3);
+
+// Thread sweep: a fixed pool of instances complemented concurrently via the
+// parallel layer. One grain-1 chunk per automaton; each complement() call
+// itself runs inline on its worker (nested parallelism goes inline), so the
+// sweep isolates the instance-level scaling. Results are discarded per slot —
+// the equivalence tests already pin outputs to be thread-count independent.
+void bm_complement_pool(benchmark::State& state) {
+  slat::bench::ThreadSweepGuard guard(state);
+  std::mt19937 rng(602);
+  buchi::RandomNbaConfig config;
+  config.num_states = 4;
+  std::vector<Nba> pool;
+  for (int i = 0; i < 16; ++i) pool.push_back(buchi::random_nba(config, rng));
+  for (auto _ : state) {
+    core::parallel_for(
+        static_cast<int>(pool.size()),
+        [&](int i) { benchmark::DoNotOptimize(buchi::complement(pool[i])); },
+        /*grain=*/1);
+  }
+  state.SetItemsProcessed(state.iterations() * pool.size());
+}
+BENCHMARK(bm_complement_pool)->SLAT_BENCH_THREAD_ARGS;
 
 void bm_equivalence_check(benchmark::State& state) {
   std::mt19937 rng(601);

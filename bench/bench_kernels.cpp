@@ -16,6 +16,7 @@
 #include "bench_common.hpp"
 #include "buchi/random.hpp"
 #include "buchi/safety.hpp"
+#include "core/parallel.hpp"
 
 namespace slat::buchi {
 namespace {
@@ -182,6 +183,36 @@ void BM_Reduce_Hashed(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * pool.size());
 }
 BENCHMARK(BM_Reduce_Hashed)->Arg(64)->Arg(256);
+
+// Thread sweep: the full closure pool determinized concurrently, one
+// automaton per chunk. The per-automaton internal parallelism (image
+// computation levels) runs inline on the workers, so this measures
+// instance-level scaling of the subset construction.
+void BM_SubsetConstruction_Pool(benchmark::State& state) {
+  slat::bench::ThreadSweepGuard guard(state);
+  const auto pool = closure_pool(64, 4, 8, 42);
+  for (auto _ : state) {
+    slat::core::parallel_for(
+        static_cast<int>(pool.size()),
+        [&](int i) { benchmark::DoNotOptimize(DetSafety::determinize(pool[i])); },
+        /*grain=*/1);
+  }
+  state.SetItemsProcessed(state.iterations() * pool.size());
+}
+BENCHMARK(BM_SubsetConstruction_Pool)->SLAT_BENCH_THREAD_ARGS;
+
+void BM_Reduce_Pool(benchmark::State& state) {
+  slat::bench::ThreadSweepGuard guard(state);
+  const auto pool = nba_pool(256, 4, 8, 7);
+  for (auto _ : state) {
+    slat::core::parallel_for(
+        static_cast<int>(pool.size()),
+        [&](int i) { benchmark::DoNotOptimize(pool[i].reduce()); },
+        /*grain=*/1);
+  }
+  state.SetItemsProcessed(state.iterations() * pool.size());
+}
+BENCHMARK(BM_Reduce_Pool)->SLAT_BENCH_THREAD_ARGS;
 
 // --- artifact: the measured speedup table ----------------------------------
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "core/parallel.hpp"
 #include "lattice/constructions.hpp"
 #include "lattice/decomposition.hpp"
 #include "lattice/enumerate.hpp"
@@ -103,6 +104,29 @@ void bm_decompose_single(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * lattice.size());
 }
 BENCHMARK(bm_decompose_single)->DenseRange(2, 8);
+
+// Thread sweep: decompose every element under a pool of random closures on
+// B_8, one closure per chunk. Decomposition is a pure function of
+// (lattice, closure, element), so each chunk owns its closure outright.
+void bm_decompose_pool(benchmark::State& state) {
+  slat::bench::ThreadSweepGuard guard(state);
+  const FiniteLattice lattice = boolean_lattice(8);
+  std::mt19937 rng(2025);
+  std::vector<LatticeClosure> pool;
+  for (int i = 0; i < 16; ++i) pool.push_back(LatticeClosure::random(lattice, rng));
+  for (auto _ : state) {
+    slat::core::parallel_for(
+        static_cast<int>(pool.size()),
+        [&](int i) {
+          for (Elem a = 0; a < lattice.size(); ++a) {
+            benchmark::DoNotOptimize(decompose(lattice, pool[i], a));
+          }
+        },
+        /*grain=*/1);
+  }
+  state.SetItemsProcessed(state.iterations() * pool.size() * lattice.size());
+}
+BENCHMARK(bm_decompose_pool)->SLAT_BENCH_THREAD_ARGS;
 
 void bm_random_closure_construction(benchmark::State& state) {
   const FiniteLattice lattice = boolean_lattice(static_cast<int>(state.range(0)));

@@ -5,6 +5,7 @@
 #include <random>
 
 #include "bench_common.hpp"
+#include "core/parallel.hpp"
 #include "games/parity.hpp"
 #include "games/rabin_game.hpp"
 
@@ -87,6 +88,24 @@ void bm_iar_expand(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_iar_expand)->DenseRange(1, 4);
+
+// Thread sweep: a fixed pool of parity games solved concurrently. Grain 1 so
+// an idle thread steals the next unsolved game; the attractor-internal
+// parallelism runs inline on the workers.
+void bm_zielonka_pool(benchmark::State& state) {
+  slat::bench::ThreadSweepGuard guard(state);
+  std::mt19937 rng(11);
+  std::vector<ParityGame> pool;
+  for (int i = 0; i < 16; ++i) pool.push_back(random_parity_game(1000, 6, rng));
+  for (auto _ : state) {
+    slat::core::parallel_for(
+        static_cast<int>(pool.size()),
+        [&](int i) { benchmark::DoNotOptimize(solve(pool[i])); },
+        /*grain=*/1);
+  }
+  state.SetItemsProcessed(state.iterations() * pool.size());
+}
+BENCHMARK(bm_zielonka_pool)->SLAT_BENCH_THREAD_ARGS;
 
 void bm_solve_rabin(benchmark::State& state) {
   std::mt19937 rng(10);

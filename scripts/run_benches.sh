@@ -1,31 +1,44 @@
 #!/usr/bin/env bash
 # Run the kernel-relevant benchmark binaries with JSON output and aggregate
-# the results into BENCH_PR1.json at the repo root.
+# the results into BENCH_PR1.json (kernel vs seed speedups) and
+# BENCH_PR2.json (parallel-layer thread sweep) at the repo root.
 #
 # Usage: scripts/run_benches.sh [build-dir]
 #
-# Each binary prints its human-readable artifact to stdout (kept visible) and
+# Each binary prints its human-readable artifact to stderr (kept visible) and
 # writes google-benchmark JSON to a per-binary file via --benchmark_out; the
-# aggregation step merges those files. We avoid --benchmark_format=json
-# because the artifact tables would corrupt the JSON stream.
+# aggregation steps merge those files. The thread sweep runs the *_Pool
+# benchmarks with SLAT_BENCH_ARTIFACT=0 so only timings are collected.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-${REPO_ROOT}/build}"
 OUT_DIR="${BUILD_DIR}/bench_json"
 BENCHES=(bench_kernels bench_complementation bench_reduction bench_buchi_decomposition)
+# Binaries carrying thread-sweep pool benchmarks (…->SLAT_BENCH_THREAD_ARGS).
+SWEEP_BENCHES=(bench_kernels bench_complementation bench_parity_games bench_lattice_decomposition)
 
 if [[ ! -d "${BUILD_DIR}" ]]; then
   cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
 fi
-cmake --build "${BUILD_DIR}" -j --target "${BENCHES[@]}"
+cmake --build "${BUILD_DIR}" -j --target "${BENCHES[@]}" "${SWEEP_BENCHES[@]}"
 
 mkdir -p "${OUT_DIR}"
 for bench in "${BENCHES[@]}"; do
   echo "== ${bench} =="
   "${BUILD_DIR}/bench/${bench}" \
     --benchmark_min_time=0.05 \
+    --benchmark_filter='-threads:' \
     --benchmark_out="${OUT_DIR}/${bench}.json" \
+    --benchmark_out_format=json
+done
+
+for bench in "${SWEEP_BENCHES[@]}"; do
+  echo "== ${bench} (thread sweep) =="
+  SLAT_BENCH_ARTIFACT=0 "${BUILD_DIR}/bench/${bench}" \
+    --benchmark_min_time=0.05 \
+    --benchmark_filter='threads:' \
+    --benchmark_out="${OUT_DIR}/${bench}.threads.json" \
     --benchmark_out_format=json
 done
 
@@ -76,4 +89,57 @@ with open(target, "w") as f:
 print(f"wrote {target}")
 for name, s in sorted(speedups.items()):
     print(f"  {name}: {s}x")
+PY
+
+python3 - "${OUT_DIR}" "${REPO_ROOT}/BENCH_PR2.json" "${SWEEP_BENCHES[@]}" <<'PY'
+import json
+import re
+import sys
+
+out_dir, target, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+merged = {
+    "context": None,
+    "note": "real-time speedups are bounded by context.num_cpus on the "
+            "measuring host; outputs are bit-identical at every thread count "
+            "(see tests/integration/parallel_equivalence_test.cpp)",
+    "thread_sweep": {},
+    "speedup_vs_1_thread": {},
+}
+for bench in benches:
+    with open(f"{out_dir}/{bench}.threads.json") as f:
+        data = json.load(f)
+    if merged["context"] is None:
+        context = data.get("context", {})
+        merged["context"] = {
+            key: context.get(key)
+            for key in ("date", "host_name", "num_cpus", "mhz_per_cpu", "library_build_type")
+        }
+    # Group "<base>/threads:<T>/real_time" runs by base name, keyed by T.
+    by_base = {}
+    for run in data.get("benchmarks", []):
+        if run.get("run_type", "iteration") != "iteration":
+            continue
+        match = re.match(r"(.*)/threads:(\d+)(?:/|$)", run["name"])
+        if not match:
+            continue
+        base, threads = match.group(1), int(match.group(2))
+        by_base.setdefault(base, {})[threads] = run.get("real_time")
+    merged["thread_sweep"][bench] = {
+        base: {str(t): times[t] for t in sorted(times)} for base, times in by_base.items()
+    }
+    for base, times in by_base.items():
+        baseline = times.get(1)
+        if not baseline:
+            continue
+        merged["speedup_vs_1_thread"][f"{bench}/{base}"] = {
+            str(t): round(baseline / times[t], 2) for t in sorted(times) if times[t]
+        }
+
+with open(target, "w") as f:
+    json.dump(merged, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {target}")
+for name, per_thread in sorted(merged["speedup_vs_1_thread"].items()):
+    sweep = "  ".join(f"{t}t:{s}x" for t, s in per_thread.items())
+    print(f"  {name}: {sweep}")
 PY

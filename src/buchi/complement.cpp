@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "core/parallel.hpp"
 #include "core/state_set.hpp"
 
 namespace slat::buchi {
@@ -58,6 +59,7 @@ Nba complement(const Nba& nba, int max_rank) {
   // seed's ordered-map numbering, and the table doubles as the id → state
   // array the worklist iterates.
   core::InternTable<RankState> intern;
+  intern.reserve(4 * n + 4);  // rank spaces blow up fast; skip the early rehashes
   // Transitions collected as (from, symbol, to); the Nba is assembled at the
   // end once the state count is known.
   std::vector<std::tuple<State, Sym, State>> transitions;
@@ -72,62 +74,91 @@ Nba complement(const Nba& nba, int max_rank) {
   init.rank[nba.initial()] = init_rank;
   const State initial_id = intern_state(init);
 
-  for (int work = 0; work < intern.size(); ++work) {
-    const RankState current = intern.key(work);  // copy: the table grows below
-    const State current_id = work;
-
-    for (Sym s = 0; s < sigma; ++s) {
-      // The successor subset, and for each successor the cap on its rank:
-      // min over predecessors' ranks (ranks may not increase along runs).
-      std::vector<int> cap(n, -1);
-      for (State q = 0; q < n; ++q) {
-        if (current.rank[q] < 0) continue;
-        for (State succ : nba.successors(q, s)) {
-          cap[succ] = cap[succ] < 0 ? current.rank[q] : std::min(cap[succ], current.rank[q]);
-        }
+  // Enumerates every legal successor RankState of (current, s), in the
+  // canonical recursion order, into `out_states`. Pure function of its
+  // arguments — safe to run for many (current, s) cells concurrently.
+  const auto enumerate_successors = [&](const RankState& current, Sym s,
+                                        std::vector<RankState>& out_states) {
+    // The successor subset, and for each successor the cap on its rank:
+    // min over predecessors' ranks (ranks may not increase along runs).
+    std::vector<int> cap(n, -1);
+    for (State q = 0; q < n; ++q) {
+      if (current.rank[q] < 0) continue;
+      for (State succ : nba.successors(q, s)) {
+        cap[succ] = cap[succ] < 0 ? current.rank[q] : std::min(cap[succ], current.rank[q]);
       }
-      std::vector<State> members;
-      for (State q = 0; q < n; ++q) {
-        if (cap[q] >= 0) members.push_back(q);
-      }
-      const bool obligation_active =
-          std::find(current.obligation.begin(), current.obligation.end(), true) !=
-          current.obligation.end();
-      // Which successors inherit an obligation (before the even-rank filter):
-      // O-successors if O ≠ ∅, otherwise everyone (O resets to all evens).
-      std::vector<bool> inherits(n, false);
-      if (obligation_active) {
-        for (State q = 0; q < n; ++q) {
-          if (current.rank[q] < 0 || !current.obligation[q]) continue;
-          for (State succ : nba.successors(q, s)) inherits[succ] = true;
-        }
-      } else {
-        for (State q : members) inherits[q] = true;
-      }
-
-      // Enumerate every legal ranking of the successor subset.
-      std::vector<int> chosen(members.size(), 0);
-      const std::function<void(std::size_t)> recurse = [&](std::size_t idx) {
-        if (idx == members.size()) {
-          RankState next{std::vector<int>(n, -1), std::vector<bool>(n, false)};
-          for (std::size_t i = 0; i < members.size(); ++i) {
-            next.rank[members[i]] = chosen[i];
-          }
-          for (State q : members) {
-            next.obligation[q] = inherits[q] && next.rank[q] % 2 == 0;
-          }
-          transitions.emplace_back(current_id, s, intern_state(next));
-          return;
-        }
-        const State q = members[idx];
-        for (int r = 0; r <= cap[q]; ++r) {
-          if (nba.is_accepting(q) && r % 2 == 1) continue;
-          chosen[idx] = r;
-          recurse(idx + 1);
-        }
-      };
-      recurse(0);
     }
+    std::vector<State> members;
+    for (State q = 0; q < n; ++q) {
+      if (cap[q] >= 0) members.push_back(q);
+    }
+    const bool obligation_active =
+        std::find(current.obligation.begin(), current.obligation.end(), true) !=
+        current.obligation.end();
+    // Which successors inherit an obligation (before the even-rank filter):
+    // O-successors if O ≠ ∅, otherwise everyone (O resets to all evens).
+    std::vector<bool> inherits(n, false);
+    if (obligation_active) {
+      for (State q = 0; q < n; ++q) {
+        if (current.rank[q] < 0 || !current.obligation[q]) continue;
+        for (State succ : nba.successors(q, s)) inherits[succ] = true;
+      }
+    } else {
+      for (State q : members) inherits[q] = true;
+    }
+
+    // Enumerate every legal ranking of the successor subset.
+    std::vector<int> chosen(members.size(), 0);
+    const std::function<void(std::size_t)> recurse = [&](std::size_t idx) {
+      if (idx == members.size()) {
+        RankState next{std::vector<int>(n, -1), std::vector<bool>(n, false)};
+        for (std::size_t i = 0; i < members.size(); ++i) {
+          next.rank[members[i]] = chosen[i];
+        }
+        for (State q : members) {
+          next.obligation[q] = inherits[q] && next.rank[q] % 2 == 0;
+        }
+        out_states.push_back(std::move(next));
+        return;
+      }
+      const State q = members[idx];
+      for (int r = 0; r <= cap[q]; ++r) {
+        if (nba.is_accepting(q) && r % 2 == 1) continue;
+        chosen[idx] = r;
+        recurse(idx + 1);
+      }
+    };
+    recurse(0);
+  };
+
+  // Level-synchronous exploration: each level's (state, symbol) successor
+  // enumerations run in parallel into per-cell buffers (they only read the
+  // intern table), then the buffers are interned sequentially in canonical
+  // (source-id, symbol, enumeration) order — the exact order the sequential
+  // worklist interned them, so ids and transitions are bit-identical at any
+  // thread count.
+  std::vector<std::vector<RankState>> successor_buffers;
+  for (int level_begin = 0; level_begin < intern.size();) {
+    const int level_end = intern.size();
+    const int frontier = level_end - level_begin;
+    successor_buffers.assign(static_cast<std::size_t>(frontier) * sigma, {});
+    core::parallel_for(
+        frontier * sigma,
+        [&](int cell) {
+          const State current_id = level_begin + cell / sigma;
+          const Sym s = cell % sigma;
+          enumerate_successors(intern.key(current_id), s, successor_buffers[cell]);
+        },
+        /*grain=*/sigma);
+    for (State current_id = level_begin; current_id < level_end; ++current_id) {
+      for (Sym s = 0; s < sigma; ++s) {
+        auto& buffer = successor_buffers[(current_id - level_begin) * sigma + s];
+        for (RankState& next : buffer) {
+          transitions.emplace_back(current_id, s, intern_state(std::move(next)));
+        }
+      }
+    }
+    level_begin = level_end;
   }
 
   Nba out(nba.alphabet(), intern.size(), initial_id);

@@ -4,6 +4,7 @@
 
 #include "buchi/complement.hpp"
 #include "common/assert.hpp"
+#include "core/parallel.hpp"
 #include "core/state_set.hpp"
 
 namespace slat::buchi {
@@ -28,20 +29,21 @@ DetSafety DetSafety::determinize(const Nba& closure) {
 
   // Per-(state, symbol) successor bitsets, built once: the image of a
   // subset under s is then a word-wise OR over its members instead of a
-  // gather + sort + unique per step.
-  std::vector<core::StateSet> succ_bits;
-  succ_bits.reserve(static_cast<std::size_t>(n) * sigma);
-  for (State q = 0; q < n; ++q) {
-    for (Sym s = 0; s < sigma; ++s) {
-      core::StateSet bits(n);
-      for (State to : closure.successors(q, s)) bits.insert(to);
-      succ_bits.push_back(std::move(bits));
-    }
-  }
+  // gather + sort + unique per step. Cells are independent, so they fill in
+  // parallel.
+  std::vector<core::StateSet> succ_bits(static_cast<std::size_t>(n) * sigma);
+  core::parallel_for(n * sigma, [&](int cell) {
+    const State q = cell / sigma;
+    const Sym s = cell % sigma;
+    core::StateSet bits(n);
+    for (State to : closure.successors(q, s)) bits.insert(to);
+    succ_bits[cell] = std::move(bits);
+  });
 
   // Subsets interned through the open-addressing table; ids are assigned in
   // discovery order, matching the seed's map-based numbering exactly.
   core::InternTable<core::StateSet> intern;
+  intern.reserve(2 * n + 2);  // heuristic floor; avoids the early rehash storm
   const auto intern_set = [&](const core::StateSet& set) {
     State id = intern.find(set);
     if (id == -1) {
@@ -64,17 +66,39 @@ DetSafety DetSafety::determinize(const Nba& closure) {
     out.initial_ = intern_set(init);
   }
 
-  core::StateSet image(n);
-  for (State current_id = 0; current_id < intern.size(); ++current_id) {
-    for (Sym s = 0; s < sigma; ++s) {
-      image.clear();
-      // `key(current_id)` stays valid across the ORs; intern_set below may
-      // grow the table, so the image is fully built first.
-      intern.key(current_id).for_each(
-          [&](int q) { image.union_with(succ_bits[static_cast<std::size_t>(q) * sigma + s]); });
-      const State target = intern_set(image);  // may reallocate delta_
-      out.delta_[current_id][s] = target;
+  // Level-synchronous BFS over the subset graph. Each level is the block of
+  // ids interned but not yet expanded; their successor images are
+  // independent (they only READ the intern table), so they are computed in
+  // parallel into per-cell scratch sets, then interned SEQUENTIALLY in
+  // canonical (source-id, symbol) order. That order is exactly the order the
+  // sequential worklist loop interned them in, so discovery-order ids — and
+  // therefore the output automaton — are bit-identical at any thread count
+  // (differentially tested in parallel_equivalence_test and pinned to the
+  // seed construction in kernel_equivalence_test).
+  std::vector<core::StateSet> images;
+  for (State level_begin = 0; level_begin < intern.size();) {
+    const State level_end = intern.size();
+    const int frontier = level_end - level_begin;
+    images.assign(static_cast<std::size_t>(frontier) * sigma, core::StateSet{});
+    core::parallel_for(
+        frontier * sigma,
+        [&](int cell) {
+          const State current_id = level_begin + cell / sigma;
+          const Sym s = cell % sigma;
+          core::StateSet image(n);
+          intern.key(current_id).for_each([&](int q) {
+            image.union_with(succ_bits[static_cast<std::size_t>(q) * sigma + s]);
+          });
+          images[cell] = std::move(image);
+        },
+        /*grain=*/sigma);
+    for (State current_id = level_begin; current_id < level_end; ++current_id) {
+      for (Sym s = 0; s < sigma; ++s) {
+        const State target = intern_set(images[(current_id - level_begin) * sigma + s]);
+        out.delta_[current_id][s] = target;  // delta_ may have grown above
+      }
     }
+    level_begin = level_end;
   }
   return out;
 }

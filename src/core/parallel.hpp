@@ -1,0 +1,102 @@
+// Deterministic parallel primitives over core::ThreadPool.
+//
+// The contract every helper here honors (and every caller relies on):
+// OUTPUT IS BIT-IDENTICAL REGARDLESS OF THREAD COUNT OR SCHEDULE.
+//
+//   * parallel_for   — f(i) writes only state owned by index i; the barrier
+//                      at the end makes the whole loop a pure function of
+//                      its input. Scheduling freedom is invisible.
+//   * parallel_map   — results land in a vector slot per index, so the
+//                      returned vector is in index order by construction.
+//   * parallel_reduce— per-chunk partial folds, combined SEQUENTIALLY in
+//                      chunk order. The chunking is a pure function of
+//                      (n, grain) — never of the thread count — so even a
+//                      non-associative combine (floats, first-hit selection)
+//                      sees the exact same grouping every run.
+//
+// The hot-path constructions (determinize, complement, IAR, attractors) use
+// these for their "compute images in parallel, commit sequentially in
+// canonical order" levels; see DESIGN notes in each call site.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+
+namespace slat::core {
+
+/// Default elements-per-chunk when the caller does not override it. Small
+/// enough to load-balance irregular work, large enough to amortize the
+/// chunk-claim atomics.
+inline constexpr int kDefaultGrain = 16;
+
+namespace detail {
+inline int num_chunks(int n, int grain) { return (n + grain - 1) / grain; }
+}  // namespace detail
+
+/// Calls `f(i)` for every i in [0, n), split into `grain`-sized chunks
+/// executed across the pool. `f` must only touch state owned by its index
+/// (or read shared state that no chunk writes). Runs inline when the pool is
+/// single-threaded, the loop is small, or we are already on a worker.
+template <typename F>
+void parallel_for(int n, F&& f, int grain = kDefaultGrain,
+                  ThreadPool& pool = ThreadPool::global()) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  if (n <= grain || pool.num_threads() == 1 || ThreadPool::in_worker()) {
+    for (int i = 0; i < n; ++i) f(i);
+    return;
+  }
+  const int chunks = detail::num_chunks(n, grain);
+  pool.run(chunks, [&](int c) {
+    const int begin = c * grain;
+    const int end = begin + grain < n ? begin + grain : n;
+    for (int i = begin; i < end; ++i) f(i);
+  });
+}
+
+/// results[i] = f(i), computed across the pool, returned in index order.
+/// R must be default-constructible; each slot is written exactly once.
+template <typename R, typename F>
+std::vector<R> parallel_map(int n, F&& f, int grain = kDefaultGrain,
+                            ThreadPool& pool = ThreadPool::global()) {
+  std::vector<R> results(n > 0 ? n : 0);
+  parallel_for(
+      n, [&](int i) { results[i] = f(i); }, grain, pool);
+  return results;
+}
+
+/// Folds f(0), f(1), ..., f(n-1) into `identity` via `combine`, evaluating
+/// the per-chunk partial folds in parallel and combining the chunk results
+/// sequentially in chunk order. Chunk boundaries depend only on (n, grain),
+/// so the grouping — and therefore the result, associative combine or not —
+/// is independent of the thread count.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(int n, T identity, Map&& f, Combine&& combine,
+                  int grain = kDefaultGrain,
+                  ThreadPool& pool = ThreadPool::global()) {
+  if (n <= 0) return identity;
+  if (grain < 1) grain = 1;
+  // The per-chunk grouping is applied even when running sequentially, so a
+  // non-associative combine sees identical rounding at every thread count.
+  const int chunks = detail::num_chunks(n, grain);
+  std::vector<T> partial(chunks, identity);
+  const auto fold_chunk = [&](int c) {
+    const int begin = c * grain;
+    const int end = begin + grain < n ? begin + grain : n;
+    T acc = std::move(partial[c]);
+    for (int i = begin; i < end; ++i) acc = combine(std::move(acc), f(i));
+    partial[c] = std::move(acc);
+  };
+  if (chunks == 1 || pool.num_threads() == 1 || ThreadPool::in_worker()) {
+    for (int c = 0; c < chunks; ++c) fold_chunk(c);
+  } else {
+    pool.run(chunks, fold_chunk);
+  }
+  T acc = std::move(identity);
+  for (int c = 0; c < chunks; ++c) acc = combine(std::move(acc), std::move(partial[c]));
+  return acc;
+}
+
+}  // namespace slat::core

@@ -24,6 +24,7 @@
 // common cases need no bespoke key type.
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <cstring>
@@ -245,9 +246,24 @@ class InternTable {
   const Key& key(int id) const { return keys_[id]; }
   const std::vector<Key>& keys() const { return keys_; }
 
+  /// Pre-sizes both the key storage and the slot array so that interning up
+  /// to `expected_keys` keys triggers no rehash (constructions that know
+  /// their expected state count call this to avoid rehash storms).
   void reserve(int expected_keys) {
+    if (expected_keys <= 0) return;
     keys_.reserve(expected_keys);
     hashes_.reserve(expected_keys);
+    std::size_t want = slots_.size();
+    while (static_cast<std::size_t>(expected_keys) * 3 >= want * 2) want *= 2;
+    if (want > slots_.size()) rehash(want);
+  }
+
+  /// Forgets all keys (ids restart at 0) but keeps the allocated capacity,
+  /// so a cleared table can be refilled without re-growing.
+  void clear() {
+    keys_.clear();
+    hashes_.clear();
+    std::fill(slots_.begin(), slots_.end(), -1);
   }
 
   /// Id of `key`, inserting it if new. `created` (optional) reports whether

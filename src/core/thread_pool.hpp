@@ -1,0 +1,207 @@
+// A small persistent thread pool for the automata and lattice hot paths.
+//
+// Design constraints, in order:
+//
+//   1. DETERMINISM. Every algorithm built on this pool must produce
+//      bit-identical output regardless of thread count or schedule. The pool
+//      therefore only provides an unordered "execute chunks [0, n)" barrier
+//      (`run`); all ordering-sensitive combination (interning, reduction,
+//      output assembly) happens in the caller, sequentially, in index order.
+//      parallel.hpp packages the common patterns.
+//   2. Low standing cost. Workers sleep on a condition variable between
+//      jobs; an idle pool burns no CPU. Chunks are claimed dynamically off a
+//      shared atomic cursor, so an idle thread steals the next unclaimed
+//      chunk and load imbalance self-corrects at chunk granularity.
+//   3. Re-entrancy safety. A task that itself calls `run` (e.g. a bench pool
+//      parallelizing over instances whose construction is internally
+//      parallel) executes the nested job inline on the worker thread —
+//      nested jobs never deadlock waiting for the busy workers.
+//
+// Thread count resolution: explicit `set_num_threads`, else the SLAT_THREADS
+// environment variable, else std::thread::hardware_concurrency().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace slat::core {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool the parallel algorithms use by default.
+  static ThreadPool& global() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  /// `num_threads` counts the calling thread: a pool of size T spawns T - 1
+  /// workers. 0 = auto (SLAT_THREADS env var, else hardware concurrency).
+  explicit ThreadPool(int num_threads = 0) { set_num_threads(num_threads); }
+
+  ~ThreadPool() { stop_workers(); }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Resizes the pool (joins and respawns workers). Must not be called while
+  /// a job is in flight. 0 = auto.
+  void set_num_threads(int num_threads) {
+    if (num_threads <= 0) num_threads = default_num_threads();
+    stop_workers();
+    num_threads_ = num_threads;
+    shutdown_ = false;
+    workers_.reserve(num_threads - 1);
+    for (int t = 0; t < num_threads - 1; ++t) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  /// True inside a pool task on a worker thread (nested `run`s go inline).
+  static bool in_worker() { return in_worker_flag(); }
+
+  /// Executes `chunk_fn(c)` for every c in [0, num_chunks) across the
+  /// workers and the calling thread; returns once all chunks completed.
+  /// Chunks run in an unspecified order and MUST be independent. The first
+  /// exception thrown by a chunk is rethrown here after the barrier.
+  void run(int num_chunks, const std::function<void(int)>& chunk_fn) {
+    if (num_chunks <= 0) return;
+    // Inline when parallelism can't help — and, crucially, when a job is
+    // already in flight on this pool: a nested run() from the original
+    // caller thread (workers have their own thread_local guard) must not
+    // clobber the live job's cursor and function.
+    if (num_chunks == 1 || workers_.empty() || in_worker_flag() ||
+        job_in_flight_.exchange(true, std::memory_order_acquire)) {
+      for (int c = 0; c < num_chunks; ++c) chunk_fn(c);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_fn_ = &chunk_fn;
+      job_chunks_ = num_chunks;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      done_chunks_.store(0, std::memory_order_relaxed);
+      error_ = nullptr;
+      ++generation_;
+    }
+    wake_workers_.notify_all();
+
+    claim_chunks(chunk_fn, num_chunks);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_done_.wait(lock, [this] {
+      // Wait for every chunk to finish AND every worker to leave the claim
+      // loop: a laggard still inside it must not observe the next job's
+      // reset cursor (it would re-execute this job's function on it).
+      return done_chunks_.load(std::memory_order_acquire) >= job_chunks_ &&
+             active_workers_ == 0;
+    });
+    job_fn_ = nullptr;
+    const std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    job_in_flight_.store(false, std::memory_order_release);
+    if (error != nullptr) std::rethrow_exception(error);
+  }
+
+ private:
+  static int default_num_threads() {
+    if (const char* env = std::getenv("SLAT_THREADS")) {
+      const int n = std::atoi(env);
+      if (n >= 1) return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+
+  static bool& in_worker_flag() {
+    thread_local bool flag = false;
+    return flag;
+  }
+
+  void claim_chunks(const std::function<void(int)>& fn, int num_chunks) {
+    while (true) {
+      const int c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      try {
+        fn(c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (error_ == nullptr) error_ = std::current_exception();
+      }
+      done_chunks_.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  void worker_loop() {
+    in_worker_flag() = true;
+    std::uint64_t seen_generation = 0;
+    while (true) {
+      const std::function<void(int)>* fn = nullptr;
+      int num_chunks = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_workers_.wait(lock, [&] {
+          return shutdown_ || generation_ != seen_generation;
+        });
+        if (shutdown_) return;
+        seen_generation = generation_;
+        fn = job_fn_;
+        num_chunks = job_chunks_;
+        ++active_workers_;
+      }
+      if (fn != nullptr) claim_chunks(*fn, num_chunks);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --active_workers_;
+      }
+      job_done_.notify_one();
+    }
+  }
+
+  void stop_workers() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    wake_workers_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+  }
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_workers_;
+  std::condition_variable job_done_;
+  bool shutdown_ = false;
+  std::uint64_t generation_ = 0;
+  int active_workers_ = 0;
+
+  std::atomic<bool> job_in_flight_{false};
+  const std::function<void(int)>* job_fn_ = nullptr;
+  int job_chunks_ = 0;
+  std::atomic<int> next_chunk_{0};
+  std::atomic<int> done_chunks_{0};
+  std::exception_ptr error_;
+};
+
+/// Sets the global pool size (0 = auto). Benches and tests use this to sweep
+/// thread counts; outputs must not change — only wall-clock time may.
+inline void set_num_threads(int num_threads) {
+  ThreadPool::global().set_num_threads(num_threads);
+}
+
+inline int num_threads() { return ThreadPool::global().num_threads(); }
+
+}  // namespace slat::core

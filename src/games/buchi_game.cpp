@@ -1,5 +1,9 @@
 #include "games/buchi_game.hpp"
 
+#include <algorithm>
+
+#include "core/parallel.hpp"
+
 namespace slat::games {
 
 ParityGame BuchiGame::to_parity() const {
@@ -25,29 +29,29 @@ std::vector<Player> solve_buchi(const BuchiGame& game) {
   // player-1 winning and is removed. Otherwise player 0 forces a target
   // visit from everywhere; after each visit the play takes a step and stays
   // active, whence another visit is forced — infinitely many in total.
+  // The per-round partition scans below run in parallel over node ranges
+  // into a byte-per-node scratch buffer (vector<bool> bit proxies are not
+  // safe to write concurrently); each scan only reads the previous round's
+  // state, so rounds stay deterministic. The attractor calls are themselves
+  // parallel round-based fixpoints (see parity.cpp).
   std::vector<bool> active(n, true);
   std::vector<Player> winner(n, 0);
+  std::vector<char> flags(n);
   while (true) {
-    std::vector<bool> targets(n, false);
-    bool any_target = false;
-    for (int v = 0; v < n; ++v) {
-      targets[v] = active[v] && game.target[v];
-      any_target = any_target || targets[v];
-    }
-    if (!any_target) {
+    core::parallel_for(
+        n, [&](int v) { flags[v] = active[v] && game.target[v]; }, /*grain=*/1024);
+    const std::vector<bool> targets(flags.begin(), flags.end());
+    if (std::find(flags.begin(), flags.end(), char(1)) == flags.end()) {
       for (int v = 0; v < n; ++v) {
         if (active[v]) winner[v] = 1;
       }
       return winner;
     }
     const std::vector<bool> reach = attractor(arena, 0, active, targets, nullptr);
-    std::vector<bool> escape(n, false);
-    bool any_escape = false;
-    for (int v = 0; v < n; ++v) {
-      escape[v] = active[v] && !reach[v];
-      any_escape = any_escape || escape[v];
-    }
-    if (!any_escape) {
+    core::parallel_for(
+        n, [&](int v) { flags[v] = active[v] && !reach[v]; }, /*grain=*/1024);
+    const std::vector<bool> escape(flags.begin(), flags.end());
+    if (std::find(flags.begin(), flags.end(), char(1)) == flags.end()) {
       for (int v = 0; v < n; ++v) {
         if (active[v]) winner[v] = 0;
       }

@@ -1,7 +1,8 @@
 #include "games/parity.hpp"
 
 #include <algorithm>
-#include <deque>
+
+#include "core/parallel.hpp"
 
 namespace slat::games {
 
@@ -9,47 +10,92 @@ std::vector<bool> attractor(const ParityGame& game, Player player,
                             const std::vector<bool>& active,
                             const std::vector<bool>& target,
                             std::vector<int>* strategy_out) {
+  // Level-synchronous backward fixpoint. Each round gathers the candidate
+  // nodes (inactive-free predecessors of the last frontier, in frontier
+  // order) and evaluates the attraction rule for all of them IN PARALLEL
+  // against the previous round's attracted set — the parallel phase only
+  // reads, so the round is a pure function of the prior state and the result
+  // is bit-identical at any thread count. A player-owned node's strategy is
+  // its first successor (in edge order) already attracted at the snapshot;
+  // that successor joined in an earlier round, so strategies always step
+  // down the attractor ranking and cannot cycle.
+  //
+  // Each node enters the frontier at most once, so the total candidate
+  // evaluations are bounded by sum over edges (w -> v) of outdeg(v).
   const int n = game.num_nodes();
-  // Predecessor lists restricted to active nodes, plus out-degree counters
-  // for the opponent's forced moves.
+  // Predecessor lists restricted to active nodes.
   std::vector<std::vector<int>> predecessors(n);
-  std::vector<int> out_degree(n, 0);
   for (int v = 0; v < n; ++v) {
     if (!active[v]) continue;
     for (int w : game.successors[v]) {
-      if (!active[w]) continue;
-      predecessors[w].push_back(v);
-      ++out_degree[v];
+      if (active[w]) predecessors[w].push_back(v);
     }
   }
 
-  std::vector<bool> attracted(n, false);
-  std::deque<int> queue;
+  // vector<char> rather than vector<bool>: workers read `attracted`
+  // concurrently and vector<bool> proxies are not byte-addressable.
+  std::vector<char> attracted(n, 0);
+  std::vector<int> frontier;
   for (int v = 0; v < n; ++v) {
     if (active[v] && target[v]) {
-      attracted[v] = true;
-      queue.push_back(v);
+      attracted[v] = 1;
+      frontier.push_back(v);
     }
   }
-  while (!queue.empty()) {
-    const int w = queue.front();
-    queue.pop_front();
-    for (int v : predecessors[w]) {
-      if (attracted[v]) continue;
-      if (game.owner[v] == player) {
-        attracted[v] = true;
-        if (strategy_out != nullptr) (*strategy_out)[v] = w;
-        queue.push_back(v);
-      } else {
-        // Opponent node: attracted once every active successor is.
-        if (--out_degree[v] == 0) {
-          attracted[v] = true;
-          queue.push_back(v);
+
+  std::vector<char> is_candidate(n, 0);
+  std::vector<int> candidates, next_frontier, chosen;
+  std::vector<char> decide;
+  while (!frontier.empty()) {
+    candidates.clear();
+    for (int w : frontier) {
+      for (int v : predecessors[w]) {
+        if (!attracted[v] && !is_candidate[v]) {
+          is_candidate[v] = 1;
+          candidates.push_back(v);
         }
       }
     }
+    const int num_candidates = static_cast<int>(candidates.size());
+    decide.assign(num_candidates, 0);
+    chosen.assign(num_candidates, -1);
+    core::parallel_for(num_candidates, [&](int i) {
+      const int v = candidates[i];
+      if (game.owner[v] == player) {
+        for (int w : game.successors[v]) {
+          if (active[w] && attracted[w]) {
+            decide[i] = 1;
+            chosen[i] = w;
+            break;
+          }
+        }
+      } else {
+        // Opponent node: attracted once every active successor is. (A node
+        // only becomes a candidate through an active successor, so the scan
+        // is never vacuous.)
+        char all_attracted = 1;
+        for (int w : game.successors[v]) {
+          if (active[w] && !attracted[w]) {
+            all_attracted = 0;
+            break;
+          }
+        }
+        decide[i] = all_attracted;
+      }
+    });
+    next_frontier.clear();
+    for (int i = 0; i < num_candidates; ++i) {
+      const int v = candidates[i];
+      is_candidate[v] = 0;  // undecided nodes re-qualify in later rounds
+      if (decide[i]) {
+        attracted[v] = 1;
+        if (strategy_out != nullptr && chosen[i] != -1) (*strategy_out)[v] = chosen[i];
+        next_frontier.push_back(v);
+      }
+    }
+    frontier.swap(next_frontier);
   }
-  return attracted;
+  return std::vector<bool>(attracted.begin(), attracted.end());
 }
 
 namespace {

@@ -1,9 +1,9 @@
 #include "games/rabin_game.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <numeric>
 
+#include "core/parallel.hpp"
 #include "core/state_set.hpp"
 
 namespace slat::games {
@@ -61,6 +61,7 @@ IarExpansion expand_iar(const RabinGame& game) {
   out.initial_node.assign(n, -1);
 
   core::InternTable<IarKey> intern;
+  intern.reserve(2 * n);  // every Rabin node seeds one record; successors add more
   const auto intern_node = [&](int v, const std::vector<int>& record) {
     bool created = false;
     const int id = intern.intern(IarKey{v, record}, &created);
@@ -76,22 +77,32 @@ IarExpansion expand_iar(const RabinGame& game) {
   std::vector<int> identity(game.num_pairs);
   std::iota(identity.begin(), identity.end(), 0);
 
-  std::deque<int> worklist;
   for (int v = 0; v < n; ++v) {
     out.initial_node[v] = intern_node(v, identity);
   }
-  for (int id = 0; id < out.parity.num_nodes(); ++id) worklist.push_back(id);
 
-  for (std::size_t head = 0; head < worklist.size(); ++head) {
-    const int id = worklist[head];
-    const int v = out.rabin_node[id];
-    const std::vector<int> next_record = update_record(out.record[id], game.marks[v].red);
-    for (int w : game.successors[v]) {
-      const int before = out.parity.num_nodes();
-      const int succ_id = intern_node(w, next_record);
-      if (out.parity.num_nodes() > before) worklist.push_back(succ_id);
-      out.parity.add_edge(id, succ_id);
+  // Level-synchronous expansion: ids are interned in increasing order, so
+  // the FIFO worklist of the sequential construction is exactly the id
+  // sequence 0, 1, 2, ... Each level's record updates (pure functions of the
+  // level's nodes) run in parallel; successors are then interned
+  // sequentially in (id, edge) order, reproducing the sequential numbering
+  // and edge order bit-for-bit at any thread count.
+  std::vector<std::vector<int>> next_records;
+  for (int level_begin = 0; level_begin < out.parity.num_nodes();) {
+    const int level_end = out.parity.num_nodes();
+    const int frontier = level_end - level_begin;
+    next_records.assign(frontier, {});
+    core::parallel_for(frontier, [&](int i) {
+      const int id = level_begin + i;
+      next_records[i] = update_record(out.record[id], game.marks[out.rabin_node[id]].red);
+    });
+    for (int id = level_begin; id < level_end; ++id) {
+      const std::vector<int>& next_record = next_records[id - level_begin];
+      for (int w : game.successors[out.rabin_node[id]]) {
+        out.parity.add_edge(id, intern_node(w, next_record));
+      }
     }
+    level_begin = level_end;
   }
   return out;
 }
