@@ -15,7 +15,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
+#include "core/metrics.hpp"
 #include "core/thread_pool.hpp"
 
 namespace slat::bench {
@@ -50,6 +52,22 @@ void print_artifact_to_stderr(const PrintArtifact& print_artifact) {
   }
 }
 
+/// If SLAT_METRICS_OUT names a file, dumps the process-wide metrics registry
+/// (counters/timers/histograms, including every memo cache's hit/miss/eviction
+/// counts) as JSON to that path. scripts/run_benches.sh uses this to compute
+/// per-bench cache hit rates for BENCH_PR3.json.
+inline void dump_metrics_if_requested() {
+  const char* path = std::getenv("SLAT_METRICS_OUT");
+  if (path == nullptr || path[0] == '\0') return;
+  if (std::FILE* f = std::fopen(path, "w")) {
+    const std::string json = core::metrics().dump_json();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "warning: cannot open SLAT_METRICS_OUT=%s\n", path);
+  }
+}
+
 /// Runs the artifact printer (to stderr), then the registered benchmarks.
 template <typename PrintArtifact>
 int run(int argc, char** argv, const PrintArtifact& print_artifact) {
@@ -57,6 +75,7 @@ int run(int argc, char** argv, const PrintArtifact& print_artifact) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  dump_metrics_if_requested();
   return 0;
 }
 

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Run the kernel-relevant benchmark binaries with JSON output and aggregate
-# the results into BENCH_PR1.json (kernel vs seed speedups) and
-# BENCH_PR2.json (parallel-layer thread sweep) at the repo root.
+# the results into BENCH_PR1.json (kernel vs seed speedups), BENCH_PR2.json
+# (parallel-layer thread sweep), and BENCH_PR3.json (memo-cache hit rates)
+# at the repo root.
 #
 # Usage: scripts/run_benches.sh [build-dir]
 #
@@ -17,16 +18,22 @@ OUT_DIR="${BUILD_DIR}/bench_json"
 BENCHES=(bench_kernels bench_complementation bench_reduction bench_buchi_decomposition)
 # Binaries carrying thread-sweep pool benchmarks (…->SLAT_BENCH_THREAD_ARGS).
 SWEEP_BENCHES=(bench_kernels bench_complementation bench_parity_games bench_lattice_decomposition)
+# Binaries whose workloads exercise the memo caches; each run dumps the
+# metrics registry (SLAT_METRICS_OUT) so hit rates land in BENCH_PR3.json.
+CACHE_BENCHES=(bench_rem_linear bench_rem_branching bench_rabin_decomposition bench_lattice_decomposition)
 
 if [[ ! -d "${BUILD_DIR}" ]]; then
   cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
 fi
-cmake --build "${BUILD_DIR}" -j --target "${BENCHES[@]}" "${SWEEP_BENCHES[@]}"
+cmake --build "${BUILD_DIR}" -j --target "${BENCHES[@]}" "${SWEEP_BENCHES[@]}" "${CACHE_BENCHES[@]}"
 
 mkdir -p "${OUT_DIR}"
+# The PR1/PR2 loops run with SLAT_CACHE=0: they measure the raw kernels and
+# the parallel layer, and the memo caches would otherwise turn every repeat
+# iteration into a lookup (BENCH_PR3.json is where caching is measured).
 for bench in "${BENCHES[@]}"; do
   echo "== ${bench} =="
-  "${BUILD_DIR}/bench/${bench}" \
+  SLAT_CACHE=0 "${BUILD_DIR}/bench/${bench}" \
     --benchmark_min_time=0.05 \
     --benchmark_filter='-threads:' \
     --benchmark_out="${OUT_DIR}/${bench}.json" \
@@ -35,10 +42,20 @@ done
 
 for bench in "${SWEEP_BENCHES[@]}"; do
   echo "== ${bench} (thread sweep) =="
-  SLAT_BENCH_ARTIFACT=0 "${BUILD_DIR}/bench/${bench}" \
+  SLAT_BENCH_ARTIFACT=0 SLAT_CACHE=0 "${BUILD_DIR}/bench/${bench}" \
     --benchmark_min_time=0.05 \
     --benchmark_filter='threads:' \
     --benchmark_out="${OUT_DIR}/${bench}.threads.json" \
+    --benchmark_out_format=json
+done
+
+for bench in "${CACHE_BENCHES[@]}"; do
+  echo "== ${bench} (cache metrics) =="
+  SLAT_BENCH_ARTIFACT=0 SLAT_METRICS_OUT="${OUT_DIR}/${bench}.metrics.json" \
+    "${BUILD_DIR}/bench/${bench}" \
+    --benchmark_min_time=0.05 \
+    --benchmark_filter='-threads:' \
+    --benchmark_out="${OUT_DIR}/${bench}.cache.json" \
     --benchmark_out_format=json
 done
 
@@ -142,4 +159,46 @@ print(f"wrote {target}")
 for name, per_thread in sorted(merged["speedup_vs_1_thread"].items()):
     sweep = "  ".join(f"{t}t:{s}x" for t, s in per_thread.items())
     print(f"  {name}: {sweep}")
+PY
+
+python3 - "${OUT_DIR}" "${REPO_ROOT}/BENCH_PR3.json" "${CACHE_BENCHES[@]}" <<'PY'
+import json
+import sys
+
+out_dir, target, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+merged = {
+    "note": "per-bench memo-cache hit rates (hits / (hits + misses)) from the "
+            "metrics registry dumped via SLAT_METRICS_OUT; cached results are "
+            "bit-identical to uncached runs "
+            "(see tests/integration/cache_equivalence_test.cpp)",
+    "cache_hit_rates": {},
+    "cache_counters": {},
+}
+for bench in benches:
+    with open(f"{out_dir}/{bench}.metrics.json") as f:
+        counters = json.load(f).get("counters", {})
+    # Counters are "cache.<name>.{hits,misses,evictions}"; group per cache.
+    per_cache = {}
+    for key, value in counters.items():
+        if not key.startswith("cache."):
+            continue
+        cache, _, field = key[len("cache."):].rpartition(".")
+        if field in ("hits", "misses", "evictions"):
+            per_cache.setdefault(cache, {})[field] = value
+    rates = {}
+    for cache, fields in per_cache.items():
+        hits = fields.get("hits", 0)
+        lookups = hits + fields.get("misses", 0)
+        if lookups:
+            rates[cache] = round(hits / lookups, 4)
+    merged["cache_hit_rates"][bench] = rates
+    merged["cache_counters"][bench] = per_cache
+
+with open(target, "w") as f:
+    json.dump(merged, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {target}")
+for bench, rates in sorted(merged["cache_hit_rates"].items()):
+    for cache, rate in sorted(rates.items()):
+        print(f"  {bench}: {cache} hit rate {rate:.2%}")
 PY

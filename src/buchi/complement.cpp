@@ -39,15 +39,27 @@ struct RankState {
 }  // namespace
 
 Nba complement(const Nba& nba) {
-  // Reduce first (bisimulation quotient + trim: fewer states and a larger
-  // accepting fraction shrink the rank bound), then use the tight bound
-  // 2(n − |F|): odd ranks are only ever needed on non-accepting states, and
-  // at most n − |F| distinct odd ranks can appear in a run DAG.
-  const Nba reduced = nba.reduce();
-  if (reduced.is_trivially_dead()) {
-    return Nba::universal(nba.alphabet());
-  }
-  return complement(reduced, 2 * (reduced.num_states() - reduced.num_accepting()));
+  // Complementation is the pipeline's most expensive product (2^O(n log n))
+  // and the most frequently repeated one: is_subset/is_equivalent/
+  // find_separating_word all complement their right-hand side, and classify
+  // complements the same automaton it closed. Memoize by content digest;
+  // the construction below is deterministic, so hits are bit-identical to
+  // recomputation (differential-tested in cache_equivalence_test).
+  static core::MemoCache<Nba>& cache = *new core::MemoCache<Nba>("buchi.complement");
+  return cache.get_or_compute(
+      core::DigestBuilder().add_string("complement").add_digest(fingerprint(nba)).digest(),
+      [&] {
+        // Reduce first (bisimulation quotient + trim: fewer states and a
+        // larger accepting fraction shrink the rank bound), then use the
+        // tight bound 2(n − |F|): odd ranks are only ever needed on
+        // non-accepting states, and at most n − |F| distinct odd ranks can
+        // appear in a run DAG.
+        const Nba reduced = nba.reduce();
+        if (reduced.is_trivially_dead()) {
+          return Nba::universal(nba.alphabet());
+        }
+        return complement(reduced, 2 * (reduced.num_states() - reduced.num_accepting()));
+      });
 }
 
 Nba complement(const Nba& nba, int max_rank) {

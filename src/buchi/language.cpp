@@ -4,6 +4,12 @@
 
 namespace slat::buchi {
 
+// Every query below complements its right-hand side; complement(rhs) routes
+// through the "buchi.complement" memo cache, so e.g. is_equivalent pays the
+// exponential construction once per distinct automaton instead of once per
+// direction, and a later find_separating_word against the same rhs is a hit
+// (asserted via metrics in cache_equivalence_test).
+
 bool is_subset(const Nba& lhs, const Nba& rhs) {
   return intersect(lhs, complement(rhs)).is_empty();
 }

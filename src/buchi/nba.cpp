@@ -545,6 +545,22 @@ bool all_states_accepting(const Nba& nba) {
 
 }  // namespace
 
+core::Digest fingerprint(const Nba& nba) {
+  core::DigestBuilder b;
+  b.add_string("buchi.nba");
+  const Alphabet& alphabet = nba.alphabet();
+  b.add_int(alphabet.size());
+  for (Sym s = 0; s < alphabet.size(); ++s) b.add_string(alphabet.name(s));
+  b.add_int(nba.num_states()).add_int(nba.initial());
+  for (State q = 0; q < nba.num_states(); ++q) {
+    b.add_bool(nba.is_accepting(q));
+    for (Sym s = 0; s < alphabet.size(); ++s) {
+      b.add_ints(nba.successors(q, s));
+    }
+  }
+  return b.digest();
+}
+
 Nba intersect(const Nba& lhs, const Nba& rhs) {
   SLAT_ASSERT_MSG(lhs.alphabet() == rhs.alphabet(),
                   "intersection requires a common alphabet");

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/memo_cache.hpp"
 #include "words/alphabet.hpp"
 #include "words/up_word.hpp"
 
@@ -109,6 +110,13 @@ class Nba {
   std::vector<bool> accepting_;
   std::vector<std::vector<std::vector<State>>> delta_;  // [state][symbol]
 };
+
+/// 128-bit structural digest of the automaton — the content address used by
+/// the memo caches (core/memo_cache.hpp). Covers everything the cached
+/// constructions depend on: alphabet names, state count, initial state,
+/// acceptance bits, and the transition lists in stored order. Structurally
+/// identical automata (not merely language-equal ones) share a digest.
+core::Digest fingerprint(const Nba& nba);
 
 /// L(result) = L(lhs) ∩ L(rhs), via the 2-counter degeneralized product.
 Nba intersect(const Nba& lhs, const Nba& rhs);

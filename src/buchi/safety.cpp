@@ -10,19 +10,44 @@
 namespace slat::buchi {
 
 Nba safety_closure(const Nba& nba) {
-  // Keep exactly the states with non-empty residual language; if the initial
-  // state goes, the language (and its closure) is empty.
-  Nba trimmed = nba.restrict_to(nba.states_with_nonempty_language());
-  if (trimmed.is_trivially_dead()) return Nba::empty_language(nba.alphabet());
-  for (State q = 0; q < trimmed.num_states(); ++q) trimmed.set_accepting(q, true);
-  return trimmed;
+  // The closure runs an SCC pass per call and feeds every downstream safety
+  // product (determinization, decomposition, classification, monitors) —
+  // memoized by content digest so the pipeline computes it once per
+  // distinct automaton.
+  static core::MemoCache<Nba>& cache = *new core::MemoCache<Nba>("buchi.safety_closure");
+  return cache.get_or_compute(
+      core::DigestBuilder().add_string("lcl").add_digest(fingerprint(nba)).digest(), [&] {
+        // Keep exactly the states with non-empty residual language; if the
+        // initial state goes, the language (and its closure) is empty.
+        Nba trimmed = nba.restrict_to(nba.states_with_nonempty_language());
+        if (trimmed.is_trivially_dead()) return Nba::empty_language(nba.alphabet());
+        for (State q = 0; q < trimmed.num_states(); ++q) trimmed.set_accepting(q, true);
+        return trimmed;
+      });
 }
 
 DetSafety DetSafety::from_nba(const Nba& nba) {
-  return determinize(safety_closure(nba));
+  // Cached as a unit: a hit skips the closure AND the subset construction.
+  // Misses still flow through the cached safety_closure/determinize layers,
+  // so partially overlapping pipelines share whatever stage they can.
+  static core::MemoCache<DetSafety>& cache =
+      *new core::MemoCache<DetSafety>("buchi.det_safety");
+  return cache.get_or_compute(
+      core::DigestBuilder().add_string("from_nba").add_digest(fingerprint(nba)).digest(),
+      [&] { return determinize(safety_closure(nba)); });
 }
 
 DetSafety DetSafety::determinize(const Nba& closure) {
+  static core::MemoCache<DetSafety>& cache =
+      *new core::MemoCache<DetSafety>("buchi.determinize");
+  return cache.get_or_compute(core::DigestBuilder()
+                                  .add_string("determinize")
+                                  .add_digest(fingerprint(closure))
+                                  .digest(),
+                              [&] { return determinize_uncached(closure); });
+}
+
+DetSafety DetSafety::determinize_uncached(const Nba& closure) {
   DetSafety out(closure.alphabet());
   const Sym sigma = out.alphabet_.size();
   const int n = closure.num_states();

@@ -65,6 +65,10 @@ class DetSafety {
  private:
   DetSafety(Alphabet alphabet) : alphabet_(std::move(alphabet)) {}
 
+  /// The subset-construction body; `determinize` is a memo-cache wrapper
+  /// around this.
+  static DetSafety determinize_uncached(const Nba& closure);
+
   Alphabet alphabet_;
   State initial_ = 0;
   State sink_ = 0;

@@ -1,0 +1,301 @@
+// Content-addressed memoization for the pipeline's expensive products —
+// complementation, determinization, closures, decompositions.
+//
+// Callers key each cache entry by a 128-bit structural digest of the input
+// (DigestBuilder below; every module exposes a `fingerprint()` of its
+// automaton/formula/lattice types). Two inputs with the same digest are the
+// same value for all practical purposes (collision probability ~2^-128·k²),
+// and every cached operation is a pure deterministic function of its input,
+// so a cache hit returns the bit-identical automaton the miss path would
+// have rebuilt. cache_equivalence_test differential-tests exactly this
+// contract, at 1 and 4 threads.
+//
+// Each MemoCache is LRU-bounded (default capacity from SLAT_CACHE_CAPACITY,
+// else 256 entries) and registers hit/miss/eviction counters plus a
+// miss-compute timer in the metrics registry under "cache.<name>.*" —
+// scripts/run_benches.sh exports the resulting hit rates to BENCH_PR3.json.
+//
+// Concurrency: lookups and inserts take a per-cache mutex; the miss
+// computation runs OUTSIDE the lock (it may itself consult other caches or
+// fan out onto the thread pool). Two threads missing on the same key both
+// compute; determinism makes the duplicate insert harmless (first insert
+// wins). This composes with the parallel layer under TSan.
+//
+// The process-wide enable switch (SLAT_CACHE env var / set_cache_enabled)
+// turns every cache into a pass-through, which is how the differential
+// tests obtain their uncached reference runs.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/state_set.hpp"
+
+namespace slat::core {
+
+/// A 128-bit structural digest: the cache key.
+struct Digest {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Digest&, const Digest&) = default;
+  /// For hash tables; `lo` is already fully mixed.
+  std::uint64_t hash() const { return lo; }
+};
+
+/// Accumulates a stream of words/strings into a Digest. The two lanes run
+/// the same FNV-style combine from different seeds with per-lane pre-mixing,
+/// so they behave as independent 64-bit hashes.
+class DigestBuilder {
+ public:
+  DigestBuilder& add(std::uint64_t v) {
+    a_ = hash_combine(a_, v);
+    b_ = hash_combine(b_, v ^ 0x9e3779b97f4a7c15ull);
+    return *this;
+  }
+
+  DigestBuilder& add_int(int v) {
+    return add(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+  }
+
+  DigestBuilder& add_bool(bool v) { return add(v ? 1 : 0); }
+
+  /// Length-prefixed so "ab"+"c" and "a"+"bc" digest differently.
+  DigestBuilder& add_string(std::string_view s) {
+    add(s.size());
+    std::uint64_t word = 0;
+    int lane = 0;
+    for (unsigned char c : s) {
+      word = word << 8 | c;
+      if (++lane == 8) {
+        add(word);
+        word = 0;
+        lane = 0;
+      }
+    }
+    if (lane != 0) add(word);
+    return *this;
+  }
+
+  template <typename Int>
+  DigestBuilder& add_ints(const std::vector<Int>& values) {
+    add(values.size());
+    for (const Int v : values) add_int(static_cast<int>(v));
+    return *this;
+  }
+
+  DigestBuilder& add_bools(const std::vector<bool>& values) {
+    add(values.size());
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      word |= static_cast<std::uint64_t>(values[i]) << (i & 63);
+      if ((i & 63) == 63) {
+        add(word);
+        word = 0;
+      }
+    }
+    if (values.size() % 64 != 0) add(word);
+    return *this;
+  }
+
+  DigestBuilder& add_digest(const Digest& d) { return add(d.hi).add(d.lo); }
+
+  Digest digest() const { return Digest{hash_mix(a_), hash_mix(b_)}; }
+
+ private:
+  std::uint64_t a_ = kHashSeed;
+  std::uint64_t b_ = ~kHashSeed;
+};
+
+/// Process-wide cache switch (default on; SLAT_CACHE=0 disables). When off,
+/// get_or_compute always recomputes and touches neither entries nor metrics.
+inline std::atomic<bool>& cache_enabled_flag() {
+  static std::atomic<bool> enabled = [] {
+    const char* env = std::getenv("SLAT_CACHE");
+    return env == nullptr || env[0] != '0';
+  }();
+  return enabled;
+}
+
+inline bool cache_enabled() {
+  return cache_enabled_flag().load(std::memory_order_relaxed);
+}
+
+inline void set_cache_enabled(bool enabled) {
+  cache_enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+/// RAII toggle for differential tests: runs a scope with caching forced on
+/// or off, restoring the previous setting.
+class CacheEnabledScope {
+ public:
+  explicit CacheEnabledScope(bool enabled) : previous_(cache_enabled()) {
+    set_cache_enabled(enabled);
+  }
+  ~CacheEnabledScope() { set_cache_enabled(previous_); }
+  CacheEnabledScope(const CacheEnabledScope&) = delete;
+  CacheEnabledScope& operator=(const CacheEnabledScope&) = delete;
+
+ private:
+  bool previous_;
+};
+
+namespace detail {
+
+class MemoCacheBase;
+
+/// The list of live caches, for clear_all_caches(). Leaked so that caches
+/// with static storage duration can deregister safely in any destruction
+/// order.
+struct CacheList {
+  std::mutex mutex;
+  std::vector<MemoCacheBase*> caches;
+
+  static CacheList& global() {
+    static CacheList* instance = new CacheList();
+    return *instance;
+  }
+};
+
+class MemoCacheBase {
+ public:
+  virtual void clear() = 0;
+
+ protected:
+  MemoCacheBase() {
+    CacheList& list = CacheList::global();
+    std::lock_guard<std::mutex> lock(list.mutex);
+    list.caches.push_back(this);
+  }
+  ~MemoCacheBase() {
+    CacheList& list = CacheList::global();
+    std::lock_guard<std::mutex> lock(list.mutex);
+    std::erase(list.caches, this);
+  }
+};
+
+}  // namespace detail
+
+/// Default per-cache entry bound: SLAT_CACHE_CAPACITY env var, else 256.
+inline std::size_t default_cache_capacity() {
+  static const std::size_t capacity = [] {
+    if (const char* env = std::getenv("SLAT_CACHE_CAPACITY")) {
+      const long n = std::atol(env);
+      if (n >= 1) return static_cast<std::size_t>(n);
+    }
+    return static_cast<std::size_t>(256);
+  }();
+  return capacity;
+}
+
+/// Empties every live MemoCache (metrics registrations and counter values
+/// are untouched; use metrics().reset_all() for those).
+void clear_all_caches();
+
+/// An LRU-bounded map from content digest to a computed value.
+template <typename Value>
+class MemoCache : public detail::MemoCacheBase {
+ public:
+  explicit MemoCache(std::string name, std::size_t capacity = default_cache_capacity())
+      : name_(std::move(name)),
+        capacity_(capacity),
+        hits_(metrics().counter("cache." + name_ + ".hits")),
+        misses_(metrics().counter("cache." + name_ + ".misses")),
+        evictions_(metrics().counter("cache." + name_ + ".evictions")),
+        miss_time_(metrics().timer("cache." + name_ + ".miss_compute")) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.size();
+  }
+
+  /// The cached value for `key`, computing (and inserting) it on a miss.
+  /// `compute` must be a pure function of the content `key` addresses.
+  template <typename Compute>
+  Value get_or_compute(const Digest& key, Compute&& compute) {
+    if (!cache_enabled()) return compute();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = index_.find(key);
+      if (it != index_.end()) {
+        entries_.splice(entries_.begin(), entries_, it->second);
+        hits_.inc();
+        return it->second->value;
+      }
+    }
+    misses_.inc();
+    Value value = [&] {
+      ScopedTimer timed(miss_time_);
+      return compute();
+    }();
+    insert(key, value);
+    return value;
+  }
+
+  void clear() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    index_.clear();
+  }
+
+  Counter& hit_counter() { return hits_; }
+  Counter& miss_counter() { return misses_; }
+  Counter& eviction_counter() { return evictions_; }
+
+ private:
+  struct Entry {
+    Digest key;
+    Value value;
+  };
+  struct DigestHash {
+    std::size_t operator()(const Digest& d) const { return d.hash(); }
+  };
+
+  void insert(const Digest& key, const Value& value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index_.count(key) != 0) return;  // a concurrent miss got here first
+    entries_.push_front(Entry{key, value});
+    index_.emplace(key, entries_.begin());
+    if (index_.size() > capacity_) {
+      index_.erase(entries_.back().key);
+      entries_.pop_back();
+      evictions_.inc();
+    }
+  }
+
+  const std::string name_;
+  const std::size_t capacity_;
+  Counter& hits_;
+  Counter& misses_;
+  Counter& evictions_;
+  Timer& miss_time_;
+
+  mutable std::mutex mutex_;
+  std::list<Entry> entries_;  // front = most recently used
+  std::unordered_map<Digest, typename std::list<Entry>::iterator, DigestHash> index_;
+};
+
+inline void clear_all_caches() {
+  // Snapshot under the list lock, clear outside it: a cache's own mutex is
+  // never acquired while the registry lock is held.
+  std::vector<detail::MemoCacheBase*> snapshot;
+  {
+    detail::CacheList& list = detail::CacheList::global();
+    std::lock_guard<std::mutex> lock(list.mutex);
+    snapshot = list.caches;
+  }
+  for (detail::MemoCacheBase* cache : snapshot) cache->clear();
+}
+
+}  // namespace slat::core

@@ -1,0 +1,251 @@
+// Process-wide metrics registry: named counters, timers, and histograms for
+// the pipeline's hot products (cache hit rates, compute times, size
+// distributions). The registry is the observability half of the memo-cache
+// layer (memo_cache.hpp): every cache registers hit/miss/eviction counters
+// here, and scripts/run_benches.sh exports the dump into BENCH_PR3.json.
+//
+// Cost model:
+//   * Counters are single relaxed atomic adds — cheap enough to leave on in
+//     production paths.
+//   * Timers read the steady clock, so ScopedTimer checks the runtime enable
+//     flag first; with SLAT_METRICS=0 a scope costs one predictable branch.
+//   * Compiling with -DSLAT_METRICS_ENABLED=0 turns every mutation into a
+//     no-op the optimizer deletes entirely (the zero-cost escape hatch).
+//
+// Instrument-site pattern (the registry returns stable references; look the
+// metric up once, not per event):
+//
+//   static core::Counter& hits = core::metrics().counter("cache.foo.hits");
+//   ...
+//   hits.inc();
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#ifndef SLAT_METRICS_ENABLED
+#define SLAT_METRICS_ENABLED 1
+#endif
+
+namespace slat::core {
+
+inline constexpr bool kMetricsCompiled = SLAT_METRICS_ENABLED != 0;
+
+/// Runtime toggle, initialized from the SLAT_METRICS environment variable
+/// (anything but "0" enables). Timers consult it; counters do not (a relaxed
+/// add is cheaper than a well-predicted branch plus the add).
+inline std::atomic<bool>& metrics_enabled_flag() {
+  static std::atomic<bool> enabled = [] {
+    const char* env = std::getenv("SLAT_METRICS");
+    return env == nullptr || env[0] != '0';
+  }();
+  return enabled;
+}
+
+inline bool metrics_enabled() {
+  return kMetricsCompiled && metrics_enabled_flag().load(std::memory_order_relaxed);
+}
+
+inline void set_metrics_enabled(bool enabled) {
+  metrics_enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+/// A monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    if constexpr (kMetricsCompiled) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Accumulated wall-clock time plus an invocation count. Use via ScopedTimer
+/// or add() directly when the duration is measured elsewhere.
+class Timer {
+ public:
+  void add(std::uint64_t nanoseconds) {
+    if constexpr (kMetricsCompiled) {
+      total_ns_.fetch_add(nanoseconds, std::memory_order_relaxed);
+      count_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  std::uint64_t total_ns() const { return total_ns_.load(std::memory_order_relaxed); }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void reset() {
+    total_ns_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// RAII scope feeding a Timer. Skips the clock reads when metrics are
+/// disabled at runtime.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer)
+      : timer_(metrics_enabled() ? &timer : nullptr),
+        start_(timer_ != nullptr ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{}) {}
+  ~ScopedTimer() {
+    if (timer_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      timer_->add(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Power-of-two histogram over uint64 values: bucket i counts values whose
+/// bit width is i (bucket 0 holds the value 0). Fixed footprint, lock-free
+/// recording — good enough for size and latency distributions.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 65;
+
+  void record(std::uint64_t value) {
+    if constexpr (kMetricsCompiled) {
+      buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  std::uint64_t bucket(int i) const { return buckets_[i].load(std::memory_order_relaxed); }
+  std::uint64_t total_count() const {
+    std::uint64_t total = 0;
+    for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  static int bucket_of(std::uint64_t value) {
+    return value == 0 ? 0 : 64 - std::countl_zero(value);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+};
+
+/// Name-addressed registry. Lookups intern the name under a mutex and return
+/// a reference that stays valid for the life of the process; hot paths look
+/// up once and keep the reference. Dumps walk the (ordered) name map, so
+/// output order is deterministic.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry. Intentionally leaked: metric references held
+  /// by immortal caches must never dangle during static destruction.
+  static MetricsRegistry& global() {
+    static MetricsRegistry* instance = new MetricsRegistry();
+    return *instance;
+  }
+
+  Counter& counter(std::string_view name) { return intern(counters_, name); }
+  Timer& timer(std::string_view name) { return intern(timers_, name); }
+  Histogram& histogram(std::string_view name) { return intern(histograms_, name); }
+
+  /// Zeroes every metric (registrations survive). Tests and differential
+  /// runs use this to isolate phases.
+  void reset_all() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, c] : counters_) c->reset();
+    for (auto& [name, t] : timers_) t->reset();
+    for (auto& [name, h] : histograms_) h->reset();
+  }
+
+  /// Human-readable dump, one metric per line, sorted by name.
+  std::string dump_text() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream out;
+    for (const auto& [name, c] : counters_) {
+      out << name << " = " << c->value() << "\n";
+    }
+    for (const auto& [name, t] : timers_) {
+      out << name << " = " << t->total_ns() << " ns over " << t->count() << " calls\n";
+    }
+    for (const auto& [name, h] : histograms_) {
+      out << name << " = histogram(" << h->total_count() << " samples)\n";
+    }
+    return out.str();
+  }
+
+  /// Machine-readable dump: {"counters": {...}, "timers": {...},
+  /// "histograms": {...}}. Histograms list only non-empty buckets as
+  /// [bit_width, count] pairs.
+  std::string dump_json() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream out;
+    out << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+      out << (first ? "" : ",") << "\n    \"" << name << "\": " << c->value();
+      first = false;
+    }
+    out << "\n  },\n  \"timers\": {";
+    first = true;
+    for (const auto& [name, t] : timers_) {
+      out << (first ? "" : ",") << "\n    \"" << name << "\": {\"total_ns\": "
+          << t->total_ns() << ", \"count\": " << t->count() << "}";
+      first = false;
+    }
+    out << "\n  },\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+      out << (first ? "" : ",") << "\n    \"" << name << "\": [";
+      bool first_bucket = true;
+      for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+        if (h->bucket(i) == 0) continue;
+        out << (first_bucket ? "" : ", ") << "[" << i << ", " << h->bucket(i) << "]";
+        first_bucket = false;
+      }
+      out << "]";
+      first = false;
+    }
+    out << "\n  }\n}\n";
+    return out.str();
+  }
+
+ private:
+  MetricsRegistry() = default;
+
+  template <typename Metric>
+  Metric& intern(std::map<std::string, std::unique_ptr<Metric>, std::less<>>& store,
+                 std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = store.find(name);
+    if (it == store.end()) {
+      it = store.emplace(std::string(name), std::make_unique<Metric>()).first;
+    }
+    return *it->second;
+  }
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Shorthand for the global registry.
+inline MetricsRegistry& metrics() { return MetricsRegistry::global(); }
+
+}  // namespace slat::core

@@ -54,8 +54,12 @@ class ThreadPool {
   int num_threads() const { return num_threads_; }
 
   /// Resizes the pool (joins and respawns workers). Must not be called while
-  /// a job is in flight. 0 = auto.
+  /// a job is in flight — a resize would join workers that are executing the
+  /// live job's chunks and tear the job state out from under them. The
+  /// precondition is asserted, not silently assumed. 0 = auto.
   void set_num_threads(int num_threads) {
+    SLAT_ASSERT_MSG(!job_in_flight_.load(std::memory_order_acquire) && !in_worker_flag(),
+                    "set_num_threads while a job is in flight on this pool");
     if (num_threads <= 0) num_threads = default_num_threads();
     stop_workers();
     num_threads_ = num_threads;

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/assert.hpp"
+#include "core/memo_cache.hpp"
 
 namespace slat::lattice {
 
@@ -36,8 +37,6 @@ std::optional<LatticeClosure> LatticeClosure::from_map(const FiniteLattice& latt
 
 LatticeClosure LatticeClosure::from_closed_set(const FiniteLattice& lattice,
                                                std::vector<Elem> closed_set) {
-  // Meet-complete the generator set; include top so every element has some
-  // closed element above it.
   const int n = lattice.size();
   std::vector<bool> closed(n, false);
   closed[lattice.top()] = true;
@@ -45,6 +44,30 @@ LatticeClosure LatticeClosure::from_closed_set(const FiniteLattice& lattice,
     SLAT_ASSERT(c >= 0 && c < n);
     closed[c] = true;
   }
+  // The closure map depends only on (lattice, generator MEMBERSHIP), so the
+  // cache key uses the bool vector — generator order and duplicates collide
+  // onto one entry. The map (not the LatticeClosure) is cached: closures
+  // hold a pointer to their lattice, which must be the caller's object.
+  static core::MemoCache<std::vector<Elem>>& cache =
+      *new core::MemoCache<std::vector<Elem>>("lattice.from_closed_set");
+  std::vector<Elem> map = cache.get_or_compute(
+      core::DigestBuilder()
+          .add_string("from_closed_set")
+          .add_digest(lattice.content_digest())
+          .add_bools(closed)
+          .digest(),
+      [&] { return closure_map_from_generators(lattice, closed); });
+  auto result = from_map(lattice, std::move(map));
+  SLAT_ASSERT_MSG(result.has_value(),
+                  "meet-complete closed set must induce a closure");
+  return std::move(*result);
+}
+
+std::vector<Elem> LatticeClosure::closure_map_from_generators(
+    const FiniteLattice& lattice, std::vector<bool> closed) {
+  // Meet-complete the generator set; top is already included so every
+  // element has some closed element above it.
+  const int n = lattice.size();
   bool grew = true;
   while (grew) {
     grew = false;
@@ -71,10 +94,7 @@ LatticeClosure LatticeClosure::from_closed_set(const FiniteLattice& lattice,
     SLAT_ASSERT(closed[acc] && lattice.leq(a, acc));
     map[a] = acc;
   }
-  auto result = from_map(lattice, std::move(map));
-  SLAT_ASSERT_MSG(result.has_value(),
-                  "meet-complete closed set must induce a closure");
-  return std::move(*result);
+  return map;
 }
 
 LatticeClosure LatticeClosure::identity(const FiniteLattice& lattice) {
@@ -111,6 +131,14 @@ std::vector<Elem> LatticeClosure::liveness_elements() const {
     if (is_liveness_element(a)) out.push_back(a);
   }
   return out;
+}
+
+core::Digest LatticeClosure::content_digest() const {
+  return core::DigestBuilder()
+      .add_string("lattice.closure")
+      .add_digest(lattice_->content_digest())
+      .add_ints(map_)
+      .digest();
 }
 
 bool LatticeClosure::pointwise_leq(const LatticeClosure& other) const {

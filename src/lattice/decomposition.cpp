@@ -3,22 +3,36 @@
 #include <array>
 
 #include "common/assert.hpp"
+#include "core/memo_cache.hpp"
 
 namespace slat::lattice {
 
 std::optional<Decomposition> decompose(const FiniteLattice& lattice,
                                        const LatticeClosure& cl1,
                                        const LatticeClosure& cl2, Elem a) {
+  // Precondition checks stay OUTSIDE the cache: a hit must not silently
+  // accept arguments that violate Theorem 3's hypothesis.
   SLAT_ASSERT(a >= 0 && a < lattice.size());
   SLAT_ASSERT_MSG(cl1.pointwise_leq(cl2), "Theorem 3 requires cl1 ≤ cl2");
-  const auto complements = lattice.complements(cl2.apply(a));
-  if (complements.empty()) return std::nullopt;
-  const Elem b = complements.front();
-  return Decomposition{
-      .safety = cl1.apply(a),
-      .liveness = lattice.join(a, b),
-      .complement = b,
-  };
+  static core::MemoCache<std::optional<Decomposition>>& cache =
+      *new core::MemoCache<std::optional<Decomposition>>("lattice.decompose");
+  return cache.get_or_compute(core::DigestBuilder()
+                                  .add_string("decompose")
+                                  .add_digest(cl1.content_digest())
+                                  .add_digest(cl2.content_digest())
+                                  .add_int(a)
+                                  .digest(),
+                              [&]() -> std::optional<Decomposition> {
+                                const auto complements =
+                                    lattice.complements(cl2.apply(a));
+                                if (complements.empty()) return std::nullopt;
+                                const Elem b = complements.front();
+                                return Decomposition{
+                                    .safety = cl1.apply(a),
+                                    .liveness = lattice.join(a, b),
+                                    .complement = b,
+                                };
+                              });
 }
 
 std::optional<Decomposition> decompose(const FiniteLattice& lattice,
@@ -37,11 +51,26 @@ bool is_valid_decomposition(const FiniteLattice& lattice, const LatticeClosure& 
 std::optional<Elem> verify_theorem3(const FiniteLattice& lattice,
                                     const LatticeClosure& cl1,
                                     const LatticeClosure& cl2) {
-  for (int a = 0; a < lattice.size(); ++a) {
-    const auto d = decompose(lattice, cl1, cl2, a);
-    if (!d || !is_valid_decomposition(lattice, cl1, cl2, a, *d)) return a;
-  }
-  return std::nullopt;
+  // The whole sweep is cached (closure digests embed the lattice digest);
+  // on a miss the per-element decompose calls below still land in — and
+  // warm — the "lattice.decompose" cache.
+  static core::MemoCache<std::optional<Elem>>& cache =
+      *new core::MemoCache<std::optional<Elem>>("lattice.verify_theorem3");
+  return cache.get_or_compute(core::DigestBuilder()
+                                  .add_string("verify_theorem3")
+                                  .add_digest(cl1.content_digest())
+                                  .add_digest(cl2.content_digest())
+                                  .digest(),
+                              [&]() -> std::optional<Elem> {
+                                for (int a = 0; a < lattice.size(); ++a) {
+                                  const auto d = decompose(lattice, cl1, cl2, a);
+                                  if (!d || !is_valid_decomposition(lattice, cl1, cl2,
+                                                                    a, *d)) {
+                                    return a;
+                                  }
+                                }
+                                return std::nullopt;
+                              });
 }
 
 std::optional<std::pair<Elem, Elem>> find_any_decomposition(

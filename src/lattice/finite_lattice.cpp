@@ -12,7 +12,15 @@ FiniteLattice::FiniteLattice(FinitePoset poset, std::vector<std::vector<Elem>> m
       meet_(std::move(meet)),
       join_(std::move(join)),
       bottom_(bottom),
-      top_(top) {}
+      top_(top) {
+  // The meet table determines the order (a ≤ b ⟺ a ∧ b = a) and therefore
+  // the whole lattice; bottom/top are derived but cheap to pin down.
+  core::DigestBuilder b;
+  b.add_string("lattice.finite");
+  b.add_int(size()).add_int(bottom_).add_int(top_);
+  for (const auto& row : meet_) b.add_ints(row);
+  digest_ = b.digest();
+}
 
 std::optional<FiniteLattice> FiniteLattice::from_poset(FinitePoset poset) {
   const int n = poset.size();

@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/memo_cache.hpp"
 #include "lattice/finite_poset.hpp"
 
 namespace slat::lattice {
@@ -75,6 +76,11 @@ class FiniteLattice {
 
   bool operator==(const FiniteLattice& other) const { return poset_ == other.poset_; }
 
+  /// 128-bit structural digest (the meet table determines the lattice), used
+  /// to content-address closure/decomposition memo-cache entries. Computed
+  /// once at construction — lattices are built rarely and queried a lot.
+  const core::Digest& content_digest() const { return digest_; }
+
  private:
   FiniteLattice(FinitePoset poset, std::vector<std::vector<Elem>> meet,
                 std::vector<std::vector<Elem>> join, Elem bottom, Elem top);
@@ -84,6 +90,7 @@ class FiniteLattice {
   std::vector<std::vector<Elem>> join_;
   Elem bottom_ = 0;
   Elem top_ = 0;
+  core::Digest digest_;
 };
 
 }  // namespace slat::lattice

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "core/memo_cache.hpp"
 
 namespace slat::ltl {
 
@@ -158,11 +159,42 @@ std::vector<words::Sym> satisfying_symbols(const LtlArena& arena, const FormulaS
   return out;
 }
 
-}  // namespace
+// 128-bit structural digest of the formula's reachable sub-DAG. Nodes are
+// renumbered densely in preorder from the root, so the digest depends only
+// on formula STRUCTURE (and the alphabet), never on arena insertion history
+// — two arenas that built the same formula in different orders collide, as
+// they should.
+core::Digest formula_fingerprint(const LtlArena& arena, FormulaId f) {
+  core::DigestBuilder b;
+  b.add_string("ltl.formula");
+  const words::Alphabet& alphabet = arena.alphabet();
+  b.add_int(alphabet.size());
+  for (words::Sym s = 0; s < alphabet.size(); ++s) b.add_string(alphabet.name(s));
 
-Nba to_nba(LtlArena& arena, FormulaId f) { return to_nba(arena, f, nullptr); }
+  std::map<FormulaId, int> local;
+  std::vector<FormulaId> order;
+  std::vector<FormulaId> stack{f};
+  while (!stack.empty()) {
+    const FormulaId id = stack.back();
+    stack.pop_back();
+    if (local.count(id) != 0) continue;
+    local.emplace(id, static_cast<int>(order.size()));
+    order.push_back(id);
+    const FormulaNode& n = arena.node(id);
+    if (n.rhs >= 0) stack.push_back(n.rhs);
+    if (n.lhs >= 0) stack.push_back(n.lhs);
+  }
+  b.add_int(static_cast<int>(order.size()));
+  for (FormulaId id : order) {
+    const FormulaNode& n = arena.node(id);
+    b.add_int(static_cast<int>(n.op)).add_int(n.atom);
+    b.add_int(n.lhs >= 0 ? local.at(n.lhs) : -1);
+    b.add_int(n.rhs >= 0 ? local.at(n.rhs) : -1);
+  }
+  return b.digest();
+}
 
-Nba to_nba(LtlArena& arena, FormulaId f, TranslationStats* stats) {
+Nba translate_uncached(LtlArena& arena, FormulaId f, TranslationStats& stats) {
   const FormulaId root = arena.nnf(f);
   Tableau tableau(arena, root);
   const auto& nodes = tableau.nodes();
@@ -229,13 +261,35 @@ Nba to_nba(LtlArena& arena, FormulaId f, TranslationStats* stats) {
   }
 
   Nba trimmed = out.trim();
-  if (stats != nullptr) {
-    stats->tableau_nodes = num_nodes;
-    stats->acceptance_sets = static_cast<int>(until_list.size());
-    stats->nba_states = trimmed.num_states();
-    stats->nba_transitions = trimmed.num_transitions();
-  }
+  stats.tableau_nodes = num_nodes;
+  stats.acceptance_sets = static_cast<int>(until_list.size());
+  stats.nba_states = trimmed.num_states();
+  stats.nba_transitions = trimmed.num_transitions();
   return trimmed;
+}
+
+}  // namespace
+
+Nba to_nba(LtlArena& arena, FormulaId f) { return to_nba(arena, f, nullptr); }
+
+Nba to_nba(LtlArena& arena, FormulaId f, TranslationStats* stats) {
+  // Memoized on the formula's structural digest: the tableau construction is
+  // deterministic, so a hit returns the exact automaton (and stats) the
+  // translation would rebuild. A hit also skips the NNF pass, leaving the
+  // arena untouched — NNF interning is invisible to callers.
+  static core::MemoCache<std::pair<Nba, TranslationStats>>& cache =
+      *new core::MemoCache<std::pair<Nba, TranslationStats>>("ltl.to_nba");
+  auto result = cache.get_or_compute(core::DigestBuilder()
+                                         .add_string("to_nba")
+                                         .add_digest(formula_fingerprint(arena, f))
+                                         .digest(),
+                                     [&] {
+                                       TranslationStats computed{};
+                                       Nba nba = translate_uncached(arena, f, computed);
+                                       return std::make_pair(std::move(nba), computed);
+                                     });
+  if (stats != nullptr) *stats = result.second;
+  return std::move(result.first);
 }
 
 }  // namespace slat::ltl

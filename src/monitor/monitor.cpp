@@ -24,14 +24,31 @@ bool SafetyMonitor::step(Sym event) {
     violated_ = true;
     return false;
   }
-  accepted_.push_back(event);
+  // Recording is bounded: a monitor fed millions of events must not grow
+  // with the trace (it previously pushed every event unconditionally).
+  if (accepted_.size() < max_recorded_) accepted_.push_back(event);
+  ++accepted_count_;
   return true;
+}
+
+void SafetyMonitor::record_trace(std::size_t max_events) {
+  max_recorded_ = max_events;
+  accepted_.clear();
+  accepted_.shrink_to_fit();
+  accepted_.reserve(max_events);
+}
+
+void SafetyMonitor::stop_recording() {
+  max_recorded_ = 0;
+  accepted_.clear();
+  accepted_.shrink_to_fit();
 }
 
 void SafetyMonitor::reset() {
   state_ = automaton_.initial();
   violated_ = state_ == automaton_.sink();
   accepted_.clear();
+  accepted_count_ = 0;
 }
 
 std::optional<std::size_t> SafetyMonitor::run(const Word& trace) {

@@ -43,8 +43,22 @@ class SafetyMonitor {
   /// Has a violation occurred?
   bool violated() const { return violated_; }
 
-  /// Events accepted so far (the enforced — possibly truncated — trace).
+  /// Opt-in trace recording. A long-running monitor must stay O(1) in
+  /// memory — its job is a DFA walk — so recording is OFF by default and
+  /// BOUNDED when on: the first `max_events` accepted events are kept and
+  /// later ones only counted. Calling this resets the recorded buffer.
+  void record_trace(std::size_t max_events);
+  /// Turns recording off and releases the buffer.
+  void stop_recording();
+  bool recording() const { return max_recorded_ > 0; }
+
+  /// The recorded prefix of the accepted (enforced, possibly truncated)
+  /// trace: up to `max_events` events since recording was enabled. Empty
+  /// when recording is off.
   const Word& accepted_trace() const { return accepted_; }
+  /// Total events accepted since construction/reset — exact even when the
+  /// recorded buffer is capped or recording is off.
+  std::size_t accepted_count() const { return accepted_count_; }
 
   void reset();
 
@@ -67,7 +81,9 @@ class SafetyMonitor {
   DetSafety automaton_;
   buchi::State state_;
   bool violated_ = false;
-  Word accepted_;
+  Word accepted_;                    // recorded prefix, ≤ max_recorded_ events
+  std::size_t max_recorded_ = 0;     // 0 = recording off
+  std::size_t accepted_count_ = 0;
 };
 
 }  // namespace slat::monitor

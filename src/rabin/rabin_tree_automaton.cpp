@@ -177,13 +177,24 @@ class GameBuilder {
 }  // namespace
 
 std::vector<bool> RabinTreeAutomaton::states_with_nonempty_language() const {
-  GameBuilder builder(*this);
-  std::vector<int> node_of(num_states_);
-  for (State q = 0; q < num_states_; ++q) node_of[q] = builder.free_node(q);
-  const auto solution = games::solve_rabin(builder.game());
-  std::vector<bool> nonempty(num_states_, false);
-  for (State q = 0; q < num_states_; ++q) nonempty[q] = solution.winner[node_of[q]] == 0;
-  return nonempty;
+  // Emptiness solves a Rabin game over the whole automaton; is_empty, rfcl,
+  // and witness extraction all re-ask it for the same automata, so the
+  // answer is memoized by content digest.
+  static core::MemoCache<std::vector<bool>>& cache =
+      *new core::MemoCache<std::vector<bool>>("rabin.nonempty_states");
+  return cache.get_or_compute(
+      core::DigestBuilder().add_string("nonempty").add_digest(fingerprint(*this)).digest(),
+      [&] {
+        GameBuilder builder(*this);
+        std::vector<int> node_of(num_states_);
+        for (State q = 0; q < num_states_; ++q) node_of[q] = builder.free_node(q);
+        const auto solution = games::solve_rabin(builder.game());
+        std::vector<bool> nonempty(num_states_, false);
+        for (State q = 0; q < num_states_; ++q) {
+          nonempty[q] = solution.winner[node_of[q]] == 0;
+        }
+        return nonempty;
+      });
 }
 
 bool RabinTreeAutomaton::is_empty() const {
@@ -265,7 +276,32 @@ std::string RabinTreeAutomaton::to_string() const {
   return out.str();
 }
 
-RabinTreeAutomaton rfcl(const RabinTreeAutomaton& automaton) {
+core::Digest fingerprint(const RabinTreeAutomaton& automaton) {
+  core::DigestBuilder b;
+  b.add_string("rabin.tree");
+  const Alphabet& alphabet = automaton.alphabet();
+  b.add_int(alphabet.size());
+  for (Sym s = 0; s < alphabet.size(); ++s) b.add_string(alphabet.name(s));
+  b.add_int(automaton.branching())
+      .add_int(automaton.num_states())
+      .add_int(automaton.initial());
+  for (State q = 0; q < automaton.num_states(); ++q) {
+    for (Sym s = 0; s < alphabet.size(); ++s) {
+      const auto& tuples = automaton.transitions(q, s);
+      b.add(tuples.size());
+      for (const Tuple& tuple : tuples) b.add_ints(tuple);
+    }
+  }
+  b.add_int(automaton.num_pairs());
+  for (int i = 0; i < automaton.num_pairs(); ++i) {
+    b.add_bools(automaton.pair(i).green).add_bools(automaton.pair(i).red);
+  }
+  return b.digest();
+}
+
+namespace {
+
+RabinTreeAutomaton rfcl_uncached(const RabinTreeAutomaton& automaton) {
   const auto nonempty = automaton.states_with_nonempty_language();
   if (!nonempty[automaton.initial()]) return automaton;  // paper: rfcl.B = B
   std::vector<State> remap(automaton.num_states(), -1);
@@ -294,6 +330,18 @@ RabinTreeAutomaton rfcl(const RabinTreeAutomaton& automaton) {
   }
   out.set_trivial_acceptance();
   return out;
+}
+
+}  // namespace
+
+RabinTreeAutomaton rfcl(const RabinTreeAutomaton& automaton) {
+  // The closure solves one Rabin game per input automaton, and the same
+  // automata recur across decompose/classify sweeps — a prime memo target.
+  static core::MemoCache<RabinTreeAutomaton>& cache =
+      *new core::MemoCache<RabinTreeAutomaton>("rabin.rfcl");
+  return cache.get_or_compute(
+      core::DigestBuilder().add_string("rfcl").add_digest(fingerprint(automaton)).digest(),
+      [&] { return rfcl_uncached(automaton); });
 }
 
 // ---------------------------------------------------------------------------

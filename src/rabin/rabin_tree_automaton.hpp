@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/memo_cache.hpp"
 #include "trees/closures.hpp"
 #include "trees/ktree.hpp"
 #include "words/alphabet.hpp"
@@ -91,6 +92,11 @@ class RabinTreeAutomaton {
   std::vector<std::vector<std::vector<Tuple>>> delta_;
   std::vector<RabinPair> pairs_;
 };
+
+/// 128-bit structural digest — the content address for the Rabin memo
+/// caches (rfcl, per-state emptiness). Covers alphabet names, branching,
+/// states, transitions in stored order, and the acceptance pairs.
+core::Digest fingerprint(const RabinTreeAutomaton& automaton);
 
 /// The finite-depth closure rfcl (paper §4.4): if L(B) = ∅ the automaton is
 /// returned unchanged; otherwise states with empty residual language are

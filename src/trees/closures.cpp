@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 
 #include "common/assert.hpp"
+#include "core/memo_cache.hpp"
 
 namespace slat::trees {
 
@@ -34,20 +36,50 @@ bool is_antichain(const std::vector<Position>& positions, std::uint32_t mask) {
   return true;
 }
 
+// Every antichain pruning of y up to `depth`, in ascending mask order — the
+// exact enumeration order of the uncached loop below. This corpus is a pure
+// function of the tree and the depth (the PROPERTY never enters), so one
+// cache entry serves every property queried against the same tree, which is
+// precisely the bench_rem_branching access pattern (10 Rem properties × one
+// shared corpus). Entries are shared_ptrs: a hit copies a pointer, not a
+// vector of trees.
+std::shared_ptr<const std::vector<KTree>> antichain_prunings(
+    const KTree& y, int depth, const std::vector<Position>& positions) {
+  const auto build = [&] {
+    auto out = std::make_shared<std::vector<KTree>>();
+    const std::uint32_t limit = 1u << positions.size();
+    for (std::uint32_t mask = 1; mask < limit; ++mask) {
+      if (!is_antichain(positions, mask)) continue;
+      std::vector<Position> cuts;
+      for (std::size_t i = 0; i < positions.size(); ++i) {
+        if (mask >> i & 1u) cuts.push_back(positions[i]);
+      }
+      out->push_back(y.prune_at(cuts));
+    }
+    return std::shared_ptr<const std::vector<KTree>>(std::move(out));
+  };
+  // Beyond 12 positions the corpus can hold thousands of trees; stream it
+  // per call instead of pinning it in the cache.
+  if (positions.size() > 12) return build();
+  static core::MemoCache<std::shared_ptr<const std::vector<KTree>>>& cache =
+      *new core::MemoCache<std::shared_ptr<const std::vector<KTree>>>("trees.prunings");
+  return cache.get_or_compute(core::DigestBuilder()
+                                  .add_string("prunings")
+                                  .add_digest(fingerprint(y))
+                                  .add_int(depth)
+                                  .digest(),
+                              build);
+}
+
 }  // namespace
 
 bool in_ncl(const TreeProperty& property, const KTree& y, int depth) {
   SLAT_ASSERT_MSG(y.is_total(), "closure membership is defined on total trees");
   const std::vector<Position> positions = y.positions_up_to(depth);
   SLAT_ASSERT_MSG(positions.size() <= 20, "too many cut positions; lower the depth");
-  const std::uint32_t limit = 1u << positions.size();
-  for (std::uint32_t mask = 1; mask < limit; ++mask) {
-    if (!is_antichain(positions, mask)) continue;
-    std::vector<Position> cuts;
-    for (std::size_t i = 0; i < positions.size(); ++i) {
-      if (mask >> i & 1u) cuts.push_back(positions[i]);
-    }
-    if (!property.extendable(y.prune_at(cuts))) return false;
+  const auto prunings = antichain_prunings(y, depth, positions);
+  for (const KTree& pruned : *prunings) {
+    if (!property.extendable(pruned)) return false;
   }
   return true;
 }

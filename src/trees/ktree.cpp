@@ -263,6 +263,19 @@ std::string KTree::to_string() const {
   return out.str();
 }
 
+core::Digest fingerprint(const KTree& tree) {
+  core::DigestBuilder b;
+  b.add_string("trees.ktree");
+  const Alphabet& alphabet = tree.alphabet();
+  b.add_int(alphabet.size());
+  for (Sym s = 0; s < alphabet.size(); ++s) b.add_string(alphabet.name(s));
+  b.add_int(tree.num_nodes()).add_int(tree.root());
+  for (int v = 0; v < tree.num_nodes(); ++v) {
+    b.add_int(tree.label(v)).add_ints(tree.children(v));
+  }
+  return b.digest();
+}
+
 std::vector<KTree> enumerate_regular_trees(const Alphabet& alphabet, int num_nodes,
                                            int min_arity, int max_arity) {
   SLAT_ASSERT(num_nodes >= 1 && min_arity >= 0 && max_arity >= min_arity);

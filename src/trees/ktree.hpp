@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/memo_cache.hpp"
 #include "words/alphabet.hpp"
 
 namespace slat::trees {
@@ -103,6 +104,13 @@ class KTree {
   std::vector<Sym> label_;
   std::vector<std::vector<int>> children_;
 };
+
+/// 128-bit structural digest of the tree's GRAPH representation (alphabet
+/// names, root, labels, child lists in stored order) — the content address
+/// for the closure memo caches. Unfolding-equivalent but structurally
+/// different graphs get different digests, which is safe (strictly fewer
+/// cache hits, never a wrong one).
+core::Digest fingerprint(const KTree& tree);
 
 /// Every regular tree over `alphabet` with exactly `num_nodes` nodes, where
 /// each node has between `min_arity` and `max_arity` children drawn from the

@@ -39,8 +39,23 @@ void UpWord::normalize() {
 }
 
 bool UpWord::is_normalized() const {
-  UpWord copy = *this;  // the constructor re-normalizes
-  return copy == *this;
+  // Direct check of the two normal-form conditions (previously this
+  // deep-copied the word and re-ran normalize(), allocating two vectors per
+  // call on a hot differential-testing predicate).
+  //
+  // 1. Primitive period: no proper divisor d of |v| has v = (v[0..d))^(n/d).
+  const std::size_t n = period_.size();
+  for (std::size_t d = 1; d < n; ++d) {
+    if (n % d != 0) continue;
+    bool is_power = true;
+    for (std::size_t i = d; i < n && is_power; ++i) {
+      is_power = period_[i] == period_[i % d];
+    }
+    if (is_power) return false;
+  }
+  // 2. Shortest prefix: the absorption step u·c (v₀·c)^ω = u (c·v₀)^ω fires
+  //    iff the prefix's last letter equals the period's last letter.
+  return prefix_.empty() || prefix_.back() != period_.back();
 }
 
 Sym UpWord::at(std::size_t i) const {

@@ -1,0 +1,136 @@
+#include "core/memo_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace slat::core {
+namespace {
+
+Digest key_of(int i) { return DigestBuilder().add_string("key").add_int(i).digest(); }
+
+TEST(DigestBuilder, DistinguishesStructure) {
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  // Different streams must (overwhelmingly) yield different digests.
+  const Digest a = DigestBuilder().add_string("ab").add_string("c").digest();
+  const Digest b = DigestBuilder().add_string("a").add_string("bc").digest();
+  const Digest c = DigestBuilder().add_int(1).add_int(2).digest();
+  const Digest d = DigestBuilder().add_int(2).add_int(1).digest();
+  const Digest e = DigestBuilder().add_ints(std::vector<int>{1, 2}).digest();
+  const Digest f = DigestBuilder().add_ints(std::vector<int>{1}).add_int(2).digest();
+  for (const Digest& digest : {a, b, c, d, e, f}) {
+    EXPECT_TRUE(seen.emplace(digest.hi, digest.lo).second);
+  }
+  // And identical streams must collide exactly.
+  EXPECT_EQ(a, DigestBuilder().add_string("ab").add_string("c").digest());
+}
+
+TEST(DigestBuilder, BoolVectorsAreLengthPrefixed) {
+  const Digest a = DigestBuilder().add_bools({true, false}).digest();
+  const Digest b = DigestBuilder().add_bools({true, false, false}).digest();
+  EXPECT_FALSE(a == b);
+}
+
+TEST(MemoCache, MissComputesAndHitReturnsCachedValue) {
+  MemoCache<int> cache("test.memo.basic", 8);
+  CacheEnabledScope enabled(true);
+  int computes = 0;
+  const auto compute = [&] { return ++computes * 10; };
+  EXPECT_EQ(cache.get_or_compute(key_of(1), compute), 10);
+  EXPECT_EQ(cache.get_or_compute(key_of(1), compute), 10);  // hit: not recomputed
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(cache.hit_counter().value(), 1u);
+  EXPECT_EQ(cache.miss_counter().value(), 1u);
+}
+
+TEST(MemoCache, DisabledCacheIsAPassThrough) {
+  MemoCache<int> cache("test.memo.disabled", 8);
+  CacheEnabledScope disabled(false);
+  int computes = 0;
+  const auto compute = [&] { return ++computes; };
+  EXPECT_EQ(cache.get_or_compute(key_of(1), compute), 1);
+  EXPECT_EQ(cache.get_or_compute(key_of(1), compute), 2);  // recomputed
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hit_counter().value(), 0u);
+  EXPECT_EQ(cache.miss_counter().value(), 0u);
+}
+
+TEST(MemoCache, LruEvictsTheColdestEntry) {
+  MemoCache<int> cache("test.memo.lru", 2);
+  CacheEnabledScope enabled(true);
+  const auto constant = [](int v) { return [v] { return v; }; };
+  cache.get_or_compute(key_of(1), constant(1));
+  cache.get_or_compute(key_of(2), constant(2));
+  cache.get_or_compute(key_of(1), constant(1));   // touch 1: now 2 is coldest
+  cache.get_or_compute(key_of(3), constant(3));   // evicts 2
+  EXPECT_EQ(cache.eviction_counter().value(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  int recomputed = 0;
+  cache.get_or_compute(key_of(1), [&] { ++recomputed; return 1; });  // still hot
+  cache.get_or_compute(key_of(3), [&] { ++recomputed; return 3; });  // still hot
+  EXPECT_EQ(recomputed, 0);
+  cache.get_or_compute(key_of(2), [&] { ++recomputed; return 2; });  // was evicted
+  EXPECT_EQ(recomputed, 1);
+}
+
+TEST(MemoCache, ClearAllCachesEmptiesLiveCaches) {
+  MemoCache<int> cache("test.memo.clear", 8);
+  CacheEnabledScope enabled(true);
+  cache.get_or_compute(key_of(1), [] { return 1; });
+  EXPECT_EQ(cache.size(), 1u);
+  clear_all_caches();
+  EXPECT_EQ(cache.size(), 0u);
+  // Metrics survive a cache clear.
+  EXPECT_EQ(cache.miss_counter().value(), 1u);
+}
+
+TEST(MemoCache, ConcurrentMixedKeysAreConsistent) {
+  MemoCache<int> cache("test.memo.threads", 64);
+  CacheEnabledScope enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 16;
+  constexpr int kRounds = 200;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const int k = (round + t) % kKeys;
+        const int got = cache.get_or_compute(key_of(k), [k] { return k * 7; });
+        if (got != k * 7) ++failures[t];
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << "thread " << t;
+  // Every lookup either hit or missed; duplicate concurrent computes are
+  // allowed, so misses ≥ kKeys and hits + misses = total lookups.
+  EXPECT_EQ(cache.hit_counter().value() + cache.miss_counter().value(),
+            static_cast<std::uint64_t>(kThreads) * kRounds);
+  EXPECT_GE(cache.miss_counter().value(), static_cast<std::uint64_t>(kKeys));
+}
+
+TEST(MemoCache, ShortLivedCachesDeregisterSafely) {
+  {
+    MemoCache<int> cache("test.memo.ephemeral", 4);
+    CacheEnabledScope enabled(true);
+    cache.get_or_compute(key_of(1), [] { return 1; });
+  }
+  // The dead cache must no longer be reachable from clear_all_caches().
+  clear_all_caches();
+}
+
+TEST(MemoCache, DefaultCapacityComesFromEnvironmentOrFallback) {
+  // The env var is latched once per process; just check the invariant that
+  // the resolved value is positive and caches honor an explicit override.
+  EXPECT_GE(default_cache_capacity(), 1u);
+  MemoCache<int> cache("test.memo.capacity", 3);
+  EXPECT_EQ(cache.capacity(), 3u);
+}
+
+}  // namespace
+}  // namespace slat::core

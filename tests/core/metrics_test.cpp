@@ -1,0 +1,126 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace slat::core {
+namespace {
+
+TEST(Metrics, CounterStartsAtZeroAndAccumulates) {
+  Counter& c = metrics().counter("test.metrics.counter_basic");
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, RegistryReturnsStableReferences) {
+  Counter& first = metrics().counter("test.metrics.stable");
+  // Force map growth past the first lookup.
+  for (int i = 0; i < 64; ++i) {
+    metrics().counter("test.metrics.stable_filler_" + std::to_string(i));
+  }
+  Counter& second = metrics().counter("test.metrics.stable");
+  EXPECT_EQ(&first, &second);
+}
+
+TEST(Metrics, CounterIsThreadSafe) {
+  Counter& c = metrics().counter("test.metrics.threaded");
+  c.reset();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, TimerAccumulatesViaScopedTimer) {
+  Timer& t = metrics().timer("test.metrics.timer");
+  t.reset();
+  { ScopedTimer timed(t); }
+  { ScopedTimer timed(t); }
+  if (metrics_enabled()) {
+    EXPECT_EQ(t.count(), 2u);
+  }
+  t.add(1000);
+  EXPECT_GE(t.total_ns(), 1000u);
+}
+
+TEST(Metrics, ScopedTimerRespectsRuntimeDisable) {
+  Timer& t = metrics().timer("test.metrics.timer_disabled");
+  t.reset();
+  const bool previous = metrics_enabled();
+  set_metrics_enabled(false);
+  { ScopedTimer timed(t); }
+  set_metrics_enabled(previous);
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_EQ(t.total_ns(), 0u);
+}
+
+TEST(Metrics, HistogramBucketsByBitWidth) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Histogram::bucket_of(~0ull), 64);
+
+  Histogram& h = metrics().histogram("test.metrics.histogram");
+  h.reset();
+  h.record(0);
+  h.record(1);
+  h.record(5);
+  h.record(5);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(3), 2u);
+  EXPECT_EQ(h.total_count(), 4u);
+}
+
+TEST(Metrics, DumpTextListsMetricsSorted) {
+  metrics().counter("test.metrics.dump_b").reset();
+  metrics().counter("test.metrics.dump_a").inc(7);
+  const std::string text = metrics().dump_text();
+  const auto pos_a = text.find("test.metrics.dump_a = 7");
+  const auto pos_b = text.find("test.metrics.dump_b = ");
+  EXPECT_NE(pos_a, std::string::npos);
+  EXPECT_NE(pos_b, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);  // the name map keeps dumps sorted
+}
+
+TEST(Metrics, DumpJsonIsWellFormedEnoughToGrep) {
+  metrics().counter("test.metrics.json").inc(3);
+  const std::string json = metrics().dump_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"timers\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.metrics.json\": 3"), std::string::npos);
+}
+
+TEST(Metrics, ResetAllZeroesEverything) {
+  Counter& c = metrics().counter("test.metrics.reset_all.c");
+  Timer& t = metrics().timer("test.metrics.reset_all.t");
+  Histogram& h = metrics().histogram("test.metrics.reset_all.h");
+  c.inc(5);
+  t.add(5);
+  h.record(5);
+  metrics().reset_all();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(t.total_ns(), 0u);
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_EQ(h.total_count(), 0u);
+}
+
+}  // namespace
+}  // namespace slat::core

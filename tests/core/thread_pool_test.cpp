@@ -1,0 +1,60 @@
+#include "core/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace slat::core {
+namespace {
+
+TEST(ThreadPool, RunExecutesEveryChunkExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> executed(100);
+  pool.run(100, [&](int c) { executed[c].fetch_add(1); });
+  for (int c = 0; c < 100; ++c) EXPECT_EQ(executed[c].load(), 1) << c;
+}
+
+TEST(ThreadPool, ResizeWhenIdleIsAllowed) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.num_threads(), 2);
+  pool.set_num_threads(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> sum{0};
+  pool.run(10, [&](int c) { sum.fetch_add(c); });
+  EXPECT_EQ(sum.load(), 45);
+  pool.set_num_threads(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+}
+
+TEST(ThreadPool, NestedRunExecutesInline) {
+  ThreadPool pool(4);
+  std::atomic<int> inner{0};
+  pool.run(8, [&](int) {
+    // Nested run from a pool task must go inline, not deadlock.
+    pool.run(4, [&](int) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(inner.load(), 32);
+}
+
+using ThreadPoolDeathTest = ::testing::Test;
+
+TEST(ThreadPoolDeathTest, ResizeWhileJobInFlightAborts) {
+  // Regression for an unchecked precondition: set_num_threads while a job is
+  // in flight used to silently join workers mid-job (tearing the live job's
+  // state down under them); it must now trip the SLAT_ASSERT guard. The
+  // resize is attempted from inside a running chunk — whether the chunk
+  // landed on the caller thread (job_in_flight_ set) or a worker
+  // (in_worker), the guard fires.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(4);
+        pool.run(8, [&](int) { pool.set_num_threads(2); });
+      },
+      "job is in flight");
+}
+
+}  // namespace
+}  // namespace slat::core

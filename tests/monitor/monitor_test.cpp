@@ -21,6 +21,7 @@ class MonitorFixture : public ::testing::Test {
 
 TEST_F(MonitorFixture, GaRejectsAtFirstB) {
   SafetyMonitor monitor = monitor_for("G a");
+  monitor.record_trace(16);
   EXPECT_TRUE(monitor.step(kA));
   EXPECT_TRUE(monitor.step(kA));
   EXPECT_FALSE(monitor.step(kB));
@@ -63,11 +64,43 @@ TEST_F(MonitorFixture, FalseSpecificationRejectsImmediately) {
 
 TEST_F(MonitorFixture, ResetRestoresInitialState) {
   SafetyMonitor monitor = monitor_for("G a");
+  monitor.record_trace(16);
   EXPECT_EQ(monitor.run({kB}), std::optional<std::size_t>(0));
   monitor.reset();
   EXPECT_FALSE(monitor.violated());
   EXPECT_TRUE(monitor.step(kA));
   EXPECT_EQ(monitor.accepted_trace(), (Word{kA}));
+  EXPECT_EQ(monitor.accepted_count(), 1u);
+}
+
+TEST_F(MonitorFixture, LongTraceStaysBoundedWithoutRecording) {
+  // Regression: step() used to append every accepted event to an internal
+  // vector unconditionally, so a long-running monitor grew O(trace). With
+  // recording off (the default) the buffer must stay empty — capacity
+  // included — no matter how many events stream through.
+  SafetyMonitor monitor = monitor_for("G a");
+  constexpr std::size_t kEvents = 2'000'000;
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    ASSERT_TRUE(monitor.step(kA));
+  }
+  EXPECT_EQ(monitor.accepted_count(), kEvents);
+  EXPECT_TRUE(monitor.accepted_trace().empty());
+  EXPECT_EQ(monitor.accepted_trace().capacity(), 0u);
+}
+
+TEST_F(MonitorFixture, RecordingIsBoundedAtTheRequestedCap) {
+  SafetyMonitor monitor = monitor_for("G a");
+  monitor.record_trace(8);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(monitor.step(kA));
+  }
+  EXPECT_EQ(monitor.accepted_trace().size(), 8u);     // first 8 events kept
+  EXPECT_EQ(monitor.accepted_count(), 1000u);         // but all counted
+  EXPECT_LE(monitor.accepted_trace().capacity(), 16u);  // and no silent growth
+  monitor.stop_recording();
+  EXPECT_FALSE(monitor.recording());
+  EXPECT_TRUE(monitor.accepted_trace().empty());
+  EXPECT_EQ(monitor.accepted_trace().capacity(), 0u);
 }
 
 TEST_F(MonitorFixture, RequestResponsePolicy) {

@@ -63,6 +63,71 @@ TEST(UpWord, SuffixEqualityAfterFullPeriod) {
   EXPECT_EQ(w.suffix(6), w);
 }
 
+TEST(UpWord, IsNormalizedAgreesWithRenormalization) {
+  // The direct normal-form check must agree exactly with "construct a copy
+  // and see if normalize() changed anything" — over every (prefix, period)
+  // pair up to length 4 over a ternary alphabet, fed through the PRIVATE
+  // representation path: build a normalized word, then compare predicates on
+  // raw candidate pairs via a freshly constructed word.
+  for (int p0 = -1; p0 < 3; ++p0) {
+    for (int p1 = -1; p1 < 3; ++p1) {
+      for (int v0 = 0; v0 < 3; ++v0) {
+        for (int v1 = -1; v1 < 3; ++v1) {
+          Word prefix;
+          if (p0 >= 0) prefix.push_back(p0);
+          if (p0 >= 0 && p1 >= 0) prefix.push_back(p1);
+          Word period{v0};
+          if (v1 >= 0) period.push_back(v1);
+          const UpWord w(prefix, period);
+          // Constructor normalizes, so the result must satisfy the predicate…
+          EXPECT_TRUE(w.is_normalized()) << w.to_string(Alphabet::of_size(3));
+          // …and re-normalizing must be the identity.
+          EXPECT_EQ(UpWord(w.prefix(), w.period()), w);
+        }
+      }
+    }
+  }
+}
+
+TEST(UpWord, ConstructorCollapsesNonNormalInputs) {
+  // Non-normal (prefix, period) inputs collapse at construction — so the
+  // class invariant the direct is_normalized() check relies on (primitive
+  // period, absorbed prefix) really holds for every constructible word.
+  EXPECT_EQ(UpWord({}, {1, 1, 1}).period(), (Word{1}));        // power collapses
+  EXPECT_EQ(UpWord({}, {0, 1, 0, 1, 0, 1}).period(), (Word{0, 1}));
+  EXPECT_EQ(UpWord({0, 1}, {1, 1}).prefix(), (Word{0}));       // absorption fires
+}
+
+TEST(UpWord, SuffixWithEmptyPrefixRotatesAtPeriodBoundary) {
+  // Edge cases for suffix() on a purely periodic word: shifts that land
+  // exactly ON the period boundary must return the same word, and interior
+  // shifts must return a normalized rotation.
+  const UpWord w({}, {0, 1, 2});
+  EXPECT_EQ(w.suffix(0), w);
+  EXPECT_EQ(w.suffix(3), w);
+  EXPECT_EQ(w.suffix(300), w);
+  const UpWord rotated = w.suffix(1);
+  EXPECT_EQ(rotated, UpWord({}, {1, 2, 0}));
+  EXPECT_TRUE(rotated.is_normalized());
+  // A rotation can itself need normalization: (aab)^ω shifted by 2 is
+  // (baa)^ω, whose fresh construction must stay primitive and prefix-free.
+  const UpWord v({}, {0, 0, 1});
+  for (std::size_t shift = 0; shift <= 6; ++shift) {
+    EXPECT_TRUE(v.suffix(shift).is_normalized()) << shift;
+  }
+}
+
+TEST(UpWord, SuffixPastPrefixEndIsExactlyThePeriodicTail) {
+  // Shift exactly at the prefix/period boundary (i == prefix_size): the
+  // result is the pure periodic tail, not a rotation.
+  const UpWord w({2, 2}, {0, 1});
+  EXPECT_EQ(w.suffix(2), UpWord({}, {0, 1}));
+  // One past the boundary rotates; the rotated form collapses when the
+  // rotation is a power ((ab)(ab)… shifted into (ba)(ba)…).
+  EXPECT_EQ(w.suffix(3), UpWord({}, {1, 0}));
+  EXPECT_TRUE(w.suffix(3).is_normalized());
+}
+
 TEST(UpWord, ToStringUsesAlphabetNames) {
   const Alphabet alphabet = Alphabet::binary();
   EXPECT_EQ(UpWord({0}, {1}).to_string(alphabet), "a(b)^w");
