@@ -1,0 +1,182 @@
+// PERF-INCL — the antichain inclusion engine vs the complement-based oracle.
+// Language inclusion is the workhorse query behind the paper-level lattice
+// instance (equal/leq on ω-regular languages): this bench times the same
+// L(A) ⊆ L(B) queries on both backends — the on-the-fly antichain search
+// with simulation subsumption, and lhs ∩ ¬rhs emptiness through rank-based
+// complementation — on random NBA families and on the Rem p0–p6 tableau
+// automata, and reports the antichain search's size counters (nodes,
+// subsumption prunings, final antichain size). Caching is disabled inside
+// every timing loop so both backends pay their full construction each
+// iteration; scripts/run_benches.sh additionally runs the binary under
+// SLAT_CACHE=0 and aggregates the antichain/complement ratio into
+// BENCH_PR4.json.
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "buchi/inclusion.hpp"
+#include "buchi/nba.hpp"
+#include "buchi/random.hpp"
+#include "core/memo_cache.hpp"
+#include "core/metrics.hpp"
+#include "ltl/rem.hpp"
+#include "ltl/translate.hpp"
+
+namespace {
+
+using namespace slat;
+using buchi::InclusionBackend;
+using buchi::InclusionBackendScope;
+using buchi::Nba;
+
+std::vector<std::pair<Nba, Nba>> random_pairs(int num_states, int count,
+                                              unsigned seed) {
+  std::mt19937 rng(seed);
+  buchi::RandomNbaConfig config;
+  config.num_states = num_states;
+  config.alphabet_size = 2;
+  std::vector<std::pair<Nba, Nba>> pairs;
+  pairs.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    config.transition_density = 0.8 + 0.1 * (i % 3);
+    Nba lhs = buchi::random_nba(config, rng);
+    Nba rhs = buchi::random_nba(config, rng);
+    pairs.emplace_back(std::move(lhs), std::move(rhs));
+  }
+  return pairs;
+}
+
+std::vector<Nba> rem_tableaux() {
+  ltl::LtlArena arena(words::Alphabet::binary());
+  std::vector<Nba> automata;
+  for (const auto& example : ltl::rem_examples()) {
+    const auto f = arena.parse(example.formula);
+    if (f.has_value()) automata.push_back(ltl::to_nba(arena, *f));
+  }
+  return automata;
+}
+
+double run_backend_us(InclusionBackend backend,
+                      const std::vector<std::pair<Nba, Nba>>& pairs) {
+  InclusionBackendScope scope(backend);
+  core::CacheEnabledScope uncached(false);
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& [lhs, rhs] : pairs) {
+    benchmark::DoNotOptimize(buchi::check_inclusion(lhs, rhs));
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::micro>(elapsed).count() /
+         static_cast<double>(pairs.size());
+}
+
+void print_artifact() {
+  bench::print_header("PERF-INCL",
+                      "antichain inclusion vs complement-based oracle");
+
+  std::printf("\nrandom NBA pairs (avg μs per query, %d pairs per row)\n", 10);
+  std::printf("%3s | %12s %12s | %8s | %12s %12s\n", "n", "antichain",
+              "complement", "speedup", "nodes/query", "prunings/query");
+  core::Counter& stem = core::metrics().counter("buchi.inclusion.stem_nodes");
+  core::Counter& period = core::metrics().counter("buchi.inclusion.period_nodes");
+  core::Counter& prunings =
+      core::metrics().counter("buchi.inclusion.subsumption_prunings");
+  for (int n = 2; n <= 5; ++n) {
+    const auto pairs = random_pairs(n, 10, 7000 + n);
+    const std::uint64_t stem0 = stem.value(), period0 = period.value();
+    const std::uint64_t prune0 = prunings.value();
+    const double anti_us = run_backend_us(InclusionBackend::kAntichain, pairs);
+    const std::uint64_t nodes = stem.value() - stem0 + period.value() - period0;
+    const double comp_us = run_backend_us(InclusionBackend::kComplement, pairs);
+    std::printf("%3d | %12.1f %12.1f | %7.1fx | %12.1f %12.1f\n", n, anti_us,
+                comp_us, comp_us / anti_us,
+                static_cast<double>(nodes) / pairs.size(),
+                static_cast<double>(prunings.value() - prune0) / pairs.size());
+  }
+
+  const auto automata = rem_tableaux();
+  std::vector<std::pair<Nba, Nba>> rem_pairs;
+  for (const auto& a : automata) {
+    for (const auto& b : automata) rem_pairs.emplace_back(a, b);
+  }
+  const double anti_us = run_backend_us(InclusionBackend::kAntichain, rem_pairs);
+  const double comp_us = run_backend_us(InclusionBackend::kComplement, rem_pairs);
+  std::printf("\nRem p0–p6 tableaux, all %zu ordered pairs:\n", rem_pairs.size());
+  std::printf("  antichain %.1f μs/query, complement %.1f μs/query (%.1fx)\n\n",
+              anti_us, comp_us, comp_us / anti_us);
+}
+
+void bm_inclusion_antichain(benchmark::State& state) {
+  const auto pairs =
+      random_pairs(static_cast<int>(state.range(0)), 8, 7100 + state.range(0));
+  InclusionBackendScope scope(InclusionBackend::kAntichain);
+  core::CacheEnabledScope uncached(false);
+  for (auto _ : state) {
+    for (const auto& [lhs, rhs] : pairs) {
+      benchmark::DoNotOptimize(buchi::check_inclusion(lhs, rhs));
+    }
+  }
+}
+BENCHMARK(bm_inclusion_antichain)->DenseRange(2, 5);
+
+void bm_inclusion_complement(benchmark::State& state) {
+  const auto pairs =
+      random_pairs(static_cast<int>(state.range(0)), 8, 7100 + state.range(0));
+  InclusionBackendScope scope(InclusionBackend::kComplement);
+  core::CacheEnabledScope uncached(false);
+  for (auto _ : state) {
+    for (const auto& [lhs, rhs] : pairs) {
+      benchmark::DoNotOptimize(buchi::check_inclusion(lhs, rhs));
+    }
+  }
+}
+BENCHMARK(bm_inclusion_complement)->DenseRange(2, 4);
+
+void bm_inclusion_rem_antichain(benchmark::State& state) {
+  const auto automata = rem_tableaux();
+  InclusionBackendScope scope(InclusionBackend::kAntichain);
+  core::CacheEnabledScope uncached(false);
+  for (auto _ : state) {
+    for (const auto& a : automata) {
+      for (const auto& b : automata) {
+        benchmark::DoNotOptimize(buchi::check_inclusion(a, b));
+      }
+    }
+  }
+}
+BENCHMARK(bm_inclusion_rem_antichain);
+
+void bm_inclusion_rem_complement(benchmark::State& state) {
+  const auto automata = rem_tableaux();
+  InclusionBackendScope scope(InclusionBackend::kComplement);
+  core::CacheEnabledScope uncached(false);
+  for (auto _ : state) {
+    for (const auto& a : automata) {
+      for (const auto& b : automata) {
+        benchmark::DoNotOptimize(buchi::check_inclusion(a, b));
+      }
+    }
+  }
+}
+BENCHMARK(bm_inclusion_rem_complement);
+
+void bm_universality_antichain(benchmark::State& state) {
+  std::mt19937 rng(7300);
+  buchi::RandomNbaConfig config;
+  config.num_states = static_cast<int>(state.range(0));
+  std::vector<Nba> automata;
+  for (int i = 0; i < 8; ++i) automata.push_back(buchi::random_nba(config, rng));
+  InclusionBackendScope scope(InclusionBackend::kAntichain);
+  core::CacheEnabledScope uncached(false);
+  for (auto _ : state) {
+    for (const auto& nba : automata) {
+      benchmark::DoNotOptimize(buchi::check_universality(nba));
+    }
+  }
+}
+BENCHMARK(bm_universality_antichain)->DenseRange(2, 5);
+
+}  // namespace
+
+SLAT_BENCH_MAIN(print_artifact)

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Run the kernel-relevant benchmark binaries with JSON output and aggregate
 # the results into BENCH_PR1.json (kernel vs seed speedups), BENCH_PR2.json
-# (parallel-layer thread sweep), and BENCH_PR3.json (memo-cache hit rates)
-# at the repo root.
+# (parallel-layer thread sweep), BENCH_PR3.json (memo-cache hit rates), and
+# BENCH_PR4.json (antichain inclusion vs complement oracle) at the repo root.
 #
 # Usage: scripts/run_benches.sh [build-dir]
 #
@@ -10,6 +10,11 @@
 # writes google-benchmark JSON to a per-binary file via --benchmark_out; the
 # aggregation steps merge those files. The thread sweep runs the *_Pool
 # benchmarks with SLAT_BENCH_ARTIFACT=0 so only timings are collected.
+#
+# Failure discipline: the JSON directory is wiped up front and every bench
+# invocation is checked — a crashing binary deletes its partial output and
+# aborts the whole script with a non-zero exit, so a BENCH_PR*.json at the
+# repo root is only ever built from a complete, fresh set of runs.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -21,19 +26,42 @@ SWEEP_BENCHES=(bench_kernels bench_complementation bench_parity_games bench_latt
 # Binaries whose workloads exercise the memo caches; each run dumps the
 # metrics registry (SLAT_METRICS_OUT) so hit rates land in BENCH_PR3.json.
 CACHE_BENCHES=(bench_rem_linear bench_rem_branching bench_rabin_decomposition bench_lattice_decomposition)
+# The inclusion-engine comparison (BENCH_PR4.json).
+INCLUSION_BENCHES=(bench_inclusion)
 
 if [[ ! -d "${BUILD_DIR}" ]]; then
   cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
 fi
-cmake --build "${BUILD_DIR}" -j --target "${BENCHES[@]}" "${SWEEP_BENCHES[@]}" "${CACHE_BENCHES[@]}"
+cmake --build "${BUILD_DIR}" -j --target \
+  "${BENCHES[@]}" "${SWEEP_BENCHES[@]}" "${CACHE_BENCHES[@]}" "${INCLUSION_BENCHES[@]}"
 
+# Start from a clean slate: stale JSON from an earlier (possibly aborted) run
+# must never leak into the aggregates.
+rm -rf "${OUT_DIR}"
 mkdir -p "${OUT_DIR}"
+
+# Runs one bench binary; on a crash, removes the partial JSON named by the
+# first argument and fails the whole script loudly.
+run_bench() {
+  local out_file="$1"
+  shift
+  local status=0
+  "$@" || status=$?
+  if [[ ${status} -ne 0 ]]; then
+    rm -f "${out_file}"
+    echo "error: benchmark invocation failed (exit ${status}): $*" >&2
+    echo "error: removed partial output ${out_file}; no BENCH_PR*.json written" >&2
+    exit 1
+  fi
+}
+
 # The PR1/PR2 loops run with SLAT_CACHE=0: they measure the raw kernels and
 # the parallel layer, and the memo caches would otherwise turn every repeat
 # iteration into a lookup (BENCH_PR3.json is where caching is measured).
 for bench in "${BENCHES[@]}"; do
   echo "== ${bench} =="
-  SLAT_CACHE=0 "${BUILD_DIR}/bench/${bench}" \
+  run_bench "${OUT_DIR}/${bench}.json" \
+    env SLAT_CACHE=0 "${BUILD_DIR}/bench/${bench}" \
     --benchmark_min_time=0.05 \
     --benchmark_filter='-threads:' \
     --benchmark_out="${OUT_DIR}/${bench}.json" \
@@ -42,7 +70,8 @@ done
 
 for bench in "${SWEEP_BENCHES[@]}"; do
   echo "== ${bench} (thread sweep) =="
-  SLAT_BENCH_ARTIFACT=0 SLAT_CACHE=0 "${BUILD_DIR}/bench/${bench}" \
+  run_bench "${OUT_DIR}/${bench}.threads.json" \
+    env SLAT_BENCH_ARTIFACT=0 SLAT_CACHE=0 "${BUILD_DIR}/bench/${bench}" \
     --benchmark_min_time=0.05 \
     --benchmark_filter='threads:' \
     --benchmark_out="${OUT_DIR}/${bench}.threads.json" \
@@ -51,11 +80,25 @@ done
 
 for bench in "${CACHE_BENCHES[@]}"; do
   echo "== ${bench} (cache metrics) =="
-  SLAT_BENCH_ARTIFACT=0 SLAT_METRICS_OUT="${OUT_DIR}/${bench}.metrics.json" \
+  run_bench "${OUT_DIR}/${bench}.cache.json" \
+    env SLAT_BENCH_ARTIFACT=0 SLAT_METRICS_OUT="${OUT_DIR}/${bench}.metrics.json" \
     "${BUILD_DIR}/bench/${bench}" \
     --benchmark_min_time=0.05 \
     --benchmark_filter='-threads:' \
     --benchmark_out="${OUT_DIR}/${bench}.cache.json" \
+    --benchmark_out_format=json
+done
+
+# The inclusion comparison runs uncached (both backends pay their full
+# construction per query) and dumps the metrics registry for the antichain
+# size / pruning counters.
+for bench in "${INCLUSION_BENCHES[@]}"; do
+  echo "== ${bench} (antichain vs complement) =="
+  run_bench "${OUT_DIR}/${bench}.json" \
+    env SLAT_CACHE=0 SLAT_METRICS_OUT="${OUT_DIR}/${bench}.metrics.json" \
+    "${BUILD_DIR}/bench/${bench}" \
+    --benchmark_min_time=0.05 \
+    --benchmark_out="${OUT_DIR}/${bench}.json" \
     --benchmark_out_format=json
 done
 
@@ -201,4 +244,69 @@ print(f"wrote {target}")
 for bench, rates in sorted(merged["cache_hit_rates"].items()):
     for cache, rate in sorted(rates.items()):
         print(f"  {bench}: {cache} hit rate {rate:.2%}")
+PY
+
+python3 - "${OUT_DIR}" "${REPO_ROOT}/BENCH_PR4.json" "${INCLUSION_BENCHES[@]}" <<'PY'
+import json
+import re
+import sys
+
+out_dir, target, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+merged = {
+    "context": None,
+    "note": "antichain inclusion engine vs complement-based oracle on the "
+            "same query sets, SLAT_CACHE=0 (both backends recompute every "
+            "query); verdict/witness agreement is pinned by "
+            "tests/integration/inclusion_equivalence_test.cpp",
+    "benchmarks": {},
+    "speedup_antichain_vs_complement": {},
+    "antichain_search_counters": {},
+}
+for bench in benches:
+    with open(f"{out_dir}/{bench}.json") as f:
+        data = json.load(f)
+    if merged["context"] is None:
+        context = data.get("context", {})
+        merged["context"] = {
+            key: context.get(key)
+            for key in ("date", "host_name", "num_cpus", "mhz_per_cpu", "library_build_type")
+        }
+    runs = {
+        run["name"]: run.get("real_time")
+        for run in data.get("benchmarks", [])
+        if run.get("run_type", "iteration") == "iteration"
+    }
+    merged["benchmarks"][bench] = {
+        name: {"real_time_ns": time} for name, time in sorted(runs.items())
+    }
+    # Pair bm_..._antichain(/arg) with bm_..._complement(/arg) by suffix.
+    for name, antichain_time in runs.items():
+        if "_antichain" not in name:
+            continue
+        oracle_name = name.replace("_antichain", "_complement")
+        oracle_time = runs.get(oracle_name)
+        if antichain_time and oracle_time:
+            key = re.sub(r"^bm_", "", name.replace("_antichain", ""))
+            merged["speedup_antichain_vs_complement"][key] = round(
+                oracle_time / antichain_time, 2)
+    try:
+        with open(f"{out_dir}/{bench}.metrics.json") as f:
+            counters = json.load(f).get("counters", {})
+    except FileNotFoundError:
+        counters = {}
+    merged["antichain_search_counters"][bench] = {
+        key: value for key, value in sorted(counters.items())
+        if key.startswith("buchi.inclusion.")
+    }
+
+if not merged["speedup_antichain_vs_complement"]:
+    print("error: no antichain/complement benchmark pairs found", file=sys.stderr)
+    sys.exit(1)
+
+with open(target, "w") as f:
+    json.dump(merged, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {target}")
+for name, s in sorted(merged["speedup_antichain_vs_complement"].items()):
+    print(f"  {name}: {s}x vs complement oracle")
 PY

@@ -1,0 +1,479 @@
+#include "buchi/inclusion.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "buchi/complement.hpp"
+#include "buchi/simulation.hpp"
+#include "common/assert.hpp"
+#include "core/memo_cache.hpp"
+#include "core/metrics.hpp"
+#include "core/state_set.hpp"
+
+namespace slat::buchi {
+
+namespace {
+
+using core::StateSet;
+
+struct InclusionStats {
+  core::Counter& queries = core::metrics().counter("buchi.inclusion.queries");
+  core::Counter& stem_nodes = core::metrics().counter("buchi.inclusion.stem_nodes");
+  core::Counter& period_nodes = core::metrics().counter("buchi.inclusion.period_nodes");
+  core::Counter& prunings =
+      core::metrics().counter("buchi.inclusion.subsumption_prunings");
+  core::Histogram& antichain_size =
+      core::metrics().histogram("buchi.inclusion.antichain_size");
+  core::Histogram& frontier_peak =
+      core::metrics().histogram("buchi.inclusion.frontier_peak");
+};
+
+InclusionStats& stats() {
+  static InclusionStats* s = new InclusionStats();  // leaked, like the caches
+  return *s;
+}
+
+/// Arc profile of a finite word v over the rhs state space: any[s] = states
+/// reachable from s along v, acc[s] ⊆ any[s] = reachable along a path that
+/// visits an accepting state (endpoints included). Profiles compose under
+/// word concatenation, which is what lets the period search summarize loop
+/// words of unbounded length in a bounded domain.
+struct Profile {
+  std::vector<StateSet> any;
+  std::vector<StateSet> acc;
+};
+
+/// a ⊆ b row-wise. Fewer arcs constrain the rhs more, so the smaller profile
+/// dominates in the antichain ordering.
+bool profile_subseteq(const Profile& a, const Profile& b) {
+  for (std::size_t s = 0; s < a.any.size(); ++s) {
+    if (!b.any[s].contains_all(a.any[s])) return false;
+    if (!b.acc[s].contains_all(a.acc[s])) return false;
+  }
+  return true;
+}
+
+/// The two-phase antichain search. Sequential by construction (all frontier
+/// pops and antichain edits happen in canonical order); the parallel pieces
+/// it builds on — trim/quotient/simulation — are deterministic at any thread
+/// count, so the whole engine is too.
+class AntichainEngine {
+ public:
+  AntichainEngine(const Nba& lhs, const Nba& rhs)
+      : a_(lhs.trim()),
+        b_(simulation_quotient(rhs)),
+        sigma_(a_.alphabet().size()),
+        na_(a_.num_states()),
+        nb_(b_.num_states()),
+        sim_(direct_simulation(b_)) {
+    // One-step profile rows of b_, reused by subset steps and compositions.
+    step_any_.assign(sigma_, std::vector<StateSet>(nb_, StateSet(nb_)));
+    step_acc_.assign(sigma_, std::vector<StateSet>(nb_, StateSet(nb_)));
+    for (State s = 0; s < nb_; ++s) {
+      for (Sym c = 0; c < sigma_; ++c) {
+        for (State t : b_.successors(s, c)) {
+          step_any_[c][s].insert(t);
+          if (b_.is_accepting(s) || b_.is_accepting(t)) step_acc_[c][s].insert(t);
+        }
+      }
+    }
+
+    // A pivot p can close an accepting lhs loop iff its SCC is cyclic and
+    // contains an accepting state; other pivots never need a period search.
+    std::vector<bool> self_loop(na_, false);
+    const auto scc = detail::strongly_connected_components(
+        na_, [&](int q, const std::function<void(int)>& visit) {
+          for (Sym c = 0; c < sigma_; ++c) {
+            for (State t : a_.successors(q, c)) {
+              if (t == q) self_loop[q] = true;
+              visit(t);
+            }
+          }
+        });
+    std::vector<int> scc_size(scc.num_components, 0);
+    std::vector<bool> scc_accepting(scc.num_components, false);
+    for (State q = 0; q < na_; ++q) {
+      scc_size[scc.component[q]] += 1;
+      if (a_.is_accepting(q)) scc_accepting[scc.component[q]] = true;
+    }
+    pivot_ok_.assign(na_, false);
+    for (State q = 0; q < na_; ++q) {
+      const int c = scc.component[q];
+      pivot_ok_[q] = scc_accepting[c] && (scc_size[c] >= 2 || self_loop[q]);
+    }
+  }
+
+  InclusionResult run() {
+    stats().queries.inc();
+    InclusionResult result;
+    if (!a_.is_trivially_dead()) {
+      result = search();
+    }
+    std::uint64_t live = 0;
+    for (const auto& chain : stem_chain_) live += chain.size();
+    stats().antichain_size.record(live);
+    stats().frontier_peak.record(frontier_peak_);
+    return result;
+  }
+
+ private:
+  // ---- simulation-based set pruning and subsumption -----------------------
+
+  /// Keeps only ⪯-maximal members, one representative (the smallest index)
+  /// per class of mutually similar states. Language-from-set preserving:
+  /// every dropped state has a kept simulator.
+  StateSet normalize_set(const StateSet& full) const {
+    StateSet out(nb_);
+    full.for_each([&](int q) {
+      bool drop = false;
+      sim_.simulators[q].for_each([&](int t) {
+        if (drop || t == q || !full.contains(t)) return;
+        // t strictly above q, or an equivalent member with smaller index.
+        if (!sim_.simulates(q, t) || t < q) drop = true;
+      });
+      if (!drop) out.insert(q);
+    });
+    return out;
+  }
+
+  /// L(strong) ⊆ L(weak)? Sufficient test: every member of `strong` is
+  /// simulated by some member of `weak`. Plain set inclusion is the special
+  /// case where the simulator is the state itself.
+  bool set_dominates(const StateSet& strong, const StateSet& weak) const {
+    bool ok = true;
+    strong.for_each([&](int s) {
+      if (ok && !sim_.simulators[s].intersects(weak)) ok = false;
+    });
+    return ok;
+  }
+
+  /// Normalized subset successor δ(S, c).
+  StateSet step_set(const StateSet& set, Sym c) const {
+    StateSet next(nb_);
+    set.for_each([&](int s) { next.union_with(step_any_[c][s]); });
+    return normalize_set(next);
+  }
+
+  // ---- profiles -----------------------------------------------------------
+
+  Profile one_step_profile(Sym c) const {
+    return Profile{step_any_[c], step_acc_[c]};
+  }
+
+  /// Profile of v·c from the profile of v: relational composition of the
+  /// arc rows with the one-step rows, acc-bits absorbed from either side.
+  Profile compose(const Profile& r, Sym c) const {
+    Profile out;
+    out.any.assign(nb_, StateSet(nb_));
+    out.acc.assign(nb_, StateSet(nb_));
+    for (State s = 0; s < nb_; ++s) {
+      r.any[s].for_each([&](int t) {
+        out.any[s].union_with(step_any_[c][t]);
+        out.acc[s].union_with(step_acc_[c][t]);
+      });
+      r.acc[s].for_each([&](int t) { out.acc[s].union_with(step_any_[c][t]); });
+    }
+    return out;
+  }
+
+  /// Does b_ accept v^ω from some state of `set`, where `prof` is the arc
+  /// profile of v? Exact: an accepting run exists iff the any-graph has a
+  /// lasso from `set` whose cycle carries an acc-arc — i.e. some reachable s
+  /// has an acc-successor inside its own SCC.
+  bool profile_accepts(const StateSet& set, const Profile& prof) const {
+    StateSet reach(nb_);
+    std::vector<int> work;
+    set.for_each([&](int s) {
+      reach.insert(s);
+      work.push_back(s);
+    });
+    while (!work.empty()) {
+      const int s = work.back();
+      work.pop_back();
+      prof.any[s].for_each([&](int t) {
+        if (!reach.contains(t)) {
+          reach.insert(t);
+          work.push_back(t);
+        }
+      });
+    }
+    const auto scc = detail::strongly_connected_components(
+        nb_, [&](int s, const std::function<void(int)>& visit) {
+          prof.any[s].for_each(visit);
+        });
+    bool found = false;
+    for (State s = 0; s < nb_ && !found; ++s) {
+      if (!reach.contains(s)) continue;
+      prof.acc[s].for_each([&](int t) {
+        if (scc.component[t] == scc.component[s]) found = true;
+      });
+    }
+    return found;
+  }
+
+  // ---- stem phase ---------------------------------------------------------
+
+  struct StemNode {
+    State p;
+    StateSet set;  // normalized δ(I_b, u)
+    int pred;      // stem node id, -1 at the root
+    Sym sym;       // symbol taken from pred, -1 at the root
+  };
+
+  void push_stem(State p, StateSet set, int pred, Sym sym) {
+    auto& chain = stem_chain_[p];
+    for (const int id : chain) {
+      if (set_dominates(stem_nodes_[id].set, set)) {
+        stats().prunings.inc();
+        return;
+      }
+    }
+    std::size_t kept = 0;
+    for (const int id : chain) {
+      if (set_dominates(set, stem_nodes_[id].set)) {
+        stem_live_[id] = false;
+        stats().prunings.inc();
+      } else {
+        chain[kept++] = id;
+      }
+    }
+    chain.resize(kept);
+    const int id = static_cast<int>(stem_nodes_.size());
+    stem_nodes_.push_back(StemNode{p, std::move(set), pred, sym});
+    stem_live_.push_back(true);
+    chain.push_back(id);
+    stem_frontier_.push_back(id);
+    stats().stem_nodes.inc();
+  }
+
+  /// BFS over (p, S) to the antichain fixpoint.
+  void run_stems() {
+    stem_chain_.assign(na_, {});
+    StateSet init(nb_);
+    init.insert(b_.initial());
+    push_stem(a_.initial(), normalize_set(init), -1, -1);
+    std::size_t head = 0;
+    while (head < stem_frontier_.size()) {
+      note_frontier(stem_frontier_.size() - head);
+      const int id = stem_frontier_[head++];
+      if (!stem_live_[id]) continue;
+      // Copy out: push_stem may reallocate stem_nodes_.
+      const State p = stem_nodes_[id].p;
+      const StateSet set = stem_nodes_[id].set;
+      for (Sym c = 0; c < sigma_; ++c) {
+        const auto& succs = a_.successors(p, c);
+        if (succs.empty()) continue;
+        const StateSet next = step_set(set, c);
+        for (const State q : succs) push_stem(q, next, id, c);
+      }
+    }
+  }
+
+  // ---- period phase -------------------------------------------------------
+
+  struct PeriodNode {
+    State q;
+    bool acc;  // accepting lhs state passed since the pivot?
+    Profile prof;
+    int pred;  // period node id, -1 for the pivot's first step
+    Sym sym;
+  };
+
+  /// (stem node id, period node id) of a counterexample, if one closed here.
+  struct Hit {
+    int stem_id;
+    int period_id;
+  };
+
+  std::optional<Hit> push_period(State pivot, State q, bool acc, const Profile& prof,
+                                 int pred, Sym sym) {
+    auto& chain = period_chain_[q];
+    for (const int id : chain) {
+      const PeriodNode& node = period_nodes_[id];
+      if (node.acc >= acc && profile_subseteq(node.prof, prof)) {
+        stats().prunings.inc();
+        return std::nullopt;
+      }
+    }
+    std::size_t kept = 0;
+    for (const int id : chain) {
+      const PeriodNode& node = period_nodes_[id];
+      if (acc >= node.acc && profile_subseteq(prof, node.prof)) {
+        period_live_[id] = false;
+        stats().prunings.inc();
+      } else {
+        chain[kept++] = id;
+      }
+    }
+    chain.resize(kept);
+    const int id = static_cast<int>(period_nodes_.size());
+    period_nodes_.push_back(PeriodNode{q, acc, prof, pred, sym});
+    period_live_.push_back(true);
+    chain.push_back(id);
+    period_frontier_.push_back(id);
+    stats().period_nodes.inc();
+    if (q == pivot && acc) {
+      // A closed accepting lhs loop: its word is a counterexample iff some
+      // stem set at the pivot rejects it. (Dominated closings skipped above
+      // are covered: their dominator rejects whenever they would.)
+      for (const int stem_id : stem_chain_[pivot]) {
+        if (!profile_accepts(stem_nodes_[stem_id].set, prof)) {
+          return Hit{stem_id, id};
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// BFS over (q, acc, R) from one pivot; stops at the first rejecting
+  /// closed loop or at the antichain fixpoint.
+  std::optional<Hit> run_periods(State pivot) {
+    period_nodes_.clear();
+    period_live_.clear();
+    period_frontier_.clear();
+    period_chain_.assign(na_, {});
+    const bool pivot_acc = a_.is_accepting(pivot);
+    for (Sym c = 0; c < sigma_; ++c) {
+      const auto& succs = a_.successors(pivot, c);
+      if (succs.empty()) continue;
+      const Profile prof = one_step_profile(c);
+      for (const State q : succs) {
+        if (auto hit = push_period(pivot, q, pivot_acc || a_.is_accepting(q), prof,
+                                   -1, c)) {
+          return hit;
+        }
+      }
+    }
+    std::size_t head = 0;
+    while (head < period_frontier_.size()) {
+      note_frontier(period_frontier_.size() - head);
+      const int id = period_frontier_[head++];
+      if (!period_live_[id]) continue;
+      const State q = period_nodes_[id].q;
+      const bool acc = period_nodes_[id].acc;
+      const Profile prof = period_nodes_[id].prof;  // copy: vector may grow
+      for (Sym c = 0; c < sigma_; ++c) {
+        const auto& succs = a_.successors(q, c);
+        if (succs.empty()) continue;
+        const Profile next = compose(prof, c);
+        for (const State q2 : succs) {
+          if (auto hit =
+                  push_period(pivot, q2, acc || a_.is_accepting(q2), next, id, c)) {
+            return hit;
+          }
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  // ---- top level ----------------------------------------------------------
+
+  InclusionResult search() {
+    run_stems();
+    for (State pivot = 0; pivot < na_; ++pivot) {
+      if (!pivot_ok_[pivot] || stem_chain_[pivot].empty()) continue;
+      if (const auto hit = run_periods(pivot)) {
+        return InclusionResult{false, build_witness(hit->stem_id, hit->period_id)};
+      }
+    }
+    return InclusionResult{true, std::nullopt};
+  }
+
+  UpWord build_witness(int stem_id, int period_id) const {
+    Word u;
+    for (int id = stem_id; id != -1; id = stem_nodes_[id].pred) {
+      if (stem_nodes_[id].sym >= 0) u.push_back(stem_nodes_[id].sym);
+    }
+    std::reverse(u.begin(), u.end());
+    Word v;
+    for (int id = period_id; id != -1; id = period_nodes_[id].pred) {
+      v.push_back(period_nodes_[id].sym);
+    }
+    std::reverse(v.begin(), v.end());
+    return UpWord(std::move(u), std::move(v));
+  }
+
+  void note_frontier(std::size_t pending) {
+    if (pending > frontier_peak_) frontier_peak_ = pending;
+  }
+
+  const Nba a_;  // lhs, trimmed
+  const Nba b_;  // rhs, quotiented by mutual direct simulation
+  const Sym sigma_;
+  const int na_;
+  const int nb_;
+  const SimulationPreorder sim_;           // on b_
+  std::vector<std::vector<StateSet>> step_any_;  // [symbol][state]
+  std::vector<std::vector<StateSet>> step_acc_;
+  std::vector<bool> pivot_ok_;
+
+  std::vector<StemNode> stem_nodes_;
+  std::vector<bool> stem_live_;
+  std::vector<std::vector<int>> stem_chain_;  // per lhs state, live node ids
+  std::vector<int> stem_frontier_;
+
+  std::vector<PeriodNode> period_nodes_;
+  std::vector<bool> period_live_;
+  std::vector<std::vector<int>> period_chain_;
+  std::vector<int> period_frontier_;
+
+  std::uint64_t frontier_peak_ = 0;
+};
+
+std::atomic<InclusionBackend>& backend_flag() {
+  static std::atomic<InclusionBackend> backend = [] {
+    const char* env = std::getenv("SLAT_INCLUSION");
+    return env != nullptr && std::string_view(env) == "complement"
+               ? InclusionBackend::kComplement
+               : InclusionBackend::kAntichain;
+  }();
+  return backend;
+}
+
+}  // namespace
+
+InclusionBackend inclusion_backend() {
+  return backend_flag().load(std::memory_order_relaxed);
+}
+
+void set_inclusion_backend(InclusionBackend backend) {
+  backend_flag().store(backend, std::memory_order_relaxed);
+}
+
+InclusionResult check_inclusion(const Nba& lhs, const Nba& rhs) {
+  SLAT_ASSERT_MSG(lhs.alphabet().size() == rhs.alphabet().size(),
+                  "inclusion requires a common alphabet");
+  if (inclusion_backend() == InclusionBackend::kComplement) {
+    InclusionResult result;
+    result.counterexample = intersect(lhs, complement(rhs)).find_accepted_word();
+    result.included = !result.counterexample.has_value();
+    return result;
+  }
+  static core::MemoCache<InclusionResult>& cache =
+      *new core::MemoCache<InclusionResult>("buchi.inclusion");
+  const core::Digest key = core::DigestBuilder()
+                               .add_string("buchi.inclusion.antichain")
+                               .add_digest(fingerprint(lhs))
+                               .add_digest(fingerprint(rhs))
+                               .digest();
+  return cache.get_or_compute(
+      key, [&] { return AntichainEngine(lhs, rhs).run(); });
+}
+
+InclusionResult check_universality(const Nba& nba) {
+  return check_inclusion(Nba::universal(nba.alphabet()), nba);
+}
+
+InclusionResult check_emptiness(const Nba& nba) {
+  InclusionResult result;
+  result.counterexample = nba.find_accepted_word();
+  result.included = !result.counterexample.has_value();
+  return result;
+}
+
+}  // namespace slat::buchi

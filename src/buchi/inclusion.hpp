@@ -1,0 +1,95 @@
+// On-the-fly antichain-based language inclusion for Büchi automata.
+//
+// Decides L(lhs) ⊆ L(rhs) WITHOUT materializing ¬rhs. A counterexample is
+// an ultimately periodic word u·v^ω accepted by lhs and rejected by rhs;
+// the engine searches for one in two phases, both over views of rhs built
+// from the PR1 StateSet/InternTable kernels:
+//
+//   * stem phase — pairs (p, S): p an lhs state reachable on some finite u,
+//     S the full rhs subset δ(I, u). The subset view is deterministic, so S
+//     is exact per word.
+//   * period phase — from each pivot (p, S), triples (q, f, R): q the lhs
+//     state inside a candidate loop, f a breakpoint-style bit recording
+//     whether the loop has passed an accepting lhs state, and R the rhs
+//     *arc profile* of the loop word v so far — for each rhs state s, the
+//     set of states reachable from s over v, split into "some path" and
+//     "some path through an accepting state" rows (the per-arc analogue of
+//     the Miyano–Hayashi obligation bit). R is closed under composition, so
+//     a closed loop (q = p, f = 1) decides "does rhs accept v^ω from S?"
+//     exactly, via an SCC pass over the profile graph; a rejecting closure
+//     is a counterexample, reconstructed from predecessor links.
+//
+// Both frontiers are pruned to antichains: a stem (p, S) is subsumed when
+// another (p, S') has every state of S' simulated by a state of S (direct
+// simulation, simulation.hpp — strictly coarser than S' ⊆ S), and a period
+// (q, f, R) is subsumed by (q, f', R') with f' ≥ f and R' ⊆ R. Subsumption
+// is sound in both directions: dominated elements can neither produce a
+// counterexample the dominator cannot, nor change the "included" verdict.
+//
+// Complexity: worst-case exponential (inclusion is PSPACE-complete), but
+// the explored fraction is typically tiny — complementation pays the full
+// 2^O(n log n) rank space up front, the antichain search only what the
+// query needs (bench_inclusion measures the gap). The complement-based
+// pipeline is kept as a differential oracle: set SLAT_INCLUSION=complement
+// (or use InclusionBackendScope) to route every query through it.
+#pragma once
+
+#include <optional>
+
+#include "buchi/nba.hpp"
+
+namespace slat::buchi {
+
+/// Which decision procedure the language-level queries use.
+enum class InclusionBackend {
+  kAntichain,   ///< on-the-fly antichain engine (default)
+  kComplement,  ///< lhs ∩ ¬rhs = ∅ via rank-based complementation (oracle)
+};
+
+/// Process-wide backend switch, initialized from the SLAT_INCLUSION
+/// environment variable ("complement" selects the oracle; anything else —
+/// including unset — selects the antichain engine).
+InclusionBackend inclusion_backend();
+void set_inclusion_backend(InclusionBackend backend);
+
+/// RAII backend override for tests and benches.
+class InclusionBackendScope {
+ public:
+  explicit InclusionBackendScope(InclusionBackend backend)
+      : previous_(inclusion_backend()) {
+    set_inclusion_backend(backend);
+  }
+  ~InclusionBackendScope() { set_inclusion_backend(previous_); }
+  InclusionBackendScope(const InclusionBackendScope&) = delete;
+  InclusionBackendScope& operator=(const InclusionBackendScope&) = delete;
+
+ private:
+  InclusionBackend previous_;
+};
+
+/// Verdict of an inclusion-shaped query, with the witness when it fails.
+struct InclusionResult {
+  bool included = true;
+  /// Set iff !included: a word in L(lhs) \ L(rhs).
+  std::optional<UpWord> counterexample;
+};
+
+/// Decides L(lhs) ⊆ L(rhs) on the active backend. Antichain verdicts are
+/// memoized in the "buchi.inclusion" cache, keyed by the digest pair; the
+/// engine is deterministic, so hits replay bit-identical results (and
+/// identical witnesses). Metrics land under "buchi.inclusion.*": node
+/// counts, subsumption prunings, antichain-size and frontier-peak
+/// histograms.
+InclusionResult check_inclusion(const Nba& lhs, const Nba& rhs);
+
+/// Universality L(nba) = Σ^ω, as Σ^ω ⊆ L(nba) on the same engine; the
+/// counterexample, if any, is a word nba rejects.
+InclusionResult check_universality(const Nba& nba);
+
+/// Emptiness L(nba) ⊆ ∅ — the lhs-degenerate case, where the period test is
+/// trivially rejecting and the search reduces to the linear accepting-lasso
+/// pass Nba already implements; delegated there. The counterexample, if
+/// any, is a word nba accepts.
+InclusionResult check_emptiness(const Nba& nba);
+
+}  // namespace slat::buchi

@@ -1,25 +1,27 @@
 #include "buchi/language.hpp"
 
-#include "buchi/complement.hpp"
+#include "buchi/inclusion.hpp"
 
 namespace slat::buchi {
 
-// Every query below complements its right-hand side; complement(rhs) routes
-// through the "buchi.complement" memo cache, so e.g. is_equivalent pays the
-// exponential construction once per distinct automaton instead of once per
-// direction, and a later find_separating_word against the same rhs is a hit
+// Every exact query below is one or two inclusion checks on the active
+// backend (inclusion.hpp). The default antichain engine memoizes verdicts
+// AND witnesses in the "buchi.inclusion" cache, so is_equivalent followed by
+// find_separating_word on the same pair recomputes nothing; under
+// SLAT_INCLUSION=complement the queries route through rank-based
+// complementation instead, which has its own "buchi.complement" cache
 // (asserted via metrics in cache_equivalence_test).
 
 bool is_subset(const Nba& lhs, const Nba& rhs) {
-  return intersect(lhs, complement(rhs)).is_empty();
+  return check_inclusion(lhs, rhs).included;
 }
 
 bool is_equivalent(const Nba& lhs, const Nba& rhs) {
-  return is_subset(lhs, rhs) && is_subset(rhs, lhs);
+  return check_inclusion(lhs, rhs).included && check_inclusion(rhs, lhs).included;
 }
 
 std::optional<UpWord> find_separating_word(const Nba& lhs, const Nba& rhs) {
-  return intersect(lhs, complement(rhs)).find_accepted_word();
+  return check_inclusion(lhs, rhs).counterexample;
 }
 
 std::optional<UpWord> find_disagreement(const Nba& lhs, const Nba& rhs,

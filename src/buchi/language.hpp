@@ -1,9 +1,17 @@
 // Language-level comparisons between Büchi automata.
 //
-// Exact comparisons go through complementation (exponential, fine for small
-// automata). Sampled comparisons evaluate both automata on a corpus of
-// ultimately periodic words — sound for refutation, and complete in the
-// limit (two ω-regular languages agreeing on every UP-word are equal).
+// Exact comparisons run on the antichain-based inclusion engine
+// (inclusion.hpp) by default: an on-the-fly search of the lhs × subset/
+// profile-view-of-rhs product with simulation-strengthened subsumption,
+// which never builds the complement. Still worst-case exponential (the
+// problem is PSPACE-complete) but typically explores a small fraction of
+// the rank space that complementation materializes up front. Set
+// SLAT_INCLUSION=complement (or install an InclusionBackendScope) to route
+// the same queries through lhs ∩ ¬rhs emptiness instead — kept as the
+// differential oracle. Sampled comparisons evaluate both automata on a
+// corpus of ultimately periodic words — sound for refutation, and complete
+// in the limit (two ω-regular languages agreeing on every UP-word are
+// equal).
 #pragma once
 
 #include <optional>

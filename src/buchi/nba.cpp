@@ -1,5 +1,7 @@
 #include "buchi/nba.hpp"
 
+#include "buchi/simulation.hpp"
+
 #include <algorithm>
 #include <deque>
 #include <sstream>
@@ -331,7 +333,8 @@ Nba Nba::trim() const {
   return restrict_to(keep);
 }
 
-Nba Nba::reduce() const {
+Nba Nba::reduce(ReduceMode mode) const {
+  if (mode == ReduceMode::kSimulation) return simulation_quotient(*this);
   const Nba trimmed = trim();
   const int n = trimmed.num_states();
   // Partition refinement: class signature = (accepting, per-symbol sorted

@@ -29,6 +29,15 @@ using words::Word;
 /// State index within an Nba.
 using State = int;
 
+/// How aggressively Nba::reduce() merges states. Both modes are
+/// language-preserving; simulation is at least as coarse (bisimilar states
+/// are mutually similar) but costs a quadratic fixpoint instead of
+/// partition refinement.
+enum class ReduceMode {
+  kBisimulation,  ///< coarsest forward bisimulation respecting acceptance
+  kSimulation,    ///< quotient by mutual direct simulation (simulation.hpp)
+};
+
 /// A nondeterministic Büchi automaton (Σ, Q, q0, δ, F). Invariants: the
 /// initial state exists; every transition endpoint exists; every symbol is
 /// in range. The automaton may have unreachable states or dead ends — the
@@ -74,12 +83,15 @@ class Nba {
   /// Drops states that are unreachable or have empty residual language.
   Nba trim() const;
 
-  /// The quotient by the coarsest forward bisimulation that respects the
-  /// accepting bit: states are merged when they accept alike and have, per
-  /// symbol, the same SET of successor classes. Language-preserving; cuts
+  /// The language-preserving quotient selected by `mode` (after trimming).
+  /// The default merges states by the coarsest forward bisimulation that
+  /// respects the accepting bit: states are merged when they accept alike
+  /// and have, per symbol, the same SET of successor classes. Cuts
   /// tableau-produced automata down substantially, which in turn shrinks
-  /// the rank bound of complementation.
-  Nba reduce() const;
+  /// the rank bound of complementation. `kSimulation` instead quotients by
+  /// mutual direct simulation (simulation.hpp) — coarser, used by the
+  /// antichain inclusion engine to shrink its right-hand side.
+  Nba reduce(ReduceMode mode = ReduceMode::kBisimulation) const;
 
   /// Is L(B) empty? (No reachable accepting lasso.)
   bool is_empty() const;

@@ -1,0 +1,115 @@
+#include "buchi/simulation.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "core/parallel.hpp"
+
+namespace slat::buchi {
+
+SimulationPreorder direct_simulation(const Nba& nba) {
+  const int n = nba.num_states();
+  const Sym sigma = nba.alphabet().size();
+
+  // Per-(state, symbol) successor bitsets: the inner "∃ t' ∈ δ(t, s) with
+  // q' ⪯ t'" test becomes one word-wise intersection.
+  std::vector<core::StateSet> succ_bits(static_cast<std::size_t>(n) * sigma);
+  core::parallel_for(n * sigma, [&](int cell) {
+    const State q = cell / sigma;
+    const Sym s = cell % sigma;
+    core::StateSet bits(n);
+    for (State to : nba.successors(q, s)) bits.insert(to);
+    succ_bits[cell] = std::move(bits);
+  });
+  const auto succ = [&](State q, Sym s) -> const core::StateSet& {
+    return succ_bits[static_cast<std::size_t>(q) * sigma + s];
+  };
+
+  // Initial over-approximation: t may simulate q only if it matches the
+  // acceptance obligation and is not missing a symbol q can move on.
+  SimulationPreorder sim;
+  sim.simulators.assign(n, core::StateSet(n));
+  for (State q = 0; q < n; ++q) {
+    for (State t = 0; t < n; ++t) {
+      if (nba.is_accepting(q) && !nba.is_accepting(t)) continue;
+      bool ok = true;
+      for (Sym s = 0; s < sigma && ok; ++s) {
+        ok = succ(q, s).empty() || !succ(t, s).empty();
+      }
+      if (ok) sim.simulators[q].insert(t);
+    }
+  }
+
+  // Greatest-fixpoint refinement, Jacobi-style: every round rebuilds each
+  // row from the PREVIOUS round's rows only, so rows are independent and the
+  // rounds parallelize with deterministic output. Jacobi reaches the same
+  // greatest fixpoint as in-place refinement (the operator is monotone),
+  // just in possibly more rounds — each round removes at least one pair, so
+  // at most n² rounds.
+  std::vector<core::StateSet> next(n);
+  while (true) {
+    bool changed = false;
+    core::parallel_for(n, [&](int q) {
+      core::StateSet row(n);
+      sim.simulators[q].for_each([&](int t) {
+        bool ok = true;
+        for (Sym s = 0; s < sigma && ok; ++s) {
+          for (State qs : nba.successors(q, s)) {
+            // Some successor of t must simulate qs.
+            if (!succ(t, s).intersects(sim.simulators[qs])) {
+              ok = false;
+              break;
+            }
+          }
+        }
+        if (ok) row.insert(t);
+      });
+      next[q] = std::move(row);
+    });
+    for (State q = 0; q < n; ++q) {
+      if (!(next[q] == sim.simulators[q])) {
+        changed = true;
+        break;
+      }
+    }
+    sim.simulators.swap(next);
+    if (!changed) break;
+  }
+  return sim;
+}
+
+Nba simulation_quotient(const Nba& nba) {
+  const Nba trimmed = nba.trim();
+  const int n = trimmed.num_states();
+  const SimulationPreorder sim = direct_simulation(trimmed);
+
+  // Classes of mutual simulation, representatives in ascending state order
+  // (deterministic regardless of how the preorder was computed).
+  std::vector<int> cls(n, -1);
+  int num_classes = 0;
+  for (State q = 0; q < n; ++q) {
+    for (State r = 0; r < q; ++r) {
+      // Mutual simulation is an equivalence, so joining the first mutually
+      // similar earlier state lands q in a well-defined class.
+      if (sim.simulates(r, q) && sim.simulates(q, r)) {
+        cls[q] = cls[r];
+        break;
+      }
+    }
+    if (cls[q] == -1) cls[q] = num_classes++;
+  }
+  if (num_classes == n) return trimmed;
+
+  // Mutually simulating states carry the same acceptance bit (q ∈ F ⇒ t ∈ F
+  // in both directions), so the class bit is well-defined.
+  Nba out(trimmed.alphabet(), num_classes, cls[trimmed.initial()]);
+  for (State q = 0; q < n; ++q) {
+    out.set_accepting(cls[q], trimmed.is_accepting(q));
+    for (Sym s = 0; s < trimmed.alphabet().size(); ++s) {
+      for (State to : trimmed.successors(q, s)) out.add_transition(cls[q], s, cls[to]);
+    }
+  }
+  return out;
+}
+
+}  // namespace slat::buchi

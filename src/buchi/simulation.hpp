@@ -1,0 +1,49 @@
+// Direct simulation on Büchi automata: the preorder, and the quotient.
+//
+// State t *directly simulates* state q (written q ⪯ t) iff t matches q's
+// acceptance bit obligation (q ∈ F ⇒ t ∈ F) and, for every symbol, every
+// successor of q is simulated by some successor of t. Direct simulation
+// implies language containment (L(q) ⊆ L(t)), which makes it the cheap
+// polynomial substitute for the exponential inclusion check in two roles:
+//
+//   * subsumption — the antichain inclusion engine (inclusion.hpp) prunes a
+//     frontier element whenever another element is pointwise ⪯-dominated,
+//     which is strictly coarser (= prunes more) than plain set inclusion;
+//   * reduction  — quotienting by mutual direct simulation is language-
+//     preserving (unlike fair simulation) and merges states bisimulation
+//     cannot, since simulation matches successors one-by-one instead of
+//     comparing whole successor-class sets. `Nba::reduce(ReduceMode::
+//     kSimulation)` applies it.
+//
+// The preorder is computed as a greatest-fixpoint refinement, Jacobi-style:
+// each round rebuilds every row from the previous round's rows, so rounds
+// parallelize over states with the PR2 slot-writing contract and the result
+// is bit-identical at any thread count.
+#pragma once
+
+#include <vector>
+
+#include "buchi/nba.hpp"
+#include "core/state_set.hpp"
+
+namespace slat::buchi {
+
+/// The direct-simulation preorder, as one bitset row per state.
+struct SimulationPreorder {
+  /// simulators[q] = the set of states t with q ⪯ t (always contains q).
+  std::vector<core::StateSet> simulators;
+
+  /// Does t directly simulate q?
+  bool simulates(State t, State q) const { return simulators[q].contains(t); }
+};
+
+/// Computes the direct-simulation preorder of `nba` (greatest fixpoint,
+/// level-synchronous over the thread pool; deterministic output).
+SimulationPreorder direct_simulation(const Nba& nba);
+
+/// The quotient of `nba` by mutual direct simulation (⪯ ∩ ⪰), after
+/// trimming. Language-preserving; at least as coarse as the bisimulation
+/// quotient of Nba::reduce().
+Nba simulation_quotient(const Nba& nba);
+
+}  // namespace slat::buchi

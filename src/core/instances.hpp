@@ -60,10 +60,12 @@ class FiniteClosureFn {
 };
 
 /// The lattice of ω-regular languages over a fixed alphabet. Elements are
-/// Büchi automata; all operations are language-level. `equal`/`leq` go
-/// through rank-based complementation and are exponential — use small
-/// automata. This instance exists to run the paper's §3 theorems verbatim
-/// on the §2 objects.
+/// Büchi automata; all operations are language-level. `equal`/`leq` run on
+/// the antichain inclusion engine (buchi/inclusion.hpp) — worst-case
+/// exponential (PSPACE-complete problem) but far cheaper than the
+/// complementation it replaces; SLAT_INCLUSION=complement restores the
+/// rank-based oracle. This instance exists to run the paper's §3 theorems
+/// verbatim on the §2 objects.
 class OmegaRegularOps {
  public:
   using Element = buchi::Nba;
@@ -90,7 +92,7 @@ struct LclClosureFn {
 
 /// The same ω-regular lattice with SAMPLED equality: `equal`/`leq` compare
 /// languages on a fixed corpus of ultimately periodic words instead of
-/// running the exponential complementation. Sound for refutation and cheap,
+/// running an exact inclusion check. Sound for refutation and cheap,
 /// so usable on automata the exact instance cannot afford; complements are
 /// still exact (via the rank construction on the trimmed automaton).
 class SampledOmegaRegularOps {

@@ -139,6 +139,28 @@ class StateSet {
     for (int w = 0; w < other.num_words_; ++w) words_[w] |= other.words_[w];
   }
 
+  /// this ⊇ other? (capacity-independent word-wise test). The antichain
+  /// subsumption checks in the inclusion engine are built on this.
+  bool contains_all(const StateSet& other) const {
+    const int common = other.num_words_ < num_words_ ? other.num_words_ : num_words_;
+    for (int w = 0; w < common; ++w) {
+      if ((other.words_[w] & ~words_[w]) != 0) return false;
+    }
+    for (int w = common; w < other.num_words_; ++w) {
+      if (other.words_[w] != 0) return false;
+    }
+    return true;
+  }
+
+  /// this ∩ other ≠ ∅?
+  bool intersects(const StateSet& other) const {
+    const int common = other.num_words_ < num_words_ ? other.num_words_ : num_words_;
+    for (int w = 0; w < common; ++w) {
+      if ((words_[w] & other.words_[w]) != 0) return true;
+    }
+    return false;
+  }
+
   /// Calls `f(index)` for each member in increasing order (ctz iteration).
   template <typename F>
   void for_each(F&& f) const {

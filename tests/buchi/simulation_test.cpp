@@ -1,0 +1,141 @@
+// Direct simulation (buchi/simulation.hpp): preorder soundness (simulation
+// implies language containment), quotient language preservation, coarseness
+// vs bisimulation, and determinism across thread counts.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "buchi/language.hpp"
+#include "buchi/nba.hpp"
+#include "buchi/random.hpp"
+#include "buchi/simulation.hpp"
+#include "core/thread_pool.hpp"
+#include "words/up_word.hpp"
+
+namespace slat {
+namespace {
+
+using buchi::Nba;
+using buchi::SimulationPreorder;
+using words::UpWord;
+
+// The same automaton re-rooted at `q` — for testing per-state language
+// containment claims.
+Nba with_initial(const Nba& nba, buchi::State q) {
+  Nba out(nba.alphabet(), nba.num_states(), q);
+  for (buchi::State s = 0; s < nba.num_states(); ++s) {
+    out.set_accepting(s, nba.is_accepting(s));
+    for (words::Sym c = 0; c < nba.alphabet().size(); ++c) {
+      for (buchi::State t : nba.successors(s, c)) out.add_transition(s, c, t);
+    }
+  }
+  return out;
+}
+
+std::vector<Nba> random_corpus(int count, unsigned seed) {
+  std::mt19937 rng(seed);
+  buchi::RandomNbaConfig config;
+  std::vector<Nba> corpus;
+  for (int i = 0; i < count; ++i) {
+    config.num_states = 2 + i % 4;
+    config.transition_density = 0.8 + 0.15 * (i % 4);
+    config.accepting_probability = 0.3 + 0.1 * (i % 3);
+    corpus.push_back(buchi::random_nba(config, rng));
+  }
+  return corpus;
+}
+
+class Simulation : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { core::set_num_threads(GetParam()); }
+  void TearDown() override { core::set_num_threads(1); }
+};
+
+TEST_P(Simulation, IsReflexive) {
+  for (const Nba& nba : random_corpus(30, 2024)) {
+    const SimulationPreorder sim = buchi::direct_simulation(nba);
+    for (buchi::State q = 0; q < nba.num_states(); ++q) {
+      EXPECT_TRUE(sim.simulates(q, q));
+    }
+  }
+}
+
+TEST_P(Simulation, SimulationImpliesLanguageContainmentOnUpWords) {
+  const std::vector<UpWord> words = words::enumerate_up_words(2, 2, 2);
+  for (const Nba& nba : random_corpus(25, 77)) {
+    const SimulationPreorder sim = buchi::direct_simulation(nba);
+    for (buchi::State q = 0; q < nba.num_states(); ++q) {
+      for (buchi::State t = 0; t < nba.num_states(); ++t) {
+        if (t == q || !sim.simulates(t, q)) continue;
+        const Nba from_q = with_initial(nba, q);
+        const Nba from_t = with_initial(nba, t);
+        for (const UpWord& w : words) {
+          if (from_q.accepts(w)) {
+            EXPECT_TRUE(from_t.accepts(w))
+                << "q=" << q << " t=" << t << " w=" << w.to_string(nba.alphabet());
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(Simulation, UniversalAcceptingStateSimulatesEverything) {
+  std::mt19937 rng(5);
+  buchi::RandomNbaConfig config;
+  config.num_states = 4;
+  Nba nba = buchi::random_nba(config, rng);
+  const buchi::State top = nba.add_state();
+  nba.set_accepting(top, true);
+  for (words::Sym c = 0; c < nba.alphabet().size(); ++c) {
+    nba.add_transition(top, c, top);
+  }
+  const SimulationPreorder sim = buchi::direct_simulation(nba);
+  for (buchi::State q = 0; q < nba.num_states(); ++q) {
+    EXPECT_TRUE(sim.simulates(top, q)) << "q=" << q;
+  }
+}
+
+TEST_P(Simulation, QuotientPreservesLanguage) {
+  const std::vector<UpWord> words = words::enumerate_up_words(2, 3, 3);
+  for (const Nba& nba : random_corpus(40, 4242)) {
+    const Nba quotient = nba.reduce(buchi::ReduceMode::kSimulation);
+    EXPECT_EQ(buchi::find_disagreement(nba, quotient, words), std::nullopt);
+  }
+  // Exact equivalence on a few instances (through the inclusion engine).
+  for (const Nba& nba : random_corpus(8, 99)) {
+    const Nba quotient = nba.reduce(buchi::ReduceMode::kSimulation);
+    EXPECT_TRUE(buchi::is_equivalent(nba, quotient));
+  }
+}
+
+TEST_P(Simulation, QuotientIsAtLeastAsCoarseAsBisimulation) {
+  for (const Nba& nba : random_corpus(40, 31337)) {
+    const Nba by_bisim = nba.reduce(buchi::ReduceMode::kBisimulation);
+    const Nba by_sim = nba.reduce(buchi::ReduceMode::kSimulation);
+    EXPECT_LE(by_sim.num_states(), by_bisim.num_states());
+  }
+}
+
+TEST(SimulationDeterminism, PreorderIsThreadCountInvariant) {
+  for (const Nba& nba : random_corpus(15, 808)) {
+    core::set_num_threads(1);
+    const SimulationPreorder seq = buchi::direct_simulation(nba);
+    core::set_num_threads(4);
+    const SimulationPreorder par = buchi::direct_simulation(nba);
+    core::set_num_threads(1);
+    ASSERT_EQ(seq.simulators.size(), par.simulators.size());
+    for (std::size_t q = 0; q < seq.simulators.size(); ++q) {
+      EXPECT_TRUE(seq.simulators[q] == par.simulators[q]) << "q=" << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, Simulation, ::testing::Values(1, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "threads_" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace slat

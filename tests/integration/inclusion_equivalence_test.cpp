@@ -1,0 +1,192 @@
+// Differential test of the antichain inclusion engine against the
+// complement-based oracle: identical verdicts and witness existence on ≥150
+// random NBA pairs and on every ordered pair of Rem p0–p6 tableau automata,
+// at 1 and 4 threads, plus exact hit/miss accounting of the
+// "buchi.inclusion" memo cache. TSan builds run this file unchanged.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "buchi/inclusion.hpp"
+#include "buchi/language.hpp"
+#include "buchi/nba.hpp"
+#include "buchi/random.hpp"
+#include "core/memo_cache.hpp"
+#include "core/metrics.hpp"
+#include "core/thread_pool.hpp"
+#include "ltl/rem.hpp"
+#include "ltl/translate.hpp"
+
+namespace slat {
+namespace {
+
+using buchi::InclusionBackend;
+using buchi::InclusionBackendScope;
+using buchi::InclusionResult;
+using buchi::Nba;
+using words::UpWord;
+
+InclusionResult on_backend(InclusionBackend backend, const Nba& lhs, const Nba& rhs) {
+  InclusionBackendScope scope(backend);
+  return buchi::check_inclusion(lhs, rhs);
+}
+
+// The differential contract: same verdict, same witness existence, and any
+// witness (either backend's) actually separates the languages.
+void expect_backends_agree(const Nba& lhs, const Nba& rhs, const std::string& tag) {
+  const InclusionResult antichain = on_backend(InclusionBackend::kAntichain, lhs, rhs);
+  const InclusionResult oracle = on_backend(InclusionBackend::kComplement, lhs, rhs);
+  EXPECT_EQ(antichain.included, oracle.included) << tag;
+  EXPECT_EQ(antichain.counterexample.has_value(), oracle.counterexample.has_value())
+      << tag;
+  EXPECT_NE(antichain.included, antichain.counterexample.has_value()) << tag;
+  for (const auto& witness : {antichain.counterexample, oracle.counterexample}) {
+    if (witness.has_value()) {
+      EXPECT_TRUE(lhs.accepts(*witness)) << tag;
+      EXPECT_FALSE(rhs.accepts(*witness)) << tag;
+    }
+  }
+}
+
+class InclusionEquivalence : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    core::set_num_threads(GetParam());
+    core::clear_all_caches();
+    core::metrics().reset_all();
+  }
+  void TearDown() override { core::set_num_threads(1); }
+};
+
+TEST_P(InclusionEquivalence, RandomPairsAgreeWithComplementOracle) {
+  std::mt19937 rng(0xBEEF);
+  buchi::RandomNbaConfig config;
+  config.alphabet_size = 2;
+  for (int i = 0; i < 160; ++i) {
+    // rhs stays ≤ 4 states: the oracle complements it rank-based, and the
+    // rank construction's heavy tail starts around 5 states (same envelope
+    // as cache_equivalence_test). The antichain side takes larger lhs in
+    // stride — witness_validity_test covers it without the oracle.
+    config.num_states = 2 + i % 3;
+    config.transition_density = 0.7 + 0.15 * (i % 4);
+    config.accepting_probability = 0.25 + 0.15 * (i % 3);
+    const Nba rhs = buchi::random_nba(config, rng);
+    config.num_states = 2 + (i / 2) % 5;
+    const Nba lhs = buchi::random_nba(config, rng);
+    expect_backends_agree(lhs, rhs, "random pair " + std::to_string(i));
+  }
+}
+
+TEST_P(InclusionEquivalence, RemTableauxAgreeWithComplementOracle) {
+  ltl::LtlArena arena(words::Alphabet::binary());
+  std::vector<Nba> automata;
+  std::vector<std::string> names;
+  for (const auto& example : ltl::rem_examples()) {
+    const auto f = arena.parse(example.formula);
+    ASSERT_TRUE(f.has_value()) << example.formula;
+    automata.push_back(ltl::to_nba(arena, *f));
+    names.push_back(example.name);
+  }
+  for (std::size_t i = 0; i < automata.size(); ++i) {
+    for (std::size_t j = 0; j < automata.size(); ++j) {
+      expect_backends_agree(automata[i], automata[j], names[i] + " vs " + names[j]);
+    }
+  }
+}
+
+TEST_P(InclusionEquivalence, InclusionCacheAccountingIsExact) {
+  InclusionBackendScope antichain(InclusionBackend::kAntichain);
+  core::CacheEnabledScope enabled(true);
+  core::clear_all_caches();
+  core::metrics().reset_all();
+
+  std::mt19937 rng(271828);
+  buchi::RandomNbaConfig config;
+  config.num_states = 4;
+  const Nba lhs = buchi::random_nba(config, rng);
+  const Nba rhs = buchi::random_nba(config, rng);
+
+  core::Counter& hits = core::metrics().counter("cache.buchi.inclusion.hits");
+  core::Counter& misses = core::metrics().counter("cache.buchi.inclusion.misses");
+
+  const InclusionResult first = buchi::check_inclusion(lhs, rhs);
+  EXPECT_EQ(misses.value(), 1u);
+  EXPECT_EQ(hits.value(), 0u);
+
+  const InclusionResult replay = buchi::check_inclusion(lhs, rhs);
+  EXPECT_EQ(misses.value(), 1u);
+  EXPECT_EQ(hits.value(), 1u);
+  EXPECT_EQ(first.included, replay.included);
+  EXPECT_EQ(first.counterexample, replay.counterexample);
+
+  // find_separating_word is the same query: pure hit, no recompute.
+  const std::optional<UpWord> w = buchi::find_separating_word(lhs, rhs);
+  EXPECT_EQ(misses.value(), 1u);
+  EXPECT_EQ(hits.value(), 2u);
+  EXPECT_EQ(w, first.counterexample);
+
+  // The reverse direction is a distinct key.
+  const InclusionResult reverse = buchi::check_inclusion(rhs, lhs);
+  EXPECT_EQ(misses.value(), 2u);
+  EXPECT_EQ(hits.value(), 2u);
+
+  // is_equivalent = two directional checks, both now cached; the backward
+  // one only runs when the forward one succeeded (short-circuit).
+  (void)buchi::is_equivalent(lhs, rhs);
+  EXPECT_EQ(misses.value(), 2u);
+  EXPECT_EQ(hits.value(), first.included ? 4u : 3u);
+  (void)reverse;
+
+  // With caching disabled the query recomputes and touches no counters.
+  {
+    core::CacheEnabledScope disabled(false);
+    const InclusionResult uncached = buchi::check_inclusion(lhs, rhs);
+    EXPECT_EQ(uncached.included, first.included);
+    EXPECT_EQ(uncached.counterexample, first.counterexample);
+  }
+  EXPECT_EQ(misses.value(), 2u);
+  EXPECT_EQ(hits.value(), first.included ? 4u : 3u);
+}
+
+TEST_P(InclusionEquivalence, CachedWitnessesReplayBitIdentically) {
+  InclusionBackendScope antichain(InclusionBackend::kAntichain);
+  std::mt19937 rng(161803);
+  buchi::RandomNbaConfig config;
+  config.alphabet_size = 2;
+  std::vector<Nba> corpus;
+  for (int i = 0; i < 20; ++i) {
+    config.num_states = 2 + i % 5;
+    corpus.push_back(buchi::random_nba(config, rng));
+  }
+  std::vector<InclusionResult> reference;
+  {
+    core::CacheEnabledScope disabled(false);
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      reference.push_back(
+          buchi::check_inclusion(corpus[i], corpus[(i + 3) % corpus.size()]));
+    }
+  }
+  core::CacheEnabledScope enabled(true);
+  core::clear_all_caches();
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      const InclusionResult r =
+          buchi::check_inclusion(corpus[i], corpus[(i + 3) % corpus.size()]);
+      EXPECT_EQ(r.included, reference[i].included) << "round " << round << " i " << i;
+      EXPECT_EQ(r.counterexample, reference[i].counterexample)
+          << "round " << round << " i " << i;
+    }
+  }
+  EXPECT_GT(core::metrics().counter("cache.buchi.inclusion.hits").value(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, InclusionEquivalence, ::testing::Values(1, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "threads_" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace slat
