@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Build with -DSLAT_COVERAGE=ON, run the test suite, and print a per-file
+# line-coverage summary for src/.
+#
+# Usage: scripts/coverage.sh [build-dir] [extra ctest args...]
+#
+# The default build dir is build-coverage/ so an instrumented tree never
+# mixes with the regular build/. Toolchains:
+#   - gcc:   --coverage instrumentation; the summary is aggregated from
+#            gcov's per-file output over every .gcda the tests produced.
+#   - clang: -fprofile-instr-generate; profiles are merged with
+#            llvm-profdata and reported with llvm-cov (if both are on PATH).
+# gcovr/lcov are used when available but are not required — the fallback
+# only needs the compiler's own gcov/llvm-cov.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build-coverage}"
+shift || true
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+  -DCMAKE_BUILD_TYPE=Debug -DSLAT_COVERAGE=ON
+cmake --build "${BUILD_DIR}" -j"$(nproc)"
+
+# Stale counters from a previous run would inflate the numbers.
+find "${BUILD_DIR}" -name '*.gcda' -delete 2>/dev/null || true
+rm -rf "${BUILD_DIR}/profraw"
+
+if [[ -n "$(find "${BUILD_DIR}" -name '*.profraw' -print -quit 2>/dev/null)" ]]; then
+  find "${BUILD_DIR}" -name '*.profraw' -delete
+fi
+
+# Clang's runtime writes one profile per process when %p is in the pattern.
+export LLVM_PROFILE_FILE="${BUILD_DIR}/profraw/%p.profraw"
+mkdir -p "${BUILD_DIR}/profraw"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j"$(nproc)" "$@"
+
+if compgen -G "${BUILD_DIR}/profraw/*.profraw" > /dev/null; then
+  # Clang source-based coverage.
+  llvm-profdata merge -sparse "${BUILD_DIR}"/profraw/*.profraw \
+    -o "${BUILD_DIR}/coverage.profdata"
+  BINARIES=()
+  for b in "${BUILD_DIR}"/tests/* "${BUILD_DIR}"/src/qc/fuzz_slat; do
+    [[ -x "$b" && -f "$b" ]] && BINARIES+=(-object "$b")
+  done
+  llvm-cov report "${BINARIES[@]}" \
+    -instr-profile "${BUILD_DIR}/coverage.profdata" \
+    -ignore-filename-regex='tests/|/usr/'
+elif command -v gcovr > /dev/null; then
+  gcovr --root "${REPO_ROOT}" --filter "${REPO_ROOT}/src/" "${BUILD_DIR}"
+else
+  # Plain-gcov fallback: run gcov over every counter file and aggregate the
+  # per-source percentages it prints.
+  cd "${BUILD_DIR}"
+  find . -name '*.gcda' | xargs -r gcov -r -s "${REPO_ROOT}" 2>/dev/null \
+    | awk -v root="${REPO_ROOT}/" '
+        /^File / { file = $2; gsub(/'\''/, "", file); sub(root, "", file) }
+        /^Lines executed:/ {
+          split($0, parts, /[:% ]+/)
+          if (file ~ /^src\//) printf "%7.2f%%  %s\n", parts[3], file
+          file = ""
+        }' \
+    | sort -u -k2 | sort -rn
+  echo "(per-file line coverage from gcov; install gcovr for totals)"
+fi

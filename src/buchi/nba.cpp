@@ -340,7 +340,15 @@ Nba Nba::reduce(ReduceMode mode) const {
   // Partition refinement: class signature = (accepting, per-symbol sorted
   // set of successor classes); iterate until stable.
   std::vector<int> cls(n);
-  for (State q = 0; q < n; ++q) cls[q] = trimmed.is_accepting(q) ? 1 : 0;
+  // Seed ids must be dense: the stability test below compares the signature
+  // count against 1 + max(cls), which over-counts by one if every state is
+  // accepting and all ids are 1 (the loop would then stop one round early
+  // and merge non-bisimilar states).
+  bool mixed = false;
+  for (State q = 1; q < n; ++q) mixed |= trimmed.is_accepting(q) != trimmed.is_accepting(0);
+  for (State q = 0; q < n; ++q) {
+    cls[q] = mixed && trimmed.is_accepting(q) ? 1 : 0;
+  }
   core::StateSet succ_classes(n);  // class ids are < n; bitset dedups + sorts
   while (true) {
     core::InternTable<core::IntVecKey> signatures;
@@ -452,6 +460,10 @@ std::optional<UpWord> Nba::find_accepted_word() const {
 }
 
 bool Nba::accepts(const UpWord& w) const {
+  for (std::size_t i = 0; i < w.prefix_size() + w.period_size(); ++i) {
+    SLAT_ASSERT_MSG(w.at(i) >= 0 && w.at(i) < alphabet_.size(),
+                    "word symbol outside the automaton's alphabet");
+  }
   // Product of the automaton with the lasso shape of w: positions
   // 0..p+k-1, where position p+k-1 steps back to p.
   const int p = static_cast<int>(w.prefix_size());

@@ -1,0 +1,204 @@
+#include "qc/driver.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "qc/mutants.hpp"
+#include "qc/properties.hpp"
+#include "qc/seed.hpp"
+
+#ifndef SLAT_CORPUS_DEFAULT
+#define SLAT_CORPUS_DEFAULT ""
+#endif
+
+namespace slat::qc {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CorpusEntry {
+  std::string property;
+  std::uint64_t trial_seed = 0;
+  fs::path file;
+};
+
+std::vector<CorpusEntry> load_corpus(const std::string& dir) {
+  std::vector<CorpusEntry> entries;
+  std::error_code ec;
+  for (const auto& item : fs::directory_iterator(dir, ec)) {
+    if (item.path().extension() != ".corpus") continue;
+    std::ifstream in(item.path());
+    CorpusEntry entry;
+    entry.file = item.path();
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("property=", 0) == 0) {
+        entry.property = line.substr(9);
+      } else if (line.rfind("trial_seed=", 0) == 0) {
+        entry.trial_seed = std::strtoull(line.c_str() + 11, nullptr, 10);
+      }
+    }
+    if (!entry.property.empty()) entries.push_back(std::move(entry));
+  }
+  // directory_iterator order is unspecified; sort for reproducible replay.
+  std::sort(entries.begin(), entries.end(),
+            [](const CorpusEntry& a, const CorpusEntry& b) { return a.file < b.file; });
+  return entries;
+}
+
+void save_corpus_entry(const std::string& dir, const FuzzFailure& failure) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const fs::path file = fs::path(dir) / (digest_hex(failure.digest) + ".corpus");
+  std::ofstream out(file);
+  out << "property=" << failure.property << "\n";
+  out << "trial_seed=" << failure.trial_seed << "\n";
+  out << "digest=" << digest_hex(failure.digest) << "\n";
+  // The shrunk report rides along for humans; replay ignores it.
+  std::istringstream message(failure.message);
+  std::string line;
+  while (std::getline(message, line)) out << "# " << line << "\n";
+}
+
+}  // namespace
+
+std::string digest_hex(const core::Digest& digest) {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(digest.hi),
+                static_cast<unsigned long long>(digest.lo));
+  return buf;
+}
+
+std::string resolve_corpus_dir(const FuzzOptions& options) {
+  if (!options.corpus_dir.empty()) return options.corpus_dir;
+  if (const char* env = std::getenv("SLAT_CORPUS_DIR"); env && *env) return env;
+  const std::string compiled = SLAT_CORPUS_DEFAULT;
+  return compiled.empty() ? "-" : compiled;
+}
+
+FuzzReport run_fuzz(const FuzzOptions& options, std::ostream& out) {
+  FuzzReport report;
+  const std::uint64_t base_seed = options.base_seed != 0 ? options.base_seed : seed();
+  const std::string corpus_dir = resolve_corpus_dir(options);
+  const bool persist = corpus_dir != "-";
+  out << "fuzz_slat: base seed " << base_seed << " (SLAT_SEED=" << base_seed
+      << " replays), corpus " << (persist ? corpus_dir : "(disabled)") << "\n";
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options.time_budget_seconds));
+  const auto out_of_time = [&] {
+    return options.time_budget_seconds > 0.0 &&
+           std::chrono::steady_clock::now() >= deadline;
+  };
+
+  const auto run_trial = [&](const Property& property, std::uint64_t trial_seed,
+                             bool from_corpus) {
+    ++report.trials;
+    const PropertyResult result = property.trial(trial_seed);
+    if (result.ok) return true;
+    FuzzFailure failure;
+    failure.property = property.name;
+    failure.trial_seed = trial_seed;
+    failure.digest = result.digest;
+    failure.message = result.message;
+    failure.from_corpus = from_corpus;
+    out << "FAIL " << property.name << " (trial_seed=" << failure.trial_seed
+        << ", digest=" << digest_hex(failure.digest) << ")\n"
+        << failure.message << "\n"
+        << "replay: SLAT_SEED=" << base_seed << " fuzz_slat --property="
+        << property.name << "\n";
+    if (persist && !from_corpus) save_corpus_entry(corpus_dir, failure);
+    report.failures.push_back(std::move(failure));
+    return false;
+  };
+
+  // Phase 1: corpus replay — known-bad seeds first, always, regardless of
+  // the sweep budget.
+  if (options.run_properties && persist) {
+    for (const CorpusEntry& entry : load_corpus(corpus_dir)) {
+      const Property* property = find_property(entry.property);
+      if (property == nullptr) {
+        out << "corpus: skipping " << entry.file.filename().string()
+            << " (unknown property " << entry.property << ")\n";
+        continue;
+      }
+      if (!options.only_property.empty() && property->name != options.only_property) {
+        continue;
+      }
+      ++report.corpus_replayed;
+      if (run_trial(*property, entry.trial_seed, /*from_corpus=*/true)) {
+        ++report.corpus_now_passing;
+      }
+    }
+    if (report.corpus_replayed > 0) {
+      out << "corpus: replayed " << report.corpus_replayed << " entries, "
+          << report.corpus_now_passing << " now passing\n";
+    }
+  }
+
+  // Phase 2: the weighted sweep. Trial seeds are derived from the base seed
+  // and the per-property trial index, so any failure replays exactly from
+  // (base seed, property, index) — independent of sweep interleaving.
+  if (options.run_properties) {
+    std::vector<const Property*> pool;
+    for (const Property& p : properties()) {
+      if (!options.only_property.empty() && p.name != options.only_property) continue;
+      for (int i = 0; i < p.weight; ++i) pool.push_back(&p);
+    }
+    if (pool.empty() && !options.only_property.empty()) {
+      out << "error: unknown property " << options.only_property << "\n";
+    }
+    std::mt19937 scheduler = make_rng(derive(base_seed, "fuzz.scheduler"));
+    std::map<std::string, int> trial_index;
+    for (int i = 0; i < options.runs && !pool.empty(); ++i) {
+      if (out_of_time()) {
+        out << "time budget reached after " << i << " sweep trials\n";
+        break;
+      }
+      const Property& property =
+          *pool[std::uniform_int_distribution<std::size_t>(0, pool.size() - 1)(
+              scheduler)];
+      const int index = trial_index[property.name]++;
+      const std::uint64_t trial_seed =
+          derive(base_seed, property.name + ":" + std::to_string(index));
+      run_trial(property, trial_seed, /*from_corpus=*/false);
+    }
+    if (options.verbose) {
+      for (const auto& [name, count] : trial_index) {
+        out << "  " << name << ": " << count << " trials\n";
+      }
+    }
+  }
+
+  // Phase 3: the mutant bank — deterministic, so it runs after the sweep
+  // without consuming its budget.
+  if (options.run_mutants) {
+    for (const Mutant& mutant : mutants()) {
+      ++report.mutants_total;
+      if (mutant.killed()) {
+        ++report.mutants_killed;
+      } else {
+        out << "SURVIVED " << mutant.name << " (corrupts: " << mutant.corrupts
+            << ")\n";
+        report.surviving_mutants.push_back(mutant.name);
+      }
+    }
+    out << "mutants: " << report.mutants_killed << "/" << report.mutants_total
+        << " killed\n";
+  }
+
+  out << "fuzz_slat: " << report.trials << " trials, " << report.failures.size()
+      << " failures" << (report.clean() ? " — clean\n" : "\n");
+  return report;
+}
+
+}  // namespace slat::qc

@@ -1,0 +1,77 @@
+// The fuzzing driver as a library: `run_fuzz` does everything the
+// `fuzz_slat` binary does (corpus replay, weighted property sweep, mutant
+// bank) against an options struct and an output stream, so driver_test.cpp
+// can exercise the whole loop — including corpus round-trips — in-process.
+//
+// Corpus model: a failing trial is fully described by its (property,
+// trial_seed) pair — trials are pure functions of the seed — so a corpus
+// entry is a tiny text file carrying exactly that pair plus the failing
+// input's structural digest (the filename key) and the human-readable
+// shrunk report. Entries are replayed before any new sweeping; an entry
+// that fails again is a standing bug, one that passes is a fixed
+// regression (reported, kept).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/memo_cache.hpp"
+
+namespace slat::qc {
+
+struct FuzzOptions {
+  /// Total number of property trials across the sweep (after corpus replay).
+  int runs = 2000;
+  /// Wall-clock budget in seconds; 0 disables the limit. The sweep stops at
+  /// whichever of `runs` / `time_budget_seconds` is hit first.
+  double time_budget_seconds = 0.0;
+  /// Base seed; 0 means "use qc::seed()" (i.e. honor SLAT_SEED).
+  std::uint64_t base_seed = 0;
+  /// Restrict the sweep to one property (empty = weighted sweep over all).
+  std::string only_property;
+  /// Corpus directory; empty = SLAT_CORPUS_DIR env, then the compiled-in
+  /// default (tests/corpus in the source tree). "-" disables persistence.
+  std::string corpus_dir;
+  bool run_properties = true;
+  bool run_mutants = true;
+  /// Verbose per-property trial counts in the summary.
+  bool verbose = false;
+};
+
+struct FuzzFailure {
+  std::string property;
+  std::uint64_t trial_seed = 0;
+  core::Digest digest;
+  std::string message;
+  /// True when this failure came from replaying a corpus entry.
+  bool from_corpus = false;
+};
+
+struct FuzzReport {
+  int trials = 0;
+  int corpus_replayed = 0;
+  int corpus_now_passing = 0;
+  std::vector<FuzzFailure> failures;
+  int mutants_total = 0;
+  int mutants_killed = 0;
+  std::vector<std::string> surviving_mutants;
+
+  bool clean() const {
+    return failures.empty() && mutants_killed == mutants_total;
+  }
+};
+
+/// Resolves the corpus directory from options/env/compiled default.
+/// Returns "-" when persistence is disabled.
+std::string resolve_corpus_dir(const FuzzOptions& options);
+
+/// Runs corpus replay, the weighted sweep, and the mutant bank; writes
+/// human-readable progress to `out`; persists new failures to the corpus.
+FuzzReport run_fuzz(const FuzzOptions& options, std::ostream& out);
+
+/// Renders a Digest as the 32-hex-char corpus key.
+std::string digest_hex(const core::Digest& digest);
+
+}  // namespace slat::qc

@@ -1,0 +1,84 @@
+// fuzz_slat — the coverage-guided differential fuzzer for the whole repo.
+//
+//   fuzz_slat [--runs=N] [--time-budget=60s] [--seed=N] [--property=NAME]
+//             [--corpus-dir=DIR|-] [--no-mutants] [--mutants-only]
+//             [--list] [--verbose]
+//
+// Exit status: 0 when every trial passed and every mutant was killed.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "qc/driver.hpp"
+#include "qc/mutants.hpp"
+#include "qc/properties.hpp"
+
+namespace {
+
+bool parse_flag(std::string_view arg, std::string_view name, std::string* value) {
+  if (arg.rfind(name, 0) != 0) return false;
+  arg.remove_prefix(name.size());
+  if (!arg.empty() && arg.front() == '=') arg.remove_prefix(1);
+  *value = std::string(arg);
+  return true;
+}
+
+/// "60", "60s", "2m" → seconds.
+double parse_duration(const std::string& text) {
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end != nullptr && *end == 'm') value *= 60.0;
+  return value;
+}
+
+int list_everything() {
+  std::cout << "properties (name, weight, paper ref):\n";
+  for (const auto& p : slat::qc::properties()) {
+    std::cout << "  " << p.name << "  w=" << p.weight << "  [" << p.paper_ref
+              << "]\n";
+  }
+  std::cout << "mutants (name, corrupted artifact):\n";
+  for (const auto& m : slat::qc::mutants()) {
+    std::cout << "  " << m.name << "  [" << m.corrupts << "]\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  slat::qc::FuzzOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string value;
+    if (arg == "--list") return list_everything();
+    if (arg == "--no-mutants") {
+      options.run_mutants = false;
+    } else if (arg == "--mutants-only") {
+      options.run_properties = false;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (parse_flag(arg, "--runs", &value)) {
+      options.runs = std::atoi(value.c_str());
+    } else if (parse_flag(arg, "--time-budget", &value)) {
+      options.time_budget_seconds = parse_duration(value);
+    } else if (parse_flag(arg, "--seed", &value)) {
+      options.base_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_flag(arg, "--property", &value)) {
+      options.only_property = value;
+    } else if (parse_flag(arg, "--corpus-dir", &value)) {
+      options.corpus_dir = value;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n"
+                << "usage: fuzz_slat [--runs=N] [--time-budget=60s] [--seed=N]\n"
+                << "                 [--property=NAME] [--corpus-dir=DIR|-]\n"
+                << "                 [--no-mutants] [--mutants-only] [--list]\n";
+      return 2;
+    }
+  }
+  const slat::qc::FuzzReport report = slat::qc::run_fuzz(options, std::cout);
+  return report.clean() ? 0 : 1;
+}

@@ -1,0 +1,231 @@
+#include "qc/gen.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "lattice/finite_poset.hpp"
+
+namespace slat::qc {
+
+namespace {
+
+int pick_int(std::mt19937& rng, int lo, int hi) {
+  SLAT_ASSERT(lo <= hi);
+  return std::uniform_int_distribution<int>(lo, hi)(rng);
+}
+
+double pick_real(std::mt19937& rng, double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(rng);
+}
+
+}  // namespace
+
+Gen<buchi::Nba> arbitrary_nba(const NbaDomain& domain) {
+  return Gen<buchi::Nba>([domain](std::mt19937& rng) {
+    buchi::RandomNbaConfig config;
+    config.num_states = pick_int(rng, domain.min_states, domain.max_states);
+    config.alphabet_size = pick_int(rng, domain.min_alphabet, domain.max_alphabet);
+    config.transition_density = pick_real(rng, domain.min_density, domain.max_density);
+    config.accepting_probability =
+        pick_real(rng, domain.min_accepting, domain.max_accepting);
+    return buchi::random_nba(config, rng);
+  });
+}
+
+Gen<words::UpWord> arbitrary_up_word(const UpWordDomain& domain) {
+  return Gen<words::UpWord>([domain](std::mt19937& rng) {
+    const int prefix_len = pick_int(rng, 0, domain.max_prefix);
+    const int period_len = pick_int(rng, 1, domain.max_period);
+    words::Word prefix(prefix_len), period(period_len);
+    for (auto& s : prefix) s = pick_int(rng, 0, domain.alphabet_size - 1);
+    for (auto& s : period) s = pick_int(rng, 0, domain.alphabet_size - 1);
+    return words::UpWord(std::move(prefix), std::move(period));
+  });
+}
+
+ltl::FormulaId random_formula(ltl::LtlArena& arena, int max_depth, std::mt19937& rng) {
+  const int sigma = arena.alphabet().size();
+  if (max_depth <= 0) {
+    switch (pick_int(rng, 0, sigma + 1)) {
+      case 0:
+        return arena.tru();
+      case 1:
+        return arena.fls();
+      default:
+        return arena.atom(static_cast<words::Sym>(pick_int(rng, 0, sigma - 1)));
+    }
+  }
+  switch (pick_int(rng, 0, 9)) {
+    case 0:
+      return arena.negation(random_formula(arena, max_depth - 1, rng));
+    case 1:
+      return arena.conj(random_formula(arena, max_depth - 1, rng),
+                        random_formula(arena, max_depth - 1, rng));
+    case 2:
+      return arena.disj(random_formula(arena, max_depth - 1, rng),
+                        random_formula(arena, max_depth - 1, rng));
+    case 3:
+      return arena.implies(random_formula(arena, max_depth - 1, rng),
+                           random_formula(arena, max_depth - 1, rng));
+    case 4:
+      return arena.next(random_formula(arena, max_depth - 1, rng));
+    case 5:
+      return arena.eventually(random_formula(arena, max_depth - 1, rng));
+    case 6:
+      return arena.always(random_formula(arena, max_depth - 1, rng));
+    case 7:
+      return arena.until(random_formula(arena, max_depth - 1, rng),
+                         random_formula(arena, max_depth - 1, rng));
+    case 8:
+      return arena.release(random_formula(arena, max_depth - 1, rng),
+                           random_formula(arena, max_depth - 1, rng));
+    default:
+      return random_formula(arena, 0, rng);  // keep some leaves at depth
+  }
+}
+
+trees::CtlId random_ctl(trees::CtlArena& arena, int max_depth, std::mt19937& rng) {
+  const int sigma = arena.alphabet().size();
+  if (max_depth <= 0) {
+    switch (pick_int(rng, 0, sigma + 1)) {
+      case 0:
+        return arena.tru();
+      case 1:
+        return arena.fls();
+      default:
+        return arena.atom(static_cast<words::Sym>(pick_int(rng, 0, sigma - 1)));
+    }
+  }
+  const auto sub = [&] { return random_ctl(arena, max_depth - 1, rng); };
+  switch (pick_int(rng, 0, 14)) {
+    case 0:
+      return arena.negation(sub());
+    case 1:
+      return arena.conj(sub(), sub());
+    case 2:
+      return arena.disj(sub(), sub());
+    case 3:
+      return arena.implies(sub(), sub());
+    case 4:
+      return arena.ex(sub());
+    case 5:
+      return arena.ax(sub());
+    case 6:
+      return arena.ef(sub());
+    case 7:
+      return arena.af(sub());
+    case 8:
+      return arena.eg(sub());
+    case 9:
+      return arena.ag(sub());
+    case 10:
+      return arena.eu(sub(), sub());
+    case 11:
+      return arena.au(sub(), sub());
+    case 12:
+      return arena.er(sub(), sub());
+    case 13:
+      return arena.ar(sub(), sub());
+    default:
+      return random_ctl(arena, 0, rng);
+  }
+}
+
+Gen<rabin::RabinTreeAutomaton> arbitrary_rabin(const RabinDomain& domain) {
+  return Gen<rabin::RabinTreeAutomaton>([domain](std::mt19937& rng) {
+    rabin::RandomRabinConfig config;
+    config.num_states = pick_int(rng, domain.min_states, domain.max_states);
+    config.alphabet_size = domain.alphabet_size;
+    config.branching = domain.branching;
+    config.num_pairs = pick_int(rng, domain.min_pairs, domain.max_pairs);
+    config.tuples_per_slot = pick_real(rng, domain.min_tuples, domain.max_tuples);
+    return rabin::random_rabin(config, rng);
+  });
+}
+
+Gen<trees::KTree> arbitrary_ktree(const KTreeDomain& domain) {
+  return Gen<trees::KTree>([domain](std::mt19937& rng) {
+    const int nodes = pick_int(rng, domain.min_nodes, domain.max_nodes);
+    return trees::random_regular_tree(words::Alphabet::of_size(domain.alphabet_size),
+                                      nodes, domain.arity, rng);
+  });
+}
+
+lattice::FiniteLattice random_lattice(int universe_bits, std::mt19937& rng) {
+  SLAT_ASSERT(universe_bits >= 1 && universe_bits <= 5);
+  const int k = pick_int(rng, 1, universe_bits);
+  const std::uint32_t full = (1u << k) - 1;
+
+  // A random family of subsets, then close under intersection; the full set
+  // is always a member (top). Member count biased small.
+  std::vector<bool> member(full + 1, false);
+  member[full] = true;
+  const int draws = pick_int(rng, 0, k + 3);
+  for (int i = 0; i < draws; ++i) {
+    member[pick_int(rng, 0, static_cast<int>(full))] = true;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::uint32_t a = 0; a <= full; ++a) {
+      if (!member[a]) continue;
+      for (std::uint32_t b = a + 1; b <= full; ++b) {
+        if (member[b] && !member[a & b]) {
+          member[a & b] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  std::vector<std::uint32_t> elems;
+  for (std::uint32_t m = 0; m <= full; ++m) {
+    if (member[m]) elems.push_back(m);
+  }
+  const int n = static_cast<int>(elems.size());
+  std::vector<std::vector<bool>> leq(n, std::vector<bool>(n, false));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      leq[i][j] = (elems[i] & elems[j]) == elems[i];
+    }
+  }
+  auto poset = lattice::FinitePoset::from_leq(std::move(leq));
+  SLAT_ASSERT(poset.has_value());
+  auto result = lattice::FiniteLattice::from_poset(std::move(*poset));
+  // An intersection-closed family with a top is always a lattice (the join
+  // of a, b is the meet of all members containing a ∪ b).
+  SLAT_ASSERT(result.has_value());
+  return std::move(*result);
+}
+
+Gen<lattice::FiniteLattice> arbitrary_lattice(int universe_bits) {
+  return Gen<lattice::FiniteLattice>(
+      [universe_bits](std::mt19937& rng) { return random_lattice(universe_bits, rng); });
+}
+
+lattice::LatticeClosure random_closure(const lattice::FiniteLattice& lattice,
+                                       std::mt19937& rng) {
+  return lattice::LatticeClosure::random(lattice, rng);
+}
+
+std::pair<lattice::LatticeClosure, lattice::LatticeClosure> random_closure_pair(
+    const lattice::FiniteLattice& lattice, std::mt19937& rng) {
+  // cl2 from a random closed set; cl1 from a superset of it. More closed
+  // elements make a pointwise-smaller closure, so cl1 ≤ cl2.
+  std::bernoulli_distribution in_set(0.4);
+  std::vector<lattice::Elem> closed2, closed1;
+  for (lattice::Elem a = 0; a < lattice.size(); ++a) {
+    if (in_set(rng)) closed2.push_back(a);
+  }
+  closed1 = closed2;
+  for (lattice::Elem a = 0; a < lattice.size(); ++a) {
+    if (in_set(rng)) closed1.push_back(a);
+  }
+  auto cl1 = lattice::LatticeClosure::from_closed_set(lattice, std::move(closed1));
+  auto cl2 = lattice::LatticeClosure::from_closed_set(lattice, std::move(closed2));
+  SLAT_ASSERT(cl1.pointwise_leq(cl2));
+  return {std::move(cl1), std::move(cl2)};
+}
+
+}  // namespace slat::qc

@@ -1,0 +1,39 @@
+// Drop-in gtest hookup for seed reproducibility: any test binary that
+// includes this header gets a listener that, whenever a test FAILS after
+// drawing randomness through qc::make_rng, prints the one-line
+//
+//   [ SLAT_SEED ] SLAT_SEED=<n> ctest -R <TestName>   # replays this failure
+//
+// so the failure reproduces exactly from the log. Include it from every
+// randomized test file; registration is idempotent per binary (inline
+// variable, one instance per program).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "qc/seed.hpp"
+
+namespace slat::qc {
+
+class SeedReproListener : public ::testing::EmptyTestEventListener {
+ public:
+  void OnTestStart(const ::testing::TestInfo&) override { reset_rng_used(); }
+
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    if (!info.result()->Failed() || !rng_was_used()) return;
+    std::printf("[ SLAT_SEED ] %s ctest -R %s.%s   # replays this failure\n",
+                repro_line().c_str(), info.test_suite_name(), info.name());
+    std::fflush(stdout);
+  }
+};
+
+namespace detail {
+inline const bool seed_listener_registered = [] {
+  ::testing::UnitTest::GetInstance()->listeners().Append(new SeedReproListener);
+  return true;
+}();
+}  // namespace detail
+
+}  // namespace slat::qc

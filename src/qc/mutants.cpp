@@ -1,0 +1,497 @@
+#include "qc/mutants.hpp"
+
+#include <optional>
+
+#include "buchi/inclusion.hpp"
+#include "buchi/language.hpp"
+#include "buchi/nba.hpp"
+#include "buchi/safety.hpp"
+#include "core/memo_cache.hpp"
+#include "lattice/closure.hpp"
+#include "lattice/constructions.hpp"
+#include "lattice/decomposition.hpp"
+#include "lattice/finite_lattice.hpp"
+#include "ltl/eval.hpp"
+#include "ltl/formula.hpp"
+#include "ltl/translate.hpp"
+#include "rabin/from_ctl.hpp"
+#include "rabin/rabin_tree_automaton.hpp"
+#include "trees/ctl.hpp"
+#include "trees/ktree.hpp"
+#include "words/up_word.hpp"
+
+namespace slat::qc {
+namespace {
+
+using buchi::Nba;
+using words::Alphabet;
+using words::UpWord;
+using words::Word;
+
+// Fixed, named test words over Σ = {a, b}.
+UpWord w_a_omega() { return UpWord({}, {0}); }
+UpWord w_b_omega() { return UpWord({}, {1}); }
+UpWord w_ab_omega() { return UpWord({0}, {1}); }   // a b^ω
+UpWord w_ba_omega() { return UpWord({1}, {0}); }   // b a^ω
+UpWord w_ba_cycle() { return UpWord({}, {1, 0}); }  // (ba)^ω
+
+/// The classic 2-state NBA for "infinitely many `sym`" over Σ = {a, b}.
+Nba gf_letter(words::Sym sym) {
+  Nba nba(Alphabet::binary(), 2, 0);
+  nba.set_accepting(1, true);
+  for (words::Sym s = 0; s < 2; ++s) {
+    nba.add_transition(0, s, s == sym ? 1 : 0);
+    nba.add_transition(1, s, s == sym ? 1 : 0);
+  }
+  return nba;
+}
+
+/// 1-state NBA: universal when accepting, empty when not.
+Nba trivial_nba(bool accepting) {
+  Nba nba(Alphabet::binary(), 1, 0);
+  nba.set_accepting(0, accepting);
+  nba.add_transition(0, 0, 0);
+  nba.add_transition(0, 1, 0);
+  return nba;
+}
+
+// ---------------------------------------------------------------------------
+// Büchi pipeline
+// ---------------------------------------------------------------------------
+
+// lcl must accept every word all of whose prefixes extend into L (§2.4);
+// returning the trimmed input instead misses exactly the added limits.
+bool kill_lcl_skip_make_accepting() {
+  const Nba b = gf_letter(0);  // L = GF a; lcl(L) = Σ^ω
+  const Nba mutant = b;        // "closure" that only trims (identity here)
+  const Nba correct = buchi::safety_closure(b);
+  return mutant.accepts(w_b_omega()) != correct.accepts(w_b_omega());
+}
+
+// lcl must PRUNE states from which no word of L is reachable; skipping the
+// prune admits words with dead-end prefixes.
+bool kill_lcl_skip_prune() {
+  // L = a^ω: q0 --a--> q0 accepting; q0 --b--> q1 (dead), q1 --b--> q1.
+  Nba b(Alphabet::binary(), 2, 0);
+  b.set_accepting(0, true);
+  b.add_transition(0, 0, 0);
+  b.add_transition(0, 1, 1);
+  b.add_transition(1, 1, 1);
+  Nba mutant = b;  // make everything accepting, but keep the dead end
+  mutant.set_accepting(1, true);
+  const Nba correct = buchi::safety_closure(b);  // = {a^ω}
+  return mutant.accepts(w_b_omega()) != correct.accepts(w_b_omega());
+}
+
+// Theorem 2: lcl lands in the safety sublattice. The identity "closure" is
+// extensive, idempotent and monotone, yet its output need not be safety.
+bool kill_lcl_identity_operator() {
+  const Nba mutant_closure_output = gf_letter(0);  // cl'(B) = B, B = GF a
+  return !buchi::is_safety(mutant_closure_output);
+}
+
+// Theorem 2's liveness part: B_L must be a liveness property. Returning B
+// itself fails whenever L(B) is not already live.
+bool kill_decompose_liveness_not_live() {
+  Nba b(Alphabet::binary(), 1, 0);  // L = a^ω: not liveness
+  b.set_accepting(0, true);
+  b.add_transition(0, 0, 0);
+  const Nba mutant_liveness_part = b;
+  return !buchi::is_liveness(mutant_liveness_part);
+}
+
+// Theorem 2's identity L = S ∩ L_live: pairing lcl(B) with Σ^ω loses the
+// intersection back to lcl(B).
+bool kill_decompose_wrong_meet() {
+  const Nba b = gf_letter(0);
+  const Nba mutant_safety = buchi::safety_closure(b);
+  const Nba mutant_liveness = trivial_nba(true);  // Σ^ω
+  return !buchi::is_equivalent(buchi::intersect(mutant_safety, mutant_liveness), b);
+}
+
+// The Büchi product needs the 2-phase counter; accepting on the left
+// component alone admits words the right conjunct rejects.
+bool kill_intersect_no_counter() {
+  const Nba lhs = gf_letter(0), rhs = gf_letter(1);
+  // Naive product: accept whenever the lhs component is accepting.
+  Nba naive(Alphabet::binary(), 4, 0);
+  for (buchi::State i = 0; i < 2; ++i) {
+    for (buchi::State j = 0; j < 2; ++j) {
+      naive.set_accepting(i * 2 + j, lhs.is_accepting(i));
+      for (words::Sym s = 0; s < 2; ++s) {
+        for (buchi::State i2 : lhs.successors(i, s)) {
+          for (buchi::State j2 : rhs.successors(j, s)) {
+            naive.add_transition(i * 2 + j, s, i2 * 2 + j2);
+          }
+        }
+      }
+    }
+  }
+  const Nba correct = buchi::intersect(lhs, rhs);
+  return naive.accepts(w_a_omega()) != correct.accepts(w_a_omega());
+}
+
+// Complementation must act on L itself, not on its safety closure: for
+// L = GF a the closure is Σ^ω, whose complement ∅ misses b^ω ∈ ¬L.
+bool kill_complement_via_closure() {
+  const Nba b = gf_letter(0);
+  const Nba mutant_complement = trivial_nba(false);  // ¬(lcl L) = ¬Σ^ω = ∅
+  // Complement law: exactly one of B, ¬B accepts each word.
+  return mutant_complement.accepts(w_b_omega()) == b.accepts(w_b_omega());
+}
+
+// Inclusion decided on a finite word corpus only (no antichain search) says
+// "included" whenever the corpus misses L(lhs) entirely.
+bool kill_inclusion_sampled_only() {
+  // L(lhs) = {aaab^ω}: outside every word of the (2, 2)-bounded corpus.
+  Nba lhs(Alphabet::binary(), 4, 0);
+  lhs.set_accepting(3, true);
+  lhs.add_transition(0, 0, 1);
+  lhs.add_transition(1, 0, 2);
+  lhs.add_transition(2, 0, 3);
+  lhs.add_transition(3, 1, 3);
+  const Nba rhs = trivial_nba(false);  // ∅
+  bool mutant_included = true;
+  for (const UpWord& w : words::enumerate_up_words(2, 2, 2)) {
+    if (lhs.accepts(w) && !rhs.accepts(w)) mutant_included = false;
+  }
+  const buchi::InclusionResult correct = buchi::check_inclusion(lhs, rhs);
+  return mutant_included != correct.included;
+}
+
+// Emptiness needs an accepting LASSO, not an accepting REACHABLE state.
+bool kill_emptiness_reachability_only() {
+  Nba b(Alphabet::binary(), 2, 0);
+  b.set_accepting(1, true);
+  b.add_transition(0, 0, 1);  // accepting state reachable, but a dead end
+  const bool mutant_nonempty = true;  // "reachable accepting state ⇒ nonempty"
+  return mutant_nonempty && buchi::check_emptiness(b).included;
+}
+
+// Quotienting by a "simulation" that ignores acceptance merges accepting
+// with non-accepting states and changes the language.
+bool kill_simulation_ignore_acceptance() {
+  // L = (ab)^ω: q0 accepting --a--> q1 --b--> q0.
+  Nba b(Alphabet::binary(), 2, 0);
+  b.set_accepting(0, true);
+  b.add_transition(0, 0, 1);
+  b.add_transition(1, 1, 0);
+  // Acceptance-blind merge of {q0, q1}: one accepting state, both loops.
+  Nba mutant(Alphabet::binary(), 1, 0);
+  mutant.set_accepting(0, true);
+  mutant.add_transition(0, 0, 0);
+  mutant.add_transition(0, 1, 0);
+  return !buchi::is_equivalent(mutant, b);
+}
+
+// Sampled safety classification is only refutation-sound: a corpus that
+// misses the refuting word certifies nothing. The exact test must disagree.
+bool kill_safety_inadequate_corpus() {
+  // L = a·(GF a): starts with a, infinitely many a. lcl(L) = aΣ^ω, and
+  // a b^ω ∈ lcl(L) \ L refutes safety — but {a^ω, b^ω} never sees it.
+  Nba b(Alphabet::binary(), 3, 0);
+  b.set_accepting(2, true);
+  b.add_transition(0, 0, 1);
+  b.add_transition(1, 0, 2);
+  b.add_transition(1, 1, 1);
+  b.add_transition(2, 0, 2);
+  b.add_transition(2, 1, 1);
+  const buchi::SafetyClass sampled =
+      buchi::classify_sampled(b, {w_a_omega(), w_b_omega()});
+  return sampled == buchi::SafetyClass::kSafety && !buchi::is_safety(b);
+}
+
+// ---------------------------------------------------------------------------
+// LTL pipeline
+// ---------------------------------------------------------------------------
+
+// The tableau's Until expansion carries an eventuality obligation; the weak
+// variant (drop it) accepts a^ω for a U b.
+bool kill_translate_until_as_weak() {
+  ltl::LtlArena arena(Alphabet::binary());
+  const ltl::FormulaId a = arena.atom(0), b = arena.atom(1);
+  const ltl::FormulaId f = arena.until(a, b);
+  // Weak until: b R (a ∨ b) — the same expansion minus the obligation.
+  const Nba mutant = ltl::to_nba(arena, arena.release(b, arena.disj(a, b)));
+  return mutant.accepts(w_a_omega()) != ltl::holds(arena, f, w_a_omega());
+}
+
+// X must advance the word by one position; the identity translation
+// evaluates the operand at the wrong index.
+bool kill_translate_next_as_identity() {
+  ltl::LtlArena arena(Alphabet::binary());
+  const ltl::FormulaId f = arena.next(arena.atom(0));  // X a
+  const Nba mutant = ltl::to_nba(arena, arena.atom(0));
+  return mutant.accepts(w_ba_omega()) != ltl::holds(arena, f, w_ba_omega());
+}
+
+// NNF duality: ¬(φ U ψ) = ¬φ R ¬ψ. Pushing the negation through U as
+// another U breaks on (ba)^ω.
+bool kill_nnf_negated_until_as_until() {
+  ltl::LtlArena arena(Alphabet::binary());
+  const ltl::FormulaId a = arena.atom(0), b = arena.atom(1);
+  const ltl::FormulaId f = arena.negation(arena.until(a, b));
+  const Nba mutant =
+      ltl::to_nba(arena, arena.until(arena.negation(a), arena.negation(b)));
+  return mutant.accepts(w_ba_cycle()) != ltl::holds(arena, f, w_ba_cycle());
+}
+
+// Sistla's safety fragment excludes Until; a classifier that admits it
+// calls F b (= true U b) safe, contradicting the exact semantic test.
+bool kill_syntactic_until_allowed() {
+  ltl::LtlArena arena(Alphabet::binary());
+  const ltl::FormulaId f = arena.eventually(arena.atom(1));  // F b
+  const bool mutant_says_safety = true;  // "no Release ⇒ safety" (wrong side)
+  return mutant_says_safety && !buchi::is_safety(ltl::to_nba(arena, f));
+}
+
+// §2.3: GF is recurrence, not reachability — evaluating it on the finite
+// stem+period word confuses "b occurs once" with "b occurs infinitely".
+bool kill_eval_gf_as_reachability() {
+  ltl::LtlArena arena(Alphabet::binary());
+  const ltl::FormulaId f = arena.always(arena.eventually(arena.atom(1)));
+  const UpWord w = w_ba_omega();  // b a^ω: GF b fails
+  bool mutant_holds = false;  // "some letter of stem+period is b"
+  for (std::size_t i = 0; i < w.prefix().size() + w.period().size(); ++i) {
+    if (w.at(i) == 1) mutant_holds = true;
+  }
+  return mutant_holds != ltl::holds(arena, f, w);
+}
+
+// ---------------------------------------------------------------------------
+// Lattice pipeline
+// ---------------------------------------------------------------------------
+
+// Closure laws (§3): extensive + idempotent does not imply monotone; the
+// law checker must reject the map. B_2 indices: 0 < {1, 2} < 3.
+bool kill_closure_non_monotone() {
+  const lattice::FiniteLattice b2 = lattice::boolean_lattice(2);
+  const std::vector<lattice::Elem> map = {2, 1, 2, 3};  // cl.0 = 2 ≰ 1 = cl.1
+  return lattice::LatticeClosure::violation(b2, map).has_value();
+}
+
+// Idempotence: cl.cl.0 = cl.1 = 3 ≠ 1 = cl.0.
+bool kill_closure_not_idempotent() {
+  const lattice::FiniteLattice b2 = lattice::boolean_lattice(2);
+  const std::vector<lattice::Elem> map = {1, 3, 2, 3};
+  return lattice::LatticeClosure::violation(b2, map).has_value();
+}
+
+// Lemma 6 / Figure 1: dropping the modularity hypothesis from Theorem 3 is
+// fatal — in N5 with the paper's closure, `a` has NO decomposition at all.
+bool kill_theorem3_without_modularity() {
+  const lattice::FiniteLattice pentagon = lattice::n5();
+  const lattice::LatticeClosure cl = lattice::LatticeClosure::from_closed_set(
+      pentagon, {lattice::N5Elems::bottom, lattice::N5Elems::b, lattice::N5Elems::c,
+                 lattice::N5Elems::top});  // cl.a = b, identity elsewhere
+  return !lattice::find_any_decomposition(pentagon, cl, cl, lattice::N5Elems::a)
+              .has_value();
+}
+
+// A paper-setting check that skips modularity wrongly admits N5.
+bool kill_paper_setting_skip_modularity() {
+  return lattice::n5().modularity_counterexample().has_value() &&
+         !lattice::n5().is_paper_setting();
+}
+
+// Swapping the safety/liveness components of a Theorem 2 decomposition must
+// fail validation: the safety element is closed but almost never live.
+bool kill_decomposition_swapped_parts() {
+  const lattice::FiniteLattice b2 = lattice::boolean_lattice(2);
+  const lattice::LatticeClosure identity =
+      lattice::LatticeClosure::from_closed_set(b2, {0, 1, 2, 3});
+  const lattice::Elem a = 1;
+  const auto d = lattice::decompose(b2, identity, a);
+  if (!d.has_value() || !lattice::is_valid_decomposition(b2, identity, identity, a, *d)) {
+    return false;  // the genuine decomposition must validate
+  }
+  lattice::Decomposition swapped = *d;
+  std::swap(swapped.safety, swapped.liveness);
+  return !lattice::is_valid_decomposition(b2, identity, identity, a, swapped);
+}
+
+// ---------------------------------------------------------------------------
+// Rabin / CTL pipeline
+// ---------------------------------------------------------------------------
+
+// rfcl (§4.4) must prune states with empty language BEFORE trivializing the
+// acceptance; skipping the prune admits trees with doomed branches.
+bool kill_rfcl_skip_prune() {
+  const Alphabet sigma = Alphabet::binary();
+  rabin::RabinTreeAutomaton b(sigma, 2, 2, 0);
+  b.add_transition(0, 0, {0, 0});  // q0 --a--> (q0, q0)
+  b.add_transition(0, 1, {1, 1});  // q0 --b--> (qr, qr)
+  b.add_transition(1, 0, {1, 1});
+  b.add_transition(1, 1, {1, 1});
+  b.add_pair({0}, {1});  // green q0, red qr: L = the all-a tree
+  rabin::RabinTreeAutomaton mutant = b;  // trivialize without pruning
+  mutant.set_trivial_acceptance();
+  const trees::KTree all_b = trees::KTree::constant(sigma, 1, 2);
+  return mutant.accepts(all_b) && !rabin::rfcl(b).accepts(all_b);
+}
+
+// rfcl must also TRIVIALIZE the acceptance; pruning alone keeps infinite
+// obligations that finite-depth closure is supposed to erase.
+bool kill_rfcl_keep_acceptance() {
+  const Alphabet sigma = Alphabet::binary();
+  rabin::RabinTreeAutomaton b(sigma, 2, 2, 0);
+  b.add_transition(0, 0, {0, 0});  // stay before the b
+  b.add_transition(0, 1, {1, 1});  // take the single b
+  b.add_transition(1, 0, {1, 1});  // then a forever
+  b.add_pair({1}, {});  // L = every path takes exactly one b
+  const rabin::RabinTreeAutomaton mutant = b;  // prune (no-op) but keep pairs
+  const trees::KTree all_a = trees::KTree::constant(sigma, 0, 2);
+  return rabin::rfcl(b).accepts(all_a) && !mutant.accepts(all_a);
+}
+
+// Rabin emptiness must respect the red sets; reading the pair as a Büchi
+// condition (green only) resurrects rejected runs.
+bool kill_emptiness_ignore_red() {
+  const Alphabet sigma = Alphabet::binary();
+  rabin::RabinTreeAutomaton b(sigma, 2, 1, 0);
+  b.add_transition(0, 0, {0, 0});
+  b.add_pair({0}, {0});  // green AND red: every run rejects
+  rabin::RabinTreeAutomaton green_only(sigma, 2, 1, 0);
+  green_only.add_transition(0, 0, {0, 0});
+  green_only.add_pair({0}, {});
+  return b.is_empty() && !green_only.is_empty();
+}
+
+// §4.3: E and A translate to different Rabin automata; swapping the
+// quantifier of X is visible on a tree with mixed children.
+bool kill_ctl_wrong_quantifier() {
+  trees::CtlArena arena(Alphabet::binary());
+  trees::KTree t(Alphabet::binary(), 3, 0);
+  t.set_label(0, 0);
+  t.set_label(1, 0);
+  t.set_label(2, 1);
+  t.add_child(0, 1);
+  t.add_child(0, 2);
+  t.add_child(1, 1);
+  t.add_child(1, 1);
+  t.add_child(2, 2);
+  t.add_child(2, 2);
+  const trees::CtlId f = arena.ex(arena.atom(0));  // EX a: true here
+  const rabin::RabinTreeAutomaton mutant =
+      rabin::from_ctl(arena, arena.ax(arena.atom(0)), 2);
+  return mutant.accepts(t) != trees::holds(arena, f, t);
+}
+
+// E[φ U ψ] requires φ along the path to ψ; EF ψ forgets φ. A c-labeled root
+// separates them (c ⊨ neither a nor b).
+bool kill_ctl_eu_as_ef() {
+  const Alphabet sigma = Alphabet::of_size(3);
+  trees::CtlArena arena(sigma);
+  trees::KTree t(sigma, 2, 0);
+  t.set_label(0, 2);  // root c
+  t.set_label(1, 1);  // children b
+  t.add_child(0, 1);
+  t.add_child(0, 1);
+  t.add_child(1, 1);
+  t.add_child(1, 1);
+  const trees::CtlId f = arena.eu(arena.atom(0), arena.atom(1));  // E[a U b]
+  const rabin::RabinTreeAutomaton mutant =
+      rabin::from_ctl(arena, arena.ef(arena.atom(1)), 2);
+  return mutant.accepts(t) != trees::holds(arena, f, t);
+}
+
+// ---------------------------------------------------------------------------
+// Words / core infrastructure
+// ---------------------------------------------------------------------------
+
+// §2.1: UP-word equality is equality of the denoted ω-words; comparing the
+// raw (prefix, period) pairs misses a(ba)^ω = ab(ab)^ω... = (ab)^ω.
+bool kill_upword_syntactic_equality() {
+  const UpWord u(Word{0}, Word{1, 0});
+  const UpWord v(Word{0, 1}, Word{0, 1});
+  const bool mutant_equal = false;  // raw pairs ({0},{1,0}) vs ({0,1},{0,1})
+  return (u == v) && !mutant_equal;
+}
+
+// The memo cache's content address must cover the full structure; keying on
+// num_states alone collides automata with different languages, which a
+// cache hit would then silently swap.
+bool kill_cache_coarse_key() {
+  const Nba universal = trivial_nba(true), empty = trivial_nba(false);
+  const auto coarse_key = [](const Nba& nba) {
+    return core::DigestBuilder().add_int(nba.num_states()).digest();
+  };
+  return coarse_key(universal) == coarse_key(empty) &&
+         !(buchi::fingerprint(universal) == buchi::fingerprint(empty)) &&
+         !buchi::is_equivalent(universal, empty);
+}
+
+}  // namespace
+
+const std::vector<Mutant>& mutants() {
+  static const std::vector<Mutant> bank = {
+      // Büchi pipeline
+      {"buchi.lcl.skip_make_accepting", "buchi",
+       "lcl's accept-everything step (§2.4 limit closure)", kill_lcl_skip_make_accepting},
+      {"buchi.lcl.skip_prune", "buchi",
+       "lcl's dead-end pruning (prefixes must extend into L)", kill_lcl_skip_prune},
+      {"buchi.lcl.identity_operator", "buchi",
+       "Theorem 2: lcl's image is the safety sublattice", kill_lcl_identity_operator},
+      {"buchi.decompose.liveness_not_live", "buchi",
+       "Theorem 2: the liveness component must be live", kill_decompose_liveness_not_live},
+      {"buchi.decompose.wrong_meet", "buchi",
+       "Theorem 2: L = L(B_S) ∩ L(B_L) exactly", kill_decompose_wrong_meet},
+      {"buchi.intersect.no_counter", "buchi",
+       "the 2-phase counter of the Büchi product", kill_intersect_no_counter},
+      {"buchi.complement.via_closure", "buchi",
+       "complementation of L itself, not of lcl(L)", kill_complement_via_closure},
+      {"buchi.inclusion.sampled_only", "buchi",
+       "PR4's exact antichain search vs corpus sampling", kill_inclusion_sampled_only},
+      {"buchi.emptiness.reachability_only", "buchi",
+       "Büchi emptiness = accepting lasso, not reachability",
+       kill_emptiness_reachability_only},
+      {"buchi.simulation.ignore_acceptance", "buchi",
+       "the acceptance condition of direct simulation", kill_simulation_ignore_acceptance},
+      {"buchi.safety.inadequate_corpus", "buchi",
+       "§2.3 sampled classification is refutation-only", kill_safety_inadequate_corpus},
+      // LTL pipeline
+      {"ltl.translate.until_as_weak", "ltl",
+       "the Until eventuality obligation in the tableau", kill_translate_until_as_weak},
+      {"ltl.translate.next_as_identity", "ltl", "X's one-step shift",
+       kill_translate_next_as_identity},
+      {"ltl.nnf.negated_until_as_until", "ltl", "the NNF duality ¬(φUψ) = ¬φR¬ψ",
+       kill_nnf_negated_until_as_until},
+      {"ltl.syntactic.until_allowed", "ltl",
+       "Sistla's Until-free safety fragment (§1)", kill_syntactic_until_allowed},
+      {"ltl.eval.gf_as_reachability", "ltl",
+       "§2.3: GF is recurrence, not reachability", kill_eval_gf_as_reachability},
+      // Lattice pipeline
+      {"lattice.closure.non_monotone", "lattice", "the monotonicity closure law (§3)",
+       kill_closure_non_monotone},
+      {"lattice.closure.not_idempotent", "lattice", "the idempotence closure law (§3)",
+       kill_closure_not_idempotent},
+      {"lattice.theorem3.without_modularity", "lattice",
+       "Theorem 3's modularity hypothesis (Lemma 6 / Figure 1)",
+       kill_theorem3_without_modularity},
+      {"lattice.paper_setting.skip_modularity", "lattice",
+       "the is_paper_setting modularity check", kill_paper_setting_skip_modularity},
+      {"lattice.decomposition.swapped_parts", "lattice",
+       "which component of Theorem 2's pair is the safety one",
+       kill_decomposition_swapped_parts},
+      // Rabin / CTL pipeline
+      {"rabin.rfcl.skip_prune", "rabin", "rfcl's empty-state pruning (§4.4)",
+       kill_rfcl_skip_prune},
+      {"rabin.rfcl.keep_acceptance", "rabin",
+       "rfcl's acceptance trivialization (§4.4)", kill_rfcl_keep_acceptance},
+      {"rabin.emptiness.ignore_red", "rabin", "the red half of the Rabin condition",
+       kill_emptiness_ignore_red},
+      {"ctl.translate.wrong_quantifier", "ctl", "§4.3's E vs A path quantifiers",
+       kill_ctl_wrong_quantifier},
+      {"ctl.translate.eu_as_ef", "ctl", "the φ-obligation of E[φ U ψ] (§4.3)",
+       kill_ctl_eu_as_ef},
+      // Words / core
+      {"words.upword.syntactic_equality", "words",
+       "§2.1: UP-words denote ω-words, not (prefix, period) pairs",
+       kill_upword_syntactic_equality},
+      {"core.cache.coarse_key", "core",
+       "PR3's full-structure content address", kill_cache_coarse_key},
+  };
+  return bank;
+}
+
+}  // namespace slat::qc

@@ -1,0 +1,29 @@
+// The curated mutant bank: deliberately-broken constructions, each
+// corrupting one artifact of the paper's pipelines, paired with the oracle
+// that must detect ("kill") it. The bank gates the oracle library: a mutant
+// that survives means a law is too weak to notice a real implementation
+// bug of that shape. mutants_test.cpp and the fuzz driver both assert a
+// 100% kill rate.
+//
+// Every mutant is fully deterministic — fixed inputs, no RNG — so a
+// surviving mutant is a stable, debuggable fact, not a flake.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace slat::qc {
+
+struct Mutant {
+  std::string name;      ///< e.g. "buchi.lcl.skip_accepting"
+  std::string pipeline;  ///< "buchi" | "ltl" | "lattice" | "rabin" | "ctl" | ...
+  /// The paper artifact the mutant corrupts (comment-grade description).
+  std::string corrupts;
+  /// True iff the oracle set detects the planted defect.
+  bool (*killed)();
+};
+
+/// The whole bank, in a stable order. Size ≥ 25 (asserted by tests).
+const std::vector<Mutant>& mutants();
+
+}  // namespace slat::qc

@@ -1,0 +1,526 @@
+#include "qc/properties.hpp"
+
+#include <functional>
+#include <utility>
+
+#include "buchi/inclusion.hpp"
+#include "buchi/language.hpp"
+#include "buchi/nba.hpp"
+#include "buchi/safety.hpp"
+#include "core/memo_cache.hpp"
+#include "lattice/closure.hpp"
+#include "lattice/constructions.hpp"
+#include "lattice/decomposition.hpp"
+#include "lattice/finite_lattice.hpp"
+#include "ltl/eval.hpp"
+#include "ltl/syntactic.hpp"
+#include "ltl/translate.hpp"
+#include "qc/gen.hpp"
+#include "qc/seed.hpp"
+#include "qc/shrink.hpp"
+#include "rabin/from_ctl.hpp"
+#include "rabin/rabin_tree_automaton.hpp"
+#include "trees/ctl.hpp"
+#include "words/up_word.hpp"
+
+namespace slat::qc {
+namespace {
+
+using buchi::Nba;
+using words::UpWord;
+
+// Small domains keep every trial fast enough for the fuzz-smoke budget;
+// the expensive oracles (rank complementation, emptiness games) are
+// exponential, so the sizes below are deliberate, not arbitrary.
+const NbaDomain kSmallNba{2, 5, 2, 2, 0.6, 1.5, 0.2, 0.6};
+const NbaDomain kTinyNba{2, 3, 2, 2, 0.6, 1.4, 0.2, 0.6};
+
+PropertyResult ok() { return {}; }
+
+/// Generate one NBA, check a unary language law, shrink on failure.
+PropertyResult nba_law(std::uint64_t trial_seed, const NbaDomain& domain,
+                       const char* law, const std::function<bool(const Nba&)>& holds) {
+  std::mt19937 rng = make_rng(trial_seed);
+  const Nba nba = arbitrary_nba(domain)(rng);
+  if (holds(nba)) return ok();
+  const Nba shrunk = shrink_nba(nba, [&](const Nba& c) { return !holds(c); });
+  PropertyResult r;
+  r.ok = false;
+  r.digest = buchi::fingerprint(nba);
+  r.message = std::string(law) + "\nshrunk counterexample:\n" + shrunk.to_string();
+  return r;
+}
+
+/// A modest UP-word corpus over the automaton/formula's own alphabet.
+std::vector<UpWord> corpus_for(int alphabet_size) {
+  return words::enumerate_up_words(alphabet_size, 2, 2);
+}
+
+// --- Büchi: the lcl closure laws (§2.4 / §3 definition of closure) --------
+
+PropertyResult lcl_extensive(std::uint64_t trial_seed) {
+  return nba_law(trial_seed, kSmallNba, "lcl extensivity: L(B) ⊆ L(lcl B) violated",
+                 [](const Nba& nba) {
+                   return buchi::is_subset(nba, buchi::safety_closure(nba));
+                 });
+}
+
+PropertyResult lcl_idempotent(std::uint64_t trial_seed) {
+  return nba_law(trial_seed, kSmallNba,
+                 "lcl idempotence: L(lcl lcl B) = L(lcl B) violated", [](const Nba& nba) {
+                   const Nba once = buchi::safety_closure(nba);
+                   return buchi::is_equivalent(buchi::safety_closure(once), once);
+                 });
+}
+
+PropertyResult lcl_monotone(std::uint64_t trial_seed) {
+  // L(A ∩ B) ⊆ L(A), so lcl(A ∩ B) ⊆ lcl(A) must follow; shrink over A
+  // with B held fixed.
+  std::mt19937 rng = make_rng(trial_seed);
+  const Nba a = arbitrary_nba(kSmallNba)(rng);
+  const Nba b = arbitrary_nba(kSmallNba)(rng);
+  const auto holds = [&b](const Nba& lhs) {
+    return buchi::is_subset(buchi::safety_closure(buchi::intersect(lhs, b)),
+                            buchi::safety_closure(lhs));
+  };
+  if (holds(a)) return ok();
+  const Nba shrunk = shrink_nba(a, [&](const Nba& c) {
+    return c.alphabet().size() == b.alphabet().size() && !holds(c);
+  });
+  PropertyResult r;
+  r.ok = false;
+  r.digest = buchi::fingerprint(a);
+  r.message = "lcl monotonicity: lcl(L(A)∩L(B)) ⊆ lcl(L(A)) violated\nshrunk A:\n" +
+              shrunk.to_string() + "fixed B:\n" + b.to_string();
+  return r;
+}
+
+// --- Büchi: Theorem 1/2 decomposition --------------------------------------
+
+PropertyResult decomposition_identity(std::uint64_t trial_seed) {
+  return nba_law(trial_seed, kSmallNba,
+                 "decomposition identity: L(B) = L(B_S) ∩ L(B_L) violated",
+                 [](const Nba& nba) {
+                   const buchi::BuchiDecomposition d = buchi::decompose(nba);
+                   return buchi::is_equivalent(buchi::intersect(d.safety, d.liveness),
+                                               nba);
+                 });
+}
+
+PropertyResult decomposition_parts(std::uint64_t trial_seed) {
+  return nba_law(trial_seed, kTinyNba,
+                 "decomposition parts: B_S must be safety, B_L liveness, pair "
+                 "machine closed",
+                 [](const Nba& nba) {
+                   const buchi::BuchiDecomposition d = buchi::decompose(nba);
+                   return buchi::is_safety(d.safety) && buchi::is_liveness(d.liveness) &&
+                          buchi::is_machine_closed(d.safety, d.liveness);
+                 });
+}
+
+// --- Büchi: antichain engine vs complement oracle (inclusion PR) ----------
+
+PropertyResult inclusion_differential(std::uint64_t trial_seed) {
+  std::mt19937 rng = make_rng(trial_seed);
+  const Nba lhs = arbitrary_nba(kTinyNba)(rng);
+  const Nba rhs = arbitrary_nba(kTinyNba)(rng);
+  const auto agree = [&rhs](const Nba& l) {
+    core::CacheEnabledScope no_cache(false);  // force both engines to compute
+    buchi::InclusionResult antichain, complement;
+    {
+      buchi::InclusionBackendScope scope(buchi::InclusionBackend::kAntichain);
+      antichain = buchi::check_inclusion(l, rhs);
+    }
+    {
+      buchi::InclusionBackendScope scope(buchi::InclusionBackend::kComplement);
+      complement = buchi::check_inclusion(l, rhs);
+    }
+    if (antichain.included != complement.included) return false;
+    // Witnesses may differ, but each must genuinely separate.
+    for (const auto* r : {&antichain, &complement}) {
+      if (r->counterexample.has_value() &&
+          !(l.accepts(*r->counterexample) && !rhs.accepts(*r->counterexample))) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (agree(lhs)) return ok();
+  // The shrinker may truncate the candidate's alphabet; inclusion requires a
+  // common one, so such candidates are "not failing" rather than crashing.
+  const Nba shrunk = shrink_nba(lhs, [&](const Nba& c) {
+    return c.alphabet().size() == rhs.alphabet().size() && !agree(c);
+  });
+  PropertyResult r;
+  r.ok = false;
+  r.digest = buchi::fingerprint(lhs);
+  r.message =
+      "inclusion backends disagree (antichain vs complement)\nshrunk lhs:\n" +
+      shrunk.to_string() + "fixed rhs:\n" + rhs.to_string();
+  return r;
+}
+
+// --- Büchi: simulation quotient preserves the language --------------------
+
+PropertyResult simulation_quotient_preserves(std::uint64_t trial_seed) {
+  return nba_law(trial_seed, kSmallNba,
+                 "simulation quotient changed the language", [](const Nba& nba) {
+                   return buchi::is_equivalent(
+                       nba, nba.reduce(buchi::ReduceMode::kSimulation));
+                 });
+}
+
+// --- Cache: hits replay bit-identical artifacts (memo-cache PR) -----------
+
+PropertyResult cache_bit_identity(std::uint64_t trial_seed) {
+  return nba_law(
+      trial_seed, kSmallNba, "cache on/off produced different artifacts",
+      [](const Nba& nba) {
+        core::Digest uncached_safety, uncached_liveness;
+        {
+          core::CacheEnabledScope scope(false);
+          const buchi::BuchiDecomposition d = buchi::decompose(nba);
+          uncached_safety = buchi::fingerprint(d.safety);
+          uncached_liveness = buchi::fingerprint(d.liveness);
+        }
+        core::CacheEnabledScope scope(true);
+        core::clear_all_caches();
+        for (int round = 0; round < 2; ++round) {  // miss, then hit
+          const buchi::BuchiDecomposition d = buchi::decompose(nba);
+          if (!(buchi::fingerprint(d.safety) == uncached_safety) ||
+              !(buchi::fingerprint(d.liveness) == uncached_liveness)) {
+            return false;
+          }
+        }
+        return true;
+      });
+}
+
+// --- LTL: translation vs the exact evaluator (GPVW / §2.2) ----------------
+
+PropertyResult formula_failure(ltl::LtlArena& arena, ltl::FormulaId original,
+                               const char* law,
+                               const std::function<bool(ltl::FormulaId)>& holds) {
+  const ltl::FormulaId shrunk =
+      shrink_formula(arena, original, [&](ltl::FormulaId c) { return !holds(c); });
+  PropertyResult r;
+  r.ok = false;
+  r.digest = core::DigestBuilder().add_string(arena.to_string(original)).digest();
+  r.message = std::string(law) + "\nshrunk formula: " + arena.to_string(shrunk) +
+              "\noriginal: " + arena.to_string(original);
+  return r;
+}
+
+PropertyResult translate_agrees_with_evaluator(std::uint64_t trial_seed) {
+  std::mt19937 rng = make_rng(trial_seed);
+  ltl::LtlArena arena(words::Alphabet::binary());
+  const ltl::FormulaId f = random_formula(arena, 3, rng);
+  std::vector<UpWord> corpus = corpus_for(2);
+  const Gen<UpWord> wordgen = arbitrary_up_word({2, 3, 3});
+  for (int i = 0; i < 4; ++i) corpus.push_back(wordgen(rng));
+  const auto holds = [&](ltl::FormulaId g) {
+    const Nba nba = ltl::to_nba(arena, g);
+    for (const UpWord& w : corpus) {
+      if (nba.accepts(w) != ltl::holds(arena, g, w)) return false;
+    }
+    return true;
+  };
+  if (holds(f)) return ok();
+  return formula_failure(arena, f, "GPVW translation disagrees with the evaluator",
+                         holds);
+}
+
+PropertyResult negation_complements(std::uint64_t trial_seed) {
+  std::mt19937 rng = make_rng(trial_seed);
+  ltl::LtlArena arena(words::Alphabet::binary());
+  const ltl::FormulaId f = random_formula(arena, 3, rng);
+  const std::vector<UpWord> corpus = corpus_for(2);
+  const auto holds = [&](ltl::FormulaId g) {
+    const Nba pos = ltl::to_nba(arena, g);
+    const Nba neg = ltl::to_nba(arena, arena.negation(g));
+    for (const UpWord& w : corpus) {
+      if (pos.accepts(w) == neg.accepts(w)) return false;
+    }
+    return true;
+  };
+  if (holds(f)) return ok();
+  return formula_failure(arena, f, "L(¬φ) fails to complement L(φ) on the corpus",
+                         holds);
+}
+
+PropertyResult syntactic_fragment_sound(std::uint64_t trial_seed) {
+  // Sistla's fragments are SOUND: syntactically safe formulas must be
+  // semantically safe (sampled — refutation-sound, per §2.3).
+  std::mt19937 rng = make_rng(trial_seed);
+  ltl::LtlArena arena(words::Alphabet::binary());
+  const ltl::FormulaId f = random_formula(arena, 3, rng);
+  const std::vector<UpWord> corpus = corpus_for(2);
+  const auto holds = [&](ltl::FormulaId g) {
+    const ltl::SyntacticClass syntactic = ltl::classify_syntactic(arena, g);
+    if (syntactic != ltl::SyntacticClass::kSafety &&
+        syntactic != ltl::SyntacticClass::kBoth) {
+      return true;  // no claim to check
+    }
+    const buchi::SafetyClass semantic =
+        buchi::classify_sampled(ltl::to_nba(arena, g), corpus);
+    return semantic == buchi::SafetyClass::kSafety ||
+           semantic == buchi::SafetyClass::kSafetyAndLiveness;
+  };
+  if (holds(f)) return ok();
+  return formula_failure(arena, f, "syntactically-safe formula is not semantically safe",
+                         holds);
+}
+
+// --- Lattice: closure laws and the §3 theorems ----------------------------
+
+PropertyResult lattice_failure(const lattice::FiniteLattice& lattice, const char* law,
+                               const std::string& detail) {
+  PropertyResult r;
+  r.ok = false;
+  r.digest = lattice.content_digest();
+  r.message = std::string(law) + "\n" + detail +
+              "\nlattice size: " + std::to_string(lattice.size());
+  return r;
+}
+
+PropertyResult closure_roundtrip(std::uint64_t trial_seed) {
+  std::mt19937 rng = make_rng(trial_seed);
+  const lattice::FiniteLattice lat = random_lattice(3, rng);
+  const lattice::LatticeClosure cl = random_closure(lat, rng);
+  // The closure laws hold by construction — re-validate through the
+  // independent checker, then round-trip through the closed set.
+  std::vector<lattice::Elem> map;
+  for (lattice::Elem a = 0; a < lat.size(); ++a) map.push_back(cl.apply(a));
+  if (const auto violation = lattice::LatticeClosure::violation(lat, map)) {
+    return lattice_failure(lat, "closure laws violated", *violation);
+  }
+  const lattice::LatticeClosure rebuilt =
+      lattice::LatticeClosure::from_closed_set(lat, cl.closed_elements());
+  if (!(rebuilt == cl)) {
+    return lattice_failure(lat, "closure ≠ from_closed_set(closed_elements())", "");
+  }
+  return ok();
+}
+
+PropertyResult theorem3_decomposes(std::uint64_t trial_seed) {
+  // Theorem 3 needs the paper setting (modular + complemented): Boolean
+  // lattices always qualify; random closure systems only sometimes, so
+  // check them only when they do.
+  std::mt19937 rng = make_rng(trial_seed);
+  const bool use_random = std::bernoulli_distribution(0.5)(rng);
+  const lattice::FiniteLattice lat =
+      use_random ? random_lattice(3, rng)
+                 : lattice::boolean_lattice(
+                       std::uniform_int_distribution<int>(1, 4)(rng));
+  if (!lat.is_paper_setting()) return ok();  // hypothesis not met — vacuous
+  const auto [cl1, cl2] = random_closure_pair(lat, rng);
+  if (const auto failing = lattice::verify_theorem3(lat, cl1, cl2)) {
+    return lattice_failure(lat, "Theorem 3: element failed to decompose",
+                           "element " + std::to_string(*failing));
+  }
+  return ok();
+}
+
+PropertyResult theorems5to7_hold(std::uint64_t trial_seed) {
+  std::mt19937 rng = make_rng(trial_seed);
+  const lattice::FiniteLattice lat =
+      lattice::boolean_lattice(std::uniform_int_distribution<int>(1, 3)(rng));
+  const auto [cl1, cl2] = random_closure_pair(lat, rng);
+  if (lattice::verify_theorem5(lat, cl1, cl2).has_value()) {
+    return lattice_failure(lat, "Theorem 5 (impossibility) violated", "");
+  }
+  if (lattice::verify_theorem6(lat, cl1, cl2).has_value()) {
+    return lattice_failure(lat, "Theorem 6 (extremal safety) violated", "");
+  }
+  // Boolean lattices are distributive, so Theorem 7 applies too.
+  if (lattice::verify_theorem7(lat, cl1, cl2).has_value()) {
+    return lattice_failure(lat, "Theorem 7 (extremal liveness) violated", "");
+  }
+  return ok();
+}
+
+PropertyResult lemmas_hold(std::uint64_t trial_seed) {
+  // Lemmas 3–5 need no modularity/distributivity; check them on fully
+  // random lattices.
+  std::mt19937 rng = make_rng(trial_seed);
+  const lattice::FiniteLattice lat = random_lattice(3, rng);
+  const lattice::LatticeClosure cl = random_closure(lat, rng);
+  if (lattice::verify_lemma3(lat, cl).has_value()) {
+    return lattice_failure(lat, "Lemma 3 (sub-meet preservation) violated", "");
+  }
+  if (lattice::verify_lemma4(lat, cl).has_value()) {
+    return lattice_failure(lat, "Lemma 4 (join with complement is live) violated", "");
+  }
+  if (lattice::verify_lemma5(lat).has_value()) {
+    return lattice_failure(lat, "Lemma 5 violated", "");
+  }
+  return ok();
+}
+
+// --- Rabin trees: rfcl laws and Theorem 9 ---------------------------------
+
+PropertyResult rabin_failure(const rabin::RabinTreeAutomaton& original,
+                             const char* law,
+                             const std::function<bool(const rabin::RabinTreeAutomaton&)>&
+                                 holds) {
+  const rabin::RabinTreeAutomaton shrunk = shrink_rabin(
+      original, [&](const rabin::RabinTreeAutomaton& c) { return !holds(c); });
+  PropertyResult r;
+  r.ok = false;
+  r.digest = rabin::fingerprint(original);
+  r.message = std::string(law) + "\nshrunk counterexample:\n" + shrunk.to_string();
+  return r;
+}
+
+PropertyResult rfcl_closure_laws(std::uint64_t trial_seed) {
+  std::mt19937 rng = make_rng(trial_seed);
+  const rabin::RabinTreeAutomaton automaton = arbitrary_rabin({2, 4, 2, 2, 1, 2})(rng);
+  const auto holds = [](const rabin::RabinTreeAutomaton& b) {
+    const rabin::RabinTreeAutomaton closed = rabin::rfcl(b);
+    // Extensive on the witness: a tree of L(B) stays in L(rfcl B).
+    if (const auto witness = b.find_accepted_tree()) {
+      if (!closed.accepts(*witness)) return false;
+    }
+    // Idempotent on the closure's witness.
+    const rabin::RabinTreeAutomaton twice = rabin::rfcl(closed);
+    if (const auto witness = closed.find_accepted_tree()) {
+      if (!twice.accepts(*witness)) return false;
+    }
+    // Emptiness is a fixpoint of the closure: L(B) = ∅ ⟺ L(rfcl B) = ∅.
+    if (b.is_empty() != closed.is_empty()) return false;
+    return true;
+  };
+  if (holds(automaton)) return ok();
+  return rabin_failure(automaton, "rfcl closure laws violated", holds);
+}
+
+PropertyResult theorem9_identity(std::uint64_t trial_seed) {
+  std::mt19937 rng = make_rng(trial_seed);
+  const rabin::RabinTreeAutomaton automaton = arbitrary_rabin({2, 3, 2, 2, 1, 1})(rng);
+  const Gen<trees::KTree> treegen = arbitrary_ktree({2, 1, 3, 2});
+  std::vector<trees::KTree> samples;
+  for (int i = 0; i < 3; ++i) samples.push_back(treegen(rng));
+  const auto holds = [&samples](const rabin::RabinTreeAutomaton& b) {
+    const rabin::RabinDecomposition d = rabin::decompose(b);
+    std::vector<trees::KTree> trees = samples;
+    if (const auto witness = b.find_accepted_tree()) trees.push_back(*witness);
+    for (const trees::KTree& t : trees) {
+      const bool in_l = b.accepts(t);
+      const bool in_meet = d.safety.accepts(t) && d.liveness_contains(t);
+      if (in_l != in_meet) return false;
+    }
+    return true;
+  };
+  if (holds(automaton)) return ok();
+  return rabin_failure(automaton, "Theorem 9: L(B) = L(rfcl B) ∩ live violated", holds);
+}
+
+// --- CTL: translation vs model checking (§4.3) ----------------------------
+
+PropertyResult ctl_translation_agrees(std::uint64_t trial_seed) {
+  std::mt19937 rng = make_rng(trial_seed);
+  trees::CtlArena arena(words::Alphabet::binary());
+  const trees::CtlId f = random_ctl(arena, 2, rng);
+  const Gen<trees::KTree> treegen = arbitrary_ktree({2, 1, 3, 2});
+  std::vector<trees::KTree> samples;
+  for (int i = 0; i < 3; ++i) samples.push_back(treegen(rng));
+  const auto holds = [&](trees::CtlId g) {
+    const rabin::RabinTreeAutomaton automaton = rabin::from_ctl(arena, g, 2);
+    for (const trees::KTree& t : samples) {
+      if (automaton.accepts(t) != trees::holds(arena, g, t)) return false;
+    }
+    return true;
+  };
+  if (holds(f)) return ok();
+  const trees::CtlId shrunk =
+      shrink<trees::CtlId>(f,
+                           [&arena](const trees::CtlId& g) {
+                             return shrink_steps(arena, g);
+                           },
+                           [&](const trees::CtlId& g) { return !holds(g); });
+  PropertyResult r;
+  r.ok = false;
+  r.digest = core::DigestBuilder().add_string(arena.to_string(f)).digest();
+  r.message = "CTL→Rabin translation disagrees with the model checker\nshrunk: " +
+              arena.to_string(shrunk) + "\noriginal: " + arena.to_string(f);
+  return r;
+}
+
+// --- Words: UP-word normal-form laws --------------------------------------
+
+PropertyResult upword_laws(std::uint64_t trial_seed) {
+  std::mt19937 rng = make_rng(trial_seed);
+  const UpWord w = arbitrary_up_word({2, 4, 4})(rng);
+  const auto holds = [](const UpWord& u) {
+    if (!u.is_normalized()) return false;
+    // suffix law: u.suffix(k)[i] = u[k+i].
+    for (std::size_t k = 0; k <= 3; ++k) {
+      const UpWord s = u.suffix(k);
+      for (std::size_t i = 0; i < 6; ++i) {
+        if (s.at(i) != u.at(k + i)) return false;
+      }
+    }
+    // take law: take(n)[i] = at(i).
+    const words::Word t = u.take(8);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i] != u.at(i)) return false;
+    }
+    // Absorbing one period into the prefix denotes the same ω-word.
+    words::Word longer = u.prefix();
+    longer.insert(longer.end(), u.period().begin(), u.period().end());
+    return UpWord(longer, u.period()) == u;
+  };
+  if (holds(w)) return ok();
+  const UpWord shrunk = shrink_up_word(w, [&](const UpWord& c) { return !holds(c); });
+  PropertyResult r;
+  r.ok = false;
+  core::DigestBuilder builder;
+  for (const auto s : w.prefix()) builder.add_int(s);
+  builder.add_int(-1);
+  for (const auto s : w.period()) builder.add_int(s);
+  r.digest = builder.digest();
+  r.message = "UP-word normal-form laws violated\nshrunk: " +
+              shrunk.to_string(words::Alphabet::binary());
+  return r;
+}
+
+}  // namespace
+
+const std::vector<Property>& properties() {
+  static const std::vector<Property> registry = {
+      {"words.upword.laws", "§2.1 (UP-words as the computable Σ^ω)", 3, upword_laws},
+      {"buchi.lcl.extensive", "§2.4 / closure def. §3", 3, lcl_extensive},
+      {"buchi.lcl.idempotent", "§2.4 / closure def. §3", 3, lcl_idempotent},
+      {"buchi.lcl.monotone", "§2.4 / closure def. §3", 2, lcl_monotone},
+      {"buchi.decomposition.identity", "Theorem 1 / Theorem 2", 3,
+       decomposition_identity},
+      {"buchi.decomposition.parts", "Theorems 2, 6 (machine closure)", 1,
+       decomposition_parts},
+      {"buchi.inclusion.differential", "PR4 antichain engine vs rank oracle", 1,
+       inclusion_differential},
+      {"buchi.simulation.quotient", "PR4 simulation quotient", 2,
+       simulation_quotient_preserves},
+      {"cache.bit_identity", "PR3 memo-cache contract", 2, cache_bit_identity},
+      {"ltl.translate.evaluator", "§2.2 (GPVW tableau)", 3,
+       translate_agrees_with_evaluator},
+      {"ltl.negation.complement", "§2.2 (semantics)", 2, negation_complements},
+      {"ltl.syntactic.sound", "§1 (Sistla's fragments)", 2, syntactic_fragment_sound},
+      {"lattice.closure.roundtrip", "§3 (closure definition)", 3, closure_roundtrip},
+      {"lattice.theorem3", "Theorem 3", 3, theorem3_decomposes},
+      {"lattice.theorems5to7", "Theorems 5–7", 2, theorems5to7_hold},
+      {"lattice.lemmas3to5", "Lemmas 3–5", 3, lemmas_hold},
+      {"rabin.rfcl.laws", "§4.4 (rfcl)", 1, rfcl_closure_laws},
+      {"rabin.theorem9", "Theorem 9", 1, theorem9_identity},
+      {"ctl.translate.modelcheck", "§4.3 (CTL pipeline)", 1, ctl_translation_agrees},
+  };
+  return registry;
+}
+
+const Property* find_property(std::string_view name) {
+  for (const Property& p : properties()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace slat::qc

@@ -1,0 +1,47 @@
+// The metamorphic oracle library: every cross-layer law the paper proves
+// and this repo implements, registered as a named, individually-runnable
+// property. A property's trial is a pure function of a 64-bit seed — it
+// generates its own inputs (qc/gen.hpp), checks the law, and on failure
+// greedily shrinks the offending input (qc/shrink.hpp) before reporting.
+// Seed-determinism makes a failing (property, trial_seed) pair a complete,
+// replayable bug report; the fuzz driver's corpus stores exactly those
+// pairs, keyed by the structural digest of the failing input.
+//
+// THEORY.md carries the table mapping each property to the paper theorem
+// or figure it executes; `paper_ref` here is the short form.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/memo_cache.hpp"
+
+namespace slat::qc {
+
+/// Outcome of one property trial.
+struct PropertyResult {
+  bool ok = true;
+  /// On failure: what law broke, with the SHRUNK artifact rendered inline.
+  std::string message;
+  /// On failure: structural digest of the original failing input — the
+  /// corpus key (stable across shrink improvements).
+  core::Digest digest;
+};
+
+struct Property {
+  std::string name;       ///< e.g. "buchi.lcl.idempotent"
+  std::string paper_ref;  ///< e.g. "Lemma 1 / §2.4"
+  int weight = 1;         ///< sweep weight (higher = sampled more often)
+  /// One seed-deterministic trial.
+  PropertyResult (*trial)(std::uint64_t trial_seed);
+};
+
+/// All registered properties, in a stable order.
+const std::vector<Property>& properties();
+
+/// Lookup by name; nullptr when absent.
+const Property* find_property(std::string_view name);
+
+}  // namespace slat::qc

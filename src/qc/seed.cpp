@@ -1,0 +1,72 @@
+#include "qc/seed.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace slat::qc {
+namespace {
+
+std::uint64_t read_env_seed() {
+  const char* env = std::getenv("SLAT_SEED");
+  if (env == nullptr || *env == '\0') return kDefaultSeed;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return kDefaultSeed;
+  return static_cast<std::uint64_t>(value);
+}
+
+std::atomic<bool>& used_flag() {
+  static std::atomic<bool> used{false};
+  return used;
+}
+
+}  // namespace
+
+std::uint64_t seed() {
+  static const std::uint64_t cached = read_env_seed();
+  return cached;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t derive(std::uint64_t base, std::string_view stream) {
+  std::uint64_t h = splitmix64(base);
+  std::uint64_t word = 0;
+  int lane = 0;
+  for (const unsigned char c : stream) {
+    word = word << 8 | c;
+    if (++lane == 8) {
+      h = splitmix64(h ^ word);
+      word = 0;
+      lane = 0;
+    }
+  }
+  // Length-prefix the tail so "ab"+"" and "a"+"b" cannot collide.
+  h = splitmix64(h ^ word);
+  return splitmix64(h ^ stream.size());
+}
+
+std::mt19937 make_rng(std::string_view stream) {
+  used_flag().store(true, std::memory_order_relaxed);
+  return make_rng(derive(seed(), stream));
+}
+
+std::mt19937 make_rng(std::uint64_t explicit_seed) {
+  used_flag().store(true, std::memory_order_relaxed);
+  std::seed_seq seq{static_cast<std::uint32_t>(explicit_seed),
+                    static_cast<std::uint32_t>(explicit_seed >> 32)};
+  return std::mt19937(seq);
+}
+
+bool rng_was_used() { return used_flag().load(std::memory_order_relaxed); }
+
+void reset_rng_used() { used_flag().store(false, std::memory_order_relaxed); }
+
+std::string repro_line() { return "SLAT_SEED=" + std::to_string(seed()); }
+
+}  // namespace slat::qc

@@ -1,0 +1,55 @@
+// Seed-deterministic randomness for every randomized test, property sweep,
+// and fuzz run in the repository (the `slat::qc` subsystem).
+//
+// One process-wide base seed governs everything: `seed()` reads SLAT_SEED
+// from the environment (any failure printed by the harness includes a
+// one-line `SLAT_SEED=<n>` string, so re-running under that variable
+// replays the exact inputs), falling back to a fixed default so CI is
+// deterministic. Independent streams are carved out of the base seed by
+// name via splitmix64, so adding a new randomized test never perturbs the
+// draws of an existing one — the classic "test ordering changes the RNG"
+// hazard of a single shared generator.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+
+namespace slat::qc {
+
+/// The default base seed (used when SLAT_SEED is unset): the paper's
+/// conference date, so default runs are stable across sessions.
+inline constexpr std::uint64_t kDefaultSeed = 20030713;
+
+/// The process-wide base seed: SLAT_SEED if set (parsed as u64; a value
+/// that does not parse falls back to the default), else kDefaultSeed.
+/// Read once and cached.
+std::uint64_t seed();
+
+/// splitmix64 — the standard 64-bit finalizer; bijective, so distinct
+/// inputs give distinct (and well-scrambled) outputs.
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// A child seed for the named stream: hashes `stream` into `base` with
+/// splitmix64 steps. Deterministic; distinct names give independent
+/// streams for any base.
+std::uint64_t derive(std::uint64_t base, std::string_view stream);
+
+/// An mt19937 for the named stream of the process-wide base seed. Marks
+/// the process "rng was used" so the gtest failure listener knows to print
+/// the repro line.
+std::mt19937 make_rng(std::string_view stream);
+
+/// An mt19937 from an explicit 64-bit seed (both words feed the seed_seq).
+std::mt19937 make_rng(std::uint64_t explicit_seed);
+
+/// Has make_rng been called in this process? (Failure listeners print the
+/// SLAT_SEED repro line only for tests that actually drew randomness.)
+bool rng_was_used();
+void reset_rng_used();
+
+/// The one-line repro string, e.g. "SLAT_SEED=20030713".
+std::string repro_line();
+
+}  // namespace slat::qc

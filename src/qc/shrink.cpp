@@ -1,0 +1,285 @@
+#include "qc/shrink.hpp"
+
+#include <algorithm>
+
+#include "words/alphabet.hpp"
+
+namespace slat::qc {
+
+namespace {
+
+using buchi::Nba;
+using rabin::RabinTreeAutomaton;
+using words::UpWord;
+using words::Word;
+
+/// `nba` without state `victim` (≠ initial): states above shift down by one,
+/// transitions touching the victim disappear.
+Nba drop_state(const Nba& nba, buchi::State victim) {
+  const auto remap = [victim](buchi::State q) { return q > victim ? q - 1 : q; };
+  Nba out(nba.alphabet(), nba.num_states() - 1, remap(nba.initial()));
+  for (buchi::State q = 0; q < nba.num_states(); ++q) {
+    if (q == victim) continue;
+    out.set_accepting(remap(q), nba.is_accepting(q));
+    for (words::Sym s = 0; s < nba.alphabet().size(); ++s) {
+      for (buchi::State to : nba.successors(q, s)) {
+        if (to != victim) out.add_transition(remap(q), s, remap(to));
+      }
+    }
+  }
+  return out;
+}
+
+/// `nba` with the (from, s, index)-th transition removed.
+Nba drop_transition(const Nba& nba, buchi::State from, words::Sym sym, int index) {
+  Nba out(nba.alphabet(), nba.num_states(), nba.initial());
+  for (buchi::State q = 0; q < nba.num_states(); ++q) {
+    out.set_accepting(q, nba.is_accepting(q));
+    for (words::Sym s = 0; s < nba.alphabet().size(); ++s) {
+      const auto& succs = nba.successors(q, s);
+      for (int i = 0; i < static_cast<int>(succs.size()); ++i) {
+        if (q == from && s == sym && i == index) continue;
+        out.add_transition(q, s, succs[i]);
+      }
+    }
+  }
+  return out;
+}
+
+/// `nba` restricted to the first `keep_symbols` alphabet letters.
+Nba drop_symbols(const Nba& nba, int keep_symbols) {
+  Nba out(words::Alphabet::of_size(keep_symbols), nba.num_states(), nba.initial());
+  for (buchi::State q = 0; q < nba.num_states(); ++q) {
+    out.set_accepting(q, nba.is_accepting(q));
+    for (words::Sym s = 0; s < keep_symbols; ++s) {
+      for (buchi::State to : nba.successors(q, s)) out.add_transition(q, s, to);
+    }
+  }
+  return out;
+}
+
+RabinTreeAutomaton rebuild_rabin(
+    const RabinTreeAutomaton& in, int skip_state, buchi::State skip_from,
+    words::Sym skip_sym, int skip_tuple, int skip_pair,
+    std::pair<int, rabin::State> clear_green, std::pair<int, rabin::State> clear_red) {
+  const auto remap = [skip_state](rabin::State q) {
+    return skip_state >= 0 && q > skip_state ? q - 1 : q;
+  };
+  const int n = in.num_states() - (skip_state >= 0 ? 1 : 0);
+  RabinTreeAutomaton out(in.alphabet(), in.branching(), n, remap(in.initial()));
+  for (rabin::State q = 0; q < in.num_states(); ++q) {
+    if (q == skip_state) continue;
+    for (words::Sym s = 0; s < in.alphabet().size(); ++s) {
+      const auto& tuples = in.transitions(q, s);
+      for (int i = 0; i < static_cast<int>(tuples.size()); ++i) {
+        if (q == skip_from && s == skip_sym && i == skip_tuple) continue;
+        rabin::Tuple mapped;
+        bool uses_victim = false;
+        for (rabin::State t : tuples[i]) {
+          if (t == skip_state) uses_victim = true;
+          mapped.push_back(remap(t));
+        }
+        if (!uses_victim) out.add_transition(remap(q), s, std::move(mapped));
+      }
+    }
+  }
+  for (int p = 0; p < in.num_pairs(); ++p) {
+    if (p == skip_pair) continue;
+    std::vector<rabin::State> greens, reds;
+    for (rabin::State q = 0; q < in.num_states(); ++q) {
+      if (q == skip_state) continue;
+      if (in.pair(p).green[q] && !(p == clear_green.first && q == clear_green.second)) {
+        greens.push_back(remap(q));
+      }
+      if (in.pair(p).red[q] && !(p == clear_red.first && q == clear_red.second)) {
+        reds.push_back(remap(q));
+      }
+    }
+    out.add_pair(greens, reds);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Nba> shrink_steps(const Nba& nba) {
+  std::vector<Nba> out;
+  // Most aggressive first: drop whole states (never the initial one, and
+  // never the last accepting one).
+  for (buchi::State q = 0; q < nba.num_states(); ++q) {
+    if (q == nba.initial()) continue;
+    if (nba.is_accepting(q) && nba.num_accepting() == 1) continue;
+    out.push_back(drop_state(nba, q));
+  }
+  // Shrink the alphabet to its first symbols.
+  for (int keep = 1; keep < nba.alphabet().size(); ++keep) {
+    out.push_back(drop_symbols(nba, keep));
+  }
+  // Drop single transitions.
+  for (buchi::State q = 0; q < nba.num_states(); ++q) {
+    for (words::Sym s = 0; s < nba.alphabet().size(); ++s) {
+      for (int i = 0; i < static_cast<int>(nba.successors(q, s).size()); ++i) {
+        out.push_back(drop_transition(nba, q, s, i));
+      }
+    }
+  }
+  // Clear accepting bits (keep ≥ 1).
+  if (nba.num_accepting() > 1) {
+    for (buchi::State q = 0; q < nba.num_states(); ++q) {
+      if (!nba.is_accepting(q)) continue;
+      Nba cleared = nba;
+      cleared.set_accepting(q, false);
+      out.push_back(std::move(cleared));
+    }
+  }
+  return out;
+}
+
+std::vector<UpWord> shrink_steps(const UpWord& word) {
+  std::vector<UpWord> out;
+  const Word& prefix = word.prefix();
+  const Word& period = word.period();
+  // Drop the whole prefix, then each single letter.
+  if (!prefix.empty()) {
+    out.emplace_back(Word{}, period);
+    for (std::size_t i = 0; i < prefix.size(); ++i) {
+      Word p = prefix;
+      p.erase(p.begin() + i);
+      out.emplace_back(std::move(p), period);
+    }
+  }
+  // Halve the period, then drop each single letter (keeping it non-empty).
+  if (period.size() >= 2) {
+    out.emplace_back(prefix, Word(period.begin(), period.begin() + period.size() / 2));
+    for (std::size_t i = 0; i < period.size(); ++i) {
+      Word p = period;
+      p.erase(p.begin() + i);
+      out.emplace_back(prefix, std::move(p));
+    }
+  }
+  // Lower symbols toward 0.
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (prefix[i] > 0) {
+      Word p = prefix;
+      p[i] = 0;
+      out.emplace_back(std::move(p), period);
+    }
+  }
+  for (std::size_t i = 0; i < period.size(); ++i) {
+    if (period[i] > 0) {
+      Word p = period;
+      p[i] = 0;
+      out.emplace_back(prefix, std::move(p));
+    }
+  }
+  return out;
+}
+
+std::vector<RabinTreeAutomaton> shrink_steps(const RabinTreeAutomaton& automaton) {
+  constexpr std::pair<int, rabin::State> kNone{-1, -1};
+  std::vector<RabinTreeAutomaton> out;
+  for (rabin::State q = 0; q < automaton.num_states(); ++q) {
+    if (q == automaton.initial()) continue;
+    out.push_back(rebuild_rabin(automaton, q, -1, -1, -1, -1, kNone, kNone));
+  }
+  for (int p = 0; automaton.num_pairs() > 1 && p < automaton.num_pairs(); ++p) {
+    out.push_back(rebuild_rabin(automaton, -1, -1, -1, -1, p, kNone, kNone));
+  }
+  for (rabin::State q = 0; q < automaton.num_states(); ++q) {
+    for (words::Sym s = 0; s < automaton.alphabet().size(); ++s) {
+      for (int i = 0; i < static_cast<int>(automaton.transitions(q, s).size()); ++i) {
+        out.push_back(rebuild_rabin(automaton, -1, q, s, i, -1, kNone, kNone));
+      }
+    }
+  }
+  for (int p = 0; p < automaton.num_pairs(); ++p) {
+    for (rabin::State q = 0; q < automaton.num_states(); ++q) {
+      if (automaton.pair(p).green[q]) {
+        out.push_back(rebuild_rabin(automaton, -1, -1, -1, -1, -1, {p, q}, kNone));
+      }
+      if (automaton.pair(p).red[q]) {
+        out.push_back(rebuild_rabin(automaton, -1, -1, -1, -1, -1, kNone, {p, q}));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ltl::FormulaId> shrink_steps(ltl::LtlArena& arena, ltl::FormulaId f) {
+  const ltl::FormulaNode& node = arena.node(f);
+  std::vector<ltl::FormulaId> out;
+  // Constants first (smallest possible formulas), then children, then
+  // operator weakenings.
+  if (node.op != ltl::Op::kTrue) out.push_back(arena.tru());
+  if (node.op != ltl::Op::kFalse) out.push_back(arena.fls());
+  if (node.lhs >= 0) out.push_back(node.lhs);
+  if (node.rhs >= 0) out.push_back(node.rhs);
+  switch (node.op) {
+    case ltl::Op::kUntil:
+      out.push_back(arena.eventually(node.rhs));  // drop the left obligation
+      break;
+    case ltl::Op::kRelease:
+      out.push_back(arena.always(node.rhs));
+      break;
+    case ltl::Op::kImplies:
+      out.push_back(arena.disj(arena.negation(node.lhs), node.rhs));
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+std::vector<trees::CtlId> shrink_steps(trees::CtlArena& arena, trees::CtlId f) {
+  const trees::CtlNode& node = arena.node(f);
+  std::vector<trees::CtlId> out;
+  if (node.op != trees::CtlOp::kTrue) out.push_back(arena.tru());
+  if (node.op != trees::CtlOp::kFalse) out.push_back(arena.fls());
+  if (node.lhs >= 0) out.push_back(node.lhs);
+  if (node.rhs >= 0) out.push_back(node.rhs);
+  switch (node.op) {
+    case trees::CtlOp::kEU:
+      out.push_back(arena.ef(node.rhs));
+      break;
+    case trees::CtlOp::kAU:
+      out.push_back(arena.af(node.rhs));
+      break;
+    case trees::CtlOp::kER:
+      out.push_back(arena.eg(node.rhs));
+      break;
+    case trees::CtlOp::kAR:
+      out.push_back(arena.ag(node.rhs));
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+Nba shrink_nba(const Nba& nba, const std::function<bool(const Nba&)>& still_fails) {
+  return shrink<Nba>(
+      nba, [](const Nba& value) { return shrink_steps(value); }, still_fails);
+}
+
+UpWord shrink_up_word(const UpWord& word,
+                      const std::function<bool(const UpWord&)>& still_fails) {
+  return shrink<UpWord>(
+      word, [](const UpWord& value) { return shrink_steps(value); }, still_fails);
+}
+
+RabinTreeAutomaton shrink_rabin(
+    const RabinTreeAutomaton& automaton,
+    const std::function<bool(const RabinTreeAutomaton&)>& still_fails) {
+  return shrink<RabinTreeAutomaton>(
+      automaton, [](const RabinTreeAutomaton& value) { return shrink_steps(value); },
+      still_fails);
+}
+
+ltl::FormulaId shrink_formula(ltl::LtlArena& arena, ltl::FormulaId f,
+                              const std::function<bool(ltl::FormulaId)>& still_fails) {
+  return shrink<ltl::FormulaId>(
+      f, [&arena](const ltl::FormulaId& value) { return shrink_steps(arena, value); },
+      [&still_fails](const ltl::FormulaId& value) { return still_fails(value); });
+}
+
+}  // namespace slat::qc

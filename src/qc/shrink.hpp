@@ -1,0 +1,92 @@
+// Greedy shrinking: minimize a failing input against the violated oracle
+// before any human reads it.
+//
+// Each type exposes a one-step candidate function (all the "slightly
+// smaller" variants of a value, ordered most-aggressive first); `shrink`
+// repeatedly replaces the current value by the first candidate that still
+// fails, until no candidate does — a greedy descent to a locally minimal
+// counterexample. Every candidate preserves the generator's well-formedness
+// invariants (valid indices, initial state present, ≥ 1 accepting state /
+// pair where the domain requires one), so shrunk artifacts stay inside the
+// tested domain; shrink_test.cpp asserts exactly this.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "buchi/nba.hpp"
+#include "ltl/formula.hpp"
+#include "rabin/rabin_tree_automaton.hpp"
+#include "trees/ctl.hpp"
+#include "words/up_word.hpp"
+
+namespace slat::qc {
+
+/// Greedy minimization: while some candidate of `step(value)` satisfies
+/// `still_fails`, descend into the first one. `max_steps` bounds the total
+/// number of predicate evaluations (the descent is finite anyway for
+/// size-decreasing steps; the bound guards accidental plateaus).
+template <typename T>
+T shrink(T value, const std::function<std::vector<T>(const T&)>& step,
+         const std::function<bool(const T&)>& still_fails, int max_steps = 2000) {
+  int budget = max_steps;
+  bool progressed = true;
+  while (progressed && budget > 0) {
+    progressed = false;
+    for (T& candidate : step(value)) {
+      if (--budget <= 0) break;
+      if (still_fails(candidate)) {
+        value = std::move(candidate);
+        progressed = true;
+        break;
+      }
+    }
+  }
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// One-step candidates per type
+// ---------------------------------------------------------------------------
+
+/// NBA candidates: drop a non-initial state (transitions remapped), drop a
+/// single transition, clear an accepting bit (never the last one), drop the
+/// last alphabet symbol (if ≥ 2). All candidates keep the initial state and
+/// at least one accepting state.
+std::vector<buchi::Nba> shrink_steps(const buchi::Nba& nba);
+
+/// UP-word candidates: drop prefix letters (from the back), halve/shorten
+/// the period (kept non-empty), lower a symbol toward 0.
+std::vector<words::UpWord> shrink_steps(const words::UpWord& word);
+
+/// Rabin candidates: drop a non-initial state, drop a transition tuple,
+/// drop an acceptance pair (never the last one), clear a single green/red
+/// bit.
+std::vector<rabin::RabinTreeAutomaton> shrink_steps(
+    const rabin::RabinTreeAutomaton& automaton);
+
+/// LTL formula candidates: replace the root by a child, by true/false;
+/// weaken temporal operators (U → its rhs, R → its rhs, X/F/G → operand).
+std::vector<ltl::FormulaId> shrink_steps(ltl::LtlArena& arena, ltl::FormulaId f);
+
+/// CTL formula candidates, mirroring the LTL steps.
+std::vector<trees::CtlId> shrink_steps(trees::CtlArena& arena, trees::CtlId f);
+
+/// Convenience: shrink an NBA against a failing predicate.
+buchi::Nba shrink_nba(const buchi::Nba& nba,
+                      const std::function<bool(const buchi::Nba&)>& still_fails);
+
+/// Convenience: shrink an UP-word against a failing predicate.
+words::UpWord shrink_up_word(const words::UpWord& word,
+                             const std::function<bool(const words::UpWord&)>& still_fails);
+
+/// Convenience: shrink a Rabin automaton against a failing predicate.
+rabin::RabinTreeAutomaton shrink_rabin(
+    const rabin::RabinTreeAutomaton& automaton,
+    const std::function<bool(const rabin::RabinTreeAutomaton&)>& still_fails);
+
+/// Convenience: shrink an LTL formula against a failing predicate.
+ltl::FormulaId shrink_formula(ltl::LtlArena& arena, ltl::FormulaId f,
+                              const std::function<bool(ltl::FormulaId)>& still_fails);
+
+}  // namespace slat::qc

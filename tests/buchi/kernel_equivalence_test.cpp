@@ -18,6 +18,7 @@
 #include "buchi/complement.hpp"
 #include "buchi/random.hpp"
 #include "buchi/safety.hpp"
+#include "qc/gtest_seed.hpp"
 
 namespace slat::buchi {
 namespace {
@@ -206,7 +207,7 @@ void expect_identical(const Nba& a, const Nba& b, const std::string& context) {
 }
 
 TEST(KernelEquivalence, SubsetConstructionMatchesSeedOn200RandomNbas) {
-  std::mt19937 rng(20260805);
+  std::mt19937 rng = qc::make_rng("kernel_equivalence.subset");
   int done = 0;
   for (int n = 2; n <= 9; ++n) {
     for (int sigma = 1; sigma <= 3; ++sigma) {
@@ -241,7 +242,7 @@ TEST(KernelEquivalence, SubsetConstructionMatchesSeedOn200RandomNbas) {
 }
 
 TEST(KernelEquivalence, ComplementationMatchesSeedOn200RandomNbas) {
-  std::mt19937 rng(77);
+  std::mt19937 rng = qc::make_rng("kernel_equivalence.complement");
   const auto corpus = words::enumerate_up_words(2, 3, 3);
   int done = 0;
   for (int n = 2; n <= 4; ++n) {
@@ -293,7 +294,7 @@ TEST(KernelEquivalence, TriviallyDeadClosureStartsInTheSink) {
 }
 
 TEST(KernelEquivalence, IsTriviallyDeadMatchesTheReplacedIdiom) {
-  std::mt19937 rng(5);
+  std::mt19937 rng = qc::make_rng("kernel_equivalence.trivially_dead");
   RandomNbaConfig config;
   config.num_states = 4;
   config.alphabet_size = 2;

@@ -67,6 +67,32 @@ TEST(Reduce, IdempotentAndStableOnCanonicalAutomata) {
   }
 }
 
+TEST(Reduce, AllAcceptingStatesRegression) {
+  // Shrunk by fuzz_slat from a buchi.inclusion.differential failure
+  // (SLAT_SEED replay, then automatic shrinking). With every state
+  // accepting, the seed partition gave every state class id 1, so the
+  // stability test compared the signature count against a phantom class 0
+  // and stopped refinement one round early — merging states 0 and 1 below
+  // even though only state 1 can be trapped by "aabb": state 2 has no
+  // b-successor, so the word aabb·a^ω kills every run.
+  Nba nba(Alphabet::binary(), 3, 0);
+  for (State q = 0; q < 3; ++q) nba.set_accepting(q, true);
+  nba.add_transition(0, 0, 1);
+  nba.add_transition(0, 1, 2);
+  nba.add_transition(1, 0, 0);
+  nba.add_transition(1, 0, 2);
+  nba.add_transition(1, 1, 0);
+  nba.add_transition(1, 1, 1);
+  nba.add_transition(2, 0, 0);
+  nba.add_transition(2, 0, 1);
+  nba.add_transition(2, 0, 2);
+  const words::UpWord separator({0, 0, 1, 1}, {0});
+  ASSERT_FALSE(nba.accepts(separator));
+  const Nba reduced = nba.reduce();
+  EXPECT_FALSE(reduced.accepts(separator));
+  EXPECT_TRUE(is_equivalent(nba, reduced));
+}
+
 TEST(Reduce, MergesObviouslyDuplicatedStates) {
   // Two identical accepting states looping on a: they must merge.
   Nba nba(Alphabet::binary(), 3, 0);

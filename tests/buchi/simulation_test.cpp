@@ -12,6 +12,7 @@
 #include "buchi/simulation.hpp"
 #include "core/thread_pool.hpp"
 #include "words/up_word.hpp"
+#include "qc/gtest_seed.hpp"
 
 namespace slat {
 namespace {
@@ -33,8 +34,8 @@ Nba with_initial(const Nba& nba, buchi::State q) {
   return out;
 }
 
-std::vector<Nba> random_corpus(int count, unsigned seed) {
-  std::mt19937 rng(seed);
+std::vector<Nba> random_corpus(int count, std::string_view stream) {
+  std::mt19937 rng = qc::make_rng(stream);
   buchi::RandomNbaConfig config;
   std::vector<Nba> corpus;
   for (int i = 0; i < count; ++i) {
@@ -53,7 +54,7 @@ class Simulation : public ::testing::TestWithParam<int> {
 };
 
 TEST_P(Simulation, IsReflexive) {
-  for (const Nba& nba : random_corpus(30, 2024)) {
+  for (const Nba& nba : random_corpus(30, "simulation.preorder")) {
     const SimulationPreorder sim = buchi::direct_simulation(nba);
     for (buchi::State q = 0; q < nba.num_states(); ++q) {
       EXPECT_TRUE(sim.simulates(q, q));
@@ -63,7 +64,7 @@ TEST_P(Simulation, IsReflexive) {
 
 TEST_P(Simulation, SimulationImpliesLanguageContainmentOnUpWords) {
   const std::vector<UpWord> words = words::enumerate_up_words(2, 2, 2);
-  for (const Nba& nba : random_corpus(25, 77)) {
+  for (const Nba& nba : random_corpus(25, "simulation.acceptance")) {
     const SimulationPreorder sim = buchi::direct_simulation(nba);
     for (buchi::State q = 0; q < nba.num_states(); ++q) {
       for (buchi::State t = 0; t < nba.num_states(); ++t) {
@@ -82,7 +83,7 @@ TEST_P(Simulation, SimulationImpliesLanguageContainmentOnUpWords) {
 }
 
 TEST_P(Simulation, UniversalAcceptingStateSimulatesEverything) {
-  std::mt19937 rng(5);
+  std::mt19937 rng = qc::make_rng("simulation.universal_state");
   buchi::RandomNbaConfig config;
   config.num_states = 4;
   Nba nba = buchi::random_nba(config, rng);
@@ -99,19 +100,19 @@ TEST_P(Simulation, UniversalAcceptingStateSimulatesEverything) {
 
 TEST_P(Simulation, QuotientPreservesLanguage) {
   const std::vector<UpWord> words = words::enumerate_up_words(2, 3, 3);
-  for (const Nba& nba : random_corpus(40, 4242)) {
+  for (const Nba& nba : random_corpus(40, "simulation.quotient_language")) {
     const Nba quotient = nba.reduce(buchi::ReduceMode::kSimulation);
     EXPECT_EQ(buchi::find_disagreement(nba, quotient, words), std::nullopt);
   }
   // Exact equivalence on a few instances (through the inclusion engine).
-  for (const Nba& nba : random_corpus(8, 99)) {
+  for (const Nba& nba : random_corpus(8, "simulation.quotient_exact")) {
     const Nba quotient = nba.reduce(buchi::ReduceMode::kSimulation);
     EXPECT_TRUE(buchi::is_equivalent(nba, quotient));
   }
 }
 
 TEST_P(Simulation, QuotientIsAtLeastAsCoarseAsBisimulation) {
-  for (const Nba& nba : random_corpus(40, 31337)) {
+  for (const Nba& nba : random_corpus(40, "simulation.coarseness")) {
     const Nba by_bisim = nba.reduce(buchi::ReduceMode::kBisimulation);
     const Nba by_sim = nba.reduce(buchi::ReduceMode::kSimulation);
     EXPECT_LE(by_sim.num_states(), by_bisim.num_states());
@@ -119,7 +120,7 @@ TEST_P(Simulation, QuotientIsAtLeastAsCoarseAsBisimulation) {
 }
 
 TEST(SimulationDeterminism, PreorderIsThreadCountInvariant) {
-  for (const Nba& nba : random_corpus(15, 808)) {
+  for (const Nba& nba : random_corpus(15, "simulation.determinism")) {
     core::set_num_threads(1);
     const SimulationPreorder seq = buchi::direct_simulation(nba);
     core::set_num_threads(4);

@@ -13,6 +13,7 @@
 #include "buchi/nba.hpp"
 #include "buchi/random.hpp"
 #include "words/up_word.hpp"
+#include "qc/gtest_seed.hpp"
 
 namespace slat {
 namespace {
@@ -30,7 +31,7 @@ buchi::RandomNbaConfig shape(int i) {
 }
 
 TEST(WitnessValidity, SeparatingWordsSeparate) {
-  std::mt19937 rng(20260805);
+  std::mt19937 rng = qc::make_rng("witness_validity.separating");
   const std::vector<UpWord> corpus = words::enumerate_up_words(2, 2, 2);
   int found = 0;
   for (int i = 0; i < 120; ++i) {
@@ -59,7 +60,7 @@ TEST(WitnessValidity, SeparatingWordsSeparate) {
 }
 
 TEST(WitnessValidity, UniversalityCounterexamplesAreRejected) {
-  std::mt19937 rng(4711);
+  std::mt19937 rng = qc::make_rng("witness_validity.universality");
   for (int i = 0; i < 40; ++i) {
     const Nba nba = buchi::random_nba(shape(i), rng);
     const buchi::InclusionResult r = buchi::check_universality(nba);
@@ -75,7 +76,7 @@ TEST(WitnessValidity, UniversalityCounterexamplesAreRejected) {
 }
 
 TEST(WitnessValidity, EmptinessCounterexamplesAreAccepted) {
-  std::mt19937 rng(1123);
+  std::mt19937 rng = qc::make_rng("witness_validity.emptiness");
   for (int i = 0; i < 40; ++i) {
     const Nba nba = buchi::random_nba(shape(i), rng);
     const buchi::InclusionResult r = buchi::check_emptiness(nba);

@@ -23,6 +23,7 @@
 #include "core/metrics.hpp"
 #include "core/thread_pool.hpp"
 #include "ltl/translate.hpp"
+#include "qc/gtest_seed.hpp"
 
 namespace slat {
 namespace {
@@ -45,8 +46,8 @@ std::string det_to_string(const DetSafety& det) {
   return out;
 }
 
-std::vector<Nba> random_corpus(int count, unsigned seed) {
-  std::mt19937 rng(seed);
+std::vector<Nba> random_corpus(int count, std::string_view stream) {
+  std::mt19937 rng = qc::make_rng(stream);
   buchi::RandomNbaConfig config;
   config.alphabet_size = 2;
   std::vector<Nba> corpus;
@@ -101,7 +102,7 @@ class CacheEquivalence : public ::testing::TestWithParam<int> {
 };
 
 TEST_P(CacheEquivalence, CachedRunsAreBitIdenticalToUncachedRuns) {
-  const std::vector<Nba> corpus = random_corpus(/*count=*/100, /*seed=*/1234);
+  const std::vector<Nba> corpus = random_corpus(/*count=*/100, "cache_equivalence.corpus");
 
   // Uncached reference pass.
   std::vector<InstanceResult> reference;
@@ -146,7 +147,7 @@ TEST_P(CacheEquivalence, SecondComplementationOfSameRhsIsACacheHit) {
   core::clear_all_caches();
   core::metrics().reset_all();
 
-  std::mt19937 rng(99);
+  std::mt19937 rng = qc::make_rng("cache_equivalence.inclusion_metrics");
   buchi::RandomNbaConfig config;
   config.num_states = 4;
   const Nba lhs = buchi::random_nba(config, rng);

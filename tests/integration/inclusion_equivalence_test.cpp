@@ -19,6 +19,7 @@
 #include "core/thread_pool.hpp"
 #include "ltl/rem.hpp"
 #include "ltl/translate.hpp"
+#include "qc/gtest_seed.hpp"
 
 namespace slat {
 namespace {
@@ -62,7 +63,7 @@ class InclusionEquivalence : public ::testing::TestWithParam<int> {
 };
 
 TEST_P(InclusionEquivalence, RandomPairsAgreeWithComplementOracle) {
-  std::mt19937 rng(0xBEEF);
+  std::mt19937 rng = qc::make_rng("inclusion_equivalence.random_pairs");
   buchi::RandomNbaConfig config;
   config.alphabet_size = 2;
   for (int i = 0; i < 160; ++i) {
@@ -103,7 +104,7 @@ TEST_P(InclusionEquivalence, InclusionCacheAccountingIsExact) {
   core::clear_all_caches();
   core::metrics().reset_all();
 
-  std::mt19937 rng(271828);
+  std::mt19937 rng = qc::make_rng("inclusion_equivalence.cache_accounting");
   buchi::RandomNbaConfig config;
   config.num_states = 4;
   const Nba lhs = buchi::random_nba(config, rng);
@@ -153,7 +154,7 @@ TEST_P(InclusionEquivalence, InclusionCacheAccountingIsExact) {
 
 TEST_P(InclusionEquivalence, CachedWitnessesReplayBitIdentically) {
   InclusionBackendScope antichain(InclusionBackend::kAntichain);
-  std::mt19937 rng(161803);
+  std::mt19937 rng = qc::make_rng("inclusion_equivalence.witness_replay");
   buchi::RandomNbaConfig config;
   config.alphabet_size = 2;
   std::vector<Nba> corpus;

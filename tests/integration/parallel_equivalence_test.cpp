@@ -19,6 +19,7 @@
 #include "games/buchi_game.hpp"
 #include "games/parity.hpp"
 #include "games/rabin_game.hpp"
+#include "qc/gtest_seed.hpp"
 
 namespace slat {
 namespace {
@@ -102,7 +103,7 @@ BuchiGame random_buchi_game(int n, std::mt19937& rng) {
 
 TEST(ParallelEquivalence, SubsetConstructionBitIdenticalAcrossThreadCounts) {
   ThreadGuard guard;
-  std::mt19937 rng(11);
+  std::mt19937 rng = qc::make_rng("parallel_equivalence.subset");
   buchi::RandomNbaConfig config;
   config.alphabet_size = 3;
   config.transition_density = 0.9;
@@ -120,7 +121,7 @@ TEST(ParallelEquivalence, SubsetConstructionBitIdenticalAcrossThreadCounts) {
 
 TEST(ParallelEquivalence, ComplementationBitIdenticalAcrossThreadCounts) {
   ThreadGuard guard;
-  std::mt19937 rng(12);
+  std::mt19937 rng = qc::make_rng("parallel_equivalence.complement");
   buchi::RandomNbaConfig config;
   for (int i = 0; i < 30; ++i) {
     config.num_states = 1 + i % 4;
@@ -136,7 +137,7 @@ TEST(ParallelEquivalence, ComplementationBitIdenticalAcrossThreadCounts) {
 
 TEST(ParallelEquivalence, ParityWinnersAndStrategiesBitIdenticalAcrossThreadCounts) {
   ThreadGuard guard;
-  std::mt19937 rng(13);
+  std::mt19937 rng = qc::make_rng("parallel_equivalence.parity");
   for (int i = 0; i < 40; ++i) {
     const int n = 2 + i % 30;
     const ParityGame game = random_parity_game(n, 5, rng);
@@ -153,7 +154,7 @@ TEST(ParallelEquivalence, ParityWinnersAndStrategiesBitIdenticalAcrossThreadCoun
 
 TEST(ParallelEquivalence, BuchiGameWinnersBitIdenticalAcrossThreadCounts) {
   ThreadGuard guard;
-  std::mt19937 rng(14);
+  std::mt19937 rng = qc::make_rng("parallel_equivalence.buchi_game");
   for (int i = 0; i < 20; ++i) {
     const BuchiGame game = random_buchi_game(3 + i % 40, rng);
     core::set_num_threads(1);
@@ -167,7 +168,7 @@ TEST(ParallelEquivalence, BuchiGameWinnersBitIdenticalAcrossThreadCounts) {
 
 TEST(ParallelEquivalence, RabinSolveBitIdenticalAcrossThreadCounts) {
   ThreadGuard guard;
-  std::mt19937 rng(15);
+  std::mt19937 rng = qc::make_rng("parallel_equivalence.rabin");
   for (int i = 0; i < 10; ++i) {
     const RabinGame game = random_rabin_game(4 + i * 2, 1 + i % 3, rng);
     core::set_num_threads(1);
@@ -191,7 +192,7 @@ TEST(ParallelEquivalence, RabinSolveBitIdenticalAcrossThreadCounts) {
 
 TEST(ParallelEquivalence, FullSafetyDecompositionBitIdenticalAcrossThreadCounts) {
   ThreadGuard guard;
-  std::mt19937 rng(16);
+  std::mt19937 rng = qc::make_rng("parallel_equivalence.decomposition");
   buchi::RandomNbaConfig config;
   config.num_states = 4;
   for (int i = 0; i < 10; ++i) {

@@ -1,0 +1,131 @@
+// The fuzz driver loop in-process: determinism, corpus round-trips, flag
+// semantics (property filter, mutants-only), and the digest/corpus key
+// format.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "qc/driver.hpp"
+#include "qc/gtest_seed.hpp"
+#include "qc/mutants.hpp"
+#include "qc/properties.hpp"
+#include "qc/seed.hpp"
+
+namespace slat::qc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh scratch corpus directory, removed on scope exit.
+struct ScratchCorpus {
+  fs::path dir;
+  explicit ScratchCorpus(const char* tag)
+      : dir(fs::temp_directory_path() /
+            (std::string("slat_qc_driver_test_") + tag)) {
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+  }
+  ~ScratchCorpus() { fs::remove_all(dir); }
+};
+
+TEST(Driver, DigestHexIs32Chars) {
+  core::Digest d;
+  d.hi = 0x0123456789abcdefULL;
+  d.lo = 0xfedcba9876543210ULL;
+  EXPECT_EQ(digest_hex(d), "0123456789abcdeffedcba9876543210");
+}
+
+TEST(Driver, ResolveCorpusDirPrefersExplicitOption) {
+  FuzzOptions options;
+  options.corpus_dir = "/tmp/explicit";
+  EXPECT_EQ(resolve_corpus_dir(options), "/tmp/explicit");
+  options.corpus_dir = "-";
+  EXPECT_EQ(resolve_corpus_dir(options), "-");
+}
+
+TEST(Driver, SmallSweepIsCleanAndDeterministic) {
+  FuzzOptions options;
+  options.runs = 40;
+  options.base_seed = 20030713;
+  options.corpus_dir = "-";
+  options.run_mutants = false;
+  std::ostringstream out1, out2;
+  const FuzzReport r1 = run_fuzz(options, out1);
+  const FuzzReport r2 = run_fuzz(options, out2);
+  EXPECT_TRUE(r1.clean()) << out1.str();
+  EXPECT_EQ(r1.trials, 40);
+  EXPECT_EQ(out1.str(), out2.str());
+}
+
+TEST(Driver, MutantsOnlyRunsTheWholeBank) {
+  FuzzOptions options;
+  options.run_properties = false;
+  options.corpus_dir = "-";
+  std::ostringstream out;
+  const FuzzReport report = run_fuzz(options, out);
+  EXPECT_EQ(report.trials, 0);
+  EXPECT_EQ(report.mutants_total, static_cast<int>(mutants().size()));
+  EXPECT_EQ(report.mutants_killed, report.mutants_total) << out.str();
+}
+
+TEST(Driver, PropertyFilterRestrictsTheSweep) {
+  FuzzOptions options;
+  options.runs = 10;
+  options.base_seed = 7;
+  options.only_property = "words.upword.laws";
+  options.corpus_dir = "-";
+  options.run_mutants = false;
+  options.verbose = true;
+  std::ostringstream out;
+  const FuzzReport report = run_fuzz(options, out);
+  EXPECT_TRUE(report.clean()) << out.str();
+  EXPECT_EQ(report.trials, 10);
+  EXPECT_NE(out.str().find("words.upword.laws: 10 trials"), std::string::npos)
+      << out.str();
+}
+
+TEST(Driver, CorpusEntriesReplayFirst) {
+  ScratchCorpus scratch("replay");
+  // A hand-written corpus entry for a real property: the driver must replay
+  // it (it passes — properties are sound) and report it as now-passing.
+  {
+    std::ofstream entry(scratch.dir / "00000000000000000000000000000001.corpus");
+    entry << "property=buchi.lcl.extensive\n";
+    entry << "trial_seed=12345\n";
+    entry << "# historical failure report\n";
+  }
+  // Unknown properties are skipped, not fatal (bank evolves over time).
+  {
+    std::ofstream entry(scratch.dir / "00000000000000000000000000000002.corpus");
+    entry << "property=does.not.exist\n";
+    entry << "trial_seed=1\n";
+  }
+  FuzzOptions options;
+  options.runs = 0;
+  options.base_seed = 99;
+  options.corpus_dir = scratch.dir.string();
+  options.run_mutants = false;
+  std::ostringstream out;
+  const FuzzReport report = run_fuzz(options, out);
+  EXPECT_EQ(report.corpus_replayed, 1) << out.str();
+  EXPECT_EQ(report.corpus_now_passing, 1);
+  EXPECT_TRUE(report.failures.empty());
+}
+
+TEST(Driver, TimeBudgetStopsTheSweep) {
+  FuzzOptions options;
+  options.runs = 1000000;
+  options.base_seed = 3;
+  options.corpus_dir = "-";
+  options.run_mutants = false;
+  options.time_budget_seconds = 0.05;
+  std::ostringstream out;
+  const FuzzReport report = run_fuzz(options, out);
+  EXPECT_LT(report.trials, 1000000) << "time budget never triggered";
+}
+
+}  // namespace
+}  // namespace slat::qc

@@ -1,0 +1,131 @@
+// The generator layer: seed-determinism, domain bounds, and structural
+// well-formedness of every arbitrary_* generator.
+#include <gtest/gtest.h>
+
+#include "buchi/nba.hpp"
+#include "lattice/closure.hpp"
+#include "lattice/finite_lattice.hpp"
+#include "ltl/formula.hpp"
+#include "qc/gen.hpp"
+#include "qc/gtest_seed.hpp"
+#include "qc/seed.hpp"
+#include "rabin/rabin_tree_automaton.hpp"
+#include "trees/ctl.hpp"
+
+namespace slat::qc {
+namespace {
+
+TEST(Seed, SplitmixIsDeterministicAndMixing) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+  EXPECT_NE(splitmix64(0), 0u);
+}
+
+TEST(Seed, DeriveSeparatesStreams) {
+  const std::uint64_t base = 12345;
+  EXPECT_EQ(derive(base, "alpha"), derive(base, "alpha"));
+  EXPECT_NE(derive(base, "alpha"), derive(base, "beta"));
+  EXPECT_NE(derive(base, "alpha"), derive(base + 1, "alpha"));
+  // Length-suffixed hashing: concatenation boundaries matter.
+  EXPECT_NE(derive(base, "ab"), derive(base, "a"));
+}
+
+TEST(Seed, NamedRngsAreIndependentOfCallOrder) {
+  std::mt19937 first_a = make_rng("stream-a");
+  (void)first_a();
+  std::mt19937 second_a = make_rng("stream-a");
+  std::mt19937 fresh_a = make_rng("stream-a");
+  EXPECT_EQ(second_a(), fresh_a());
+}
+
+TEST(GenNba, SameSeedSameAutomaton) {
+  const Gen<buchi::Nba> gen = arbitrary_nba({});
+  std::mt19937 rng1 = make_rng(std::uint64_t{7});
+  std::mt19937 rng2 = make_rng(std::uint64_t{7});
+  EXPECT_EQ(buchi::fingerprint(gen(rng1)), buchi::fingerprint(gen(rng2)));
+}
+
+TEST(GenNba, RespectsDomainBounds) {
+  const NbaDomain domain{3, 5, 2, 2, 0.5, 1.5, 0.2, 0.6};
+  const Gen<buchi::Nba> gen = arbitrary_nba(domain);
+  std::mt19937 rng = make_rng("gen_test.nba.bounds");
+  for (int i = 0; i < 50; ++i) {
+    const buchi::Nba nba = gen(rng);
+    EXPECT_GE(nba.num_states(), 3);
+    EXPECT_LE(nba.num_states(), 5);
+    EXPECT_EQ(nba.alphabet().size(), 2);
+    EXPECT_GE(nba.initial(), 0);
+    EXPECT_LT(nba.initial(), nba.num_states());
+  }
+}
+
+TEST(GenUpWord, WellFormed) {
+  const Gen<words::UpWord> gen = arbitrary_up_word({2, 4, 4});
+  std::mt19937 rng = make_rng("gen_test.upword");
+  for (int i = 0; i < 50; ++i) {
+    const words::UpWord w = gen(rng);
+    EXPECT_FALSE(w.period().empty());
+    EXPECT_TRUE(w.is_normalized());
+    for (std::size_t p = 0; p < 8; ++p) {
+      EXPECT_GE(w.at(p), 0);
+      EXPECT_LT(w.at(p), 2);
+    }
+  }
+}
+
+TEST(GenFormula, DeterministicAndInAlphabet) {
+  ltl::LtlArena arena1(words::Alphabet::binary());
+  ltl::LtlArena arena2(words::Alphabet::binary());
+  std::mt19937 rng1 = make_rng(std::uint64_t{99});
+  std::mt19937 rng2 = make_rng(std::uint64_t{99});
+  const ltl::FormulaId f1 = random_formula(arena1, 3, rng1);
+  const ltl::FormulaId f2 = random_formula(arena2, 3, rng2);
+  EXPECT_EQ(arena1.to_string(f1), arena2.to_string(f2));
+}
+
+TEST(GenCtl, Deterministic) {
+  trees::CtlArena arena1(words::Alphabet::binary());
+  trees::CtlArena arena2(words::Alphabet::binary());
+  std::mt19937 rng1 = make_rng(std::uint64_t{5});
+  std::mt19937 rng2 = make_rng(std::uint64_t{5});
+  EXPECT_EQ(arena1.to_string(random_ctl(arena1, 2, rng1)),
+            arena2.to_string(random_ctl(arena2, 2, rng2)));
+}
+
+TEST(GenRabin, WellFormed) {
+  const Gen<rabin::RabinTreeAutomaton> gen = arbitrary_rabin({2, 4, 2, 2, 1, 2});
+  std::mt19937 rng = make_rng("gen_test.rabin");
+  for (int i = 0; i < 20; ++i) {
+    const rabin::RabinTreeAutomaton automaton = gen(rng);
+    EXPECT_GE(automaton.num_states(), 2);
+    EXPECT_LE(automaton.num_states(), 4);
+    EXPECT_GE(automaton.num_pairs(), 1);
+    EXPECT_LE(automaton.num_pairs(), 2);
+    EXPECT_EQ(automaton.branching(), 2);
+  }
+}
+
+TEST(GenLattice, ProducesGenuineLatticesWithValidClosures) {
+  std::mt19937 rng = make_rng("gen_test.lattice");
+  for (int i = 0; i < 30; ++i) {
+    const lattice::FiniteLattice lat = random_lattice(3, rng);
+    EXPECT_GE(lat.size(), 1);
+    EXPECT_LE(lat.size(), 8);
+    const lattice::LatticeClosure cl = random_closure(lat, rng);
+    std::vector<lattice::Elem> map;
+    for (lattice::Elem a = 0; a < lat.size(); ++a) map.push_back(cl.apply(a));
+    EXPECT_EQ(lattice::LatticeClosure::violation(lat, map), std::nullopt);
+  }
+}
+
+TEST(GenLattice, ClosurePairsSatisfyTheorem3Hypothesis) {
+  std::mt19937 rng = make_rng("gen_test.closure_pair");
+  for (int i = 0; i < 30; ++i) {
+    const lattice::FiniteLattice lat = random_lattice(3, rng);
+    const auto [cl1, cl2] = random_closure_pair(lat, rng);
+    EXPECT_TRUE(cl1.pointwise_leq(cl2));
+  }
+}
+
+}  // namespace
+}  // namespace slat::qc

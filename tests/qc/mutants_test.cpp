@@ -1,0 +1,42 @@
+// The mutant bank: ≥ 25 deliberately-broken constructions spanning the
+// LTL, Büchi, lattice and Rabin/CTL pipelines, with a 100% kill rate.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "qc/gtest_seed.hpp"
+#include "qc/mutants.hpp"
+
+namespace slat::qc {
+namespace {
+
+TEST(Mutants, BankIsLargeEnoughAndNamed) {
+  const auto& bank = mutants();
+  EXPECT_GE(bank.size(), 25u);
+  std::set<std::string> names;
+  for (const Mutant& m : bank) {
+    EXPECT_FALSE(m.name.empty());
+    EXPECT_FALSE(m.corrupts.empty());
+    EXPECT_TRUE(names.insert(m.name).second) << "duplicate name " << m.name;
+  }
+}
+
+TEST(Mutants, SpansAllFourPipelines) {
+  std::set<std::string> pipelines;
+  for (const Mutant& m : mutants()) pipelines.insert(m.pipeline);
+  EXPECT_TRUE(pipelines.count("buchi"));
+  EXPECT_TRUE(pipelines.count("ltl"));
+  EXPECT_TRUE(pipelines.count("lattice"));
+  EXPECT_TRUE(pipelines.count("rabin"));
+  EXPECT_TRUE(pipelines.count("ctl"));
+}
+
+TEST(Mutants, HundredPercentKillRate) {
+  for (const Mutant& m : mutants()) {
+    EXPECT_TRUE(m.killed()) << "mutant survived: " << m.name
+                            << " (corrupts: " << m.corrupts << ")";
+  }
+}
+
+}  // namespace
+}  // namespace slat::qc
