@@ -1,0 +1,893 @@
+// The 10^4–10^6-state scaling tier (PR6): drives subset construction,
+// direct simulation, and antichain inclusion over scaled Rem-family and
+// sparse-random automata, reporting states/second (items_per_second) and
+// peak RSS per run. The *_Reference benchmarks are verbatim copies of the
+// pre-CSR kernels — the quadratic-bitset subset construction and the
+// per-node heap-allocated StateSet/Profile antichain engine — so the
+// headline ratios in BENCH_PR6.json compare the flat CSR + arena layout
+// against the layout it replaced, on identical inputs (the artifact section
+// cross-checks that both sides produce identical results).
+//
+// Registration order matters for the RSS counters: ru_maxrss is a process
+// high-water mark, so the optimized benchmarks run FIRST and their
+// peak_rss_mb readings are untouched by the reference runs' deliberately
+// quadratic allocations. rss_growth_mb (high-water growth during the
+// benchmark) is reported alongside for per-run footprints.
+//
+// Scaled families (binary alphabet, all O(states) edges):
+//   rem_p1_chain(n)   — Rem's p1 ("first symbol is a") iterated n times:
+//                       a^n Σ^ω as an all-accepting chain, the safety-closure
+//                       shape whose determinization has n+2 subsets.
+//   sim_cycle(n)      — all-accepting a-counter cycle with b self-loops;
+//                       simulation's greatest fixpoint converges in one
+//                       Jacobi round, isolating the per-round sweep cost.
+//   stem_lhs(n)       — Σ^{n-1} a^ω: a branching chain with a single
+//                       accepting tail loop, so the inclusion search runs a
+//                       full stem fixpoint and exactly one (tiny) period
+//                       search: a stem-phase benchmark by construction.
+//   stem_rhs(m, k)    — "eventually always a" as an m-state guess chain,
+//                       disjoint-union an accepting mod-k a-counter. The
+//                       counter keeps up to k mutually incomparable rhs sets
+//                       per lhs state, so antichain chains have real width
+//                       and the subsumption loops are actually exercised.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "buchi/inclusion.hpp"
+#include "buchi/nba.hpp"
+#include "buchi/random.hpp"
+#include "buchi/safety.hpp"
+#include "buchi/simulation.hpp"
+#include "common/assert.hpp"
+#include "core/memo_cache.hpp"
+#include "core/metrics.hpp"
+#include "core/parallel.hpp"
+#include "core/state_set.hpp"
+
+namespace slat::buchi {
+namespace {
+
+using core::StateSet;
+
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+void record_rss(benchmark::State& state, double rss_before) {
+  const double rss_after = peak_rss_mb();
+  state.counters["peak_rss_mb"] = rss_after;
+  state.counters["rss_growth_mb"] = std::max(0.0, rss_after - rss_before);
+}
+
+// ---------------------------------------------------------------------------
+// Scaled input families
+// ---------------------------------------------------------------------------
+
+/// a^n Σ^ω as an all-accepting (closure-shaped) chain: states 0..n, q<n has
+/// only q -a-> q+1 (a b falls off into the determinization sink), state n
+/// loops on both symbols.
+Nba rem_p1_chain(int n) {
+  Nba nba(Alphabet::of_size(2), n + 1, 0);
+  for (State q = 0; q < n; ++q) {
+    nba.set_accepting(q, true);
+    nba.add_transition(q, 0, q + 1);
+  }
+  nba.set_accepting(n, true);
+  nba.add_transition(n, 0, n);
+  nba.add_transition(n, 1, n);
+  return nba;
+}
+
+/// All-accepting cycle: q -a-> q+1 (mod n), q -b-> q.
+Nba sim_cycle(int n) {
+  Nba nba(Alphabet::of_size(2), n, 0);
+  for (State q = 0; q < n; ++q) {
+    nba.set_accepting(q, true);
+    nba.add_transition(q, 0, (q + 1) % n);
+    nba.add_transition(q, 1, q);
+  }
+  return nba;
+}
+
+/// Σ^{n-1} a^ω: free a/b choice along a chain of n-1 states, then an
+/// accepting a-loop. Trim keeps everything; the tail loop is the only
+/// accepting SCC, so the period phase runs from exactly one pivot.
+Nba stem_lhs(int n) {
+  SLAT_ASSERT(n >= 2);
+  Nba nba(Alphabet::of_size(2), n, 0);
+  for (State q = 0; q + 1 < n; ++q) {
+    nba.add_transition(q, 0, q + 1);
+    nba.add_transition(q, 1, q + 1);
+  }
+  nba.set_accepting(n - 1, true);
+  nba.add_transition(n - 1, 0, n - 1);
+  return nba;
+}
+
+/// Disjoint union of an m-state "eventually always a" guess chain and an
+/// accepting mod-k a-counter, behind a fresh initial state that mimics both
+/// components' initial moves. L ⊇ Σ^* a^ω, so stem_lhs(n) ⊆ stem_rhs(m, k)
+/// always holds and the inclusion search runs to its antichain fixpoint.
+Nba stem_rhs(int m, int k) {
+  SLAT_ASSERT(m >= 2 && k >= 1);
+  // State layout: 0 = fresh initial, 1..m = guess chain r0..r_{m-1},
+  // m+1..m+k = counter c_0..c_{k-1}.
+  const State r0 = 1;
+  const State c0 = m + 1;
+  Nba nba(Alphabet::of_size(2), 1 + m + k, 0);
+  // Guess chain: r0 loops on both symbols and may enter the a-run; the run
+  // must then stay on a forever, accepting only at the end of the chain.
+  nba.add_transition(r0, 0, r0);
+  nba.add_transition(r0, 1, r0);
+  nba.add_transition(r0, 0, r0 + 1);
+  for (int i = 1; i < m; ++i) {
+    if (i + 1 < m) {
+      nba.add_transition(r0 + i, 0, r0 + i + 1);
+    } else {
+      nba.set_accepting(r0 + i, true);
+      nba.add_transition(r0 + i, 0, r0 + i);
+    }
+  }
+  // Counter: rotates on a, holds on b, accepting at residue 0 — it keeps
+  // the a-count mod k alive inside every reachable rhs subset.
+  for (int i = 0; i < k; ++i) {
+    nba.add_transition(c0 + i, 0, c0 + (i + 1) % k);
+    nba.add_transition(c0 + i, 1, c0 + i);
+  }
+  nba.set_accepting(c0, true);
+  // Fresh initial: the union of both components' initial out-edges.
+  for (Sym s = 0; s < 2; ++s) {
+    for (State to : nba.successors(r0, s)) nba.add_transition(0, s, to);
+    for (State to : nba.successors(c0, s)) nba.add_transition(0, s, to);
+  }
+  return nba;
+}
+
+/// Sparse random automaton, all states accepting (closure shape) so the
+/// benches measure the kernels, not acceptance trivia.
+Nba random_closure(int n, double density, std::uint32_t seed) {
+  RandomNbaConfig config;
+  config.num_states = n;
+  config.alphabet_size = 2;
+  config.transition_density = density;
+  config.accepting_probability = 1.0;
+  std::mt19937 rng(seed);
+  return sparse_random_nba(config, rng);
+}
+
+/// Two random permutations as the transition functions: deterministic and
+/// complete, so determinization is a relabelling with ≤ n+1 subsets — but
+/// every subset step is a RANDOM intern-table probe, the locality
+/// worst-case for the subset-construction machinery. (A genuinely
+/// nondeterministic random NFA is useless here: supercritical densities
+/// blow the subset count up exponentially, subcritical ones die into the
+/// sink after two steps. The permutation family is the bounded way to
+/// drive the determinizer with random automata at 10^5–10^6 states.)
+Nba random_perm(int n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  Nba nba(Alphabet::of_size(2), n, 0);
+  std::vector<State> perm(n);
+  for (Sym s = 0; s < 2; ++s) {
+    for (State q = 0; q < n; ++q) perm[q] = q;
+    std::shuffle(perm.begin(), perm.end(), rng);
+    for (State q = 0; q < n; ++q) {
+      nba.set_accepting(q, true);
+      nba.add_transition(q, s, perm[q]);
+    }
+  }
+  return nba;
+}
+
+/// Word-oblivious sparse random rhs: symbol b copies symbol a's rows, so
+/// every length-q word reaches the same rhs subset and the stem antichain
+/// stays one (dense) set per lhs state — a per-node set-arithmetic workload.
+/// Acceptance stays sparse on purpose: an all-accepting random graph is one
+/// big mutual-simulation class and the engine's quotient would collapse it
+/// to a handful of states before the search even starts.
+Nba random_oblivious_rhs(int m, double density, std::uint32_t seed) {
+  RandomNbaConfig config;
+  config.num_states = m;
+  config.alphabet_size = 2;
+  config.transition_density = density;
+  config.accepting_probability = 0.3;
+  std::mt19937 rng(seed);
+  const Nba draw = sparse_random_nba(config, rng);
+  Nba nba(Alphabet::of_size(2), m, 0);
+  for (State q = 0; q < m; ++q) {
+    nba.set_accepting(q, draw.is_accepting(q));
+    for (State to : draw.successors(q, 0)) {
+      nba.add_transition(q, 0, to);
+      nba.add_transition(q, 1, to);
+    }
+  }
+  return nba;
+}
+
+// ---------------------------------------------------------------------------
+// Pre-CSR reference kernels (verbatim pre-PR6 implementations)
+// ---------------------------------------------------------------------------
+
+/// The pre-PR6 subset construction: quadratic per-(state,symbol) successor
+/// bitsets, n-bit StateSet subsets interned by value, per-subset
+/// vector<State> transition rows. O(states² · |Σ|) bits of auxiliary memory.
+struct ReferenceDetSafety {
+  State initial = -1;
+  State sink = -1;
+  std::vector<std::vector<State>> delta;
+};
+
+ReferenceDetSafety reference_determinize(const Nba& closure) {
+  ReferenceDetSafety out;
+  const Sym sigma = closure.alphabet().size();
+  const int n = closure.num_states();
+
+  std::vector<StateSet> succ_bits(static_cast<std::size_t>(n) * sigma);
+  core::parallel_for(n * sigma, [&](int cell) {
+    const State q = cell / sigma;
+    const Sym s = cell % sigma;
+    StateSet bits(n);
+    for (State to : closure.successors(q, s)) bits.insert(to);
+    succ_bits[cell] = std::move(bits);
+  });
+
+  core::InternTable<StateSet> intern;
+  intern.reserve(2 * n + 2);
+  const auto intern_set = [&](const StateSet& set) {
+    State id = intern.find(set);
+    if (id == -1) {
+      id = intern.intern(set);
+      out.delta.emplace_back(sigma, -1);
+    }
+    return id;
+  };
+
+  out.sink = intern_set(StateSet{});
+  if (closure.is_trivially_dead()) {
+    out.initial = out.sink;
+  } else {
+    StateSet init(n);
+    init.insert(closure.initial());
+    out.initial = intern_set(init);
+  }
+
+  std::vector<StateSet> images;
+  for (State level_begin = 0; level_begin < intern.size();) {
+    const State level_end = intern.size();
+    const int frontier = level_end - level_begin;
+    images.assign(static_cast<std::size_t>(frontier) * sigma, StateSet{});
+    core::parallel_for(
+        frontier * sigma,
+        [&](int cell) {
+          const State current_id = level_begin + cell / sigma;
+          const Sym s = cell % sigma;
+          StateSet image(n);
+          intern.key(current_id).for_each([&](int q) {
+            image.union_with(succ_bits[static_cast<std::size_t>(q) * sigma + s]);
+          });
+          images[cell] = std::move(image);
+        },
+        /*grain=*/sigma);
+    for (State current_id = level_begin; current_id < level_end; ++current_id) {
+      for (Sym s = 0; s < sigma; ++s) {
+        const State target = intern_set(images[(current_id - level_begin) * sigma + s]);
+        out.delta[current_id][s] = target;
+      }
+    }
+    level_begin = level_end;
+  }
+  return out;
+}
+
+/// Pre-PR6 arc profile: one heap-backed StateSet per rhs state and row.
+struct Profile {
+  std::vector<StateSet> any;
+  std::vector<StateSet> acc;
+};
+
+bool profile_subseteq(const Profile& a, const Profile& b) {
+  for (std::size_t s = 0; s < a.any.size(); ++s) {
+    if (!b.any[s].contains_all(a.any[s])) return false;
+    if (!b.acc[s].contains_all(a.acc[s])) return false;
+  }
+  return true;
+}
+
+/// The pre-PR6 antichain engine, verbatim apart from metrics: per-node
+/// StateSet/Profile values with per-push heap copies, AoS node records, and
+/// member-by-member subsumption without the word-parallel fast paths. Search
+/// order is identical to the production engine, so node counts must agree.
+class ReferenceAntichainEngine {
+ public:
+  std::uint64_t stem_node_count = 0;
+  std::uint64_t period_node_count = 0;
+
+  ReferenceAntichainEngine(const Nba& lhs, const Nba& rhs)
+      : a_(lhs.trim()),
+        b_(simulation_quotient(rhs)),
+        sigma_(a_.alphabet().size()),
+        na_(a_.num_states()),
+        nb_(b_.num_states()),
+        sim_(direct_simulation(b_)) {
+    step_any_.assign(sigma_, std::vector<StateSet>(nb_, StateSet(nb_)));
+    step_acc_.assign(sigma_, std::vector<StateSet>(nb_, StateSet(nb_)));
+    for (State s = 0; s < nb_; ++s) {
+      for (Sym c = 0; c < sigma_; ++c) {
+        for (State t : b_.successors(s, c)) {
+          step_any_[c][s].insert(t);
+          if (b_.is_accepting(s) || b_.is_accepting(t)) step_acc_[c][s].insert(t);
+        }
+      }
+    }
+
+    std::vector<bool> self_loop(na_, false);
+    const auto scc = detail::strongly_connected_components(
+        na_, [&](int q, const std::function<void(int)>& visit) {
+          for (Sym c = 0; c < sigma_; ++c) {
+            for (State t : a_.successors(q, c)) {
+              if (t == q) self_loop[q] = true;
+              visit(t);
+            }
+          }
+        });
+    std::vector<int> scc_size(scc.num_components, 0);
+    std::vector<bool> scc_accepting(scc.num_components, false);
+    for (State q = 0; q < na_; ++q) {
+      scc_size[scc.component[q]] += 1;
+      if (a_.is_accepting(q)) scc_accepting[scc.component[q]] = true;
+    }
+    pivot_ok_.assign(na_, false);
+    for (State q = 0; q < na_; ++q) {
+      const int c = scc.component[q];
+      pivot_ok_[q] = scc_accepting[c] && (scc_size[c] >= 2 || self_loop[q]);
+    }
+  }
+
+  InclusionResult run() {
+    InclusionResult result{true, std::nullopt};
+    if (!a_.is_trivially_dead()) {
+      result = search();
+    }
+    return result;
+  }
+
+ private:
+  StateSet normalize_set(const StateSet& full) const {
+    StateSet out(nb_);
+    full.for_each([&](int q) {
+      bool drop = false;
+      sim_.simulators[q].for_each([&](int t) {
+        if (drop || t == q || !full.contains(t)) return;
+        if (!sim_.simulates(q, t) || t < q) drop = true;
+      });
+      if (!drop) out.insert(q);
+    });
+    return out;
+  }
+
+  bool set_dominates(const StateSet& strong, const StateSet& weak) const {
+    bool ok = true;
+    strong.for_each([&](int s) {
+      if (ok && !sim_.simulators[s].intersects(weak)) ok = false;
+    });
+    return ok;
+  }
+
+  StateSet step_set(const StateSet& set, Sym c) const {
+    StateSet next(nb_);
+    set.for_each([&](int s) { next.union_with(step_any_[c][s]); });
+    return normalize_set(next);
+  }
+
+  Profile one_step_profile(Sym c) const {
+    return Profile{step_any_[c], step_acc_[c]};
+  }
+
+  Profile compose(const Profile& r, Sym c) const {
+    Profile out;
+    out.any.assign(nb_, StateSet(nb_));
+    out.acc.assign(nb_, StateSet(nb_));
+    for (State s = 0; s < nb_; ++s) {
+      r.any[s].for_each([&](int t) {
+        out.any[s].union_with(step_any_[c][t]);
+        out.acc[s].union_with(step_acc_[c][t]);
+      });
+      r.acc[s].for_each([&](int t) { out.acc[s].union_with(step_any_[c][t]); });
+    }
+    return out;
+  }
+
+  bool profile_accepts(const StateSet& set, const Profile& prof) const {
+    StateSet reach(nb_);
+    std::vector<int> work;
+    set.for_each([&](int s) {
+      reach.insert(s);
+      work.push_back(s);
+    });
+    while (!work.empty()) {
+      const int s = work.back();
+      work.pop_back();
+      prof.any[s].for_each([&](int t) {
+        if (!reach.contains(t)) {
+          reach.insert(t);
+          work.push_back(t);
+        }
+      });
+    }
+    const auto scc = detail::strongly_connected_components(
+        nb_, [&](int s, const std::function<void(int)>& visit) {
+          prof.any[s].for_each(visit);
+        });
+    bool found = false;
+    for (State s = 0; s < nb_ && !found; ++s) {
+      if (!reach.contains(s)) continue;
+      prof.acc[s].for_each([&](int t) {
+        if (scc.component[t] == scc.component[s]) found = true;
+      });
+    }
+    return found;
+  }
+
+  struct StemNode {
+    State p;
+    StateSet set;
+    int pred;
+    Sym sym;
+  };
+
+  void push_stem(State p, StateSet set, int pred, Sym sym) {
+    auto& chain = stem_chain_[p];
+    for (const int id : chain) {
+      if (set_dominates(stem_nodes_[id].set, set)) return;
+    }
+    std::size_t kept = 0;
+    for (const int id : chain) {
+      if (set_dominates(set, stem_nodes_[id].set)) {
+        stem_live_[id] = false;
+      } else {
+        chain[kept++] = id;
+      }
+    }
+    chain.resize(kept);
+    const int id = static_cast<int>(stem_nodes_.size());
+    stem_nodes_.push_back(StemNode{p, std::move(set), pred, sym});
+    stem_live_.push_back(true);
+    chain.push_back(id);
+    stem_frontier_.push_back(id);
+    stem_node_count += 1;
+  }
+
+  void run_stems() {
+    stem_chain_.assign(na_, {});
+    StateSet init(nb_);
+    init.insert(b_.initial());
+    push_stem(a_.initial(), normalize_set(init), -1, -1);
+    std::size_t head = 0;
+    while (head < stem_frontier_.size()) {
+      const int id = stem_frontier_[head++];
+      if (!stem_live_[id]) continue;
+      // Copy out: push_stem may reallocate stem_nodes_.
+      const State p = stem_nodes_[id].p;
+      const StateSet set = stem_nodes_[id].set;
+      for (Sym c = 0; c < sigma_; ++c) {
+        const auto succs = a_.successors(p, c);
+        if (succs.empty()) continue;
+        const StateSet next = step_set(set, c);
+        for (const State q : succs) push_stem(q, next, id, c);
+      }
+    }
+  }
+
+  struct PeriodNode {
+    State q;
+    bool acc;
+    Profile prof;
+    int pred;
+    Sym sym;
+  };
+
+  struct Hit {
+    int stem_id;
+    int period_id;
+  };
+
+  std::optional<Hit> push_period(State pivot, State q, bool acc, const Profile& prof,
+                                 int pred, Sym sym) {
+    auto& chain = period_chain_[q];
+    for (const int id : chain) {
+      const PeriodNode& node = period_nodes_[id];
+      if (node.acc >= acc && profile_subseteq(node.prof, prof)) {
+        return std::nullopt;
+      }
+    }
+    std::size_t kept = 0;
+    for (const int id : chain) {
+      const PeriodNode& node = period_nodes_[id];
+      if (acc >= node.acc && profile_subseteq(prof, node.prof)) {
+        period_live_[id] = false;
+      } else {
+        chain[kept++] = id;
+      }
+    }
+    chain.resize(kept);
+    const int id = static_cast<int>(period_nodes_.size());
+    period_nodes_.push_back(PeriodNode{q, acc, prof, pred, sym});
+    period_live_.push_back(true);
+    chain.push_back(id);
+    period_frontier_.push_back(id);
+    period_node_count += 1;
+    if (q == pivot && acc) {
+      for (const int stem_id : stem_chain_[pivot]) {
+        if (!profile_accepts(stem_nodes_[stem_id].set, prof)) {
+          return Hit{stem_id, id};
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Hit> run_periods(State pivot) {
+    period_nodes_.clear();
+    period_live_.clear();
+    period_frontier_.clear();
+    period_chain_.assign(na_, {});
+    const bool pivot_acc = a_.is_accepting(pivot);
+    for (Sym c = 0; c < sigma_; ++c) {
+      const auto succs = a_.successors(pivot, c);
+      if (succs.empty()) continue;
+      const Profile prof = one_step_profile(c);
+      for (const State q : succs) {
+        if (auto hit = push_period(pivot, q, pivot_acc || a_.is_accepting(q), prof,
+                                   -1, c)) {
+          return hit;
+        }
+      }
+    }
+    std::size_t head = 0;
+    while (head < period_frontier_.size()) {
+      const int id = period_frontier_[head++];
+      if (!period_live_[id]) continue;
+      const State q = period_nodes_[id].q;
+      const bool acc = period_nodes_[id].acc;
+      const Profile prof = period_nodes_[id].prof;  // copy: vector may grow
+      for (Sym c = 0; c < sigma_; ++c) {
+        const auto succs = a_.successors(q, c);
+        if (succs.empty()) continue;
+        const Profile next = compose(prof, c);
+        for (const State q2 : succs) {
+          if (auto hit =
+                  push_period(pivot, q2, acc || a_.is_accepting(q2), next, id, c)) {
+            return hit;
+          }
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  InclusionResult search() {
+    run_stems();
+    for (State pivot = 0; pivot < na_; ++pivot) {
+      if (!pivot_ok_[pivot] || stem_chain_[pivot].empty()) continue;
+      if (const auto hit = run_periods(pivot)) {
+        return InclusionResult{false, build_witness(hit->stem_id, hit->period_id)};
+      }
+    }
+    return InclusionResult{true, std::nullopt};
+  }
+
+  UpWord build_witness(int stem_id, int period_id) const {
+    Word u;
+    for (int id = stem_id; id != -1; id = stem_nodes_[id].pred) {
+      if (stem_nodes_[id].sym >= 0) u.push_back(stem_nodes_[id].sym);
+    }
+    std::reverse(u.begin(), u.end());
+    Word v;
+    for (int id = period_id; id != -1; id = period_nodes_[id].pred) {
+      v.push_back(period_nodes_[id].sym);
+    }
+    std::reverse(v.begin(), v.end());
+    return UpWord(std::move(u), std::move(v));
+  }
+
+  const Nba a_;
+  const Nba b_;
+  const Sym sigma_;
+  const int na_;
+  const int nb_;
+  const SimulationPreorder sim_;
+  std::vector<std::vector<StateSet>> step_any_;
+  std::vector<std::vector<StateSet>> step_acc_;
+  std::vector<bool> pivot_ok_;
+
+  std::vector<StemNode> stem_nodes_;
+  std::vector<bool> stem_live_;
+  std::vector<std::vector<int>> stem_chain_;
+  std::vector<int> stem_frontier_;
+
+  std::vector<PeriodNode> period_nodes_;
+  std::vector<bool> period_live_;
+  std::vector<std::vector<int>> period_chain_;
+  std::vector<int> period_frontier_;
+};
+
+// ---------------------------------------------------------------------------
+// Workload parameters shared by benchmark and artifact code
+// ---------------------------------------------------------------------------
+
+constexpr double kRandomDensity = 1.05;     // sparse random simulation input
+constexpr std::uint32_t kRandomSeed = 0x5ca1ab1e;
+constexpr int kStemRhsChain = 192;          // > 128 ⇒ pre-PR sets heap-allocate
+constexpr int kStemRhsMod = 32;             // antichain width per lhs state
+constexpr int kObliviousRhs = 256;
+constexpr double kObliviousDensity = 1.3;
+
+Nba inclusion_rhs() { return stem_rhs(kStemRhsChain, kStemRhsMod); }
+
+Nba oblivious_rhs() {
+  return random_oblivious_rhs(kObliviousRhs, kObliviousDensity, kRandomSeed + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Optimized benchmarks (registered first: see the RSS note atop this file)
+// ---------------------------------------------------------------------------
+
+void BM_SubsetConstruction_RemChain(benchmark::State& state) {
+  core::CacheEnabledScope cache_off(false);
+  const int n = static_cast<int>(state.range(0));
+  const Nba chain = rem_p1_chain(n);
+  const double rss_before = peak_rss_mb();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DetSafety::determinize(chain));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  record_rss(state, rss_before);
+}
+BENCHMARK(BM_SubsetConstruction_RemChain)
+    ->Arg(10000)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+void BM_SubsetConstruction_RandomPerm(benchmark::State& state) {
+  core::CacheEnabledScope cache_off(false);
+  const int n = static_cast<int>(state.range(0));
+  const Nba nfa = random_perm(n, kRandomSeed);
+  const double rss_before = peak_rss_mb();
+  int det_states = 0;
+  for (auto _ : state) {
+    const DetSafety det = DetSafety::determinize(nfa);
+    det_states = det.num_states();
+    benchmark::DoNotOptimize(det_states);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["det_states"] = det_states;
+  record_rss(state, rss_before);
+}
+BENCHMARK(BM_SubsetConstruction_RandomPerm)
+    ->Arg(10000)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+void BM_Simulation_Cycle(benchmark::State& state) {
+  core::CacheEnabledScope cache_off(false);
+  const int n = static_cast<int>(state.range(0));
+  const Nba cycle = sim_cycle(n);
+  const double rss_before = peak_rss_mb();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(direct_simulation(cycle));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  record_rss(state, rss_before);
+}
+BENCHMARK(BM_Simulation_Cycle)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// Simulation is inherently Θ(n²) in relation size (the preorder itself is a
+// dense n×n bit matrix on these families), so its scaling tier stops at
+// 10^4 — the quadratic frontier this PR's kernels deliberately avoid
+// everywhere else. The sparse-random instance runs at 4·10^3: its fixpoint
+// needs many more refinement rounds than the cycle's single round.
+void BM_Simulation_SparseRandom(benchmark::State& state) {
+  core::CacheEnabledScope cache_off(false);
+  const int n = static_cast<int>(state.range(0));
+  const Nba nfa = random_closure(n, kRandomDensity, kRandomSeed + 2);
+  const double rss_before = peak_rss_mb();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(direct_simulation(nfa));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  record_rss(state, rss_before);
+}
+BENCHMARK(BM_Simulation_SparseRandom)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_InclusionStem_RemFga(benchmark::State& state) {
+  core::CacheEnabledScope cache_off(false);
+  const int n = static_cast<int>(state.range(0));
+  const Nba lhs = stem_lhs(n);
+  const Nba rhs = inclusion_rhs();
+  const double rss_before = peak_rss_mb();
+  for (auto _ : state) {
+    const InclusionResult result = check_inclusion(lhs, rhs);
+    SLAT_ASSERT(result.included);
+    benchmark::DoNotOptimize(result.included);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  record_rss(state, rss_before);
+}
+BENCHMARK(BM_InclusionStem_RemFga)
+    ->Arg(10000)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+void BM_InclusionStem_RandomRhs(benchmark::State& state) {
+  core::CacheEnabledScope cache_off(false);
+  const int n = static_cast<int>(state.range(0));
+  const Nba lhs = stem_lhs(n);
+  const Nba rhs = oblivious_rhs();
+  const double rss_before = peak_rss_mb();
+  for (auto _ : state) {
+    const InclusionResult result = check_inclusion(lhs, rhs);
+    benchmark::DoNotOptimize(result.included);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  record_rss(state, rss_before);
+}
+BENCHMARK(BM_InclusionStem_RandomRhs)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Pre-CSR reference benchmarks (quadratic memory: capped at the 10^5 tier)
+// ---------------------------------------------------------------------------
+
+void BM_SubsetConstruction_RemChain_Reference(benchmark::State& state) {
+  core::CacheEnabledScope cache_off(false);
+  const int n = static_cast<int>(state.range(0));
+  const Nba chain = rem_p1_chain(n);
+  const double rss_before = peak_rss_mb();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference_determinize(chain));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  record_rss(state, rss_before);
+}
+BENCHMARK(BM_SubsetConstruction_RemChain_Reference)
+    ->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_SubsetConstruction_RandomPerm_Reference(benchmark::State& state) {
+  core::CacheEnabledScope cache_off(false);
+  const int n = static_cast<int>(state.range(0));
+  const Nba nfa = random_perm(n, kRandomSeed);
+  const double rss_before = peak_rss_mb();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference_determinize(nfa));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  record_rss(state, rss_before);
+}
+BENCHMARK(BM_SubsetConstruction_RandomPerm_Reference)
+    ->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_InclusionStem_RemFga_Reference(benchmark::State& state) {
+  core::CacheEnabledScope cache_off(false);
+  const int n = static_cast<int>(state.range(0));
+  const Nba lhs = stem_lhs(n);
+  const Nba rhs = inclusion_rhs();
+  const double rss_before = peak_rss_mb();
+  for (auto _ : state) {
+    ReferenceAntichainEngine engine(lhs, rhs);
+    const InclusionResult result = engine.run();
+    SLAT_ASSERT(result.included);
+    benchmark::DoNotOptimize(result.included);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  record_rss(state, rss_before);
+}
+BENCHMARK(BM_InclusionStem_RemFga_Reference)
+    ->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_InclusionStem_RandomRhs_Reference(benchmark::State& state) {
+  core::CacheEnabledScope cache_off(false);
+  const int n = static_cast<int>(state.range(0));
+  const Nba lhs = stem_lhs(n);
+  const Nba rhs = oblivious_rhs();
+  const double rss_before = peak_rss_mb();
+  for (auto _ : state) {
+    ReferenceAntichainEngine engine(lhs, rhs);
+    const InclusionResult result = engine.run();
+    benchmark::DoNotOptimize(result.included);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  record_rss(state, rss_before);
+}
+BENCHMARK(BM_InclusionStem_RandomRhs_Reference)
+    ->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Artifact: cross-check reference vs optimized on small instances
+// ---------------------------------------------------------------------------
+
+void print_artifact() {
+  namespace bench = slat::bench;
+  bench::print_header(
+      "E-SCALE (PR6)",
+      "10^4–10^6-state scaling tier: CSR + arena kernels vs pre-CSR layouts");
+  core::CacheEnabledScope cache_off(false);
+
+  std::printf("cross-checks at n=2000 (the timed tiers reuse the same generators):\n");
+
+  {
+    const Nba chain = rem_p1_chain(2000);
+    const ReferenceDetSafety ref = reference_determinize(chain);
+    const DetSafety det = DetSafety::determinize(chain);
+    bool same = det.num_states() == static_cast<int>(ref.delta.size()) &&
+                det.initial() == ref.initial && det.sink() == ref.sink;
+    for (State q = 0; same && q < det.num_states(); ++q) {
+      for (Sym s = 0; s < 2; ++s) same = det.step(q, s) == ref.delta[q][s];
+    }
+    std::printf("  subset construction, rem_p1_chain:    %d subsets, %s\n",
+                det.num_states(), same ? "reference == optimized" : "MISMATCH");
+    SLAT_ASSERT(same);
+  }
+  {
+    const Nba nfa = random_perm(2000, kRandomSeed);
+    const ReferenceDetSafety ref = reference_determinize(nfa);
+    const DetSafety det = DetSafety::determinize(nfa);
+    bool same = det.num_states() == static_cast<int>(ref.delta.size()) &&
+                det.initial() == ref.initial && det.sink() == ref.sink;
+    for (State q = 0; same && q < det.num_states(); ++q) {
+      for (Sym s = 0; s < 2; ++s) same = det.step(q, s) == ref.delta[q][s];
+    }
+    std::printf("  subset construction, random perm:     %d subsets, %s\n",
+                det.num_states(), same ? "reference == optimized" : "MISMATCH");
+    SLAT_ASSERT(same);
+  }
+  {
+    const Nba lhs = stem_lhs(2000);
+    const Nba rhs = inclusion_rhs();
+    core::Counter& stems = core::metrics().counter("buchi.inclusion.stem_nodes");
+    const std::uint64_t before = stems.value();
+    const InclusionResult optimized = check_inclusion(lhs, rhs);
+    const std::uint64_t optimized_stems = stems.value() - before;
+    ReferenceAntichainEngine engine(lhs, rhs);
+    const InclusionResult reference = engine.run();
+    const bool same = optimized.included == reference.included &&
+                      optimized_stems == engine.stem_node_count;
+    std::printf("  inclusion stem search, rem/fga rhs:   included=%d, "
+                "%llu stem nodes, %s\n",
+                optimized.included ? 1 : 0,
+                static_cast<unsigned long long>(optimized_stems),
+                same ? "reference == optimized" : "MISMATCH");
+    SLAT_ASSERT(same);
+  }
+  {
+    const Nba lhs = stem_lhs(2000);
+    const Nba rhs = oblivious_rhs();
+    const InclusionResult optimized = check_inclusion(lhs, rhs);
+    ReferenceAntichainEngine engine(lhs, rhs);
+    const InclusionResult reference = engine.run();
+    const bool same = optimized.included == reference.included;
+    std::printf("  inclusion stem search, oblivious rhs: included=%d, %s\n",
+                optimized.included ? 1 : 0,
+                same ? "reference == optimized" : "MISMATCH");
+    SLAT_ASSERT(same);
+  }
+
+  std::printf(
+      "\nnotes:\n"
+      "  - items/s == automaton states/s for the driven input family\n"
+      "  - peak_rss_mb is the process high-water mark (monotone across runs;\n"
+      "    optimized benchmarks run first, references — with their quadratic\n"
+      "    auxiliary structures — afterwards); rss_growth_mb is the growth\n"
+      "    during the run\n"
+      "  - *_Reference = pre-CSR layout (bitset-prepass subset construction,\n"
+      "    heap-per-node antichain engine); capped at 10^5 states, where its\n"
+      "    auxiliary memory already reaches ~2.5 GB per determinization\n"
+      "  - scripts/run_benches.sh aggregates the 10^5-tier ratios into\n"
+      "    BENCH_PR6.json (gate: >=3x subset construction, >=2x stem search)\n");
+}
+
+}  // namespace
+}  // namespace slat::buchi
+
+SLAT_BENCH_MAIN(::slat::buchi::print_artifact)

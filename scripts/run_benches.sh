@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Run the kernel-relevant benchmark binaries with JSON output and aggregate
 # the results into BENCH_PR1.json (kernel vs seed speedups), BENCH_PR2.json
-# (parallel-layer thread sweep), BENCH_PR3.json (memo-cache hit rates), and
-# BENCH_PR4.json (antichain inclusion vs complement oracle) at the repo root.
+# (parallel-layer thread sweep), BENCH_PR3.json (memo-cache hit rates),
+# BENCH_PR4.json (antichain inclusion vs complement oracle), and
+# BENCH_PR6.json (10^4–10^6-state scaling tier: CSR/arena kernels vs the
+# pre-CSR reference layouts) at the repo root. Every BENCH_*.json written is
+# stamped with provenance (commit, compiler, CPU model) as the last step.
 #
 # Usage: scripts/run_benches.sh [build-dir]
 #
@@ -28,12 +31,15 @@ SWEEP_BENCHES=(bench_kernels bench_complementation bench_parity_games bench_latt
 CACHE_BENCHES=(bench_rem_linear bench_rem_branching bench_rabin_decomposition bench_lattice_decomposition)
 # The inclusion-engine comparison (BENCH_PR4.json).
 INCLUSION_BENCHES=(bench_inclusion)
+# The scaling tier (BENCH_PR6.json): optimized vs pre-CSR reference kernels.
+SCALE_BENCHES=(bench_scale)
 
 if [[ ! -d "${BUILD_DIR}" ]]; then
   cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
 fi
 cmake --build "${BUILD_DIR}" -j --target \
-  "${BENCHES[@]}" "${SWEEP_BENCHES[@]}" "${CACHE_BENCHES[@]}" "${INCLUSION_BENCHES[@]}"
+  "${BENCHES[@]}" "${SWEEP_BENCHES[@]}" "${CACHE_BENCHES[@]}" \
+  "${INCLUSION_BENCHES[@]}" "${SCALE_BENCHES[@]}"
 
 # Start from a clean slate: stale JSON from an earlier (possibly aborted) run
 # must never leak into the aggregates.
@@ -97,6 +103,19 @@ for bench in "${INCLUSION_BENCHES[@]}"; do
   run_bench "${OUT_DIR}/${bench}.json" \
     env SLAT_CACHE=0 SLAT_METRICS_OUT="${OUT_DIR}/${bench}.metrics.json" \
     "${BUILD_DIR}/bench/${bench}" \
+    --benchmark_min_time=0.05 \
+    --benchmark_out="${OUT_DIR}/${bench}.json" \
+    --benchmark_out_format=json
+done
+
+# The scaling tier runs every size (10^4–10^6 for the optimized kernels,
+# 10^4–10^5 for the pre-CSR references — see bench_scale.cpp for why the
+# references stop there). bench_scale pins caching off internally per
+# benchmark; SLAT_CACHE=0 is belt and braces.
+for bench in "${SCALE_BENCHES[@]}"; do
+  echo "== ${bench} (scaling tier) =="
+  run_bench "${OUT_DIR}/${bench}.json" \
+    env SLAT_CACHE=0 "${BUILD_DIR}/bench/${bench}" \
     --benchmark_min_time=0.05 \
     --benchmark_out="${OUT_DIR}/${bench}.json" \
     --benchmark_out_format=json
@@ -309,4 +328,112 @@ with open(target, "w") as f:
 print(f"wrote {target}")
 for name, s in sorted(merged["speedup_antichain_vs_complement"].items()):
     print(f"  {name}: {s}x vs complement oracle")
+PY
+
+python3 - "${OUT_DIR}" "${REPO_ROOT}/BENCH_PR6.json" "${SCALE_BENCHES[@]}" <<'PY'
+import json
+import sys
+
+out_dir, target, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+merged = {
+    "context": None,
+    "note": "10^4-10^6-state scaling tier: CSR subset construction and "
+            "arena/SoA antichain inclusion vs the pre-CSR reference layouts "
+            "compiled into the same binary; outputs are asserted "
+            "bit-identical by the binary's artifact cross-checks before any "
+            "timing runs. items_per_second == input automaton states/sec; "
+            "peak_rss_mb is the process high-water mark (optimized "
+            "benchmarks run first), rss_growth_mb the growth during the run.",
+    "benchmarks": {},
+    "speedup_vs_pre_csr": {},
+}
+for bench in benches:
+    with open(f"{out_dir}/{bench}.json") as f:
+        data = json.load(f)
+    if merged["context"] is None:
+        context = data.get("context", {})
+        merged["context"] = {
+            key: context.get(key)
+            for key in ("date", "host_name", "num_cpus", "mhz_per_cpu", "library_build_type")
+        }
+    runs = {}
+    for run in data.get("benchmarks", []):
+        if run.get("run_type", "iteration") != "iteration":
+            continue
+        entry = {"real_time_ns": run.get("real_time"),
+                 "cpu_time_ns": run.get("cpu_time"),
+                 "iterations": run.get("iterations")}
+        for counter in ("items_per_second", "peak_rss_mb", "rss_growth_mb", "det_states"):
+            if counter in run:
+                entry[counter] = run[counter]
+        runs[run["name"]] = entry
+    merged["benchmarks"][bench] = dict(sorted(runs.items()))
+    for name, entry in runs.items():
+        if "_Reference/" not in name:
+            continue
+        optimized = runs.get(name.replace("_Reference/", "/"))
+        if optimized and optimized["real_time_ns"]:
+            merged["speedup_vs_pre_csr"][name.replace("_Reference", "")] = round(
+                entry["real_time_ns"] / optimized["real_time_ns"], 2)
+
+# The PR6 acceptance gate, checked at the 10^5-state tier: >=3x on subset
+# construction (both input families) and >=2x on the inclusion stem search
+# (the rem/fga family; the oblivious-rhs workload is an auxiliary
+# near-parity check, not gated).
+gates = []
+for name, ratio in sorted(merged["speedup_vs_pre_csr"].items()):
+    if not name.endswith("/100000"):
+        continue
+    if "SubsetConstruction" in name:
+        gates.append((name, ratio, 3.0))
+    elif "InclusionStem_RemFga" in name:
+        gates.append((name, ratio, 2.0))
+merged["gate_10e5_tier"] = {
+    name: {"speedup": ratio, "required": need, "pass": ratio >= need}
+    for name, ratio, need in gates
+}
+if len(gates) < 3 or any(ratio < need for _, ratio, need in gates):
+    print("error: PR6 scaling gate failed:", file=sys.stderr)
+    for name, ratio, need in gates:
+        print(f"  {name}: {ratio}x (need >= {need}x)", file=sys.stderr)
+    sys.exit(1)
+
+with open(target, "w") as f:
+    json.dump(merged, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {target}")
+for name, s in sorted(merged["speedup_vs_pre_csr"].items()):
+    print(f"  {name}: {s}x vs pre-CSR layout")
+PY
+
+# Provenance: stamp every aggregate written above with the commit, compiler,
+# and CPU that produced it, so numbers checked into the repo are auditable.
+COMMIT="$(git -C "${REPO_ROOT}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if ! git -C "${REPO_ROOT}" diff --quiet HEAD 2>/dev/null; then
+  COMMIT="${COMMIT}-dirty"
+fi
+CXX_BIN="$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' "${BUILD_DIR}/CMakeCache.txt" | head -1)"
+COMPILER="$("${CXX_BIN:-c++}" --version 2>/dev/null | head -1 || echo unknown)"
+CPU_MODEL="$(sed -n 's/^model name[^:]*: //p' /proc/cpuinfo 2>/dev/null | head -1)"
+NATIVE="$(sed -n 's/^SLAT_NATIVE:BOOL=//p' "${BUILD_DIR}/CMakeCache.txt" | head -1)"
+python3 - "${REPO_ROOT}" "${COMMIT}" "${COMPILER}" "${CPU_MODEL:-unknown}" \
+  "${NATIVE:-OFF}" <<'PY'
+import glob
+import json
+import sys
+
+repo_root, commit, compiler, cpu_model, native = sys.argv[1:6]
+for path in sorted(glob.glob(f"{repo_root}/BENCH_PR*.json")):
+    with open(path) as f:
+        data = json.load(f)
+    data["provenance"] = {
+        "commit": commit,
+        "compiler": compiler,
+        "cpu_model": cpu_model,
+        "march_native": native == "ON",
+    }
+    with open(path, "w") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"stamped {path} @ {commit}")
 PY

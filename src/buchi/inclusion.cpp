@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstdlib>
+#include <cstring>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -10,6 +12,7 @@
 #include "buchi/complement.hpp"
 #include "buchi/simulation.hpp"
 #include "common/assert.hpp"
+#include "core/arena.hpp"
 #include "core/memo_cache.hpp"
 #include "core/metrics.hpp"
 #include "core/state_set.hpp"
@@ -37,30 +40,77 @@ InclusionStats& stats() {
   return *s;
 }
 
+// ---- fixed-width word-block primitives ------------------------------------
+//
+// Every set the engine touches lives over the SAME universe (the quotiented
+// rhs state space), so instead of capacity-tracking StateSets the hot state
+// is stored as fixed-width rows of `nb_words` uint64s in flat buffers. All
+// subsumption checks then become straight-line word loops over contiguous
+// memory — no per-row size negotiation, no pointer chasing.
+
+/// sup ⊇ sub, word-parallel with early exit.
+inline bool words_contain_all(const std::uint64_t* sup, const std::uint64_t* sub,
+                              std::size_t nw) {
+  for (std::size_t w = 0; w < nw; ++w) {
+    if ((sub[w] & ~sup[w]) != 0) return false;
+  }
+  return true;
+}
+
+inline void words_or_into(std::uint64_t* dst, const std::uint64_t* src,
+                          std::size_t nw) {
+  for (std::size_t w = 0; w < nw; ++w) dst[w] |= src[w];
+}
+
+inline bool words_test(const std::uint64_t* row, int i) {
+  return (row[i >> 6] >> (i & 63) & 1ull) != 0;
+}
+
+inline void words_set(std::uint64_t* row, int i) { row[i >> 6] |= 1ull << (i & 63); }
+
+/// Calls `f(index)` for each set bit, in increasing order (ctz iteration).
+template <typename F>
+inline void words_for_each(const std::uint64_t* row, std::size_t nw, F&& f) {
+  for (std::size_t w = 0; w < nw; ++w) {
+    std::uint64_t bits = row[w];
+    while (bits != 0) {
+      f(static_cast<int>(w * 64) + std::countr_zero(bits));
+      bits &= bits - 1;
+    }
+  }
+}
+
 /// Arc profile of a finite word v over the rhs state space: any[s] = states
 /// reachable from s along v, acc[s] ⊆ any[s] = reachable along a path that
 /// visits an accepting state (endpoints included). Profiles compose under
 /// word concatenation, which is what lets the period search summarize loop
 /// words of unbounded length in a bounded domain.
-struct Profile {
-  std::vector<StateSet> any;
-  std::vector<StateSet> acc;
+///
+/// Stored as two nb × nb_words bit-matrix halves; a ProfView is a non-owning
+/// pair of row-major matrix pointers (the backing blocks live in the period
+/// arena or in the engine's one-step tables).
+struct ProfView {
+  const std::uint64_t* any;
+  const std::uint64_t* acc;
 };
-
-/// a ⊆ b row-wise. Fewer arcs constrain the rhs more, so the smaller profile
-/// dominates in the antichain ordering.
-bool profile_subseteq(const Profile& a, const Profile& b) {
-  for (std::size_t s = 0; s < a.any.size(); ++s) {
-    if (!b.any[s].contains_all(a.any[s])) return false;
-    if (!b.acc[s].contains_all(a.acc[s])) return false;
-  }
-  return true;
-}
 
 /// The two-phase antichain search. Sequential by construction (all frontier
 /// pops and antichain edits happen in canonical order); the parallel pieces
 /// it builds on — trim/quotient/simulation — are deterministic at any thread
 /// count, so the whole engine is too.
+///
+/// Storage discipline (the perf-critical part):
+///   * Search nodes are SoA: parallel flat vectors per field, no per-node
+///     heap objects.
+///   * Stem sets are 2·nb_words-word set‖cover blocks bump-allocated from
+///     `stem_arena_` (monotone over the whole search — stem nodes are never
+///     freed, so the arena is never reset). The cover half caches the set's
+///     simulation closure so chain scans are pure subset sweeps.
+///   * Period profiles are 2·nb·nb_words-word blocks from `period_arena_`,
+///     which is reset() per pivot: each pivot's period search starts on the
+///     same cache-warm chunks the previous one used.
+///   * Candidate sets/profiles are built in scratch buffers and only copied
+///     into an arena when they survive subsumption.
 class AntichainEngine {
  public:
   AntichainEngine(const Nba& lhs, const Nba& rhs)
@@ -69,18 +119,46 @@ class AntichainEngine {
         sigma_(a_.alphabet().size()),
         na_(a_.num_states()),
         nb_(b_.num_states()),
+        nb_words_(static_cast<std::size_t>(nb_ + 63) / 64),
         sim_(direct_simulation(b_)) {
-    // One-step profile rows of b_, reused by subset steps and compositions.
-    step_any_.assign(sigma_, std::vector<StateSet>(nb_, StateSet(nb_)));
-    step_acc_.assign(sigma_, std::vector<StateSet>(nb_, StateSet(nb_)));
+    // One-step profile rows of b_ as flat [symbol][state][word] matrices,
+    // reused by subset steps and compositions.
+    step_any_.assign(static_cast<std::size_t>(sigma_) * matrix_words(), 0);
+    step_acc_.assign(static_cast<std::size_t>(sigma_) * matrix_words(), 0);
     for (State s = 0; s < nb_; ++s) {
       for (Sym c = 0; c < sigma_; ++c) {
+        std::uint64_t* any_row = step_any_.data() + row_offset(c, s);
+        std::uint64_t* acc_row = step_acc_.data() + row_offset(c, s);
         for (State t : b_.successors(s, c)) {
-          step_any_[c][s].insert(t);
-          if (b_.is_accepting(s) || b_.is_accepting(t)) step_acc_[c][s].insert(t);
+          words_set(any_row, t);
+          if (b_.is_accepting(s) || b_.is_accepting(t)) words_set(acc_row, t);
         }
       }
     }
+
+    // The simulation preorder as a flat row matrix (sim_row(q) = simulators
+    // of q), plus its transpose (simd_row(t) = states t simulates). The
+    // transpose is what makes antichain subsumption word-parallel: the
+    // per-member test "every s ∈ strong has a simulator in weak" is exactly
+    // strong ⊆ cover(weak) with cover(weak) = ∪_{t∈weak} simd_row(t), so a
+    // set's cover is built once when it enters a chain and every comparison
+    // after that is a plain subset check.
+    sim_words_.assign(matrix_words(), 0);
+    for (State q = 0; q < nb_; ++q) {
+      std::uint64_t* row = sim_words_.data() + static_cast<std::size_t>(q) * nb_words_;
+      sim_.simulators[q].for_each([&](int t) { words_set(row, t); });
+    }
+    simd_words_.assign(matrix_words(), 0);
+    for (State q = 0; q < nb_; ++q) {
+      words_for_each(sim_row(q), nb_words_, [&](int t) {
+        words_set(simd_words_.data() + static_cast<std::size_t>(t) * nb_words_, q);
+      });
+    }
+
+    set_scratch_.assign(nb_words_, 0);
+    norm_scratch_.assign(nb_words_, 0);
+    cover_scratch_.assign(nb_words_, 0);
+    prof_scratch_.assign(2 * matrix_words(), 0);
 
     // A pivot p can close an accepting lhs loop iff its SCC is cyclic and
     // contains an accepting state; other pivots never need a period search.
@@ -121,120 +199,169 @@ class AntichainEngine {
   }
 
  private:
+  std::size_t matrix_words() const {
+    return static_cast<std::size_t>(nb_) * nb_words_;
+  }
+  std::size_t row_offset(Sym c, State s) const {
+    return (static_cast<std::size_t>(c) * nb_ + s) * nb_words_;
+  }
+  const std::uint64_t* step_any_row(Sym c, State s) const {
+    return step_any_.data() + row_offset(c, s);
+  }
+  const std::uint64_t* step_acc_row(Sym c, State s) const {
+    return step_acc_.data() + row_offset(c, s);
+  }
+  const std::uint64_t* sim_row(State q) const {
+    return sim_words_.data() + static_cast<std::size_t>(q) * nb_words_;
+  }
+  const std::uint64_t* simd_row(State t) const {
+    return simd_words_.data() + static_cast<std::size_t>(t) * nb_words_;
+  }
+
   // ---- simulation-based set pruning and subsumption -----------------------
 
   /// Keeps only ⪯-maximal members, one representative (the smallest index)
-  /// per class of mutually similar states. Language-from-set preserving:
-  /// every dropped state has a kept simulator.
-  StateSet normalize_set(const StateSet& full) const {
-    StateSet out(nb_);
-    full.for_each([&](int q) {
+  /// per class of mutually similar states, written into `out`. Language-
+  /// from-set preserving: every dropped state has a kept simulator.
+  void normalize_set(const std::uint64_t* full, std::uint64_t* out) const {
+    std::memset(out, 0, nb_words_ * sizeof(std::uint64_t));
+    words_for_each(full, nb_words_, [&](int q) {
+      // Only members that simulate q can shadow it, so intersect the
+      // simulator row with the set word-parallel and test just those.
+      const std::uint64_t* row = sim_row(q);
       bool drop = false;
-      sim_.simulators[q].for_each([&](int t) {
-        if (drop || t == q || !full.contains(t)) return;
-        // t strictly above q, or an equivalent member with smaller index.
-        if (!sim_.simulates(q, t) || t < q) drop = true;
-      });
-      if (!drop) out.insert(q);
+      for (std::size_t w = 0; w < nb_words_ && !drop; ++w) {
+        std::uint64_t bits = row[w] & full[w];
+        while (bits != 0) {
+          const int t = static_cast<int>(w * 64) + std::countr_zero(bits);
+          bits &= bits - 1;
+          if (t == q) continue;
+          // t strictly above q, or an equivalent member with smaller index.
+          if (!words_test(sim_row(t), q) || t < q) {
+            drop = true;
+            break;
+          }
+        }
+      }
+      if (!drop) words_set(out, q);
     });
-    return out;
   }
 
-  /// L(strong) ⊆ L(weak)? Sufficient test: every member of `strong` is
-  /// simulated by some member of `weak`. Plain set inclusion is the special
-  /// case where the simulator is the state itself.
-  bool set_dominates(const StateSet& strong, const StateSet& weak) const {
-    bool ok = true;
-    strong.for_each([&](int s) {
-      if (ok && !sim_.simulators[s].intersects(weak)) ok = false;
+  /// cover(W) = every state with a simulator in W. The sufficient language
+  /// test behind antichain subsumption — "each member of `strong` is
+  /// simulated by some member of `weak`, hence L(strong) ⊆ L(weak)" — is
+  /// exactly strong ⊆ cover(weak): plain set inclusion is the reflexive
+  /// special case, already absorbed because cover(W) ⊇ W. Chains store each
+  /// set's cover next to it, so dominance checks are single subset sweeps.
+  void build_cover(const std::uint64_t* set, std::uint64_t* out) const {
+    std::memset(out, 0, nb_words_ * sizeof(std::uint64_t));
+    words_for_each(set, nb_words_, [&](int t) {
+      words_or_into(out, simd_row(t), nb_words_);
     });
-    return ok;
   }
 
-  /// Normalized subset successor δ(S, c).
-  StateSet step_set(const StateSet& set, Sym c) const {
-    StateSet next(nb_);
-    set.for_each([&](int s) { next.union_with(step_any_[c][s]); });
-    return normalize_set(next);
+  /// Normalized subset successor δ(S, c), left in `norm_scratch_`.
+  void step_set(const std::uint64_t* set, Sym c) {
+    std::memset(set_scratch_.data(), 0, nb_words_ * sizeof(std::uint64_t));
+    words_for_each(set, nb_words_, [&](int s) {
+      words_or_into(set_scratch_.data(), step_any_row(c, s), nb_words_);
+    });
+    normalize_set(set_scratch_.data(), norm_scratch_.data());
   }
 
   // ---- profiles -----------------------------------------------------------
 
-  Profile one_step_profile(Sym c) const {
-    return Profile{step_any_[c], step_acc_[c]};
+  ProfView one_step_profile(Sym c) const {
+    return ProfView{step_any_.data() + static_cast<std::size_t>(c) * matrix_words(),
+                    step_acc_.data() + static_cast<std::size_t>(c) * matrix_words()};
   }
 
   /// Profile of v·c from the profile of v: relational composition of the
   /// arc rows with the one-step rows, acc-bits absorbed from either side.
-  Profile compose(const Profile& r, Sym c) const {
-    Profile out;
-    out.any.assign(nb_, StateSet(nb_));
-    out.acc.assign(nb_, StateSet(nb_));
+  /// Built in `prof_scratch_` (the view stays valid until the next compose).
+  ProfView compose(ProfView r, Sym c) {
+    std::uint64_t* any_out = prof_scratch_.data();
+    std::uint64_t* acc_out = prof_scratch_.data() + matrix_words();
+    std::memset(prof_scratch_.data(), 0,
+                prof_scratch_.size() * sizeof(std::uint64_t));
     for (State s = 0; s < nb_; ++s) {
-      r.any[s].for_each([&](int t) {
-        out.any[s].union_with(step_any_[c][t]);
-        out.acc[s].union_with(step_acc_[c][t]);
-      });
-      r.acc[s].for_each([&](int t) { out.acc[s].union_with(step_any_[c][t]); });
+      std::uint64_t* any_row = any_out + static_cast<std::size_t>(s) * nb_words_;
+      std::uint64_t* acc_row = acc_out + static_cast<std::size_t>(s) * nb_words_;
+      words_for_each(r.any + static_cast<std::size_t>(s) * nb_words_, nb_words_,
+                     [&](int t) {
+                       words_or_into(any_row, step_any_row(c, t), nb_words_);
+                       words_or_into(acc_row, step_acc_row(c, t), nb_words_);
+                     });
+      words_for_each(r.acc + static_cast<std::size_t>(s) * nb_words_, nb_words_,
+                     [&](int t) {
+                       words_or_into(acc_row, step_any_row(c, t), nb_words_);
+                     });
     }
-    return out;
+    return ProfView{any_out, acc_out};
+  }
+
+  /// a ⊆ b row-wise. Fewer arcs constrain the rhs more, so the smaller
+  /// profile dominates in the antichain ordering. Rows are contiguous, so
+  /// this is one word-parallel sweep per matrix half with early exit.
+  bool profile_subseteq(ProfView a, ProfView b) const {
+    return words_contain_all(b.any, a.any, matrix_words()) &&
+           words_contain_all(b.acc, a.acc, matrix_words());
   }
 
   /// Does b_ accept v^ω from some state of `set`, where `prof` is the arc
   /// profile of v? Exact: an accepting run exists iff the any-graph has a
   /// lasso from `set` whose cycle carries an acc-arc — i.e. some reachable s
   /// has an acc-successor inside its own SCC.
-  bool profile_accepts(const StateSet& set, const Profile& prof) const {
-    StateSet reach(nb_);
+  bool profile_accepts(const std::uint64_t* set, ProfView prof) const {
+    std::vector<std::uint64_t> reach(nb_words_, 0);
     std::vector<int> work;
-    set.for_each([&](int s) {
-      reach.insert(s);
+    words_for_each(set, nb_words_, [&](int s) {
+      words_set(reach.data(), s);
       work.push_back(s);
     });
     while (!work.empty()) {
       const int s = work.back();
       work.pop_back();
-      prof.any[s].for_each([&](int t) {
-        if (!reach.contains(t)) {
-          reach.insert(t);
-          work.push_back(t);
-        }
-      });
+      words_for_each(prof.any + static_cast<std::size_t>(s) * nb_words_, nb_words_,
+                     [&](int t) {
+                       if (!words_test(reach.data(), t)) {
+                         words_set(reach.data(), t);
+                         work.push_back(t);
+                       }
+                     });
     }
     const auto scc = detail::strongly_connected_components(
         nb_, [&](int s, const std::function<void(int)>& visit) {
-          prof.any[s].for_each(visit);
+          words_for_each(prof.any + static_cast<std::size_t>(s) * nb_words_,
+                         nb_words_, visit);
         });
     bool found = false;
     for (State s = 0; s < nb_ && !found; ++s) {
-      if (!reach.contains(s)) continue;
-      prof.acc[s].for_each([&](int t) {
-        if (scc.component[t] == scc.component[s]) found = true;
-      });
+      if (!words_test(reach.data(), s)) continue;
+      words_for_each(prof.acc + static_cast<std::size_t>(s) * nb_words_, nb_words_,
+                     [&](int t) {
+                       if (scc.component[t] == scc.component[s]) found = true;
+                     });
     }
     return found;
   }
 
   // ---- stem phase ---------------------------------------------------------
 
-  struct StemNode {
-    State p;
-    StateSet set;  // normalized δ(I_b, u)
-    int pred;      // stem node id, -1 at the root
-    Sym sym;       // symbol taken from pred, -1 at the root
-  };
-
-  void push_stem(State p, StateSet set, int pred, Sym sym) {
+  void push_stem(State p, const std::uint64_t* set, int pred, Sym sym) {
     auto& chain = stem_chain_[p];
+    // entry dominates candidate ⟺ entry ⊆ cover(candidate); candidate
+    // dominates entry ⟺ candidate ⊆ cover(entry), stored with the entry.
+    build_cover(set, cover_scratch_.data());
     for (const int id : chain) {
-      if (set_dominates(stem_nodes_[id].set, set)) {
+      if (words_contain_all(cover_scratch_.data(), stem_set_[id], nb_words_)) {
         stats().prunings.inc();
         return;
       }
     }
     std::size_t kept = 0;
     for (const int id : chain) {
-      if (set_dominates(set, stem_nodes_[id].set)) {
+      if (words_contain_all(stem_set_[id] + nb_words_, set, nb_words_)) {
         stem_live_[id] = false;
         stats().prunings.inc();
       } else {
@@ -242,9 +369,16 @@ class AntichainEngine {
       }
     }
     chain.resize(kept);
-    const int id = static_cast<int>(stem_nodes_.size());
-    stem_nodes_.push_back(StemNode{p, std::move(set), pred, sym});
-    stem_live_.push_back(true);
+    const int id = static_cast<int>(stem_p_.size());
+    std::uint64_t* block = stem_arena_.alloc_array<std::uint64_t>(2 * nb_words_);
+    std::memcpy(block, set, nb_words_ * sizeof(std::uint64_t));
+    std::memcpy(block + nb_words_, cover_scratch_.data(),
+                nb_words_ * sizeof(std::uint64_t));
+    stem_p_.push_back(p);
+    stem_set_.push_back(block);
+    stem_pred_.push_back(pred);
+    stem_sym_.push_back(sym);
+    stem_live_.push_back(1);
     chain.push_back(id);
     stem_frontier_.push_back(id);
     stats().stem_nodes.inc();
@@ -253,35 +387,27 @@ class AntichainEngine {
   /// BFS over (p, S) to the antichain fixpoint.
   void run_stems() {
     stem_chain_.assign(na_, {});
-    StateSet init(nb_);
-    init.insert(b_.initial());
-    push_stem(a_.initial(), normalize_set(init), -1, -1);
+    std::memset(set_scratch_.data(), 0, nb_words_ * sizeof(std::uint64_t));
+    words_set(set_scratch_.data(), b_.initial());
+    normalize_set(set_scratch_.data(), norm_scratch_.data());
+    push_stem(a_.initial(), norm_scratch_.data(), -1, -1);
     std::size_t head = 0;
     while (head < stem_frontier_.size()) {
       note_frontier(stem_frontier_.size() - head);
       const int id = stem_frontier_[head++];
       if (!stem_live_[id]) continue;
-      // Copy out: push_stem may reallocate stem_nodes_.
-      const State p = stem_nodes_[id].p;
-      const StateSet set = stem_nodes_[id].set;
+      const State p = stem_p_[id];
+      const std::uint64_t* set = stem_set_[id];  // arena block: stable address
       for (Sym c = 0; c < sigma_; ++c) {
-        const auto& succs = a_.successors(p, c);
+        const std::span<const State> succs = a_.successors(p, c);
         if (succs.empty()) continue;
-        const StateSet next = step_set(set, c);
-        for (const State q : succs) push_stem(q, next, id, c);
+        step_set(set, c);  // → norm_scratch_, shared by all pushes below
+        for (const State q : succs) push_stem(q, norm_scratch_.data(), id, c);
       }
     }
   }
 
   // ---- period phase -------------------------------------------------------
-
-  struct PeriodNode {
-    State q;
-    bool acc;  // accepting lhs state passed since the pivot?
-    Profile prof;
-    int pred;  // period node id, -1 for the pivot's first step
-    Sym sym;
-  };
 
   /// (stem node id, period node id) of a counterexample, if one closed here.
   struct Hit {
@@ -289,20 +415,23 @@ class AntichainEngine {
     int period_id;
   };
 
-  std::optional<Hit> push_period(State pivot, State q, bool acc, const Profile& prof,
+  ProfView period_prof(int id) const {
+    const std::uint64_t* block = period_prof_[id];
+    return ProfView{block, block + matrix_words()};
+  }
+
+  std::optional<Hit> push_period(State pivot, State q, bool acc, ProfView prof,
                                  int pred, Sym sym) {
     auto& chain = period_chain_[q];
     for (const int id : chain) {
-      const PeriodNode& node = period_nodes_[id];
-      if (node.acc >= acc && profile_subseteq(node.prof, prof)) {
+      if ((period_acc_[id] != 0) >= acc && profile_subseteq(period_prof(id), prof)) {
         stats().prunings.inc();
         return std::nullopt;
       }
     }
     std::size_t kept = 0;
     for (const int id : chain) {
-      const PeriodNode& node = period_nodes_[id];
-      if (acc >= node.acc && profile_subseteq(prof, node.prof)) {
+      if (acc >= (period_acc_[id] != 0) && profile_subseteq(prof, period_prof(id))) {
         period_live_[id] = false;
         stats().prunings.inc();
       } else {
@@ -310,9 +439,17 @@ class AntichainEngine {
       }
     }
     chain.resize(kept);
-    const int id = static_cast<int>(period_nodes_.size());
-    period_nodes_.push_back(PeriodNode{q, acc, prof, pred, sym});
-    period_live_.push_back(true);
+    const int id = static_cast<int>(period_q_.size());
+    std::uint64_t* block = period_arena_.alloc_array<std::uint64_t>(2 * matrix_words());
+    std::memcpy(block, prof.any, matrix_words() * sizeof(std::uint64_t));
+    std::memcpy(block + matrix_words(), prof.acc,
+                matrix_words() * sizeof(std::uint64_t));
+    period_q_.push_back(q);
+    period_acc_.push_back(acc ? 1 : 0);
+    period_prof_.push_back(block);
+    period_pred_.push_back(pred);
+    period_sym_.push_back(sym);
+    period_live_.push_back(1);
     chain.push_back(id);
     period_frontier_.push_back(id);
     stats().period_nodes.inc();
@@ -321,7 +458,7 @@ class AntichainEngine {
       // stem set at the pivot rejects it. (Dominated closings skipped above
       // are covered: their dominator rejects whenever they would.)
       for (const int stem_id : stem_chain_[pivot]) {
-        if (!profile_accepts(stem_nodes_[stem_id].set, prof)) {
+        if (!profile_accepts(stem_set_[stem_id], period_prof(id))) {
           return Hit{stem_id, id};
         }
       }
@@ -332,15 +469,20 @@ class AntichainEngine {
   /// BFS over (q, acc, R) from one pivot; stops at the first rejecting
   /// closed loop or at the antichain fixpoint.
   std::optional<Hit> run_periods(State pivot) {
-    period_nodes_.clear();
+    period_q_.clear();
+    period_acc_.clear();
+    period_prof_.clear();
+    period_pred_.clear();
+    period_sym_.clear();
     period_live_.clear();
     period_frontier_.clear();
     period_chain_.assign(na_, {});
+    period_arena_.reset();  // reuse the previous pivot's (cache-warm) chunks
     const bool pivot_acc = a_.is_accepting(pivot);
     for (Sym c = 0; c < sigma_; ++c) {
-      const auto& succs = a_.successors(pivot, c);
+      const std::span<const State> succs = a_.successors(pivot, c);
       if (succs.empty()) continue;
-      const Profile prof = one_step_profile(c);
+      const ProfView prof = one_step_profile(c);
       for (const State q : succs) {
         if (auto hit = push_period(pivot, q, pivot_acc || a_.is_accepting(q), prof,
                                    -1, c)) {
@@ -353,13 +495,13 @@ class AntichainEngine {
       note_frontier(period_frontier_.size() - head);
       const int id = period_frontier_[head++];
       if (!period_live_[id]) continue;
-      const State q = period_nodes_[id].q;
-      const bool acc = period_nodes_[id].acc;
-      const Profile prof = period_nodes_[id].prof;  // copy: vector may grow
+      const State q = period_q_[id];
+      const bool acc = period_acc_[id] != 0;
+      const ProfView prof = period_prof(id);  // arena block: stable address
       for (Sym c = 0; c < sigma_; ++c) {
-        const auto& succs = a_.successors(q, c);
+        const std::span<const State> succs = a_.successors(q, c);
         if (succs.empty()) continue;
-        const Profile next = compose(prof, c);
+        const ProfView next = compose(prof, c);  // scratch, shared by pushes
         for (const State q2 : succs) {
           if (auto hit =
                   push_period(pivot, q2, acc || a_.is_accepting(q2), next, id, c)) {
@@ -386,13 +528,13 @@ class AntichainEngine {
 
   UpWord build_witness(int stem_id, int period_id) const {
     Word u;
-    for (int id = stem_id; id != -1; id = stem_nodes_[id].pred) {
-      if (stem_nodes_[id].sym >= 0) u.push_back(stem_nodes_[id].sym);
+    for (int id = stem_id; id != -1; id = stem_pred_[id]) {
+      if (stem_sym_[id] >= 0) u.push_back(stem_sym_[id]);
     }
     std::reverse(u.begin(), u.end());
     Word v;
-    for (int id = period_id; id != -1; id = period_nodes_[id].pred) {
-      v.push_back(period_nodes_[id].sym);
+    for (int id = period_id; id != -1; id = period_pred_[id]) {
+      v.push_back(period_sym_[id]);
     }
     std::reverse(v.begin(), v.end());
     return UpWord(std::move(u), std::move(v));
@@ -407,20 +549,42 @@ class AntichainEngine {
   const Sym sigma_;
   const int na_;
   const int nb_;
-  const SimulationPreorder sim_;           // on b_
-  std::vector<std::vector<StateSet>> step_any_;  // [symbol][state]
-  std::vector<std::vector<StateSet>> step_acc_;
+  const std::size_t nb_words_;       // words per rhs state-set row
+  const SimulationPreorder sim_;     // on b_
+  std::vector<std::uint64_t> step_any_;  // [symbol][state][word] one-step rows
+  std::vector<std::uint64_t> step_acc_;
+  std::vector<std::uint64_t> sim_words_;   // [state][word] simulator rows
+  std::vector<std::uint64_t> simd_words_;  // transpose: [state][word] simulated rows
   std::vector<bool> pivot_ok_;
 
-  std::vector<StemNode> stem_nodes_;
-  std::vector<bool> stem_live_;
+  // Stem nodes, SoA; set blocks live in stem_arena_ (never reset — stems
+  // are consulted by every later period search).
+  core::Arena stem_arena_;
+  std::vector<State> stem_p_;
+  std::vector<const std::uint64_t*> stem_set_;
+  std::vector<int> stem_pred_;
+  std::vector<Sym> stem_sym_;
+  std::vector<char> stem_live_;
   std::vector<std::vector<int>> stem_chain_;  // per lhs state, live node ids
   std::vector<int> stem_frontier_;
 
-  std::vector<PeriodNode> period_nodes_;
-  std::vector<bool> period_live_;
+  // Period nodes, SoA; profile blocks live in period_arena_, reset per pivot.
+  core::Arena period_arena_;
+  std::vector<State> period_q_;
+  std::vector<char> period_acc_;
+  std::vector<const std::uint64_t*> period_prof_;  // any ‖ acc halves
+  std::vector<int> period_pred_;
+  std::vector<Sym> period_sym_;
+  std::vector<char> period_live_;
   std::vector<std::vector<int>> period_chain_;
   std::vector<int> period_frontier_;
+
+  // Candidate scratch: successors/compositions are built here and copied
+  // into an arena only when they survive subsumption.
+  std::vector<std::uint64_t> set_scratch_;
+  std::vector<std::uint64_t> norm_scratch_;
+  std::vector<std::uint64_t> cover_scratch_;
+  std::vector<std::uint64_t> prof_scratch_;
 
   std::uint64_t frontier_peak_ = 0;
 };

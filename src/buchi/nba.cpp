@@ -17,7 +17,57 @@ Nba::Nba(Alphabet alphabet, int num_states, State initial)
   SLAT_ASSERT(num_states >= 1);
   SLAT_ASSERT(initial >= 0 && initial < num_states);
   accepting_.assign(num_states, false);
-  delta_.assign(num_states, std::vector<std::vector<State>>(alphabet_.size()));
+  csr_offsets_.assign(static_cast<std::size_t>(num_states) * alphabet_.size() + 1, 0);
+}
+
+// The copy/move special members exist only because the lazy-CSR guard
+// members (atomic flag, mutex) are not copyable; logically a copy is a
+// plain member-wise copy, with the target getting a fresh mutex.
+
+Nba::Nba(const Nba& other)
+    : alphabet_(other.alphabet_),
+      initial_(other.initial_),
+      accepting_(other.accepting_),
+      csr_offsets_(other.csr_offsets_),
+      csr_targets_(other.csr_targets_),
+      pending_edges_(other.pending_edges_),
+      csr_dirty_(other.csr_dirty_.load(std::memory_order_acquire)) {}
+
+Nba::Nba(Nba&& other) noexcept
+    : alphabet_(std::move(other.alphabet_)),
+      initial_(other.initial_),
+      accepting_(std::move(other.accepting_)),
+      csr_offsets_(std::move(other.csr_offsets_)),
+      csr_targets_(std::move(other.csr_targets_)),
+      pending_edges_(std::move(other.pending_edges_)),
+      csr_dirty_(other.csr_dirty_.load(std::memory_order_acquire)) {}
+
+Nba& Nba::operator=(const Nba& other) {
+  if (this != &other) {
+    alphabet_ = other.alphabet_;
+    initial_ = other.initial_;
+    accepting_ = other.accepting_;
+    csr_offsets_ = other.csr_offsets_;
+    csr_targets_ = other.csr_targets_;
+    pending_edges_ = other.pending_edges_;
+    csr_dirty_.store(other.csr_dirty_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+  }
+  return *this;
+}
+
+Nba& Nba::operator=(Nba&& other) noexcept {
+  if (this != &other) {
+    alphabet_ = std::move(other.alphabet_);
+    initial_ = other.initial_;
+    accepting_ = std::move(other.accepting_);
+    csr_offsets_ = std::move(other.csr_offsets_);
+    csr_targets_ = std::move(other.csr_targets_);
+    pending_edges_ = std::move(other.pending_edges_);
+    csr_dirty_.store(other.csr_dirty_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+  }
+  return *this;
 }
 
 Nba Nba::empty_language(Alphabet alphabet) {
@@ -52,27 +102,81 @@ void Nba::add_transition(State from, Sym symbol, State to) {
   SLAT_ASSERT(from >= 0 && from < num_states());
   SLAT_ASSERT(to >= 0 && to < num_states());
   SLAT_ASSERT(symbol >= 0 && symbol < alphabet_.size());
-  auto& succ = delta_[from][symbol];
-  if (std::find(succ.begin(), succ.end(), to) == succ.end()) succ.push_back(to);
+  pending_edges_.emplace_back(
+      static_cast<std::int32_t>(static_cast<std::size_t>(from) * alphabet_.size() +
+                                symbol),
+      to);
+  csr_dirty_.store(true, std::memory_order_release);
 }
 
-const std::vector<State>& Nba::successors(State q, Sym symbol) const {
-  SLAT_ASSERT(q >= 0 && q < num_states());
-  SLAT_ASSERT(symbol >= 0 && symbol < alphabet_.size());
-  return delta_[q][symbol];
+void Nba::rebuild_csr() const {
+  // Double-checked: racing first readers serialize here; mutation itself is
+  // never concurrent with reads (documented precondition, as before).
+  std::lock_guard<std::mutex> lock(csr_mutex_);
+  if (!csr_dirty_.load(std::memory_order_relaxed)) return;
+
+  const std::size_t rows = static_cast<std::size_t>(num_states()) * alphabet_.size();
+  SLAT_ASSERT_MSG(rows < static_cast<std::size_t>(INT32_MAX),
+                  "CSR row index overflows 32 bits");
+  const std::size_t old_rows = csr_offsets_.empty() ? 0 : csr_offsets_.size() - 1;
+
+  // Counting sort by row: old (already deduplicated) slices keep their
+  // positions first, pending edges append per row in insertion order — which
+  // reproduces the per-row order incremental insertion would have built.
+  std::vector<std::int32_t> offsets(rows + 1, 0);
+  for (std::size_t r = 0; r < old_rows; ++r) {
+    offsets[r + 1] = csr_offsets_[r + 1] - csr_offsets_[r];
+  }
+  for (const auto& [row, to] : pending_edges_) offsets[row + 1] += 1;
+  for (std::size_t r = 0; r < rows; ++r) offsets[r + 1] += offsets[r];
+  SLAT_ASSERT_MSG(static_cast<std::size_t>(offsets[rows]) <
+                      static_cast<std::size_t>(INT32_MAX),
+                  "CSR edge count overflows 32 bits");
+
+  std::vector<State> targets(offsets[rows]);
+  std::vector<std::int32_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::size_t r = 0; r < old_rows; ++r) {
+    for (std::int32_t i = csr_offsets_[r]; i < csr_offsets_[r + 1]; ++i) {
+      targets[cursor[r]++] = csr_targets_[i];
+    }
+  }
+  for (const auto& [row, to] : pending_edges_) targets[cursor[row]++] = to;
+
+  // In-place per-row dedup keeping first occurrences; `stamp[t] == row`
+  // marks t as already present in the current row.
+  std::vector<std::int32_t> stamp(num_states(), -1);
+  std::int32_t write = 0;
+  std::int32_t row_begin = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::int32_t row_end = offsets[r + 1];
+    offsets[r] = write;
+    for (std::int32_t i = row_begin; i < row_end; ++i) {
+      const State to = targets[i];
+      if (stamp[to] != static_cast<std::int32_t>(r)) {
+        stamp[to] = static_cast<std::int32_t>(r);
+        targets[write++] = to;
+      }
+    }
+    row_begin = row_end;
+  }
+  offsets[rows] = write;
+  targets.resize(write);
+
+  csr_offsets_ = std::move(offsets);
+  csr_targets_ = std::move(targets);
+  pending_edges_.clear();
+  csr_dirty_.store(false, std::memory_order_release);
 }
 
 int Nba::num_transitions() const {
-  int count = 0;
-  for (const auto& per_state : delta_) {
-    for (const auto& succ : per_state) count += static_cast<int>(succ.size());
-  }
-  return count;
+  if (csr_dirty_.load(std::memory_order_acquire)) rebuild_csr();
+  return static_cast<int>(csr_targets_.size());
 }
 
 State Nba::add_state() {
   accepting_.push_back(false);
-  delta_.emplace_back(alphabet_.size());
+  // The offset table gains |Σ| rows; the lazy rebuild recomputes it.
+  csr_dirty_.store(true, std::memory_order_release);
   return num_states() - 1;
 }
 
@@ -83,12 +187,10 @@ std::vector<bool> Nba::reachable_states() const {
   while (!queue.empty()) {
     const State q = queue.front();
     queue.pop_front();
-    for (Sym s = 0; s < alphabet_.size(); ++s) {
-      for (State next : delta_[q][s]) {
-        if (!seen[next]) {
-          seen[next] = true;
-          queue.push_back(next);
-        }
+    for (State next : all_successors(q)) {
+      if (!seen[next]) {
+        seen[next] = true;
+        queue.push_back(next);
       }
     }
   }
@@ -170,13 +272,12 @@ SccResult strongly_connected_components(
 
 namespace {
 
-// Tarjan specialized to an Nba's own transition structure: frames hold a
-// (symbol, index) cursor into the in-place successor lists, so successors
-// are never copied into the frame. This is the SCC pass behind every
+// Tarjan specialized to an Nba's own CSR transition structure: a frame is a
+// cursor into the state's contiguous all-symbols slice, so the whole
+// traversal streams one flat array. This is the SCC pass behind every
 // emptiness / trim / closure query — the hottest traversal in the library.
 detail::SccResult scc_of_nba(const Nba& nba) {
   const int n = nba.num_states();
-  const Sym sigma = nba.alphabet().size();
   detail::SccResult result;
   result.component.assign(n, -1);
   std::vector<int> index(n, -1), lowlink(n, 0);
@@ -187,8 +288,7 @@ detail::SccResult scc_of_nba(const Nba& nba) {
 
   struct Frame {
     State node;
-    Sym sym;
-    std::size_t idx;
+    std::size_t idx;  // cursor into all_successors(node)
   };
   std::vector<Frame> frames;
   frames.reserve(64);
@@ -199,23 +299,16 @@ detail::SccResult scc_of_nba(const Nba& nba) {
       index[node] = lowlink[node] = next_index++;
       stack.push_back(node);
       on_stack[node] = true;
-      frames.push_back(Frame{node, 0, 0});
+      frames.push_back(Frame{node, 0});
     };
     push_node(root);
     while (!frames.empty()) {
       Frame& frame = frames.back();
       const State node = frame.node;
+      const auto slice = nba.all_successors(node);
       // Advance the cursor to the next successor, if any remain.
       State succ = -1;
-      while (frame.sym < sigma) {
-        const auto& list = nba.successors(node, frame.sym);
-        if (frame.idx < list.size()) {
-          succ = list[frame.idx++];
-          break;
-        }
-        ++frame.sym;
-        frame.idx = 0;
-      }
+      if (frame.idx < slice.size()) succ = slice[frame.idx++];
       if (succ != -1) {
         if (index[succ] == -1) {
           push_node(succ);
@@ -254,11 +347,8 @@ std::vector<bool> accepting_cycle_states(const Nba& nba) {
   std::vector<bool> on_cycle(n, false);
   for (int q = 0; q < n; ++q) {
     if (!nba.is_accepting(q)) continue;
-    bool self_loop = false;
-    for (Sym s = 0; s < nba.alphabet().size() && !self_loop; ++s) {
-      const auto& succ = nba.successors(q, s);
-      self_loop = std::find(succ.begin(), succ.end(), q) != succ.end();
-    }
+    const auto slice = nba.all_successors(q);
+    const bool self_loop = std::find(slice.begin(), slice.end(), q) != slice.end();
     if (self_loop) {
       on_cycle[q] = true;
       continue;
@@ -274,14 +364,20 @@ std::vector<bool> accepting_cycle_states(const Nba& nba) {
 
 std::vector<bool> Nba::states_with_nonempty_language() const {
   // q has non-empty residual language iff q can reach a state on an
-  // accepting cycle. Backward BFS from those states.
+  // accepting cycle. Backward BFS from those states, over a flat CSR
+  // transpose (counting sort of the forward edges) instead of n little
+  // predecessor vectors.
   const auto targets = accepting_cycle_states(*this);
   const int n = num_states();
-  std::vector<std::vector<State>> predecessors(n);
+  std::vector<std::int32_t> pred_offsets(n + 1, 0);
   for (State q = 0; q < n; ++q) {
-    for (Sym s = 0; s < alphabet_.size(); ++s) {
-      for (State next : delta_[q][s]) predecessors[next].push_back(q);
-    }
+    for (State next : all_successors(q)) pred_offsets[next + 1] += 1;
+  }
+  for (State q = 0; q < n; ++q) pred_offsets[q + 1] += pred_offsets[q];
+  std::vector<State> pred_targets(pred_offsets[n]);
+  std::vector<std::int32_t> cursor(pred_offsets.begin(), pred_offsets.end() - 1);
+  for (State q = 0; q < n; ++q) {
+    for (State next : all_successors(q)) pred_targets[cursor[next]++] = q;
   }
   std::vector<bool> nonempty(n, false);
   std::deque<State> queue;
@@ -294,7 +390,8 @@ std::vector<bool> Nba::states_with_nonempty_language() const {
   while (!queue.empty()) {
     const State q = queue.front();
     queue.pop_front();
-    for (State pred : predecessors[q]) {
+    for (std::int32_t i = pred_offsets[q]; i < pred_offsets[q + 1]; ++i) {
+      const State pred = pred_targets[i];
       if (!nonempty[pred]) {
         nonempty[pred] = true;
         queue.push_back(pred);
@@ -317,7 +414,7 @@ Nba Nba::restrict_to(const std::vector<bool>& keep) const {
     if (!keep[q]) continue;
     out.set_accepting(remap[q], accepting_[q]);
     for (Sym s = 0; s < alphabet_.size(); ++s) {
-      for (State next : delta_[q][s]) {
+      for (State next : successors(q, s)) {
         if (keep[next]) out.add_transition(remap[q], s, remap[next]);
       }
     }
@@ -478,7 +575,7 @@ bool Nba::accepts(const UpWord& w) const {
     const State q = id / positions;
     const int pos = id % positions;
     const Sym s = w.at(pos);
-    for (State nxt : delta_[q][s]) visit(node(nxt, next_pos(pos)));
+    for (State nxt : successors(q, s)) visit(node(nxt, next_pos(pos)));
   };
 
   // Reachability from (initial, 0).
@@ -521,7 +618,7 @@ bool Nba::has_run_on_prefix(const Word& u) const {
     bool any = false;
     for (State q = 0; q < num_states(); ++q) {
       if (!current[q]) continue;
-      for (State nxt : delta_[q][s]) {
+      for (State nxt : successors(q, s)) {
         next[nxt] = true;
         any = true;
       }
@@ -544,7 +641,7 @@ std::string Nba::to_string() const {
   out << "}\n";
   for (State q = 0; q < num_states(); ++q) {
     for (Sym s = 0; s < alphabet_.size(); ++s) {
-      for (State next : delta_[q][s]) {
+      for (State next : successors(q, s)) {
         out << "  " << q << " --" << alphabet_.name(s) << "--> " << next << "\n";
       }
     }

@@ -10,11 +10,16 @@
 //   * language-level predicates and comparisons     (language.hpp)
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "core/memo_cache.hpp"
 #include "words/alphabet.hpp"
 #include "words/up_word.hpp"
@@ -42,9 +47,29 @@ enum class ReduceMode {
 /// initial state exists; every transition endpoint exists; every symbol is
 /// in range. The automaton may have unreachable states or dead ends — the
 /// algorithms cope, and `trim`-style helpers remove them.
+///
+/// Transition storage is a flat CSR (compressed sparse row) layout: one
+/// contiguous `csr_targets_` array plus a `[state × symbol]` offset table,
+/// with the per-state rows of ALL symbols adjacent — so per-(state, symbol)
+/// iteration is one contiguous slice and whole-state traversals (SCC,
+/// reachability) stream a single span. Mutation (`add_transition`,
+/// `add_state`) appends to a pending edge buffer; the CSR is rebuilt
+/// lazily, in O(states·|Σ| + edges), on the first read after a mutation.
+/// Per-row successor order is first-insertion order with duplicates
+/// dropped — exactly the order the historical vector-of-vectors layout
+/// produced, so every downstream construction stays bit-identical.
+///
+/// Thread safety: concurrent READS (successors, traversals) are safe, even
+/// when they race on the lazy rebuild (double-checked under a mutex).
+/// Mutation must not run concurrently with anything else, same as before.
 class Nba {
  public:
   Nba(Alphabet alphabet, int num_states, State initial);
+
+  Nba(const Nba& other);
+  Nba(Nba&& other) noexcept;
+  Nba& operator=(const Nba& other);
+  Nba& operator=(Nba&& other) noexcept;
 
   /// An automaton with a single non-accepting dead state: L = ∅.
   static Nba empty_language(Alphabet alphabet);
@@ -61,7 +86,32 @@ class Nba {
   int num_accepting() const;
 
   void add_transition(State from, Sym symbol, State to);
-  const std::vector<State>& successors(State q, Sym symbol) const;
+
+  /// Successors of q on `symbol`: a contiguous CSR slice, in first-insertion
+  /// order, duplicates removed. The span stays valid until the next
+  /// mutation of this automaton.
+  std::span<const State> successors(State q, Sym symbol) const {
+    SLAT_ASSERT(q >= 0 && q < num_states());
+    SLAT_ASSERT(symbol >= 0 && symbol < alphabet_.size());
+    if (csr_dirty_.load(std::memory_order_acquire)) rebuild_csr();
+    const std::size_t row =
+        static_cast<std::size_t>(q) * alphabet_.size() + symbol;
+    return {csr_targets_.data() + csr_offsets_[row],
+            csr_targets_.data() + csr_offsets_[row + 1]};
+  }
+
+  /// Successors of q across ALL symbols, as one contiguous slice (symbols in
+  /// increasing order, per-symbol slices concatenated). Symbol-oblivious
+  /// traversals — SCC, reachability, trimming — iterate this instead of a
+  /// per-symbol loop.
+  std::span<const State> all_successors(State q) const {
+    SLAT_ASSERT(q >= 0 && q < num_states());
+    if (csr_dirty_.load(std::memory_order_acquire)) rebuild_csr();
+    const std::size_t first = static_cast<std::size_t>(q) * alphabet_.size();
+    return {csr_targets_.data() + csr_offsets_[first],
+            csr_targets_.data() + csr_offsets_[first + alphabet_.size()]};
+  }
+
   int num_transitions() const;
 
   /// Appends a fresh (non-accepting, transitionless) state; returns its id.
@@ -117,17 +167,34 @@ class Nba {
   std::string to_string() const;
 
  private:
+  /// Merges `pending_edges_` (and any state-count growth) into the CSR
+  /// arrays. Const because it is triggered lazily from readers; serialized
+  /// by `csr_mutex_` so racing first-readers are safe.
+  void rebuild_csr() const;
+
   Alphabet alphabet_;
   State initial_;
   std::vector<bool> accepting_;
-  std::vector<std::vector<std::vector<State>>> delta_;  // [state][symbol]
+
+  // CSR transition layout. Offsets index `[state × |Σ| + symbol]` rows into
+  // the flat target array; both are rebuilt together from `pending_edges_`.
+  mutable std::vector<std::int32_t> csr_offsets_;  // rows + 1 entries
+  mutable std::vector<State> csr_targets_;
+  mutable std::vector<std::pair<std::int32_t, State>> pending_edges_;  // (row, to)
+  mutable std::atomic<bool> csr_dirty_{false};
+  mutable std::mutex csr_mutex_;
 };
 
 /// 128-bit structural digest of the automaton — the content address used by
 /// the memo caches (core/memo_cache.hpp). Covers everything the cached
 /// constructions depend on: alphabet names, state count, initial state,
-/// acceptance bits, and the transition lists in stored order. Structurally
-/// identical automata (not merely language-equal ones) share a digest.
+/// acceptance bits, and the LOGICAL transition relation (each (state,
+/// symbol) successor slice in stored order). The digest is independent of
+/// the container layout holding the relation — the CSR automaton digests
+/// identically to the seed-era nested-vector layout byte for byte, so memo
+/// cache entries survive layout migrations (pinned by
+/// cache_equivalence_test). Structurally identical automata (not merely
+/// language-equal ones) share a digest.
 core::Digest fingerprint(const Nba& nba);
 
 /// L(result) = L(lhs) ∩ L(rhs), via the 2-counter degeneralized product.

@@ -27,4 +27,30 @@ Nba random_nba(const RandomNbaConfig& config, std::mt19937& rng) {
   return nba;
 }
 
+Nba sparse_random_nba(const RandomNbaConfig& config, std::mt19937& rng) {
+  SLAT_ASSERT(config.num_states >= 1 && config.alphabet_size >= 1);
+  Nba nba(Alphabet::of_size(config.alphabet_size), config.num_states, 0);
+
+  std::uniform_int_distribution<int> pick_state(0, config.num_states - 1);
+  std::bernoulli_distribution accepting(config.accepting_probability);
+  std::poisson_distribution<int> out_degree(config.transition_density);
+
+  // Out-degree first, then targets: per (state, symbol) the successor count
+  // is Poisson(density) — the states→∞ limit of the per-pair Bernoulli
+  // model above — and each target is a uniform draw. Duplicate draws are
+  // simply dropped by add_transition's slice dedup, which thins the degree
+  // only by O(degree²/states): negligible at the scales this is for.
+  for (State q = 0; q < config.num_states; ++q) {
+    if (accepting(rng)) nba.set_accepting(q, true);
+    for (Sym s = 0; s < config.alphabet_size; ++s) {
+      const int degree = std::min(out_degree(rng), config.num_states);
+      for (int i = 0; i < degree; ++i) {
+        nba.add_transition(q, s, pick_state(rng));
+      }
+    }
+  }
+  if (nba.num_accepting() == 0) nba.set_accepting(pick_state(rng), true);
+  return nba;
+}
+
 }  // namespace slat::buchi

@@ -23,4 +23,12 @@ struct RandomNbaConfig {
 /// cope with them anyway).
 Nba random_nba(const RandomNbaConfig& config, std::mt19937& rng);
 
+/// Same distribution family at scale: draws a Poisson(density) successor
+/// count per (state, symbol) and samples that many distinct targets, so
+/// generation is O(edges) instead of the O(states²) per-pair Bernoulli sweep
+/// of `random_nba`. Meant for the 10^4–10^6-state scaling benches, where the
+/// quadratic sweep would dominate the measured kernels. Not stream-compatible
+/// with `random_nba` (different draws), so existing qc corpora are unaffected.
+Nba sparse_random_nba(const RandomNbaConfig& config, std::mt19937& rng);
+
 }  // namespace slat::buchi

@@ -52,33 +52,23 @@ DetSafety DetSafety::determinize_uncached(const Nba& closure) {
   const Sym sigma = out.alphabet_.size();
   const int n = closure.num_states();
 
-  // Per-(state, symbol) successor bitsets, built once: the image of a
-  // subset under s is then a word-wise OR over its members instead of a
-  // gather + sort + unique per step. Cells are independent, so they fill in
-  // parallel.
-  std::vector<core::StateSet> succ_bits(static_cast<std::size_t>(n) * sigma);
-  core::parallel_for(n * sigma, [&](int cell) {
-    const State q = cell / sigma;
-    const Sym s = cell % sigma;
-    core::StateSet bits(n);
-    for (State to : closure.successors(q, s)) bits.insert(to);
-    succ_bits[cell] = std::move(bits);
-  });
-
-  // Subsets interned through the open-addressing table; ids are assigned in
-  // discovery order, matching the seed's map-based numbering exactly.
-  core::InternTable<core::StateSet> intern;
+  // Subsets are SORTED MEMBER VECTORS interned through the open-addressing
+  // table. Ids are assigned in discovery order — the same order the seed's
+  // map-based (and the interim bitset-keyed) numbering assigned them, since
+  // sorted-vector equality is set equality — so the output automaton stays
+  // bit-identical. Unlike a bitset universe, memory is proportional to the
+  // subsets actually discovered (O(Σ |subset|)), never O(n²) bits, which is
+  // what lets 10^5–10^6-state closures determinize at all.
+  core::InternTable<core::IntVecKey> intern;
   intern.reserve(2 * n + 2);  // heuristic floor; avoids the early rehash storm
-  const auto intern_set = [&](const core::StateSet& set) {
-    State id = intern.find(set);
-    if (id == -1) {
-      id = intern.intern(set);
-      out.delta_.emplace_back(sigma, -1);
-    }
+  const auto intern_set = [&](std::vector<int> members) {
+    bool created = false;
+    const State id = intern.intern(core::IntVecKey{std::move(members)}, &created);
+    if (created) out.delta_.resize(out.delta_.size() + sigma, -1);
     return id;
   };
 
-  const State sink = intern_set(core::StateSet{});  // empty subset = rejecting sink, id 0
+  const State sink = intern_set({});  // empty subset = rejecting sink, id 0
   out.sink_ = sink;
   if (closure.is_trivially_dead()) {
     // No transitions means L(closure) = ∅: even the empty prefix is bad, so
@@ -86,45 +76,51 @@ DetSafety DetSafety::determinize_uncached(const Nba& closure) {
     // initial state happens to be marked accepting.
     out.initial_ = sink;
   } else {
-    core::StateSet init(n);
-    init.insert(closure.initial());
-    out.initial_ = intern_set(init);
+    out.initial_ = intern_set({closure.initial()});
   }
 
   // Level-synchronous BFS over the subset graph. Each level is the block of
   // ids interned but not yet expanded; their successor images are
   // independent (they only READ the intern table), so they are computed in
-  // parallel into per-cell scratch sets, then interned SEQUENTIALLY in
+  // parallel into per-cell scratch vectors, then interned SEQUENTIALLY in
   // canonical (source-id, symbol) order. That order is exactly the order the
   // sequential worklist loop interned them in, so discovery-order ids — and
   // therefore the output automaton — are bit-identical at any thread count
   // (differentially tested in parallel_equivalence_test and pinned to the
-  // seed construction in kernel_equivalence_test).
-  std::vector<core::StateSet> images;
+  // seed construction in kernel_equivalence_test). An image is a direct
+  // gather of the members' CSR successor slices, then sort + unique — no
+  // per-(state, symbol) bitset prepass.
+  std::vector<std::vector<int>> images;
   for (State level_begin = 0; level_begin < intern.size();) {
     const State level_end = intern.size();
     const int frontier = level_end - level_begin;
-    images.assign(static_cast<std::size_t>(frontier) * sigma, core::StateSet{});
+    images.assign(static_cast<std::size_t>(frontier) * sigma, {});
     core::parallel_for(
         frontier * sigma,
         [&](int cell) {
           const State current_id = level_begin + cell / sigma;
           const Sym s = cell % sigma;
-          core::StateSet image(n);
-          intern.key(current_id).for_each([&](int q) {
-            image.union_with(succ_bits[static_cast<std::size_t>(q) * sigma + s]);
-          });
+          std::vector<int> image;
+          for (const int q : intern.key(current_id).values) {
+            const std::span<const State> succ = closure.successors(q, s);
+            image.insert(image.end(), succ.begin(), succ.end());
+          }
+          std::sort(image.begin(), image.end());
+          image.erase(std::unique(image.begin(), image.end()), image.end());
           images[cell] = std::move(image);
         },
         /*grain=*/sigma);
     for (State current_id = level_begin; current_id < level_end; ++current_id) {
       for (Sym s = 0; s < sigma; ++s) {
-        const State target = intern_set(images[(current_id - level_begin) * sigma + s]);
-        out.delta_[current_id][s] = target;  // delta_ may have grown above
+        const State target =
+            intern_set(std::move(images[(current_id - level_begin) * sigma + s]));
+        // delta_ may have grown above.
+        out.delta_[static_cast<std::size_t>(current_id) * sigma + s] = target;
       }
     }
     level_begin = level_end;
   }
+  out.num_states_ = intern.size();
   return out;
 }
 
@@ -136,7 +132,7 @@ bool DetSafety::accepts(const UpWord& w) const {
   const std::size_t bound = w.prefix_size() + w.period_size() * (num_states() + 1);
   for (std::size_t i = 0; i < bound; ++i) {
     if (q == sink_) return false;
-    q = delta_[q][w.at(i)];
+    q = step(q, w.at(i));
   }
   return q != sink_;
 }
@@ -145,7 +141,7 @@ bool DetSafety::accepts_prefix(const Word& u) const {
   State q = initial_;
   for (Sym s : u) {
     if (q == sink_) return false;
-    q = delta_[q][s];
+    q = step(q, s);
   }
   return q != sink_;
 }
@@ -160,7 +156,7 @@ bool DetSafety::is_universal() const {
     stack.pop_back();
     if (q == sink_) return false;
     for (Sym s = 0; s < alphabet_.size(); ++s) {
-      const State next = delta_[q][s];
+      const State next = step(q, s);
       if (!seen[next]) {
         seen[next] = true;
         stack.push_back(next);
@@ -176,7 +172,7 @@ Nba DetSafety::to_nba() const {
     if (q == sink_) continue;
     out.set_accepting(q, true);
     for (Sym s = 0; s < alphabet_.size(); ++s) {
-      if (delta_[q][s] != sink_) out.add_transition(q, s, delta_[q][s]);
+      if (step(q, s) != sink_) out.add_transition(q, s, step(q, s));
     }
   }
   return out;
@@ -189,13 +185,13 @@ Nba DetSafety::complement_nba() const {
   out.set_accepting(sink_, true);
   for (State q = 0; q < num_states(); ++q) {
     for (Sym s = 0; s < alphabet_.size(); ++s) {
-      out.add_transition(q, s, delta_[q][s]);
+      out.add_transition(q, s, step(q, s));
     }
   }
   // Ensure the sink loops on every symbol (it does by construction: the
   // image of the empty subset is empty).
   for (Sym s = 0; s < alphabet_.size(); ++s) {
-    SLAT_ASSERT(delta_[sink_][s] == sink_);
+    SLAT_ASSERT(step(sink_, s) == sink_);
   }
   return out;
 }

@@ -34,17 +34,22 @@ class DetSafety {
   /// safety-closure shape (every state accepting, so acceptance degenerates
   /// to run existence). Exposed separately so the closure preprocessing can
   /// be shared/amortized and so benches time the kernel itself. Symbol
-  /// images are word-wise ORs over per-(state, symbol) successor bitsets,
-  /// interned through an open-addressing hash table.
+  /// images are sparse gathers over the CSR successor slices of the subset's
+  /// members (sorted + deduplicated), interned as sorted member vectors
+  /// through an open-addressing hash table — memory scales with the subsets
+  /// actually discovered, not with |Q|² bits, so 10^5–10^6-state closures
+  /// determinize without a quadratic bitset prepass.
   static DetSafety determinize(const Nba& closure);
 
   const Alphabet& alphabet() const { return alphabet_; }
-  int num_states() const { return static_cast<int>(delta_.size()); }
+  int num_states() const { return num_states_; }
   State initial() const { return initial_; }
   /// The rejecting sink (always present, possibly unreachable).
   State sink() const { return sink_; }
 
-  State step(State q, Sym s) const { return delta_[q][s]; }
+  State step(State q, Sym s) const {
+    return delta_[static_cast<std::size_t>(q) * alphabet_.size() + s];
+  }
 
   /// Does the word avoid the sink forever?
   bool accepts(const UpWord& w) const;
@@ -72,7 +77,11 @@ class DetSafety {
   Alphabet alphabet_;
   State initial_ = 0;
   State sink_ = 0;
-  std::vector<std::vector<State>> delta_;
+  int num_states_ = 0;
+  /// Row-major [state × symbol] table — one flat allocation, so the run
+  /// loop in accepts()/is_universal() is a stride-σ array walk with no
+  /// per-state indirection.
+  std::vector<State> delta_;
 };
 
 /// Decomposition per Theorem 2 on the lattice of ω-regular languages:

@@ -1,0 +1,143 @@
+// Monotone bump-pointer arena for search-engine scratch allocations.
+//
+// The antichain inclusion engine allocates one profile matrix (two
+// nb × nb_words bit-matrix halves) per period-search node and one state-set
+// word block per stem node. With `new`/`std::vector` those allocations
+// dominate the search loop: each node pays a malloc round trip, and the
+// blocks end up scattered across the heap, so the word-parallel subsumption
+// sweeps stride through cold cache lines. An Arena replaces that with a
+// bump pointer over large chunks:
+//
+//   * allocate(n)       — O(1): bump within the current chunk, or chain a
+//                         new chunk (geometrically grown, so the number of
+//                         chunks is logarithmic in total bytes).
+//   * reset()           — O(1): forgets every allocation but KEEPS the
+//                         chunks, so the next search phase reuses the same
+//                         hot memory. This is the "monotone" lifetime rule:
+//                         individual blocks are never freed; whole phases
+//                         are.
+//   * alloc_array<T>(n) — typed convenience over allocate() for trivially
+//                         destructible T (nothing runs destructors).
+//
+// Alignment: every block is aligned to alignof(std::max_align_t), which
+// covers the std::uint64_t word blocks the engine stores. Oversized
+// requests (larger than the current chunk) get a dedicated chunk of at
+// least the requested size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace slat::core {
+
+class Arena {
+ public:
+  /// `chunk_bytes` seeds the granularity of the backing allocations; chunks
+  /// double from there (capped), so a small seed only costs a few extra
+  /// chunk headers, never O(n) allocations.
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : default_chunk_bytes_(chunk_bytes == 0 ? kDefaultChunkBytes : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw block of `bytes`, aligned to alignof(std::max_align_t). Never
+  /// returns nullptr (a zero-byte request returns a valid chunk position).
+  void* allocate(std::size_t bytes) {
+    bytes = align_up(bytes);
+    if (current_ == chunks_.size() || used_ + bytes > chunks_[current_].size) {
+      advance_to_chunk_fitting(bytes);
+    }
+    Chunk& chunk = chunks_[current_];
+    void* out = chunk.data.get() + used_;
+    used_ += bytes;
+    bytes_allocated_ += bytes;
+    return out;
+  }
+
+  /// Typed array of `count` uninitialized elements. T must be trivially
+  /// destructible: reset() runs no destructors.
+  template <typename T>
+  T* alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    static_assert(alignof(T) <= alignof(std::max_align_t));
+    return static_cast<T*>(allocate(count * sizeof(T)));
+  }
+
+  /// Like alloc_array<std::uint64_t>, but zero-filled — the engine's
+  /// state-set and profile blocks start empty.
+  std::uint64_t* alloc_words(std::size_t count) {
+    auto* words = alloc_array<std::uint64_t>(count);
+    std::memset(words, 0, count * sizeof(std::uint64_t));
+    return words;
+  }
+
+  /// Forgets all allocations, keeps the chunks. Previously returned
+  /// pointers dangle; the next allocations reuse the same (cache-warm)
+  /// memory from the first chunk onward.
+  void reset() {
+    current_ = 0;
+    used_ = 0;
+    bytes_allocated_ = 0;
+  }
+
+  /// Total bytes handed out since construction / the last reset() (after
+  /// alignment rounding).
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Total bytes of backing chunks currently held (survives reset()).
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Chunk& chunk : chunks_) total += chunk.size;
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kDefaultChunkBytes = std::size_t{1} << 20;  // 1 MiB
+  static constexpr std::size_t kMaxChunkBytes = std::size_t{1} << 26;      // 64 MiB
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  static std::size_t align_up(std::size_t bytes) {
+    constexpr std::size_t a = alignof(std::max_align_t);
+    return (bytes + a - 1) & ~(a - 1);
+  }
+
+  /// Leaves the (full or missing) current chunk and lands on one that fits
+  /// `bytes` (already aligned), appending a fresh chunk if none does. Chunk
+  /// sizes double up to the cap; an oversized request gets an exact-fit
+  /// chunk. operator new[] aligns to max_align_t and chunk sizes are
+  /// multiples of it, so every bump stays aligned.
+  void advance_to_chunk_fitting(std::size_t bytes) {
+    if (current_ < chunks_.size()) ++current_;  // current chunk cannot fit
+    while (current_ < chunks_.size() && chunks_[current_].size < bytes) ++current_;
+    if (current_ == chunks_.size()) {
+      std::size_t want = default_chunk_bytes_;
+      for (std::size_t i = 0; i < chunks_.size() && want < kMaxChunkBytes; ++i) {
+        want <<= 1;
+      }
+      if (want > kMaxChunkBytes) want = kMaxChunkBytes;
+      if (want < bytes) want = bytes;
+      chunks_.push_back(Chunk{std::make_unique<std::byte[]>(want), want});
+    }
+    used_ = 0;
+  }
+
+  std::size_t default_chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t current_ = 0;  // == chunks_.size() before the first allocation
+  std::size_t used_ = 0;     // bytes consumed in chunks_[current_]
+  std::size_t bytes_allocated_ = 0;
+};
+
+}  // namespace slat::core

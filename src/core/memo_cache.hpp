@@ -30,6 +30,7 @@
 #include <cstdlib>
 #include <list>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -85,11 +86,19 @@ class DigestBuilder {
     return *this;
   }
 
+  /// Digests the VALUES (length-prefixed), independent of the container
+  /// carrying them: a CSR slice and a nested vector with equal contents
+  /// produce identical digests.
   template <typename Int>
-  DigestBuilder& add_ints(const std::vector<Int>& values) {
+  DigestBuilder& add_ints(std::span<const Int> values) {
     add(values.size());
     for (const Int v : values) add_int(static_cast<int>(v));
     return *this;
+  }
+
+  template <typename Int>
+  DigestBuilder& add_ints(const std::vector<Int>& values) {
+    return add_ints(std::span<const Int>(values.data(), values.size()));
   }
 
   DigestBuilder& add_bools(const std::vector<bool>& values) {

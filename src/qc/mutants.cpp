@@ -201,6 +201,63 @@ bool kill_safety_inadequate_corpus() {
   return sampled == buchi::SafetyClass::kSafety && !buchi::is_safety(b);
 }
 
+// The CSR offset table has rows+1 entries addressed by row = q·|Σ|+s; a
+// reader that indexes offsets[row+1]..offsets[row+2] hands every (state,
+// symbol) cell its neighbor's slice, visibly changing the language.
+bool kill_csr_offset_row_shift() {
+  // L = (ab)^ω: q0 accepting --a--> q1 --b--> q0.
+  Nba b(Alphabet::binary(), 2, 0);
+  b.set_accepting(0, true);
+  b.add_transition(0, 0, 1);
+  b.add_transition(1, 1, 0);
+  // Hand-rolled CSR of b, then a mutant automaton wired from off-by-one
+  // slice reads.
+  const int sigma = 2, rows = 2 * sigma;
+  std::vector<int> offsets(rows + 1, 0);
+  std::vector<buchi::State> targets;
+  for (int q = 0; q < 2; ++q) {
+    for (words::Sym s = 0; s < sigma; ++s) {
+      offsets[q * sigma + s] = static_cast<int>(targets.size());
+      for (buchi::State t : b.successors(q, s)) targets.push_back(t);
+    }
+  }
+  offsets[rows] = static_cast<int>(targets.size());
+  Nba mutant(Alphabet::binary(), 2, 0);
+  mutant.set_accepting(0, true);
+  for (int q = 0; q < 2; ++q) {
+    for (words::Sym s = 0; s < sigma; ++s) {
+      const int row = q * sigma + s;
+      if (row + 2 > rows) continue;  // the shifted read runs off the table
+      for (int i = offsets[row + 1]; i < offsets[row + 2]; ++i) {
+        mutant.add_transition(q, s, targets[i]);
+      }
+    }
+  }
+  const UpWord ab_omega({}, {0, 1});
+  return mutant.accepts(ab_omega) != b.accepts(ab_omega);
+}
+
+// Per-row CSR order is first-insertion order — that ordering IS part of the
+// structural content address. A rebuild that sorts slices ascending re-keys
+// structurally identical automata, silently splitting the memo cache.
+bool kill_csr_unsorted_slice() {
+  Nba b(Alphabet::binary(), 3, 0);
+  b.set_accepting(2, true);
+  b.add_transition(0, 0, 2);  // slice (q0, a) = [2, 1]: insertion order
+  b.add_transition(0, 0, 1);
+  b.add_transition(1, 0, 2);
+  b.add_transition(2, 0, 2);
+  // Mutant rebuild: the same edge set with the slice sorted to [1, 2].
+  Nba mutant(Alphabet::binary(), 3, 0);
+  mutant.set_accepting(2, true);
+  mutant.add_transition(0, 0, 1);
+  mutant.add_transition(0, 0, 2);
+  mutant.add_transition(1, 0, 2);
+  mutant.add_transition(2, 0, 2);
+  return !(buchi::fingerprint(mutant) == buchi::fingerprint(b)) &&
+         buchi::is_equivalent(mutant, b);
+}
+
 // ---------------------------------------------------------------------------
 // LTL pipeline
 // ---------------------------------------------------------------------------
@@ -449,6 +506,12 @@ const std::vector<Mutant>& mutants() {
        "the acceptance condition of direct simulation", kill_simulation_ignore_acceptance},
       {"buchi.safety.inadequate_corpus", "buchi",
        "§2.3 sampled classification is refutation-only", kill_safety_inadequate_corpus},
+      {"buchi.csr.offset_row_shift", "buchi",
+       "PR6 CSR layout: the [state × symbol] offset-row indexing",
+       kill_csr_offset_row_shift},
+      {"buchi.csr.unsorted_slice", "buchi",
+       "PR6 CSR layout: first-insertion slice order is structural content",
+       kill_csr_unsorted_slice},
       // LTL pipeline
       {"ltl.translate.until_as_weak", "ltl",
        "the Until eventuality obligation in the tableau", kill_translate_until_as_weak},

@@ -95,6 +95,40 @@ PropertyResult lcl_monotone(std::uint64_t trial_seed) {
   return r;
 }
 
+// --- Büchi: CSR transition layout (PR6) ------------------------------------
+
+PropertyResult csr_roundtrip(std::uint64_t trial_seed) {
+  // Metamorphic: reading every successor slice back through the CSR and
+  // re-inserting it into a fresh automaton must reproduce the structure
+  // EXACTLY — same content digest, same transition count — and the two
+  // copies must keep agreeing after identical mutations through the lazy
+  // rebuild path (read, then append, then read again).
+  return nba_law(
+      trial_seed, kSmallNba,
+      "CSR roundtrip: build → read slices → rebuild must be structurally identical",
+      [](const Nba& nba) {
+        Nba rebuilt(nba.alphabet(), nba.num_states(), nba.initial());
+        for (buchi::State q = 0; q < nba.num_states(); ++q) {
+          rebuilt.set_accepting(q, nba.is_accepting(q));
+          for (words::Sym s = 0; s < nba.alphabet().size(); ++s) {
+            for (buchi::State t : nba.successors(q, s)) {
+              rebuilt.add_transition(q, s, t);
+            }
+          }
+        }
+        if (!(buchi::fingerprint(rebuilt) == buchi::fingerprint(nba))) return false;
+        if (rebuilt.num_transitions() != nba.num_transitions()) return false;
+        // Append after the read above forced a CSR build: the pending-edge
+        // merge must land both copies in the same slices.
+        Nba grown = nba;
+        const buchi::State fresh = grown.add_state();
+        if (fresh != rebuilt.add_state()) return false;
+        grown.add_transition(grown.initial(), 0, fresh);
+        rebuilt.add_transition(rebuilt.initial(), 0, fresh);
+        return buchi::fingerprint(grown) == buchi::fingerprint(rebuilt);
+      });
+}
+
 // --- Büchi: Theorem 1/2 decomposition --------------------------------------
 
 PropertyResult decomposition_identity(std::uint64_t trial_seed) {
@@ -496,6 +530,7 @@ const std::vector<Property>& properties() {
        decomposition_identity},
       {"buchi.decomposition.parts", "Theorems 2, 6 (machine closure)", 1,
        decomposition_parts},
+      {"buchi.csr.roundtrip", "PR6 CSR transition layout", 2, csr_roundtrip},
       {"buchi.inclusion.differential", "PR4 antichain engine vs rank oracle", 1,
        inclusion_differential},
       {"buchi.simulation.quotient", "PR4 simulation quotient", 2,

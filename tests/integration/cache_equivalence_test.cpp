@@ -208,6 +208,80 @@ TEST_P(CacheEquivalence, LtlTranslationIsCachedAndStatsReplayExactly) {
   EXPECT_EQ(core::metrics().counter("cache.ltl.to_nba.hits").value(), hits_before + 1);
 }
 
+// PR6: the content address must be independent of the container holding the
+// transition relation, or every memo-cache entry written before the CSR
+// migration would silently miss after it. The reference digest below feeds
+// the EXACT seed-era byte stream — nested vector-of-vectors slices,
+// length-prefixed — through DigestBuilder and must equal fingerprint() of
+// the CSR automaton bit for bit.
+TEST(FingerprintLayout, CsrDigestMatchesSeedEraNestedVectorDigest) {
+  const std::vector<Nba> corpus = random_corpus(50, "cache_equivalence.csr_digest");
+  for (const Nba& nba : corpus) {
+    const words::Alphabet& alphabet = nba.alphabet();
+    std::vector<std::vector<std::vector<buchi::State>>> delta(
+        nba.num_states(), std::vector<std::vector<buchi::State>>(alphabet.size()));
+    for (buchi::State q = 0; q < nba.num_states(); ++q) {
+      for (words::Sym s = 0; s < alphabet.size(); ++s) {
+        for (buchi::State t : nba.successors(q, s)) delta[q][s].push_back(t);
+      }
+    }
+    core::DigestBuilder reference;
+    reference.add_string("buchi.nba");
+    reference.add_int(alphabet.size());
+    for (words::Sym s = 0; s < alphabet.size(); ++s) {
+      reference.add_string(alphabet.name(s));
+    }
+    reference.add_int(nba.num_states()).add_int(nba.initial());
+    for (buchi::State q = 0; q < nba.num_states(); ++q) {
+      reference.add_bool(nba.is_accepting(q));
+      for (words::Sym s = 0; s < alphabet.size(); ++s) {
+        reference.add_ints(delta[q][s]);
+      }
+    }
+    const core::Digest expected = reference.digest();
+    const core::Digest actual = buchi::fingerprint(nba);
+    EXPECT_EQ(actual.hi, expected.hi);
+    EXPECT_EQ(actual.lo, expected.lo);
+  }
+}
+
+// Pins the slice SEMANTICS the digest is defined over: first-insertion
+// order, duplicates dropped — what add_transition has guaranteed since the
+// seed, now reproduced by the lazy CSR rebuild.
+TEST(FingerprintLayout, SliceOrderIsFirstInsertionWithDedup) {
+  Nba nba(words::Alphabet::binary(), 3, 0);
+  nba.set_accepting(2, true);
+  nba.add_transition(0, 0, 2);
+  nba.add_transition(0, 0, 1);
+  nba.add_transition(0, 0, 2);  // duplicate: dropped
+  nba.add_transition(1, 1, 0);
+  const auto slice = nba.successors(0, 0);
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_EQ(slice[0], 2);
+  EXPECT_EQ(slice[1], 1);
+  EXPECT_EQ(nba.num_transitions(), 3);
+
+  core::DigestBuilder reference;
+  reference.add_string("buchi.nba");
+  reference.add_int(2);
+  reference.add_string(nba.alphabet().name(0));
+  reference.add_string(nba.alphabet().name(1));
+  reference.add_int(3).add_int(0);
+  reference.add_bool(false);
+  reference.add_ints(std::vector<int>{2, 1});  // (q0, a)
+  reference.add_ints(std::vector<int>{});      // (q0, b)
+  reference.add_bool(false);
+  reference.add_ints(std::vector<int>{});      // (q1, a)
+  reference.add_ints(std::vector<int>{0});     // (q1, b)
+  reference.add_bool(true);
+  reference.add_ints(std::vector<int>{});      // (q2, a)
+  reference.add_ints(std::vector<int>{});      // (q2, b)
+  const core::Digest expected = reference.digest();
+  const core::Digest actual = buchi::fingerprint(nba);
+  EXPECT_EQ(actual.hi, expected.hi);
+  EXPECT_EQ(actual.lo, expected.lo);
+}
+
 INSTANTIATE_TEST_SUITE_P(Threads, CacheEquivalence, ::testing::Values(1, 4),
                          [](const ::testing::TestParamInfo<int>& info) {
                            return "threads_" + std::to_string(info.param);
