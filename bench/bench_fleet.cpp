@@ -1,0 +1,264 @@
+// E10 (DESIGN.md §8): the streaming monitor fleet at serving scale.
+//
+// The workload is monitoring-as-a-service: a fixed family of "no run of
+// more than k consecutive b's" specifications compiled once, 10^4–10^6
+// concurrent sessions zipf-assigned across them, and bursty seeded traffic
+// (1% out-of-alphabet garbage — the PR 8 hardened event path is part of the
+// hot loop, not an error branch). Every timed pass replays the SAME
+// pregenerated batches after reset_sessions(), so iterations measure
+// identical work.
+//
+//   BM_FleetIngest          — batched MonitorFleet::ingest across the global
+//                             pool; items/s == events/s.
+//   BM_FleetScalar          — the same fleet stepped one event at a time on
+//                             one thread (the table layout without the
+//                             batching layer).
+//   BM_NaiveIngest_Reference — the pre-fleet architecture: one SafetyMonitor
+//                             object per session (each owning its subset
+//                             automaton), stepped per event. This is the
+//                             baseline the run_benches.sh gate compares
+//                             against (fleet >= 3x at the 10^5 tier); it is
+//                             capped at 10^5 sessions, where its per-session
+//                             objects already cost ~100x the fleet's 8 bytes.
+//
+// Registration order matters for the RSS counters: ru_maxrss is a process
+// high-water mark, so the fleet benchmarks run FIRST and their peak_rss_mb
+// readings — the "O(sessions) resident memory" acceptance number — are
+// untouched by the reference runs' per-session monitor objects.
+#include <benchmark/benchmark.h>
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "buchi/nba.hpp"
+#include "common/assert.hpp"
+#include "monitor/fleet.hpp"
+#include "monitor/monitor.hpp"
+#include "monitor/traffic.hpp"
+#include "qc/seed.hpp"
+#include "words/alphabet.hpp"
+
+namespace slat::monitor {
+namespace {
+
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+void record_rss(benchmark::State& state, double rss_before) {
+  const double rss_after = peak_rss_mb();
+  state.counters["peak_rss_mb"] = rss_after;
+  state.counters["rss_growth_mb"] = std::max(0.0, rss_after - rss_before);
+}
+
+constexpr std::uint32_t kNumMonitors = 12;
+/// Batches per timed pass; each batch carries one event per session on
+/// average, so a pass is ~4 events/session of bursty zipf traffic.
+constexpr int kBatchesPerPass = 4;
+
+/// "No run of more than `limit` consecutive b's" over Σ = {a, b} — the same
+/// family as tests/monitor/fleet_test.cpp; the b-counter overflows into a
+/// missing transition, so the closure's determinization grows a real sink.
+buchi::Nba b_run_limit(int limit) {
+  buchi::Nba nba(words::Alphabet::binary(), limit + 1, 0);
+  for (int q = 0; q <= limit; ++q) {
+    nba.set_accepting(q, true);
+    nba.add_transition(q, 0, 0);
+    if (q < limit) nba.add_transition(q, 1, q + 1);
+  }
+  return nba;
+}
+
+TrafficConfig fleet_config(std::uint32_t num_sessions) {
+  return TrafficConfig{.num_sessions = num_sessions,
+                       .num_monitors = kNumMonitors,
+                       .alphabet_size = 2,
+                       .common_sym_bias = 0.85,
+                       .garbage_rate = 0.01};
+}
+
+std::vector<MonitorId> monitor_mix(const TrafficConfig& cfg, std::mt19937& rng) {
+  return zipf_monitor_assignment(cfg, rng);
+}
+
+struct FleetWorkload {
+  MonitorFleet fleet;
+  std::vector<std::vector<Event>> batches;
+  std::size_t total_events = 0;
+};
+
+FleetWorkload make_fleet_workload(std::uint32_t num_sessions) {
+  const TrafficConfig cfg = fleet_config(num_sessions);
+  FleetWorkload w;
+  std::mt19937 rng = qc::make_rng("bench_fleet.build");
+  std::vector<MonitorId> programs;
+  for (std::uint32_t j = 0; j < kNumMonitors; ++j) {
+    programs.push_back(w.fleet.compile_nba(b_run_limit(1 + static_cast<int>(j % 6))));
+  }
+  for (const MonitorId m : monitor_mix(cfg, rng)) {
+    w.fleet.open_session(programs[m]);
+  }
+  for (int b = 0; b < kBatchesPerPass; ++b) {
+    w.batches.push_back(make_batch(cfg, num_sessions, rng));
+    w.total_events += w.batches.back().size();
+  }
+  return w;
+}
+
+/// The pre-fleet architecture: session i owns a full SafetyMonitor built by
+/// SafetyMonitor::from_nba — the library's per-trace entry point, which is
+/// exactly how the monitor API is consumed without a fleet (no shared
+/// compiled programs; every session constructs and owns its automaton). The
+/// zipf assignment and the batches are the fleet workload's, seed-for-seed.
+struct NaiveWorkload {
+  std::vector<SafetyMonitor> sessions;
+  std::vector<std::vector<Event>> batches;
+  std::size_t total_events = 0;
+};
+
+NaiveWorkload make_naive_workload(std::uint32_t num_sessions) {
+  const TrafficConfig cfg = fleet_config(num_sessions);
+  NaiveWorkload w;
+  std::mt19937 rng = qc::make_rng("bench_fleet.build");
+  std::vector<buchi::Nba> specs;
+  for (std::uint32_t j = 0; j < kNumMonitors; ++j) {
+    specs.push_back(b_run_limit(1 + static_cast<int>(j % 6)));
+  }
+  w.sessions.reserve(num_sessions);
+  for (const MonitorId m : monitor_mix(cfg, rng)) {
+    w.sessions.push_back(SafetyMonitor::from_nba(specs[m]));
+  }
+  for (int b = 0; b < kBatchesPerPass; ++b) {
+    w.batches.push_back(make_batch(cfg, num_sessions, rng));
+    w.total_events += w.batches.back().size();
+  }
+  return w;
+}
+
+void BM_FleetIngest(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  FleetWorkload w = make_fleet_workload(n);
+  const double rss_before = peak_rss_mb();
+  for (auto _ : state) {
+    state.PauseTiming();
+    w.fleet.reset_sessions();
+    state.ResumeTiming();
+    for (const std::vector<Event>& batch : w.batches) {
+      w.fleet.ingest(batch);
+    }
+    benchmark::DoNotOptimize(w.fleet.session_state(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.total_events));
+  state.counters["sessions"] = static_cast<double>(n);
+  state.counters["violated_sessions"] = static_cast<double>(w.fleet.count_violated());
+  record_rss(state, rss_before);
+}
+BENCHMARK(BM_FleetIngest)
+    ->Arg(10000)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_FleetScalar(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  FleetWorkload w = make_fleet_workload(n);
+  const double rss_before = peak_rss_mb();
+  for (auto _ : state) {
+    state.PauseTiming();
+    w.fleet.reset_sessions();
+    state.ResumeTiming();
+    for (const std::vector<Event>& batch : w.batches) {
+      for (const Event& e : batch) {
+        benchmark::DoNotOptimize(w.fleet.step(e.session, e.sym));
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.total_events));
+  state.counters["sessions"] = static_cast<double>(n);
+  record_rss(state, rss_before);
+}
+BENCHMARK(BM_FleetScalar)
+    ->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_NaiveIngest_Reference(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  NaiveWorkload w = make_naive_workload(n);
+  const double rss_before = peak_rss_mb();
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (SafetyMonitor& m : w.sessions) m.reset();
+    state.ResumeTiming();
+    for (const std::vector<Event>& batch : w.batches) {
+      for (const Event& e : batch) {
+        benchmark::DoNotOptimize(w.sessions[e.session].step(e.sym));
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.total_events));
+  state.counters["sessions"] = static_cast<double>(n);
+  record_rss(state, rss_before);
+}
+BENCHMARK(BM_NaiveIngest_Reference)
+    ->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Artifact: fleet-vs-naive verdict agreement, then the footprint story.
+// ---------------------------------------------------------------------------
+
+void print_artifact() {
+  bench::print_header("E10", "streaming monitor fleet (DESIGN.md §8)");
+
+  // Cross-check BEFORE any timing: the fleet and the one-monitor-per-session
+  // reference must agree on every verdict of the 10^4-session workload.
+  FleetWorkload fleet_w = make_fleet_workload(10'000);
+  NaiveWorkload naive_w = make_naive_workload(10'000);
+  SLAT_ASSERT(fleet_w.total_events == naive_w.total_events);
+  std::size_t mismatches = 0;
+  for (int b = 0; b < kBatchesPerPass; ++b) {
+    const std::vector<Event>& batch = fleet_w.batches[b];
+    std::vector<std::uint8_t> verdicts(batch.size());
+    fleet_w.fleet.ingest(batch, verdicts);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const bool naive = naive_w.sessions[batch[i].session].step(batch[i].sym);
+      if (verdicts[i] != (naive ? 1 : 0)) ++mismatches;
+    }
+  }
+  std::size_t naive_violated = 0;
+  for (const SafetyMonitor& m : naive_w.sessions) {
+    if (m.violated()) ++naive_violated;
+  }
+  const std::size_t fleet_violated = fleet_w.fleet.count_violated();
+  std::printf("  10^4-session cross-check: %zu events, %zu verdict mismatches, "
+              "violated %zu (fleet) vs %zu (naive) — %s\n",
+              fleet_w.total_events, mismatches, fleet_violated, naive_violated,
+              mismatches == 0 && fleet_violated == naive_violated
+                  ? "reference == fleet"
+                  : "MISMATCH");
+  SLAT_ASSERT(mismatches == 0 && fleet_violated == naive_violated);
+
+  std::printf(
+      "\nnotes:\n"
+      "  - items/s == monitor events/s; every pass replays %d pregenerated\n"
+      "    zipf/bursty batches (~4 events/session, 1%% out-of-alphabet)\n"
+      "  - peak_rss_mb is the process high-water mark; the fleet benchmarks\n"
+      "    run first so their readings show the 8-byte-session footprint,\n"
+      "    the *_Reference runs (a SafetyMonitor object per session) after\n"
+      "  - BM_NaiveIngest_Reference stops at 10^5 sessions; BM_FleetIngest\n"
+      "    runs to 10^6 (the O(sessions) RSS acceptance point)\n"
+      "  - scripts/run_benches.sh aggregates into BENCH_PR8.json (gate:\n"
+      "    batched fleet >= 3x naive at the 10^5 tier)\n",
+      kBatchesPerPass);
+}
+
+}  // namespace
+}  // namespace slat::monitor
+
+SLAT_BENCH_MAIN(::slat::monitor::print_artifact)

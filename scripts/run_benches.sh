@@ -4,8 +4,11 @@
 # (parallel-layer thread sweep), BENCH_PR3.json (memo-cache hit rates),
 # BENCH_PR4.json (antichain inclusion vs complement oracle), and
 # BENCH_PR6.json (10^4–10^6-state scaling tier: CSR/arena kernels vs the
-# pre-CSR reference layouts) at the repo root. Every BENCH_*.json written is
-# stamped with provenance (commit, compiler, CPU model) as the last step.
+# pre-CSR reference layouts), and BENCH_PR8.json (streaming monitor fleet:
+# batched events/sec + RSS vs the one-monitor-per-session baseline, with a
+# hard >=3x gate at the 10^5-session tier) at the repo root. Every
+# BENCH_*.json written is stamped with provenance (commit, compiler, CPU
+# model) as the last step.
 #
 # Usage: scripts/run_benches.sh [build-dir]
 #
@@ -33,13 +36,16 @@ CACHE_BENCHES=(bench_rem_linear bench_rem_branching bench_rabin_decomposition be
 INCLUSION_BENCHES=(bench_inclusion)
 # The scaling tier (BENCH_PR6.json): optimized vs pre-CSR reference kernels.
 SCALE_BENCHES=(bench_scale)
+# The monitor-fleet serving tier (BENCH_PR8.json): batched ingest vs the
+# one-SafetyMonitor-per-session baseline.
+FLEET_BENCHES=(bench_fleet)
 
 if [[ ! -d "${BUILD_DIR}" ]]; then
   cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
 fi
 cmake --build "${BUILD_DIR}" -j --target \
   "${BENCHES[@]}" "${SWEEP_BENCHES[@]}" "${CACHE_BENCHES[@]}" \
-  "${INCLUSION_BENCHES[@]}" "${SCALE_BENCHES[@]}"
+  "${INCLUSION_BENCHES[@]}" "${SCALE_BENCHES[@]}" "${FLEET_BENCHES[@]}"
 
 # Start from a clean slate: stale JSON from an earlier (possibly aborted) run
 # must never leak into the aggregates.
@@ -117,6 +123,21 @@ for bench in "${SCALE_BENCHES[@]}"; do
   run_bench "${OUT_DIR}/${bench}.json" \
     env SLAT_CACHE=0 "${BUILD_DIR}/bench/${bench}" \
     --benchmark_min_time=0.05 \
+    --benchmark_out="${OUT_DIR}/${bench}.json" \
+    --benchmark_out_format=json
+done
+
+# The fleet tier runs with repetitions: its acceptance gate compares two
+# benchmarks measured minutes apart in a noisy-VM-prone environment, so the
+# ratio is taken over per-benchmark MEDIANS, not single shots. The binary's
+# artifact (fleet-vs-naive verdict cross-check, SLAT_ASSERT-backed) stays on
+# stderr; a crash there aborts the script via run_bench.
+for bench in "${FLEET_BENCHES[@]}"; do
+  echo "== ${bench} (monitor fleet) =="
+  run_bench "${OUT_DIR}/${bench}.json" \
+    env SLAT_CACHE=0 "${BUILD_DIR}/bench/${bench}" \
+    --benchmark_min_time=0.1 \
+    --benchmark_repetitions=5 \
     --benchmark_out="${OUT_DIR}/${bench}.json" \
     --benchmark_out_format=json
 done
@@ -404,6 +425,86 @@ with open(target, "w") as f:
 print(f"wrote {target}")
 for name, s in sorted(merged["speedup_vs_pre_csr"].items()):
     print(f"  {name}: {s}x vs pre-CSR layout")
+PY
+
+python3 - "${OUT_DIR}" "${REPO_ROOT}/BENCH_PR8.json" "${FLEET_BENCHES[@]}" <<'PY'
+import json
+import sys
+
+out_dir, target, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+merged = {
+    "context": None,
+    "note": "streaming monitor fleet (DESIGN.md §8): batched "
+            "MonitorFleet::ingest vs the pre-fleet one-SafetyMonitor-per-"
+            "session baseline on identical seeded zipf/bursty traffic "
+            "(1% out-of-alphabet). items_per_second == monitor events/sec; "
+            "peak_rss_mb is the process high-water mark (fleet benchmarks "
+            "run first, so their readings exclude the baseline's per-session "
+            "objects). Verdict agreement is asserted by the binary's "
+            "artifact before any timing run and pinned by the qc property "
+            "monitor.fleet_batch_scalar. The gate ratio uses per-benchmark "
+            "medians over 5 repetitions (the two sides are measured minutes "
+            "apart, so single shots would gate on scheduler noise).",
+    "benchmarks": {},
+    "median_events_per_sec": {},
+    "speedup_fleet_vs_naive": {},
+}
+for bench in benches:
+    with open(f"{out_dir}/{bench}.json") as f:
+        data = json.load(f)
+    if merged["context"] is None:
+        context = data.get("context", {})
+        merged["context"] = {
+            key: context.get(key)
+            for key in ("date", "host_name", "num_cpus", "mhz_per_cpu", "library_build_type")
+        }
+    runs = {}
+    for run in data.get("benchmarks", []):
+        if run.get("run_type", "iteration") == "iteration":
+            entry = {"real_time_ns": run.get("real_time"),
+                     "cpu_time_ns": run.get("cpu_time"),
+                     "iterations": run.get("iterations")}
+            for counter in ("items_per_second", "peak_rss_mb", "rss_growth_mb",
+                            "sessions", "violated_sessions"):
+                if counter in run:
+                    entry[counter] = run[counter]
+            runs.setdefault(run["name"], []).append(entry)
+        elif run.get("aggregate_name") == "median":
+            base = run["name"].removesuffix("_median")
+            if "items_per_second" in run:
+                merged["median_events_per_sec"][base] = run["items_per_second"]
+    merged["benchmarks"][bench] = dict(sorted(runs.items()))
+
+medians = merged["median_events_per_sec"]
+for tier in ("10000", "100000"):
+    fleet = medians.get(f"BM_FleetIngest/{tier}/real_time")
+    naive = medians.get(f"BM_NaiveIngest_Reference/{tier}")
+    if fleet and naive:
+        merged["speedup_fleet_vs_naive"][f"sessions_{tier}"] = round(fleet / naive, 2)
+
+# The PR8 acceptance gate: at the 10^5-session tier, batched fleet ingest
+# must clear 3x the one-monitor-per-session baseline (median over reps).
+ratio = merged["speedup_fleet_vs_naive"].get("sessions_100000")
+merged["gate_10e5_tier"] = {
+    "fleet_vs_naive_events_per_sec": {
+        "speedup": ratio, "required": 3.0,
+        "pass": ratio is not None and ratio >= 3.0,
+    }
+}
+if ratio is None or ratio < 3.0:
+    print("error: PR8 fleet gate failed:", file=sys.stderr)
+    print(f"  BM_FleetIngest/100000 vs BM_NaiveIngest_Reference/100000: "
+          f"{ratio}x (need >= 3.0x)", file=sys.stderr)
+    sys.exit(1)
+
+with open(target, "w") as f:
+    json.dump(merged, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {target}")
+for name, eps in sorted(medians.items()):
+    print(f"  {name}: {eps / 1e6:.1f}M events/s (median)")
+for tier, s in sorted(merged["speedup_fleet_vs_naive"].items()):
+    print(f"  {tier}: fleet {s}x vs one-monitor-per-session baseline")
 PY
 
 # Provenance: stamp every aggregate written above with the commit, compiler,

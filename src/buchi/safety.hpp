@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "buchi/nba.hpp"
+#include "common/assert.hpp"
 
 namespace slat::buchi {
 
@@ -47,13 +48,23 @@ class DetSafety {
   /// The rejecting sink (always present, possibly unreachable).
   State sink() const { return sink_; }
 
+  /// One deterministic transition. PRECONDITION: `q` is a state of this
+  /// automaton and `s` a symbol of its alphabet — checked in every build
+  /// type, because an out-of-range symbol would otherwise read a slot of a
+  /// NEIGHBORING state's row (or past the table) and silently return a
+  /// garbage state. Mirrors the `Nba::accepts` alphabet precondition.
   State step(State q, Sym s) const {
+    SLAT_ASSERT_MSG(q >= 0 && q < num_states_, "state outside the automaton");
+    SLAT_ASSERT_MSG(s >= 0 && s < alphabet_.size(),
+                    "symbol outside the automaton's alphabet");
     return delta_[static_cast<std::size_t>(q) * alphabet_.size() + s];
   }
 
-  /// Does the word avoid the sink forever?
+  /// Does the word avoid the sink forever? Every symbol of `w` must lie in
+  /// the alphabet (precondition, checked).
   bool accepts(const UpWord& w) const;
   /// Does the finite prefix stay out of the sink? (= prefix is "safe")
+  /// Every symbol of `u` must lie in the alphabet (precondition, checked).
   bool accepts_prefix(const Word& u) const;
 
   /// Universality: no reachable sink, i.e. the language is Σ^ω.

@@ -20,6 +20,13 @@ DfaMonitor DfaMonitor::from_ltl(ltl::LtlArena& arena, ltl::FormulaId formula) {
 
 bool DfaMonitor::step(words::Sym event) {
   if (violated_) return false;
+  // Same contract as SafetyMonitor::step: an out-of-alphabet event is a
+  // deterministic, latching rejection, never a Dfa::step precondition
+  // failure (which would abort the process).
+  if (event < 0 || event >= dfa_.alphabet().size()) {
+    violated_ = true;
+    return false;
+  }
   state_ = dfa_.step(state_, event);
   if (!dfa_.is_accepting(state_)) {
     violated_ = true;
@@ -35,6 +42,9 @@ void DfaMonitor::reset() {
 
 std::optional<std::size_t> DfaMonitor::run(const words::Word& trace) {
   reset();
+  // Empty-prefix verdict, identical to SafetyMonitor::run: a closure that
+  // rejects ε reports 0 accepted events even on the empty trace.
+  if (violated_) return 0;
   for (std::size_t i = 0; i < trace.size(); ++i) {
     if (!step(trace[i])) return i;
   }

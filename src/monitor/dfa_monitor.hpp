@@ -18,11 +18,15 @@ class DfaMonitor {
   static DfaMonitor from_ltl(ltl::LtlArena& arena, ltl::FormulaId formula);
 
   /// Feeds one event; false from the first violation on (latching).
+  /// Out-of-alphabet events are deterministic violations (no UB, no abort),
+  /// matching SafetyMonitor::step.
   bool step(words::Sym event);
   bool violated() const { return violated_; }
   void reset();
 
-  /// First rejected index, or nullopt. Resets first.
+  /// Number of events accepted before the violation (0 when the closure
+  /// rejects the empty prefix, even on the empty trace), or nullopt when
+  /// safe throughout. Resets first. Same verdict as SafetyMonitor::run.
   std::optional<std::size_t> run(const words::Word& trace);
 
   /// The minimized monitor automaton (good prefixes accept).

@@ -1,0 +1,364 @@
+#include "monitor/fleet.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "core/parallel.hpp"
+#include "ltl/translate.hpp"
+
+namespace slat::monitor {
+
+namespace {
+
+std::uint32_t round_up_pow2(int n) {
+  std::uint32_t v = n < 1 ? 1u : static_cast<std::uint32_t>(n);
+  v -= 1;
+  v |= v >> 1;
+  v |= v >> 2;
+  v |= v >> 4;
+  v |= v >> 8;
+  v |= v >> 16;
+  return v + 1;
+}
+
+}  // namespace
+
+MonitorFleet::MonitorFleet(int num_shards) {
+  const std::uint32_t shards = round_up_pow2(num_shards);
+  shard_mask_ = shards - 1;
+  shard_bits_ = 0;
+  while ((1u << shard_bits_) < shards) ++shard_bits_;
+  shards_.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+MonitorId MonitorFleet::add_program(int alphabet_size, std::uint32_t num_states,
+                                    std::uint32_t initial, std::uint32_t sink,
+                                    std::vector<std::uint32_t> table) {
+  SLAT_ASSERT(alphabet_size >= 1);
+  SLAT_ASSERT(num_states >= 1);
+  SLAT_ASSERT(initial < num_states);
+  SLAT_ASSERT(sink < num_states);
+  SLAT_ASSERT_MSG(table.size() == static_cast<std::size_t>(num_states) *
+                                      static_cast<std::size_t>(alphabet_size),
+                  "program table must be num_states x alphabet_size");
+  for (const std::uint32_t to : table) {
+    SLAT_ASSERT_MSG(to < num_states, "program transition targets a missing state");
+  }
+  for (int s = 0; s < alphabet_size; ++s) {
+    SLAT_ASSERT_MSG(table[static_cast<std::size_t>(sink) * alphabet_size + s] == sink,
+                    "sink row must self-loop (latching violations)");
+  }
+  Program p;
+  p.num_states = num_states;
+  p.initial = initial;
+  p.sink = sink;
+  p.alphabet_size = alphabet_size;
+  p.table = std::move(table);
+  if (static_cast<std::uint32_t>(alphabet_size) > row_stride_) {
+    // First program, or a wider alphabet than anything compiled so far:
+    // re-lay the fleet-wide table at the new row width (and remap any live
+    // sessions). The common lifecycle compiles every program up front, so
+    // this almost always runs on an empty fleet.
+    programs_.push_back(std::move(p));
+    rebuild_rows(static_cast<std::uint32_t>(alphabet_size));
+  } else {
+    append_rows(p);
+    programs_.push_back(std::move(p));
+  }
+  return static_cast<MonitorId>(programs_.size() - 1);
+}
+
+void MonitorFleet::append_rows(Program& p) {
+  p.base_row = static_cast<std::uint32_t>(row_table_.size());
+  const auto sigma = static_cast<std::uint32_t>(p.alphabet_size);
+  for (std::uint32_t q = 0; q < p.num_states; ++q) {
+    for (std::uint32_t a = 0; a < row_stride_; ++a) {
+      // The sink state's own row is never entered (transitions into the
+      // sink are redirected to the shared row 0) but is emitted anyway so
+      // the base_row + q × stride arithmetic stays uniform. Symbols beyond
+      // this program's alphabet pad to the sink: out-of-alphabet rejection
+      // by table entry.
+      std::uint32_t entry = 0;
+      if (q != p.sink && a < sigma) {
+        const std::uint32_t to = p.table[q * sigma + a];
+        entry = to == p.sink ? 0 : p.base_row + to * row_stride_;
+      }
+      row_table_.push_back(entry);
+    }
+  }
+}
+
+void MonitorFleet::rebuild_rows(std::uint32_t stride) {
+  std::vector<std::uint32_t> old_base(programs_.size());
+  for (std::size_t m = 0; m < programs_.size(); ++m) {
+    old_base[m] = programs_[m].base_row;
+  }
+  const std::uint32_t old_stride = row_stride_;
+  row_stride_ = stride;
+  row_table_.assign(stride, 0);  // the shared latching sink, row 0
+  for (Program& p : programs_) append_rows(p);
+  if (num_sessions_ == 0) return;
+  SLAT_ASSERT(old_stride > 0);  // sessions imply at least one prior program
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (std::uint32_t idx = 0; idx < shard->count; ++idx) {
+      Session& s = shard->slabs[idx >> kSlabBits][idx & (kSlabSize - 1)];
+      if (s.state_row == 0) continue;  // sink maps to sink
+      const std::uint32_t state = (s.state_row - old_base[s.monitor]) / old_stride;
+      s.state_row = programs_[s.monitor].base_row + state * row_stride_;
+    }
+  }
+}
+
+MonitorId MonitorFleet::compile(const buchi::DetSafety& automaton) {
+  const int sigma = automaton.alphabet().size();
+  const std::uint32_t n = static_cast<std::uint32_t>(automaton.num_states());
+  std::vector<std::uint32_t> table(static_cast<std::size_t>(n) * sigma);
+  for (std::uint32_t q = 0; q < n; ++q) {
+    for (words::Sym s = 0; s < sigma; ++s) {
+      table[static_cast<std::size_t>(q) * sigma + s] = static_cast<std::uint32_t>(
+          automaton.step(static_cast<buchi::State>(q), s));
+    }
+  }
+  return add_program(sigma, n, static_cast<std::uint32_t>(automaton.initial()),
+                     static_cast<std::uint32_t>(automaton.sink()), std::move(table));
+}
+
+MonitorId MonitorFleet::compile(const finite::Dfa& good_prefix) {
+  SLAT_ASSERT_MSG(good_prefix.is_total(), "monitor programs need a complete DFA");
+  const int sigma = good_prefix.alphabet().size();
+  const std::uint32_t n = static_cast<std::uint32_t>(good_prefix.num_states());
+  // All rejecting states collapse into one latching sink row. That is
+  // language-preserving exactly when rejection is extension-closed — the
+  // defining shape of a good-prefix DFA (bad prefixes have only bad
+  // extensions), asserted here rather than assumed.
+  SLAT_ASSERT_MSG(good_prefix.complemented().is_extension_closed(),
+                  "good-prefix DFA: rejecting region must be extension-closed");
+  std::int32_t sink = -1;
+  for (std::uint32_t q = 0; q < n; ++q) {
+    if (!good_prefix.is_accepting(static_cast<finite::State>(q))) {
+      sink = static_cast<std::int32_t>(q);
+      break;
+    }
+  }
+  // A vacuous monitor (every prefix good) gets an unreachable sink row so
+  // the program invariant "exactly one latching sink" still holds.
+  const std::uint32_t num_states = sink < 0 ? n + 1 : n;
+  if (sink < 0) sink = static_cast<std::int32_t>(n);
+  const auto fold = [&](finite::State q) {
+    return good_prefix.is_accepting(q) ? static_cast<std::uint32_t>(q)
+                                       : static_cast<std::uint32_t>(sink);
+  };
+  std::vector<std::uint32_t> table(static_cast<std::size_t>(num_states) * sigma);
+  for (std::uint32_t q = 0; q < num_states; ++q) {
+    for (words::Sym s = 0; s < sigma; ++s) {
+      const bool sink_row = q == static_cast<std::uint32_t>(sink) ||
+                            !good_prefix.is_accepting(static_cast<finite::State>(q));
+      table[static_cast<std::size_t>(q) * sigma + s] =
+          sink_row ? static_cast<std::uint32_t>(sink)
+                   : fold(good_prefix.step(static_cast<finite::State>(q), s));
+    }
+  }
+  return add_program(sigma, num_states, fold(good_prefix.initial()),
+                     static_cast<std::uint32_t>(sink), std::move(table));
+}
+
+MonitorId MonitorFleet::compile_nba(const buchi::Nba& specification) {
+  return compile(finite::good_prefix_dfa(buchi::DetSafety::from_nba(specification)));
+}
+
+MonitorId MonitorFleet::compile_ltl(ltl::LtlArena& arena, ltl::FormulaId formula) {
+  return compile_nba(ltl::to_nba(arena, formula));
+}
+
+SessionId MonitorFleet::open_session(MonitorId monitor) {
+  SLAT_ASSERT(monitor < programs_.size());
+  SLAT_ASSERT_MSG(num_sessions_ < (std::size_t{1} << 32),
+                  "SessionId space exhausted");
+  const SessionId id = static_cast<SessionId>(num_sessions_);
+  Shard& shard = *shards_[id & shard_mask_];
+  const std::uint32_t idx = id >> shard_bits_;
+  // Round-robin opening keeps per-shard indices dense: the j-th session of
+  // a shard has idx == j, so the slab directory needs no holes.
+  SLAT_ASSERT(idx == shard.count);
+  if ((idx & (kSlabSize - 1)) == 0) {
+    Session* const slab = shard.arena.alloc_array<Session>(kSlabSize);
+    shard.slabs.push_back(slab);
+    const std::uint32_t num_shards = shard_mask_ + 1;
+    const std::uint32_t global_slab = idx >> kSlabBits;
+    if (slab_dir_.size() < static_cast<std::size_t>(global_slab + 1) * num_shards) {
+      slab_dir_.resize(static_cast<std::size_t>(global_slab + 1) * num_shards,
+                       nullptr);
+    }
+    slab_dir_[static_cast<std::size_t>(global_slab) * num_shards +
+              (id & shard_mask_)] = slab;
+  }
+  Session& s = shard.slabs[idx >> kSlabBits][idx & (kSlabSize - 1)];
+  s.monitor = monitor;
+  s.state_row = initial_row(programs_[monitor]);
+  ++shard.count;
+  ++num_sessions_;
+  return id;
+}
+
+MonitorFleet::Session& MonitorFleet::session_ref(SessionId id) {
+  SLAT_ASSERT_MSG(id < num_sessions_, "unknown session");
+  return *session_ptr(id);
+}
+
+const MonitorFleet::Session& MonitorFleet::session_ref(SessionId id) const {
+  return const_cast<MonitorFleet*>(this)->session_ref(id);
+}
+
+bool MonitorFleet::session_violated(SessionId id) const {
+  return session_ref(id).state_row == 0;
+}
+
+std::uint32_t MonitorFleet::session_state(SessionId id) const {
+  const Session& s = session_ref(id);
+  const Program& p = programs_[s.monitor];
+  return s.state_row == 0 ? p.sink : (s.state_row - p.base_row) / row_stride_;
+}
+
+MonitorId MonitorFleet::session_monitor(SessionId id) const {
+  return session_ref(id).monitor;
+}
+
+std::size_t MonitorFleet::count_violated() const {
+  std::size_t violated = 0;
+  for (std::size_t id = 0; id < num_sessions_; ++id) {
+    if (session_violated(static_cast<SessionId>(id))) ++violated;
+  }
+  return violated;
+}
+
+void MonitorFleet::reset_sessions() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (std::uint32_t idx = 0; idx < shard->count; ++idx) {
+      Session& s = shard->slabs[idx >> kSlabBits][idx & (kSlabSize - 1)];
+      s.state_row = initial_row(programs_[s.monitor]);
+    }
+  }
+}
+
+bool MonitorFleet::step(SessionId id, words::Sym sym) {
+  return step_session(session_ref(id), row_table_.data(), row_stride_, sym);
+}
+
+void MonitorFleet::ingest(std::span<const Event> batch, core::ThreadPool& pool) {
+  ingest_impl(batch, {}, pool);
+}
+
+void MonitorFleet::ingest(std::span<const Event> batch,
+                          std::span<std::uint8_t> verdicts, core::ThreadPool& pool) {
+  SLAT_ASSERT_MSG(verdicts.size() == batch.size(),
+                  "one verdict slot per batch event");
+  ingest_impl(batch, verdicts, pool);
+}
+
+void MonitorFleet::ingest_impl(std::span<const Event> batch,
+                               std::span<std::uint8_t> verdicts,
+                               core::ThreadPool& pool) {
+  if (batch.empty()) return;
+
+  // Serial fast path: on a 1-thread pool the shard bucketing buys nothing
+  // and costs two extra passes over the batch, so apply the events in batch
+  // order directly. The output is the same by construction — both paths
+  // preserve batch order per session and write caller-indexed verdict
+  // slots — and the fleet tests pin pool(1) == pool(4) == scalar.
+  if (pool.num_threads() <= 1) {
+    // Validate the whole batch up front (the sharded path does the same in
+    // its counting pass, so both paths abort before stepping anything); the
+    // hot loop below then runs assert-free.
+    SessionId max_session = 0;
+    for (const Event& e : batch) {
+      max_session = e.session > max_session ? e.session : max_session;
+    }
+    SLAT_ASSERT_MSG(max_session < num_sessions_, "event for unknown session");
+    const std::uint32_t* const table = row_table_.data();
+    const std::uint32_t stride = row_stride_;
+    constexpr std::size_t kPrefetchAhead = 8;
+    const auto run_events = [&](auto&& emit_verdict) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+        if (i + kPrefetchAhead < batch.size()) {
+          __builtin_prefetch(session_ptr(batch[i + kPrefetchAhead].session), 1);
+        }
+#endif
+        Session& session = *session_ptr(batch[i].session);
+        emit_verdict(i, step_session(session, table, stride, batch[i].sym));
+      }
+    };
+    if (verdicts.empty()) {
+      run_events([](std::size_t, bool) {});
+    } else {
+      run_events([&](std::size_t i, bool accepted) {
+        verdicts[i] = accepted ? 1 : 0;
+      });
+    }
+    return;
+  }
+
+  const std::uint32_t num_shards = shard_mask_ + 1;
+
+  // Stable counting sort of batch indices by session shard. The scratch
+  // vectors are members, so steady-state ingest performs no allocations.
+  // Counts land at [shard + 1], the in-place prefix sum turns slot [shard]
+  // into that shard's scatter cursor, and after the scatter pass slot
+  // [shard] has advanced to the shard's END — so range s is
+  // [s == 0 ? 0 : offset[s-1], offset[s]), no cursor copy needed.
+  bucket_offset_.assign(num_shards + 1, 0);
+  for (const Event& e : batch) {
+    SLAT_ASSERT_MSG(e.session < num_sessions_, "event for unknown session");
+    ++bucket_offset_[(e.session & shard_mask_) + 1];
+  }
+  for (std::uint32_t s = 1; s <= num_shards; ++s) {
+    bucket_offset_[s] += bucket_offset_[s - 1];
+  }
+  bucket_order_.resize(batch.size());
+  for (std::uint32_t i = 0; i < batch.size(); ++i) {
+    bucket_order_[bucket_offset_[batch[i].session & shard_mask_]++] = i;
+  }
+
+  // Each shard's events, in batch order, on one task: a session is stepped
+  // by exactly one thread and writes only its own slab slot and its events'
+  // verdict slots — bit-identical output at every thread count, and
+  // data-race-free by ownership (the fleet-smoke tier runs this under
+  // TSan).
+  core::parallel_for(
+      static_cast<int>(num_shards),
+      [&](int s) {
+        const std::uint32_t begin = s == 0 ? 0 : bucket_offset_[s - 1];
+        const std::uint32_t end = bucket_offset_[s];
+        Shard& shard = *shards_[s];
+        const std::uint32_t* const table = row_table_.data();
+        const std::uint32_t stride = row_stride_;
+        Session* const* const slabs = shard.slabs.data();
+        // The per-event work is a chain of dependent loads (session slot →
+        // transition row) over randomly-ordered sessions, so the loop is
+        // latency-bound, not throughput-bound. The batch fixes the access
+        // sequence in advance — prefetch the session slot a few events
+        // ahead to overlap those misses.
+        constexpr std::uint32_t kPrefetchAhead = 8;
+        const auto session_slot = [&](std::uint32_t k) -> Session* {
+          const std::uint32_t idx = batch[bucket_order_[k]].session >> shard_bits_;
+          return slabs[idx >> kSlabBits] + (idx & (kSlabSize - 1));
+        };
+        for (std::uint32_t k = begin; k < end; ++k) {
+#if defined(__GNUC__) || defined(__clang__)
+          if (k + kPrefetchAhead < end) {
+            __builtin_prefetch(session_slot(k + kPrefetchAhead), 1);
+          }
+#endif
+          const std::uint32_t i = bucket_order_[k];
+          Session& session = *session_slot(k);
+          const bool accepted = step_session(session, table, stride, batch[i].sym);
+          if (!verdicts.empty()) verdicts[i] = accepted ? 1 : 0;
+        }
+      },
+      /*grain=*/1, pool);
+}
+
+}  // namespace slat::monitor

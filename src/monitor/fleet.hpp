@@ -1,0 +1,256 @@
+// The streaming monitor fleet: monitoring-as-a-service over compiled
+// good-prefix DFAs.
+//
+// SafetyMonitor/DfaMonitor are one-object-per-trace libraries; a serving
+// layer that watches millions of concurrent sessions needs the opposite
+// shape. The fleet separates the two halves of a monitor:
+//
+//   * A PROGRAM is the compiled form of one specification's safety
+//     closure: a dense num_states × |Σ| transition table of uint32 state
+//     ids, with the rejecting sink folded in as a latching self-loop row.
+//     All programs are linked into ONE fleet-wide row table whose row 0 is
+//     the shared latching sink; entries are global row offsets and every
+//     row is padded to the fleet-wide maximum alphabet width. Stepping is
+//     therefore a single indexed load with no pointers, no per-program
+//     metadata, and no branches on acceptance bits — the violation check
+//     is `row == 0`.
+//
+//   * A SESSION is one live trace: just {monitor_id, current_state}, eight
+//     bytes, packed into slabs that are bump-allocated from per-shard
+//     core::Arena instances. Opening a session is O(1) and allocation-free
+//     outside slab boundaries; 10^6 sessions are ~8 MB of state plus the
+//     (shared) program tables, so resident memory is O(sessions), not
+//     O(sessions × monitor size).
+//
+// Events arrive in batches (`span<const Event>`), are bucketed by session
+// shard in a stable counting sort, and the shards are processed across the
+// PR 2 ThreadPool. The contract is the repo-wide one: BATCHED INGESTION IS
+// BIT-IDENTICAL TO PER-EVENT SCALAR STEPPING AT EVERY THREAD COUNT — a
+// session's events are applied in batch order by exactly one task, every
+// session is owned by exactly one shard, and per-event verdicts land in
+// caller-indexed slots. (tests/monitor/fleet_test.cpp and the qc property
+// `monitor.fleet_batch_scalar` pin this.)
+//
+// Verdict semantics are exactly SafetyMonitor's, including the PR 8 event
+// hardening: out-of-alphabet events are deterministic latching violations
+// (never an out-of-bounds table read), and a specification whose closure
+// rejects the empty prefix yields sessions that are born violated.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "buchi/safety.hpp"
+#include "core/arena.hpp"
+#include "core/thread_pool.hpp"
+#include "finite/dfa.hpp"
+#include "ltl/formula.hpp"
+
+namespace slat::monitor {
+
+/// Index of a compiled program within a fleet.
+using MonitorId = std::uint32_t;
+/// Dense session handle (assigned by open_session, starting at 0).
+using SessionId = std::uint32_t;
+
+/// One event of a batch: "session `session` observed symbol `sym`".
+struct Event {
+  SessionId session;
+  words::Sym sym;
+};
+
+class MonitorFleet {
+ public:
+  /// `num_shards` is rounded up to a power of two; it fixes the session →
+  /// shard mapping for the fleet's lifetime (so it must not depend on the
+  /// thread count — determinism — and defaults to a constant).
+  explicit MonitorFleet(int num_shards = kDefaultShards);
+
+  // --- Programs -----------------------------------------------------------
+
+  /// Compiles the subset-construction safety automaton as-is (states map
+  /// 1:1; the DetSafety sink becomes the latching sink row).
+  MonitorId compile(const buchi::DetSafety& automaton);
+
+  /// Compiles a good-prefix DFA (accepting = still safe). The rejecting
+  /// region must be extension-closed — true of every good-prefix DFA —
+  /// because all rejecting states are folded into the single sink row.
+  MonitorId compile(const finite::Dfa& good_prefix);
+
+  /// Specification → minimal monitor program: the Moore-minimized
+  /// good-prefix DFA of the specification's safety closure.
+  MonitorId compile_nba(const buchi::Nba& specification);
+  MonitorId compile_ltl(ltl::LtlArena& arena, ltl::FormulaId formula);
+
+  /// Raw program, for tests and front-ends that already produce tables.
+  /// `table` is row-major [state × symbol] with `num_states × alphabet_size`
+  /// entries; row `sink` must self-loop on every symbol (checked), so a
+  /// violated session can never un-latch.
+  MonitorId add_program(int alphabet_size, std::uint32_t num_states,
+                        std::uint32_t initial, std::uint32_t sink,
+                        std::vector<std::uint32_t> table);
+
+  std::size_t num_monitors() const { return programs_.size(); }
+  /// Is the program's closure unsatisfiable (sessions born violated)?
+  bool rejects_empty_prefix(MonitorId m) const {
+    return programs_[m].initial == programs_[m].sink;
+  }
+
+  // --- Sessions -----------------------------------------------------------
+
+  /// Opens a session of `monitor` in its initial state. Ids are dense:
+  /// the k-th call returns k. If the closure rejects the empty prefix the
+  /// session starts violated.
+  SessionId open_session(MonitorId monitor);
+
+  std::size_t num_sessions() const { return num_sessions_; }
+  bool session_violated(SessionId id) const;
+  std::uint32_t session_state(SessionId id) const;
+  MonitorId session_monitor(SessionId id) const;
+  /// Violated sessions, counted in id order (an O(sessions) sweep for
+  /// artifact checks and tests, not a hot-path counter).
+  std::size_t count_violated() const;
+
+  /// Rewinds every session to its program's initial state (sessions of an
+  /// empty-prefix-rejecting program are born violated again). O(sessions);
+  /// for benchmark passes and tests that replay traffic against one build.
+  void reset_sessions();
+
+  // --- Event path ---------------------------------------------------------
+
+  /// Scalar path: feeds one event, SafetyMonitor::step semantics (false
+  /// from the first violating event on; out-of-alphabet latches).
+  bool step(SessionId id, words::Sym sym);
+
+  /// Batched path: applies `batch` in order, sharded across `pool`.
+  /// Bit-identical to calling step(e.session, e.sym) for each event in
+  /// batch order, at every thread count.
+  void ingest(std::span<const Event> batch,
+              core::ThreadPool& pool = core::ThreadPool::global());
+
+  /// As above, and writes the per-event verdict (1 = accepted, 0 =
+  /// rejected/latched — exactly what the scalar step returns) into
+  /// `verdicts[i]` for batch[i]. verdicts.size() must equal batch.size().
+  void ingest(std::span<const Event> batch, std::span<std::uint8_t> verdicts,
+              core::ThreadPool& pool = core::ThreadPool::global());
+
+ private:
+  static constexpr int kDefaultShards = 64;
+  /// Sessions per slab (8 KB slabs: big enough to amortize the arena bump,
+  /// small enough that a 10^4-session shard does not overshoot its RSS).
+  static constexpr std::uint32_t kSlabBits = 10;
+  static constexpr std::uint32_t kSlabSize = 1u << kSlabBits;
+
+  struct Program {
+    std::uint32_t num_states = 0;
+    std::uint32_t initial = 0;
+    std::uint32_t sink = 0;
+    std::int32_t alphabet_size = 0;
+    /// Offset of this program's state-0 row inside the fleet-wide
+    /// row_table_; state q's row is base_row + q × row_stride_ (the sink
+    /// state instead maps to the shared row 0).
+    std::uint32_t base_row = 0;
+    /// Row-major [state × symbol] with plain LOCAL state ids — exactly what
+    /// add_program validated. Kept as the program's source of truth: the
+    /// global rows are re-derived from it whenever a wider alphabet forces
+    /// a row_table_ rebuild.
+    std::vector<std::uint32_t> table;
+  };
+
+  /// {owning program, current state as a row offset into the fleet-wide
+  /// row_table_ (0 = the shared latching sink)}. Eight bytes; the event
+  /// path touches only state_row — the monitor id is for the accessors and
+  /// the reset/remap sweeps.
+  struct Session {
+    std::uint32_t monitor;
+    std::uint32_t state_row;
+  };
+
+  struct Shard {
+    /// Slab backing store; slabs are never individually freed (monotone
+    /// arena rule), matching the fleet's session lifetime.
+    core::Arena arena{std::size_t{1} << 15};
+    /// Slab directory: sessions [i * kSlabSize, (i+1) * kSlabSize).
+    std::vector<Session*> slabs;
+    std::uint32_t count = 0;
+  };
+
+  Session& session_ref(SessionId id);
+  const Session& session_ref(SessionId id) const;
+
+  /// Bounds-unchecked slab-directory lookup (callers assert id validity).
+  /// Two dependent loads (directory entry, then the slot) instead of the
+  /// four a walk through shards_[s]->slabs would cost — this is the event
+  /// path's address computation.
+  Session* session_ptr(SessionId id) {
+    const std::uint32_t idx = id >> shard_bits_;
+    return slab_dir_[(idx >> kSlabBits) * (shard_mask_ + 1) + (id & shard_mask_)] +
+           (idx & (kSlabSize - 1));
+  }
+
+  /// The one transition everybody shares (scalar step, batched ingest):
+  /// route out-of-alphabet events to the shared sink row 0, otherwise one
+  /// table load. `table`/`stride` are the fleet-wide row table and row
+  /// width, hoisted into registers by every caller — the step reads NO
+  /// per-program metadata, not even the session's monitor id. There is
+  /// deliberately no at-sink early-out (row 0's entries are all 0, so a
+  /// violated session latches through the same unconditional walk), and
+  /// symbols in [|Σ_p|, stride) hit padding entries that also point at row
+  /// 0 — per-program out-of-alphabet rejection is a table entry, not a
+  /// compare. The one branch left is the fleet-wide width check, a single
+  /// unsigned compare (negative syms wrap above any real alphabet size).
+  /// Returns the scalar-step verdict.
+  static bool step_session(Session& s, const std::uint32_t* table,
+                           std::uint32_t stride, words::Sym sym) {
+    if (static_cast<std::uint32_t>(sym) >= stride) {
+      s.state_row = 0;
+      return false;
+    }
+    s.state_row = table[s.state_row + static_cast<std::uint32_t>(sym)];
+    return s.state_row != 0;
+  }
+
+  void ingest_impl(std::span<const Event> batch, std::span<std::uint8_t> verdicts,
+                   core::ThreadPool& pool);
+
+  /// (Re)emits program p's rows at the end of row_table_ (sets p.base_row).
+  void append_rows(Program& p);
+  /// Grows the fleet-wide row width to `stride`, re-laying every program's
+  /// rows and remapping live sessions' row offsets. Only runs when a new
+  /// program's alphabet exceeds the current width — O(table + sessions),
+  /// amortized away by the usual compile-then-serve lifecycle.
+  void rebuild_rows(std::uint32_t stride);
+  std::uint32_t initial_row(const Program& p) const {
+    return p.initial == p.sink ? 0 : p.base_row + p.initial * row_stride_;
+  }
+
+  std::vector<Program> programs_;
+  /// The fleet-wide transition table: row 0 is the shared latching sink
+  /// (all entries 0), then each program's rows. Every row is row_stride_
+  /// entries wide (the max alphabet size across programs; narrower
+  /// programs' tail entries are sink-padding), and entries are global ROW
+  /// OFFSETS, not state ids — sessions step with one load and no multiply.
+  /// Sessions index it by offset, so append growth never invalidates them.
+  std::vector<std::uint32_t> row_table_;
+  std::uint32_t row_stride_ = 0;
+  /// unique_ptr because core::Arena is pinned in place (non-movable); the
+  /// indirection is per-shard, not per-session.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Flat view of every shard's slab list, indexed
+  /// [global_slab × num_shards + shard] where global_slab = idx >> kSlabBits
+  /// — the round-robin id assignment keeps shard slab counts within one of
+  /// each other, so the directory is dense.
+  std::vector<Session*> slab_dir_;
+  std::uint32_t shard_mask_ = 0;   // num_shards - 1 (power of two)
+  std::uint32_t shard_bits_ = 0;   // log2(num_shards)
+  std::size_t num_sessions_ = 0;
+
+  // Counting-sort scratch, reused across batches so steady-state ingest
+  // does not allocate.
+  std::vector<std::uint32_t> bucket_offset_;  // num_shards + 1 running cursors
+  std::vector<std::uint32_t> bucket_order_;   // batch indices, shard-grouped
+};
+
+}  // namespace slat::monitor

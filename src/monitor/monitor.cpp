@@ -19,6 +19,15 @@ SafetyMonitor SafetyMonitor::from_ltl(ltl::LtlArena& arena, ltl::FormulaId formu
 
 bool SafetyMonitor::step(Sym event) {
   if (violated_) return false;
+  // An out-of-alphabet event is not a symbol of the specification's Σ, so
+  // no extension of the trace is a word of the (closure) language: the
+  // verdict is a deterministic, latching rejection. Checking here keeps the
+  // monitor total over untrusted event streams — DetSafety::step treats an
+  // out-of-range symbol as a caller bug and aborts.
+  if (event < 0 || event >= automaton_.alphabet().size()) {
+    violated_ = true;
+    return false;
+  }
   state_ = automaton_.step(state_, event);
   if (state_ == automaton_.sink()) {
     violated_ = true;
@@ -53,6 +62,11 @@ void SafetyMonitor::reset() {
 
 std::optional<std::size_t> SafetyMonitor::run(const Word& trace) {
   reset();
+  // An unsatisfiable closure rejects the EMPTY prefix: the constructor
+  // latches violated_ before any event, so the verdict is "0 events
+  // accepted" — including on the empty trace, which previously slipped
+  // through the loop and came back nullopt ("safe throughout").
+  if (violated_) return 0;
   for (std::size_t i = 0; i < trace.size(); ++i) {
     if (!step(trace[i])) return i;
   }

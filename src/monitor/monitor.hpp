@@ -37,7 +37,9 @@ class SafetyMonitor {
   static SafetyMonitor from_ltl(ltl::LtlArena& arena, ltl::FormulaId formula);
 
   /// Feeds one event. Returns true while the trace is still safe; returns
-  /// false from the first violating event on (the monitor latches).
+  /// false from the first violating event on (the monitor latches). An
+  /// out-of-alphabet event (negative or ≥ |Σ|) is itself a violation: it
+  /// is rejected deterministically, never fed to the transition table.
   bool step(Sym event);
 
   /// Has a violation occurred?
@@ -62,7 +64,9 @@ class SafetyMonitor {
 
   void reset();
 
-  /// Runs a whole trace; returns the index of the first rejected event, or
+  /// Runs a whole trace; returns the number of events accepted before the
+  /// violation (the index of the first rejected event — 0 when the closure
+  /// already rejects the EMPTY prefix, even on the empty trace), or
   /// std::nullopt if the trace is safe throughout. The monitor is reset
   /// first and left in the end state of the run.
   std::optional<std::size_t> run(const Word& trace);

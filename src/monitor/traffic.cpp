@@ -1,0 +1,64 @@
+#include "monitor/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace slat::monitor {
+
+std::vector<MonitorId> zipf_monitor_assignment(const TrafficConfig& cfg,
+                                               std::mt19937& rng) {
+  SLAT_ASSERT(cfg.num_monitors >= 1);
+  // Small-population zipf via an explicit CDF: weight(m) = (m+1)^-s.
+  std::vector<double> cdf(cfg.num_monitors);
+  double total = 0.0;
+  for (std::uint32_t m = 0; m < cfg.num_monitors; ++m) {
+    total += std::pow(static_cast<double>(m + 1), -cfg.zipf_exponent);
+    cdf[m] = total;
+  }
+  std::uniform_real_distribution<double> unit(0.0, total);
+  std::vector<MonitorId> assignment(cfg.num_sessions);
+  for (std::uint32_t i = 0; i < cfg.num_sessions; ++i) {
+    const double u = unit(rng);
+    std::uint32_t m = 0;
+    while (m + 1 < cfg.num_monitors && cdf[m] < u) ++m;
+    assignment[i] = m;
+  }
+  return assignment;
+}
+
+std::vector<Event> make_batch(const TrafficConfig& cfg, std::size_t num_events,
+                              std::mt19937& rng) {
+  SLAT_ASSERT(cfg.num_sessions >= 1);
+  SLAT_ASSERT(cfg.alphabet_size >= 1);
+  std::uniform_int_distribution<std::uint32_t> pick_session(0, cfg.num_sessions - 1);
+  // geometric(p) has mean (1-p)/p; +1 below makes bursts start at length 1
+  // with mean cfg.mean_burst.
+  const double p = 1.0 / std::max(1.0, cfg.mean_burst);
+  std::geometric_distribution<int> burst_tail(p);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<words::Sym> rare_sym(
+      1, std::max(1, cfg.alphabet_size - 1));
+
+  std::vector<Event> batch;
+  batch.reserve(num_events);
+  while (batch.size() < num_events) {
+    const SessionId session = pick_session(rng);
+    int burst = 1 + burst_tail(rng);
+    for (; burst > 0 && batch.size() < num_events; --burst) {
+      words::Sym sym;
+      if (cfg.garbage_rate > 0.0 && unit(rng) < cfg.garbage_rate) {
+        sym = cfg.alphabet_size;  // out of alphabet, deliberately
+      } else if (cfg.alphabet_size == 1 || unit(rng) < cfg.common_sym_bias) {
+        sym = 0;
+      } else {
+        sym = rare_sym(rng);
+      }
+      batch.push_back(Event{session, sym});
+    }
+  }
+  return batch;
+}
+
+}  // namespace slat::monitor

@@ -1,0 +1,53 @@
+// Synthetic fleet traffic: the workload generator behind bench_fleet and
+// the fleet tests.
+//
+// The shape follows the pip-style trace serving scenario the ROADMAP
+// targets (many concurrent causal-path sessions, a small population of hot
+// path-expectation monitors): session → monitor assignment is
+// zipf-distributed — a few monitors watch most sessions, a long tail
+// watches a handful each — and events arrive in BURSTS, a session emitting
+// a geometric run of consecutive events once it wakes up, the way an
+// instrumented request emits its whole causal path at once.
+//
+// Every function is a pure function of the std::mt19937 it is handed
+// (callers seed via qc::make_rng for SLAT_SEED-reproducible workloads), in
+// the same style as qc/gen.hpp.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "monitor/fleet.hpp"
+
+namespace slat::monitor {
+
+struct TrafficConfig {
+  std::uint32_t num_sessions = 10'000;
+  /// Monitors in the fleet; sessions are assigned zipf(exponent) over them,
+  /// so monitor 0 is the hottest.
+  std::uint32_t num_monitors = 8;
+  double zipf_exponent = 1.1;
+  int alphabet_size = 2;
+  /// Mean length of one burst (geometric run of events for one session).
+  double mean_burst = 8.0;
+  /// Probability an event carries symbol 0 (the common "everything is
+  /// fine" event); the remainder is uniform over the other symbols, so
+  /// violations are rare-but-present rather than instant.
+  double common_sym_bias = 0.9;
+  /// Probability an event carries an OUT-OF-ALPHABET symbol (== Σ), to
+  /// exercise the hardened event path. Off by default.
+  double garbage_rate = 0.0;
+};
+
+/// Session → monitor assignment: entry i is the monitor of session i,
+/// drawn zipf(cfg.zipf_exponent) over cfg.num_monitors monitors.
+std::vector<MonitorId> zipf_monitor_assignment(const TrafficConfig& cfg,
+                                               std::mt19937& rng);
+
+/// One batch of exactly `num_events` events: bursty arrivals over uniform
+/// sessions, symbols biased per the config. Batch order is arrival order.
+std::vector<Event> make_batch(const TrafficConfig& cfg, std::size_t num_events,
+                              std::mt19937& rng);
+
+}  // namespace slat::monitor

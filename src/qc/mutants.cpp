@@ -12,6 +12,8 @@
 #include "lattice/decomposition.hpp"
 #include "lattice/finite_lattice.hpp"
 #include "ltl/eval.hpp"
+#include "monitor/fleet.hpp"
+#include "monitor/monitor.hpp"
 #include "ltl/formula.hpp"
 #include "ltl/translate.hpp"
 #include "rabin/from_ctl.hpp"
@@ -24,6 +26,7 @@ namespace slat::qc {
 namespace {
 
 using buchi::Nba;
+using monitor::MonitorFleet;
 using words::Alphabet;
 using words::UpWord;
 using words::Word;
@@ -478,6 +481,56 @@ bool kill_cache_coarse_key() {
          !buchi::is_equivalent(universal, empty);
 }
 
+// ---------------------------------------------------------------------------
+// Monitor fleet (PR8)
+// ---------------------------------------------------------------------------
+
+// The sink row of a fleet program self-loops so a violation latches. A table
+// whose sink row escapes back to a live state (here: sink --a--> live) walked
+// without the early-out "un-violates" a session — Schneider's monitors must
+// never do that, and MonitorFleet rejects such tables at load time.
+bool kill_fleet_dropped_sink_latch() {
+  // "G a" as a 2-state program: live state 0 (a stays, b sinks), sink 1.
+  MonitorFleet fleet;
+  const monitor::MonitorId m = fleet.add_program(2, 2, 0, 1, {0, 1, 1, 1});
+  const monitor::SessionId session = fleet.open_session(m);
+  // Mutant: sink row's a-cell escapes to state 0, and the walk has no
+  // at-sink early-out — exactly the defect the load-time validation guards.
+  const std::uint32_t mutant_table[4] = {0, 1, 0, 1};
+  std::uint32_t mutant_state = 0;
+  const words::Word trace = {0, 1, 0};  // a, b, a
+  for (const words::Sym sym : trace) {
+    const bool correct = fleet.step(session, sym);
+    mutant_state = mutant_table[mutant_state * 2 + static_cast<std::uint32_t>(sym)];
+    const bool mutated = mutant_state != 1;
+    if (mutated != correct) return true;  // the escaped sink un-latches on 'a'
+  }
+  return false;
+}
+
+// Fleet transition tables are row-major [state × |Σ|]; a walker that reads
+// table[sym · num_states + state] transposes the table, which is only
+// invisible on square symmetric programs. A rectangular (3-state, 2-symbol)
+// monitor exposes the swap on its first b.
+bool kill_fleet_swapped_stride() {
+  // "No bb": 0 = no pending b, 1 = one b seen, 2 = sink.
+  MonitorFleet fleet;
+  const monitor::MonitorId m = fleet.add_program(2, 3, 0, 2, {0, 1, 0, 2, 2, 2});
+  const monitor::SessionId session = fleet.open_session(m);
+  const std::uint32_t table[6] = {0, 1, 0, 2, 2, 2};
+  std::uint32_t mutant_state = 0;
+  const words::Word trace = {1, 0, 1, 1};  // b, a, b, b: rejected at the last b
+  for (const words::Sym sym : trace) {
+    const bool correct = fleet.step(session, sym);
+    if (mutant_state != 2) {  // keep the latch; corrupt only the stride
+      mutant_state = table[static_cast<std::uint32_t>(sym) * 3 + mutant_state];
+    }
+    const bool mutated = mutant_state != 2;
+    if (mutated != correct) return true;  // transposed read sinks on the first b
+  }
+  return false;
+}
+
 }  // namespace
 
 const std::vector<Mutant>& mutants() {
@@ -553,6 +606,13 @@ const std::vector<Mutant>& mutants() {
        kill_upword_syntactic_equality},
       {"core.cache.coarse_key", "core",
        "PR3's full-structure content address", kill_cache_coarse_key},
+      // Monitor fleet
+      {"monitor.fleet.dropped_sink_latch", "monitor",
+       "PR8's latching sink row (violations are permanent)",
+       kill_fleet_dropped_sink_latch},
+      {"monitor.fleet.swapped_stride", "monitor",
+       "PR8's row-major [state × |Σ|] transition stride",
+       kill_fleet_swapped_stride},
   };
   return bank;
 }

@@ -8,6 +8,7 @@
 #include "buchi/nba.hpp"
 #include "buchi/safety.hpp"
 #include "core/memo_cache.hpp"
+#include "core/thread_pool.hpp"
 #include "lattice/closure.hpp"
 #include "lattice/constructions.hpp"
 #include "lattice/decomposition.hpp"
@@ -15,6 +16,10 @@
 #include "ltl/eval.hpp"
 #include "ltl/syntactic.hpp"
 #include "ltl/translate.hpp"
+#include "monitor/dfa_monitor.hpp"
+#include "monitor/fleet.hpp"
+#include "monitor/monitor.hpp"
+#include "monitor/traffic.hpp"
 #include "qc/gen.hpp"
 #include "qc/seed.hpp"
 #include "qc/shrink.hpp"
@@ -518,6 +523,123 @@ PropertyResult upword_laws(std::uint64_t trial_seed) {
   return r;
 }
 
+// --- Monitor layer (PR8): event-path verdict agreement ----------------------
+
+/// All finite traces over [0, sigma] up to `max_len` events — sigma itself
+/// is included as the out-of-alphabet probe, so the hardened event path is
+/// part of the agreement surface.
+std::vector<words::Word> probe_traces(int sigma, int max_len) {
+  std::vector<words::Word> traces = {{}};
+  std::size_t level_begin = 0;
+  for (int len = 1; len <= max_len; ++len) {
+    const std::size_t level_end = traces.size();
+    for (std::size_t i = level_begin; i < level_end; ++i) {
+      for (words::Sym s = 0; s <= sigma; ++s) {
+        words::Word w = traces[i];
+        w.push_back(s);
+        traces.push_back(std::move(w));
+      }
+    }
+    level_begin = level_end;
+  }
+  return traces;
+}
+
+/// SafetyMonitor (subset automaton), DfaMonitor (minimized DFA) and a
+/// single-program MonitorFleet must return the same verdict on every probe
+/// trace: same first-rejection index, verdict 0 on an empty-prefix
+/// violation, deterministic rejection of out-of-alphabet events.
+bool monitors_agree_on(const Nba& spec) {
+  monitor::SafetyMonitor subset = monitor::SafetyMonitor::from_nba(spec);
+  monitor::DfaMonitor minimal = monitor::DfaMonitor::from_nba(spec);
+  monitor::MonitorFleet fleet;
+  const monitor::MonitorId program = fleet.compile_nba(spec);
+  for (const words::Word& trace : probe_traces(spec.alphabet().size(), 3)) {
+    const auto expected = subset.run(trace);
+    if (minimal.run(trace) != expected) return false;
+    const monitor::SessionId session = fleet.open_session(program);
+    std::optional<std::size_t> fleet_verdict;
+    if (fleet.session_violated(session)) {
+      fleet_verdict = 0;  // born violated: 0 events accepted
+    } else {
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (!fleet.step(session, trace[i])) {
+          fleet_verdict = i;
+          break;
+        }
+      }
+    }
+    if (fleet_verdict != expected) return false;
+  }
+  return true;
+}
+
+PropertyResult monitor_agreement(std::uint64_t trial_seed) {
+  return nba_law(trial_seed, kTinyNba,
+                 "monitor agreement: SafetyMonitor / DfaMonitor / fleet verdicts "
+                 "diverged on a probe trace",
+                 monitors_agree_on);
+}
+
+PropertyResult fleet_batch_scalar(std::uint64_t trial_seed) {
+  // Three identically-built fleets over random specs; one stepped scalar,
+  // two fed the same batches at 1 and 4 threads. Verdicts and end states
+  // must be bit-identical (the PR2 output contract, on the fleet path).
+  std::mt19937 rng = make_rng(trial_seed);
+  const Nba spec_a = arbitrary_nba(kTinyNba)(rng);
+  const Nba spec_b = arbitrary_nba(kTinyNba)(rng);
+  const monitor::TrafficConfig cfg{.num_sessions = 64,
+                                   .num_monitors = 3,
+                                   .alphabet_size = spec_a.alphabet().size(),
+                                   .common_sym_bias = 0.7,
+                                   .garbage_rate = 0.05};
+  const std::uint64_t build_seed = splitmix64(trial_seed);
+  const auto build = [&](monitor::MonitorFleet& fleet) {
+    std::mt19937 build_rng = make_rng(build_seed);
+    const monitor::MonitorId programs[3] = {
+        fleet.compile_nba(spec_a), fleet.compile_nba(spec_b),
+        fleet.compile_nba(Nba::empty_language(spec_a.alphabet()))};
+    for (const monitor::MonitorId m :
+         monitor::zipf_monitor_assignment(cfg, build_rng)) {
+      fleet.open_session(programs[m]);
+    }
+  };
+  monitor::MonitorFleet scalar, batch1, batch4;
+  build(scalar);
+  build(batch1);
+  build(batch4);
+  static core::ThreadPool pool1(1);
+  static core::ThreadPool pool4(4);
+  for (int round = 0; round < 3; ++round) {
+    const std::vector<monitor::Event> batch = monitor::make_batch(cfg, 256, rng);
+    std::vector<std::uint8_t> expected(batch.size());
+    std::vector<std::uint8_t> got1(batch.size());
+    std::vector<std::uint8_t> got4(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      expected[i] = scalar.step(batch[i].session, batch[i].sym) ? 1 : 0;
+    }
+    batch1.ingest(batch, got1, pool1);
+    batch4.ingest(batch, got4, pool4);
+    bool states_equal = true;
+    for (monitor::SessionId id = 0; id < cfg.num_sessions; ++id) {
+      states_equal = states_equal &&
+                     scalar.session_state(id) == batch1.session_state(id) &&
+                     scalar.session_state(id) == batch4.session_state(id);
+    }
+    if (expected != got1 || expected != got4 || !states_equal) {
+      PropertyResult r;
+      r.ok = false;
+      r.digest = buchi::fingerprint(spec_a);
+      r.message =
+          "fleet batching: batched ingest diverged from scalar stepping (round " +
+          std::to_string(round) + ")\nspec A:\n" + spec_a.to_string() +
+          "spec B:\n" + spec_b.to_string();
+      return r;
+    }
+  }
+  return ok();
+}
+
 }  // namespace
 
 const std::vector<Property>& properties() {
@@ -536,6 +658,10 @@ const std::vector<Property>& properties() {
       {"buchi.simulation.quotient", "PR4 simulation quotient", 2,
        simulation_quotient_preserves},
       {"cache.bit_identity", "PR3 memo-cache contract", 2, cache_bit_identity},
+      {"monitor.agreement", "§1 (Schneider: monitors enforce the safety closure)", 2,
+       monitor_agreement},
+      {"monitor.fleet_batch_scalar", "PR8 fleet batching contract", 2,
+       fleet_batch_scalar},
       {"ltl.translate.evaluator", "§2.2 (GPVW tableau)", 3,
        translate_agrees_with_evaluator},
       {"ltl.negation.complement", "§2.2 (semantics)", 2, negation_complements},

@@ -77,6 +77,34 @@ TEST_F(DfaMonitorFixture, WeakUntilMonitors) {
   EXPECT_EQ(monitor3.run({s("c")}), std::optional<std::size_t>(0));
 }
 
+TEST_F(DfaMonitorFixture, OutOfAlphabetEventsRejectDeterministically) {
+  // Regression: the raw event went straight into Dfa::step, whose
+  // precondition assert aborts the process on an out-of-range symbol (and
+  // without the assert it would be an out-of-bounds read). The monitor now
+  // latches a deterministic violation instead, same as SafetyMonitor.
+  DfaMonitor monitor = DfaMonitor::from_ltl(arena, parse("G a"));
+  const words::Sym beyond = monitor.automaton().alphabet().size();
+  EXPECT_TRUE(monitor.step(kA));
+  EXPECT_FALSE(monitor.step(beyond));
+  EXPECT_TRUE(monitor.violated());
+  EXPECT_FALSE(monitor.step(kA));  // latched
+  monitor.reset();
+  EXPECT_FALSE(monitor.step(words::Sym{-1}));
+  EXPECT_EQ(monitor.run({kA, beyond, kA}), std::optional<std::size_t>(1));
+}
+
+TEST_F(DfaMonitorFixture, EmptyPrefixViolationIsReportedByRun) {
+  // Regression twin of SafetyMonitor's: run({}) on an unsatisfiable
+  // closure must report 0 accepted events, not "safe throughout".
+  DfaMonitor monitor = DfaMonitor::from_ltl(arena, parse("false"));
+  EXPECT_TRUE(monitor.violated());
+  EXPECT_EQ(monitor.run({}), std::optional<std::size_t>(0));
+  EXPECT_EQ(monitor.run({kA, kB}), std::optional<std::size_t>(0));
+  // And the two monitors agree on the verdict, empty trace included.
+  SafetyMonitor subset = SafetyMonitor::from_ltl(arena, parse("false"));
+  EXPECT_EQ(subset.run({}), monitor.run({}));
+}
+
 TEST_F(DfaMonitorFixture, VacuousMonitorHasOneState) {
   DfaMonitor monitor = DfaMonitor::from_ltl(arena, parse("G F a"));
   EXPECT_TRUE(monitor.is_vacuous());

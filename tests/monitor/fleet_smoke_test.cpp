@@ -1,0 +1,82 @@
+// The fleet-smoke tier (ctest label `fleet-smoke`, loud TIMEOUT): a
+// 10^4-session fleet driven through seeded bursty/zipf traffic, with the
+// batched ingest replayed scalar-by-scalar and compared bit-for-bit.
+// Intentionally heavier than fleet_test.cpp and intentionally parallel
+// (global pool at 4 threads), so a TSan build of this one test vets the
+// shard-ownership claims of MonitorFleet::ingest under real contention.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "monitor/fleet.hpp"
+#include "monitor/traffic.hpp"
+#include "qc/seed.hpp"
+
+namespace slat::monitor {
+namespace {
+
+/// "No run of more than `limit` consecutive b's" (same family as
+/// fleet_test.cpp and bench_fleet.cpp).
+buchi::Nba b_run_limit(int limit) {
+  buchi::Nba nba(words::Alphabet::binary(), limit + 1, 0);
+  for (int q = 0; q <= limit; ++q) {
+    nba.set_accepting(q, true);
+    nba.add_transition(q, 0, 0);
+    if (q < limit) nba.add_transition(q, 1, q + 1);
+  }
+  return nba;
+}
+
+TEST(FleetSmoke, TenThousandSessionsBatchedEqualsScalar) {
+  const TrafficConfig cfg{.num_sessions = 10'000,
+                          .num_monitors = 12,
+                          .alphabet_size = 2,
+                          .common_sym_bias = 0.85,
+                          .garbage_rate = 0.01};
+
+  const auto build = [&](MonitorFleet& fleet) {
+    std::mt19937 rng = qc::make_rng("fleet_smoke.build");
+    std::vector<MonitorId> specs;
+    for (std::uint32_t j = 0; j < cfg.num_monitors; ++j) {
+      specs.push_back(fleet.compile_nba(b_run_limit(1 + static_cast<int>(j % 6))));
+    }
+    for (const MonitorId m : zipf_monitor_assignment(cfg, rng)) {
+      fleet.open_session(specs[m]);
+    }
+  };
+
+  MonitorFleet batched, scalar;
+  build(batched);
+  build(scalar);
+  ASSERT_EQ(batched.num_sessions(), cfg.num_sessions);
+
+  core::ThreadPool pool(4);
+  std::mt19937 rng = qc::make_rng("fleet_smoke.events");
+  constexpr int kBatches = 20;
+  constexpr std::size_t kBatchEvents = 50'000;
+  for (int round = 0; round < kBatches; ++round) {
+    const std::vector<Event> batch = make_batch(cfg, kBatchEvents, rng);
+    std::vector<std::uint8_t> batched_verdicts(batch.size());
+    batched.ingest(batch, batched_verdicts, pool);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const bool accepted = scalar.step(batch[i].session, batch[i].sym);
+      ASSERT_EQ(batched_verdicts[i], accepted ? 1 : 0)
+          << "round " << round << " event " << i;
+    }
+  }
+  for (SessionId id = 0; id < cfg.num_sessions; ++id) {
+    ASSERT_EQ(batched.session_state(id), scalar.session_state(id)) << id;
+  }
+  EXPECT_EQ(batched.count_violated(), scalar.count_violated());
+  // One million bursty events over 10^4 zipf sessions must have latched a
+  // healthy violation mix — an all-safe or all-violated end state means the
+  // workload (or the monitors) degenerated.
+  const std::size_t violated = batched.count_violated();
+  EXPECT_GT(violated, 0u);
+  EXPECT_LT(violated, cfg.num_sessions);
+}
+
+}  // namespace
+}  // namespace slat::monitor

@@ -1,0 +1,211 @@
+// MonitorFleet: compiled-table verdicts must be exactly SafetyMonitor's
+// (empty-prefix and out-of-alphabet semantics included), and the batched
+// ingest path must be bit-identical to scalar stepping at every thread
+// count. The 10^4-session tier lives in fleet_smoke_test.cpp.
+#include "monitor/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/thread_pool.hpp"
+#include "monitor/monitor.hpp"
+#include "monitor/traffic.hpp"
+#include "qc/seed.hpp"
+
+namespace slat::monitor {
+namespace {
+
+constexpr words::Sym kA = 0;
+constexpr words::Sym kB = 1;
+
+/// "No run of more than `limit` consecutive b's": a (limit+1)-state
+/// all-accepting chain over Σ = {a, b}; the b-counter overflows into a
+/// missing transition, so the closure's determinization grows a sink.
+buchi::Nba b_run_limit(int limit) {
+  buchi::Nba nba(words::Alphabet::binary(), limit + 1, 0);
+  for (int q = 0; q <= limit; ++q) {
+    nba.set_accepting(q, true);
+    nba.add_transition(q, kA, 0);
+    if (q < limit) nba.add_transition(q, kB, q + 1);
+  }
+  return nba;
+}
+
+buchi::Nba false_spec() {
+  return buchi::Nba::empty_language(words::Alphabet::binary());
+}
+
+class FleetFixture : public ::testing::Test {
+ protected:
+  ltl::LtlArena arena{words::Alphabet::binary()};
+};
+
+TEST_F(FleetFixture, VerdictsMatchSafetyMonitor) {
+  MonitorFleet fleet;
+  const MonitorId m = fleet.compile_nba(b_run_limit(2));
+  SafetyMonitor reference = SafetyMonitor::from_nba(b_run_limit(2));
+
+  const std::vector<words::Word> traces = {
+      {},          {kA},           {kB, kB},       {kB, kB, kB},
+      {kA, kB, kB, kA, kB, kB, kB}, {kB, kB, kA, kB, kB, kA}};
+  for (const words::Word& trace : traces) {
+    const SessionId session = fleet.open_session(m);
+    std::optional<std::size_t> fleet_verdict;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      if (!fleet.step(session, trace[i])) {
+        fleet_verdict = i;
+        break;
+      }
+    }
+    EXPECT_EQ(fleet_verdict, reference.run(trace));
+    EXPECT_EQ(fleet.session_violated(session), reference.violated());
+  }
+}
+
+TEST_F(FleetFixture, UnsatisfiableClosureSessionsAreBornViolated) {
+  MonitorFleet fleet;
+  const MonitorId m = fleet.compile_nba(false_spec());
+  EXPECT_TRUE(fleet.rejects_empty_prefix(m));
+  const SessionId session = fleet.open_session(m);
+  // The empty-prefix verdict of the fleet path: violated before any event,
+  // every event rejected — the contract SafetyMonitor::run({}) == 0 maps to.
+  EXPECT_TRUE(fleet.session_violated(session));
+  EXPECT_FALSE(fleet.step(session, kA));
+  EXPECT_TRUE(fleet.session_violated(session));
+  EXPECT_EQ(fleet.count_violated(), 1u);
+}
+
+TEST_F(FleetFixture, OutOfAlphabetEventsLatchTheSink) {
+  MonitorFleet fleet;
+  const MonitorId m = fleet.compile_ltl(arena, *arena.parse("G a"));
+  const SessionId session = fleet.open_session(m);
+  EXPECT_TRUE(fleet.step(session, kA));
+  EXPECT_FALSE(fleet.step(session, words::Sym{2}));  // == |Σ|: not a symbol
+  EXPECT_TRUE(fleet.session_violated(session));
+  EXPECT_FALSE(fleet.step(session, kA));  // latched
+
+  const SessionId other = fleet.open_session(m);
+  EXPECT_FALSE(fleet.step(other, words::Sym{-7}));
+  EXPECT_TRUE(fleet.session_violated(other));
+}
+
+TEST_F(FleetFixture, VacuousMonitorNeverViolatesOnAlphabetEvents) {
+  MonitorFleet fleet;
+  const MonitorId m = fleet.compile_ltl(arena, *arena.parse("G F a"));
+  EXPECT_FALSE(fleet.rejects_empty_prefix(m));
+  const SessionId session = fleet.open_session(m);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(fleet.step(session, i % 2 == 0 ? kB : kA));
+  }
+  // ...but garbage events are violations even for vacuous monitors.
+  EXPECT_FALSE(fleet.step(session, words::Sym{5}));
+}
+
+TEST_F(FleetFixture, SessionsSurviveSlabAndShardBoundaries) {
+  MonitorFleet fleet(/*num_shards=*/4);
+  const MonitorId ga = fleet.compile_ltl(arena, *arena.parse("G a"));
+  const MonitorId limit = fleet.compile_nba(b_run_limit(1));
+  // Enough sessions to cross several 1024-session slab boundaries in every
+  // shard; alternate monitors so neighbors differ.
+  constexpr std::uint32_t kSessions = 3 * 4 * 1024 + 37;
+  for (std::uint32_t i = 0; i < kSessions; ++i) {
+    const SessionId id = fleet.open_session(i % 2 == 0 ? ga : limit);
+    ASSERT_EQ(id, i);  // dense ids, in open order
+  }
+  ASSERT_EQ(fleet.num_sessions(), kSessions);
+  // Violate exactly the odd (b_run_limit(1)) sessions with a bb burst.
+  for (std::uint32_t i = 1; i < kSessions; i += 2) {
+    EXPECT_EQ(fleet.session_monitor(i), limit);
+    EXPECT_TRUE(fleet.step(i, kB));
+    EXPECT_FALSE(fleet.step(i, kB));
+  }
+  for (std::uint32_t i = 0; i < kSessions; ++i) {
+    EXPECT_EQ(fleet.session_violated(i), i % 2 == 1) << i;
+  }
+  EXPECT_EQ(fleet.count_violated(), kSessions / 2);
+}
+
+TEST_F(FleetFixture, BatchedIngestIsBitIdenticalToScalarStepping) {
+  // Two identically-built fleets: one stepped per event, one fed the same
+  // events as batches at 1 and 4 threads. States and verdicts must match
+  // exactly (the repo-wide bit-identical-output contract).
+  const TrafficConfig cfg{.num_sessions = 500,
+                          .num_monitors = 3,
+                          .alphabet_size = 2,
+                          .common_sym_bias = 0.8,
+                          .garbage_rate = 0.02};
+  auto build = [&](MonitorFleet& fleet) {
+    std::mt19937 rng = qc::make_rng("fleet_test.batch_scalar");
+    const MonitorId specs[3] = {fleet.compile_nba(b_run_limit(1)),
+                                fleet.compile_nba(b_run_limit(3)),
+                                fleet.compile_nba(false_spec())};
+    for (const MonitorId m : zipf_monitor_assignment(cfg, rng)) {
+      fleet.open_session(specs[m]);
+    }
+  };
+  MonitorFleet scalar, batched1, batched4;
+  build(scalar);
+  build(batched1);
+  build(batched4);
+
+  core::ThreadPool pool1(1), pool4(4);
+  std::mt19937 rng = qc::make_rng("fleet_test.batch_scalar.events");
+  for (int round = 0; round < 4; ++round) {
+    const std::vector<Event> batch = make_batch(cfg, 2000, rng);
+    std::vector<std::uint8_t> scalar_verdicts(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      scalar_verdicts[i] = scalar.step(batch[i].session, batch[i].sym) ? 1 : 0;
+    }
+    std::vector<std::uint8_t> verdicts1(batch.size()), verdicts4(batch.size());
+    batched1.ingest(batch, verdicts1, pool1);
+    batched4.ingest(batch, verdicts4, pool4);
+    ASSERT_EQ(scalar_verdicts, verdicts1) << "round " << round;
+    ASSERT_EQ(scalar_verdicts, verdicts4) << "round " << round;
+    for (SessionId id = 0; id < cfg.num_sessions; ++id) {
+      ASSERT_EQ(scalar.session_state(id), batched1.session_state(id)) << id;
+      ASSERT_EQ(scalar.session_state(id), batched4.session_state(id)) << id;
+    }
+  }
+  EXPECT_EQ(scalar.count_violated(), batched4.count_violated());
+}
+
+TEST_F(FleetFixture, RawProgramsValidateTheSinkLatch) {
+  MonitorFleet fleet;
+  // A well-formed 2-state program: live state 0 (a stays, b sinks), sink 1.
+  const MonitorId m = fleet.add_program(2, 2, 0, 1, {0, 1, 1, 1});
+  const SessionId s = fleet.open_session(m);
+  EXPECT_TRUE(fleet.step(s, kA));
+  EXPECT_FALSE(fleet.step(s, kB));
+  EXPECT_FALSE(fleet.step(s, kA));  // latched by the sink row
+  // A sink row that does not self-loop (the dropped-latch defect) is
+  // rejected at program-load time.
+  EXPECT_DEATH(fleet.add_program(2, 2, 0, 1, {0, 1, 0, 1}),
+               "sink row must self-loop");
+}
+
+TEST_F(FleetFixture, TrafficGeneratorIsSeedDeterministic) {
+  const TrafficConfig cfg{.num_sessions = 100, .num_monitors = 5};
+  std::mt19937 rng_a = qc::make_rng("fleet_test.traffic");
+  std::mt19937 rng_b = qc::make_rng("fleet_test.traffic");
+  const auto assign_a = zipf_monitor_assignment(cfg, rng_a);
+  const auto assign_b = zipf_monitor_assignment(cfg, rng_b);
+  ASSERT_EQ(assign_a, assign_b);
+  std::size_t hottest = 0;
+  for (const MonitorId m : assign_a) {
+    ASSERT_LT(m, cfg.num_monitors);
+    if (m == 0) ++hottest;
+  }
+  // Zipf skew: the hottest monitor holds more sessions than a uniform share.
+  EXPECT_GT(hottest, assign_a.size() / cfg.num_monitors);
+
+  const auto batch_a = make_batch(cfg, 1000, rng_a);
+  const auto batch_b = make_batch(cfg, 1000, rng_b);
+  ASSERT_EQ(batch_a.size(), 1000u);
+  for (std::size_t i = 0; i < batch_a.size(); ++i) {
+    ASSERT_EQ(batch_a[i].session, batch_b[i].session);
+    ASSERT_EQ(batch_a[i].sym, batch_b[i].sym);
+    ASSERT_LT(batch_a[i].session, cfg.num_sessions);
+  }
+}
+
+}  // namespace
+}  // namespace slat::monitor

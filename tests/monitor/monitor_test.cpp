@@ -62,6 +62,46 @@ TEST_F(MonitorFixture, FalseSpecificationRejectsImmediately) {
   EXPECT_FALSE(monitor.step(kA));
 }
 
+TEST_F(MonitorFixture, EmptyPrefixViolationIsReportedByRun) {
+  // Regression: an unsatisfiable closure latches violated_ in the
+  // constructor, but run({}) used to fall through the loop and report
+  // nullopt ("safe throughout"). The verdict is defined as the number of
+  // events accepted before the violation — 0 here, for every trace.
+  SafetyMonitor monitor = monitor_for("false");
+  EXPECT_EQ(monitor.run({}), std::optional<std::size_t>(0));
+  EXPECT_EQ(monitor.run({kA}), std::optional<std::size_t>(0));
+  EXPECT_EQ(monitor.run({kB, kA, kB}), std::optional<std::size_t>(0));
+  // A satisfiable closure still reports the empty trace as safe.
+  SafetyMonitor ok = monitor_for("G a");
+  EXPECT_EQ(ok.run({}), std::nullopt);
+}
+
+TEST_F(MonitorFixture, OutOfAlphabetEventsRejectDeterministically) {
+  // Regression: step() used to index the DetSafety table with the raw
+  // event, so an out-of-alphabet symbol was an out-of-bounds read (silent
+  // in release builds; caught by ASan). The hardened path latches a
+  // violation instead, without touching the table.
+  SafetyMonitor monitor = monitor_for("G a");
+  EXPECT_TRUE(monitor.step(kA));
+  const Sym beyond = monitor.automaton().alphabet().size();
+  EXPECT_FALSE(monitor.step(beyond));
+  EXPECT_TRUE(monitor.violated());
+  EXPECT_FALSE(monitor.step(kA));  // latched, like any other violation
+
+  monitor.reset();
+  EXPECT_FALSE(monitor.step(Sym{-1}));
+  EXPECT_TRUE(monitor.violated());
+
+  // Through run(): the garbage event's index is the verdict, and the run
+  // is repeatable (deterministic rejection, not UB).
+  EXPECT_EQ(monitor.run({kA, kA, beyond, kA}), std::optional<std::size_t>(2));
+  EXPECT_EQ(monitor.run({kA, kA, beyond, kA}), std::optional<std::size_t>(2));
+  // Even a vacuous (pure-liveness) monitor rejects garbage events: they
+  // are not symbols of Σ at all.
+  SafetyMonitor vacuous = monitor_for("G F a");
+  EXPECT_EQ(vacuous.run({kA, beyond}), std::optional<std::size_t>(1));
+}
+
 TEST_F(MonitorFixture, ResetRestoresInitialState) {
   SafetyMonitor monitor = monitor_for("G a");
   monitor.record_trace(16);
