@@ -1,0 +1,223 @@
+// SYM-SWEEP — the PR9 symbolic cube backend vs the explicit per-letter
+// pipeline, swept over alphabet size. The formula family fixes the tableau
+// (the fairness conjunction ⋀_{i<c} G F p_i: 2^c pending-obligation sets,
+// every edge labeled by a cube over the pending APs) and grows only k, the
+// number of atomic propositions: the explicit backend materializes
+// Θ(edges · 2^(k-c)) transitions — per-letter rows for every free AP
+// combination — while the symbolic edge count never moves. That separation
+// is the acceptance gate (≥10× time AND ≥10× peak RSS at k = 10, and a
+// k = 16 run that never materializes a letter).
+//
+// Registration order is load-bearing for the RSS counters: peak RSS is
+// process-monotone, so the symbolic benchmarks run FIRST, while the
+// high-water mark is still the small symbolic footprint; the explicit
+// benchmarks then raise it. For the same reason the gated run disables the
+// artifact table below (SLAT_BENCH_ARTIFACT=0) — it materializes the
+// explicit automata up to k = 10 before any benchmark runs.
+// scripts/run_benches.sh gates on the k = 10 medians of 5 repetitions
+// (BENCH_PR9.json).
+//
+// Before any k = 10 timing, the explicit benchmark asserts the two
+// backends' automata are BIT-identical after cube expansion — a mismatch
+// aborts the bench rather than timing two different computations.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "buchi/safety.hpp"
+#include "buchi/symbolic.hpp"
+#include "common/assert.hpp"
+#include "core/memo_cache.hpp"
+#include "ltl/translate.hpp"
+
+namespace {
+
+using namespace slat;
+
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+void record_rss(benchmark::State& state, double rss_before) {
+  const double rss_after = peak_rss_mb();
+  state.counters["peak_rss_mb"] = rss_after;
+  state.counters["rss_growth_mb"] = std::max(0.0, rss_after - rss_before);
+}
+
+/// The gate runs the explicit pipeline up to here; beyond, 2^k letters are
+/// out of the question and only the symbolic backend continues.
+constexpr int kMaxExplicitK = 10;
+/// Fairness conjuncts: the tableau has ~2^c states and c·2^(2c-2) edges,
+/// independent of k. Fixed across the sweep so k is the ONLY moving part
+/// (clamped to k at the sweep's low end, where fewer APs exist).
+constexpr int kConjuncts = 6;
+
+words::Alphabet ap_alphabet(int k) {
+  std::vector<std::string> aps;
+  aps.reserve(k);
+  for (int i = 0; i < k; ++i) aps.push_back("p" + std::to_string(i));
+  return words::Alphabet::of_aps(aps);
+}
+
+std::string fairness_text(int k, int conjuncts = kConjuncts) {
+  std::string text;
+  for (int i = 0; i < std::min(conjuncts, k); ++i) {
+    if (i > 0) text += " & ";
+    text += "G F p" + std::to_string(i);
+  }
+  return text;
+}
+
+void BM_SymbolicToNbaClosure(benchmark::State& state) {
+  core::CacheEnabledScope cache_off(false);
+  const int k = static_cast<int>(state.range(0));
+  ltl::LtlArena arena(ap_alphabet(k));
+  const ltl::FormulaId f = *arena.parse(fairness_text(k));
+  const double rss_before = peak_rss_mb();
+  int states = 0;
+  std::size_t edges = 0;
+  std::uint64_t expanded = 0;
+  std::size_t labels = 0;
+  for (auto _ : state) {
+    const buchi::SymbolicNba closure =
+        buchi::safety_closure(ltl::to_nba_symbolic(arena, f));
+    states = closure.num_states();
+    edges = closure.num_edges();
+    expanded = closure.store()->stats().expanded_letters;
+    labels = closure.store()->num_labels();
+    benchmark::DoNotOptimize(closure);
+  }
+  // The scaling contract itself: the symbolic pipeline NEVER materializes a
+  // letter, at any k — asserted, not just reported.
+  SLAT_ASSERT_MSG(expanded == 0, "symbolic pipeline expanded letters");
+  state.counters["closure_states"] = states;
+  state.counters["closure_edges"] = static_cast<double>(edges);
+  state.counters["store_labels"] = static_cast<double>(labels);
+  state.counters["expanded_letters"] = static_cast<double>(expanded);
+  record_rss(state, rss_before);
+}
+BENCHMARK(BM_SymbolicToNbaClosure)
+    ->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Arg(12)->Arg(14)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// The explicit reference runs immediately after the symbolic sweep — peak
+// RSS is process-monotone, so the symbolic rows must be recorded while the
+// high-water mark is still theirs. The (heavier) inclusion benchmarks come
+// last for the same reason.
+
+void BM_SymbolicInclusion(benchmark::State& state) {
+  // The antichain engine over condensed block pseudo-letters: the fairness
+  // conjunction against itself minus its last conjunct (included, so the
+  // search runs to the full fixpoint instead of exiting on an early
+  // witness). Four conjuncts: inclusion squares the state space, so the
+  // input is a notch smaller than the translation sweep's.
+  core::CacheEnabledScope cache_off(false);
+  const int k = static_cast<int>(state.range(0));
+  ltl::LtlArena arena(ap_alphabet(k));
+  const ltl::FormulaId lhs = *arena.parse(fairness_text(k, 4));
+  const ltl::FormulaId rhs = *arena.parse(fairness_text(k, 3));
+  const buchi::SymbolicNba sl = ltl::to_nba_symbolic(arena, lhs);
+  const buchi::SymbolicNba sr = ltl::to_nba_symbolic(arena, rhs);
+  const double rss_before = peak_rss_mb();
+  bool included = false;
+  for (auto _ : state) {
+    included = buchi::check_inclusion(sl, sr).included;
+    benchmark::DoNotOptimize(included);
+  }
+  SLAT_ASSERT_MSG(included, "the fairness conjunction must imply its weakening");
+  record_rss(state, rss_before);
+}
+
+void BM_ExplicitToNbaClosure(benchmark::State& state) {
+  core::CacheEnabledScope cache_off(false);
+  const int k = static_cast<int>(state.range(0));
+  SLAT_ASSERT_MSG(k <= kMaxExplicitK, "explicit backend beyond the letter budget");
+  ltl::LtlArena arena(ap_alphabet(k));
+  const ltl::FormulaId f = *arena.parse(fairness_text(k));
+  if (k == kMaxExplicitK) {
+    // Agreement BEFORE timing: at the gate point the two backends must
+    // produce the same automaton bit for bit, or the comparison is void.
+    const buchi::SymbolicNba symbolic = ltl::to_nba_symbolic(arena, f);
+    const buchi::Nba expl = ltl::to_nba(arena, f);
+    SLAT_ASSERT_MSG(
+        buchi::fingerprint(symbolic.expand()) == buchi::fingerprint(expl),
+        "symbolic and explicit automata diverged at the gate k");
+    SLAT_ASSERT_MSG(
+        buchi::fingerprint(buchi::safety_closure(symbolic).expand()) ==
+            buchi::fingerprint(buchi::safety_closure(expl)),
+        "symbolic and explicit closures diverged at the gate k");
+  }
+  const double rss_before = peak_rss_mb();
+  int states = 0;
+  long transitions = 0;
+  for (auto _ : state) {
+    const buchi::Nba closure = buchi::safety_closure(ltl::to_nba(arena, f));
+    states = closure.num_states();
+    transitions = closure.num_transitions();
+    benchmark::DoNotOptimize(closure);
+  }
+  state.counters["closure_states"] = states;
+  state.counters["closure_transitions"] = static_cast<double>(transitions);
+  state.counters["letters"] = static_cast<double>(arena.alphabet().size());
+  record_rss(state, rss_before);
+}
+BENCHMARK(BM_ExplicitToNbaClosure)
+    ->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_ExplicitInclusion(benchmark::State& state) {
+  core::CacheEnabledScope cache_off(false);
+  const int k = static_cast<int>(state.range(0));
+  ltl::LtlArena arena(ap_alphabet(k));
+  const ltl::FormulaId lhs = *arena.parse(fairness_text(k, 4));
+  const ltl::FormulaId rhs = *arena.parse(fairness_text(k, 3));
+  const buchi::Nba el = ltl::to_nba(arena, lhs);
+  const buchi::Nba er = ltl::to_nba(arena, rhs);
+  const double rss_before = peak_rss_mb();
+  bool included = false;
+  for (auto _ : state) {
+    included = buchi::check_inclusion(el, er).included;
+    benchmark::DoNotOptimize(included);
+  }
+  SLAT_ASSERT_MSG(included, "the fairness conjunction must imply its weakening");
+  record_rss(state, rss_before);
+}
+BENCHMARK(BM_SymbolicInclusion)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExplicitInclusion)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void print_artifact() {
+  bench::print_header("SYM-SWEEP",
+                      "symbolic cube backend vs explicit letters (PR9)");
+  std::printf("\nformula: %s   (c = %d conjuncts, k swept)\n\n",
+              fairness_text(16).c_str(), kConjuncts);
+  std::printf("%3s | %9s %10s %12s | %12s\n", "k", "letters", "sym edges",
+              "sym labels", "expl trans");
+  core::CacheEnabledScope cache_off(false);
+  for (int k = 4; k <= 16; k += 2) {
+    ltl::LtlArena arena(ap_alphabet(k));
+    const ltl::FormulaId f = *arena.parse(fairness_text(k));
+    const buchi::SymbolicNba symbolic = ltl::to_nba_symbolic(arena, f);
+    long expl_transitions = -1;
+    if (k <= kMaxExplicitK) {
+      expl_transitions = ltl::to_nba(arena, f).num_transitions();
+    }
+    std::printf("%3d | %9llu %10zu %12zu | ", k,
+                static_cast<unsigned long long>(symbolic.store()->num_letters()),
+                symbolic.num_edges(), symbolic.store()->num_labels());
+    if (expl_transitions >= 0) {
+      std::printf("%12ld\n", expl_transitions);
+    } else {
+      std::printf("%12s\n", "(skipped)");
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+SLAT_BENCH_MAIN(print_artifact)

@@ -1,0 +1,396 @@
+#include "buchi/symbolic.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+#include "core/memo_cache.hpp"
+
+namespace slat::buchi {
+
+using words::AlphabetBackend;
+using words::CubeStore;
+using words::LabelId;
+
+SymbolicNba::SymbolicNba(Alphabet alphabet, std::shared_ptr<CubeStore> store,
+                         int num_states, State initial)
+    : alphabet_(std::move(alphabet)),
+      store_(std::move(store)),
+      initial_(initial),
+      accepting_(num_states, false),
+      edges_(num_states) {
+  SLAT_ASSERT_MSG(alphabet_.ap_backed(), "symbolic automata need an AP alphabet");
+  if (store_ == nullptr) store_ = std::make_shared<CubeStore>(alphabet_.ap_count());
+  SLAT_ASSERT(store_->num_aps() == alphabet_.ap_count());
+  SLAT_ASSERT(num_states >= 1 && initial >= 0 && initial < num_states);
+}
+
+SymbolicNba SymbolicNba::from_explicit(const Nba& nba) {
+  SLAT_ASSERT_MSG(nba.alphabet().ap_backed(),
+                  "from_explicit lifts AP-alphabet automata only");
+  SymbolicNba out(nba.alphabet(), nullptr, nba.num_states(), nba.initial());
+  for (State q = 0; q < nba.num_states(); ++q) {
+    out.set_accepting(q, nba.is_accepting(q));
+    for (Sym s = 0; s < nba.alphabet().size(); ++s) {
+      for (State to : nba.successors(q, s)) {
+        out.add_edge(q, out.store_->letter(s), to);
+      }
+    }
+  }
+  return out;
+}
+
+SymbolicNba SymbolicNba::empty_language(Alphabet alphabet,
+                                        std::shared_ptr<CubeStore> store) {
+  return SymbolicNba(std::move(alphabet), std::move(store), 1, 0);
+}
+
+SymbolicNba SymbolicNba::universal(Alphabet alphabet,
+                                   std::shared_ptr<CubeStore> store) {
+  SymbolicNba out(std::move(alphabet), std::move(store), 1, 0);
+  out.set_accepting(0, true);
+  out.add_edge(0, words::kFullLabel, 0);
+  return out;
+}
+
+void SymbolicNba::set_accepting(State q, bool accepting) {
+  SLAT_ASSERT(q >= 0 && q < num_states());
+  accepting_[q] = accepting;
+}
+
+State SymbolicNba::add_state() {
+  accepting_.push_back(false);
+  edges_.emplace_back();
+  return num_states() - 1;
+}
+
+void SymbolicNba::add_edge(State from, LabelId label, State to) {
+  SLAT_ASSERT(from >= 0 && from < num_states());
+  SLAT_ASSERT(to >= 0 && to < num_states());
+  if (store_->is_empty(label)) return;
+  edges_[from].push_back(Edge{label, to});
+}
+
+int SymbolicNba::num_edges() const {
+  int total = 0;
+  for (const auto& row : edges_) total += static_cast<int>(row.size());
+  return total;
+}
+
+std::vector<bool> SymbolicNba::reachable_states() const {
+  std::vector<bool> seen(num_states(), false);
+  std::deque<State> queue{initial_};
+  seen[initial_] = true;
+  while (!queue.empty()) {
+    const State q = queue.front();
+    queue.pop_front();
+    for (const Edge& e : edges_[q]) {
+      if (!seen[e.to]) {
+        seen[e.to] = true;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<bool> SymbolicNba::states_with_nonempty_language() const {
+  // Same predicate as Nba::states_with_nonempty_language, on the labeled
+  // graph: an edge with a non-empty label carries at least one letter, so
+  // the SCC structure, the accepting-cycle states and the backward closure
+  // coincide with the expansion's.
+  const int n = num_states();
+  const auto scc = detail::strongly_connected_components(
+      n, [this](int q, const std::function<void(int)>& visit) {
+        for (const Edge& e : edges_[q]) visit(e.to);
+      });
+  std::vector<int> scc_size(scc.num_components, 0);
+  for (State q = 0; q < n; ++q) ++scc_size[scc.component[q]];
+  std::vector<bool> on_cycle(n, false);
+  for (State q = 0; q < n; ++q) {
+    if (!accepting_[q]) continue;
+    const bool self_loop =
+        std::any_of(edges_[q].begin(), edges_[q].end(),
+                    [q](const Edge& e) { return e.to == q; });
+    on_cycle[q] = self_loop || scc_size[scc.component[q]] >= 2;
+  }
+  // Backward BFS over predecessor lists.
+  std::vector<std::vector<State>> preds(n);
+  for (State q = 0; q < n; ++q) {
+    for (const Edge& e : edges_[q]) preds[e.to].push_back(q);
+  }
+  std::vector<bool> nonempty(n, false);
+  std::deque<State> queue;
+  for (State q = 0; q < n; ++q) {
+    if (on_cycle[q]) {
+      nonempty[q] = true;
+      queue.push_back(q);
+    }
+  }
+  while (!queue.empty()) {
+    const State q = queue.front();
+    queue.pop_front();
+    for (State pred : preds[q]) {
+      if (!nonempty[pred]) {
+        nonempty[pred] = true;
+        queue.push_back(pred);
+      }
+    }
+  }
+  return nonempty;
+}
+
+SymbolicNba SymbolicNba::restrict_to(const std::vector<bool>& keep) const {
+  SLAT_ASSERT(static_cast<int>(keep.size()) == num_states());
+  if (!keep[initial_]) return empty_language(alphabet_, store_);
+  std::vector<State> remap(num_states(), -1);
+  int next_id = 0;
+  for (State q = 0; q < num_states(); ++q) {
+    if (keep[q]) remap[q] = next_id++;
+  }
+  SymbolicNba out(alphabet_, store_, std::max(next_id, 1), remap[initial_]);
+  for (State q = 0; q < num_states(); ++q) {
+    if (!keep[q]) continue;
+    out.set_accepting(remap[q], accepting_[q]);
+    for (const Edge& e : edges_[q]) {
+      if (keep[e.to]) out.add_edge(remap[q], e.label, remap[e.to]);
+    }
+  }
+  return out;
+}
+
+SymbolicNba SymbolicNba::trim() const {
+  const auto reachable = reachable_states();
+  const auto nonempty = states_with_nonempty_language();
+  std::vector<bool> keep(num_states());
+  for (State q = 0; q < num_states(); ++q) keep[q] = reachable[q] && nonempty[q];
+  return restrict_to(keep);
+}
+
+Nba SymbolicNba::expand() const {
+  Nba out(alphabet_, num_states(), initial_);
+  for (State q = 0; q < num_states(); ++q) {
+    out.set_accepting(q, accepting_[q]);
+    for (const Edge& e : edges_[q]) {
+      for (Sym s : store_->expand_letters(e.label)) {
+        out.add_transition(q, s, e.to);
+      }
+    }
+  }
+  return out;
+}
+
+SymbolicNba SymbolicNba::rebased(std::shared_ptr<CubeStore> store) const {
+  if (store.get() == store_.get()) return *this;
+  SymbolicNba out(alphabet_, store, num_states(), initial_);
+  for (State q = 0; q < num_states(); ++q) {
+    out.set_accepting(q, accepting_[q]);
+    for (const Edge& e : edges_[q]) {
+      out.add_edge(q, out.store_->import(*store_, e.label), e.to);
+    }
+  }
+  return out;
+}
+
+core::Digest fingerprint(const SymbolicNba& nba) {
+  core::DigestBuilder b;
+  b.add_string("buchi.symbolic_nba");
+  words::digest_alphabet(b, nba.alphabet());
+  b.add_int(nba.num_states()).add_int(nba.initial());
+  const CubeStore& store = *nba.store();
+  for (State q = 0; q < nba.num_states(); ++q) {
+    b.add_bool(nba.is_accepting(q));
+    const auto row = nba.edges(q);
+    b.add(row.size());
+    for (const SymbolicNba::Edge& e : row) {
+      const auto cubes = store.cubes(e.label);
+      b.add(cubes.size());
+      for (const words::Cube& c : cubes) b.add(c.must_true).add(c.must_false);
+      b.add_int(e.to);
+    }
+  }
+  return b.digest();
+}
+
+Sym BlockAlphabet::block_of(Sym letter) const {
+  for (std::size_t j = 0; j < blocks.size(); ++j) {
+    if (store->matches(blocks[j], letter)) return static_cast<Sym>(j);
+  }
+  SLAT_ASSERT_MSG(false, "blocks must partition the alphabet");
+  return -1;
+}
+
+BlockAlphabet make_block_alphabet(std::shared_ptr<CubeStore> store,
+                                  std::span<const LabelId> labels) {
+  BlockAlphabet out;
+  out.blocks = store->refine(labels);
+  out.min_letters.reserve(out.blocks.size());
+  for (const LabelId block : out.blocks) {
+    out.min_letters.push_back(store->min_letter(block));
+  }
+  out.core_alphabet = Alphabet::of_size(static_cast<int>(out.blocks.size()));
+  out.store = std::move(store);
+  return out;
+}
+
+Nba condense(const SymbolicNba& nba, const BlockAlphabet& blocks) {
+  SLAT_ASSERT(blocks.store.get() == nba.store().get());
+  CubeStore& store = *blocks.store;
+  // Per-label block membership, computed once per distinct label (hash
+  // consing makes the memo a structural dedup). A block intersects a label
+  // iff it is contained in it — the partition refines every label.
+  std::unordered_map<LabelId, std::vector<Sym>> label_blocks;
+  const auto blocks_of = [&](LabelId label) -> const std::vector<Sym>& {
+    auto it = label_blocks.find(label);
+    if (it == label_blocks.end()) {
+      std::vector<Sym> member;
+      for (int j = 0; j < blocks.size(); ++j) {
+        if (!store.is_empty(store.intersect(label, blocks.blocks[j]))) {
+          member.push_back(static_cast<Sym>(j));
+        }
+      }
+      it = label_blocks.emplace(label, std::move(member)).first;
+    }
+    return it->second;
+  };
+  Nba out(blocks.core_alphabet, nba.num_states(), nba.initial());
+  for (State q = 0; q < nba.num_states(); ++q) {
+    out.set_accepting(q, nba.is_accepting(q));
+    for (const SymbolicNba::Edge& e : nba.edges(q)) {
+      for (const Sym j : blocks_of(e.label)) out.add_transition(q, j, e.to);
+    }
+  }
+  return out;
+}
+
+SymbolicNba safety_closure(const SymbolicNba& nba) {
+  if (words::alphabet_backend() == AlphabetBackend::kExplicit) {
+    // Oracle: the seed-era explicit closure on the expansion, lifted back.
+    return SymbolicNba::from_explicit(safety_closure(nba.expand()));
+  }
+  static core::MemoCache<SymbolicNba>& cache =
+      *new core::MemoCache<SymbolicNba>("buchi.symbolic_closure");
+  return cache.get_or_compute(
+      core::DigestBuilder().add_string("lcl").add_digest(fingerprint(nba)).digest(),
+      [&] {
+        // Mirrors the explicit safety_closure line by line (trim to
+        // non-empty residuals, then all-accepting).
+        SymbolicNba trimmed = nba.restrict_to(nba.states_with_nonempty_language());
+        if (trimmed.num_edges() == 0) {
+          return SymbolicNba::empty_language(nba.alphabet(), nba.store());
+        }
+        for (State q = 0; q < trimmed.num_states(); ++q) {
+          trimmed.set_accepting(q, true);
+        }
+        return trimmed;
+      });
+}
+
+SymbolicDetSafety SymbolicDetSafety::determinize(const SymbolicNba& closure) {
+  if (words::alphabet_backend() == AlphabetBackend::kExplicit) {
+    return SymbolicDetSafety(closure.alphabet(),
+                             DetSafety::determinize(closure.expand()),
+                             std::nullopt);
+  }
+  std::vector<LabelId> labels;
+  for (State q = 0; q < closure.num_states(); ++q) {
+    for (const SymbolicNba::Edge& e : closure.edges(q)) labels.push_back(e.label);
+  }
+  BlockAlphabet blocks = make_block_alphabet(closure.store(), labels);
+  const Nba core = condense(closure, blocks);
+  return SymbolicDetSafety(closure.alphabet(), DetSafety::determinize(core),
+                           std::move(blocks));
+}
+
+SymbolicDetSafety SymbolicDetSafety::from_nba(const SymbolicNba& nba) {
+  return determinize(safety_closure(nba));
+}
+
+bool SymbolicDetSafety::accepts(const UpWord& w) const {
+  State q = initial();
+  const std::size_t bound = w.prefix_size() + w.period_size() * (num_states() + 1);
+  for (std::size_t i = 0; i < bound; ++i) {
+    if (q == sink()) return false;
+    q = step(q, w.at(i));
+  }
+  return q != sink();
+}
+
+bool SymbolicDetSafety::accepts_prefix(const Word& u) const {
+  State q = initial();
+  for (Sym s : u) {
+    if (q == sink()) return false;
+    q = step(q, s);
+  }
+  return q != sink();
+}
+
+namespace {
+
+UpWord map_word(const UpWord& w, const std::vector<Sym>& letter_of_block) {
+  Word prefix = w.prefix();
+  Word period = w.period();
+  for (Sym& s : prefix) s = letter_of_block[s];
+  for (Sym& s : period) s = letter_of_block[s];
+  return UpWord(std::move(prefix), std::move(period));
+}
+
+InclusionResult check_inclusion_symbolic(const SymbolicNba& lhs,
+                                         const SymbolicNba& rhs) {
+  const SymbolicNba rhs_shared = rhs.rebased(lhs.store());
+  std::vector<LabelId> labels;
+  for (const SymbolicNba* nba : {&lhs, &rhs_shared}) {
+    for (State q = 0; q < nba->num_states(); ++q) {
+      for (const SymbolicNba::Edge& e : nba->edges(q)) labels.push_back(e.label);
+    }
+  }
+  const BlockAlphabet blocks = make_block_alphabet(lhs.store(), labels);
+  // The antichain engine (with its memo cache, metrics and SLAT_INCLUSION
+  // differential) runs over the m pseudo-letters; counterexample letters
+  // come back as blocks and are mapped to the block minima, which is what
+  // the explicit engine's ascending letter loops would have emitted.
+  InclusionResult result =
+      check_inclusion(condense(lhs, blocks), condense(rhs_shared, blocks));
+  if (result.counterexample.has_value()) {
+    result.counterexample = map_word(*result.counterexample, blocks.min_letters);
+  }
+  return result;
+}
+
+}  // namespace
+
+InclusionResult check_inclusion(const SymbolicNba& lhs, const SymbolicNba& rhs) {
+  SLAT_ASSERT_MSG(lhs.alphabet() == rhs.alphabet(),
+                  "inclusion requires a common alphabet");
+  if (words::alphabet_backend() == AlphabetBackend::kExplicit) {
+    return check_inclusion(lhs.expand(), rhs.expand());
+  }
+  return check_inclusion_symbolic(lhs, rhs);
+}
+
+InclusionResult check_universality(const SymbolicNba& nba) {
+  if (words::alphabet_backend() == AlphabetBackend::kExplicit) {
+    return check_universality(nba.expand());
+  }
+  return check_inclusion_symbolic(
+      SymbolicNba::universal(nba.alphabet(), nba.store()), nba);
+}
+
+InclusionResult check_emptiness(const SymbolicNba& nba) {
+  if (words::alphabet_backend() == AlphabetBackend::kExplicit) {
+    return check_emptiness(nba.expand());
+  }
+  std::vector<LabelId> labels;
+  for (State q = 0; q < nba.num_states(); ++q) {
+    for (const SymbolicNba::Edge& e : nba.edges(q)) labels.push_back(e.label);
+  }
+  const BlockAlphabet blocks = make_block_alphabet(nba.store(), labels);
+  InclusionResult result = check_emptiness(condense(nba, blocks));
+  if (result.counterexample.has_value()) {
+    result.counterexample = map_word(*result.counterexample, blocks.min_letters);
+  }
+  return result;
+}
+
+}  // namespace slat::buchi

@@ -1,0 +1,220 @@
+// Büchi automata with symbolic cube labels over 2^AP alphabets, and the
+// condensation that lets every explicit algorithm run on them unchanged.
+//
+// A SymbolicNba stores, per state, an ordered list of (label, target) edges
+// where the label is a hash-consed cube DNF (words/cube.hpp) — memory is
+// O(edges), never O(2^k). The pipeline algorithms (safety closure, subset
+// construction, antichain inclusion) do not iterate letters; they iterate
+// the MINTERM PARTITION of the automaton's labels: the coarsest partition
+// of the 2^k letters on which every edge label is constant. Two letters of
+// one block are indistinguishable to the automaton (identical successor
+// sets everywhere), so the partition's m blocks — ordered by their minimum
+// contained letter — form a faithful quotient alphabet of pseudo-letters.
+// `condense()` builds an ordinary explicit Nba over that m-letter alphabet,
+// and the existing kernels (trim, DetSafety::determinize, the PR6
+// arena/SoA antichain engine, the memo caches) run on it as-is.
+//
+// The ordering discipline makes this EXACTLY the explicit computation, not
+// merely an equivalent one: the explicit per-letter loops run in ascending
+// letter order and discover each distinct item at its block's minimum
+// letter (later same-block letters re-discover only duplicates, which the
+// intern tables and antichain domination checks drop). Iterating blocks in
+// min-letter order therefore reproduces the explicit visit order, state
+// numbering and witness letters bit-for-bit — pinned by the
+// symbolic.explicit_agreement qc property and the differential tests.
+//
+// The explicit backend stays available as a differential oracle: under
+// SLAT_ALPHABET=explicit (words::AlphabetBackendScope) every entry point
+// here expands the cubes to 2^k letters, runs the seed-era explicit
+// algorithm and lifts the result back — feasible only at small k, which is
+// the point: the oracle validates the symbolic path where both can run.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "buchi/inclusion.hpp"
+#include "buchi/nba.hpp"
+#include "buchi/safety.hpp"
+#include "words/cube.hpp"
+
+namespace slat::buchi {
+
+/// A nondeterministic Büchi automaton whose transitions carry cube labels
+/// instead of single letters. Always over an AP-backed alphabet; the label
+/// store is shared (and carried) so derived automata reuse interned nodes
+/// and memoized algebra.
+class SymbolicNba {
+ public:
+  struct Edge {
+    words::LabelId label;
+    State to;
+
+    friend bool operator==(const Edge&, const Edge&) = default;
+  };
+
+  /// `alphabet` must be AP-backed and match the store's arity. A null store
+  /// allocates a fresh one.
+  SymbolicNba(Alphabet alphabet, std::shared_ptr<words::CubeStore> store,
+              int num_states, State initial);
+
+  /// Lifts an explicit automaton over an AP-backed alphabet: each
+  /// (q, letter, t) transition becomes one single-letter cube edge, in row
+  /// order — so expand() is the exact inverse.
+  static SymbolicNba from_explicit(const Nba& nba);
+
+  /// L = ∅ (one dead state) and L = Σ^ω (one accepting full-label
+  /// self-loop) — the symbolic mirrors of the Nba factories.
+  static SymbolicNba empty_language(Alphabet alphabet,
+                                    std::shared_ptr<words::CubeStore> store);
+  static SymbolicNba universal(Alphabet alphabet,
+                               std::shared_ptr<words::CubeStore> store);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  const std::shared_ptr<words::CubeStore>& store() const { return store_; }
+  int num_states() const { return static_cast<int>(edges_.size()); }
+  State initial() const { return initial_; }
+
+  bool is_accepting(State q) const { return accepting_[q]; }
+  void set_accepting(State q, bool accepting);
+  State add_state();
+
+  /// Appends the edge (empty labels are dropped — they denote no letters,
+  /// and keeping them would desynchronize the labeled graph from its
+  /// expansion in every reachability-flavored pass).
+  void add_edge(State from, words::LabelId label, State to);
+
+  std::span<const Edge> edges(State q) const {
+    return {edges_[q].data(), edges_[q].size()};
+  }
+  int num_edges() const;
+
+  /// Graph passes, label-oblivious — each mirrors its Nba namesake on the
+  /// labeled graph (an edge exists iff its expansion has ≥1 letter), so the
+  /// keep-masks and remaps agree with the explicit pipeline exactly.
+  std::vector<bool> reachable_states() const;
+  std::vector<bool> states_with_nonempty_language() const;
+  SymbolicNba restrict_to(const std::vector<bool>& keep) const;
+  SymbolicNba trim() const;
+
+  /// The explicit automaton over the full 2^k-letter alphabet. Oracle /
+  /// small-k only (cube expansion is capped at CubeStore::kMaxExplicitAps).
+  Nba expand() const;
+
+  /// Re-interns every label into `store` (same arity); used to bring two
+  /// automata onto one store before a joint condensation.
+  SymbolicNba rebased(std::shared_ptr<words::CubeStore> store) const;
+
+ private:
+  Alphabet alphabet_;
+  std::shared_ptr<words::CubeStore> store_;
+  State initial_;
+  std::vector<bool> accepting_;
+  std::vector<std::vector<Edge>> edges_;
+};
+
+/// Structural digest (memo-cache key): AP alphabet + states + acceptance +
+/// each edge's cube list and target. Label ids never enter the digest —
+/// they are store-history; the CUBES are the content.
+core::Digest fingerprint(const SymbolicNba& nba);
+
+/// The minterm partition of a label set, packaged as a pseudo-letter
+/// alphabet: block i of the partition (sorted by min letter) is letter i of
+/// an ordinary explicit alphabet of size m.
+struct BlockAlphabet {
+  std::shared_ptr<words::CubeStore> store;
+  std::vector<words::LabelId> blocks;  ///< disjoint, exhaustive, min-letter order
+  std::vector<Sym> min_letters;        ///< canonical representative per block
+  Alphabet core_alphabet = Alphabet::of_size(1);  ///< of_size(blocks.size())
+
+  int size() const { return static_cast<int>(blocks.size()); }
+  /// The block containing `letter` — a scan over the blocks' cubes, O(m),
+  /// deliberately NOT a 2^k lookup table (k = 16 must never materialize).
+  Sym block_of(Sym letter) const;
+};
+
+/// Builds the partition generated by `labels` (typically: every label of
+/// the automata about to be condensed together).
+BlockAlphabet make_block_alphabet(std::shared_ptr<words::CubeStore> store,
+                                  std::span<const words::LabelId> labels);
+
+/// The quotient automaton over the pseudo-letter alphabet: same states,
+/// edge (q, j, t) for each labeled edge whose label contains block j (edge
+/// order preserved per state). `blocks` must refine every label of `nba` —
+/// i.e. be built from a superset of its labels.
+Nba condense(const SymbolicNba& nba, const BlockAlphabet& blocks);
+
+/// Safety closure on symbolic automata (paper §2.4): trim to states with
+/// non-empty residual language, make everything accepting. Memoized like
+/// the explicit closure; honors SLAT_ALPHABET (explicit mode expands, runs
+/// the seed closure and lifts the result back).
+SymbolicNba safety_closure(const SymbolicNba& nba);
+
+/// The deterministic safety automaton of a symbolic closure: the seed
+/// subset construction runs over the m condensed pseudo-letters, and
+/// `step()` translates real letters to blocks on the fly — the 2^k-row
+/// delta table of the explicit DetSafety never exists.
+class SymbolicDetSafety {
+ public:
+  /// Subset construction of an automaton already in closure shape. Honors
+  /// SLAT_ALPHABET: the explicit oracle determinizes the expansion and
+  /// serves `step` straight from the 2^k-letter table.
+  static SymbolicDetSafety determinize(const SymbolicNba& closure);
+  /// determinize(safety_closure(nba)) — the from_nba convenience.
+  static SymbolicDetSafety from_nba(const SymbolicNba& nba);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  int num_states() const { return core_.num_states(); }
+  State initial() const { return core_.initial(); }
+  State sink() const { return core_.sink(); }
+
+  /// One deterministic step on a REAL letter of the 2^k alphabet.
+  State step(State q, Sym s) const {
+    SLAT_ASSERT_MSG(s >= 0 && s < alphabet_.size(),
+                    "symbol outside the automaton's alphabet");
+    return core_.step(q, blocks_ ? blocks_->block_of(s) : s);
+  }
+
+  bool accepts(const UpWord& w) const;
+  bool accepts_prefix(const Word& u) const;
+  /// Universality over Σ^ω: the blocks partition Σ, so core-universality is
+  /// exactly real-letter universality.
+  bool is_universal() const { return core_.is_universal(); }
+
+  /// The underlying pseudo-letter (or, on the explicit oracle path,
+  /// real-letter) automaton — for tests and diagnostics.
+  const DetSafety& core() const { return core_; }
+
+ private:
+  SymbolicDetSafety(Alphabet alphabet, DetSafety core,
+                    std::optional<BlockAlphabet> blocks)
+      : alphabet_(std::move(alphabet)),
+        core_(std::move(core)),
+        blocks_(std::move(blocks)) {}
+
+  Alphabet alphabet_;
+  DetSafety core_;
+  std::optional<BlockAlphabet> blocks_;  ///< nullopt ⇔ explicit oracle path
+};
+
+/// Language inclusion L(lhs) ⊆ L(rhs) on symbolic automata: both sides are
+/// condensed over their JOINT label partition (the period-phase profiles
+/// depend on all of rhs's edges, so the partition must refine both automata
+/// at once), the PR4/PR6 antichain engine — including its memo cache and
+/// its own SLAT_INCLUSION differential — runs over the m pseudo-letters,
+/// and witness pseudo-letters map back to their block's min letter, which
+/// is bit-identical to the explicit engine's witness. Honors SLAT_ALPHABET.
+InclusionResult check_inclusion(const SymbolicNba& lhs, const SymbolicNba& rhs);
+InclusionResult check_universality(const SymbolicNba& nba);
+InclusionResult check_emptiness(const SymbolicNba& nba);
+
+inline bool is_subset(const SymbolicNba& lhs, const SymbolicNba& rhs) {
+  return check_inclusion(lhs, rhs).included;
+}
+inline bool is_equivalent(const SymbolicNba& lhs, const SymbolicNba& rhs) {
+  return is_subset(lhs, rhs) && is_subset(rhs, lhs);
+}
+
+}  // namespace slat::buchi

@@ -28,7 +28,11 @@ class Evaluator {
       case Op::kFalse:
         break;
       case Op::kAtom:
-        for (int i = 0; i < positions_; ++i) result[i] = w_.at(i) == n.atom;
+        // One-hot letter equality on explicit alphabets, AP bit test on
+        // AP-backed ones — same predicate the tableau literal loop uses.
+        for (int i = 0; i < positions_; ++i) {
+          result[i] = arena_.alphabet().letter_satisfies_atom(w_.at(i), n.atom);
+        }
         break;
       case Op::kNot: {
         const auto& sub = eval(n.lhs);

@@ -27,12 +27,14 @@ FormulaId LtlArena::tru() { return intern({Op::kTrue}); }
 FormulaId LtlArena::fls() { return intern({Op::kFalse}); }
 
 FormulaId LtlArena::atom(Sym s) {
-  SLAT_ASSERT(s >= 0 && s < alphabet_.size());
+  // AP-backed alphabets index atoms by PROPOSITION, explicit ones by letter
+  // (the seed one-hot convention) — Alphabet::atom_range is the contract.
+  SLAT_ASSERT(s >= 0 && s < alphabet_.atom_range());
   return intern({Op::kAtom, s});
 }
 
 FormulaId LtlArena::atom(std::string_view name) {
-  const auto s = alphabet_.index_of(name);
+  const auto s = alphabet_.atom_index_of(name);
   SLAT_ASSERT_MSG(s.has_value(), "atom name not in alphabet");
   return atom(*s);
 }
@@ -245,7 +247,7 @@ struct Parser {
     if (eat_word("true")) return arena.tru();
     if (eat_word("false")) return arena.fls();
     if (auto name = ident()) {
-      if (auto s = arena.alphabet().index_of(*name)) return arena.atom(*s);
+      if (auto s = arena.alphabet().atom_index_of(*name)) return arena.atom(*s);
       return fail("unknown atom '" + *name + "'");
     }
     return fail("expected a formula");
@@ -336,7 +338,7 @@ std::string LtlArena::to_string(FormulaId f) const {
     case Op::kFalse:
       return "false";
     case Op::kAtom:
-      return alphabet_.name(n.atom);
+      return alphabet_.atom_name(n.atom);
     case Op::kNot:
       return "!" + paren(n.lhs);
     case Op::kAnd:

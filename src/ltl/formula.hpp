@@ -4,10 +4,14 @@
 // id, so formula sets (the GPVW tableau works on sets) are integer sets and
 // structural equality is id equality.
 //
-// Atomic propositions are alphabet letters: atom `a` holds at position i of
-// a word w iff w[i] is the letter `a`. This is the convention of the paper's
-// Rem examples ("the first symbol of t is a" = the atom a; "differs from a"
-// = ¬a).
+// Atomic propositions depend on the alphabet flavor. Over an explicit
+// alphabet they are letters: atom `a` holds at position i of a word w iff
+// w[i] is the letter `a` — the convention of the paper's Rem examples ("the
+// first symbol of t is a" = the atom a; "differs from a" = ¬a). Over an
+// AP-backed alphabet (Alphabet::of_aps) atom j is proposition j: it holds
+// iff bit j of the current valuation letter is set. Both route through
+// Alphabet::letter_satisfies_atom, so the evaluator, the tableau and the
+// symbolic cube backend agree by construction.
 #pragma once
 
 #include <cstdint>

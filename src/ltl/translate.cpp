@@ -143,20 +143,39 @@ class Tableau {
   std::vector<GraphNode> nodes_;
 };
 
-// Symbols satisfying the literals of a node's `old` set.
+// Symbols satisfying the literals of a node's `old` set — the explicit
+// backend's O(|Σ|) per-node loop (over an AP-backed alphabet |Σ| = 2^k,
+// which is exactly what the cube backend below avoids).
 std::vector<words::Sym> satisfying_symbols(const LtlArena& arena, const FormulaSet& old) {
   std::vector<words::Sym> out;
   for (words::Sym s = 0; s < arena.alphabet().size(); ++s) {
     bool ok = true;
     for (FormulaId f : old) {
       const FormulaNode& n = arena.node(f);
-      if (n.op == Op::kAtom && n.atom != s) ok = false;
-      if (n.op == Op::kNot && arena.node(n.lhs).atom == s) ok = false;
+      if (n.op == Op::kAtom && !arena.alphabet().letter_satisfies_atom(s, n.atom)) ok = false;
+      if (n.op == Op::kNot && arena.alphabet().letter_satisfies_atom(s, arena.node(n.lhs).atom)) ok = false;
       if (!ok) break;
     }
     if (ok) out.push_back(s);
   }
   return out;
+}
+
+// The cube of a node's literal set: must-true = its positive atoms,
+// must-false = its negated atoms, in one pass over `old` — no letter loop.
+// The tableau already dropped nodes with a directly contradictory literal
+// pair, so the cube is never empty for AP-backed alphabets (every other
+// valuation of the unfixed bits satisfies the node).
+words::LabelId node_cube(const LtlArena& arena, const FormulaSet& old,
+                         words::CubeStore& store) {
+  words::ApMask must_true = 0;
+  words::ApMask must_false = 0;
+  for (FormulaId f : old) {
+    const FormulaNode& n = arena.node(f);
+    if (n.op == Op::kAtom) must_true |= words::ApMask{1} << n.atom;
+    if (n.op == Op::kNot) must_false |= words::ApMask{1} << arena.node(n.lhs).atom;
+  }
+  return store.cube(must_true, must_false);
 }
 
 // 128-bit structural digest of the formula's reachable sub-DAG. Nodes are
@@ -167,9 +186,9 @@ std::vector<words::Sym> satisfying_symbols(const LtlArena& arena, const FormulaS
 core::Digest formula_fingerprint(const LtlArena& arena, FormulaId f) {
   core::DigestBuilder b;
   b.add_string("ltl.formula");
-  const words::Alphabet& alphabet = arena.alphabet();
-  b.add_int(alphabet.size());
-  for (words::Sym s = 0; s < alphabet.size(); ++s) b.add_string(alphabet.name(s));
+  // Byte-identical to the seed encoding for explicit alphabets; AP-backed
+  // alphabets digest the AP list instead of 2^k letter names.
+  words::digest_alphabet(b, arena.alphabet());
 
   std::map<FormulaId, int> local;
   std::vector<FormulaId> order;
@@ -268,6 +287,75 @@ Nba translate_uncached(LtlArena& arena, FormulaId f, TranslationStats& stats) {
   return trimmed;
 }
 
+// The symbolic twin of translate_uncached: identical tableau, identical
+// (node, counter) state numbering and edge loop order, but each node
+// contributes ONE cube edge where the explicit path adds one edge per
+// satisfying letter — so expand() of this automaton reproduces the explicit
+// translation bit for bit, and the construction never touches 2^k.
+buchi::SymbolicNba translate_symbolic_uncached(LtlArena& arena, FormulaId f,
+                                               TranslationStats& stats) {
+  using buchi::SymbolicNba;
+  const FormulaId root = arena.nnf(f);
+  Tableau tableau(arena, root);
+  const auto& nodes = tableau.nodes();
+  const int num_nodes = static_cast<int>(nodes.size());
+
+  std::set<FormulaId> untils;
+  for (const auto& node : nodes) {
+    for (FormulaId g : node.old) {
+      if (arena.node(g).op == Op::kUntil) untils.insert(g);
+    }
+    for (FormulaId g : node.next) {
+      if (arena.node(g).op == Op::kUntil) untils.insert(g);
+    }
+  }
+  const std::vector<FormulaId> until_list(untils.begin(), untils.end());
+  const int k = std::max<int>(1, static_cast<int>(until_list.size()));
+
+  const auto in_acceptance_set = [&](int node_id, int set_index) {
+    if (until_list.empty()) return true;
+    const FormulaId u = until_list[set_index];
+    const auto& old = nodes[node_id].old;
+    return old.count(u) == 0 || old.count(arena.node(u).rhs) != 0;
+  };
+
+  const auto state_id = [&](int node_id, int counter) { return node_id * k + counter; };
+  const buchi::State initial = num_nodes * k;
+  SymbolicNba out(arena.alphabet(), nullptr, num_nodes * k + 1, initial);
+  words::CubeStore& store = *out.store();
+
+  std::vector<words::LabelId> label_of(num_nodes);
+  for (int b = 0; b < num_nodes; ++b) label_of[b] = node_cube(arena, nodes[b].old, store);
+
+  for (int b = 0; b < num_nodes; ++b) {
+    if (in_acceptance_set(b, 0)) out.set_accepting(state_id(b, 0), true);
+  }
+
+  const auto next_counter = [&](int node_id, int counter) {
+    return in_acceptance_set(node_id, counter) ? (counter + 1) % k : counter;
+  };
+
+  for (int b = 0; b < num_nodes; ++b) {
+    for (int source : nodes[b].incoming) {
+      if (source == kInit) {
+        out.add_edge(initial, label_of[b], state_id(b, 0));
+      } else {
+        for (int counter = 0; counter < k; ++counter) {
+          out.add_edge(state_id(source, counter), label_of[b],
+                       state_id(b, next_counter(source, counter)));
+        }
+      }
+    }
+  }
+
+  buchi::SymbolicNba trimmed = out.trim();
+  stats.tableau_nodes = num_nodes;
+  stats.acceptance_sets = static_cast<int>(until_list.size());
+  stats.nba_states = trimmed.num_states();
+  stats.nba_transitions = trimmed.num_edges();
+  return trimmed;
+}
+
 }  // namespace
 
 Nba to_nba(LtlArena& arena, FormulaId f) { return to_nba(arena, f, nullptr); }
@@ -288,6 +376,36 @@ Nba to_nba(LtlArena& arena, FormulaId f, TranslationStats* stats) {
                                        Nba nba = translate_uncached(arena, f, computed);
                                        return std::make_pair(std::move(nba), computed);
                                      });
+  if (stats != nullptr) *stats = result.second;
+  return std::move(result.first);
+}
+
+buchi::SymbolicNba to_nba_symbolic(LtlArena& arena, FormulaId f) {
+  return to_nba_symbolic(arena, f, nullptr);
+}
+
+buchi::SymbolicNba to_nba_symbolic(LtlArena& arena, FormulaId f,
+                                   TranslationStats* stats) {
+  SLAT_ASSERT_MSG(arena.alphabet().ap_backed(),
+                  "symbolic translation needs an AP-backed alphabet");
+  if (words::alphabet_backend() == words::AlphabetBackend::kExplicit) {
+    // Differential oracle: the explicit translation over all 2^k letters,
+    // lifted to single-letter cubes. Small k only, by construction.
+    return buchi::SymbolicNba::from_explicit(to_nba(arena, f, stats));
+  }
+  static core::MemoCache<std::pair<buchi::SymbolicNba, TranslationStats>>& cache =
+      *new core::MemoCache<std::pair<buchi::SymbolicNba, TranslationStats>>(
+          "ltl.to_nba_symbolic");
+  auto result = cache.get_or_compute(
+      core::DigestBuilder()
+          .add_string("to_nba_symbolic")
+          .add_digest(formula_fingerprint(arena, f))
+          .digest(),
+      [&] {
+        TranslationStats computed{};
+        buchi::SymbolicNba nba = translate_symbolic_uncached(arena, f, computed);
+        return std::make_pair(std::move(nba), computed);
+      });
   if (stats != nullptr) *stats = result.second;
   return std::move(result.first);
 }

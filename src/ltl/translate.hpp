@@ -9,6 +9,7 @@
 #pragma once
 
 #include "buchi/nba.hpp"
+#include "buchi/symbolic.hpp"
 #include "ltl/formula.hpp"
 
 namespace slat::ltl {
@@ -21,9 +22,21 @@ struct TranslationStats {
   int tableau_nodes = 0;   ///< nodes of the generalized automaton
   int acceptance_sets = 0; ///< number of Untils
   int nba_states = 0;      ///< states after degeneralization
-  int nba_transitions = 0;
+  int nba_transitions = 0; ///< explicit letter edges / symbolic cube edges
 };
 
 buchi::Nba to_nba(LtlArena& arena, FormulaId f, TranslationStats* stats);
+
+/// Symbolic translation, for AP-backed arenas only: the tableau is the
+/// same, but each node's literal set becomes ONE cube (must-true = its
+/// positive atoms, must-false = its negated atoms) instead of the O(2^k)
+/// per-letter loop of `satisfying_symbols` — translation cost is
+/// independent of the AP count. Honors SLAT_ALPHABET: the explicit oracle
+/// runs to_nba over the 2^k letters and lifts the result, so
+/// `expand()` of either backend's output is bit-identical (pinned by the
+/// symbolic.explicit_agreement qc property).
+buchi::SymbolicNba to_nba_symbolic(LtlArena& arena, FormulaId f);
+buchi::SymbolicNba to_nba_symbolic(LtlArena& arena, FormulaId f,
+                                   TranslationStats* stats);
 
 }  // namespace slat::ltl

@@ -45,7 +45,10 @@ Gen<words::UpWord> arbitrary_up_word(const UpWordDomain& domain) {
 }
 
 ltl::FormulaId random_formula(ltl::LtlArena& arena, int max_depth, std::mt19937& rng) {
-  const int sigma = arena.alphabet().size();
+  // Atom payloads range over letters (explicit) or propositions (AP-backed)
+  // — over a 2^k alphabet, drawing from `size()` would both skew the
+  // leaf-kind mix and hand out-of-range atoms to the arena.
+  const int sigma = arena.alphabet().atom_range();
   if (max_depth <= 0) {
     switch (pick_int(rng, 0, sigma + 1)) {
       case 0:

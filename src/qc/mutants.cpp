@@ -20,6 +20,7 @@
 #include "rabin/rabin_tree_automaton.hpp"
 #include "trees/ctl.hpp"
 #include "trees/ktree.hpp"
+#include "words/cube.hpp"
 #include "words/up_word.hpp"
 
 namespace slat::qc {
@@ -259,6 +260,55 @@ bool kill_csr_unsorted_slice() {
   mutant.add_transition(2, 0, 2);
   return !(buchi::fingerprint(mutant) == buchi::fingerprint(b)) &&
          buchi::is_equivalent(mutant, b);
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic cube backend (PR9)
+// ---------------------------------------------------------------------------
+
+// A cube is {must_true, must_false}; a mutant that reads the polarity
+// masks swapped inverts the literal set of every constrained AP. The
+// letter-expansion semantics (what the explicit-agreement property checks
+// after expansion) sees the difference on any asymmetric cube.
+bool kill_cube_flipped_polarity() {
+  words::CubeStore store(3);
+  const words::LabelId label = store.cube(0b001, 0b010);  // p ∧ ¬q
+  const auto correct = store.expand_letters(label);
+  // Mutant match: the polarity bit flipped — must_true letters read as
+  // must_false and vice versa.
+  std::vector<words::Sym> mutant;
+  for (words::Sym v = 0; v < 8; ++v) {
+    const bool matches_flipped = (v & 0b001) == 0 && (v & 0b010) == 0b010;
+    if (matches_flipped) mutant.push_back(v);
+  }
+  const std::vector<words::Sym> correct_vec(correct.begin(), correct.end());
+  return mutant != correct_vec;
+}
+
+// Hash-consing is the store's load-bearing contract: structurally equal
+// labels MUST be id-equal, because the algebra memos, refine's duplicate
+// skipping and the "same id ⇒ same language" fast path all key on ids. A
+// mutant that interns without the dedup lookup hands out fresh ids for
+// equal cubes, so id equality stops implying structural equality.
+bool kill_cube_dropped_dedup() {
+  words::CubeStore store(3);
+  const words::LabelId a = store.cube(0b001, 0b100);
+  const words::LabelId b = store.cube(0b001, 0b100);
+  const std::uint64_t interned_before = store.stats().interned_labels;
+  const words::LabelId c = store.cube(0b001, 0b100);
+  const bool real_contract =
+      a == b && b == c && store.stats().interned_labels == interned_before;
+  // Mutant intern: append without consulting the index — every call is a
+  // fresh node, so equal structures get distinct ids.
+  std::vector<std::vector<words::Cube>> mutant_nodes;
+  const auto mutant_intern = [&](std::vector<words::Cube> cubes) {
+    mutant_nodes.push_back(std::move(cubes));
+    return static_cast<words::LabelId>(mutant_nodes.size()) - 1;
+  };
+  const words::LabelId ma = mutant_intern({words::Cube{0b001, 0b100}});
+  const words::LabelId mb = mutant_intern({words::Cube{0b001, 0b100}});
+  const bool mutant_breaks = ma != mb && mutant_nodes[ma] == mutant_nodes[mb];
+  return real_contract && mutant_breaks;
 }
 
 // ---------------------------------------------------------------------------
@@ -565,6 +615,13 @@ const std::vector<Mutant>& mutants() {
       {"buchi.csr.unsorted_slice", "buchi",
        "PR6 CSR layout: first-insertion slice order is structural content",
        kill_csr_unsorted_slice},
+      // Symbolic cube backend
+      {"words.cube.flipped_polarity", "words",
+       "PR9 cube semantics: must_true vs must_false polarity",
+       kill_cube_flipped_polarity},
+      {"words.cube.dropped_dedup", "words",
+       "PR9 hash-consing: structural equality ⇔ id equality",
+       kill_cube_dropped_dedup},
       // LTL pipeline
       {"ltl.translate.until_as_weak", "ltl",
        "the Until eventuality obligation in the tableau", kill_translate_until_as_weak},

@@ -7,6 +7,7 @@
 #include "buchi/language.hpp"
 #include "buchi/nba.hpp"
 #include "buchi/safety.hpp"
+#include "buchi/symbolic.hpp"
 #include "core/memo_cache.hpp"
 #include "core/thread_pool.hpp"
 #include "lattice/closure.hpp"
@@ -308,6 +309,53 @@ PropertyResult syntactic_fragment_sound(std::uint64_t trial_seed) {
   if (holds(f)) return ok();
   return formula_failure(arena, f, "syntactically-safe formula is not semantically safe",
                          holds);
+}
+
+// --- Words/Büchi: the symbolic cube backend (PR9) --------------------------
+
+PropertyResult symbolic_explicit_agreement(std::uint64_t trial_seed) {
+  // The cube backend is a pure representation change: translation, safety
+  // closure and the inclusion engine must agree BIT-identically with the
+  // explicit pipeline after cube expansion — same fingerprints, same
+  // verdicts, same witness words — and stay deterministic across worker
+  // counts. Caches are disabled inside the trial so the 1- and 4-thread
+  // runs both do real work.
+  std::mt19937 rng = make_rng(trial_seed);
+  ltl::LtlArena arena(words::Alphabet::of_aps({"p", "q", "r"}));
+  const ltl::FormulaId f = random_formula(arena, 3, rng);
+  const ltl::FormulaId g = random_formula(arena, 3, rng);
+  const bool cache_was_enabled = core::cache_enabled();
+  core::set_cache_enabled(false);
+  const int threads_before = core::ThreadPool::global().num_threads();
+  const auto holds = [&](ltl::FormulaId lhs) {
+    const Nba el = ltl::to_nba(arena, lhs);
+    const Nba eg = ltl::to_nba(arena, g);
+    const buchi::SymbolicNba sl = ltl::to_nba_symbolic(arena, lhs);
+    const buchi::SymbolicNba sg = ltl::to_nba_symbolic(arena, g);
+    if (!(buchi::fingerprint(sl.expand()) == buchi::fingerprint(el))) return false;
+    if (!(buchi::fingerprint(buchi::safety_closure(sl).expand()) ==
+          buchi::fingerprint(buchi::safety_closure(el)))) {
+      return false;
+    }
+    const buchi::InclusionResult expl = buchi::check_inclusion(el, eg);
+    for (const int threads : {1, 4}) {
+      core::set_num_threads(threads);
+      const buchi::InclusionResult symbolic = buchi::check_inclusion(sl, sg);
+      if (symbolic.included != expl.included ||
+          symbolic.counterexample != expl.counterexample) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const std::string law =
+      "symbolic backend diverged from the explicit pipeline (vs fixed rhs: " +
+      arena.to_string(g) + ")";
+  PropertyResult result =
+      holds(f) ? ok() : formula_failure(arena, f, law.c_str(), holds);
+  core::set_num_threads(threads_before);
+  core::set_cache_enabled(cache_was_enabled);
+  return result;
 }
 
 // --- Lattice: closure laws and the §3 theorems ----------------------------
@@ -666,6 +714,8 @@ const std::vector<Property>& properties() {
        translate_agrees_with_evaluator},
       {"ltl.negation.complement", "§2.2 (semantics)", 2, negation_complements},
       {"ltl.syntactic.sound", "§1 (Sistla's fragments)", 2, syntactic_fragment_sound},
+      {"symbolic.explicit_agreement", "PR9 cube backend vs explicit oracle", 2,
+       symbolic_explicit_agreement},
       {"lattice.closure.roundtrip", "§3 (closure definition)", 3, closure_roundtrip},
       {"lattice.theorem3", "Theorem 3", 3, theorem3_decomposes},
       {"lattice.theorems5to7", "Theorems 5–7", 2, theorems5to7_hold},

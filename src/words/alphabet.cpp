@@ -1,18 +1,28 @@
 #include "words/alphabet.hpp"
 
-#include <algorithm>
-
 #include "common/assert.hpp"
 
 namespace slat::words {
 
+namespace {
+
+std::shared_ptr<const std::unordered_map<std::string, Sym>> build_index(
+    const std::vector<std::string>& names) {
+  auto index = std::make_shared<std::unordered_map<std::string, Sym>>();
+  index->reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const bool inserted = index->emplace(names[i], static_cast<Sym>(i)).second;
+    SLAT_ASSERT_MSG(inserted, "alphabet names must be distinct");
+  }
+  return index;
+}
+
+}  // namespace
+
 Alphabet::Alphabet(std::vector<std::string> names) : names_(std::move(names)) {
   SLAT_ASSERT_MSG(!names_.empty(), "alphabet must be non-empty");
-  for (std::size_t i = 0; i < names_.size(); ++i) {
-    for (std::size_t j = i + 1; j < names_.size(); ++j) {
-      SLAT_ASSERT_MSG(names_[i] != names_[j], "alphabet names must be distinct");
-    }
-  }
+  size_ = static_cast<int>(names_.size());
+  index_ = build_index(names_);  // also enforces distinctness, in O(n)
 }
 
 Alphabet Alphabet::binary() { return Alphabet({"a", "b"}); }
@@ -25,15 +35,69 @@ Alphabet Alphabet::of_size(int n) {
   return Alphabet(std::move(names));
 }
 
+Alphabet Alphabet::of_aps(std::vector<std::string> aps) {
+  SLAT_ASSERT_MSG(!aps.empty(), "AP alphabet needs at least one proposition");
+  SLAT_ASSERT_MSG(aps.size() <= 24, "AP count above the 2^24-letter ceiling");
+  Alphabet out;
+  out.aps_ = std::move(aps);
+  out.size_ = 1 << out.aps_.size();
+  out.index_ = build_index(out.aps_);  // AP-name index; also distinctness
+  out.lazy_names_ = std::make_shared<LazyNames>();
+  return out;
+}
+
 const std::string& Alphabet::name(Sym s) const {
   SLAT_ASSERT(s >= 0 && s < size());
-  return names_[s];
+  if (!ap_backed()) return names_[s];
+  // Render "v" + bits (AP k-1 down to 0) on first request; cached so the
+  // const-reference contract holds. Never called in bulk by the symbolic
+  // pipeline — digests and cubes both avoid letter names.
+  std::lock_guard<std::mutex> lock(lazy_names_->mutex);
+  auto it = lazy_names_->cache.find(s);
+  if (it == lazy_names_->cache.end()) {
+    std::string rendered = "v";
+    for (int j = ap_count() - 1; j >= 0; --j) {
+      rendered += ((static_cast<std::uint32_t>(s) >> j) & 1) != 0 ? '1' : '0';
+    }
+    it = lazy_names_->cache.emplace(s, std::move(rendered)).first;
+  }
+  return it->second;
 }
 
 std::optional<Sym> Alphabet::index_of(std::string_view name) const {
-  const auto it = std::find(names_.begin(), names_.end(), name);
-  if (it == names_.end()) return std::nullopt;
-  return static_cast<Sym>(it - names_.begin());
+  if (ap_backed()) {
+    // Parse the "v<bits>" rendering back to the valuation letter.
+    if (name.size() != static_cast<std::size_t>(ap_count()) + 1 || name[0] != 'v') {
+      return std::nullopt;
+    }
+    Sym v = 0;
+    for (int j = 0; j < ap_count(); ++j) {
+      const char c = name[1 + ap_count() - 1 - j];
+      if (c != '0' && c != '1') return std::nullopt;
+      if (c == '1') v |= 1 << j;
+    }
+    return v;
+  }
+  const auto it = index_->find(std::string(name));
+  if (it == index_->end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Alphabet::atom_name(int a) const {
+  if (ap_backed()) {
+    SLAT_ASSERT(a >= 0 && a < ap_count());
+    return aps_[a];
+  }
+  return name(a);
+}
+
+std::optional<int> Alphabet::atom_index_of(std::string_view name) const {
+  if (ap_backed()) {
+    const auto it = index_->find(std::string(name));
+    if (it == index_->end()) return std::nullopt;
+    return it->second;
+  }
+  return index_of(name);
 }
 
 }  // namespace slat::words

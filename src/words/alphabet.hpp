@@ -3,12 +3,27 @@
 // A symbol is a dense index into an Alphabet; the Alphabet maps indices to
 // human-readable names. Automata store only indices, so symbol comparisons
 // are integer comparisons and transition tables are arrays.
+//
+// Two flavors exist:
+//   * explicit alphabets — a vector of named letters, as always. Name
+//     lookup is backed by a hash index built once in the constructor
+//     (the seed-era linear scan made every resolve-all-names caller
+//     quadratic).
+//   * AP-backed alphabets (of_aps) — the 2^k valuations of k atomic
+//     propositions. Letter i encodes the valuation whose bit j is the truth
+//     of AP j. Letter NAMES are never materialized up front (2^k of them);
+//     name(s) renders "v" + the valuation bits lazily through a shared
+//     cache, so the const-reference signature survives. These alphabets
+//     carry the symbolic cube backend (words/cube.hpp, buchi/symbolic.hpp).
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace slat::words {
@@ -29,14 +44,77 @@ class Alphabet {
   /// An alphabet {s0, s1, ..., s(n-1)}.
   static Alphabet of_size(int n);
 
-  int size() const { return static_cast<int>(names_.size()); }
+  /// The 2^k-letter alphabet of valuations over atomic propositions `aps`
+  /// (non-empty, distinct, k ≤ 24 so letters fit Sym with headroom). Letter
+  /// i ⊨ AP j iff bit j of i is set.
+  static Alphabet of_aps(std::vector<std::string> aps);
+
+  int size() const { return size_; }
   const std::string& name(Sym s) const;
   std::optional<Sym> index_of(std::string_view name) const;
 
-  bool operator==(const Alphabet& other) const { return names_ == other.names_; }
+  /// Is this a 2^AP valuation alphabet?
+  bool ap_backed() const { return !aps_.empty(); }
+  int ap_count() const { return static_cast<int>(aps_.size()); }
+  const std::vector<std::string>& aps() const { return aps_; }
+
+  /// Range of the atom payload in LTL formulas over this alphabet: AP index
+  /// for AP-backed alphabets, letter index otherwise (the seed-era one-hot
+  /// convention, kept for every explicit alphabet).
+  int atom_range() const { return ap_backed() ? ap_count() : size(); }
+  /// The name of atom index `a` (AP name or letter name).
+  const std::string& atom_name(int a) const;
+  /// Resolves an atom name (AP name or letter name).
+  std::optional<int> atom_index_of(std::string_view name) const;
+  /// Does letter `s` satisfy atom `a`? Bit test for AP-backed alphabets,
+  /// letter equality (one-hot) for explicit ones. This single predicate is
+  /// what keeps the evaluator, the tableau literal loop and the explicit
+  /// oracle in agreement across both flavors.
+  bool letter_satisfies_atom(Sym s, int a) const {
+    return ap_backed() ? ((static_cast<std::uint32_t>(s) >> a) & 1) != 0 : s == a;
+  }
+
+  bool operator==(const Alphabet& other) const {
+    return aps_ == other.aps_ && names_ == other.names_;
+  }
 
  private:
-  std::vector<std::string> names_;
+  struct LazyNames {
+    std::mutex mutex;
+    std::unordered_map<Sym, std::string> cache;
+  };
+
+  Alphabet() = default;
+
+  std::vector<std::string> names_;  // empty iff AP-backed
+  std::vector<std::string> aps_;    // empty iff explicit
+  int size_ = 0;
+  /// Hash index over names_ (explicit) or aps_ (AP-backed); shared so
+  /// copies stay cheap — the underlying maps are immutable after
+  /// construction.
+  std::shared_ptr<const std::unordered_map<std::string, Sym>> index_;
+  /// Lazily rendered letter names for AP-backed alphabets; shared and
+  /// mutex-guarded (unordered_map references are node-stable, so handing
+  /// out const references is safe).
+  std::shared_ptr<LazyNames> lazy_names_;
 };
+
+/// Streams the alphabet into any DigestBuilder-shaped sink. For explicit
+/// alphabets the byte sequence is EXACTLY the seed-era encoding (size, then
+/// every name) — pinned by cache_equivalence_test, so memo-cache digests
+/// survive this refactor. AP-backed alphabets digest the AP list plus a
+/// backend tag in a disjoint domain (the leading int is negative; explicit
+/// alphabets always lead with size ≥ 1) without ever enumerating 2^k names.
+template <typename Builder>
+void digest_alphabet(Builder& b, const Alphabet& alphabet) {
+  if (alphabet.ap_backed()) {
+    b.add_int(-alphabet.ap_count());
+    b.add_string("2^AP");
+    for (const std::string& p : alphabet.aps()) b.add_string(p);
+    return;
+  }
+  b.add_int(alphabet.size());
+  for (Sym s = 0; s < alphabet.size(); ++s) b.add_string(alphabet.name(s));
+}
 
 }  // namespace slat::words

@@ -1,0 +1,353 @@
+#include "words/cube.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+namespace slat::words {
+
+namespace {
+
+// A cube c is subsumed by d (c ⊆ d as letter sets) iff d's constraints are a
+// subset of c's.
+bool subsumes(const Cube& d, const Cube& c) {
+  return (d.must_true & ~c.must_true) == 0 && (d.must_false & ~c.must_false) == 0;
+}
+
+bool contradictory(const Cube& c) { return (c.must_true & c.must_false) != 0; }
+
+}  // namespace
+
+CubeStore::CubeStore(int num_aps) : num_aps_(num_aps) {
+  SLAT_ASSERT_MSG(num_aps >= 1 && num_aps <= 31, "AP count outside [1, 31]");
+  ap_mask_ = static_cast<ApMask>((std::uint64_t{1} << num_aps) - 1);
+  not_memo_.reserve(64);
+  // Pin the two distinguished nodes at their published ids.
+  const LabelId empty = intern({});
+  const LabelId full = intern({Cube{0, 0}});
+  SLAT_ASSERT(empty == kEmptyLabel && full == kFullLabel);
+}
+
+std::span<const Cube> CubeStore::cubes(LabelId label) const {
+  SLAT_ASSERT(label >= 0 && static_cast<std::size_t>(label) < nodes_.size());
+  const std::vector<Cube>& c = nodes_[label].cubes;
+  return {c.data(), c.size()};
+}
+
+std::uint64_t CubeStore::hash_cubes(const std::vector<Cube>& cubes) {
+  // FNV-1a over the mask words; good enough since the index chains on
+  // collisions and confirms with a structural compare.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(cubes.size());
+  for (const Cube& c : cubes) {
+    mix(c.must_true);
+    mix(c.must_false);
+  }
+  return h;
+}
+
+LabelId CubeStore::intern(std::vector<Cube> normalized) {
+  const std::uint64_t h = hash_cubes(normalized);
+  std::vector<LabelId>& bucket = index_[h];
+  for (const LabelId id : bucket) {
+    if (nodes_[id].cubes == normalized) {
+      ++stats_.intern_hits;
+      return id;
+    }
+  }
+  const LabelId id = static_cast<LabelId>(nodes_.size());
+  nodes_.push_back(Node{std::move(normalized)});
+  bucket.push_back(id);
+  not_memo_.push_back(-1);
+  ++stats_.interned_labels;
+  return id;
+}
+
+LabelId CubeStore::make(std::vector<Cube> disjunction) {
+  // Normalize to canonical DNF: mask to the live APs, drop contradictions,
+  // sort, dedup, prune subsumed cubes. Any cube equal to the unconstrained
+  // cube absorbs everything (the pruning handles that as a special case of
+  // subsumption).
+  std::vector<Cube> cubes;
+  cubes.reserve(disjunction.size());
+  for (Cube c : disjunction) {
+    c.must_true &= ap_mask_;
+    c.must_false &= ap_mask_;
+    if (!contradictory(c)) cubes.push_back(c);
+  }
+  std::sort(cubes.begin(), cubes.end());
+  cubes.erase(std::unique(cubes.begin(), cubes.end()), cubes.end());
+  if (cubes.size() > 1) {
+    std::vector<Cube> kept;
+    kept.reserve(cubes.size());
+    for (std::size_t i = 0; i < cubes.size(); ++i) {
+      bool dominated = false;
+      for (std::size_t j = 0; j < cubes.size() && !dominated; ++j) {
+        if (i == j) continue;
+        // Strict subsumption, with index order as the tiebreak on equality
+        // (impossible after dedup) — so exactly one of two mutually
+        // subsuming cubes survives.
+        if (subsumes(cubes[j], cubes[i])) dominated = true;
+      }
+      if (!dominated) kept.push_back(cubes[i]);
+    }
+    cubes = std::move(kept);
+  }
+  return intern(std::move(cubes));
+}
+
+LabelId CubeStore::cube(ApMask must_true, ApMask must_false) {
+  return make({Cube{must_true, must_false}});
+}
+
+LabelId CubeStore::letter(Sym v) {
+  SLAT_ASSERT(v >= 0 && static_cast<std::uint64_t>(v) < num_letters());
+  const ApMask val = static_cast<ApMask>(v);
+  return cube(val, static_cast<ApMask>(~val) & ap_mask_);
+}
+
+LabelId CubeStore::import(const CubeStore& other, LabelId label) {
+  SLAT_ASSERT_MSG(other.num_aps_ == num_aps_, "import across AP arities");
+  const auto span = other.cubes(label);
+  return make(std::vector<Cube>(span.begin(), span.end()));
+}
+
+LabelId CubeStore::intersect(LabelId a, LabelId b) {
+  if (a == kEmptyLabel || b == kEmptyLabel) return kEmptyLabel;
+  if (a == kFullLabel) return b;
+  if (b == kFullLabel) return a;
+  if (a == b) return a;
+  // Commutative: canonicalize the memo key order.
+  if (a > b) std::swap(a, b);
+  const std::uint64_t key = pair_key(a, b);
+  if (const auto it = and_memo_.find(key); it != and_memo_.end()) {
+    ++stats_.memo_hits;
+    return it->second;
+  }
+  std::vector<Cube> out;
+  for (const Cube& x : cubes(a)) {
+    for (const Cube& y : cubes(b)) {
+      const Cube meet{x.must_true | y.must_true, x.must_false | y.must_false};
+      if (!contradictory(meet)) out.push_back(meet);
+    }
+  }
+  const LabelId result = make(std::move(out));
+  and_memo_.emplace(key, result);
+  return result;
+}
+
+LabelId CubeStore::unite(LabelId a, LabelId b) {
+  if (a == kEmptyLabel) return b;
+  if (b == kEmptyLabel) return a;
+  if (a == kFullLabel || b == kFullLabel) return kFullLabel;
+  if (a == b) return a;
+  if (a > b) std::swap(a, b);
+  const std::uint64_t key = pair_key(a, b);
+  if (const auto it = or_memo_.find(key); it != or_memo_.end()) {
+    ++stats_.memo_hits;
+    return it->second;
+  }
+  const auto ca = cubes(a);
+  const auto cb = cubes(b);
+  std::vector<Cube> out;
+  out.reserve(ca.size() + cb.size());
+  out.insert(out.end(), ca.begin(), ca.end());
+  out.insert(out.end(), cb.begin(), cb.end());
+  const LabelId result = make(std::move(out));
+  or_memo_.emplace(key, result);
+  return result;
+}
+
+LabelId CubeStore::complement(LabelId a) {
+  if (a == kEmptyLabel) return kFullLabel;
+  if (a == kFullLabel) return kEmptyLabel;
+  if (not_memo_[a] != -1) {
+    ++stats_.memo_hits;
+    return not_memo_[a];
+  }
+  // ¬(c1 ∨ … ∨ cn) = ¬c1 ∧ … ∧ ¬cn, where ¬cube is the union of one
+  // single-literal cube per fixed bit. Each step is memoized intersection,
+  // so repeated complements of structurally shared labels are cheap.
+  LabelId result = kFullLabel;
+  for (const Cube& c : cubes(a)) {
+    std::vector<Cube> lits;
+    for (int j = 0; j < num_aps_; ++j) {
+      const ApMask bit = ApMask{1} << j;
+      if (c.must_true & bit) lits.push_back(Cube{0, bit});
+      if (c.must_false & bit) lits.push_back(Cube{bit, 0});
+    }
+    result = intersect(result, make(std::move(lits)));
+    if (result == kEmptyLabel) break;
+  }
+  not_memo_[a] = result;
+  return result;
+}
+
+bool CubeStore::matches(LabelId label, Sym v) const {
+  const ApMask val = static_cast<ApMask>(v);
+  for (const Cube& c : cubes(label)) {
+    if ((val & c.must_true) == c.must_true && (val & c.must_false) == 0) return true;
+  }
+  return false;
+}
+
+Sym CubeStore::min_letter(LabelId label) const {
+  const auto span = cubes(label);
+  if (span.empty()) return -1;
+  ApMask best = ap_mask_;
+  bool found = false;
+  for (const Cube& c : span) {
+    // Free bits minimize at 0, so the least letter of a cube IS must_true.
+    if (!found || c.must_true < best) {
+      best = c.must_true;
+      found = true;
+    }
+  }
+  return static_cast<Sym>(best);
+}
+
+std::uint64_t CubeStore::count_letters(LabelId label) {
+  // Shannon counting: cofactor on AP j by SUBSTITUTION (the bit disappears
+  // from the cofactor's cubes), so |l| = |l[j:=1]| + |l[j:=0]| and the
+  // recursion strictly eliminates one AP per level. Single-cube labels
+  // close the recursion in O(1); intermediate cofactors are interned, so
+  // the memo works on canonical ids.
+  return count_from(label, 0);
+}
+
+std::uint64_t CubeStore::count_from(LabelId label, int next_ap) {
+  if (label == kEmptyLabel) return 0;
+  const auto span = cubes(label);
+  if (span.size() == 1) {
+    // Invariant: at depth j every cube constrains APs ≥ j only.
+    const int fixed = std::popcount(span[0].must_true | span[0].must_false);
+    return std::uint64_t{1} << (num_aps_ - next_ap - fixed);
+  }
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(label)) << 6) |
+      static_cast<std::uint32_t>(next_ap);
+  if (const auto it = count_memo_.find(key); it != count_memo_.end()) {
+    return it->second;
+  }
+  const ApMask bit = ApMask{1} << next_ap;
+  std::vector<Cube> pos, neg;
+  pos.reserve(span.size());
+  neg.reserve(span.size());
+  for (const Cube& c : span) {
+    if (c.must_true & bit) {
+      pos.push_back(Cube{c.must_true & ~bit, c.must_false});
+    } else if (c.must_false & bit) {
+      neg.push_back(Cube{c.must_true, c.must_false & ~bit});
+    } else {
+      pos.push_back(c);
+      neg.push_back(c);
+    }
+  }
+  const std::uint64_t total = count_from(make(std::move(pos)), next_ap + 1) +
+                              count_from(make(std::move(neg)), next_ap + 1);
+  count_memo_.emplace(key, total);
+  return total;
+}
+
+std::vector<Sym> CubeStore::expand_letters(LabelId label) {
+  SLAT_ASSERT_MSG(num_aps_ <= kMaxExplicitAps,
+                  "letter materialization requested above the explicit cap");
+  // Enumerate each cube's letters by stepping through the subsets of its
+  // free bits, then sort + dedup across overlapping cubes.
+  std::vector<Sym> out;
+  for (const Cube& c : cubes(label)) {
+    const ApMask fixed = c.must_true | c.must_false;
+    const ApMask free = ap_mask_ & ~fixed;
+    ApMask sub = 0;
+    while (true) {
+      out.push_back(static_cast<Sym>(c.must_true | sub));
+      if (sub == free) break;
+      sub = (sub - free) & free;  // next subset of `free` in ascending order
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  stats_.expanded_letters += out.size();
+  return out;
+}
+
+std::vector<LabelId> CubeStore::refine(std::span<const LabelId> labels) {
+  // Start from the trivial partition {Σ} and split every block against every
+  // distinct input label: B ↦ {B ∧ L, B ∧ ¬L} (empty halves dropped). The
+  // result is the coarsest partition refining every label. Determinism:
+  // blocks are re-sorted by min letter, which is a total order because the
+  // blocks are disjoint and non-empty.
+  std::vector<LabelId> blocks{kFullLabel};
+  std::vector<LabelId> seen;
+  for (const LabelId label : labels) {
+    if (label == kEmptyLabel || label == kFullLabel) continue;
+    if (std::find(seen.begin(), seen.end(), label) != seen.end()) continue;
+    seen.push_back(label);
+    const LabelId negation = complement(label);
+    std::vector<LabelId> next;
+    next.reserve(blocks.size() * 2);
+    for (const LabelId block : blocks) {
+      const LabelId inside = intersect(block, label);
+      const LabelId outside = intersect(block, negation);
+      if (inside != kEmptyLabel) next.push_back(inside);
+      if (outside != kEmptyLabel) next.push_back(outside);
+    }
+    blocks = std::move(next);
+  }
+  std::sort(blocks.begin(), blocks.end(), [this](LabelId a, LabelId b) {
+    return min_letter(a) < min_letter(b);
+  });
+  return blocks;
+}
+
+std::string CubeStore::to_string(LabelId label, const Alphabet& alphabet) const {
+  if (label == kEmptyLabel) return "false";
+  if (label == kFullLabel) return "true";
+  std::string out;
+  for (const Cube& c : cubes(label)) {
+    if (!out.empty()) out += " | ";
+    out += "{";
+    bool first = true;
+    for (int j = 0; j < num_aps_; ++j) {
+      const ApMask bit = ApMask{1} << j;
+      if ((c.must_true & bit) == 0 && (c.must_false & bit) == 0) continue;
+      if (!first) out += " ";
+      first = false;
+      if (c.must_false & bit) out += "!";
+      out += alphabet.ap_backed() ? alphabet.aps()[j] : std::to_string(j);
+    }
+    out += "}";
+  }
+  return out;
+}
+
+namespace {
+
+std::atomic<AlphabetBackend>& alphabet_backend_flag() {
+  static std::atomic<AlphabetBackend> backend = [] {
+    const char* env = std::getenv("SLAT_ALPHABET");
+    if (env != nullptr && std::strcmp(env, "explicit") == 0) {
+      return AlphabetBackend::kExplicit;
+    }
+    return AlphabetBackend::kSymbolic;
+  }();
+  return backend;
+}
+
+}  // namespace
+
+AlphabetBackend alphabet_backend() {
+  return alphabet_backend_flag().load(std::memory_order_relaxed);
+}
+
+void set_alphabet_backend(AlphabetBackend backend) {
+  alphabet_backend_flag().store(backend, std::memory_order_relaxed);
+}
+
+}  // namespace slat::words

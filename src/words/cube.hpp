@@ -1,0 +1,204 @@
+// Symbolic edge labels over 2^AP alphabets (the ROADMAP "symbolic alphabet
+// backend").
+//
+// A letter of an AP-backed alphabet is a valuation of k atomic propositions
+// (bit j of the letter = truth of AP j). A label is a CUBE — a pair of
+// must-true / must-false bitmasks — or a small disjunction of cubes
+// (canonical DNF), and denotes the set of letters consistent with one of its
+// cubes. One cube built from a tableau node's literal set replaces the
+// O(2^k) per-letter loop of the explicit backend.
+//
+// Labels live in a CubeStore, a hash-consed shared node store after the
+// CBMC `irept` idiom (SNIPPETS.md snippet 3): every label is interned once
+// into a refcount-free arena of immutable nodes and addressed by a dense
+// LabelId, so structural equality is id equality (the moral equivalent of
+// irept's pointer equality) and the algebra (intersection, union,
+// complement) is memoized on id pairs. "Copy-on-write" here degenerates to
+// the cheapest possible form: nodes are never mutated after interning, a
+// label copy is an integer copy, and every derived label is a fresh intern
+// that shares the store — see DESIGN §9 for the invariants.
+//
+// The store also computes the MINTERM PARTITION of a set of labels: the
+// coarsest partition of the 2^k letters such that every input label is a
+// union of blocks. The condensed automata (buchi/symbolic.hpp) run every
+// explicit algorithm over the handful of blocks instead of 2^k letters.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "words/alphabet.hpp"
+
+namespace slat::words {
+
+/// A valuation bitmask over atomic propositions (AP j ↔ bit j). 32 APs is
+/// far beyond what any explicit structure could ever enumerate.
+using ApMask = std::uint32_t;
+
+/// One cube: the letters v with v ⊇ must_true and v ∩ must_false = ∅.
+/// Contradictory cubes (overlapping masks) denote ∅ and are normalized away.
+struct Cube {
+  ApMask must_true = 0;
+  ApMask must_false = 0;
+
+  friend bool operator==(const Cube&, const Cube&) = default;
+  friend auto operator<=>(const Cube&, const Cube&) = default;
+};
+
+/// A label: index of an interned canonical-DNF node in a CubeStore. Ids are
+/// dense and store-local; equal ids ⇔ structurally equal labels.
+using LabelId = std::int32_t;
+
+/// The empty label (∅, zero cubes) — always id 0 in every store.
+inline constexpr LabelId kEmptyLabel = 0;
+/// The full label (Σ, the single unconstrained cube) — always id 1.
+inline constexpr LabelId kFullLabel = 1;
+
+/// Hash-consed store of DNF labels over a fixed number of APs, with
+/// memoized algebra. Not thread-safe for mutation: like LtlArena, a store
+/// belongs to one pipeline; concurrent READS of interned nodes are fine
+/// because nodes are immutable once published.
+class CubeStore {
+ public:
+  explicit CubeStore(int num_aps);
+
+  int num_aps() const { return num_aps_; }
+  /// Number of letters 2^k, as a 64-bit count (k ≤ 32 would overflow Sym).
+  std::uint64_t num_letters() const { return std::uint64_t{1} << num_aps_; }
+
+  /// The cubes of a label, sorted and subsumption-free (empty span = ∅).
+  std::span<const Cube> cubes(LabelId label) const;
+
+  /// Interns the single-cube label {must_true, must_false}; contradictory
+  /// masks yield kEmptyLabel.
+  LabelId cube(ApMask must_true, ApMask must_false);
+  /// The one-letter label of valuation v (a full cube fixing every AP).
+  LabelId letter(Sym v);
+  /// Interns an arbitrary disjunction after normalization (sort, dedup,
+  /// subsumption pruning, contradiction dropping).
+  LabelId make(std::vector<Cube> disjunction);
+  /// Re-interns a label of another store (same num_aps) into this one.
+  LabelId import(const CubeStore& other, LabelId label);
+
+  /// Memoized algebra. Results are canonical labels of this store.
+  LabelId intersect(LabelId a, LabelId b);
+  LabelId unite(LabelId a, LabelId b);
+  LabelId complement(LabelId a);
+
+  bool is_empty(LabelId label) const { return label == kEmptyLabel; }
+  /// Syntactic fullness (the unconstrained cube). A semantically full DNF
+  /// like p ∨ ¬p stays multi-cube; use complement() == kEmptyLabel for the
+  /// semantic test.
+  bool is_full(LabelId label) const { return label == kFullLabel; }
+
+  /// Does letter v satisfy the label?
+  bool matches(LabelId label, Sym v) const;
+  /// The smallest letter in the label, or -1 for ∅. The min letter of a
+  /// cube is its must_true mask (free bits contribute 0); of a DNF, the min
+  /// over its cubes. Condensed automata use it as the canonical
+  /// representative, which is what makes symbolic witnesses bit-identical
+  /// to explicit ones (the explicit per-letter loops run in ascending
+  /// letter order, so the first letter they see of any block is its min).
+  Sym min_letter(LabelId label) const;
+  /// Number of letters the label denotes (inclusion–exclusion-free: counts
+  /// via the minterm split, so it is exact for overlapping cubes).
+  std::uint64_t count_letters(LabelId label);
+
+  /// The label's letters in ascending order. This MATERIALIZES letters —
+  /// only the explicit oracle and small-k differential tests may call it;
+  /// guarded to k ≤ kMaxExplicitAps.
+  std::vector<Sym> expand_letters(LabelId label);
+
+  /// Largest k for which letter materialization (expand_letters, and
+  /// Nba expansion built on it) is permitted.
+  static constexpr int kMaxExplicitAps = 20;
+
+  /// The minterm partition generated by `labels`: disjoint, jointly
+  /// exhaustive labels, each either inside or outside every input label,
+  /// sorted by min letter. Deterministic in the SET of distinct input
+  /// labels (duplicates are skipped by id — hash-consing makes that a
+  /// structural dedup).
+  std::vector<LabelId> refine(std::span<const LabelId> labels);
+
+  /// Wear counters, for benches and the qc contract properties.
+  struct Stats {
+    std::uint64_t interned_labels = 0;   ///< distinct nodes ever created
+    std::uint64_t intern_hits = 0;       ///< make() calls answered by dedup
+    std::uint64_t memo_hits = 0;         ///< algebra answered from memo
+    std::uint64_t expanded_letters = 0;  ///< letters materialized (oracle only)
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::size_t num_labels() const { return nodes_.size(); }
+
+  /// Human-readable DNF over AP names ("{p !q} | {r}", "false", "true").
+  std::string to_string(LabelId label, const Alphabet& alphabet) const;
+
+ private:
+  LabelId intern(std::vector<Cube> normalized);
+  /// Shannon counting by substitution cofactors on APs [next_ap, k).
+  std::uint64_t count_from(LabelId label, int next_ap);
+  static std::uint64_t hash_cubes(const std::vector<Cube>& cubes);
+  static std::uint64_t pair_key(LabelId a, LabelId b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  }
+
+  int num_aps_;
+  ApMask ap_mask_;  // low num_aps_ bits set
+
+  /// The shared node arena. Nodes are immutable after push_back; spans into
+  /// a node's cube vector stay valid because the vectors themselves never
+  /// reallocate post-intern (only nodes_ does, and it holds the vectors by
+  /// value — the heap buffers don't move).
+  struct Node {
+    std::vector<Cube> cubes;
+  };
+  std::vector<Node> nodes_;
+  /// Hash-consing index: cube-vector hash → candidate ids (open chaining on
+  /// the rare hash collision).
+  std::unordered_map<std::uint64_t, std::vector<LabelId>> index_;
+
+  /// Operation memos keyed on node identity (valid precisely because ids
+  /// are canonical).
+  std::unordered_map<std::uint64_t, LabelId> and_memo_;
+  std::unordered_map<std::uint64_t, LabelId> or_memo_;
+  std::vector<LabelId> not_memo_;  // indexed by LabelId; -1 = not computed
+  std::unordered_map<std::uint64_t, std::uint64_t> count_memo_;  // (id, depth)
+
+  Stats stats_;
+};
+
+/// Which letter backend the pipeline entry points use. The symbolic backend
+/// is the default; SLAT_ALPHABET=explicit (or the RAII scope below) routes
+/// every symbolic entry point through cube expansion + the explicit
+/// algorithms instead, as a differential oracle — exactly the PR4
+/// SLAT_INCLUSION pattern.
+enum class AlphabetBackend {
+  kSymbolic,  ///< condensed cube labels (default)
+  kExplicit,  ///< expand to 2^k letters, run the explicit pipeline (oracle)
+};
+
+AlphabetBackend alphabet_backend();
+void set_alphabet_backend(AlphabetBackend backend);
+
+/// RAII backend override for tests and benches.
+class AlphabetBackendScope {
+ public:
+  explicit AlphabetBackendScope(AlphabetBackend backend)
+      : previous_(alphabet_backend()) {
+    set_alphabet_backend(backend);
+  }
+  ~AlphabetBackendScope() { set_alphabet_backend(previous_); }
+  AlphabetBackendScope(const AlphabetBackendScope&) = delete;
+  AlphabetBackendScope& operator=(const AlphabetBackendScope&) = delete;
+
+ private:
+  AlphabetBackend previous_;
+};
+
+}  // namespace slat::words

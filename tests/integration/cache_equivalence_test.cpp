@@ -208,6 +208,40 @@ TEST_P(CacheEquivalence, LtlTranslationIsCachedAndStatsReplayExactly) {
   EXPECT_EQ(core::metrics().counter("cache.ltl.to_nba.hits").value(), hits_before + 1);
 }
 
+TEST_P(CacheEquivalence, ExplicitEraDigestsSurviveTheAlphabetRefactor) {
+  // PR9 satellite: digest_alphabet keeps the seed-era byte stream for
+  // explicit alphabets — entries written before the symbolic backend landed
+  // still collide with themselves — while AP-backed alphabets key into a
+  // DISJOINT digest domain even when they reuse the same atom names.
+  core::CacheEnabledScope enabled(true);
+  core::clear_all_caches();
+  core::metrics().reset_all();
+
+  core::Counter& hits = core::metrics().counter("cache.ltl.to_nba.hits");
+  core::Counter& misses = core::metrics().counter("cache.ltl.to_nba.misses");
+
+  ltl::LtlArena expl(words::Alphabet::binary());          // letters a, b
+  ltl::LtlArena ap(words::Alphabet::of_aps({"a", "b"}));  // APs a, b
+  const auto fe = expl.parse("G (a -> X b)");
+  const auto fa = ap.parse("G (a -> X b)");
+  ASSERT_TRUE(fe.has_value());
+  ASSERT_TRUE(fa.has_value());
+
+  (void)ltl::to_nba(expl, *fe);
+  EXPECT_EQ(misses.value(), 1u);
+  (void)ltl::to_nba(expl, *fe);  // same explicit-era key: hit
+  EXPECT_EQ(hits.value(), 1u);
+
+  // The SAME formula structure (same ops, same atom indices) over the
+  // AP-backed flavor: only the alphabet encoding distinguishes the cache
+  // keys, and it must — atom 0 means "letter == a" there, "AP a holds" here.
+  (void)ltl::to_nba(ap, *fa);
+  EXPECT_EQ(misses.value(), 2u);
+  EXPECT_EQ(hits.value(), 1u);
+  (void)ltl::to_nba(ap, *fa);
+  EXPECT_EQ(hits.value(), 2u);
+}
+
 // PR6: the content address must be independent of the container holding the
 // transition relation, or every memo-cache entry written before the CSR
 // migration would silently miss after it. The reference digest below feeds

@@ -1,0 +1,89 @@
+// Alphabet lookups (the hashed index_of) and the AP-backed 2^k flavor.
+#include "words/alphabet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/memo_cache.hpp"
+
+namespace slat::words {
+namespace {
+
+TEST(Alphabet, IndexOfReturnsTheSameSymbolsAsTheLinearScan) {
+  // Regression for the hashed index: lookup results (and the name ↔ index
+  // correspondence) are exactly the seed-era linear scan's.
+  const Alphabet a = Alphabet::of_size(50);
+  for (Sym s = 0; s < a.size(); ++s) {
+    EXPECT_EQ(a.name(s), "s" + std::to_string(s));
+    const auto found = a.index_of(a.name(s));
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, s);
+  }
+  EXPECT_FALSE(a.index_of("s50").has_value());
+  EXPECT_FALSE(a.index_of("").has_value());
+
+  const Alphabet b = Alphabet::binary();
+  EXPECT_EQ(b.index_of("a"), std::optional<Sym>(0));
+  EXPECT_EQ(b.index_of("b"), std::optional<Sym>(1));
+  EXPECT_FALSE(b.index_of("c").has_value());
+}
+
+TEST(Alphabet, ApBackedAlphabetEncodesValuations) {
+  const Alphabet a = Alphabet::of_aps({"p", "q", "r"});
+  EXPECT_TRUE(a.ap_backed());
+  EXPECT_EQ(a.ap_count(), 3);
+  EXPECT_EQ(a.size(), 8);
+  EXPECT_EQ(a.atom_range(), 3);
+  EXPECT_EQ(a.atom_name(0), "p");
+  EXPECT_EQ(a.atom_index_of("r"), std::optional<int>(2));
+  EXPECT_FALSE(a.atom_index_of("s").has_value());
+
+  // Letter 0b101 = {p, r}: bit j of the letter is the truth of AP j.
+  EXPECT_TRUE(a.letter_satisfies_atom(0b101, 0));
+  EXPECT_FALSE(a.letter_satisfies_atom(0b101, 1));
+  EXPECT_TRUE(a.letter_satisfies_atom(0b101, 2));
+
+  // Lazy names round-trip through index_of without materializing 2^k up
+  // front; rendering is MSB-first.
+  EXPECT_EQ(a.name(0b101), "v101");
+  EXPECT_EQ(a.index_of("v101"), std::optional<Sym>(0b101));
+  EXPECT_EQ(a.index_of("v000"), std::optional<Sym>(0));
+  EXPECT_FALSE(a.index_of("v10").has_value());
+  EXPECT_FALSE(a.index_of("p").has_value());
+
+  EXPECT_EQ(a, Alphabet::of_aps({"p", "q", "r"}));
+  EXPECT_FALSE(a == Alphabet::of_aps({"p", "q"}));
+  EXPECT_FALSE(a == Alphabet::of_size(8));
+}
+
+TEST(Alphabet, ExplicitDigestMatchesTheSeedEncoding) {
+  // digest_alphabet must keep the seed-era byte stream for explicit
+  // alphabets (memo-cache digests survive the refactor) ...
+  const Alphabet a = Alphabet::of_size(5);
+  core::DigestBuilder via_helper;
+  digest_alphabet(via_helper, a);
+  core::DigestBuilder seed_era;
+  seed_era.add_int(a.size());
+  for (Sym s = 0; s < a.size(); ++s) seed_era.add_string(a.name(s));
+  EXPECT_EQ(via_helper.digest(), seed_era.digest());
+}
+
+TEST(Alphabet, ApDigestIsDisjointFromExplicitAndNameFree) {
+  // ... while AP-backed alphabets digest the AP list in a disjoint domain,
+  // independent of how many letter names were lazily rendered.
+  const Alphabet ap = Alphabet::of_aps({"p", "q", "r"});
+  const Alphabet expl = Alphabet::of_size(8);
+
+  core::DigestBuilder b1, b2, b3;
+  digest_alphabet(b1, ap);
+  digest_alphabet(b2, expl);
+  EXPECT_NE(b1.digest(), b2.digest());
+
+  const Alphabet ap_again = Alphabet::of_aps({"p", "q", "r"});
+  (void)ap_again.name(3);  // render a few names first
+  (void)ap_again.name(7);
+  digest_alphabet(b3, ap_again);
+  EXPECT_EQ(b1.digest(), b3.digest());
+}
+
+}  // namespace
+}  // namespace slat::words

@@ -1,0 +1,189 @@
+// The cube-label store: hash-consing contract, algebra laws against the
+// letter-set semantics, and the minterm refinement. Small k throughout so
+// every law can be checked against exhaustive expansion.
+#include "words/cube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+namespace slat::words {
+namespace {
+
+std::set<Sym> letters(CubeStore& store, LabelId label) {
+  const auto v = store.expand_letters(label);
+  return std::set<Sym>(v.begin(), v.end());
+}
+
+TEST(CubeStore, DistinguishedLabelsArePinned) {
+  CubeStore store(3);
+  EXPECT_TRUE(store.is_empty(kEmptyLabel));
+  EXPECT_TRUE(store.is_full(kFullLabel));
+  EXPECT_TRUE(store.cubes(kEmptyLabel).empty());
+  ASSERT_EQ(store.cubes(kFullLabel).size(), 1u);
+  EXPECT_EQ(store.cubes(kFullLabel)[0], (Cube{0, 0}));
+  // A contradictory cube is the empty label, not a fresh node.
+  EXPECT_EQ(store.cube(0b001, 0b001), kEmptyLabel);
+  EXPECT_EQ(store.cube(0, 0), kFullLabel);
+}
+
+TEST(CubeStore, HashConsingReturnsTheSameIdForEqualConstructions) {
+  CubeStore store(4);
+  // The contract the dropped-dedup mutant violates: structurally equal
+  // labels are id-equal, however they were built.
+  const LabelId a = store.cube(0b0011, 0b0100);
+  const LabelId b = store.cube(0b0011, 0b0100);
+  EXPECT_EQ(a, b);
+
+  const LabelId c = store.make({Cube{0b0001, 0}, Cube{0b0010, 0}});
+  const LabelId d = store.make({Cube{0b0010, 0}, Cube{0b0001, 0}});  // permuted
+  const LabelId e = store.make({Cube{0b0001, 0}, Cube{0b0010, 0}, Cube{0b0001, 0}});
+  EXPECT_EQ(c, d);
+  EXPECT_EQ(c, e);
+
+  // Memoized algebra: repeating an operation is a hit, same id.
+  const std::uint64_t hits_before = store.stats().memo_hits;
+  const LabelId x = store.intersect(c, store.complement(a));
+  const LabelId y = store.intersect(c, store.complement(a));
+  EXPECT_EQ(x, y);
+  EXPECT_GT(store.stats().memo_hits, hits_before);
+}
+
+TEST(CubeStore, NormalizationPrunesSubsumedCubes) {
+  CubeStore store(3);
+  // {p} subsumes {p q}: the weaker cube absorbs the stronger one.
+  const LabelId merged = store.make({Cube{0b001, 0}, Cube{0b011, 0}});
+  EXPECT_EQ(merged, store.cube(0b001, 0));
+  // An unconstrained cube absorbs everything.
+  EXPECT_EQ(store.make({Cube{0b001, 0}, Cube{0, 0}}), kFullLabel);
+}
+
+TEST(CubeStore, LetterLabelsExpandToThemselves) {
+  CubeStore store(3);
+  for (Sym v = 0; v < 8; ++v) {
+    const LabelId l = store.letter(v);
+    EXPECT_EQ(letters(store, l), std::set<Sym>{v});
+    EXPECT_EQ(store.min_letter(l), v);
+    EXPECT_EQ(store.count_letters(l), 1u);
+    for (Sym w = 0; w < 8; ++w) EXPECT_EQ(store.matches(l, w), v == w);
+  }
+}
+
+TEST(CubeStore, AlgebraMatchesLetterSetSemantics) {
+  CubeStore store(4);
+  std::mt19937 rng(20260809);
+  const auto random_label = [&] {
+    std::vector<Cube> cubes;
+    const int n = static_cast<int>(rng() % 3);
+    for (int i = 0; i < n; ++i) {
+      const ApMask mt = static_cast<ApMask>(rng() % 16);
+      const ApMask mf = static_cast<ApMask>(rng() % 16) & ~mt;
+      cubes.push_back(Cube{mt, mf});
+    }
+    return store.make(std::move(cubes));
+  };
+  std::set<Sym> all;
+  for (Sym v = 0; v < 16; ++v) all.insert(v);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const LabelId a = random_label();
+    const LabelId b = random_label();
+    const std::set<Sym> sa = letters(store, a);
+    const std::set<Sym> sb = letters(store, b);
+
+    std::set<Sym> expect_and, expect_or, expect_not;
+    std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                          std::inserter(expect_and, expect_and.end()));
+    std::set_union(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                   std::inserter(expect_or, expect_or.end()));
+    std::set_difference(all.begin(), all.end(), sa.begin(), sa.end(),
+                        std::inserter(expect_not, expect_not.end()));
+
+    EXPECT_EQ(letters(store, store.intersect(a, b)), expect_and);
+    EXPECT_EQ(letters(store, store.unite(a, b)), expect_or);
+    EXPECT_EQ(letters(store, store.complement(a)), expect_not);
+    // Involution and De Morgan. Note: canonical DNF is canonical per
+    // STRUCTURE, not per semantics, so involution holds on letter sets —
+    // ¬¬a may intern a different (equivalent) cube decomposition than a.
+    EXPECT_EQ(letters(store, store.complement(store.complement(a))), sa);
+    EXPECT_EQ(letters(store, store.complement(store.intersect(a, b))),
+              letters(store, store.unite(store.complement(a), store.complement(b))));
+    EXPECT_EQ(store.count_letters(a), sa.size());
+    EXPECT_EQ(store.min_letter(a), sa.empty() ? -1 : *sa.begin());
+    for (Sym v = 0; v < 16; ++v) EXPECT_EQ(store.matches(a, v), sa.count(v) != 0);
+  }
+}
+
+TEST(CubeStore, RefineYieldsTheMintermPartitionSortedByMinLetter) {
+  CubeStore store(4);
+  const std::vector<LabelId> labels = {
+      store.cube(0b0001, 0),        // p0
+      store.cube(0b0010, 0b0100),   // p1 ∧ ¬p2
+      store.make({Cube{0b1000, 0}, Cube{0, 0b0001}}),  // p3 ∨ ¬p0
+  };
+  const std::vector<LabelId> blocks = store.refine(labels);
+
+  // Partition: disjoint, exhaustive.
+  std::set<Sym> seen;
+  Sym previous_min = -1;
+  for (const LabelId block : blocks) {
+    EXPECT_GT(store.min_letter(block), previous_min);  // sorted, distinct
+    previous_min = store.min_letter(block);
+    for (const Sym v : store.expand_letters(block)) {
+      EXPECT_TRUE(seen.insert(v).second) << "blocks overlap at letter " << v;
+    }
+  }
+  EXPECT_EQ(seen.size(), 16u);
+
+  // Every input label is a union of blocks: each block is inside or outside.
+  for (const LabelId label : labels) {
+    const std::set<Sym> sl = letters(store, label);
+    for (const LabelId block : blocks) {
+      const auto bl = store.expand_letters(block);
+      const bool first_in = sl.count(bl.front()) != 0;
+      for (const Sym v : bl) EXPECT_EQ(sl.count(v) != 0, first_in);
+    }
+  }
+
+  // Determinism in the label SET: permuted + duplicated input, same blocks.
+  std::vector<LabelId> shuffled = {labels[2], labels[0], labels[1], labels[0]};
+  EXPECT_EQ(store.refine(shuffled), blocks);
+}
+
+TEST(CubeStore, ImportReinternsAcrossStores) {
+  CubeStore a(3), b(3);
+  const LabelId in_a = a.make({Cube{0b001, 0b010}, Cube{0b100, 0}});
+  const LabelId in_b = b.import(a, in_a);
+  EXPECT_EQ(letters(b, in_b), letters(a, in_a));
+  // Round trip through the other store lands on the SAME id (canonical).
+  EXPECT_EQ(a.import(b, in_b), in_a);
+}
+
+TEST(CubeStore, ToStringRendersApNames) {
+  CubeStore store(2);
+  const Alphabet alphabet = Alphabet::of_aps({"p", "q"});
+  EXPECT_EQ(store.to_string(kEmptyLabel, alphabet), "false");
+  EXPECT_EQ(store.to_string(kFullLabel, alphabet), "true");
+  const LabelId l = store.make({Cube{0b01, 0b10}, Cube{0b10, 0}});
+  EXPECT_EQ(store.to_string(l, alphabet), "{p !q} | {q}");
+}
+
+TEST(AlphabetBackend, ScopeRestoresThePreviousBackend) {
+  const AlphabetBackend before = alphabet_backend();
+  {
+    AlphabetBackendScope scope(AlphabetBackend::kExplicit);
+    EXPECT_EQ(alphabet_backend(), AlphabetBackend::kExplicit);
+    {
+      AlphabetBackendScope inner(AlphabetBackend::kSymbolic);
+      EXPECT_EQ(alphabet_backend(), AlphabetBackend::kSymbolic);
+    }
+    EXPECT_EQ(alphabet_backend(), AlphabetBackend::kExplicit);
+  }
+  EXPECT_EQ(alphabet_backend(), before);
+}
+
+}  // namespace
+}  // namespace slat::words
