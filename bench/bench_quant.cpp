@@ -1,0 +1,268 @@
+// QUANT-DEC: the quantitative safety/liveness tier (PR 10).
+//
+// The artifact is a Rem-style table at the quantitative level: for a small
+// catalogue of named weighted properties (one per value function, plus the
+// two boolean embeddings) it prints Φ(w), Φ*(w) and Φ_live(w) at witness
+// words and SLAT_ASSERTs the Theorem 10 min identity and the
+// boolean-embedding agreement with the qualitative pipeline BEFORE any
+// timing runs — so a divergence aborts the bench instead of timing two
+// different computations.
+//
+//   BM_QuantValue/<fn>     — Φ(w) product-evaluation throughput per value
+//                            function on a fixed random automaton; items/s
+//                            == word evaluations/s.
+//   BM_QuantClosure/<fn>   — Φ*(w) config-iteration throughput on the same
+//                            automata (DiscSum short-circuits to value()).
+//   BM_EmbedDifferential   — the full {0,1} differential: embed_buchi value
+//                            vs Nba::accepts per (automaton, word), verdict
+//                            equality asserted inside the timed loop.
+//   BM_DiscSumValueIteration/threads:T
+//                          — the PR 2 pool sweep: one value() call on a
+//                            50 000-state sparse DiscSum automaton (Jacobi
+//                            value iteration dominates); items/s == product
+//                            states swept per second.
+//
+// Caching is pinned off inside every benchmark (value/closure_value are
+// memoized per (fingerprint, word), so a warm cache would turn every
+// iteration after the first into a hash lookup); SLAT_CACHE=0 in
+// scripts/run_benches.sh is belt and braces.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "buchi/nba.hpp"
+#include "buchi/safety.hpp"
+#include "common/assert.hpp"
+#include "core/memo_cache.hpp"
+#include "qc/gen.hpp"
+#include "qc/seed.hpp"
+#include "quant/closure.hpp"
+#include "quant/decomposition.hpp"
+#include "quant/embed.hpp"
+#include "quant/eval.hpp"
+#include "quant/value_function.hpp"
+#include "quant/weighted.hpp"
+#include "words/alphabet.hpp"
+#include "words/up_word.hpp"
+
+namespace slat::quant {
+namespace {
+
+using words::Alphabet;
+using words::UpWord;
+
+/// One fixed random automaton per value function, drawn from the qc domain
+/// (dyadic weights, λ = ½) with a bench-owned seed so the workload is
+/// stable across runs and hosts.
+WeightedNba workload(ValueFn fn) {
+  qc::WeightedNbaDomain domain{{6, 10, 2, 2, 0.8, 1.6, 0.2, 0.6}};
+  domain.all_value_fns = false;
+  domain.fixed_fn = fn;
+  domain.random_discount = false;
+  std::mt19937 rng = qc::make_rng("bench_quant.workload");
+  return qc::arbitrary_weighted_nba(domain)(rng);
+}
+
+const std::vector<UpWord>& corpus() {
+  static const std::vector<UpWord> words = words::enumerate_up_words(2, 3, 3);
+  return words;
+}
+
+void BM_QuantValue(benchmark::State& state) {
+  core::CacheEnabledScope cache_off(false);
+  const ValueFn fn = kAllValueFns[state.range(0)];
+  const WeightedNba aut = workload(fn);
+  for (auto _ : state) {
+    for (const UpWord& w : corpus()) {
+      benchmark::DoNotOptimize(value(aut, w));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(corpus().size()));
+  state.SetLabel(to_string(fn));
+}
+BENCHMARK(BM_QuantValue)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+void BM_QuantClosure(benchmark::State& state) {
+  core::CacheEnabledScope cache_off(false);
+  const ValueFn fn = kAllValueFns[state.range(0)];
+  const WeightedNba aut = workload(fn);
+  for (auto _ : state) {
+    for (const UpWord& w : corpus()) {
+      benchmark::DoNotOptimize(closure_value(aut, w));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(corpus().size()));
+  state.SetLabel(to_string(fn));
+}
+BENCHMARK(BM_QuantClosure)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+void BM_EmbedDifferential(benchmark::State& state) {
+  core::CacheEnabledScope cache_off(false);
+  // Pregenerate the instances; the timed loop runs BOTH pipelines per
+  // (automaton, word) and asserts the verdicts agree — the differential
+  // oracle itself is the workload.
+  constexpr int kInstances = 25;
+  std::mt19937 rng = qc::make_rng("bench_quant.embed");
+  const qc::Gen<buchi::Nba> gen = qc::arbitrary_nba({2, 5, 2, 2, 0.6, 1.5, 0.2, 0.6});
+  std::vector<buchi::Nba> nbas;
+  std::vector<WeightedNba> embedded;
+  for (int i = 0; i < kInstances; ++i) {
+    nbas.push_back(gen(rng));
+    embedded.push_back(embed_buchi(nbas.back()));
+  }
+  for (auto _ : state) {
+    for (int i = 0; i < kInstances; ++i) {
+      for (const UpWord& w : corpus()) {
+        const double quantitative = value(embedded[i], w);
+        const bool qualitative = nbas[i].accepts(w);
+        SLAT_ASSERT(quantitative == (qualitative ? 1.0 : 0.0));
+        benchmark::DoNotOptimize(quantitative);
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kInstances *
+                          static_cast<std::int64_t>(corpus().size()));
+}
+BENCHMARK(BM_EmbedDifferential)->Unit(benchmark::kMillisecond);
+
+/// A 50 000-state sparse DiscSum automaton over a unary alphabet: two
+/// pseudo-random out-edges per state with dyadic weights. Evaluating it on
+/// a^ω is one Jacobi value iteration over the whole product — the workload
+/// the PR 2 pool parallelizes sweep by sweep.
+WeightedNba large_disc_sum() {
+  constexpr int kStates = 50'000;
+  WeightedNba aut(Alphabet::of_size(1), kStates, 0, ValueFn::kDiscSum, 0.5);
+  aut.nba().set_accepting(0, true);
+  for (buchi::State q = 0; q < kStates; ++q) {
+    aut.add_transition(q, 0, (q * 2 + 1) % kStates,
+                       static_cast<double>((q * 3) % 9) / 8.0);
+    aut.add_transition(q, 0, (q * 5 + 3) % kStates,
+                       static_cast<double>((q * 7 + 2) % 9) / 8.0);
+  }
+  return aut;
+}
+
+void BM_DiscSumValueIteration(benchmark::State& state) {
+  bench::ThreadSweepGuard threads(state);
+  core::CacheEnabledScope cache_off(false);
+  const WeightedNba aut = large_disc_sum();
+  const UpWord a_omega({}, {0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(value(aut, a_omega));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          aut.nba().num_states());
+}
+BENCHMARK(BM_DiscSumValueIteration)
+    ->SLAT_BENCH_THREAD_ARGS->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Artifact: the quantitative Rem-style table + the embedding cross-check.
+// ---------------------------------------------------------------------------
+
+/// "Infinitely many a" as LimSup — the canonical live-not-safe property.
+WeightedNba gf_a() {
+  WeightedNba aut(Alphabet::binary(), 1, 0, ValueFn::kLimSup);
+  aut.nba().set_accepting(0, true);
+  aut.add_transition(0, 0, 0, 1.0);
+  aut.add_transition(0, 1, 0, 0.0);
+  return aut;
+}
+
+/// {a^ω} at weight 1 as Sup — limit-closed, so safe and not live.
+WeightedNba only_a() {
+  WeightedNba aut(Alphabet::binary(), 1, 0, ValueFn::kSup);
+  aut.nba().set_accepting(0, true);
+  aut.add_transition(0, 0, 0, 1.0);
+  return aut;
+}
+
+/// A discounted sum — always safe (Φ* = Φ, the compactness argument).
+WeightedNba disc() {
+  WeightedNba aut(Alphabet::binary(), 1, 0, ValueFn::kDiscSum, 0.5);
+  aut.nba().set_accepting(0, true);
+  aut.add_transition(0, 0, 0, 1.0);
+  aut.add_transition(0, 1, 0, 0.0);
+  return aut;
+}
+
+void print_decomposition_row(const char* name, const WeightedNba& aut,
+                             const UpWord& w, const char* word_name) {
+  const QuantDecomposition d = decompose_at(aut, w);
+  SLAT_ASSERT(std::min(d.safety, d.live) == d.property);
+  std::printf("  %-18s %-8s  phi=%.3f  phi*=%.3f  phi_live=%.3f\n", name,
+              word_name, d.property, d.safety, d.live);
+}
+
+void print_artifact() {
+  bench::print_header("QUANT-DEC",
+                      "quantitative safety/liveness (HMS Thm. 10)");
+
+  const UpWord a_omega({}, {0});
+  const UpWord b_omega({}, {1});
+  const UpWord ab_omega({}, {0, 1});
+
+  std::printf("Theorem 10 triples (phi = min(phi*, phi_live), asserted):\n");
+  for (const UpWord* w : {&a_omega, &b_omega, &ab_omega}) {
+    const char* wn = w == &a_omega ? "a^w" : (w == &b_omega ? "b^w" : "(ab)^w");
+    print_decomposition_row("GFa/LimSup", gf_a(), *w, wn);
+    print_decomposition_row("only-a/Sup", only_a(), *w, wn);
+    print_decomposition_row("disc@1/2", disc(), *w, wn);
+  }
+
+  // Sampled classification on the enumeration corpus: the three catalogue
+  // rows land in the three distinct safe/live cells.
+  const std::vector<UpWord>& words = corpus();
+  SLAT_ASSERT(!is_safety_on(gf_a(), words) && is_liveness_on(gf_a(), words));
+  SLAT_ASSERT(is_safety_on(only_a(), words) && !is_liveness_on(only_a(), words));
+  SLAT_ASSERT(is_safety_on(disc(), words));
+  std::printf("\nsampled classes: GFa live-not-safe, only-a safe-not-live, "
+              "DiscSum safe (asserted)\n");
+
+  // The boolean-embedding differential on the bench's own instances: the
+  // quantitative readings must reproduce acceptance and the lcl verdict
+  // exactly — the same oracle the qc property quant.embed.boolean_agreement
+  // and tests/integration/quant_equivalence_test.cpp sweep at scale.
+  std::mt19937 rng = qc::make_rng("bench_quant.embed");
+  const qc::Gen<buchi::Nba> gen = qc::arbitrary_nba({2, 5, 2, 2, 0.6, 1.5, 0.2, 0.6});
+  std::size_t checks = 0;
+  for (int i = 0; i < 25; ++i) {
+    const buchi::Nba nba = gen(rng);
+    const buchi::DetSafety det =
+        buchi::DetSafety::determinize(buchi::safety_closure(nba));
+    const WeightedNba eb = embed_buchi(nba);
+    const WeightedNba es = embed_safety(nba);
+    for (const UpWord& w : words) {
+      SLAT_ASSERT(value(eb, w) == (nba.accepts(w) ? 1.0 : 0.0));
+      SLAT_ASSERT(closure_value(eb, w) == (det.accepts(w) ? 1.0 : 0.0));
+      SLAT_ASSERT(value(es, w) == (det.accepts(w) ? 1.0 : 0.0));
+      checks += 3;
+    }
+  }
+  std::printf("boolean-embedding differential: %zu exact agreements over 25 "
+              "random NBAs x %zu words (asserted)\n",
+              checks, words.size());
+
+  std::printf(
+      "\nnotes:\n"
+      "  - BM_QuantValue/BM_QuantClosure run per value function (label =\n"
+      "    the function); items/s == word evaluations/s on a fixed random\n"
+      "    8-10-state automaton and the 80-word enumeration corpus\n"
+      "  - BM_EmbedDifferential asserts quantitative == qualitative inside\n"
+      "    the timed loop; items/s == differential checks/s\n"
+      "  - BM_DiscSumValueIteration sweeps the PR 2 pool over one 50 000-\n"
+      "    state Jacobi value iteration (threads:1/2/4/8 -> BENCH_PR10.json)\n"
+      "  - scripts/run_benches.sh aggregates into BENCH_PR10.json\n");
+}
+
+}  // namespace
+}  // namespace slat::quant
+
+SLAT_BENCH_MAIN(::slat::quant::print_artifact)

@@ -9,7 +9,11 @@
 # hard >=3x gate at the 10^5-session tier), and BENCH_PR9.json (symbolic
 # cube-alphabet backend: k-sweep of the to_nba+closure pipeline vs the
 # explicit per-letter backend, hard >=10x time AND >=10x peak-RSS gate at
-# k = 10 plus a letter-free k = 16 run) at the repo root. Every
+# k = 10 plus a letter-free k = 16 run), and BENCH_PR10.json (quantitative
+# tier: per-value-function Φ/Φ* throughput, the boolean-embedding
+# differential, and the DiscSum value-iteration thread sweep — the binary
+# SLAT_ASSERTs the Theorem 10 min identity and quantitative == qualitative
+# agreement before any timing) at the repo root. Every
 # BENCH_*.json written is stamped with provenance (commit, compiler, CPU
 # model) as the last step.
 #
@@ -45,6 +49,9 @@ FLEET_BENCHES=(bench_fleet)
 # The symbolic alphabet k-sweep (BENCH_PR9.json): hash-consed cube labels vs
 # the explicit 2^k-letter pipeline.
 SYMBOLIC_BENCHES=(bench_symbolic)
+# The quantitative tier (BENCH_PR10.json): weighted evaluation, closure, and
+# the boolean-embedding differential.
+QUANT_BENCHES=(bench_quant)
 
 if [[ ! -d "${BUILD_DIR}" ]]; then
   cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
@@ -52,7 +59,7 @@ fi
 cmake --build "${BUILD_DIR}" -j --target \
   "${BENCHES[@]}" "${SWEEP_BENCHES[@]}" "${CACHE_BENCHES[@]}" \
   "${INCLUSION_BENCHES[@]}" "${SCALE_BENCHES[@]}" "${FLEET_BENCHES[@]}" \
-  "${SYMBOLIC_BENCHES[@]}"
+  "${SYMBOLIC_BENCHES[@]}" "${QUANT_BENCHES[@]}"
 
 # Start from a clean slate: stale JSON from an earlier (possibly aborted) run
 # must never leak into the aggregates.
@@ -167,6 +174,22 @@ for bench in "${SYMBOLIC_BENCHES[@]}"; do
     env SLAT_BENCH_ARTIFACT=0 SLAT_CACHE=0 "${BUILD_DIR}/bench/${bench}" \
     --benchmark_min_time=0.05 \
     --benchmark_repetitions=5 \
+    --benchmark_out="${OUT_DIR}/${bench}.json" \
+    --benchmark_out_format=json
+done
+
+# The quantitative tier runs once per binary with the artifact ENABLED: the
+# artifact is the correctness story (Theorem 10 min identity plus the
+# boolean-embedding differential, all SLAT_ASSERT-backed), so a divergence
+# aborts the script via run_bench before any number lands in
+# BENCH_PR10.json. One run collects both the per-value-function throughput
+# benchmarks and the DiscSum thread sweep; caching is pinned off inside
+# every benchmark (CacheEnabledScope), SLAT_CACHE=0 is belt and braces.
+for bench in "${QUANT_BENCHES[@]}"; do
+  echo "== ${bench} (quantitative tier) =="
+  run_bench "${OUT_DIR}/${bench}.json" \
+    env SLAT_CACHE=0 "${BUILD_DIR}/bench/${bench}" \
+    --benchmark_min_time=0.05 \
     --benchmark_out="${OUT_DIR}/${bench}.json" \
     --benchmark_out_format=json
 done
@@ -654,6 +677,98 @@ print(f"wrote {target}")
 for name, ratios in sorted(merged["speedup_symbolic_vs_explicit"].items()):
     rss = f", {ratios['peak_rss']}x peak RSS" if ratios.get("peak_rss") else ""
     print(f"  {name}: {ratios['time']}x time{rss} vs explicit letters")
+PY
+
+python3 - "${OUT_DIR}" "${REPO_ROOT}/BENCH_PR10.json" "${QUANT_BENCHES[@]}" <<'PY'
+import json
+import re
+import sys
+
+out_dir, target, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+merged = {
+    "context": None,
+    "note": "quantitative safety/liveness tier (HMS Thm. 10): "
+            "per-value-function Phi/Phi* product-evaluation throughput "
+            "(items_per_second == word evaluations/s on the 80-word "
+            "enumeration corpus), the boolean-embedding differential "
+            "(quantitative == qualitative asserted inside the timed loop), "
+            "and the DiscSum Jacobi value-iteration thread sweep on a "
+            "50000-state sparse automaton. The binary SLAT_ASSERTs the min "
+            "identity and the embedding agreement BEFORE any timing; "
+            "real-time sweep speedups are bounded by context.num_cpus on "
+            "the measuring host, and "
+            "bit-identity across thread counts is pinned by "
+            "tests/integration/quant_equivalence_test.cpp and the qc "
+            "property quant.embed.boolean_agreement.",
+    "benchmarks": {},
+    "words_per_sec_by_value_fn": {},
+    "thread_sweep": {},
+    "speedup_vs_1_thread": {},
+}
+for bench in benches:
+    with open(f"{out_dir}/{bench}.json") as f:
+        data = json.load(f)
+    if merged["context"] is None:
+        context = data.get("context", {})
+        merged["context"] = {
+            key: context.get(key)
+            for key in ("date", "host_name", "num_cpus", "mhz_per_cpu", "library_build_type")
+        }
+    runs = {}
+    for run in data.get("benchmarks", []):
+        if run.get("run_type", "iteration") != "iteration":
+            continue
+        # real_time/cpu_time are in the benchmark's declared unit (ms here);
+        # time_unit rides along so nothing downstream assumes ns.
+        entry = {"real_time": run.get("real_time"),
+                 "cpu_time": run.get("cpu_time"),
+                 "time_unit": run.get("time_unit"),
+                 "iterations": run.get("iterations")}
+        if "items_per_second" in run:
+            entry["items_per_second"] = run["items_per_second"]
+        if run.get("label"):
+            entry["value_fn"] = run["label"]
+        runs[run["name"]] = entry
+    merged["benchmarks"][bench] = dict(sorted(runs.items()))
+    # Per-value-function throughput, keyed by the benchmark's label.
+    for name, entry in runs.items():
+        match = re.match(r"BM_Quant(Value|Closure)/\d+$", name)
+        if match and "value_fn" in entry and "items_per_second" in entry:
+            kind = "value" if match.group(1) == "Value" else "closure"
+            merged["words_per_sec_by_value_fn"].setdefault(kind, {})[
+                entry["value_fn"]] = round(entry["items_per_second"], 1)
+    # The DiscSum value-iteration sweep, grouped by thread count.
+    times = {}
+    for name, entry in runs.items():
+        match = re.match(r"(BM_\w+)/threads:(\d+)(?:/|$)", name)
+        if match:
+            times.setdefault(match.group(1), {})[int(match.group(2))] = entry[
+                "real_time"]
+    for base, by_threads in times.items():
+        merged["thread_sweep"][base] = {
+            str(t): by_threads[t] for t in sorted(by_threads)
+        }
+        baseline = by_threads.get(1)
+        if baseline:
+            merged["speedup_vs_1_thread"][base] = {
+                str(t): round(baseline / by_threads[t], 2)
+                for t in sorted(by_threads) if by_threads[t]
+            }
+
+if not merged["words_per_sec_by_value_fn"]:
+    print("error: no per-value-function quant benchmarks found", file=sys.stderr)
+    sys.exit(1)
+
+with open(target, "w") as f:
+    json.dump(merged, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {target}")
+for kind, by_fn in sorted(merged["words_per_sec_by_value_fn"].items()):
+    for fn, rate in sorted(by_fn.items()):
+        print(f"  {kind}/{fn}: {rate / 1e3:.1f}k words/s")
+for base, per_thread in sorted(merged["speedup_vs_1_thread"].items()):
+    sweep = "  ".join(f"{t}t:{s}x" for t, s in per_thread.items())
+    print(f"  {base}: {sweep}")
 PY
 
 # Provenance: stamp every aggregate written above with the commit, compiler,

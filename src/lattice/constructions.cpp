@@ -60,6 +60,12 @@ FiniteLattice chain(int n) {
   return lattice_from_leq(std::move(leq));
 }
 
+Elem chain_index(const std::vector<double>& ascending_values, double x) {
+  const auto it = std::lower_bound(ascending_values.begin(), ascending_values.end(), x);
+  SLAT_ASSERT(it != ascending_values.end() && *it == x);
+  return static_cast<Elem>(it - ascending_values.begin());
+}
+
 std::vector<std::uint64_t> divisors(std::uint64_t n) {
   SLAT_ASSERT(n >= 1);
   std::vector<std::uint64_t> divs;

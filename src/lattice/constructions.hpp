@@ -46,6 +46,14 @@ FiniteLattice boolean_lattice(int n);
 /// and distributive but complemented only for n ≤ 2.
 FiniteLattice chain(int n);
 
+/// Order-embedding hook for the quantitative tier (src/quant): the element
+/// of `chain(values.size())` that the real `x` maps to, i.e. its index in
+/// the strictly ascending universe `values`. Precondition: x ∈ values.
+/// Finite samples of a quantitative property land in a chain, where meet is
+/// min — this is how the pointwise decomposition minimum is re-checked
+/// against this layer's lattice machinery.
+Elem chain_index(const std::vector<double>& ascending_values, double x);
+
 /// Divisors of n ordered by divisibility. Distributive; complemented iff n
 /// is squarefree. Element i is the i-th smallest divisor.
 FiniteLattice divisor_lattice(std::uint64_t n);

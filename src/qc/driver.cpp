@@ -22,6 +22,14 @@ namespace {
 
 namespace fs = std::filesystem;
 
+/// The --property filter: exact match, or — when the filter ends in '.' — a
+/// prefix match selecting a whole tier ("quant." → every quant.* property).
+bool property_selected(const std::string& name, const std::string& filter) {
+  if (filter.empty()) return true;
+  if (filter.back() == '.') return name.rfind(filter, 0) == 0;
+  return name == filter;
+}
+
 struct CorpusEntry {
   std::string property;
   std::uint64_t trial_seed = 0;
@@ -131,9 +139,7 @@ FuzzReport run_fuzz(const FuzzOptions& options, std::ostream& out) {
             << " (unknown property " << entry.property << ")\n";
         continue;
       }
-      if (!options.only_property.empty() && property->name != options.only_property) {
-        continue;
-      }
+      if (!property_selected(property->name, options.only_property)) continue;
       ++report.corpus_replayed;
       if (run_trial(*property, entry.trial_seed, /*from_corpus=*/true)) {
         ++report.corpus_now_passing;
@@ -151,7 +157,7 @@ FuzzReport run_fuzz(const FuzzOptions& options, std::ostream& out) {
   if (options.run_properties) {
     std::vector<const Property*> pool;
     for (const Property& p : properties()) {
-      if (!options.only_property.empty() && p.name != options.only_property) continue;
+      if (!property_selected(p.name, options.only_property)) continue;
       for (int i = 0; i < p.weight; ++i) pool.push_back(&p);
     }
     if (pool.empty() && !options.only_property.empty()) {

@@ -30,6 +30,8 @@ struct FuzzOptions {
   /// Base seed; 0 means "use qc::seed()" (i.e. honor SLAT_SEED).
   std::uint64_t base_seed = 0;
   /// Restrict the sweep to one property (empty = weighted sweep over all).
+  /// A value ending in '.' is a PREFIX filter: "quant." sweeps every
+  /// property of that tier — the shape the per-tier smoke ctest targets use.
   std::string only_property;
   /// Corpus directory; empty = SLAT_CORPUS_DIR env, then the compiled-in
   /// default (tests/corpus in the source tree). "-" disables persistence.

@@ -1,8 +1,11 @@
 // fuzz_slat — the coverage-guided differential fuzzer for the whole repo.
 //
-//   fuzz_slat [--runs=N] [--time-budget=60s] [--seed=N] [--property=NAME]
+//   fuzz_slat [--runs=N] [--time-budget=60s] [--seed=N] [--property=NAME|PREFIX.]
 //             [--corpus-dir=DIR|-] [--no-mutants] [--mutants-only]
 //             [--list] [--verbose]
+//
+// --property matches one property by exact name; a value ending in '.' is a
+// prefix filter sweeping a whole tier (e.g. --property=quant.).
 //
 // Exit status: 0 when every trial passed and every mutant was killed.
 #include <cstdint>
@@ -74,8 +77,10 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "unknown flag: " << arg << "\n"
                 << "usage: fuzz_slat [--runs=N] [--time-budget=60s] [--seed=N]\n"
-                << "                 [--property=NAME] [--corpus-dir=DIR|-]\n"
-                << "                 [--no-mutants] [--mutants-only] [--list]\n";
+                << "                 [--property=NAME|PREFIX.] [--corpus-dir=DIR|-]\n"
+                << "                 [--no-mutants] [--mutants-only] [--list]\n"
+                << "       a --property value ending in '.' sweeps the whole\n"
+                << "       tier with that prefix (e.g. --property=quant.)\n";
       return 2;
     }
   }

@@ -1,6 +1,8 @@
 #include "qc/gen.hpp"
 
 #include <algorithm>
+#include <iterator>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -229,6 +231,85 @@ std::pair<lattice::LatticeClosure, lattice::LatticeClosure> random_closure_pair(
   auto cl2 = lattice::LatticeClosure::from_closed_set(lattice, std::move(closed2));
   SLAT_ASSERT(cl1.pointwise_leq(cl2));
   return {std::move(cl1), std::move(cl2)};
+}
+
+namespace {
+
+// A dyadic grid weight: k/grid for k ∈ [0, grid]. The grid keeps every
+// LimAvg/DiscSum intermediate sum exact (quant/value_function.hpp).
+double pick_weight(std::mt19937& rng, int grid) {
+  return static_cast<double>(pick_int(rng, 0, grid)) / static_cast<double>(grid);
+}
+
+quant::ValueFn pick_value_fn(std::mt19937& rng, const WeightedNbaDomain& domain) {
+  if (!domain.all_value_fns) return domain.fixed_fn;
+  const int i = pick_int(rng, 0, static_cast<int>(std::size(quant::kAllValueFns)) - 1);
+  return quant::kAllValueFns[i];
+}
+
+double pick_discount(std::mt19937& rng, const WeightedNbaDomain& domain,
+                     quant::ValueFn fn) {
+  if (fn != quant::ValueFn::kDiscSum || !domain.random_discount) return domain.discount;
+  return pick_int(rng, 0, 1) == 0 ? 0.5 : 0.75;
+}
+
+// Attach weights to a drawn transition structure. `floor_of` (may be null)
+// gives a per-edge lower bound, used to draw the dominating half of a
+// monotone pair.
+quant::WeightedNba attach_weights(const buchi::Nba& nba, quant::ValueFn fn,
+                                  double discount, int grid, std::mt19937& rng,
+                                  const quant::WeightedNba* floor_of) {
+  quant::WeightedNba out(nba.alphabet(), nba.num_states(), nba.initial(), fn, discount,
+                         0.0, 1.0);
+  for (buchi::State q = 0; q < nba.num_states(); ++q) {
+    out.nba().set_accepting(q, nba.is_accepting(q));
+    for (words::Sym s = 0; s < nba.alphabet().size(); ++s) {
+      const auto succ = nba.successors(q, s);
+      for (std::size_t i = 0; i < succ.size(); ++i) {
+        double wt = pick_weight(rng, grid);
+        if (floor_of != nullptr) wt = std::max(wt, floor_of->weights(q, s)[i]);
+        out.add_transition(q, s, succ[i], wt);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Gen<quant::WeightedNba> arbitrary_weighted_nba(const WeightedNbaDomain& domain) {
+  return Gen<quant::WeightedNba>([domain](std::mt19937& rng) {
+    const buchi::Nba nba = arbitrary_nba(domain.nba)(rng);
+    const quant::ValueFn fn = pick_value_fn(rng, domain);
+    const double discount = pick_discount(rng, domain, fn);
+    return attach_weights(nba, fn, discount, domain.weight_grid, rng, nullptr);
+  });
+}
+
+Gen<quant::WeightLasso> arbitrary_weight_lasso(const WeightLassoDomain& domain) {
+  return Gen<quant::WeightLasso>([domain](std::mt19937& rng) {
+    quant::WeightLasso lasso;
+    lasso.prefix.resize(pick_int(rng, 0, domain.max_prefix));
+    lasso.period.resize(pick_int(rng, 1, domain.max_period));
+    for (double& w : lasso.prefix) w = pick_weight(rng, domain.weight_grid);
+    for (double& w : lasso.period) w = pick_weight(rng, domain.weight_grid);
+    return lasso;
+  });
+}
+
+Gen<std::pair<quant::WeightedNba, quant::WeightedNba>> arbitrary_weighted_nba_pair(
+    const WeightedNbaDomain& domain) {
+  return Gen<std::pair<quant::WeightedNba, quant::WeightedNba>>(
+      [domain](std::mt19937& rng) {
+        const buchi::Nba nba = arbitrary_nba(domain.nba)(rng);
+        const quant::ValueFn fn = pick_value_fn(rng, domain);
+        const double discount = pick_discount(rng, domain, fn);
+        quant::WeightedNba lo =
+            attach_weights(nba, fn, discount, domain.weight_grid, rng, nullptr);
+        quant::WeightedNba hi =
+            attach_weights(nba, fn, discount, domain.weight_grid, rng, &lo);
+        return std::make_pair(std::move(lo), std::move(hi));
+      });
 }
 
 }  // namespace slat::qc

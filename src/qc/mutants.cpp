@@ -1,5 +1,6 @@
 #include "qc/mutants.hpp"
 
+#include <algorithm>
 #include <optional>
 
 #include "buchi/inclusion.hpp"
@@ -16,6 +17,11 @@
 #include "monitor/monitor.hpp"
 #include "ltl/formula.hpp"
 #include "ltl/translate.hpp"
+#include "quant/closure.hpp"
+#include "quant/decomposition.hpp"
+#include "quant/eval.hpp"
+#include "quant/value_function.hpp"
+#include "quant/weighted.hpp"
 #include "rabin/from_ctl.hpp"
 #include "rabin/rabin_tree_automaton.hpp"
 #include "trees/ctl.hpp"
@@ -581,6 +587,86 @@ bool kill_fleet_swapped_stride() {
   return false;
 }
 
+// ---------------------------------------------------------------------------
+// Quantitative pipeline (PR10)
+// ---------------------------------------------------------------------------
+
+// Sup and Inf are lattice duals; a fold that takes the minimum where the
+// supremum is required is invisible on constant weight sequences, so the
+// witness lasso mixes 0 and 1.
+bool kill_fold_swapped_sup_inf() {
+  const quant::WeightLasso lasso{{}, {0.0, 1.0}};
+  double mutant = lasso.period[0];
+  for (const double w : lasso.period) mutant = std::min(mutant, w);  // Inf fold
+  const double correct = quant::fold_value(quant::ValueFn::kSup, 0.5, lasso);
+  return mutant != correct;
+}
+
+// The discounted sum weights position i by λ^i (the FIRST letter counts
+// undiscounted); an off-by-one λ^(i+1) scaling shrinks every value by λ.
+// Weight 1 followed by 0^ω separates the two: correct 1, mutant λ.
+bool kill_disc_off_by_one() {
+  const std::vector<double> stem = {1.0};
+  const std::vector<double> cycle = {0.0};
+  const double discount = 0.5;
+  double mutant = 0.0;
+  double factor = discount;  // BUG: starts at λ^1 instead of λ^0
+  for (const double w : stem) {
+    mutant += factor * w;
+    factor *= discount;
+  }
+  // cycle contributes 0 either way
+  const double correct = quant::discounted_lasso_value(stem, cycle, discount);
+  return mutant != correct;
+}
+
+// Φ* is the infimum of prefix_sup over ALL finite prefixes; a closure that
+// stops the descent at the word's stem misses the rounds where the period
+// kills the last runs. Automaton: Φ(w) = 1 iff w = a^ω (Sup over a-loop of
+// weight 1, no b-edges). On a·b^ω, prefix_sup(a) = 1 but prefix_sup(ab) = 0.
+bool kill_closure_skip_last_round() {
+  quant::WeightedNba aut(Alphabet::binary(), 2, 0, quant::ValueFn::kSup);
+  aut.nba().set_accepting(0, true);
+  aut.add_transition(0, 0, 1, 1.0);
+  aut.add_transition(1, 0, 1, 1.0);
+  const UpWord w = w_ab_omega();  // a b^ω
+  // BUG: infimum only over the prefixes of the stem (here ε and "a").
+  double mutant = quant::prefix_sup(aut, {});
+  mutant = std::min(mutant, quant::prefix_sup(aut, {0}));
+  const double correct = quant::closure_value(aut, w);  // descends into b's
+  return mutant != correct;
+}
+
+// Theorem 10's live part is ⊤ wherever Φ is already safe; returning Φ
+// itself still satisfies the min identity but yields a part that is NOT
+// live — at a word with Φ*(w) = Φ(w) < ⊤ the liveness certificate
+// (live < ⊤ ⟹ Φ* > Φ) fails. Witness: the constant-½ Sup property.
+bool kill_decompose_live_is_property() {
+  quant::WeightedNba aut(Alphabet::binary(), 1, 0, quant::ValueFn::kSup);
+  aut.nba().set_accepting(0, true);
+  aut.add_transition(0, 0, 0, 0.5);
+  aut.add_transition(0, 1, 0, 0.5);
+  const quant::QuantDecomposition d = quant::decompose_at(aut, w_a_omega());
+  const double mutant_live = d.property;  // BUG: live part := Φ
+  const auto certificate_fails = [&](double live) {
+    return live < aut.top_value() && !(d.safety > d.property);
+  };
+  return certificate_fails(mutant_live) != certificate_fails(d.live);
+}
+
+// LimAvg is prefix-independent — the stem must not contribute to the mean.
+// Stem weight 1 with period weight 0 separates: correct 0, mutant ½.
+bool kill_limavg_stem_included() {
+  const quant::WeightLasso lasso{{1.0}, {0.0}};
+  double sum = 0.0;
+  for (const double w : lasso.prefix) sum += w;  // BUG: stem included
+  for (const double w : lasso.period) sum += w;
+  const double mutant =
+      sum / static_cast<double>(lasso.prefix.size() + lasso.period.size());
+  const double correct = quant::fold_value(quant::ValueFn::kLimAvg, 0.5, lasso);
+  return mutant != correct;
+}
+
 }  // namespace
 
 const std::vector<Mutant>& mutants() {
@@ -670,6 +756,21 @@ const std::vector<Mutant>& mutants() {
       {"monitor.fleet.swapped_stride", "monitor",
        "PR8's row-major [state × |Σ|] transition stride",
        kill_fleet_swapped_stride},
+      // Quantitative pipeline
+      {"quant.fold.swapped_sup_inf", "quant",
+       "the Sup value function (its Inf dual is wrong on mixed lassos)",
+       kill_fold_swapped_sup_inf},
+      {"quant.disc.off_by_one", "quant",
+       "DiscSum's λ^i position weighting (first letter undiscounted)",
+       kill_disc_off_by_one},
+      {"quant.closure.skip_last_round", "quant",
+       "Φ*'s infimum over ALL prefixes, past the word's stem",
+       kill_closure_skip_last_round},
+      {"quant.decompose.live_is_property", "quant",
+       "Theorem 10's ⊤-where-safe live part (the liveness certificate)",
+       kill_decompose_live_is_property},
+      {"quant.limavg.stem_included", "quant",
+       "LimAvg's prefix independence", kill_limavg_stem_included},
   };
   return bank;
 }

@@ -23,7 +23,7 @@ struct Mutant {
   bool (*killed)();
 };
 
-/// The whole bank, in a stable order. Size ≥ 25 (asserted by tests).
+/// The whole bank, in a stable order. Size ≥ 38 (asserted by tests).
 const std::vector<Mutant>& mutants();
 
 }  // namespace slat::qc

@@ -1,5 +1,6 @@
 #include "qc/properties.hpp"
 
+#include <bit>
 #include <functional>
 #include <utility>
 
@@ -24,6 +25,12 @@
 #include "qc/gen.hpp"
 #include "qc/seed.hpp"
 #include "qc/shrink.hpp"
+#include "quant/closure.hpp"
+#include "quant/decomposition.hpp"
+#include "quant/embed.hpp"
+#include "quant/eval.hpp"
+#include "quant/value_function.hpp"
+#include "quant/weighted.hpp"
 #include "rabin/from_ctl.hpp"
 #include "rabin/rabin_tree_automaton.hpp"
 #include "trees/ctl.hpp"
@@ -688,6 +695,187 @@ PropertyResult fleet_batch_scalar(std::uint64_t trial_seed) {
   return ok();
 }
 
+// --- Quantitative tier (PR10): closure laws, decomposition, embeddings ----
+
+/// The weighted domains mirror kSmallNba/kTinyNba: closure_automaton interns
+/// configs of the subset construction, so the tiny domain keeps its state
+/// space (≤ 2^3 configs × payloads) inside the fuzz-smoke budget.
+const WeightedNbaDomain kSmallWeighted{kSmallNba};
+const WeightedNbaDomain kTinyWeighted{kTinyNba};
+
+PropertyResult weighted_failure(
+    const quant::WeightedNba& aut, const std::string& law,
+    const std::function<bool(const quant::WeightedNba&)>& holds) {
+  const quant::WeightedNba shrunk =
+      shrink_weighted_nba(aut, [&](const quant::WeightedNba& c) { return !holds(c); });
+  PropertyResult r;
+  r.ok = false;
+  r.digest = quant::fingerprint(aut);
+  r.message = law + "\nshrunk counterexample:\n" + shrunk.to_string();
+  return r;
+}
+
+PropertyResult quant_closure_laws(std::uint64_t trial_seed) {
+  // The HMS closure laws, each with exact double equality under the dyadic
+  // weight grid: extensivity Φ* ≥ Φ, safety of the closure (evaluating
+  // closure_automaton reproduces Φ*) and idempotence Φ** = Φ*; then
+  // monotonicity on a pointwise-dominated pair lo ≤ hi drawn with identical
+  // transition structure.
+  std::mt19937 rng = make_rng(trial_seed);
+  const quant::WeightedNba aut = arbitrary_weighted_nba(kTinyWeighted)(rng);
+  const std::vector<UpWord> corpus = corpus_for(aut.nba().alphabet().size());
+  const auto laws_hold = [&corpus](const quant::WeightedNba& a) {
+    return !quant::verify_closure_laws(a, corpus).has_value();
+  };
+  if (!laws_hold(aut)) {
+    const auto detail = quant::verify_closure_laws(aut, corpus);
+    return weighted_failure(
+        aut, "quantitative closure laws violated: " + detail.value_or(""), laws_hold);
+  }
+  const auto [lo, hi] = arbitrary_weighted_nba_pair(kTinyWeighted)(rng);
+  for (const UpWord& w : corpus) {
+    const double cl_lo = quant::closure_value(lo, w);
+    const double cl_hi = quant::closure_value(hi, w);
+    if (cl_lo <= cl_hi) continue;
+    // The pair's domination is structural (shared skeleton), so candidates
+    // from the generic shrinker would break the hypothesis; report as-is.
+    PropertyResult r;
+    r.ok = false;
+    r.digest = quant::fingerprint(lo);
+    r.message = "closure monotonicity violated at " +
+                w.to_string(lo.nba().alphabet()) + ": Φ*_lo = " +
+                std::to_string(cl_lo) + " > Φ*_hi = " + std::to_string(cl_hi) +
+                "\nlo:\n" + lo.to_string() + "hi:\n" + hi.to_string();
+    return r;
+  }
+  return ok();
+}
+
+PropertyResult quant_decomposition_min(std::uint64_t trial_seed) {
+  // Theorem 10 sampled: Φ = min(Φ*, Φ_live) pointwise with the liveness
+  // certificate, then the same identity replayed as a meet inside
+  // lattice::chain over the sampled value set (the src/lattice bridge).
+  std::mt19937 rng = make_rng(trial_seed);
+  const quant::WeightedNba aut = arbitrary_weighted_nba(kSmallWeighted)(rng);
+  const std::vector<UpWord> corpus = corpus_for(aut.nba().alphabet().size());
+  const auto holds = [&corpus](const quant::WeightedNba& a) {
+    return !quant::verify_decomposition(a, corpus).has_value() &&
+           !quant::verify_chain_embedding(a, corpus).has_value();
+  };
+  if (holds(aut)) return ok();
+  const std::string detail =
+      quant::verify_decomposition(aut, corpus)
+          .value_or(quant::verify_chain_embedding(aut, corpus).value_or(""));
+  return weighted_failure(
+      aut, "quantitative decomposition Φ = min(Φ*, Φ_live) violated: " + detail,
+      holds);
+}
+
+PropertyResult quant_embed_boolean_agreement(std::uint64_t trial_seed) {
+  // The differential oracle: the {0,1} embeddings must reproduce the
+  // qualitative pipeline with exact 0.0/1.0 doubles — acceptance via
+  // embed_buchi/LimSup, the lcl verdict via both closure_value and the
+  // embed_safety/Sup reading, and the decomposition live part flagging ⊤
+  // exactly on L(B) ∪ ¬lcl(L(B)) — identically at 1 and 4 worker threads.
+  // Caches are disabled inside the trial so both thread counts do real work.
+  std::mt19937 rng = make_rng(trial_seed);
+  const Nba nba = arbitrary_nba(kSmallNba)(rng);
+  const bool cache_was_enabled = core::cache_enabled();
+  core::set_cache_enabled(false);
+  const int threads_before = core::ThreadPool::global().num_threads();
+  const auto holds = [](const Nba& b) {
+    const std::vector<UpWord> corpus = corpus_for(b.alphabet().size());
+    const Nba lcl = buchi::safety_closure(b);
+    const buchi::DetSafety det = buchi::DetSafety::determinize(lcl);
+    const buchi::BuchiDecomposition parts = buchi::decompose(b);
+    const quant::WeightedNba eb = quant::embed_buchi(b);
+    const quant::WeightedNba es = quant::embed_safety(b);
+    for (const int threads : {1, 4}) {
+      core::set_num_threads(threads);
+      for (const UpWord& w : corpus) {
+        const double in_l = b.accepts(w) ? 1.0 : 0.0;
+        const double in_lcl = det.accepts(w) ? 1.0 : 0.0;
+        if (quant::value(eb, w) != in_l) return false;
+        if (quant::closure_value(eb, w) != in_lcl) return false;
+        if (quant::value(es, w) != in_lcl) return false;
+        const quant::QuantDecomposition d = quant::decompose_at(eb, w);
+        const bool live_top = d.live == eb.top_value();
+        if (live_top != parts.liveness.accepts(w)) return false;
+      }
+    }
+    return true;
+  };
+  PropertyResult result = ok();
+  if (!holds(nba)) {
+    const Nba shrunk = shrink_nba(nba, [&](const Nba& c) { return !holds(c); });
+    result.ok = false;
+    result.digest = buchi::fingerprint(nba);
+    result.message =
+        "boolean embedding diverged from the qualitative pipeline\n"
+        "shrunk counterexample:\n" +
+        shrunk.to_string();
+  }
+  core::set_num_threads(threads_before);
+  core::set_cache_enabled(cache_was_enabled);
+  return result;
+}
+
+PropertyResult quant_fold_product_agreement(std::uint64_t trial_seed) {
+  // Metamorphic cross-check of the two evaluation surfaces: a random lasso
+  // valuation folded directly (fold_value) must equal the full product
+  // evaluation of the unary "chain" automaton that plays back exactly that
+  // weight sequence on a^ω — for every value function, exactly (DiscSum
+  // shares discounted_lasso_value between both paths, so even it is
+  // bit-identical).
+  std::mt19937 rng = make_rng(trial_seed);
+  const quant::WeightLasso lasso = arbitrary_weight_lasso({})(rng);
+  const auto holds = [](const quant::WeightLasso& l) {
+    for (const quant::ValueFn fn : quant::kAllValueFns) {
+      for (const double discount : {0.5, 0.75}) {
+        const int prefix = static_cast<int>(l.prefix.size());
+        const int period = static_cast<int>(l.period.size());
+        const int n = prefix + period;
+        quant::WeightedNba chain(words::Alphabet::of_size(1), n, 0, fn, discount);
+        chain.nba().set_accepting(0, true);
+        for (int i = 0; i < n; ++i) {
+          const double wt = i < prefix ? l.prefix[static_cast<std::size_t>(i)]
+                                       : l.period[static_cast<std::size_t>(i - prefix)];
+          chain.add_transition(i, 0, i + 1 == n ? prefix : i + 1, wt);
+        }
+        const UpWord word({}, {0});
+        if (quant::value(chain, word) != quant::fold_value(fn, discount, l)) {
+          return false;
+        }
+        if (fn != quant::ValueFn::kDiscSum) break;  // discount is inert
+      }
+    }
+    return true;
+  };
+  if (holds(lasso)) return ok();
+  const quant::WeightLasso shrunk =
+      shrink_weight_lasso(lasso, [&](const quant::WeightLasso& c) { return !holds(c); });
+  PropertyResult r;
+  r.ok = false;
+  core::DigestBuilder db;
+  db.add_string("qc.weight_lasso").add(lasso.prefix.size());
+  for (const double x : lasso.prefix) db.add(std::bit_cast<std::uint64_t>(x));
+  db.add(lasso.period.size());
+  for (const double x : lasso.period) db.add(std::bit_cast<std::uint64_t>(x));
+  r.digest = db.digest();
+  auto render = [](const std::vector<double>& xs) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      if (i) out += ", ";
+      out += std::to_string(xs[i]);
+    }
+    return out + "]";
+  };
+  r.message = "fold_value diverged from the chain-automaton product evaluation\n"
+              "shrunk lasso: prefix " +
+              render(shrunk.prefix) + " period " + render(shrunk.period);
+  return r;
+}
+
 }  // namespace
 
 const std::vector<Property>& properties() {
@@ -723,6 +911,18 @@ const std::vector<Property>& properties() {
       {"rabin.rfcl.laws", "§4.4 (rfcl)", 1, rfcl_closure_laws},
       {"rabin.theorem9", "Theorem 9", 1, theorem9_identity},
       {"ctl.translate.modelcheck", "§4.3 (CTL pipeline)", 1, ctl_translation_agrees},
+      {"quant.closure.laws",
+       "HMS arXiv 2301.11175 §3 (quantitative closure: extensive, idempotent, "
+       "monotone)",
+       3, quant_closure_laws},
+      {"quant.decomposition.min", "HMS arXiv 2301.11175 Thm. 10 (Φ = min(Φ*, Φ_live))",
+       3, quant_decomposition_min},
+      {"quant.embed.boolean_agreement",
+       "HMS arXiv 2301.11175 §2 (boolean embedding ≅ qualitative pipeline)", 2,
+       quant_embed_boolean_agreement},
+      {"quant.fold.product_agreement",
+       "Boker arXiv 2102.02699 §2 (value functions on lasso words)", 2,
+       quant_fold_product_agreement},
   };
   return registry;
 }

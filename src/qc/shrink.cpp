@@ -256,6 +256,97 @@ std::vector<trees::CtlId> shrink_steps(trees::CtlArena& arena, trees::CtlId f) {
   return out;
 }
 
+std::vector<quant::WeightedNba> shrink_steps(const quant::WeightedNba& aut) {
+  const Nba& nba = aut.nba();
+  // Rebuild with an edited structure/weight table; every candidate keeps
+  // value function, discount and weight domain, so shrunk automata stay in
+  // the generator's domain.
+  const auto rebuild = [&](int skip_state, buchi::State skip_from, words::Sym skip_sym,
+                           int skip_index, int keep_symbols, buchi::State floor_from,
+                           words::Sym floor_sym, int floor_index) {
+    const auto remap = [skip_state](buchi::State q) {
+      return skip_state >= 0 && q > skip_state ? q - 1 : q;
+    };
+    const int n = nba.num_states() - (skip_state >= 0 ? 1 : 0);
+    quant::WeightedNba out(keep_symbols == nba.alphabet().size()
+                               ? nba.alphabet()
+                               : words::Alphabet::of_size(keep_symbols),
+                           n, remap(nba.initial()), aut.value_fn(), aut.discount(),
+                           aut.domain_min(), aut.domain_max());
+    for (buchi::State q = 0; q < nba.num_states(); ++q) {
+      if (q == skip_state) continue;
+      out.nba().set_accepting(remap(q), nba.is_accepting(q));
+      for (words::Sym s = 0; s < keep_symbols; ++s) {
+        const auto succ = nba.successors(q, s);
+        const auto wts = aut.weights(q, s);
+        for (int i = 0; i < static_cast<int>(succ.size()); ++i) {
+          if (succ[i] == skip_state) continue;
+          if (q == skip_from && s == skip_sym && i == skip_index) continue;
+          const bool floored = q == floor_from && s == floor_sym && i == floor_index;
+          out.add_transition(remap(q), s, remap(succ[i]),
+                             floored ? aut.domain_min() : wts[i]);
+        }
+      }
+    }
+    return out;
+  };
+  const int sigma = nba.alphabet().size();
+  std::vector<quant::WeightedNba> out;
+  for (buchi::State q = 0; q < nba.num_states(); ++q) {
+    if (q == nba.initial()) continue;
+    out.push_back(rebuild(q, -1, -1, -1, sigma, -1, -1, -1));
+  }
+  for (int keep = 1; keep < sigma; ++keep) {
+    out.push_back(rebuild(-1, -1, -1, -1, keep, -1, -1, -1));
+  }
+  for (buchi::State q = 0; q < nba.num_states(); ++q) {
+    for (words::Sym s = 0; s < sigma; ++s) {
+      const auto succ = nba.successors(q, s);
+      const auto wts = aut.weights(q, s);
+      for (int i = 0; i < static_cast<int>(succ.size()); ++i) {
+        out.push_back(rebuild(-1, q, s, i, sigma, -1, -1, -1));
+        if (wts[i] != aut.domain_min()) {
+          out.push_back(rebuild(-1, -1, -1, -1, sigma, q, s, i));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<quant::WeightLasso> shrink_steps(const quant::WeightLasso& lasso) {
+  std::vector<quant::WeightLasso> out;
+  // Drop prefix entries from the back.
+  for (int keep = 0; keep < static_cast<int>(lasso.prefix.size()); ++keep) {
+    quant::WeightLasso c = lasso;
+    c.prefix.resize(keep);
+    out.push_back(std::move(c));
+  }
+  // Halve, then singly shorten, the period (kept non-empty).
+  if (lasso.period.size() > 1) {
+    quant::WeightLasso half = lasso;
+    half.period.resize(lasso.period.size() / 2);
+    out.push_back(std::move(half));
+    quant::WeightLasso shorter = lasso;
+    shorter.period.pop_back();
+    out.push_back(std::move(shorter));
+  }
+  // Lower individual weights to 0.
+  for (std::size_t i = 0; i < lasso.prefix.size(); ++i) {
+    if (lasso.prefix[i] == 0.0) continue;
+    quant::WeightLasso c = lasso;
+    c.prefix[i] = 0.0;
+    out.push_back(std::move(c));
+  }
+  for (std::size_t i = 0; i < lasso.period.size(); ++i) {
+    if (lasso.period[i] == 0.0) continue;
+    quant::WeightLasso c = lasso;
+    c.period[i] = 0.0;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
 Nba shrink_nba(const Nba& nba, const std::function<bool(const Nba&)>& still_fails) {
   return shrink<Nba>(
       nba, [](const Nba& value) { return shrink_steps(value); }, still_fails);
@@ -280,6 +371,22 @@ ltl::FormulaId shrink_formula(ltl::LtlArena& arena, ltl::FormulaId f,
   return shrink<ltl::FormulaId>(
       f, [&arena](const ltl::FormulaId& value) { return shrink_steps(arena, value); },
       [&still_fails](const ltl::FormulaId& value) { return still_fails(value); });
+}
+
+quant::WeightedNba shrink_weighted_nba(
+    const quant::WeightedNba& aut,
+    const std::function<bool(const quant::WeightedNba&)>& still_fails) {
+  return shrink<quant::WeightedNba>(
+      aut, [](const quant::WeightedNba& value) { return shrink_steps(value); },
+      still_fails);
+}
+
+quant::WeightLasso shrink_weight_lasso(
+    const quant::WeightLasso& lasso,
+    const std::function<bool(const quant::WeightLasso&)>& still_fails) {
+  return shrink<quant::WeightLasso>(
+      lasso, [](const quant::WeightLasso& value) { return shrink_steps(value); },
+      still_fails);
 }
 
 }  // namespace slat::qc

@@ -16,6 +16,7 @@
 
 #include "buchi/nba.hpp"
 #include "ltl/formula.hpp"
+#include "quant/weighted.hpp"
 #include "rabin/rabin_tree_automaton.hpp"
 #include "trees/ctl.hpp"
 #include "words/up_word.hpp"
@@ -72,6 +73,17 @@ std::vector<ltl::FormulaId> shrink_steps(ltl::LtlArena& arena, ltl::FormulaId f)
 /// CTL formula candidates, mirroring the LTL steps.
 std::vector<trees::CtlId> shrink_steps(trees::CtlArena& arena, trees::CtlId f);
 
+/// Weighted-automaton candidates: drop a non-initial state (transitions
+/// remapped, weights carried along), drop a single weighted transition,
+/// lower one weight to the domain minimum, drop the last alphabet symbol
+/// (if ≥ 2). Value function, discount and weight domain are preserved, and
+/// every surviving weight stays in [domain_min, domain_max].
+std::vector<quant::WeightedNba> shrink_steps(const quant::WeightedNba& aut);
+
+/// Weight-lasso candidates: drop prefix entries (from the back), halve /
+/// shorten the period (kept non-empty), lower a weight to 0.
+std::vector<quant::WeightLasso> shrink_steps(const quant::WeightLasso& lasso);
+
 /// Convenience: shrink an NBA against a failing predicate.
 buchi::Nba shrink_nba(const buchi::Nba& nba,
                       const std::function<bool(const buchi::Nba&)>& still_fails);
@@ -88,5 +100,15 @@ rabin::RabinTreeAutomaton shrink_rabin(
 /// Convenience: shrink an LTL formula against a failing predicate.
 ltl::FormulaId shrink_formula(ltl::LtlArena& arena, ltl::FormulaId f,
                               const std::function<bool(ltl::FormulaId)>& still_fails);
+
+/// Convenience: shrink a weighted automaton against a failing predicate.
+quant::WeightedNba shrink_weighted_nba(
+    const quant::WeightedNba& aut,
+    const std::function<bool(const quant::WeightedNba&)>& still_fails);
+
+/// Convenience: shrink a weight lasso against a failing predicate.
+quant::WeightLasso shrink_weight_lasso(
+    const quant::WeightLasso& lasso,
+    const std::function<bool(const quant::WeightLasso&)>& still_fails);
 
 }  // namespace slat::qc

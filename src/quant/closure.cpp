@@ -1,0 +1,235 @@
+#include "quant/closure.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/assert.hpp"
+#include "core/memo_cache.hpp"
+
+namespace slat::quant {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kPosInf = std::numeric_limits<double>::infinity();
+
+// A config is the subset of live automaton states reachable on the prefix
+// read so far, each tagged with the best stem payload any run carries
+// there: the running sup (kSup), the running inf (kInf), the discounted
+// stem sum (kDiscSum), or nothing (the prefix-independent functions). In
+// every case the continuation value is monotone in the payload, so keeping
+// the per-state max is lossless.
+using Config = std::vector<std::pair<State, double>>;  // sorted by state
+
+double payload_init(ValueFn fn) {
+  switch (fn) {
+    case ValueFn::kSup: return kNegInf;
+    case ValueFn::kInf: return kPosInf;
+    case ValueFn::kDiscSum: return 0.0;
+    default: return 0.0;
+  }
+}
+
+// `factor` is λ^|prefix-read-so-far| (only read by kDiscSum).
+double payload_step(ValueFn fn, double payload, double wt, double factor) {
+  switch (fn) {
+    case ValueFn::kSup: return std::max(payload, wt);
+    case ValueFn::kInf: return std::min(payload, wt);
+    case ValueFn::kDiscSum: return payload + factor * wt;
+    default: return 0.0;
+  }
+}
+
+Config initial_config(const WeightedNba& aut, const StateRanks& ranks) {
+  Config config;
+  const State q0 = aut.nba().initial();
+  if (ranks.live[q0]) config.push_back({q0, payload_init(aut.value_fn())});
+  return config;
+}
+
+Config step_config(const WeightedNba& aut, const StateRanks& ranks, const Config& config,
+                   Sym sym, double factor) {
+  const int n = aut.nba().num_states();
+  std::vector<char> present(n, 0);
+  std::vector<double> best(n, 0.0);
+  for (const auto& [q, payload] : config) {
+    const auto succ = aut.nba().successors(q, sym);
+    const auto wts = aut.weights(q, sym);
+    for (std::size_t i = 0; i < succ.size(); ++i) {
+      const State t = succ[i];
+      if (!ranks.live[t]) continue;
+      const double p = payload_step(aut.value_fn(), payload, wts[i], factor);
+      if (!present[t] || p > best[t]) {
+        present[t] = 1;
+        best[t] = p;
+      }
+    }
+  }
+  Config next;
+  for (State t = 0; t < n; ++t) {
+    if (present[t]) next.push_back({t, best[t]});
+  }
+  return next;
+}
+
+// prefix_sup of the prefix this config was reached on. `factor` is
+// λ^|prefix| (kDiscSum only).
+double config_rank(const WeightedNba& aut, const StateRanks& ranks, const Config& config,
+                   double factor) {
+  if (config.empty()) return aut.bottom_value();
+  double best = kNegInf;
+  for (const auto& [q, payload] : config) {
+    double through = 0.0;
+    switch (aut.value_fn()) {
+      case ValueFn::kSup: through = std::max(payload, ranks.rank[q]); break;
+      case ValueFn::kInf: through = std::min(payload, ranks.rank[q]); break;
+      case ValueFn::kDiscSum: through = payload + factor * ranks.rank[q]; break;
+      default: through = ranks.rank[q]; break;
+    }
+    best = std::max(best, through);
+  }
+  return best;
+}
+
+std::vector<std::uint64_t> config_key(int phase, const Config& config) {
+  std::vector<std::uint64_t> key;
+  key.reserve(1 + 2 * config.size());
+  key.push_back(static_cast<std::uint64_t>(phase));
+  for (const auto& [q, payload] : config) {
+    key.push_back(static_cast<std::uint64_t>(q));
+    key.push_back(std::bit_cast<std::uint64_t>(payload));
+  }
+  return key;
+}
+
+double closure_value_uncached(const WeightedNba& aut, const words::UpWord& w) {
+  const auto ranks = state_ranks(aut);
+  const int sp = static_cast<int>(w.prefix_size());
+  const int len = sp + static_cast<int>(w.period_size());
+  Config config = initial_config(aut, *ranks);
+  double inf_so_far = config_rank(aut, *ranks, config, 1.0);
+  std::map<std::vector<std::uint64_t>, bool> seen;
+  for (int pos = 0;; ++pos) {
+    if (config.empty()) return std::min(inf_so_far, aut.bottom_value());
+    const int phase = pos < sp ? -1 : (pos - sp) % (len - sp);
+    if (phase >= 0 && !seen.emplace(config_key(phase, config), true).second) {
+      return inf_so_far;  // config cycle closed: all later prefix_sups repeat
+    }
+    SLAT_ASSERT(pos < (1 << 20));
+    config = step_config(aut, *ranks, config, w.at(pos), 1.0);
+    inf_so_far = std::min(inf_so_far, config_rank(aut, *ranks, config, 1.0));
+  }
+}
+
+core::Digest closure_word_key(const WeightedNba& aut, const words::UpWord& w) {
+  core::DigestBuilder b;
+  b.add_string("quant.closure");
+  b.add_digest(fingerprint(aut));
+  b.add_int(static_cast<int>(w.prefix_size()));
+  b.add_ints(w.prefix());
+  b.add_int(static_cast<int>(w.period_size()));
+  b.add_ints(w.period());
+  return b.digest();
+}
+
+}  // namespace
+
+double prefix_sup(const WeightedNba& aut, const words::Word& u) {
+  const auto ranks = state_ranks(aut);
+  Config config = initial_config(aut, *ranks);
+  double factor = 1.0;
+  const bool discounted = aut.value_fn() == ValueFn::kDiscSum;
+  for (const Sym sym : u) {
+    if (config.empty()) break;
+    config = step_config(aut, *ranks, config, sym, factor);
+    if (discounted) factor *= aut.discount();
+  }
+  return config_rank(aut, *ranks, config, factor);
+}
+
+double closure_value(const WeightedNba& aut, const words::UpWord& w) {
+  // Every discounted-sum property is safe: Φ* = Φ (see header).
+  if (aut.value_fn() == ValueFn::kDiscSum) return value(aut, w);
+  static core::MemoCache<double>& cache = *new core::MemoCache<double>("quant.closure");
+  return cache.get_or_compute(closure_word_key(aut, w),
+                              [&] { return closure_value_uncached(aut, w); });
+}
+
+WeightedNba closure_automaton(const WeightedNba& aut) {
+  if (aut.value_fn() == ValueFn::kDiscSum) return aut;
+  static core::MemoCache<WeightedNba>& cache =
+      *new core::MemoCache<WeightedNba>("quant.closure_automaton");
+  return cache.get_or_compute(
+      core::DigestBuilder()
+          .add_string("quant.closure_automaton")
+          .add_digest(fingerprint(aut))
+          .digest(),
+      [&] {
+        const auto ranks = state_ranks(aut);
+        const Config init = initial_config(aut, *ranks);
+        // BFS over non-empty configs; a prefix whose config empties has no
+        // continuation at all, so its runs simply die (value ⊥), matching
+        // prefix_sup = ⊥ from that point on.
+        std::map<std::vector<std::uint64_t>, int> ids;
+        std::vector<Config> configs;
+        std::vector<double> rank_of;
+        const auto intern = [&](const Config& c) {
+          const auto [it, inserted] = ids.emplace(config_key(0, c), configs.size());
+          if (inserted) {
+            SLAT_ASSERT(configs.size() < (1u << 14));
+            configs.push_back(c);
+            // Clamp only guards against final-ulp excursions of the LimAvg
+            // cycle means outside the weight domain on non-dyadic inputs.
+            rank_of.push_back(std::min(std::max(config_rank(aut, *ranks, c, 1.0),
+                                                aut.bottom_value()),
+                                       aut.top_value()));
+          }
+          return it->second;
+        };
+        WeightedNba out(aut.nba().alphabet(), 1, 0, ValueFn::kInf, 0.5,
+                        aut.bottom_value(), aut.top_value());
+        if (init.empty()) return out;  // dead from the start: constant ⊥
+        intern(init);
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+          const Config from = configs[i];  // copy: configs may reallocate
+          for (Sym s = 0; s < aut.nba().alphabet().size(); ++s) {
+            const Config to = step_config(aut, *ranks, from, s, 1.0);
+            if (to.empty()) continue;
+            intern(to);
+          }
+        }
+        WeightedNba built(aut.nba().alphabet(), static_cast<int>(configs.size()), 0,
+                          ValueFn::kInf, 0.5, aut.bottom_value(), aut.top_value());
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+          built.nba().set_accepting(static_cast<State>(i), true);
+          for (Sym s = 0; s < aut.nba().alphabet().size(); ++s) {
+            const Config to = step_config(aut, *ranks, configs[i], s, 1.0);
+            if (to.empty()) continue;
+            const int j = ids.at(config_key(0, to));
+            built.add_transition(static_cast<State>(i), s, static_cast<State>(j),
+                                 rank_of[j]);
+          }
+        }
+        return built;
+      });
+}
+
+bool is_safety_on(const WeightedNba& aut, std::span<const words::UpWord> corpus) {
+  for (const words::UpWord& w : corpus) {
+    if (closure_value(aut, w) != value(aut, w)) return false;
+  }
+  return true;
+}
+
+bool is_liveness_on(const WeightedNba& aut, std::span<const words::UpWord> corpus) {
+  for (const words::UpWord& w : corpus) {
+    const double v = value(aut, w);
+    if (v < aut.top_value() && closure_value(aut, w) <= v) return false;
+  }
+  return true;
+}
+
+}  // namespace slat::quant

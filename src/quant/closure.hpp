@@ -1,0 +1,48 @@
+// The quantitative safety closure (HMS arXiv 2301.11175, §3): the pointwise
+// least safe property above Φ,
+//
+//   Φ*(w) = inf over finite prefixes u of w of  prefix_sup(u),
+//   prefix_sup(u) = sup over all ω-continuations w' of Φ(u · w').
+//
+// prefix_sup is non-increasing in the prefix, so on an ultimately periodic
+// word the per-prefix configurations (live automaton states, each tagged
+// with the best stem payload its runs can carry) are eventually periodic
+// and the inf is reached at the first repeated (period-phase, config) pair
+// — the quantitative analogue of `buchi::safety_closure`'s König argument.
+//
+// Discounted sum is special: with bounded weights Σ λ^i x_i is continuous
+// on the finitely-branching run tree, so every DiscSum property is already
+// safe and its closure IS its value (the compactness argument in
+// THEORY.md); closure_value short-circuits to value() for it.
+#pragma once
+
+#include "quant/eval.hpp"
+#include "quant/weighted.hpp"
+#include "words/up_word.hpp"
+
+namespace slat::quant {
+
+/// sup over all ω-continuations w' of Φ(u · w'). Non-increasing in |u|.
+double prefix_sup(const WeightedNba& aut, const words::Word& u);
+
+/// Φ*(w) — the safety closure evaluated at w. Memoized per
+/// (fingerprint, word); ≥ value(aut, w) with exact double comparisons under
+/// the dyadic-weight contract of value_function.hpp.
+double closure_value(const WeightedNba& aut, const words::UpWord& w);
+
+/// An automaton denoting Φ* itself: the deterministic config automaton of
+/// the closure iteration, with value function Inf and the edge into each
+/// config weighted by that config's prefix_sup. Evaluating it with value()
+/// reproduces closure_value (the closure is safe), and running
+/// closure_value on IT reproduces it again (idempotence, Φ** = Φ*) — both
+/// are qc properties. For kDiscSum the property is already safe and the
+/// automaton itself is returned.
+WeightedNba closure_automaton(const WeightedNba& aut);
+
+/// Sampled membership tests, mirroring `buchi::classify_sampled`: Φ is safe
+/// on the corpus iff Φ* = Φ at every sampled word, and live on the corpus
+/// iff Φ(w) < ⊤ implies Φ*(w) > Φ(w) at every sampled word.
+bool is_safety_on(const WeightedNba& aut, std::span<const words::UpWord> corpus);
+bool is_liveness_on(const WeightedNba& aut, std::span<const words::UpWord> corpus);
+
+}  // namespace slat::quant

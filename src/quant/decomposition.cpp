@@ -1,0 +1,93 @@
+#include "quant/decomposition.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "lattice/constructions.hpp"
+
+namespace slat::quant {
+
+namespace {
+
+std::string describe(const char* law, const WeightedNba& aut, const words::UpWord& w,
+                     double lhs, double rhs) {
+  std::ostringstream out;
+  out << law << " violated at " << w.to_string(aut.nba().alphabet()) << ": " << lhs
+      << " vs " << rhs;
+  return out.str();
+}
+
+}  // namespace
+
+QuantDecomposition decompose_at(const WeightedNba& aut, const words::UpWord& w) {
+  QuantDecomposition d;
+  d.property = value(aut, w);
+  d.safety = closure_value(aut, w);
+  d.live = d.safety == d.property ? aut.top_value() : d.property;
+  return d;
+}
+
+std::optional<std::string> verify_decomposition(const WeightedNba& aut,
+                                                std::span<const words::UpWord> corpus) {
+  for (const words::UpWord& w : corpus) {
+    const QuantDecomposition d = decompose_at(aut, w);
+    if (d.safety < d.property) {
+      return describe("extensivity (safety >= property)", aut, w, d.safety, d.property);
+    }
+    if (std::min(d.safety, d.live) != d.property) {
+      return describe("min identity", aut, w, std::min(d.safety, d.live), d.property);
+    }
+    if (d.live < aut.top_value() && !(d.safety > d.property)) {
+      return describe("liveness certificate (live < top => safety > property)", aut, w,
+                      d.live, d.property);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> verify_closure_laws(const WeightedNba& aut,
+                                               std::span<const words::UpWord> corpus) {
+  const WeightedNba closed = closure_automaton(aut);
+  for (const words::UpWord& w : corpus) {
+    const double phi = value(aut, w);
+    const double star = closure_value(aut, w);
+    if (star < phi) return describe("extensivity (closure >= value)", aut, w, star, phi);
+    const double star_as_value = value(closed, w);
+    if (star_as_value != star) {
+      return describe("closure automaton agreement", aut, w, star_as_value, star);
+    }
+    const double star_star = closure_value(closed, w);
+    if (star_star != star) {
+      return describe("idempotence (closure of closure)", aut, w, star_star, star);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> verify_chain_embedding(const WeightedNba& aut,
+                                                  std::span<const words::UpWord> corpus) {
+  std::vector<QuantDecomposition> triples;
+  std::vector<double> universe = {aut.top_value()};
+  for (const words::UpWord& w : corpus) {
+    triples.push_back(decompose_at(aut, w));
+    universe.push_back(triples.back().property);
+    universe.push_back(triples.back().safety);
+    universe.push_back(triples.back().live);
+  }
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()), universe.end());
+  const lattice::FiniteLattice ch = lattice::chain(static_cast<int>(universe.size()));
+  for (std::size_t i = 0; i < triples.size(); ++i) {
+    const QuantDecomposition& d = triples[i];
+    const lattice::Elem meet = ch.meet(lattice::chain_index(universe, d.safety),
+                                       lattice::chain_index(universe, d.live));
+    if (meet != lattice::chain_index(universe, d.property)) {
+      return describe("chain-lattice meet identity", aut, corpus[i],
+                      universe[static_cast<std::size_t>(meet)], d.property);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace slat::quant

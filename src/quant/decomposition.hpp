@@ -1,0 +1,60 @@
+// The quantitative decomposition theorem (HMS arXiv 2301.11175, Thm. 10,
+// mirroring src/lattice/decomposition.hpp at the quantitative level): every
+// property Φ is the pointwise minimum of its safety closure Φ* and the live
+// part
+//
+//   Φ_live(w) = ⊤   if Φ*(w) = Φ(w)   (Φ already safe at w)
+//             = Φ(w) otherwise,
+//
+// and Φ_live is live: wherever Φ_live(w) < ⊤ we have Φ*(w) > Φ(w) = Φ_live(w)
+// and (closure monotone, Φ_live ≥ Φ) Φ_live*(w) ≥ Φ*(w) > Φ_live(w).
+//
+// Under the boolean embedding (embed.hpp) the triple specializes to the
+// paper's qualitative decomposition L = lcl(L) ∩ (L ∪ ¬lcl(L)): safety is
+// the closure verdict and live = ⊤ exactly on L ∪ ¬lcl(L).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "quant/closure.hpp"
+#include "quant/weighted.hpp"
+#include "words/up_word.hpp"
+
+namespace slat::quant {
+
+/// The decomposition triple at one word: property = min(safety, live) holds
+/// with exact double equality (the three values are selections from the
+/// same computation, never re-derived arithmetic).
+struct QuantDecomposition {
+  double property;  ///< Φ(w)
+  double safety;    ///< Φ*(w)
+  double live;      ///< Φ_live(w)
+};
+
+QuantDecomposition decompose_at(const WeightedNba& aut, const words::UpWord& w);
+
+/// nullopt if min(safety, live) == property, the closure is extensive
+/// (safety ≥ property) and the live part certificate holds (live < ⊤ ⟹
+/// safety > property) at every sampled word; otherwise a counterexample
+/// description — the shape `lattice::is_valid_decomposition` has, one
+/// sampled word at a time.
+std::optional<std::string> verify_decomposition(const WeightedNba& aut,
+                                                std::span<const words::UpWord> corpus);
+
+/// nullopt if the closure laws hold on the corpus: extensivity
+/// (Φ* ≥ Φ), safety of the closure (value of closure_automaton == Φ*) and
+/// idempotence (closure of closure_automaton == Φ*, i.e. Φ** = Φ*).
+std::optional<std::string> verify_closure_laws(const WeightedNba& aut,
+                                               std::span<const words::UpWord> corpus);
+
+/// The bridge to src/lattice: the sampled values {Φ(w), Φ*(w), Φ_live(w), ⊤}
+/// over the corpus form a finite chain, where meet = min, so the pointwise
+/// decomposition identity becomes `property = meet(safety, live)` in
+/// `lattice::chain(k)` (via the `lattice::chain_index` embedding hook).
+/// nullopt if the lattice-level identity holds at every sampled word.
+std::optional<std::string> verify_chain_embedding(const WeightedNba& aut,
+                                                  std::span<const words::UpWord> corpus);
+
+}  // namespace slat::quant

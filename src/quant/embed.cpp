@@ -1,0 +1,36 @@
+#include "quant/embed.hpp"
+
+#include "buchi/safety.hpp"
+
+namespace slat::quant {
+
+namespace {
+
+WeightedNba weighted_copy(const buchi::Nba& nba, ValueFn fn,
+                          bool weight_is_accepting_target) {
+  WeightedNba out(nba.alphabet(), nba.num_states(), nba.initial(), fn, 0.5, 0.0, 1.0);
+  for (State q = 0; q < nba.num_states(); ++q) {
+    out.nba().set_accepting(q, nba.is_accepting(q));
+    for (Sym s = 0; s < nba.alphabet().size(); ++s) {
+      for (const State t : nba.successors(q, s)) {
+        const double wt =
+            !weight_is_accepting_target || nba.is_accepting(t) ? 1.0 : 0.0;
+        out.add_transition(q, s, t, wt);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+WeightedNba embed_buchi(const buchi::Nba& nba) {
+  return weighted_copy(nba, ValueFn::kLimSup, /*weight_is_accepting_target=*/true);
+}
+
+WeightedNba embed_safety(const buchi::Nba& nba) {
+  return weighted_copy(buchi::safety_closure(nba), ValueFn::kSup,
+                       /*weight_is_accepting_target=*/false);
+}
+
+}  // namespace slat::quant

@@ -1,0 +1,35 @@
+// Boolean embeddings: the {0,1}-weighted automata that re-express the
+// qualitative pipeline inside the quantitative tier. They are the
+// differential oracle tying src/quant back to everything already verified:
+//
+//   embed_buchi(B)  — LimSup, weight(q →σ t) = [t accepting]. A run has
+//     fold 1 iff it visits accepting states infinitely often, so
+//     value == 1 ⟺ B accepts w, closure_value == 1 ⟺ lcl(L(B)) accepts w
+//     (the subset configs are exactly DetSafety's), and the decomposition
+//     live part is ⊤ exactly on L(B) ∪ ¬lcl(L(B)) = the qualitative
+//     liveness part of `buchi::decompose`.
+//
+//   embed_safety(B) — Sup, all weights 1, over `buchi::safety_closure(B)`.
+//     The closure automaton is all-accepting, so acceptance = existence of
+//     an infinite run, which Sup with weight 1 captures exactly:
+//     value == 1 ⟺ lcl(L(B)) accepts w. This is the {0,1}/Sup reading of
+//     the ISSUE's embedding: a qualitative safety property IS a Sup
+//     property.
+//
+// Both produce weights in {0.0, 1.0} with domain [0, 1]; every agreement
+// check is an exact double comparison (bit-identical at any thread count —
+// the quantitative evaluation is deterministic and thread-invariant).
+#pragma once
+
+#include "buchi/nba.hpp"
+#include "quant/weighted.hpp"
+
+namespace slat::quant {
+
+/// LimSup embedding of an arbitrary NBA: value(w) = [w ∈ L(B)].
+WeightedNba embed_buchi(const buchi::Nba& nba);
+
+/// Sup embedding of the safety closure: value(w) = [w ∈ lcl(L(B))].
+WeightedNba embed_safety(const buchi::Nba& nba);
+
+}  // namespace slat::quant

@@ -1,0 +1,538 @@
+#include "quant/eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "buchi/nba.hpp"
+#include "common/assert.hpp"
+#include "core/memo_cache.hpp"
+#include "core/parallel.hpp"
+
+namespace slat::quant {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kPosInf = std::numeric_limits<double>::infinity();
+
+// Flat weighted digraph shared by the two evaluation surfaces: the
+// automaton × lasso product (value) and the automaton graph with all
+// symbols pooled (state_ranks).
+struct WGraph {
+  int n = 0;
+  std::vector<int> offsets;  // n + 1
+  std::vector<int> targets;
+  std::vector<double> wts;
+};
+
+// SCC structure with the two derived facts every value function needs:
+// which SCCs contain a cycle (an internal edge — covers self-loops), and
+// which can reach one (== an infinite path starts there). Component ids are
+// in reverse topological order (Nba's Tarjan), so cross edges go from
+// higher to lower ids and both DPs below are single ascending passes.
+struct SccView {
+  std::vector<int> comp;
+  int num = 0;
+  std::vector<char> cyclic;    // per SCC
+  std::vector<char> live_scc;  // per SCC: reaches a cyclic SCC
+  std::vector<std::vector<int>> members;
+};
+
+SccView scc_view(const WGraph& g, double min_wt) {
+  SccView view;
+  auto scc = buchi::detail::strongly_connected_components(
+      g.n, [&](int u, const std::function<void(int)>& visit) {
+        for (int e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+          if (g.wts[e] >= min_wt) visit(g.targets[e]);
+        }
+      });
+  view.comp = std::move(scc.component);
+  view.num = scc.num_components;
+  view.cyclic.assign(view.num, 0);
+  view.members.assign(view.num, {});
+  for (int u = 0; u < g.n; ++u) view.members[view.comp[u]].push_back(u);
+  for (int u = 0; u < g.n; ++u) {
+    for (int e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+      if (g.wts[e] >= min_wt && view.comp[u] == view.comp[g.targets[e]]) {
+        view.cyclic[view.comp[u]] = 1;
+      }
+    }
+  }
+  view.live_scc = view.cyclic;
+  for (int c = 0; c < view.num; ++c) {
+    if (view.live_scc[c]) continue;
+    for (const int u : view.members[c]) {
+      for (int e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+        if (g.wts[e] >= min_wt && view.live_scc[view.comp[g.targets[e]]]) {
+          view.live_scc[c] = 1;
+          break;
+        }
+      }
+      if (view.live_scc[c]) break;
+    }
+  }
+  return view;
+}
+
+std::vector<char> reach_from(const WGraph& g, int start, double min_wt) {
+  std::vector<char> reach(g.n, 0);
+  std::vector<int> stack = {start};
+  reach[start] = 1;
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    for (int e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+      if (g.wts[e] < min_wt) continue;
+      const int t = g.targets[e];
+      if (!reach[t]) {
+        reach[t] = 1;
+        stack.push_back(t);
+      }
+    }
+  }
+  return reach;
+}
+
+std::vector<double> distinct_weights_desc(const WGraph& g) {
+  std::vector<double> ws = g.wts;
+  std::sort(ws.begin(), ws.end(), std::greater<double>());
+  ws.erase(std::unique(ws.begin(), ws.end()), ws.end());
+  return ws;
+}
+
+// Karp's maximum mean cycle over one nontrivial SCC, given its member list
+// and using only internal edges of weight ≥ min_wt. d_k(v) = best weight of
+// a k-edge walk ending at v starting anywhere in the SCC (d_0 ≡ 0); the
+// maximum cycle mean is max_v min_k (d_m(v) − d_k(v)) / (m − k).
+double karp_max_mean(const WGraph& g, const SccView& view, int c, double min_wt) {
+  const std::vector<int>& nodes = view.members[c];
+  const int m = static_cast<int>(nodes.size());
+  std::vector<int> local(g.n, -1);
+  for (int i = 0; i < m; ++i) local[nodes[i]] = i;
+  struct LocalEdge {
+    int from, to;
+    double wt;
+  };
+  std::vector<LocalEdge> edges;
+  for (int i = 0; i < m; ++i) {
+    const int u = nodes[i];
+    for (int e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+      const int t = g.targets[e];
+      if (g.wts[e] >= min_wt && local[t] >= 0) edges.push_back({i, local[t], g.wts[e]});
+    }
+  }
+  std::vector<std::vector<double>> d(m + 1, std::vector<double>(m, kNegInf));
+  d[0].assign(m, 0.0);
+  for (int k = 1; k <= m; ++k) {
+    for (const LocalEdge& e : edges) {
+      if (d[k - 1][e.from] == kNegInf) continue;
+      d[k][e.to] = std::max(d[k][e.to], d[k - 1][e.from] + e.wt);
+    }
+  }
+  double best = kNegInf;
+  for (int v = 0; v < m; ++v) {
+    if (d[m][v] == kNegInf) continue;
+    double worst = kPosInf;
+    for (int k = 0; k < m; ++k) {
+      if (d[k][v] == kNegInf) continue;
+      worst = std::min(worst, (d[m][v] - d[k][v]) / static_cast<double>(m - k));
+    }
+    best = std::max(best, worst);
+  }
+  return best;
+}
+
+// Does some SCC of the induced subgraph (members of `c`, internal edges of
+// weight ≥ min_wt) contain a cycle?
+bool scc_has_cycle_at(const WGraph& g, const SccView& view, int c, double min_wt) {
+  const std::vector<int>& nodes = view.members[c];
+  std::vector<int> local(g.n, -1);
+  for (std::size_t i = 0; i < nodes.size(); ++i) local[nodes[i]] = static_cast<int>(i);
+  auto sub = buchi::detail::strongly_connected_components(
+      static_cast<int>(nodes.size()), [&](int i, const std::function<void(int)>& visit) {
+        const int u = nodes[i];
+        for (int e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+          if (g.wts[e] >= min_wt && local[g.targets[e]] >= 0) visit(local[g.targets[e]]);
+        }
+      });
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const int u = nodes[i];
+    for (int e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+      const int lt = local[g.targets[e]];
+      if (g.wts[e] >= min_wt && lt >= 0 && sub.component[static_cast<int>(i)] == sub.component[lt]) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Limit value of one cyclic SCC: the best value a run that stays inside the
+// SCC forever can force (per-SCC-then-max keeps every comparison a pure
+// selection over the same weight multiset on both evaluation surfaces).
+double scc_limit_value(ValueFn fn, const WGraph& g, const SccView& view, int c) {
+  const std::vector<int>& nodes = view.members[c];
+  std::vector<double> internal;
+  for (const int u : nodes) {
+    for (int e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+      if (view.comp[g.targets[e]] == c) internal.push_back(g.wts[e]);
+    }
+  }
+  SLAT_ASSERT(!internal.empty());
+  switch (fn) {
+    case ValueFn::kLimSup:
+      return *std::max_element(internal.begin(), internal.end());
+    case ValueFn::kLimInf: {
+      // Largest t such that the SCC still has a cycle using only weights ≥ t.
+      std::sort(internal.begin(), internal.end(), std::greater<double>());
+      internal.erase(std::unique(internal.begin(), internal.end()), internal.end());
+      for (const double t : internal) {
+        if (scc_has_cycle_at(g, view, c, t)) return t;
+      }
+      // The SCC's own min-weight threshold keeps every internal edge, so the
+      // loop always returns.
+      SLAT_ASSERT(false);
+      return kNegInf;
+    }
+    case ValueFn::kLimAvg:
+      return karp_max_mean(g, view, c, kNegInf);
+    default:
+      SLAT_ASSERT(false);
+  }
+}
+
+// Is there an infinite path from `start` using only edges of weight ≥ t?
+bool has_infinite_path(const WGraph& g, int start, double t) {
+  const std::vector<char> reach = reach_from(g, start, t);
+  auto scc = buchi::detail::strongly_connected_components(
+      g.n, [&](int u, const std::function<void(int)>& visit) {
+        for (int e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+          if (g.wts[e] >= t) visit(g.targets[e]);
+        }
+      });
+  for (int u = 0; u < g.n; ++u) {
+    if (!reach[u]) continue;
+    for (int e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+      if (g.wts[e] >= t && scc.component[u] == scc.component[g.targets[e]]) return true;
+    }
+  }
+  return false;
+}
+
+// Jacobi value iteration for sup-discounted-sum over the `active` node set
+// (every active node keeps at least one active successor), then a
+// deterministic greedy policy walk whose lasso is evaluated in closed form.
+// The PR 2 pool makes each sweep bit-identical at every thread count.
+double disc_sum_from(const WGraph& g, int start, const std::vector<char>& active,
+                     double discount, double scale) {
+  std::vector<int> active_nodes;
+  for (int u = 0; u < g.n; ++u) {
+    if (active[u]) active_nodes.push_back(u);
+  }
+  std::vector<double> v(g.n, 0.0);
+  std::vector<double> nv(g.n, 0.0);
+  const double tol = 1e-13 * std::max(1.0, scale);
+  for (int iter = 0; iter < 20000; ++iter) {
+    core::parallel_for(static_cast<int>(active_nodes.size()), [&](int i) {
+      const int u = active_nodes[i];
+      double best = kNegInf;
+      for (int e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+        const int t = g.targets[e];
+        if (active[t]) best = std::max(best, g.wts[e] + discount * v[t]);
+      }
+      nv[u] = best;
+    });
+    double delta = 0.0;
+    for (const int u : active_nodes) delta = std::max(delta, std::abs(nv[u] - v[u]));
+    std::swap(v, nv);
+    if (delta <= tol) break;
+  }
+  // Greedy walk: first edge attaining the max wins, so the extracted lasso
+  // is a deterministic function of the converged values.
+  std::vector<int> pos_in_path(g.n, -1);
+  std::vector<double> path_wts;
+  int u = start;
+  while (pos_in_path[u] == -1) {
+    pos_in_path[u] = static_cast<int>(path_wts.size());
+    int best_target = -1;
+    double best_score = kNegInf;
+    double best_wt = 0.0;
+    for (int e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+      const int t = g.targets[e];
+      if (!active[t]) continue;
+      const double score = g.wts[e] + discount * v[t];
+      if (score > best_score) {
+        best_score = score;
+        best_target = t;
+        best_wt = g.wts[e];
+      }
+    }
+    SLAT_ASSERT(best_target >= 0);
+    path_wts.push_back(best_wt);
+    u = best_target;
+  }
+  const int cut = pos_in_path[u];
+  const std::span<const double> all(path_wts);
+  return discounted_lasso_value(all.subspan(0, cut), all.subspan(cut), discount);
+}
+
+WGraph product_graph(const WeightedNba& aut, const words::UpWord& w) {
+  const buchi::Nba& nba = aut.nba();
+  const int sp = static_cast<int>(w.prefix_size());
+  const int len = sp + static_cast<int>(w.period_size());
+  const int n = nba.num_states();
+  WGraph g;
+  g.n = n * len;
+  g.offsets.assign(g.n + 1, 0);
+  const auto node = [len](State q, int p) { return q * len + p; };
+  for (State q = 0; q < n; ++q) {
+    for (int p = 0; p < len; ++p) {
+      const Sym sym = w.at(p);
+      SLAT_ASSERT(sym >= 0 && sym < nba.alphabet().size());
+      g.offsets[node(q, p) + 1] = static_cast<int>(nba.successors(q, sym).size());
+    }
+  }
+  for (int i = 0; i < g.n; ++i) g.offsets[i + 1] += g.offsets[i];
+  g.targets.resize(g.offsets[g.n]);
+  g.wts.resize(g.offsets[g.n]);
+  for (State q = 0; q < n; ++q) {
+    for (int p = 0; p < len; ++p) {
+      const Sym sym = w.at(p);
+      const int next = p + 1 < len ? p + 1 : sp;
+      const auto succ = nba.successors(q, sym);
+      const auto wts = aut.weights(q, sym);
+      int e = g.offsets[node(q, p)];
+      for (std::size_t i = 0; i < succ.size(); ++i, ++e) {
+        g.targets[e] = node(succ[i], next);
+        g.wts[e] = wts[i];
+      }
+    }
+  }
+  return g;
+}
+
+WGraph automaton_graph(const WeightedNba& aut) {
+  const buchi::Nba& nba = aut.nba();
+  WGraph g;
+  g.n = nba.num_states();
+  g.offsets.assign(g.n + 1, 0);
+  for (State q = 0; q < g.n; ++q) {
+    int count = 0;
+    for (Sym s = 0; s < nba.alphabet().size(); ++s) {
+      count += static_cast<int>(nba.successors(q, s).size());
+    }
+    g.offsets[q + 1] = g.offsets[q] + count;
+  }
+  g.targets.resize(g.offsets[g.n]);
+  g.wts.resize(g.offsets[g.n]);
+  for (State q = 0; q < g.n; ++q) {
+    int e = g.offsets[q];
+    for (Sym s = 0; s < nba.alphabet().size(); ++s) {
+      const auto succ = nba.successors(q, s);
+      const auto wts = aut.weights(q, s);
+      for (std::size_t i = 0; i < succ.size(); ++i, ++e) {
+        g.targets[e] = succ[i];
+        g.wts[e] = wts[i];
+      }
+    }
+  }
+  return g;
+}
+
+double value_uncached(const WeightedNba& aut, const words::UpWord& w) {
+  const WGraph g = product_graph(aut, w);
+  const int start = aut.nba().initial() * (static_cast<int>(w.prefix_size()) +
+                                           static_cast<int>(w.period_size()));
+  const double bottom = aut.bottom_value();
+  const SccView view = scc_view(g, kNegInf);
+  const std::vector<char> reach = reach_from(g, start, kNegInf);
+  if (!view.live_scc[view.comp[start]]) return bottom;  // no infinite run on w
+  switch (aut.value_fn()) {
+    case ValueFn::kSup: {
+      // Best weight on any edge some infinite run can traverse.
+      double best = kNegInf;
+      for (int u = 0; u < g.n; ++u) {
+        if (!reach[u]) continue;
+        for (int e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+          if (view.live_scc[view.comp[g.targets[e]]]) best = std::max(best, g.wts[e]);
+        }
+      }
+      return best == kNegInf ? bottom : best;
+    }
+    case ValueFn::kInf: {
+      // Largest t admitting an infinite run that never drops below t.
+      for (const double t : distinct_weights_desc(g)) {
+        if (has_infinite_path(g, start, t)) return t;
+      }
+      return bottom;
+    }
+    case ValueFn::kLimSup:
+    case ValueFn::kLimInf:
+    case ValueFn::kLimAvg: {
+      // A run eventually stays inside one SCC; take the best reachable one.
+      double best = kNegInf;
+      for (int c = 0; c < view.num; ++c) {
+        if (!view.cyclic[c]) continue;
+        if (!reach[view.members[c].front()]) continue;
+        best = std::max(best, scc_limit_value(aut.value_fn(), g, view, c));
+      }
+      return best == kNegInf ? bottom : best;
+    }
+    case ValueFn::kDiscSum: {
+      std::vector<char> active(g.n, 0);
+      for (int u = 0; u < g.n; ++u) {
+        active[u] = reach[u] && view.live_scc[view.comp[u]];
+      }
+      const double scale =
+          std::max(std::abs(aut.top_value()), std::abs(aut.bottom_value()));
+      const double raw = disc_sum_from(g, start, active, aut.discount(), scale);
+      // The exact value lies in [bottom_value, top_value]; clamping only
+      // removes final-ulp rounding so the decomposition min stays exact.
+      return std::min(std::max(raw, aut.bottom_value()), aut.top_value());
+    }
+  }
+  SLAT_ASSERT(false);
+}
+
+core::Digest word_digest(const words::UpWord& w) {
+  core::DigestBuilder b;
+  b.add_string("upword");
+  b.add_int(static_cast<int>(w.prefix_size()));
+  b.add_ints(w.prefix());
+  b.add_int(static_cast<int>(w.period_size()));
+  b.add_ints(w.period());
+  return b.digest();
+}
+
+}  // namespace
+
+double value(const WeightedNba& aut, const words::UpWord& w) {
+  static core::MemoCache<double>& cache = *new core::MemoCache<double>("quant.value");
+  return cache.get_or_compute(core::DigestBuilder()
+                                  .add_string("quant.value")
+                                  .add_digest(fingerprint(aut))
+                                  .add_digest(word_digest(w))
+                                  .digest(),
+                              [&] { return value_uncached(aut, w); });
+}
+
+std::vector<double> batch_values(const WeightedNba& aut,
+                                 std::span<const words::UpWord> words) {
+  // Touch the lazy CSR/weight tables once up front so the pool workers only
+  // ever read them.
+  if (aut.nba().num_states() > 0 && aut.nba().alphabet().size() > 0) {
+    (void)aut.weights(0, 0);
+  }
+  return core::parallel_map<double>(static_cast<int>(words.size()),
+                                    [&](int i) { return value(aut, words[i]); });
+}
+
+std::shared_ptr<const StateRanks> state_ranks(const WeightedNba& aut) {
+  static core::MemoCache<std::shared_ptr<const StateRanks>>& cache =
+      *new core::MemoCache<std::shared_ptr<const StateRanks>>("quant.state_ranks");
+  return cache.get_or_compute(
+      core::DigestBuilder()
+          .add_string("quant.state_ranks")
+          .add_digest(fingerprint(aut))
+          .digest(),
+      [&]() -> std::shared_ptr<const StateRanks> {
+        const WGraph g = automaton_graph(aut);
+        const SccView view = scc_view(g, kNegInf);
+        auto ranks = std::make_shared<StateRanks>();
+        ranks->live.assign(g.n, false);
+        ranks->rank.assign(g.n, aut.bottom_value());
+        for (int q = 0; q < g.n; ++q) ranks->live[q] = view.live_scc[view.comp[q]] != 0;
+        switch (aut.value_fn()) {
+          case ValueFn::kSup: {
+            // Per-SCC best usable edge weight, then a max over the SCC DAG
+            // (ascending ids: every cross edge goes to a finished SCC).
+            std::vector<double> best(view.num, kNegInf);
+            for (int c = 0; c < view.num; ++c) {
+              for (const int u : view.members[c]) {
+                for (int e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+                  const int t = g.targets[e];
+                  if (ranks->live[t]) best[c] = std::max(best[c], g.wts[e]);
+                  if (view.comp[t] != c) best[c] = std::max(best[c], best[view.comp[t]]);
+                }
+              }
+            }
+            for (int q = 0; q < g.n; ++q) {
+              if (ranks->live[q]) ranks->rank[q] = best[view.comp[q]];
+            }
+            break;
+          }
+          case ValueFn::kInf: {
+            // Descending threshold sweep: the first t at which q still has
+            // an infinite ≥t run is its rank.
+            std::vector<char> assigned(g.n, 0);
+            for (const double t : distinct_weights_desc(g)) {
+              const SccView filtered = scc_view(g, t);
+              for (int q = 0; q < g.n; ++q) {
+                if (!assigned[q] && filtered.live_scc[filtered.comp[q]]) {
+                  assigned[q] = 1;
+                  ranks->rank[q] = t;
+                }
+              }
+            }
+            break;
+          }
+          case ValueFn::kLimSup:
+          case ValueFn::kLimInf:
+          case ValueFn::kLimAvg: {
+            std::vector<double> best(view.num, kNegInf);
+            for (int c = 0; c < view.num; ++c) {
+              if (view.cyclic[c]) {
+                best[c] = scc_limit_value(aut.value_fn(), g, view, c);
+              }
+              for (const int u : view.members[c]) {
+                for (int e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+                  const int c2 = view.comp[g.targets[e]];
+                  if (c2 != c) best[c] = std::max(best[c], best[c2]);
+                }
+              }
+            }
+            for (int q = 0; q < g.n; ++q) {
+              if (ranks->live[q]) ranks->rank[q] = best[view.comp[q]];
+            }
+            break;
+          }
+          case ValueFn::kDiscSum: {
+            // Jacobi sweeps over live states only; dead states keep ⊥.
+            std::vector<int> live_nodes;
+            for (int q = 0; q < g.n; ++q) {
+              if (ranks->live[q]) live_nodes.push_back(q);
+            }
+            std::vector<double> v(g.n, 0.0);
+            std::vector<double> nv(g.n, 0.0);
+            const double lambda = aut.discount();
+            const double tol =
+                1e-13 * std::max(1.0, std::max(std::abs(aut.top_value()),
+                                               std::abs(aut.bottom_value())));
+            for (int iter = 0; iter < 20000; ++iter) {
+              core::parallel_for(static_cast<int>(live_nodes.size()), [&](int i) {
+                const int u = live_nodes[i];
+                double best = kNegInf;
+                for (int e = g.offsets[u]; e < g.offsets[u + 1]; ++e) {
+                  const int t = g.targets[e];
+                  if (ranks->live[t]) best = std::max(best, g.wts[e] + lambda * v[t]);
+                }
+                nv[u] = best;
+              });
+              double delta = 0.0;
+              for (const int u : live_nodes) delta = std::max(delta, std::abs(nv[u] - v[u]));
+              std::swap(v, nv);
+              if (delta <= tol) break;
+            }
+            for (const int u : live_nodes) {
+              ranks->rank[u] =
+                  std::min(std::max(v[u], aut.bottom_value()), aut.top_value());
+            }
+            break;
+          }
+        }
+        return ranks;
+      });
+}
+
+}  // namespace slat::quant

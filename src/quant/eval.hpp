@@ -1,0 +1,46 @@
+// Exact evaluation of weighted automata on ultimately periodic words, plus
+// the per-prefix supremum that feeds the safety closure (closure.hpp).
+//
+// Φ(w) is computed on the product of the automaton with the lasso graph of
+// w: Sup/Inf/LimSup/LimInf/LimAvg reduce to reachability, per-SCC cycle
+// analyses (threshold descent, Karp's maximum mean cycle), all of which are
+// pure selections or exact-dyadic arithmetic; DiscSum runs the PR 2
+// thread-pool Jacobi value iteration, extracts a deterministic greedy
+// policy, and returns the policy lasso's closed-form discounted value.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "quant/weighted.hpp"
+#include "words/up_word.hpp"
+
+namespace slat::quant {
+
+/// Φ(w) = sup over infinite runs of the value-function fold; bottom_value()
+/// when the automaton has no infinite run on w. Memoized per
+/// (fingerprint, word); bit-identical at every thread count.
+double value(const WeightedNba& aut, const words::UpWord& w);
+
+/// One `value` call per word through the deterministic thread pool.
+std::vector<double> batch_values(const WeightedNba& aut,
+                                 std::span<const words::UpWord> words);
+
+/// Per-state future analysis on the automaton graph (all symbols pooled):
+/// `live[q]` — an infinite run can start at q; `rank[q]` — the best value
+/// achievable from q ignoring any stem contribution:
+///   Sup      max weight on an infinite run from q,
+///   Inf      max over infinite runs from q of the run's min weight,
+///   LimSup/LimInf/LimAvg
+///            max over cyclic SCCs reachable from q of the SCC's limit value,
+///   DiscSum  sup over infinite runs from q of the discounted sum
+///            (Jacobi value iteration; the only approximate rank).
+/// Dead states carry rank = bottom_value(). Memoized by fingerprint.
+struct StateRanks {
+  std::vector<bool> live;
+  std::vector<double> rank;
+};
+std::shared_ptr<const StateRanks> state_ranks(const WeightedNba& aut);
+
+}  // namespace slat::quant

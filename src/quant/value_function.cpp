@@ -1,0 +1,78 @@
+#include "quant/value_function.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace slat::quant {
+
+std::string to_string(ValueFn fn) {
+  switch (fn) {
+    case ValueFn::kSup: return "Sup";
+    case ValueFn::kInf: return "Inf";
+    case ValueFn::kLimSup: return "LimSup";
+    case ValueFn::kLimInf: return "LimInf";
+    case ValueFn::kLimAvg: return "LimAvg";
+    case ValueFn::kDiscSum: return "DiscSum";
+  }
+  SLAT_ASSERT(false);
+}
+
+double discounted_lasso_value(std::span<const double> stem, std::span<const double> cycle,
+                              double discount) {
+  SLAT_ASSERT(!cycle.empty());
+  SLAT_ASSERT(discount > 0.0 && discount < 1.0);
+  double factor = 1.0;
+  double stem_sum = 0.0;
+  for (const double w : stem) {
+    stem_sum += factor * w;
+    factor *= discount;
+  }
+  // `factor` is now λ^|stem|.
+  double cycle_sum = 0.0;
+  double cycle_factor = 1.0;
+  for (const double w : cycle) {
+    cycle_sum += cycle_factor * w;
+    cycle_factor *= discount;
+  }
+  // `cycle_factor` is now λ^|cycle|.
+  return stem_sum + factor * cycle_sum / (1.0 - cycle_factor);
+}
+
+double fold_value(ValueFn fn, double discount, const WeightLasso& lasso) {
+  SLAT_ASSERT(!lasso.period.empty());
+  const auto all_of = [&](double init, auto combine) {
+    double acc = init;
+    for (const double w : lasso.prefix) acc = combine(acc, w);
+    for (const double w : lasso.period) acc = combine(acc, w);
+    return acc;
+  };
+  const auto period_of = [&](double init, auto combine) {
+    double acc = init;
+    for (const double w : lasso.period) acc = combine(acc, w);
+    return acc;
+  };
+  const auto max2 = [](double a, double b) { return std::max(a, b); };
+  const auto min2 = [](double a, double b) { return std::min(a, b); };
+  switch (fn) {
+    case ValueFn::kSup:
+      return all_of(lasso.period.front(), max2);
+    case ValueFn::kInf:
+      return all_of(lasso.period.front(), min2);
+    case ValueFn::kLimSup:
+      return period_of(lasso.period.front(), max2);
+    case ValueFn::kLimInf:
+      return period_of(lasso.period.front(), min2);
+    case ValueFn::kLimAvg: {
+      // On a lasso the running average converges to the period mean.
+      double sum = 0.0;
+      for (const double w : lasso.period) sum += w;
+      return sum / static_cast<double>(lasso.period.size());
+    }
+    case ValueFn::kDiscSum:
+      return discounted_lasso_value(lasso.prefix, lasso.period, discount);
+  }
+  SLAT_ASSERT(false);
+}
+
+}  // namespace slat::quant

@@ -1,0 +1,64 @@
+// Value functions for quantitative properties over ω-words
+// (Henzinger–Mazzocchi–Saraç, arXiv 2301.11175; Boker et al., arXiv
+// 2307.06016). A value function folds an infinite weight sequence into a
+// single value; a weighted automaton (weighted.hpp) induces the property
+// Φ(w) = sup over runs of the fold of the run's weights.
+//
+// Exactness contract: Sup/Inf/LimSup/LimInf are pure max/min selections and
+// are exact on doubles. LimAvg and DiscSum involve sums and one division;
+// the qc generators draw weights from a small dyadic grid (gen.hpp) so every
+// intermediate sum is exact and each final rounding is a deterministic
+// function of the exact rational — identities such as extensivity and the
+// decomposition minimum then hold with exact double equality.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace slat::quant {
+
+/// How an infinite weight sequence x₀x₁x₂… is folded into one value.
+enum class ValueFn {
+  kSup,     ///< sup_i x_i
+  kInf,     ///< inf_i x_i
+  kLimSup,  ///< limsup_i x_i (max weight seen infinitely often)
+  kLimInf,  ///< liminf_i x_i (min weight seen infinitely often)
+  kLimAvg,  ///< limsup of the running average (mean-payoff)
+  kDiscSum  ///< Σ_i λ^i · x_i for a discount factor λ ∈ (0, 1)
+};
+
+inline constexpr ValueFn kAllValueFns[] = {ValueFn::kSup,    ValueFn::kInf,
+                                           ValueFn::kLimSup, ValueFn::kLimInf,
+                                           ValueFn::kLimAvg, ValueFn::kDiscSum};
+
+std::string to_string(ValueFn fn);
+
+/// True for value functions whose fold ignores any finite prefix
+/// (LimSup/LimInf/LimAvg). For these the safety closure depends only on the
+/// set of automaton states reachable on a prefix, not on stem weights.
+inline bool prefix_independent(ValueFn fn) {
+  return fn == ValueFn::kLimSup || fn == ValueFn::kLimInf || fn == ValueFn::kLimAvg;
+}
+
+/// Exact discounted value of the lasso weight word stem·cycle^ω:
+/// Σ_{i<|stem|} λ^i stem_i + λ^{|stem|} · (Σ_{j<|cycle|} λ^j cycle_j) / (1 − λ^{|cycle|}).
+/// Shared by the reference fold (fold_value) and the policy evaluation in
+/// eval.cpp so the two agree bit-for-bit.
+double discounted_lasso_value(std::span<const double> stem, std::span<const double> cycle,
+                              double discount);
+
+/// An ultimately periodic weight sequence prefix·period^ω — the quantitative
+/// analogue of words::UpWord, used by the qc generators ("lasso valuations")
+/// and the fold mutants.
+struct WeightLasso {
+  std::vector<double> prefix;
+  std::vector<double> period;  ///< never empty
+};
+
+/// Reference fold of a weight lasso under `fn` — direct formulas, no
+/// automaton machinery. `discount` is only read for kDiscSum.
+double fold_value(ValueFn fn, double discount, const WeightLasso& lasso);
+
+}  // namespace slat::quant

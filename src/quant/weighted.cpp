@@ -1,0 +1,146 @@
+#include "quant/weighted.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace slat::quant {
+
+namespace {
+
+// Edges are packed into 21-bit fields; automata this tier handles are far
+// smaller than 2^21 states/symbols.
+std::uint64_t pack_edge(State from, Sym symbol, State to) {
+  SLAT_ASSERT(from >= 0 && from < (1 << 21));
+  SLAT_ASSERT(symbol >= 0 && symbol < (1 << 21));
+  SLAT_ASSERT(to >= 0 && to < (1 << 21));
+  return (static_cast<std::uint64_t>(from) << 42) |
+         (static_cast<std::uint64_t>(symbol) << 21) | static_cast<std::uint64_t>(to);
+}
+
+}  // namespace
+
+WeightedNba::WeightedNba(words::Alphabet alphabet, int num_states, State initial,
+                         ValueFn fn, double discount, double domain_min,
+                         double domain_max)
+    : nba_(std::move(alphabet), num_states, initial),
+      fn_(fn),
+      discount_(discount),
+      domain_min_(domain_min),
+      domain_max_(domain_max) {
+  SLAT_ASSERT(domain_min_ <= domain_max_);
+  if (fn_ == ValueFn::kDiscSum) SLAT_ASSERT(discount_ > 0.0 && discount_ < 1.0);
+}
+
+WeightedNba::WeightedNba(const WeightedNba& other)
+    : nba_(other.nba_),
+      fn_(other.fn_),
+      discount_(other.discount_),
+      domain_min_(other.domain_min_),
+      domain_max_(other.domain_max_),
+      weight_by_edge_(other.weight_by_edge_) {}
+
+WeightedNba& WeightedNba::operator=(const WeightedNba& other) {
+  if (this == &other) return *this;
+  nba_ = other.nba_;
+  fn_ = other.fn_;
+  discount_ = other.discount_;
+  domain_min_ = other.domain_min_;
+  domain_max_ = other.domain_max_;
+  weight_by_edge_ = other.weight_by_edge_;
+  flat_weights_.clear();
+  row_start_.clear();
+  weights_dirty_.store(true, std::memory_order_release);
+  return *this;
+}
+
+double WeightedNba::bottom_value() const {
+  return fn_ == ValueFn::kDiscSum ? domain_min_ / (1.0 - discount_) : domain_min_;
+}
+
+double WeightedNba::top_value() const {
+  return fn_ == ValueFn::kDiscSum ? domain_max_ / (1.0 - discount_) : domain_max_;
+}
+
+void WeightedNba::add_transition(State from, Sym symbol, State to, double weight) {
+  SLAT_ASSERT(weight >= domain_min_ && weight <= domain_max_);
+  nba_.add_transition(from, symbol, to);
+  weight_by_edge_.emplace(pack_edge(from, symbol, to), weight);
+  weights_dirty_.store(true, std::memory_order_release);
+}
+
+void WeightedNba::rebuild_weights_locked() const {
+  const int n = nba_.num_states();
+  const int sigma = nba_.alphabet().size();
+  row_start_.assign(static_cast<std::size_t>(n) * sigma + 1, 0);
+  flat_weights_.clear();
+  flat_weights_.reserve(weight_by_edge_.size());
+  for (State q = 0; q < n; ++q) {
+    for (Sym s = 0; s < sigma; ++s) {
+      for (const State t : nba_.successors(q, s)) {
+        const auto it = weight_by_edge_.find(pack_edge(q, s, t));
+        SLAT_ASSERT(it != weight_by_edge_.end());
+        flat_weights_.push_back(it->second);
+      }
+      row_start_[static_cast<std::size_t>(q) * sigma + s + 1] = flat_weights_.size();
+    }
+  }
+}
+
+std::span<const double> WeightedNba::weights(State q, Sym symbol) const {
+  SLAT_ASSERT(q >= 0 && q < nba_.num_states());
+  SLAT_ASSERT(symbol >= 0 && symbol < nba_.alphabet().size());
+  if (weights_dirty_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(rebuild_mutex_);
+    if (weights_dirty_.load(std::memory_order_relaxed)) {
+      rebuild_weights_locked();
+      weights_dirty_.store(false, std::memory_order_release);
+    }
+  }
+  const std::size_t row = static_cast<std::size_t>(q) * nba_.alphabet().size() + symbol;
+  return std::span<const double>(flat_weights_.data() + row_start_[row],
+                                 row_start_[row + 1] - row_start_[row]);
+}
+
+double WeightedNba::weight_of(State from, Sym symbol, State to) const {
+  const auto it = weight_by_edge_.find(pack_edge(from, symbol, to));
+  SLAT_ASSERT(it != weight_by_edge_.end());
+  return it->second;
+}
+
+std::string WeightedNba::to_string() const {
+  std::ostringstream out;
+  out << "WeightedNba fn=" << quant::to_string(fn_);
+  if (fn_ == ValueFn::kDiscSum) out << " lambda=" << discount_;
+  out << " domain=[" << domain_min_ << "," << domain_max_ << "]\n";
+  out << nba_.to_string();
+  for (State q = 0; q < nba_.num_states(); ++q) {
+    for (Sym s = 0; s < nba_.alphabet().size(); ++s) {
+      const auto succ = nba_.successors(q, s);
+      const auto w = weights(q, s);
+      for (std::size_t i = 0; i < succ.size(); ++i) {
+        out << "  wt(" << q << "," << s << "," << succ[i] << ") = " << w[i] << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+core::Digest fingerprint(const WeightedNba& aut) {
+  core::DigestBuilder b;
+  b.add_string("quant.weighted");
+  b.add_digest(buchi::fingerprint(aut.nba()));
+  b.add_int(static_cast<int>(aut.value_fn()));
+  b.add(std::bit_cast<std::uint64_t>(aut.discount()));
+  b.add(std::bit_cast<std::uint64_t>(aut.domain_min()));
+  b.add(std::bit_cast<std::uint64_t>(aut.domain_max()));
+  for (State q = 0; q < aut.nba().num_states(); ++q) {
+    for (Sym s = 0; s < aut.nba().alphabet().size(); ++s) {
+      for (const double w : aut.weights(q, s)) b.add(std::bit_cast<std::uint64_t>(w));
+    }
+  }
+  return b.digest();
+}
+
+}  // namespace slat::quant

@@ -1,0 +1,95 @@
+// Weighted ω-automata: an `Nba` transition structure (PR 6's CSR layout)
+// plus a parallel per-edge weight array and a value function. The automaton
+// denotes the quantitative property
+//
+//   Φ(w) = sup over infinite runs of A on w of fold(run weights)
+//
+// (sup of the empty set = bottom_value()). Büchi acceptance marks on the
+// underlying Nba are ignored by the quantitative semantics — the boolean
+// embedding (embed.hpp) encodes acceptance into weights instead, which is
+// what ties this tier back to the qualitative pipeline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "buchi/nba.hpp"
+#include "core/memo_cache.hpp"
+#include "quant/value_function.hpp"
+
+namespace slat::quant {
+
+using buchi::State;
+using words::Sym;
+
+class WeightedNba {
+ public:
+  /// Weights added later must lie in [domain_min, domain_max]; those bounds
+  /// are the ⊥/⊤ of the weight lattice the property maps into. `discount`
+  /// is only meaningful (and must be in (0,1)) for kDiscSum.
+  WeightedNba(words::Alphabet alphabet, int num_states, State initial, ValueFn fn,
+              double discount = 0.5, double domain_min = 0.0, double domain_max = 1.0);
+
+  /// Copies rebuild the flat weight array lazily; the mutex/atomic members
+  /// make the type copy-only (like a fresh construction, not a bit copy).
+  WeightedNba(const WeightedNba& other);
+  WeightedNba& operator=(const WeightedNba& other);
+
+  const buchi::Nba& nba() const { return nba_; }
+  buchi::Nba& nba() { return nba_; }
+
+  ValueFn value_fn() const { return fn_; }
+  double discount() const { return discount_; }
+  double domain_min() const { return domain_min_; }
+  double domain_max() const { return domain_max_; }
+
+  /// ⊥/⊤ of the property's value domain. For the non-discounted value
+  /// functions these coincide with the weight domain; a discounted sum of
+  /// weights in [m, M] ranges over [m/(1−λ), M/(1−λ)].
+  double bottom_value() const;
+  double top_value() const;
+
+  /// Adds the edge (and its weight) if not already present; like
+  /// `Nba::add_transition`, a duplicate (from, symbol, to) is ignored — the
+  /// first inserted weight wins, keeping the weight array aligned with the
+  /// CSR first-occurrence dedup.
+  void add_transition(State from, Sym symbol, State to, double weight);
+
+  /// Weights aligned index-for-index with `nba().successors(q, symbol)`.
+  std::span<const double> weights(State q, Sym symbol) const;
+
+  /// Weight of a specific present edge (precondition: the edge exists).
+  double weight_of(State from, Sym symbol, State to) const;
+
+  std::string to_string() const;
+
+ private:
+  void rebuild_weights_locked() const;
+
+  buchi::Nba nba_;
+  ValueFn fn_;
+  double discount_;
+  double domain_min_;
+  double domain_max_;
+  // Insertion-keyed weight table (packed (from, symbol, to) → weight); the
+  // flat CSR-aligned array is materialized lazily, mirroring Nba's own
+  // lazy CSR rebuild.
+  std::unordered_map<std::uint64_t, double> weight_by_edge_;
+  mutable std::vector<double> flat_weights_;    // CSR-row-aligned
+  mutable std::vector<std::size_t> row_start_;  // per (q, sym) row offset
+  mutable std::atomic<bool> weights_dirty_{true};
+  mutable std::mutex rebuild_mutex_;
+};
+
+/// Structural 128-bit digest: alphabet, transition structure, value
+/// function, discount and every weight in CSR row order (doubles digested
+/// by bit pattern). Two automata with equal fingerprints denote the same
+/// property and hit the same MemoCache entries.
+core::Digest fingerprint(const WeightedNba& aut);
+
+}  // namespace slat::quant

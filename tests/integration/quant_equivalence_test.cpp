@@ -1,0 +1,119 @@
+// The boolean-embedding differential: on 100+ random NBAs, the {0,1}
+// quantitative readings must reproduce the qualitative pipeline with exact
+// 0.0/1.0 doubles — acceptance through embed_buchi/LimSup, the lcl verdict
+// through both closure_value and embed_safety/Sup, and Theorem 10's live
+// part flagging ⊤ exactly on L(B) ∪ ¬lcl(L(B)) — identically at 1 and 4
+// worker threads with caches disabled (so both thread counts do real work).
+//
+// This is the ISSUE's end-to-end oracle: every quantitative ingredient
+// (product evaluation, config-automaton closure, decomposition) runs
+// against an independent implementation that nine prior PRs already vetted.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "buchi/nba.hpp"
+#include "buchi/safety.hpp"
+#include "core/memo_cache.hpp"
+#include "core/thread_pool.hpp"
+#include "qc/gen.hpp"
+#include "qc/gtest_seed.hpp"
+#include "qc/seed.hpp"
+#include "quant/closure.hpp"
+#include "quant/decomposition.hpp"
+#include "quant/embed.hpp"
+#include "quant/eval.hpp"
+#include "words/up_word.hpp"
+
+namespace slat {
+namespace {
+
+using buchi::Nba;
+using words::UpWord;
+
+class QuantEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    threads_before_ = core::ThreadPool::global().num_threads();
+    cache_was_enabled_ = core::cache_enabled();
+    core::set_cache_enabled(false);
+  }
+  void TearDown() override {
+    core::set_num_threads(threads_before_);
+    core::set_cache_enabled(cache_was_enabled_);
+  }
+
+ private:
+  int threads_before_ = 0;
+  bool cache_was_enabled_ = true;
+};
+
+TEST_F(QuantEquivalenceTest, BooleanEmbeddingMatchesQualitativePipeline) {
+  const qc::NbaDomain domain{2, 5, 2, 2, 0.6, 1.5, 0.2, 0.6};
+  const qc::Gen<Nba> gen = qc::arbitrary_nba(domain);
+  std::mt19937 rng = qc::make_rng("quant_equivalence.embedding");
+  const std::vector<UpWord> corpus = words::enumerate_up_words(2, 2, 2);
+  constexpr int kInstances = 100;
+  for (int i = 0; i < kInstances; ++i) {
+    const Nba nba = gen(rng);
+    // Qualitative oracles, computed once per instance.
+    const Nba lcl = buchi::safety_closure(nba);
+    const buchi::DetSafety det = buchi::DetSafety::determinize(lcl);
+    const buchi::BuchiDecomposition parts = buchi::decompose(nba);
+    const quant::WeightedNba eb = quant::embed_buchi(nba);
+    const quant::WeightedNba es = quant::embed_safety(nba);
+    for (const int threads : {1, 4}) {
+      core::set_num_threads(threads);
+      for (const UpWord& w : corpus) {
+        const double in_l = nba.accepts(w) ? 1.0 : 0.0;
+        const double in_lcl = det.accepts(w) ? 1.0 : 0.0;
+        ASSERT_EQ(quant::value(eb, w), in_l)
+            << "instance " << i << ", " << threads << " threads, value at "
+            << w.to_string(nba.alphabet());
+        ASSERT_EQ(quant::closure_value(eb, w), in_lcl)
+            << "instance " << i << ", " << threads << " threads, closure at "
+            << w.to_string(nba.alphabet());
+        ASSERT_EQ(quant::value(es, w), in_lcl)
+            << "instance " << i << ", " << threads
+            << " threads, Sup embedding at " << w.to_string(nba.alphabet());
+        const quant::QuantDecomposition d = quant::decompose_at(eb, w);
+        ASSERT_EQ(std::min(d.safety, d.live), d.property)
+            << "instance " << i << ", " << threads << " threads, min identity at "
+            << w.to_string(nba.alphabet());
+        ASSERT_EQ(d.live == eb.top_value(), parts.liveness.accepts(w))
+            << "instance " << i << ", " << threads << " threads, live part at "
+            << w.to_string(nba.alphabet());
+      }
+    }
+  }
+}
+
+TEST_F(QuantEquivalenceTest, BatchValuesIsThreadInvariant) {
+  // batch_values runs the per-word evaluations through parallel_map; the
+  // results must be bit-identical to the scalar loop at every width.
+  const qc::WeightedNbaDomain domain{{2, 6, 2, 2, 0.6, 1.5, 0.2, 0.6}};
+  const qc::Gen<quant::WeightedNba> gen = qc::arbitrary_weighted_nba(domain);
+  std::mt19937 rng = qc::make_rng("quant_equivalence.batch");
+  const std::vector<UpWord> corpus = words::enumerate_up_words(2, 2, 2);
+  for (int i = 0; i < 30; ++i) {
+    const quant::WeightedNba aut = gen(rng);
+    core::set_num_threads(1);
+    std::vector<double> scalar;
+    scalar.reserve(corpus.size());
+    for (const UpWord& w : corpus) scalar.push_back(quant::value(aut, w));
+    for (const int threads : {1, 4}) {
+      core::set_num_threads(threads);
+      const std::vector<double> batched = quant::batch_values(aut, corpus);
+      ASSERT_EQ(batched.size(), scalar.size());
+      for (std::size_t k = 0; k < scalar.size(); ++k) {
+        ASSERT_EQ(batched[k], scalar[k])
+            << "instance " << i << ", word " << k << ", " << threads
+            << " threads (" << quant::to_string(aut.value_fn()) << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slat

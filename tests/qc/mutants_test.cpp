@@ -1,5 +1,6 @@
-// The mutant bank: ≥ 25 deliberately-broken constructions spanning the
-// LTL, Büchi, lattice and Rabin/CTL pipelines, with a 100% kill rate.
+// The mutant bank: ≥ 38 deliberately-broken constructions spanning the
+// LTL, Büchi, lattice, Rabin/CTL and quantitative pipelines, with a 100%
+// kill rate.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -12,7 +13,7 @@ namespace {
 
 TEST(Mutants, BankIsLargeEnoughAndNamed) {
   const auto& bank = mutants();
-  EXPECT_GE(bank.size(), 25u);
+  EXPECT_GE(bank.size(), 38u);
   std::set<std::string> names;
   for (const Mutant& m : bank) {
     EXPECT_FALSE(m.name.empty());
@@ -29,6 +30,7 @@ TEST(Mutants, SpansAllFourPipelines) {
   EXPECT_TRUE(pipelines.count("lattice"));
   EXPECT_TRUE(pipelines.count("rabin"));
   EXPECT_TRUE(pipelines.count("ctl"));
+  EXPECT_TRUE(pipelines.count("quant"));
 }
 
 TEST(Mutants, HundredPercentKillRate) {

@@ -3,8 +3,11 @@
 // back as an automaton of at most 4 states.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "buchi/nba.hpp"
 #include "qc/gen.hpp"
+#include "quant/eval.hpp"
 #include "qc/gtest_seed.hpp"
 #include "qc/seed.hpp"
 #include "qc/shrink.hpp"
@@ -17,11 +20,14 @@ using buchi::Nba;
 using words::UpWord;
 using words::Word;
 
-void expect_well_formed(const Nba& nba) {
+// Structural invariants every candidate must keep. Acceptance is separate:
+// the Büchi domain requires ≥ 1 accepting state, while the quantitative
+// semantics ignore acceptance marks entirely (weights carry them instead),
+// so weighted candidates may legitimately drop the last accepting state.
+void expect_structurally_sound(const Nba& nba) {
   ASSERT_GE(nba.num_states(), 1);
   EXPECT_GE(nba.initial(), 0);
   EXPECT_LT(nba.initial(), nba.num_states());
-  EXPECT_GE(nba.num_accepting(), 1);
   EXPECT_GE(nba.alphabet().size(), 1);
   for (buchi::State q = 0; q < nba.num_states(); ++q) {
     for (words::Sym s = 0; s < nba.alphabet().size(); ++s) {
@@ -31,6 +37,11 @@ void expect_well_formed(const Nba& nba) {
       }
     }
   }
+}
+
+void expect_well_formed(const Nba& nba) {
+  expect_structurally_sound(nba);
+  EXPECT_GE(nba.num_accepting(), 1);
 }
 
 TEST(ShrinkNba, CandidatesPreserveWellFormedness) {
@@ -134,6 +145,85 @@ TEST(ShrinkFormula, DescendsToSubformula) {
   };
   const ltl::FormulaId shrunk = shrink_formula(arena, f, mentions_b);
   EXPECT_EQ(arena.to_string(shrunk), arena.to_string(arena.atom(1)));
+}
+
+TEST(ShrinkWeighted, CandidatesPreserveWellFormednessAndDomain) {
+  std::mt19937 rng = make_rng("shrink_test.weighted.wf");
+  const Gen<quant::WeightedNba> gen =
+      arbitrary_weighted_nba({{2, 6, 2, 3, 0.5, 1.5, 0.3, 0.7}});
+  for (int i = 0; i < 25; ++i) {
+    const quant::WeightedNba aut = gen(rng);
+    for (const quant::WeightedNba& c : shrink_steps(aut)) {
+      expect_structurally_sound(c.nba());
+      // Value function, discount and weight domain survive every step, and
+      // every weight stays inside the domain.
+      EXPECT_EQ(c.value_fn(), aut.value_fn());
+      EXPECT_EQ(c.discount(), aut.discount());
+      EXPECT_EQ(c.domain_min(), aut.domain_min());
+      EXPECT_EQ(c.domain_max(), aut.domain_max());
+      EXPECT_LE(c.nba().num_states(), aut.nba().num_states());
+      for (buchi::State q = 0; q < c.nba().num_states(); ++q) {
+        for (words::Sym s = 0; s < c.nba().alphabet().size(); ++s) {
+          for (const double w : c.weights(q, s)) {
+            EXPECT_GE(w, c.domain_min());
+            EXPECT_LE(w, c.domain_max());
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ShrinkWeighted, PlantedBugShrinksAndStillFails) {
+  // 8 states of decoy a-cycle at weight ¼, plus the planted bug: a
+  // weight-1 b-self-loop on state 0. The "failure" is Φ(b^ω) = 1 under
+  // Sup; the minimal witness is one state with one b-loop.
+  quant::WeightedNba aut(words::Alphabet::binary(), 8, 0, quant::ValueFn::kSup);
+  aut.nba().set_accepting(0, true);
+  for (buchi::State q = 0; q < 8; ++q) {
+    aut.add_transition(q, 0, (q + 1) % 8, 0.25);
+  }
+  aut.add_transition(0, 1, 0, 1.0);  // the planted bug
+  const UpWord b_omega({}, {1});
+  const auto still_fails = [&](const quant::WeightedNba& c) {
+    return c.nba().alphabet().size() == 2 && quant::value(c, b_omega) == 1.0;
+  };
+  ASSERT_TRUE(still_fails(aut));
+  const quant::WeightedNba shrunk = shrink_weighted_nba(aut, still_fails);
+  EXPECT_TRUE(still_fails(shrunk));
+  EXPECT_LE(shrunk.nba().num_states(), 2);
+  expect_structurally_sound(shrunk.nba());
+}
+
+TEST(ShrinkWeightLasso, MinimizesAgainstPredicate) {
+  // Failure: "some period weight is ≥ ½". Minimal: no prefix, period [½].
+  const quant::WeightLasso lasso{{0.25, 1.0}, {0.75, 0.0, 0.5}};
+  const auto still_fails = [](const quant::WeightLasso& l) {
+    for (const double w : l.period) {
+      if (w >= 0.5) return true;
+    }
+    return false;
+  };
+  const quant::WeightLasso shrunk = shrink_weight_lasso(lasso, still_fails);
+  EXPECT_TRUE(still_fails(shrunk));
+  EXPECT_TRUE(shrunk.prefix.empty());
+  EXPECT_EQ(shrunk.period.size(), 1u);
+}
+
+TEST(ShrinkWeightLasso, CandidatesKeepPeriodNonEmptyAndOnGrid) {
+  std::mt19937 rng = make_rng("shrink_test.lasso.wf");
+  const Gen<quant::WeightLasso> gen = arbitrary_weight_lasso({4, 4, 8});
+  for (int i = 0; i < 40; ++i) {
+    for (const quant::WeightLasso& c : shrink_steps(gen(rng))) {
+      EXPECT_FALSE(c.period.empty());
+      for (const double w : c.period) {
+        EXPECT_GE(w, 0.0);
+        EXPECT_LE(w, 1.0);
+        // Candidates stay on the dyadic grid (lowering goes to 0 exactly).
+        EXPECT_EQ(w * 8.0, std::round(w * 8.0));
+      }
+    }
+  }
 }
 
 TEST(ShrinkGeneric, BudgetBoundsPlateaus) {

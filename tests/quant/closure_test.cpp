@@ -1,0 +1,110 @@
+// The quantitative safety closure: prefix_sup monotonicity, hand-computed
+// Φ* values, the closure-automaton laws and the sampled membership tests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "quant/closure.hpp"
+#include "quant/embed.hpp"
+#include "quant/eval.hpp"
+#include "quant/weighted.hpp"
+#include "words/alphabet.hpp"
+#include "words/up_word.hpp"
+
+namespace slat::quant {
+namespace {
+
+using words::Alphabet;
+using words::UpWord;
+
+// Φ(w) = 1 if w = a^ω, else no run survives: Sup over the a-loop of
+// weight 1. Every a-prefix still promises 1, and the first b drops both
+// the value AND the promise to ⊥ — a safety property with a non-trivial
+// prefix_sup descent.
+WeightedNba only_a_omega() {
+  WeightedNba aut(Alphabet::binary(), 2, 0, ValueFn::kSup);
+  aut.nba().set_accepting(0, true);
+  aut.add_transition(0, 0, 1, 1.0);
+  aut.add_transition(1, 0, 1, 1.0);
+  return aut;
+}
+
+const UpWord a_omega({}, {0});
+const UpWord ab_omega({0}, {1});
+
+TEST(QuantClosure, PrefixSupIsNonIncreasing) {
+  const WeightedNba aut = only_a_omega();
+  const double at_empty = prefix_sup(aut, {});
+  const double at_a = prefix_sup(aut, {0});
+  const double at_ab = prefix_sup(aut, {0, 1});
+  EXPECT_GE(at_empty, at_a);
+  EXPECT_GE(at_a, at_ab);
+  EXPECT_EQ(at_a, 1.0);   // a^ω still continues the prefix "a"
+  EXPECT_EQ(at_ab, 0.0);  // no run survives "ab": sup over continuations = ⊥
+}
+
+TEST(QuantClosure, ClosureIsExtensiveAndSeparatesAtTheLimit) {
+  const WeightedNba aut = only_a_omega();
+  // At a^ω: value 1 and every prefix promises 1 — closure equals value.
+  EXPECT_EQ(value(aut, a_omega), 1.0);
+  EXPECT_EQ(closure_value(aut, a_omega), 1.0);
+  // At a·b^ω: value ⊥ but the closure has already dropped to ⊥ too (the
+  // prefix "ab" kills every run) — this word does NOT witness unsafety.
+  EXPECT_EQ(value(aut, ab_omega), 0.0);
+  EXPECT_EQ(closure_value(aut, ab_omega), 0.0);
+}
+
+TEST(QuantClosure, ClosureAutomatonReproducesTheClosure) {
+  const WeightedNba aut = only_a_omega();
+  const WeightedNba cl = closure_automaton(aut);
+  for (const UpWord& w : words::enumerate_up_words(2, 2, 2)) {
+    const double expected = closure_value(aut, w);
+    // The closure is safe: evaluating the closure automaton gives Φ* …
+    EXPECT_EQ(value(cl, w), expected) << w.to_string(aut.nba().alphabet());
+    // … and Φ is a fixpoint of closing twice (Φ** = Φ*).
+    EXPECT_EQ(closure_value(cl, w), expected) << w.to_string(aut.nba().alphabet());
+  }
+}
+
+TEST(QuantClosure, DiscSumIsAlreadySafe) {
+  // Bounded discounted sums are continuous, hence safe: Φ* = Φ.
+  WeightedNba aut(Alphabet::binary(), 1, 0, ValueFn::kDiscSum, 0.5);
+  aut.nba().set_accepting(0, true);
+  aut.add_transition(0, 0, 0, 1.0);
+  aut.add_transition(0, 1, 0, 0.0);
+  const std::vector<UpWord> corpus = words::enumerate_up_words(2, 2, 2);
+  for (const UpWord& w : corpus) {
+    EXPECT_EQ(closure_value(aut, w), value(aut, w))
+        << w.to_string(aut.nba().alphabet());
+  }
+  EXPECT_TRUE(is_safety_on(aut, corpus));
+}
+
+TEST(QuantClosure, SampledMembershipTests) {
+  const std::vector<UpWord> corpus = words::enumerate_up_words(2, 2, 2);
+  // A Sup property with a total 1-weighted structure is constantly ⊤ —
+  // safe (and vacuously live: no word has value < ⊤).
+  WeightedNba top(Alphabet::binary(), 1, 0, ValueFn::kSup);
+  top.nba().set_accepting(0, true);
+  top.add_transition(0, 0, 0, 1.0);
+  top.add_transition(0, 1, 0, 1.0);
+  EXPECT_TRUE(is_safety_on(top, corpus));
+  EXPECT_TRUE(is_liveness_on(top, corpus));
+
+  // "Infinitely many a" embedded as LimSup: live but not safe — b^ω has
+  // value 0 < ⊤ while every prefix still promises 1.
+  WeightedNba gf_a(Alphabet::binary(), 1, 0, ValueFn::kLimSup);
+  gf_a.nba().set_accepting(0, true);
+  gf_a.add_transition(0, 0, 0, 1.0);
+  gf_a.add_transition(0, 1, 0, 0.0);
+  EXPECT_FALSE(is_safety_on(gf_a, corpus));
+  EXPECT_TRUE(is_liveness_on(gf_a, corpus));
+
+  // {a^ω} is limit-closed, so only_a_omega is safe — and not live: b^ω has
+  // value ⊥ < ⊤ with closure ⊥ too (no promise survives the first b).
+  EXPECT_TRUE(is_safety_on(only_a_omega(), corpus));
+  EXPECT_FALSE(is_liveness_on(only_a_omega(), corpus));
+}
+
+}  // namespace
+}  // namespace slat::quant

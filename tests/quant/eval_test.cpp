@@ -1,0 +1,106 @@
+// The product evaluator: hand-computed Φ(w) per value function on small
+// automata, the empty-run bottom, memoized batch evaluation and state
+// ranks.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "quant/eval.hpp"
+#include "quant/value_function.hpp"
+#include "quant/weighted.hpp"
+#include "words/alphabet.hpp"
+#include "words/up_word.hpp"
+
+namespace slat::quant {
+namespace {
+
+using words::Alphabet;
+using words::UpWord;
+
+// Two runs from q0 on a^ω: stay in q0 (weight ½ forever) or jump to q1
+// once (weight 1 on the jump, then ¾ forever). Nondeterminism makes the
+// sup over runs non-trivial for every value function.
+WeightedNba forked(ValueFn fn, double discount = 0.5) {
+  WeightedNba aut(Alphabet::binary(), 2, 0, fn, discount);
+  aut.nba().set_accepting(0, true);
+  aut.add_transition(0, 0, 0, 0.5);
+  aut.add_transition(0, 0, 1, 1.0);
+  aut.add_transition(1, 0, 1, 0.75);
+  return aut;
+}
+
+const UpWord a_omega({}, {0});
+const UpWord b_omega({}, {1});
+
+TEST(QuantEval, SupTakesTheBestSingleWeight) {
+  EXPECT_EQ(value(forked(ValueFn::kSup), a_omega), 1.0);
+}
+
+TEST(QuantEval, InfPrefersTheUniformRun) {
+  // Staying in q0 gives inf ½; jumping gives min(1, ¾) = ¾ — sup is ¾.
+  EXPECT_EQ(value(forked(ValueFn::kInf), a_omega), 0.75);
+}
+
+TEST(QuantEval, LimSupAndLimInfSeeOnlyTheTail) {
+  // Tails: ½^ω (stay) or ¾^ω (jump) — the jump weight 1 occurs once and
+  // is invisible in the limit.
+  EXPECT_EQ(value(forked(ValueFn::kLimSup), a_omega), 0.75);
+  EXPECT_EQ(value(forked(ValueFn::kLimInf), a_omega), 0.75);
+}
+
+TEST(QuantEval, LimAvgIsTheBestCycleMean) {
+  EXPECT_EQ(value(forked(ValueFn::kLimAvg), a_omega), 0.75);
+}
+
+TEST(QuantEval, DiscSumMatchesTheClosedForm) {
+  // Best run jumps immediately: 1 + λ·(¾/(1−λ)) = 1 + ¾ = 1.75 at λ = ½.
+  const std::vector<double> stem{1.0};
+  const std::vector<double> cycle{0.75};
+  EXPECT_EQ(value(forked(ValueFn::kDiscSum), a_omega),
+            discounted_lasso_value(stem, cycle, 0.5));
+}
+
+TEST(QuantEval, NoInfiniteRunMeansBottom) {
+  // No b-transitions anywhere: Φ(b^ω) = ⊥ for every value function.
+  for (const ValueFn fn : kAllValueFns) {
+    const WeightedNba aut = forked(fn);
+    EXPECT_EQ(value(aut, b_omega), aut.bottom_value()) << to_string(fn);
+  }
+}
+
+TEST(QuantEval, LimAvgAveragesTheCycleNotTheStem) {
+  // One run: weight 1 on the stem edge, then a 0-weight self-loop.
+  WeightedNba aut(Alphabet::binary(), 2, 0, ValueFn::kLimAvg);
+  aut.nba().set_accepting(0, true);
+  aut.add_transition(0, 0, 1, 1.0);
+  aut.add_transition(1, 0, 1, 0.0);
+  EXPECT_EQ(value(aut, a_omega), 0.0);
+}
+
+TEST(QuantEval, BatchValuesAgreesWithScalar) {
+  const WeightedNba aut = forked(ValueFn::kLimAvg);
+  const std::vector<UpWord> corpus = words::enumerate_up_words(2, 2, 2);
+  const std::vector<double> batch = batch_values(aut, corpus);
+  ASSERT_EQ(batch.size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(batch[i], value(aut, corpus[i])) << i;
+  }
+}
+
+TEST(QuantEval, StateRanksMarkDeadStatesAndBoundValues) {
+  for (const ValueFn fn : kAllValueFns) {
+    const WeightedNba aut = forked(fn);
+    const auto ranks = state_ranks(aut);
+    ASSERT_EQ(ranks->live.size(), 2u) << to_string(fn);
+    // Both states sit on an a-cycle, so both are live.
+    EXPECT_TRUE(ranks->live[0]) << to_string(fn);
+    EXPECT_TRUE(ranks->live[1]) << to_string(fn);
+    for (int q = 0; q < 2; ++q) {
+      EXPECT_GE(ranks->rank[q], aut.bottom_value()) << to_string(fn);
+      EXPECT_LE(ranks->rank[q], aut.top_value()) << to_string(fn);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slat::quant

@@ -1,0 +1,117 @@
+// WeightedNba structure: CSR-aligned weight rows, first-wins dedup shared
+// with the underlying Nba, domain bounds, and fingerprint sensitivity.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "quant/value_function.hpp"
+#include "quant/weighted.hpp"
+#include "words/alphabet.hpp"
+
+namespace slat::quant {
+namespace {
+
+using words::Alphabet;
+
+WeightedNba two_state(ValueFn fn) {
+  WeightedNba aut(Alphabet::binary(), 2, 0, fn);
+  aut.nba().set_accepting(0, true);
+  aut.add_transition(0, 0, 1, 0.25);
+  aut.add_transition(0, 0, 0, 0.5);
+  aut.add_transition(1, 1, 1, 1.0);
+  return aut;
+}
+
+TEST(WeightedNba, WeightsAlignWithSuccessorSlices) {
+  const WeightedNba aut = two_state(ValueFn::kSup);
+  const auto succ = aut.nba().successors(0, 0);
+  const auto wts = aut.weights(0, 0);
+  ASSERT_EQ(succ.size(), 2u);
+  ASSERT_EQ(wts.size(), 2u);
+  // First-insertion order: target 1 (w=0.25) before target 0 (w=0.5).
+  EXPECT_EQ(succ[0], 1);
+  EXPECT_EQ(wts[0], 0.25);
+  EXPECT_EQ(succ[1], 0);
+  EXPECT_EQ(wts[1], 0.5);
+  EXPECT_EQ(aut.weight_of(0, 0, 0), 0.5);
+  EXPECT_EQ(aut.weight_of(1, 1, 1), 1.0);
+  EXPECT_TRUE(aut.weights(1, 0).empty());
+}
+
+TEST(WeightedNba, DuplicateEdgeKeepsFirstWeight) {
+  WeightedNba aut(Alphabet::binary(), 1, 0, ValueFn::kSup);
+  aut.add_transition(0, 0, 0, 0.25);
+  aut.add_transition(0, 0, 0, 0.75);  // ignored, like Nba::add_transition
+  ASSERT_EQ(aut.nba().successors(0, 0).size(), 1u);
+  EXPECT_EQ(aut.weight_of(0, 0, 0), 0.25);
+}
+
+TEST(WeightedNba, CopyPreservesStructureAndWeights) {
+  const WeightedNba aut = two_state(ValueFn::kLimAvg);
+  WeightedNba copy = aut;
+  EXPECT_EQ(fingerprint(copy), fingerprint(aut));
+  copy.add_transition(1, 0, 0, 0.125);
+  EXPECT_NE(fingerprint(copy), fingerprint(aut));
+}
+
+TEST(WeightedNba, FingerprintSensitivity) {
+  const WeightedNba base = two_state(ValueFn::kSup);
+  // Same structure, one weight changed.
+  WeightedNba reweighted(Alphabet::binary(), 2, 0, ValueFn::kSup);
+  reweighted.nba().set_accepting(0, true);
+  reweighted.add_transition(0, 0, 1, 0.125);
+  reweighted.add_transition(0, 0, 0, 0.5);
+  reweighted.add_transition(1, 1, 1, 1.0);
+  EXPECT_NE(fingerprint(reweighted), fingerprint(base));
+  // Same structure and weights, different value function.
+  EXPECT_NE(fingerprint(two_state(ValueFn::kInf)), fingerprint(base));
+  // Deterministic across constructions.
+  EXPECT_EQ(fingerprint(two_state(ValueFn::kSup)), fingerprint(base));
+}
+
+TEST(WeightedNba, ValueDomainBounds) {
+  const WeightedNba sup = two_state(ValueFn::kSup);
+  EXPECT_EQ(sup.bottom_value(), 0.0);
+  EXPECT_EQ(sup.top_value(), 1.0);
+  // A discounted sum of weights in [0, 1] at λ = ½ ranges over [0, 2].
+  WeightedNba disc(Alphabet::binary(), 1, 0, ValueFn::kDiscSum, 0.5);
+  EXPECT_EQ(disc.bottom_value(), 0.0);
+  EXPECT_EQ(disc.top_value(), 2.0);
+}
+
+TEST(ValueFunction, FoldValueOnLassos) {
+  const WeightLasso lasso{{1.0}, {0.0, 0.5}};
+  EXPECT_EQ(fold_value(ValueFn::kSup, 0.5, lasso), 1.0);
+  EXPECT_EQ(fold_value(ValueFn::kInf, 0.5, lasso), 0.0);
+  // The lim* functions ignore the stem.
+  EXPECT_EQ(fold_value(ValueFn::kLimSup, 0.5, lasso), 0.5);
+  EXPECT_EQ(fold_value(ValueFn::kLimInf, 0.5, lasso), 0.0);
+  EXPECT_EQ(fold_value(ValueFn::kLimAvg, 0.5, lasso), 0.25);
+  // fold_value shares discounted_lasso_value with the evaluator's policy
+  // walk; pin that bit-identity here.
+  EXPECT_EQ(fold_value(ValueFn::kDiscSum, 0.5, lasso),
+            discounted_lasso_value(lasso.prefix, lasso.period, 0.5));
+}
+
+TEST(ValueFunction, DiscountedLassoClosedForm) {
+  // 0.5^ω at λ = ½: Σ λ^i · ½ = ½ · 2 = 1.
+  const std::vector<double> empty_stem;
+  const std::vector<double> half{0.5};
+  EXPECT_DOUBLE_EQ(discounted_lasso_value(empty_stem, half, 0.5), 1.0);
+  // Pure stem then zeros: value is the finite discounted stem sum.
+  const std::vector<double> ones{1.0, 1.0};
+  const std::vector<double> zero{0.0};
+  EXPECT_EQ(discounted_lasso_value(ones, zero, 0.5), 1.5);
+}
+
+TEST(ValueFunction, PrefixIndependenceFlags) {
+  EXPECT_FALSE(prefix_independent(ValueFn::kSup));
+  EXPECT_FALSE(prefix_independent(ValueFn::kInf));
+  EXPECT_FALSE(prefix_independent(ValueFn::kDiscSum));
+  EXPECT_TRUE(prefix_independent(ValueFn::kLimSup));
+  EXPECT_TRUE(prefix_independent(ValueFn::kLimInf));
+  EXPECT_TRUE(prefix_independent(ValueFn::kLimAvg));
+}
+
+}  // namespace
+}  // namespace slat::quant
